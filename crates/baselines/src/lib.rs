@@ -1,0 +1,45 @@
+//! # cocopelia-baselines
+//!
+//! Re-implementations of the comparator libraries' *scheduling policies*
+//! (the libraries themselves are CUDA binaries; see `DESIGN.md` §2 for the
+//! substitution argument):
+//!
+//! * [`cublasxt`] — square tiling with 3-way overlap, **no** inter-tile
+//!   reuse, explicit user-tuned tiling size (the state of practice).
+//! * [`Blasx`] — tile engine **with** reuse but a static compile-time
+//!   tiling size (`T = 2048`).
+//! * [`unified`] — the unified-memory-with-prefetch `daxpy` comparator.
+//! * [`serial`] — no-overlap offload, the reference lower bound.
+
+#![deny(missing_docs)]
+
+pub mod cublasxt;
+pub mod serial;
+pub mod unified;
+
+mod blasx;
+
+pub use blasx::{Blasx, BLASX_DEFAULT_TILE};
+
+use cocopelia_gpusim::SimTime;
+
+/// What every baseline run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult<Out> {
+    /// The routine's output data, when it was passed as host data in
+    /// functional mode.
+    pub output: Option<Out>,
+    /// Virtual wall time of the call.
+    pub elapsed: SimTime,
+    /// Useful floating-point operations.
+    pub flops: f64,
+    /// Sub-kernels launched.
+    pub subkernels: usize,
+}
+
+impl<Out> BaselineResult<Out> {
+    /// Achieved throughput in GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.elapsed.as_secs_f64() / 1e9
+    }
+}

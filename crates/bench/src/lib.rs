@@ -1,0 +1,10 @@
+//! # cocopelia-bench
+//!
+//! Benchmark harness crate: every table and figure of the CoCoPeLia paper's
+//! evaluation has a dedicated bench target under `benches/` (run with
+//! `cargo bench -p cocopelia-bench --bench <name>`; `cargo bench` runs them
+//! all). See `EXPERIMENTS.md` at the repository root for the experiment
+//! index and paper-vs-measured record.
+//!
+//! Targets default to reduced (structurally identical) problem grids; set
+//! `COCOPELIA_FULL=1` for the paper-exact sets.

@@ -1,0 +1,364 @@
+//! `cocopelia` — command-line front end for the CoCoPeLia reproduction.
+//!
+//! ```text
+//! cocopelia deploy  --testbed ii --out profile.json [--quick]
+//! cocopelia predict --profile profile.json --routine dgemm --dims 8192 8192 8192 [--loc HHH] [--model dr]
+//! cocopelia run     --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--tile auto|2048]
+//! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
+//! ```
+
+use cocopelia_core::models::{ModelCtx, ModelKind};
+use cocopelia_core::params::{Loc, ProblemSpec};
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::select::TileSelector;
+use cocopelia_deploy::{deploy, DeployConfig};
+use cocopelia_gpusim::{testbed_i, testbed_ii, ExecMode, Gpu, TestbedSpec};
+use cocopelia_hostblas::Dtype;
+use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice, VecOperand};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  cocopelia deploy  --testbed <i|ii> --out <profile.json> [--quick]
+  cocopelia predict --profile <profile.json> --routine <dgemm|sgemm|daxpy|ddot|dgemv>
+                    --dims <D1> [D2] [D3] [--loc <H|D per operand>] [--model <cso|eq1|eq2|bts|dr>]
+  cocopelia run     --testbed <i|ii> --profile <profile.json> --routine <...>
+                    --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
+  cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing subcommand".to_owned());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "deploy" => cmd_deploy(&args),
+        "predict" => cmd_predict(&args),
+        "run" => cmd_run(&args),
+        "gantt" => cmd_gantt(&args),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn testbed(args: &Args) -> Result<TestbedSpec, String> {
+    match args.get("testbed")?.as_str() {
+        "i" | "I" | "1" => Ok(testbed_i()),
+        "ii" | "II" | "2" => Ok(testbed_ii()),
+        other => Err(format!("unknown testbed `{other}` (expected i or ii)")),
+    }
+}
+
+fn load_profile(args: &Args) -> Result<SystemProfile, String> {
+    let path = args.get("profile")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    SystemProfile::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `(routine, dtype, dims)` from `--routine`/`--dims`.
+fn problem(args: &Args) -> Result<ProblemSpec, String> {
+    let routine = args.get("routine")?;
+    let dims = args.get_usize_list("dims")?;
+    let locs: Vec<Loc> = args
+        .get_opt("loc")
+        .unwrap_or_default()
+        .chars()
+        .map(|c| match c {
+            'H' | 'h' => Ok(Loc::Host),
+            'D' | 'd' => Ok(Loc::Device),
+            other => Err(format!("bad loc flag `{other}` (H or D)")),
+        })
+        .collect::<Result<_, _>>()?;
+    let loc = |i: usize| locs.get(i).copied().unwrap_or(Loc::Host);
+    let need = |n: usize| {
+        if dims.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{routine} needs {n} dims, got {}", dims.len()))
+        }
+    };
+    match routine.as_str() {
+        "dgemm" | "sgemm" => {
+            need(3)?;
+            let dt = if routine == "dgemm" { Dtype::F64 } else { Dtype::F32 };
+            Ok(ProblemSpec::gemm(dt, dims[0], dims[1], dims[2], loc(0), loc(1), loc(2), true))
+        }
+        "daxpy" => {
+            need(1)?;
+            Ok(ProblemSpec::axpy(Dtype::F64, dims[0], loc(0), loc(1)))
+        }
+        "ddot" => {
+            need(1)?;
+            Ok(ProblemSpec::dot(Dtype::F64, dims[0], loc(0), loc(1)))
+        }
+        "dgemv" => {
+            need(2)?;
+            Ok(ProblemSpec::gemv(Dtype::F64, dims[0], dims[1], loc(0), loc(1), loc(2), true))
+        }
+        other => Err(format!("unknown routine `{other}`")),
+    }
+}
+
+fn model(args: &Args) -> Result<Option<ModelKind>, String> {
+    Ok(match args.get_opt("model").as_deref() {
+        None => None,
+        Some("cso") => Some(ModelKind::Cso),
+        Some("eq1") | Some("baseline") => Some(ModelKind::Baseline),
+        Some("eq2") | Some("dataloc") => Some(ModelKind::DataLoc),
+        Some("bts") | Some("eq4") => Some(ModelKind::Bts),
+        Some("dr") | Some("eq5") => Some(ModelKind::DataReuse),
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+fn cmd_deploy(args: &Args) -> Result<(), String> {
+    let tb = testbed(args)?;
+    let out = args.get("out")?;
+    let cfg = if args.has_flag("quick") { DeployConfig::quick() } else { DeployConfig::paper() };
+    eprintln!("deploying on {} ({} transfer dims, {} gemm tiles) ...",
+        tb.name, cfg.transfer_dims.len(), cfg.gemm_tiles.len());
+    let report = deploy(&tb, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "h2d: t_l {:.2}us  {:.2} GB/s  sl {:.2}",
+        report.fit.h2d.t_l * 1e6,
+        1.0 / report.fit.h2d.t_b / 1e9,
+        report.fit.h2d.sl
+    );
+    println!(
+        "d2h: t_l {:.2}us  {:.2} GB/s  sl {:.2}",
+        report.fit.d2h.t_l * 1e6,
+        1.0 / report.fit.d2h.t_b / 1e9,
+        report.fit.d2h.sl
+    );
+    let json = report.profile.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("profile written to {out}");
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let profile = load_profile(args)?;
+    let spec = problem(args)?;
+    let kind = model(args)?.unwrap_or_else(|| ModelKind::recommended_for(spec.routine));
+    if kind == ModelKind::Cso {
+        return Err("the CSO comparator needs a measured full-kernel time; use the bench harness".into());
+    }
+    let exec = profile
+        .exec_table(spec.routine, spec.dtype)
+        .ok_or_else(|| format!("profile has no table for {}", spec.routine.name(spec.dtype)))?;
+    let ctx = ModelCtx { problem: &spec, transfer: &profile.transfer, exec, full_kernel_time: None };
+    let sel = TileSelector::default().select(kind, &ctx).map_err(|e| e.to_string())?;
+    println!("{} predictions for {}:", kind.name(), spec.routine.name(spec.dtype));
+    for p in &sel.evaluated {
+        let marker = if p.tile == sel.tile { "  <= T_best" } else { "" };
+        println!("  T={:<6} k={:<7} predicted {:>10.3} ms{marker}", p.tile, p.k, p.total * 1e3);
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let tb = testbed(args)?;
+    let profile = load_profile(args)?;
+    let spec = problem(args)?;
+    let choice = match args.get_opt("tile").as_deref() {
+        None | Some("auto") => TileChoice::Auto,
+        Some(t) => TileChoice::Fixed(t.parse().map_err(|_| format!("bad tile `{t}`"))?),
+    };
+    let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 0xC11), profile);
+    let dims = spec.dims();
+    let ghost_mat = |r: usize, c: usize| MatOperand::<f64>::HostGhost { rows: r, cols: c };
+    let report = match spec.routine {
+        cocopelia_core::params::RoutineClass::Gemm => {
+            let (m, n, k) = (dims[0], dims[1], dims[2]);
+            ctx.dgemm(1.0, ghost_mat(m, k), ghost_mat(k, n), 1.0, ghost_mat(m, n), choice)
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        cocopelia_core::params::RoutineClass::Axpy => {
+            let n = dims[0];
+            ctx.daxpy(
+                1.0,
+                VecOperand::HostGhost { len: n },
+                VecOperand::HostGhost { len: n },
+                choice,
+            )
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        cocopelia_core::params::RoutineClass::Dot => {
+            let n = dims[0];
+            ctx.ddot(VecOperand::HostGhost { len: n }, VecOperand::HostGhost { len: n }, choice)
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        cocopelia_core::params::RoutineClass::Gemv => {
+            let (m, n) = (dims[0], dims[1]);
+            ctx.dgemv(
+                1.0,
+                ghost_mat(m, n),
+                VecOperand::HostGhost { len: n },
+                1.0,
+                VecOperand::HostGhost { len: m },
+                choice,
+            )
+            .map_err(|e| e.to_string())?
+            .report
+        }
+    };
+    println!(
+        "T = {}  elapsed {:.3} ms  {:.1} GFLOP/s  ({} sub-kernels)",
+        report.tile,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.gflops(),
+        report.subkernels
+    );
+    Ok(())
+}
+
+fn cmd_gantt(args: &Args) -> Result<(), String> {
+    let tb = testbed(args)?;
+    let dims = args.get_usize_list("dims")?;
+    if dims.len() != 3 {
+        return Err("gantt needs --dims M N K".into());
+    }
+    let tile: usize = args.get("tile")?.parse().map_err(|_| "bad tile".to_owned())?;
+    let width: usize = args
+        .get_opt("width")
+        .map(|w| w.parse().map_err(|_| "bad width".to_owned()))
+        .transpose()?
+        .unwrap_or(100);
+    let dummy = SystemProfile::new(
+        "cli",
+        cocopelia_core::transfer::TransferModel {
+            h2d: cocopelia_core::transfer::LatBw { t_l: 0.0, t_b: 0.0 },
+            d2h: cocopelia_core::transfer::LatBw { t_l: 0.0, t_b: 0.0 },
+            sl_h2d: 1.0,
+            sl_d2h: 1.0,
+        },
+    );
+    let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 3), dummy);
+    ctx.dgemm(
+        1.0,
+        MatOperand::<f64>::HostGhost { rows: dims[0], cols: dims[2] },
+        MatOperand::HostGhost { rows: dims[2], cols: dims[1] },
+        1.0,
+        MatOperand::HostGhost { rows: dims[0], cols: dims[1] },
+        TileChoice::Fixed(tile),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", ctx.gpu().trace().gantt(width));
+    Ok(())
+}
+
+/// Minimal `--key value` / `--flag` parser (kept dependency-free).
+mod args_impl {
+    use super::HashMap;
+
+    #[derive(Debug, Default)]
+    pub struct Args {
+        values: HashMap<String, Vec<String>>,
+        flags: Vec<String>,
+    }
+
+    impl Args {
+        pub fn parse(argv: &[String]) -> Result<Args, String> {
+            let mut out = Args::default();
+            let mut i = 0;
+            while i < argv.len() {
+                let arg = &argv[i];
+                let Some(key) = arg.strip_prefix("--") else {
+                    return Err(format!("unexpected positional argument `{arg}`"));
+                };
+                let mut vals = Vec::new();
+                while i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    vals.push(argv[i + 1].clone());
+                    i += 1;
+                }
+                if vals.is_empty() {
+                    out.flags.push(key.to_owned());
+                } else {
+                    out.values.insert(key.to_owned(), vals);
+                }
+                i += 1;
+            }
+            Ok(out)
+        }
+
+        pub fn get(&self, key: &str) -> Result<String, String> {
+            self.get_opt(key).ok_or_else(|| format!("missing --{key}"))
+        }
+
+        pub fn get_opt(&self, key: &str) -> Option<String> {
+            self.values.get(key).map(|v| v.join(" "))
+        }
+
+        pub fn get_usize_list(&self, key: &str) -> Result<Vec<usize>, String> {
+            let vals = self.values.get(key).ok_or_else(|| format!("missing --{key}"))?;
+            vals.iter()
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --{key} value `{v}`")))
+                .collect()
+        }
+
+        pub fn has_flag(&self, key: &str) -> bool {
+            self.flags.iter().any(|f| f == key)
+        }
+    }
+}
+
+mod args {
+    //! Re-export of the dependency-free argument parser.
+    pub use super::args_impl::Args;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::args::Args;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_keys_values_and_flags() {
+        let a = Args::parse(&argv("--testbed ii --dims 1 2 3 --quick")).expect("parses");
+        assert_eq!(a.get("testbed").expect("present"), "ii");
+        assert_eq!(a.get_usize_list("dims").expect("present"), vec![1, 2, 3]);
+        assert!(a.has_flag("quick"));
+        assert!(a.get("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_positionals() {
+        assert!(Args::parse(&argv("stray")).is_err());
+    }
+
+    #[test]
+    fn subcommand_dispatch_rejects_unknown() {
+        assert!(super::run(&argv("frobnicate --x 1")).is_err());
+        assert!(super::run(&[]).is_err());
+    }
+
+    #[test]
+    fn problem_construction() {
+        let a = Args::parse(&argv("--routine dgemm --dims 64 32 16 --loc HDH")).expect("parses");
+        let p = super::problem(&a).expect("builds");
+        assert_eq!(p.dims(), vec![64, 32, 16]);
+        assert_eq!(p.operands[1].loc, cocopelia_core::params::Loc::Device);
+        let bad = Args::parse(&argv("--routine dgemm --dims 64")).expect("parses");
+        assert!(super::problem(&bad).is_err());
+    }
+}

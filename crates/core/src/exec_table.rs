@@ -1,0 +1,159 @@
+//! Empirical kernel-time lookup tables (`t_GPU^T` of §IV-A).
+//!
+//! The paper stores measured execution times for a grid of tiling sizes and
+//! performs value lookups at runtime. We keep the same design and add linear
+//! interpolation between grid points so remainder tiles and off-grid
+//! candidates can still be costed.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured per-tile kernel execution times over a grid of tiling sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTable {
+    /// `(tile_size, seconds)` pairs, sorted by tile size, unique sizes.
+    entries: Vec<(usize, f64)>,
+}
+
+impl ExecTable {
+    /// Builds a table from measurement pairs. Entries are sorted by tile
+    /// size; duplicate tile sizes keep the first occurrence.
+    pub fn new(mut pairs: Vec<(usize, f64)>) -> Self {
+        pairs.sort_by_key(|&(t, _)| t);
+        pairs.dedup_by_key(|&mut (t, _)| t);
+        ExecTable { entries: pairs }
+    }
+
+    /// The measured tiling-size grid, ascending.
+    pub fn tile_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(t, _)| t)
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact lookup of a measured tiling size.
+    pub fn lookup(&self, t: usize) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&t, |&(size, _)| size)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Lookup with linear interpolation between neighbouring grid points.
+    ///
+    /// Below the grid the time scales down from the smallest entry
+    /// proportionally to work; above the grid it extrapolates from the last
+    /// segment. Returns `None` only for an empty table.
+    pub fn interpolate(&self, t: usize) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if let Some(v) = self.lookup(t) {
+            return Some(v);
+        }
+        let pos = self.entries.partition_point(|&(size, _)| size < t);
+        let tf = t as f64;
+        Some(match pos {
+            0 => {
+                // Below the grid: scale the first entry by tile size ratio
+                // (conservative; small tiles are never faster per element).
+                let (t0, v0) = self.entries[0];
+                v0 * (tf / t0 as f64).max(0.0)
+            }
+            p if p == self.entries.len() => {
+                // Above the grid: extrapolate from the last segment, or
+                // scale proportionally when only one point exists.
+                if self.entries.len() >= 2 {
+                    let (ta, va) = self.entries[self.entries.len() - 2];
+                    let (tb, vb) = self.entries[self.entries.len() - 1];
+                    vb + (vb - va) / (tb - ta) as f64 * (tf - tb as f64)
+                } else {
+                    let (tb, vb) = self.entries[self.entries.len() - 1];
+                    vb * tf / tb as f64
+                }
+            }
+            p => {
+                let (ta, va) = self.entries[p - 1];
+                let (tb, vb) = self.entries[p];
+                let frac = (tf - ta as f64) / (tb - ta) as f64;
+                va + (vb - va) * frac
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ExecTable {
+        ExecTable::new(vec![(512, 2.0), (256, 1.0), (1024, 5.0)])
+    }
+
+    #[test]
+    fn sorted_and_deduped() {
+        let t = ExecTable::new(vec![(2, 9.0), (1, 1.0), (2, 3.0)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(2), Some(9.0)); // first occurrence wins
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let t = table();
+        assert_eq!(t.lookup(256), Some(1.0));
+        assert_eq!(t.lookup(512), Some(2.0));
+        assert_eq!(t.lookup(300), None);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let t = table();
+        let v = t.interpolate(384).expect("in range");
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolates_above_grid() {
+        let t = table();
+        // Last segment slope: (5-2)/(1024-512) per unit.
+        let v = t.interpolate(1536).expect("extrapolated");
+        assert!((v - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scales_below_grid() {
+        let t = table();
+        let v = t.interpolate(128).expect("scaled");
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let t = ExecTable::new(Vec::new());
+        assert_eq!(t.interpolate(100), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_entry_table() {
+        let t = ExecTable::new(vec![(100, 1.0)]);
+        assert_eq!(t.interpolate(100), Some(1.0));
+        assert!((t.interpolate(200).expect("scaled") - 2.0).abs() < 1e-12);
+        assert!((t.interpolate(50).expect("scaled") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = table();
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: ExecTable = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t, back);
+    }
+}

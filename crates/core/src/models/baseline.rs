@@ -1,0 +1,83 @@
+//! Eq. 1 — the baseline 3-way-concurrency model.
+//!
+//! Assumes every operand is both input and output and must be transferred
+//! in both directions for every sub-kernel (the `opd` multiplier of the
+//! paper), with per-tile kernel times taken from measurement:
+//!
+//! ```text
+//! t_total = max(t_GPU^T, t_in^T, t_out^T) · (k − 1) + t_in^T + t_GPU^T + t_out^T
+//! ```
+
+use super::{t_gpu_subkernel_avg, ModelCtx, ModelError, ModelKind, Prediction};
+
+pub(super) fn predict(ctx: &ModelCtx<'_>, t: usize) -> Result<Prediction, ModelError> {
+    let t_gpu = t_gpu_subkernel_avg(ctx, t)?;
+    let k = ctx.problem.subkernels(t);
+    // Every operand charged in both directions, per Eq. 1's opd multiplier.
+    let t_in: f64 = ctx
+        .problem
+        .operands
+        .iter()
+        .map(|o| ctx.transfer.t_h2d_f(o.avg_tile_bytes(t, ctx.problem.dtype)))
+        .sum();
+    let t_out: f64 = ctx
+        .problem
+        .operands
+        .iter()
+        .map(|o| ctx.transfer.t_d2h_f(o.avg_tile_bytes(t, ctx.problem.dtype)))
+        .sum();
+    let stage = t_gpu.max(t_in).max(t_out);
+    let total = stage * (k.saturating_sub(1)) as f64 + t_in + t_gpu + t_out;
+    Ok(Prediction {
+        model: ModelKind::Baseline,
+        tile: t,
+        total,
+        k,
+        t_gpu_tile: t_gpu,
+        t_in_tile: t_in,
+        t_out_tile: t_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::models::test_support::*;
+    use crate::models::{predict, ModelCtx, ModelKind};
+
+    #[test]
+    fn single_subkernel_is_sum_of_parts() {
+        let p = gemm_problem(256);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let pred = predict(ModelKind::Baseline, &ctx, 256).expect("predicts");
+        assert_eq!(pred.k, 1);
+        let expect = pred.t_in_tile + pred.t_gpu_tile + pred.t_out_tile;
+        assert!((pred.total - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_bound_by_dominant_stage() {
+        let p = gemm_problem(4096);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let pred = predict(ModelKind::Baseline, &ctx, 512).expect("predicts");
+        let stage = pred.t_gpu_tile.max(pred.t_in_tile).max(pred.t_out_tile);
+        let expect =
+            stage * (pred.k - 1) as f64 + pred.t_in_tile + pred.t_gpu_tile + pred.t_out_tile;
+        assert!((pred.total - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charges_all_operands_both_directions() {
+        let p = gemm_problem(1024);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let pred = predict(ModelKind::Baseline, &ctx, 512).expect("predicts");
+        // Three operands, each one 512x512 f64 tile each way.
+        let one = tr.t_h2d(512 * 512 * 8);
+        assert!((pred.t_in_tile - 3.0 * one).abs() < 1e-12);
+    }
+}

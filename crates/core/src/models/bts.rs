@@ -1,0 +1,100 @@
+//! Eq. 3–4 — the bidirectional-transfer-slowdown (BTS) model.
+//!
+//! Simultaneous h2d and d2h traffic share the interconnect; each direction
+//! slows by its `sl` factor while the other is active (§III-B2). The
+//! steady-state pipeline stage is therefore bounded by the *overlap time*
+//! `t_over` of Eq. 3 rather than by the larger of the two raw transfer
+//! times:
+//!
+//! ```text
+//! t_over  = Eq. 3 over (sl_h2d·t_in, sl_d2h·t_out)
+//! t_total = max(t_GPU^T, t_over) · (k − 1) + t_in + t_GPU^T + t_out     (Eq. 4)
+//! ```
+//!
+//! The fill/drain edge terms use uncontended times — at the pipeline edges
+//! only one direction is active.
+
+use super::dataloc::{t_in_tile, t_out_tile};
+use super::{t_gpu_subkernel_avg, ModelCtx, ModelError, ModelKind, Prediction};
+
+pub(super) fn predict(ctx: &ModelCtx<'_>, t: usize) -> Result<Prediction, ModelError> {
+    let t_gpu = t_gpu_subkernel_avg(ctx, t)?;
+    let k = ctx.problem.subkernels(t);
+    let t_in = t_in_tile(ctx, t, false);
+    let t_out = t_out_tile(ctx, t, false);
+    let t_in_bid = t_in_tile(ctx, t, true);
+    let t_out_bid = t_out_tile(ctx, t, true);
+    // Eq. 3: only meaningful when both directions actually carry traffic.
+    let t_over = if t_in > 0.0 && t_out > 0.0 {
+        ctx.transfer.t_overlap(t_in_bid, t_out_bid)
+    } else {
+        t_in.max(t_out)
+    };
+    let stage = t_gpu.max(t_over);
+    let total = stage * (k.saturating_sub(1)) as f64 + t_in + t_gpu + t_out;
+    Ok(Prediction {
+        model: ModelKind::Bts,
+        tile: t,
+        total,
+        k,
+        t_gpu_tile: t_gpu,
+        t_in_tile: t_in,
+        t_out_tile: t_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::models::test_support::*;
+    use crate::models::{predict, ModelCtx, ModelKind};
+    use crate::params::{Loc, ProblemSpec};
+    use cocopelia_hostblas::Dtype;
+
+    #[test]
+    fn reduces_to_dataloc_without_bidirectional_traffic() {
+        // beta = 0 and C the only host operand: transfers are d2h-only, so
+        // Eq. 3 degenerates and BTS == DataLoc.
+        let p = ProblemSpec::gemm(
+            Dtype::F64,
+            2048,
+            2048,
+            2048,
+            Loc::Device,
+            Loc::Device,
+            Loc::Host,
+            false,
+        );
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let d = predict(ModelKind::DataLoc, &ctx, 512).expect("dataloc");
+        let b = predict(ModelKind::Bts, &ctx, 512).expect("bts");
+        assert!((d.total - b.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_increases_transfer_bound_predictions() {
+        // axpy is transfer-bound with symmetric traffic: the BTS stage must
+        // exceed DataLoc's.
+        let p = ProblemSpec::axpy(Dtype::F64, 1 << 26, Loc::Host, Loc::Host);
+        let tr = transfer();
+        let ex = crate::exec_table::ExecTable::new(vec![(1 << 20, 1e-4), (1 << 24, 1.3e-3)]);
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let d = predict(ModelKind::DataLoc, &ctx, 1 << 22).expect("dataloc");
+        let b = predict(ModelKind::Bts, &ctx, 1 << 22).expect("bts");
+        assert!(b.total > d.total, "bts {} vs dataloc {}", b.total, d.total);
+    }
+
+    #[test]
+    fn compute_bound_problems_unaffected_by_slowdown() {
+        // Large exec times dominate the stage: BTS == DataLoc except for the
+        // identical edge terms.
+        let p = gemm_problem(4096);
+        let tr = transfer();
+        let ex = crate::exec_table::ExecTable::new(vec![(1024, 10.0)]); // absurdly slow GPU
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let d = predict(ModelKind::DataLoc, &ctx, 1024).expect("dataloc");
+        let b = predict(ModelKind::Bts, &ctx, 1024).expect("bts");
+        assert!((d.total - b.total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Eq. 2 — the data-location-aware model.
+//!
+//! Eq. 1 overestimates transfers by charging every operand in both
+//! directions; Eq. 2 replaces the `opd` multiplier with the `get_i`/`set_i`
+//! flags derived from each operand's initial residence and role:
+//!
+//! ```text
+//! t_in^T  = Σ_i get_i · t_h2d^T_i        t_out^T = Σ_i set_i · t_d2h^T_i
+//! t_total = max(t_GPU^T, t_in^T, t_out^T) · (k − 1) + t_in^T + t_GPU^T + t_out^T
+//! ```
+
+use super::{t_gpu_subkernel_avg, ModelCtx, ModelError, ModelKind, Prediction};
+
+/// Per-subkernel `get`-flagged h2d time (shared with the BTS/DR models).
+pub(super) fn t_in_tile(ctx: &ModelCtx<'_>, t: usize, bid: bool) -> f64 {
+    ctx.problem
+        .operands
+        .iter()
+        .filter(|o| o.get())
+        .map(|o| {
+            let bytes = o.avg_tile_bytes(t, ctx.problem.dtype);
+            if bid {
+                ctx.transfer.t_h2d_bid_f(bytes)
+            } else {
+                ctx.transfer.t_h2d_f(bytes)
+            }
+        })
+        .sum()
+}
+
+/// Per-subkernel `set`-flagged d2h time (shared with the BTS/DR models).
+pub(super) fn t_out_tile(ctx: &ModelCtx<'_>, t: usize, bid: bool) -> f64 {
+    ctx.problem
+        .operands
+        .iter()
+        .filter(|o| o.set())
+        .map(|o| {
+            let bytes = o.avg_tile_bytes(t, ctx.problem.dtype);
+            if bid {
+                ctx.transfer.t_d2h_bid_f(bytes)
+            } else {
+                ctx.transfer.t_d2h_f(bytes)
+            }
+        })
+        .sum()
+}
+
+pub(super) fn predict(ctx: &ModelCtx<'_>, t: usize) -> Result<Prediction, ModelError> {
+    let t_gpu = t_gpu_subkernel_avg(ctx, t)?;
+    let k = ctx.problem.subkernels(t);
+    let t_in = t_in_tile(ctx, t, false);
+    let t_out = t_out_tile(ctx, t, false);
+    let stage = t_gpu.max(t_in).max(t_out);
+    let total = stage * (k.saturating_sub(1)) as f64 + t_in + t_gpu + t_out;
+    Ok(Prediction {
+        model: ModelKind::DataLoc,
+        tile: t,
+        total,
+        k,
+        t_gpu_tile: t_gpu,
+        t_in_tile: t_in,
+        t_out_tile: t_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::models::test_support::*;
+    use crate::models::{predict, ModelCtx, ModelKind};
+    use crate::params::{Loc, ProblemSpec};
+    use cocopelia_hostblas::Dtype;
+
+    #[test]
+    fn resident_operands_cost_nothing() {
+        let p = ProblemSpec::gemm(
+            Dtype::F64,
+            2048,
+            2048,
+            2048,
+            Loc::Device,
+            Loc::Device,
+            Loc::Host,
+            true,
+        );
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let pred = predict(ModelKind::DataLoc, &ctx, 512).expect("predicts");
+        // Only C moves: one tile in, one tile out.
+        let one = tr.t_h2d(512 * 512 * 8);
+        assert!((pred.t_in_tile - one).abs() < 1e-12);
+        assert!(pred.t_out_tile > 0.0);
+    }
+
+    #[test]
+    fn equals_baseline_on_full_offload_inout_operands() {
+        // axpy with both vectors on host: x is input-only so Baseline (which
+        // charges x both ways) exceeds DataLoc.
+        let p = ProblemSpec::axpy(Dtype::F64, 1 << 24, Loc::Host, Loc::Host);
+        let tr = transfer();
+        let ex = crate::exec_table::ExecTable::new(vec![(1 << 20, 1e-4), (1 << 24, 1.2e-3)]);
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let base = predict(ModelKind::Baseline, &ctx, 1 << 20).expect("baseline");
+        let loc = predict(ModelKind::DataLoc, &ctx, 1 << 20).expect("dataloc");
+        assert!(loc.total < base.total);
+        // In: x and y tiles; out: y tile only.
+        assert!((loc.t_in_tile - 2.0 * tr.t_h2d((1 << 20) * 8)).abs() < 1e-12);
+        assert!((loc.t_out_tile - tr.t_d2h((1 << 20) * 8)).abs() < 1e-12);
+    }
+}

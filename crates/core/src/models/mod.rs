@@ -1,0 +1,399 @@
+//! The CoCoPeLia 3-way-concurrency offload-time models (§III) and the CSO
+//! comparator from prior work.
+//!
+//! All models are functions of the tiling size `T` and share the same
+//! empirical inputs ([`TransferModel`] coefficients and an [`ExecTable`] of
+//! per-tile kernel times), which is what makes their comparison fair
+//! (§V-C). They differ in which phenomena they acknowledge:
+//!
+//! | model | eq. | kernel time | transfers | bidirectional | reuse |
+//! |---|---|---|---|---|---|
+//! | [`Cso`](ModelKind::Cso) | Werkhoven et al. | linear (`t_full/k`) | all inputs+outputs | — | — |
+//! | [`Baseline`](ModelKind::Baseline) | Eq. 1 | measured per tile | every operand, both ways | — | — |
+//! | [`DataLoc`](ModelKind::DataLoc) | Eq. 2 | measured per tile | `get`/`set` flags | — | — |
+//! | [`Bts`](ModelKind::Bts) | Eq. 3–4 | measured per tile | `get`/`set` flags | `sl` factors | — |
+//! | [`DataReuse`](ModelKind::DataReuse) | Eq. 5 | measured per tile | each tile once | `sl` factors | full |
+
+mod baseline;
+mod bts;
+mod cso;
+mod dataloc;
+mod reuse;
+
+use crate::exec_table::ExecTable;
+use crate::params::{BlasLevel, ProblemSpec, RoutineClass};
+use crate::transfer::TransferModel;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Which offload-time model to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The CUDA-stream-overlap comparator of Werkhoven et al. [11].
+    Cso,
+    /// Eq. 1: pipelined overlap, every operand transferred both ways.
+    Baseline,
+    /// Eq. 2: adds `get`/`set` data-location awareness.
+    DataLoc,
+    /// Eq. 3–4: adds bidirectional transfer slowdown.
+    Bts,
+    /// Eq. 5: adds full data reuse (level-3 BLAS).
+    DataReuse,
+}
+
+impl ModelKind {
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Cso => "CSO-Model",
+            ModelKind::Baseline => "Baseline-Model",
+            ModelKind::DataLoc => "Dataloc-Model",
+            ModelKind::Bts => "BTS-Model",
+            ModelKind::DataReuse => "DR-Model",
+        }
+    }
+
+    /// The model §III-C recommends for a routine's BLAS level: BTS for
+    /// levels 1–2 (negligible working-set overlap), DR for level 3.
+    pub fn recommended_for(routine: RoutineClass) -> ModelKind {
+        match routine.level() {
+            BlasLevel::L1 | BlasLevel::L2 => ModelKind::Bts,
+            BlasLevel::L3 => ModelKind::DataReuse,
+        }
+    }
+
+    /// All models, in increasing order of sophistication.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::Cso,
+            ModelKind::Baseline,
+            ModelKind::DataLoc,
+            ModelKind::Bts,
+            ModelKind::DataReuse,
+        ]
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a model evaluation needs.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelCtx<'a> {
+    /// The BLAS problem being offloaded.
+    pub problem: &'a ProblemSpec,
+    /// Fitted transfer coefficients for the target system.
+    pub transfer: &'a TransferModel,
+    /// Measured per-tile kernel times for this routine/precision.
+    pub exec: &'a ExecTable,
+    /// Measured full-problem kernel time. Only the CSO comparator uses it
+    /// (its defining assumption is linear kernel scaling from the full
+    /// time); `None` is fine for the CoCoPeLia models.
+    pub full_kernel_time: Option<f64>,
+}
+
+/// Errors from model evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The exec table holds no measurements for this routine.
+    EmptyExecTable,
+    /// The CSO comparator requires a measured full-problem kernel time.
+    CsoNeedsFullKernelTime,
+    /// Tiling size must be positive.
+    ZeroTile,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyExecTable => write!(f, "execution-time table is empty"),
+            ModelError::CsoNeedsFullKernelTime => {
+                write!(f, "CSO model requires a measured full-problem kernel time")
+            }
+            ModelError::ZeroTile => write!(f, "tiling size must be positive"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A model's verdict for one `(problem, T)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Model that produced this prediction.
+    pub model: ModelKind,
+    /// Tiling size evaluated.
+    pub tile: usize,
+    /// Predicted total offload time in seconds.
+    pub total: f64,
+    /// Number of sub-kernels `k`.
+    pub k: usize,
+    /// Per-tile kernel time `t_GPU^T` used.
+    pub t_gpu_tile: f64,
+    /// Per-subkernel input transfer time used (model-specific meaning).
+    pub t_in_tile: f64,
+    /// Per-subkernel output transfer time used (model-specific meaning).
+    pub t_out_tile: f64,
+}
+
+/// Average per-sub-kernel kernel time, accounting for remainder tiles.
+///
+/// Each problem dimension splits into full `T` tiles plus at most one
+/// remainder; every sub-kernel is one combination of per-dimension tile
+/// extents. Its time is looked up in the measured table at the
+/// *cube-equivalent* size (the geometric mean of its extents), which keeps
+/// the table's small-kernel efficiency loss in the estimate. Equals
+/// `t_GPU^T` exactly when `T` divides every dimension — the case the
+/// paper's formulas assume.
+pub(crate) fn t_gpu_subkernel_avg(ctx: &ModelCtx<'_>, t: usize) -> Result<f64, ModelError> {
+    if ctx.exec.is_empty() {
+        return Err(ModelError::EmptyExecTable);
+    }
+    let dims = ctx.problem.dims();
+    // Per dimension: (extent, count) pairs of the 1-D split.
+    let splits: Vec<Vec<(usize, usize)>> = dims
+        .iter()
+        .map(|&d| {
+            let full = d / t;
+            let rem = d % t;
+            let mut v = Vec::new();
+            if full > 0 {
+                v.push((t, full));
+            }
+            if rem > 0 {
+                v.push((rem, 1));
+            }
+            if v.is_empty() {
+                v.push((d.max(1), 1));
+            }
+            v
+        })
+        .collect();
+    // Cartesian product over dimensions (at most 2^3 combos).
+    let mut combos: Vec<(f64, usize)> = vec![(1.0, 1)];
+    for dim_split in &splits {
+        let mut next = Vec::with_capacity(combos.len() * dim_split.len());
+        for &(vol, count) in &combos {
+            for &(extent, n) in dim_split {
+                next.push((vol * extent as f64, count * n));
+            }
+        }
+        combos = next;
+    }
+    let nd = dims.len() as f64;
+    let mut total = 0.0f64;
+    let mut k = 0usize;
+    for (vol, count) in combos {
+        let cube_equiv = vol.powf(1.0 / nd).round().max(1.0) as usize;
+        let per = ctx.exec.interpolate(cube_equiv).ok_or(ModelError::EmptyExecTable)?;
+        total += per * count as f64;
+        k += count;
+    }
+    Ok(total / k.max(1) as f64)
+}
+
+/// Evaluates `kind` for tiling size `t`.
+///
+/// # Errors
+///
+/// * [`ModelError::ZeroTile`] if `t == 0`.
+/// * [`ModelError::EmptyExecTable`] if no kernel measurements exist.
+/// * [`ModelError::CsoNeedsFullKernelTime`] for
+///   [`ModelKind::Cso`] without [`ModelCtx::full_kernel_time`].
+///
+/// # Example
+///
+/// ```
+/// use cocopelia_core::exec_table::ExecTable;
+/// use cocopelia_core::models::{predict, ModelCtx, ModelKind};
+/// use cocopelia_core::params::{Loc, ProblemSpec};
+/// use cocopelia_core::transfer::{LatBw, TransferModel};
+/// use cocopelia_hostblas::Dtype;
+///
+/// # fn main() -> Result<(), cocopelia_core::models::ModelError> {
+/// let problem = ProblemSpec::gemm(Dtype::F64, 4096, 4096, 4096,
+///     Loc::Host, Loc::Host, Loc::Host, true);
+/// let transfer = TransferModel {
+///     h2d: LatBw { t_l: 1e-5, t_b: 1e-10 },
+///     d2h: LatBw { t_l: 1e-5, t_b: 1e-10 },
+///     sl_h2d: 1.1,
+///     sl_d2h: 1.3,
+/// };
+/// let exec = ExecTable::new(vec![(1024, 0.002), (2048, 0.012)]);
+/// let ctx = ModelCtx { problem: &problem, transfer: &transfer, exec: &exec,
+///     full_kernel_time: None };
+/// let p = predict(ModelKind::DataReuse, &ctx, 1024)?;
+/// assert!(p.total > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn predict(kind: ModelKind, ctx: &ModelCtx<'_>, t: usize) -> Result<Prediction, ModelError> {
+    if t == 0 {
+        return Err(ModelError::ZeroTile);
+    }
+    match kind {
+        ModelKind::Cso => cso::predict(ctx, t),
+        ModelKind::Baseline => baseline::predict(ctx, t),
+        ModelKind::DataLoc => dataloc::predict(ctx, t),
+        ModelKind::Bts => bts::predict(ctx, t),
+        ModelKind::DataReuse => reuse::predict(ctx, t),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::transfer::LatBw;
+    use cocopelia_hostblas::Dtype;
+
+    /// A transfer model with convenient round numbers: 1 GB/s each way,
+    /// 10 µs latency, mild asymmetric slowdowns.
+    pub fn transfer() -> TransferModel {
+        TransferModel {
+            h2d: LatBw { t_l: 1e-5, t_b: 1e-9 },
+            d2h: LatBw { t_l: 1e-5, t_b: 1e-9 },
+            sl_h2d: 1.1,
+            sl_d2h: 1.4,
+        }
+    }
+
+    /// Synthetic exec table: tiles of size T take `T^3 * c` seconds plus
+    /// overhead, loosely gemm-like.
+    pub fn gemm_exec() -> ExecTable {
+        let entries = (1..=16)
+            .map(|i| {
+                let t = i * 256;
+                let secs = 1e-5 + (t as f64).powi(3) * 2.0 / 5e11;
+                (t, secs)
+            })
+            .collect();
+        ExecTable::new(entries)
+    }
+
+    pub fn gemm_problem(n: usize) -> ProblemSpec {
+        use crate::params::Loc;
+        ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use crate::params::Loc;
+    use cocopelia_hostblas::Dtype;
+
+    #[test]
+    fn recommended_models_follow_levels() {
+        assert_eq!(ModelKind::recommended_for(RoutineClass::Axpy), ModelKind::Bts);
+        assert_eq!(ModelKind::recommended_for(RoutineClass::Gemv), ModelKind::Bts);
+        assert_eq!(ModelKind::recommended_for(RoutineClass::Gemm), ModelKind::DataReuse);
+    }
+
+    #[test]
+    fn zero_tile_rejected() {
+        let p = gemm_problem(1024);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        assert_eq!(predict(ModelKind::Bts, &ctx, 0), Err(ModelError::ZeroTile));
+    }
+
+    #[test]
+    fn empty_exec_table_rejected() {
+        let p = gemm_problem(1024);
+        let tr = transfer();
+        let ex = ExecTable::new(Vec::new());
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        assert_eq!(predict(ModelKind::Baseline, &ctx, 256), Err(ModelError::EmptyExecTable));
+    }
+
+    #[test]
+    fn cso_requires_full_kernel_time() {
+        let p = gemm_problem(1024);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        assert_eq!(predict(ModelKind::Cso, &ctx, 256), Err(ModelError::CsoNeedsFullKernelTime));
+    }
+
+    #[test]
+    fn all_models_positive_and_finite() {
+        let p = gemm_problem(4096);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: Some(0.1) };
+        for kind in ModelKind::all() {
+            let pred = predict(kind, &ctx, 1024).expect("predicts");
+            assert!(pred.total.is_finite() && pred.total > 0.0, "{kind}: {}", pred.total);
+            assert_eq!(pred.k, 64);
+        }
+    }
+
+    #[test]
+    fn location_awareness_reduces_predicted_time() {
+        // Same problem, but B resident on device: DataLoc must predict less
+        // than Baseline, which charges every operand both ways.
+        let tr = transfer();
+        let ex = gemm_exec();
+        let full = gemm_problem(4096);
+        let part = ProblemSpec::gemm(
+            Dtype::F64,
+            4096,
+            4096,
+            4096,
+            Loc::Host,
+            Loc::Device,
+            Loc::Host,
+            true,
+        );
+        let ctx_full =
+            ModelCtx { problem: &full, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx_part =
+            ModelCtx { problem: &part, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let t = 512;
+        let base = predict(ModelKind::Baseline, &ctx_full, t).expect("baseline");
+        let loc_full = predict(ModelKind::DataLoc, &ctx_full, t).expect("dataloc full");
+        let loc_part = predict(ModelKind::DataLoc, &ctx_part, t).expect("dataloc part");
+        assert!(loc_full.total <= base.total);
+        assert!(loc_part.total < loc_full.total);
+    }
+
+    #[test]
+    fn bts_never_faster_than_dataloc() {
+        // Slowdown factors only ever add time.
+        let p = gemm_problem(4096);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        for t in [256, 512, 1024, 2048] {
+            let d = predict(ModelKind::DataLoc, &ctx, t).expect("dataloc");
+            let b = predict(ModelKind::Bts, &ctx, t).expect("bts");
+            assert!(b.total >= d.total - 1e-12, "T={t}: {} < {}", b.total, d.total);
+        }
+    }
+
+    #[test]
+    fn reuse_cheaper_than_bts_for_transfer_bound_gemm() {
+        // With reuse each A/B tile moves once instead of once per subkernel.
+        let p = gemm_problem(8192);
+        let tr = transfer();
+        let ex = gemm_exec();
+        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let t = 512;
+        let bts = predict(ModelKind::Bts, &ctx, t).expect("bts");
+        let dr = predict(ModelKind::DataReuse, &ctx, t).expect("dr");
+        assert!(dr.total < bts.total, "DR {} should beat BTS {}", dr.total, bts.total);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::Bts.to_string(), "BTS-Model");
+        assert_eq!(ModelKind::all().len(), 5);
+    }
+}

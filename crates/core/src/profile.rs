@@ -1,0 +1,101 @@
+//! The deployment artifact: fitted transfer coefficients plus per-routine
+//! execution tables for one machine.
+//!
+//! `cocopelia-deploy` produces a [`SystemProfile`] by running the §IV-A
+//! micro-benchmarks once per system; the runtime then consults it for every
+//! tiling-size decision. The profile serialises to JSON so deployment is a
+//! one-off cost, exactly as in the paper.
+
+use crate::exec_table::ExecTable;
+use crate::params::RoutineClass;
+use crate::transfer::TransferModel;
+use cocopelia_hostblas::Dtype;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fitted model parameters for one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemProfile {
+    /// Name of the profiled testbed.
+    pub testbed: String,
+    /// The six fitted transfer coefficients (§IV-A, Table II).
+    pub transfer: TransferModel,
+    /// Per-routine execution-time tables, keyed by canonical routine name
+    /// (`"dgemm"`, `"saxpy"`, …).
+    pub exec: BTreeMap<String, ExecTable>,
+}
+
+impl SystemProfile {
+    /// Creates an empty profile (no kernel tables yet).
+    pub fn new(testbed: impl Into<String>, transfer: TransferModel) -> Self {
+        SystemProfile { testbed: testbed.into(), transfer, exec: BTreeMap::new() }
+    }
+
+    /// Stores the execution table for a routine/precision pair.
+    pub fn insert_exec(&mut self, routine: RoutineClass, dtype: Dtype, table: ExecTable) {
+        self.exec.insert(routine.name(dtype), table);
+    }
+
+    /// Execution table for a routine/precision pair, if benchmarked.
+    pub fn exec_table(&self, routine: RoutineClass, dtype: Dtype) -> Option<&ExecTable> {
+        self.exec.get(&routine.name(dtype))
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (effectively unreachable for this
+    /// data shape).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a profile previously produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::LatBw;
+
+    fn profile() -> SystemProfile {
+        let transfer = TransferModel {
+            h2d: LatBw { t_l: 1e-5, t_b: 1e-9 },
+            d2h: LatBw { t_l: 1e-5, t_b: 1.1e-9 },
+            sl_h2d: 1.0,
+            sl_d2h: 1.2,
+        };
+        let mut p = SystemProfile::new("test", transfer);
+        p.insert_exec(RoutineClass::Gemm, Dtype::F64, ExecTable::new(vec![(256, 1e-3)]));
+        p
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let p = profile();
+        assert!(p.exec_table(RoutineClass::Gemm, Dtype::F64).is_some());
+        assert!(p.exec_table(RoutineClass::Gemm, Dtype::F32).is_none());
+        assert!(p.exec_table(RoutineClass::Axpy, Dtype::F64).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = profile();
+        let json = p.to_json().expect("serialize");
+        let back = SystemProfile::from_json(&json).expect("parse");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        assert!(SystemProfile::from_json("{not json").is_err());
+    }
+}

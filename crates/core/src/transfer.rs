@@ -1,0 +1,171 @@
+//! Transfer-time sub-models: the latency/bandwidth form of §IV-A.
+//!
+//! `t(bytes) = t_l + t_b · bytes` per direction, plus the bidirectional
+//! slowdown factors `sl` applied while the opposite direction is in use.
+//! Coefficients are fitted by `cocopelia-deploy` from micro-benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// One direction's latency/bandwidth coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatBw {
+    /// Setup latency `t_l` in seconds.
+    pub t_l: f64,
+    /// Inverse bandwidth `t_b` in seconds per byte.
+    pub t_b: f64,
+}
+
+impl LatBw {
+    /// Predicted transfer time for `bytes`.
+    pub fn time(&self, bytes: usize) -> f64 {
+        self.t_l + self.t_b * bytes as f64
+    }
+
+    /// Predicted transfer time for a fractional (averaged) byte count.
+    pub fn time_f(&self, bytes: f64) -> f64 {
+        self.t_l + self.t_b * bytes
+    }
+
+    /// Effective bandwidth `1/t_b` in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        1.0 / self.t_b
+    }
+}
+
+/// The six fitted transfer parameters of §IV-A: `t_l`, `t_b`, `sl` for each
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Host-to-device coefficients.
+    pub h2d: LatBw,
+    /// Device-to-host coefficients.
+    pub d2h: LatBw,
+    /// h2d slowdown while d2h is simultaneously active.
+    pub sl_h2d: f64,
+    /// d2h slowdown while h2d is simultaneously active.
+    pub sl_d2h: f64,
+}
+
+impl TransferModel {
+    /// Unidirectional h2d transfer time for `bytes`.
+    pub fn t_h2d(&self, bytes: usize) -> f64 {
+        self.h2d.time(bytes)
+    }
+
+    /// Unidirectional h2d transfer time for a fractional byte count.
+    pub fn t_h2d_f(&self, bytes: f64) -> f64 {
+        self.h2d.time_f(bytes)
+    }
+
+    /// Unidirectional d2h transfer time for a fractional byte count.
+    pub fn t_d2h_f(&self, bytes: f64) -> f64 {
+        self.d2h.time_f(bytes)
+    }
+
+    /// Contended h2d transfer time for a fractional byte count.
+    pub fn t_h2d_bid_f(&self, bytes: f64) -> f64 {
+        self.sl_h2d * self.t_h2d_f(bytes)
+    }
+
+    /// Contended d2h transfer time for a fractional byte count.
+    pub fn t_d2h_bid_f(&self, bytes: f64) -> f64 {
+        self.sl_d2h * self.t_d2h_f(bytes)
+    }
+
+    /// Unidirectional d2h transfer time for `bytes`.
+    pub fn t_d2h(&self, bytes: usize) -> f64 {
+        self.d2h.time(bytes)
+    }
+
+    /// h2d transfer time while the d2h link is continuously busy
+    /// (`t_h2d,bid = sl_h2d · t_h2d`).
+    pub fn t_h2d_bid(&self, bytes: usize) -> f64 {
+        self.sl_h2d * self.t_h2d(bytes)
+    }
+
+    /// d2h transfer time while the h2d link is continuously busy.
+    pub fn t_d2h_bid(&self, bytes: usize) -> f64 {
+        self.sl_d2h * self.t_d2h(bytes)
+    }
+
+    /// The paper's Eq. 3: total wall time of an h2d transfer that would take
+    /// `t_in_bid` fully-contended, overlapped with a d2h transfer that would
+    /// take `t_out_bid` fully-contended. The shorter transfer completes
+    /// under contention; the remainder of the longer one then proceeds at
+    /// full (uncontended) speed.
+    pub fn t_overlap(&self, t_in_bid: f64, t_out_bid: f64) -> f64 {
+        if t_in_bid >= t_out_bid {
+            t_out_bid + (t_in_bid - t_out_bid) / self.sl_h2d
+        } else {
+            t_in_bid + (t_out_bid - t_in_bid) / self.sl_d2h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransferModel {
+        TransferModel {
+            h2d: LatBw { t_l: 1e-5, t_b: 1e-9 }, // 1 GB/s
+            d2h: LatBw { t_l: 2e-5, t_b: 2e-9 }, // 0.5 GB/s
+            sl_h2d: 1.2,
+            sl_d2h: 1.5,
+        }
+    }
+
+    #[test]
+    fn latency_bandwidth_form() {
+        let m = model();
+        assert!((m.t_h2d(0) - 1e-5).abs() < 1e-15);
+        assert!((m.t_h2d(1_000_000_000) - 1.00001).abs() < 1e-9);
+        assert!((m.h2d.bandwidth() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn bid_scales_by_sl() {
+        let m = model();
+        assert!((m.t_h2d_bid(1000) - 1.2 * m.t_h2d(1000)).abs() < 1e-15);
+        assert!((m.t_d2h_bid(1000) - 1.5 * m.t_d2h(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_equal_durations_is_identity() {
+        let m = model();
+        assert!((m.t_overlap(3.0, 3.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_longer_in() {
+        let m = model();
+        // 1.2s of contended remainder shrinks by sl_h2d.
+        let t = m.t_overlap(4.2, 3.0);
+        assert!((t - (3.0 + 1.2 / 1.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_longer_out() {
+        let m = model();
+        let t = m.t_overlap(1.0, 4.0);
+        assert!((t - (1.0 + 3.0 / 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_bounded_by_max_and_sum() {
+        let m = model();
+        for (a, b) in [(1.0, 2.0), (5.0, 0.1), (2.2, 2.2)] {
+            let t = m.t_overlap(a, b);
+            assert!(t >= a.max(b) / m.sl_h2d.max(m.sl_d2h));
+            assert!(t <= a + b);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = model();
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: TransferModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end deployment: run every §IV-A micro-benchmark on a testbed and
+//! assemble the [`SystemProfile`] the runtime consumes.
+
+use crate::exec_bench::exec_table;
+use crate::microbench::{fit_sweep, transfer_sweep, DirFit, Direction};
+use crate::stats::CiConfig;
+use cocopelia_core::params::RoutineClass;
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::transfer::{LatBw, TransferModel};
+use cocopelia_gpusim::{SimError, TestbedSpec};
+use cocopelia_hostblas::Dtype;
+use serde::{Deserialize, Serialize};
+
+/// Which micro-benchmarks to run and at what granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployConfig {
+    /// Square-transfer dimensions `D` for the bandwidth sweeps (bytes are
+    /// `8·D²`).
+    pub transfer_dims: Vec<usize>,
+    /// Tiling-size grid for the gemm execution tables.
+    pub gemm_tiles: Vec<usize>,
+    /// Tiling-size grid for the axpy execution tables.
+    pub axpy_tiles: Vec<usize>,
+    /// Tiling-size grid for the gemv execution tables (the paper's
+    /// extension-skeleton routine).
+    pub gemv_tiles: Vec<usize>,
+    /// Which routine/precision pairs to benchmark.
+    pub routines: Vec<(RoutineClass, Dtype)>,
+    /// Repetition policy.
+    pub ci: CiConfig,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl DeployConfig {
+    /// The paper's full grids: 64 square transfers (`D = 256..16384/256`),
+    /// 64 gemm tiles (`T = 256..16384/256`), 256 axpy tiles
+    /// (`N = 2^18..2^26` step `2^18`), for {dgemm, sgemm, daxpy} plus the
+    /// ddot and dgemv extension routines.
+    pub fn paper() -> Self {
+        DeployConfig {
+            transfer_dims: (1..=64).map(|i| i * 256).collect(),
+            gemm_tiles: (1..=64).map(|i| i * 256).collect(),
+            axpy_tiles: (1..=256).map(|i| i << 18).collect(),
+            gemv_tiles: (1..=32).map(|i| i * 512).collect(),
+            routines: vec![
+                (RoutineClass::Gemm, Dtype::F64),
+                (RoutineClass::Gemm, Dtype::F32),
+                (RoutineClass::Axpy, Dtype::F64),
+                (RoutineClass::Dot, Dtype::F64),
+                (RoutineClass::Gemv, Dtype::F64),
+            ],
+            ci: CiConfig::default(),
+            seed: 0xC0C0,
+        }
+    }
+
+    /// A reduced grid for tests and examples: same structure, ~10x fewer
+    /// points.
+    pub fn quick() -> Self {
+        DeployConfig {
+            transfer_dims: (1..=8).map(|i| i * 1024).collect(),
+            gemm_tiles: (1..=16).map(|i| i * 512).collect(),
+            axpy_tiles: (1..=16).map(|i| i << 21).collect(),
+            gemv_tiles: (1..=8).map(|i| i * 1024).collect(),
+            routines: vec![
+                (RoutineClass::Gemm, Dtype::F64),
+                (RoutineClass::Gemm, Dtype::F32),
+                (RoutineClass::Axpy, Dtype::F64),
+                (RoutineClass::Dot, Dtype::F64),
+                (RoutineClass::Gemv, Dtype::F64),
+            ],
+            ci: CiConfig::default(),
+            seed: 0xC0C0,
+        }
+    }
+}
+
+/// Fitted transfer coefficients for both directions (the content of
+/// Table II for one testbed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferFit {
+    /// Host-to-device row.
+    pub h2d: DirFit,
+    /// Device-to-host row.
+    pub d2h: DirFit,
+}
+
+/// Everything deployment produces: the runtime profile plus the fit
+/// diagnostics the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentReport {
+    /// The runtime-consumable profile.
+    pub profile: SystemProfile,
+    /// Table II-style fit diagnostics.
+    pub fit: TransferFit,
+}
+
+/// Runs the complete §IV-A deployment on `testbed`.
+///
+/// # Errors
+///
+/// Propagates simulator failures (e.g. a tiling grid whose largest kernel
+/// exceeds device memory in functional mode — deployment always runs
+/// timing-only, so this is effectively unreachable for sane grids).
+///
+/// # Example
+///
+/// ```no_run
+/// use cocopelia_deploy::{deploy, DeployConfig};
+/// use cocopelia_gpusim::testbed_ii;
+///
+/// let report = deploy(&testbed_ii(), &DeployConfig::quick()).expect("deploys");
+/// println!("h2d bandwidth: {:.2} GB/s", 1.0 / report.fit.h2d.t_b / 1e9);
+/// ```
+pub fn deploy(testbed: &TestbedSpec, cfg: &DeployConfig) -> Result<DeploymentReport, SimError> {
+    let h2d_sweep =
+        transfer_sweep(testbed, Direction::H2d, &cfg.transfer_dims, &cfg.ci, cfg.seed)?;
+    let d2h_sweep =
+        transfer_sweep(testbed, Direction::D2h, &cfg.transfer_dims, &cfg.ci, cfg.seed ^ 0x5a5a)?;
+    let h2d = fit_sweep(&h2d_sweep);
+    let d2h = fit_sweep(&d2h_sweep);
+    let transfer = TransferModel {
+        h2d: LatBw { t_l: h2d.t_l, t_b: h2d.t_b },
+        d2h: LatBw { t_l: d2h.t_l, t_b: d2h.t_b },
+        sl_h2d: h2d.sl.max(1.0),
+        sl_d2h: d2h.sl.max(1.0),
+    };
+    let mut profile = SystemProfile::new(testbed.name.clone(), transfer);
+    for &(routine, dtype) in &cfg.routines {
+        let tiles = match routine {
+            RoutineClass::Gemm => &cfg.gemm_tiles,
+            RoutineClass::Axpy | RoutineClass::Dot => &cfg.axpy_tiles,
+            RoutineClass::Gemv => &cfg.gemv_tiles,
+        };
+        let table = exec_table(testbed, routine, dtype, tiles, &cfg.ci, cfg.seed)?;
+        profile.insert_exec(routine, dtype, table);
+    }
+    Ok(DeploymentReport { profile, fit: TransferFit { h2d, d2h } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocopelia_gpusim::{testbed_i, NoiseSpec};
+
+    #[test]
+    fn quick_deploy_produces_complete_profile() {
+        let mut tb = testbed_i();
+        tb.noise = NoiseSpec::NONE;
+        let mut cfg = DeployConfig::quick();
+        cfg.transfer_dims = vec![512, 1024, 2048];
+        cfg.gemm_tiles = vec![256, 512];
+        cfg.axpy_tiles = vec![1 << 20, 1 << 22];
+        cfg.gemv_tiles = vec![1024];
+        let report = deploy(&tb, &cfg).expect("deploys");
+        let p = &report.profile;
+        assert_eq!(p.testbed, tb.name);
+        assert!(p.exec_table(RoutineClass::Gemm, Dtype::F64).is_some());
+        assert!(p.exec_table(RoutineClass::Gemm, Dtype::F32).is_some());
+        assert!(p.exec_table(RoutineClass::Axpy, Dtype::F64).is_some());
+        assert!(p.exec_table(RoutineClass::Gemv, Dtype::F64).is_some());
+        // Fitted bandwidth within 1% of simulator ground truth.
+        let truth = 1.0 / tb.link.h2d.bandwidth_bps;
+        assert!((report.fit.h2d.t_b - truth).abs() / truth < 0.01);
+        // Slowdowns clamp at >= 1.
+        assert!(p.transfer.sl_h2d >= 1.0 && p.transfer.sl_d2h >= 1.0);
+    }
+
+    #[test]
+    fn report_serialises() {
+        let mut tb = testbed_i();
+        tb.noise = NoiseSpec::NONE;
+        let mut cfg = DeployConfig::quick();
+        cfg.transfer_dims = vec![512, 1024];
+        cfg.gemm_tiles = vec![256];
+        cfg.axpy_tiles = vec![1 << 20];
+        cfg.gemv_tiles = vec![512];
+        cfg.routines = vec![(RoutineClass::Gemm, Dtype::F64)];
+        let report = deploy(&tb, &cfg).expect("deploys");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: DeploymentReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(report, back);
+    }
+}

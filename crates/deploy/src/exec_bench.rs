@@ -1,0 +1,136 @@
+//! Kernel execution-time micro-benchmarks (§IV-A, second half): measure
+//! `t_GPU^T` for a grid of tiling sizes per routine and store the results in
+//! an [`ExecTable`] for runtime lookup.
+
+use crate::stats::{measure_until_ci, CiConfig};
+use cocopelia_core::exec_table::ExecTable;
+use cocopelia_core::params::RoutineClass;
+use cocopelia_gpusim::{ExecMode, Gpu, KernelShape, SimError, TestbedSpec};
+use cocopelia_hostblas::Dtype;
+
+/// Kernel shape for a square tile of size `t` of the given routine.
+pub fn tile_shape(routine: RoutineClass, dtype: Dtype, t: usize) -> KernelShape {
+    match routine {
+        RoutineClass::Axpy => KernelShape::Axpy { dtype, n: t },
+        RoutineClass::Dot => KernelShape::Dot { dtype, n: t },
+        RoutineClass::Gemv => KernelShape::Gemv { dtype, m: t, n: t },
+        RoutineClass::Gemm => KernelShape::Gemm { dtype, m: t, n: t, k: t },
+    }
+}
+
+/// Measures one kernel's execution time (CI-converged mean) on a fresh
+/// timing-only device.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn measure_kernel(
+    testbed: &TestbedSpec,
+    shape: KernelShape,
+    ci: &CiConfig,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let mut gpu = Gpu::new(testbed.clone(), ExecMode::TimingOnly, seed);
+    let stream = gpu.create_stream();
+    let mut err = None;
+    let m = measure_until_ci(ci, || {
+        let t0 = gpu.now();
+        if let Err(e) = gpu.launch_kernel(stream, shape, None) {
+            err = Some(e);
+            return 1.0;
+        }
+        match gpu.synchronize() {
+            Ok(now) => (now - t0).as_secs_f64(),
+            Err(e) => {
+                err = Some(e);
+                1.0
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(m.mean),
+    }
+}
+
+/// Measures the full execution-time table for one routine/precision over a
+/// tiling-size grid.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn exec_table(
+    testbed: &TestbedSpec,
+    routine: RoutineClass,
+    dtype: Dtype,
+    tiles: &[usize],
+    ci: &CiConfig,
+    seed: u64,
+) -> Result<ExecTable, SimError> {
+    let mut entries = Vec::with_capacity(tiles.len());
+    for (i, &t) in tiles.iter().enumerate() {
+        let shape = tile_shape(routine, dtype, t);
+        let secs = measure_kernel(testbed, shape, ci, seed.wrapping_add(i as u64))?;
+        entries.push((t, secs));
+    }
+    Ok(ExecTable::new(entries))
+}
+
+/// Measures a *full problem's* kernel-only execution time — the input the
+/// CSO comparator requires (Werkhoven et al. take the unsplit kernel time
+/// as given).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn measure_full_kernel(
+    testbed: &TestbedSpec,
+    shape: KernelShape,
+    ci: &CiConfig,
+    seed: u64,
+) -> Result<f64, SimError> {
+    measure_kernel(testbed, shape, ci, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocopelia_gpusim::{kernel_time, testbed_i, NoiseSpec};
+
+    fn quiet() -> TestbedSpec {
+        let mut tb = testbed_i();
+        tb.noise = NoiseSpec::NONE;
+        tb
+    }
+
+    #[test]
+    fn measured_kernel_matches_ground_truth_without_noise() {
+        let tb = quiet();
+        let shape = KernelShape::Gemm { dtype: Dtype::F64, m: 1024, n: 1024, k: 1024 };
+        let measured = measure_kernel(&tb, shape, &CiConfig::default(), 3).expect("measures");
+        let truth = kernel_time(&tb.gpu, &shape);
+        assert!((measured - truth).abs() / truth < 1e-6, "{measured} vs {truth}");
+    }
+
+    #[test]
+    fn table_covers_grid_and_is_monotone_for_gemm() {
+        let tb = quiet();
+        let tiles = [256, 512, 1024, 2048];
+        let table = exec_table(&tb, RoutineClass::Gemm, Dtype::F64, &tiles, &CiConfig::default(), 5)
+            .expect("table");
+        assert_eq!(table.len(), 4);
+        let times: Vec<f64> = tiles.iter().map(|&t| table.lookup(t).expect("entry")).collect();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "gemm tile time must grow with T: {times:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_measurement_close_to_truth() {
+        let tb = testbed_i();
+        let shape = KernelShape::Axpy { dtype: Dtype::F64, n: 1 << 22 };
+        let measured = measure_kernel(&tb, shape, &CiConfig::default(), 17).expect("measures");
+        let truth = kernel_time(&tb.gpu, &shape);
+        assert!((measured - truth).abs() / truth < 0.05, "{measured} vs {truth}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # cocopelia-deploy
+//!
+//! The deployment module of the CoCoPeLia framework (§IV-A): automatic,
+//! offline instantiation of the prediction models on a target system.
+//!
+//! * [`microbench`] — transfer latency probes, 64-sample square-transfer
+//!   bandwidth sweeps, and bidirectional-coupling sweeps.
+//! * [`exec_bench`] — per-tile kernel execution-time tables and full-problem
+//!   kernel timings (the CSO comparator's input).
+//! * [`stats`] — the 95 %-CI convergence loop and zero-intercept least
+//!   squares the paper prescribes.
+//! * [`deploy`](fn@deploy) — one call that produces a complete
+//!   [`SystemProfile`](cocopelia_core::profile::SystemProfile) plus the
+//!   Table II fit diagnostics.
+//!
+//! Deployment is a one-off cost per machine; the resulting profile
+//! serialises to JSON (see
+//! [`SystemProfile::to_json`](cocopelia_core::profile::SystemProfile::to_json)).
+
+#![deny(missing_docs)]
+
+pub mod exec_bench;
+pub mod microbench;
+pub mod stats;
+
+mod deploy;
+
+pub use deploy::{deploy, DeployConfig, DeploymentReport, TransferFit};
+pub use exec_bench::{exec_table, measure_full_kernel, measure_kernel, tile_shape};
+pub use microbench::{fit_sweep, transfer_sweep, DirFit, Direction, TransferSweep};
+pub use stats::{fit_zero_intercept, geomean, measure_until_ci, CiConfig, Measurement};

@@ -1,0 +1,199 @@
+//! Measurement statistics: confidence-interval-driven repetition and
+//! zero-intercept least squares, as prescribed by §IV-A.
+
+/// Repetition policy: repeat a measurement "until the 95 % confidence
+/// interval of the mean falls within 5 % of the reported mean value".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CiConfig {
+    /// Target half-width of the 95 % CI relative to the mean (paper: 0.05).
+    pub rel_halfwidth: f64,
+    /// Samples taken before convergence is first checked.
+    pub min_samples: usize,
+    /// Hard cap on repetitions.
+    pub max_samples: usize,
+}
+
+impl Default for CiConfig {
+    fn default() -> Self {
+        CiConfig { rel_halfwidth: 0.05, min_samples: 5, max_samples: 200 }
+    }
+}
+
+/// A converged repeated measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Number of samples taken.
+    pub n: usize,
+    /// Whether the CI criterion was met (false if `max_samples` hit first).
+    pub converged: bool,
+}
+
+/// Runs `sample` repeatedly until the 95 % CI criterion of `cfg` holds.
+///
+/// # Panics
+///
+/// Panics if `cfg.min_samples == 0`.
+pub fn measure_until_ci(cfg: &CiConfig, mut sample: impl FnMut() -> f64) -> Measurement {
+    assert!(cfg.min_samples > 0, "need at least one sample");
+    let mut xs: Vec<f64> = Vec::with_capacity(cfg.min_samples);
+    loop {
+        xs.push(sample());
+        if xs.len() < cfg.min_samples {
+            continue;
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = if xs.len() > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let halfwidth = 1.96 * std / n.sqrt();
+        let converged = mean > 0.0 && halfwidth <= cfg.rel_halfwidth * mean;
+        if converged || xs.len() >= cfg.max_samples {
+            return Measurement { mean, std, n: xs.len(), converged };
+        }
+    }
+}
+
+/// Result of a zero-intercept least-squares regression `y ≈ slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroInterceptFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Residual standard error `sqrt(Σr²/(n−1))`.
+    pub rse: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+/// Fits `y = slope·x` by least squares with the intercept pinned at zero
+/// (the paper excludes `t_l` from the regression "assuming zero intercept").
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length, are empty, or `Σx² == 0`.
+pub fn fit_zero_intercept(xs: &[f64], ys: &[f64]) -> ZeroInterceptFit {
+    assert_eq!(xs.len(), ys.len(), "length mismatch {} vs {}", xs.len(), ys.len());
+    assert!(!xs.is_empty(), "cannot fit zero points");
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    assert!(sxx > 0.0, "degenerate regressor");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let slope = sxy / sxx;
+    let denom = (xs.len().max(2) - 1) as f64;
+    let rse = (xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let r = y - slope * x;
+            r * r
+        })
+        .sum::<f64>()
+        / denom)
+        .sqrt();
+    ZeroInterceptFit { slope, rse, n: xs.len() }
+}
+
+/// Geometric mean of strictly-positive values (used for Table IV summaries).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or any value is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of nothing");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_converges_immediately() {
+        let m = measure_until_ci(&CiConfig::default(), || 2.0);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.n, 5);
+        assert!(m.converged);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn noisy_signal_takes_more_samples() {
+        let mut i = 0usize;
+        let m = measure_until_ci(&CiConfig { rel_halfwidth: 0.01, ..Default::default() }, || {
+            i += 1;
+            // ±10% alternating noise around 1.0.
+            if i % 2 == 0 {
+                1.1
+            } else {
+                0.9
+            }
+        });
+        assert!(m.n > 5, "took {} samples", m.n);
+        assert!((m.mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cap_prevents_infinite_loops() {
+        let mut i = 0.0f64;
+        let cfg = CiConfig { rel_halfwidth: 1e-9, min_samples: 2, max_samples: 10 };
+        let m = measure_until_ci(&cfg, || {
+            i += 1.0;
+            i // wildly non-stationary
+        });
+        assert_eq!(m.n, 10);
+        assert!(!m.converged);
+    }
+
+    #[test]
+    fn zero_intercept_recovers_exact_slope() {
+        let xs: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x).collect();
+        let fit = fit_zero_intercept(&xs, &ys);
+        assert!((fit.slope - 3.5).abs() < 1e-12);
+        assert!(fit.rse < 1e-12);
+    }
+
+    #[test]
+    fn zero_intercept_with_noise_is_close() {
+        let xs: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = fit_zero_intercept(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.rse > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_fit_inputs_panic() {
+        let _ = fit_zero_intercept(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

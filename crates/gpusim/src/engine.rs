@@ -1,0 +1,670 @@
+//! The discrete-event core: streams, engines, link contention, virtual time.
+//!
+//! # Execution model
+//!
+//! * Each **stream** is a FIFO; an op may start only after the previous op
+//!   on its stream completed (CUDA stream semantics).
+//! * Three **engines** execute ops: one DMA engine per copy direction and a
+//!   compute engine (kernels serialise on it, as saturating BLAS kernels do
+//!   on a real device).
+//! * Copies run in two phases: a fixed **latency** phase (the `t_l` of the
+//!   paper's transfer model, during which the link carries no payload) and a
+//!   **work** phase streaming bytes at the link rate.
+//! * While both directions are in their work phase simultaneously, each
+//!   direction's rate drops by its configured bidirectional slowdown — this
+//!   is the ground-truth mechanism behind the paper's Eq. 3.
+//! * `EventRecord`/`EventWait` ops are instantaneous and provide
+//!   cross-stream ordering.
+//!
+//! The loop alternates two steps: [`Sim::stabilize`] (process everything
+//! that can happen *now*: instant ops, issuing queued ops to idle engines)
+//! and [`Sim::advance`] (move time to the earliest phase transition or
+//! completion). Rates are constant between consecutive events, so progress
+//! integration is exact piecewise-linear accounting.
+
+use crate::op::{Op, OpId, OpKind, StreamId};
+use crate::spec::{LinkSpec, NoiseSpec};
+use crate::time::SimTime;
+use crate::trace::{EngineKind, Trace, TraceEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Residual byte count below which a transfer counts as complete (absorbs
+/// nanosecond-rounding overshoot).
+const BYTES_EPS: f64 = 1e-6;
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Fixed setup delay; the link is not carrying payload yet.
+    Latency { remaining_ns: u64 },
+    /// Payload streaming (copies: `remaining` bytes) or kernel execution
+    /// (`remaining` seconds at unit rate).
+    Work { remaining: f64 },
+}
+
+#[derive(Debug)]
+struct ActiveOp {
+    op: OpId,
+    phase: Phase,
+    /// Bytes of the work phase (copies) or duration in seconds (kernels).
+    work_total: f64,
+    /// Per-op multiplicative noise on the transfer rate (1.0 for kernels —
+    /// their noise lands in the duration instead).
+    rate_factor: f64,
+    /// Index of this op's entry in the trace (end time patched at completion).
+    trace_idx: usize,
+}
+
+#[derive(Debug, Default)]
+struct Engine {
+    queue: VecDeque<OpId>,
+    active: Option<ActiveOp>,
+}
+
+/// The simulator core. Crate-internal; users drive it through
+/// [`Gpu`](crate::Gpu).
+#[derive(Debug)]
+pub(crate) struct Sim {
+    now_ns: u64,
+    ops: Vec<Op>,
+    /// `true` once the op has been handed to an engine or completed.
+    issued: Vec<bool>,
+    streams: Vec<VecDeque<OpId>>,
+    /// Completion time of each recorded event, `None` while pending.
+    events: Vec<Option<u64>>,
+    h2d: Engine,
+    d2h: Engine,
+    compute: Engine,
+    link: LinkSpec,
+    noise: NoiseSpec,
+    rng: StdRng,
+    trace: Trace,
+}
+
+impl Sim {
+    pub(crate) fn new(link: LinkSpec, noise: NoiseSpec, seed: u64) -> Self {
+        Sim {
+            now_ns: 0,
+            ops: Vec::new(),
+            issued: Vec::new(),
+            streams: Vec::new(),
+            events: Vec::new(),
+            h2d: Engine::default(),
+            d2h: Engine::default(),
+            compute: Engine::default(),
+            link,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            trace: Trace::default(),
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns)
+    }
+
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    pub(crate) fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    pub(crate) fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.streams.len());
+        self.streams.push(VecDeque::new());
+        id
+    }
+
+    pub(crate) fn stream_exists(&self, s: StreamId) -> bool {
+        s.0 < self.streams.len()
+    }
+
+    pub(crate) fn create_event(&mut self) -> usize {
+        self.events.push(None);
+        self.events.len() - 1
+    }
+
+    pub(crate) fn event_exists(&self, id: usize) -> bool {
+        id < self.events.len()
+    }
+
+    pub(crate) fn enqueue(&mut self, stream: StreamId, kind: OpKind) -> OpId {
+        debug_assert!(self.stream_exists(stream));
+        let id = self.ops.len();
+        self.ops.push(Op { stream, kind });
+        self.issued.push(false);
+        self.streams[stream.0].push_back(id);
+        id
+    }
+
+    /// True if no queued or active work remains.
+    pub(crate) fn idle(&self) -> bool {
+        self.streams.iter().all(VecDeque::is_empty)
+            && self.h2d.active.is_none()
+            && self.d2h.active.is_none()
+            && self.compute.active.is_none()
+            && self.h2d.queue.is_empty()
+            && self.d2h.queue.is_empty()
+            && self.compute.queue.is_empty()
+    }
+
+    /// Runs the simulation until idle. Returns completed op ids in
+    /// completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enqueued schedule deadlocks (a stream waits on an event
+    /// that can never be recorded).
+    pub(crate) fn run_to_idle(&mut self) -> Vec<OpId> {
+        let mut completed = Vec::new();
+        loop {
+            let progressed = self.stabilize(&mut completed);
+            if self.idle() {
+                return completed;
+            }
+            let any_active = self.h2d.active.is_some()
+                || self.d2h.active.is_some()
+                || self.compute.active.is_some();
+            if !any_active {
+                assert!(
+                    progressed,
+                    "simulated schedule deadlocked at {}: streams blocked on unrecorded events",
+                    self.now()
+                );
+                continue;
+            }
+            self.advance(&mut completed);
+        }
+    }
+
+    /// Processes everything that can happen without time passing: completes
+    /// instant ops at stream heads and issues ready ops to idle engines.
+    /// Returns whether any state changed.
+    fn stabilize(&mut self, completed: &mut Vec<OpId>) -> bool {
+        let mut progressed_any = false;
+        loop {
+            let mut progressed = false;
+            // 1. Stream heads: handle instant ops, dispatch engine ops.
+            for s in 0..self.streams.len() {
+                let Some(&head) = self.streams[s].front() else { continue };
+                if self.issued[head] {
+                    continue; // already on an engine, waiting for completion
+                }
+                match self.ops[head].kind {
+                    OpKind::EventRecord(ev) => {
+                        self.events[ev.0] = Some(self.now_ns);
+                        self.issued[head] = true;
+                        self.streams[s].pop_front();
+                        completed.push(head);
+                        progressed = true;
+                    }
+                    OpKind::EventWait(ev) => {
+                        if self.events[ev.0].is_some() {
+                            self.issued[head] = true;
+                            self.streams[s].pop_front();
+                            completed.push(head);
+                            progressed = true;
+                        }
+                    }
+                    OpKind::H2d { .. } => {
+                        self.issued[head] = true;
+                        self.h2d.queue.push_back(head);
+                        progressed = true;
+                    }
+                    OpKind::D2h { .. } => {
+                        self.issued[head] = true;
+                        self.d2h.queue.push_back(head);
+                        progressed = true;
+                    }
+                    OpKind::Kernel { .. } => {
+                        self.issued[head] = true;
+                        self.compute.queue.push_back(head);
+                        progressed = true;
+                    }
+                }
+            }
+            // 2. Idle engines pick up queued work.
+            for engine_kind in [EngineKind::CopyH2d, EngineKind::CopyD2h, EngineKind::Compute] {
+                if self.engine(engine_kind).active.is_some() {
+                    continue;
+                }
+                let Some(op_id) = self.engine_mut(engine_kind).queue.pop_front() else {
+                    continue;
+                };
+                let active = self.start_op(op_id, engine_kind);
+                self.engine_mut(engine_kind).active = Some(active);
+                progressed = true;
+            }
+            if !progressed {
+                return progressed_any;
+            }
+            progressed_any = true;
+        }
+    }
+
+    fn engine(&self, kind: EngineKind) -> &Engine {
+        match kind {
+            EngineKind::CopyH2d => &self.h2d,
+            EngineKind::CopyD2h => &self.d2h,
+            EngineKind::Compute => &self.compute,
+        }
+    }
+
+    fn engine_mut(&mut self, kind: EngineKind) -> &mut Engine {
+        match kind {
+            EngineKind::CopyH2d => &mut self.h2d,
+            EngineKind::CopyD2h => &mut self.d2h,
+            EngineKind::Compute => &mut self.compute,
+        }
+    }
+
+    /// Draws a multiplicative lognormal-ish noise factor `exp(σ·z)`.
+    fn noise_factor(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        // Box–Muller over two uniforms.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (sigma * z).exp()
+    }
+
+    fn start_op(&mut self, op_id: OpId, engine_kind: EngineKind) -> ActiveOp {
+        let stream = self.ops[op_id].stream;
+        let label = self.ops[op_id].kind.label();
+        let (phase, work_total, rate_factor, bytes) = match self.ops[op_id].kind {
+            OpKind::H2d { bytes, pageable, .. } | OpKind::D2h { bytes, pageable, .. } => {
+                let dir = if matches!(self.ops[op_id].kind, OpKind::H2d { .. }) {
+                    self.link.h2d
+                } else {
+                    self.link.d2h
+                };
+                let latency_ns = (dir.latency_s * 1e9).ceil() as u64;
+                let page_factor = if pageable { self.link.pageable_factor } else { 1.0 };
+                let rate_factor = page_factor * self.noise_factor(self.noise.transfer_sigma);
+                let phase = if latency_ns > 0 {
+                    Phase::Latency { remaining_ns: latency_ns }
+                } else {
+                    Phase::Work { remaining: bytes as f64 }
+                };
+                (phase, bytes as f64, rate_factor, Some(bytes))
+            }
+            OpKind::Kernel { base_secs, .. } => {
+                let secs = base_secs * self.noise_factor(self.noise.kernel_sigma);
+                (Phase::Work { remaining: secs }, secs, 1.0, None)
+            }
+            OpKind::EventRecord(_) | OpKind::EventWait(_) => {
+                unreachable!("instant ops never reach an engine")
+            }
+        };
+        let trace_idx = self.trace.len();
+        self.trace.push(TraceEntry {
+            op: op_id,
+            stream,
+            engine: engine_kind,
+            label,
+            start: self.now(),
+            end: self.now(), // patched at completion
+            bytes,
+        });
+        ActiveOp { op: op_id, phase, work_total, rate_factor, trace_idx }
+    }
+
+    /// Instantaneous payload rate of a copy direction given current
+    /// contention, in bytes/second (excluding the per-op factor).
+    fn dir_rate(&self, kind: EngineKind) -> f64 {
+        let other_busy = |e: &Engine| {
+            matches!(
+                e.active,
+                Some(ActiveOp { phase: Phase::Work { .. }, .. })
+            )
+        };
+        match kind {
+            EngineKind::CopyH2d => {
+                let base = self.link.h2d.bandwidth_bps;
+                if other_busy(&self.d2h) {
+                    base / self.link.sl_h2d_bid
+                } else {
+                    base
+                }
+            }
+            EngineKind::CopyD2h => {
+                let base = self.link.d2h.bandwidth_bps;
+                if other_busy(&self.h2d) {
+                    base / self.link.sl_d2h_bid
+                } else {
+                    base
+                }
+            }
+            EngineKind::Compute => 1.0,
+        }
+    }
+
+    /// Nanoseconds until `kind`'s active op hits its next phase boundary at
+    /// current rates, or `None` if the engine is idle.
+    fn estimate_ns(&self, kind: EngineKind) -> Option<u64> {
+        let active = self.engine(kind).active.as_ref()?;
+        Some(match active.phase {
+            Phase::Latency { remaining_ns } => remaining_ns,
+            Phase::Work { remaining } => {
+                if remaining <= BYTES_EPS {
+                    0
+                } else {
+                    let rate = match kind {
+                        EngineKind::Compute => 1.0, // seconds at unit rate
+                        _ => self.dir_rate(kind) * active.rate_factor,
+                    };
+                    let secs = match kind {
+                        EngineKind::Compute => remaining,
+                        _ => remaining / rate,
+                    };
+                    (secs * 1e9).ceil() as u64
+                }
+            }
+        })
+    }
+
+    /// Advances virtual time to the earliest phase boundary among active
+    /// ops, applying payload progress and completing finished ops.
+    fn advance(&mut self, completed: &mut Vec<OpId>) {
+        // Snapshot rates *before* mutating anything: they are constant over
+        // the interval we are about to traverse.
+        let kinds = [EngineKind::CopyH2d, EngineKind::CopyD2h, EngineKind::Compute];
+        let rates: Vec<f64> = kinds.iter().map(|&k| self.dir_rate(k)).collect();
+        let estimates: Vec<Option<u64>> = kinds.iter().map(|&k| self.estimate_ns(k)).collect();
+        let dt = estimates
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            .expect("advance called with no active ops");
+        self.now_ns += dt;
+        let dt_secs = dt as f64 / 1e9;
+
+        for (idx, &kind) in kinds.iter().enumerate() {
+            let rate = rates[idx];
+            let est = estimates[idx];
+            let Some(active) = self.engine_mut(kind).active.as_mut() else { continue };
+            match active.phase {
+                Phase::Latency { remaining_ns } => {
+                    if dt >= remaining_ns {
+                        // Latency exhausted exactly at this boundary (dt is
+                        // the min, so dt == remaining_ns when this fires).
+                        active.phase = Phase::Work { remaining: active.work_total };
+                    } else {
+                        active.phase = Phase::Latency { remaining_ns: remaining_ns - dt };
+                    }
+                }
+                Phase::Work { remaining } => {
+                    let progress = match kind {
+                        EngineKind::Compute => dt_secs,
+                        _ => dt_secs * rate * active.rate_factor,
+                    };
+                    let left = remaining - progress;
+                    if est == Some(dt) || left <= BYTES_EPS {
+                        // This op reached its completion boundary.
+                        let finished = self.engine_mut(kind).active.take().expect("active");
+                        self.complete_op(finished, completed);
+                    } else {
+                        active.phase = Phase::Work { remaining: left };
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_op(&mut self, active: ActiveOp, completed: &mut Vec<OpId>) {
+        let op_id = active.op;
+        let stream = self.ops[op_id].stream;
+        // The op is necessarily at its stream head.
+        let popped = self.streams[stream.0].pop_front();
+        debug_assert_eq!(popped, Some(op_id), "completed op must be its stream head");
+        let now = self.now();
+        self.trace
+            .entry_mut(active.trace_idx)
+            .expect("trace entry recorded at start")
+            .end = now;
+        completed.push(op_id);
+    }
+
+    pub(crate) fn op_kind(&self, op: OpId) -> &OpKind {
+        &self.ops[op].kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelShape;
+    use crate::memory::{DevBufId, HostBufId};
+    use crate::op::{CopyDesc, EventId};
+    use crate::spec::{testbed_i, DirLinkSpec};
+    use cocopelia_hostblas::Dtype;
+
+    fn quiet_link() -> LinkSpec {
+        LinkSpec {
+            h2d: DirLinkSpec { latency_s: 1e-6, bandwidth_bps: 1e9 },
+            d2h: DirLinkSpec { latency_s: 1e-6, bandwidth_bps: 1e9 },
+            sl_h2d_bid: 1.0,
+            sl_d2h_bid: 2.0,
+            pageable_factor: 0.5,
+        }
+    }
+
+    fn copy_kind(bytes: usize, h2d: bool) -> OpKind {
+        let desc = CopyDesc::contiguous(HostBufId(0), DevBufId(0), bytes / 8);
+        if h2d {
+            OpKind::H2d { desc, bytes, pageable: false }
+        } else {
+            OpKind::D2h { desc, bytes, pageable: false }
+        }
+    }
+
+    fn kernel_kind(secs: f64) -> OpKind {
+        OpKind::Kernel {
+            shape: KernelShape::Axpy { dtype: Dtype::F64, n: 1 },
+            args: None,
+            base_secs: secs,
+        }
+    }
+
+    #[test]
+    fn single_copy_takes_latency_plus_bytes() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        sim.enqueue(s, copy_kind(1_000_000, true)); // 1MB at 1GB/s = 1ms
+        sim.run_to_idle();
+        let total = sim.now().as_secs_f64();
+        assert!((total - (1e-6 + 1e-3)).abs() < 1e-7, "total {total}");
+    }
+
+    #[test]
+    fn stream_serialises_ops() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        sim.enqueue(s, kernel_kind(1e-3));
+        sim.enqueue(s, kernel_kind(2e-3));
+        sim.run_to_idle();
+        assert!((sim.now().as_secs_f64() - 3e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        sim.enqueue(s1, copy_kind(1_000_000, true));
+        sim.enqueue(s2, kernel_kind(1e-3));
+        sim.run_to_idle();
+        // Copy (~1.001ms) and kernel (1ms) run concurrently.
+        assert!(sim.now().as_secs_f64() < 1.1e-3);
+    }
+
+    #[test]
+    fn same_engine_serialises_across_streams() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        sim.enqueue(s1, copy_kind(1_000_000, true));
+        sim.enqueue(s2, copy_kind(1_000_000, true));
+        sim.run_to_idle();
+        // Both h2d copies share one engine: ~2 * (1ms + latency).
+        assert!(sim.now().as_secs_f64() > 1.9e-3);
+    }
+
+    #[test]
+    fn bidirectional_contention_slows_d2h() {
+        // d2h has sl=2.0: concurrent h2d halves its payload rate.
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        sim.enqueue(s1, copy_kind(10_000_000, true)); // ~10ms
+        sim.enqueue(s2, copy_kind(10_000_000, false)); // alone ~10ms
+        sim.run_to_idle();
+        let total = sim.now().as_secs_f64();
+        // While h2d runs (10ms) the d2h moves 5MB at half rate; the
+        // remaining 5MB then flows at full rate: 15ms total ± latency.
+        assert!((total - 15e-3).abs() < 1e-4, "total {total}");
+    }
+
+    #[test]
+    fn h2d_unaffected_when_sl_is_one() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        sim.enqueue(s1, copy_kind(10_000_000, true));
+        sim.enqueue(s2, copy_kind(1_000_000, false));
+        sim.run_to_idle();
+        // h2d (sl=1.0) finishes in ~10ms regardless of the short d2h.
+        let h2d_end = sim
+            .trace()
+            .entries()
+            .iter()
+            .find(|e| e.engine == EngineKind::CopyH2d)
+            .expect("h2d entry")
+            .end
+            .as_secs_f64();
+        assert!((h2d_end - 10.001e-3).abs() < 1e-5, "h2d end {h2d_end}");
+    }
+
+    #[test]
+    fn contention_release_speeds_up_remaining_transfer() {
+        // A long d2h overlaps a short h2d; after the h2d ends the d2h
+        // resumes full rate. Expected: 1MB contended (during h2d's ~1ms
+        // work) then the rest at full rate.
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        sim.enqueue(s1, copy_kind(1_000_000, true)); // 1ms work
+        sim.enqueue(s2, copy_kind(10_000_000, false));
+        sim.run_to_idle();
+        let total = sim.now().as_secs_f64();
+        // d2h: ~0.5MB moved during the 1ms contended window (rate 0.5GB/s),
+        // remaining 9.5MB at 1GB/s = 9.5ms; total ≈ 10.5ms.
+        assert!((total - 10.5e-3).abs() < 1.5e-4, "total {total}");
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        sim.enqueue(s1, kernel_kind(5e-3));
+        let ev = EventId(sim.create_event());
+        sim.enqueue(s1, OpKind::EventRecord(ev));
+        sim.enqueue(s2, OpKind::EventWait(ev));
+        sim.enqueue(s2, kernel_kind(1e-3));
+        sim.run_to_idle();
+        // s2's kernel cannot start before s1's finishes (same engine anyway,
+        // but the wait also forbids queue-jumping): 6ms total.
+        assert!((sim.now().as_secs_f64() - 6e-3).abs() < 1e-8);
+        let entries = sim.trace().entries();
+        assert!(entries[1].start >= entries[0].end);
+    }
+
+    #[test]
+    fn wait_before_record_blocks_until_recorded() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s1 = sim.create_stream();
+        let s2 = sim.create_stream();
+        let ev = EventId(sim.create_event());
+        // s2 waits first; record comes later from s1 after a kernel.
+        sim.enqueue(s2, OpKind::EventWait(ev));
+        sim.enqueue(s2, copy_kind(1_000, true));
+        sim.enqueue(s1, kernel_kind(2e-3));
+        sim.enqueue(s1, OpKind::EventRecord(ev));
+        sim.run_to_idle();
+        let copy = sim
+            .trace()
+            .entries()
+            .iter()
+            .find(|e| e.engine == EngineKind::CopyH2d)
+            .expect("copy entry");
+        assert!(copy.start.as_secs_f64() >= 2e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn waiting_on_never_recorded_event_deadlocks() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        let ev = EventId(sim.create_event());
+        sim.enqueue(s, OpKind::EventWait(ev));
+        sim.run_to_idle();
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(testbed_i().link, NoiseSpec::REALISTIC, seed);
+            let s = sim.create_stream();
+            for _ in 0..5 {
+                sim.enqueue(s, copy_kind(100_000, true));
+                sim.enqueue(s, kernel_kind(1e-4));
+            }
+            sim.run_to_idle();
+            sim.now().as_nanos()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn completed_ops_reported_in_order() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        let a = sim.enqueue(s, kernel_kind(1e-3));
+        let b = sim.enqueue(s, kernel_kind(1e-3));
+        let done = sim.run_to_idle();
+        assert_eq!(done, vec![a, b]);
+        assert!(sim.idle());
+    }
+
+    #[test]
+    fn pageable_copy_is_slower() {
+        let time_with = |pageable: bool| {
+            let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+            let s = sim.create_stream();
+            let desc = CopyDesc::contiguous(HostBufId(0), DevBufId(0), 125_000);
+            sim.enqueue(s, OpKind::H2d { desc, bytes: 1_000_000, pageable });
+            sim.run_to_idle();
+            sim.now().as_secs_f64()
+        };
+        let pinned = time_with(false);
+        let pageable = time_with(true);
+        assert!((pageable / pinned - 2.0).abs() < 0.01, "{pageable} vs {pinned}");
+    }
+
+    #[test]
+    fn zero_byte_copy_costs_latency_only() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        sim.enqueue(s, copy_kind(0, true));
+        sim.run_to_idle();
+        assert!((sim.now().as_secs_f64() - 1e-6).abs() < 1e-12);
+    }
+}

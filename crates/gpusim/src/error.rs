@@ -1,0 +1,81 @@
+//! Error type for simulator operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Gpu`](crate::Gpu) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A device allocation exceeded the GPU's memory capacity.
+    OutOfDeviceMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// An operation referenced a buffer id that was never allocated or has
+    /// been freed.
+    UnknownBuffer {
+        /// Human-readable description of the offending reference.
+        what: String,
+    },
+    /// An operation referenced a stream id that was never created.
+    UnknownStream {
+        /// The offending stream id value.
+        id: usize,
+    },
+    /// An operation referenced an event id that was never recorded.
+    UnknownEvent {
+        /// The offending event id value.
+        id: usize,
+    },
+    /// A copy or kernel described a region outside its buffer's bounds, or
+    /// mixed element types.
+    InvalidAccess {
+        /// Human-readable description of the violation.
+        what: String,
+    },
+    /// A buffer still referenced by queued work was freed.
+    BufferInUse {
+        /// Human-readable description of the busy buffer.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfDeviceMemory { requested, available } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            SimError::UnknownBuffer { what } => write!(f, "unknown buffer: {what}"),
+            SimError::UnknownStream { id } => write!(f, "unknown stream id {id}"),
+            SimError::UnknownEvent { id } => write!(f, "unknown event id {id}"),
+            SimError::InvalidAccess { what } => write!(f, "invalid access: {what}"),
+            SimError::BufferInUse { what } => write!(f, "buffer in use: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = SimError::OutOfDeviceMemory { requested: 10, available: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = SimError::UnknownStream { id: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(SimError::UnknownEvent { id: 0 });
+    }
+}

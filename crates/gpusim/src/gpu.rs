@@ -1,0 +1,619 @@
+//! The public device facade: a CUDA-like asynchronous API over the
+//! discrete-event engine.
+
+use crate::engine::Sim;
+use crate::error::SimError;
+use crate::funcexec;
+use crate::kernel::{kernel_time, KernelShape};
+use crate::memory::{DevBufId, DeviceMemory, HostArena, HostBufId, HostBuffer, Payload};
+use crate::op::{check_mat_ref, CopyDesc, EventId, KernelArgs, OpKind, StreamId};
+use crate::spec::TestbedSpec;
+use crate::time::SimTime;
+use crate::trace::Trace;
+use cocopelia_hostblas::Dtype;
+
+/// Whether simulated kernels and copies actually move and compute data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Buffers carry real elements; schedules are numerically checkable.
+    Functional,
+    /// Buffers are ghosts; only virtual time is produced. Use for large
+    /// parameter sweeps.
+    TimingOnly,
+}
+
+/// A simulated GPU attached to a simulated host over a simulated link.
+///
+/// The API mirrors the CUDA subset the paper's library uses: streams,
+/// asynchronous strided matrix copies (`cublasSetMatrixAsync` /
+/// `cublasGetMatrixAsync`), kernel launches, events, and device-wide
+/// synchronisation. All enqueue calls are instantaneous on the virtual
+/// clock; time advances in [`synchronize`](Gpu::synchronize).
+///
+/// # Example
+///
+/// ```
+/// use cocopelia_gpusim::{testbed_ii, CopyDesc, ExecMode, Gpu, KernelShape};
+/// use cocopelia_hostblas::Dtype;
+///
+/// # fn main() -> Result<(), cocopelia_gpusim::SimError> {
+/// let mut gpu = Gpu::new(testbed_ii(), ExecMode::TimingOnly, 42);
+/// let s = gpu.create_stream();
+/// let host = gpu.register_host_ghost(Dtype::F64, 1 << 20, true);
+/// let dev = gpu.alloc_device(Dtype::F64, 1 << 20)?;
+/// gpu.memcpy_h2d_async(s, CopyDesc::contiguous(host, dev, 1 << 20))?;
+/// gpu.launch_kernel(s, KernelShape::Axpy { dtype: Dtype::F64, n: 1 << 20 }, None)?;
+/// let elapsed = gpu.synchronize()?;
+/// assert!(elapsed.as_secs_f64() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    spec: TestbedSpec,
+    mode: ExecMode,
+    sim: Sim,
+    host: HostArena,
+    dev: DeviceMemory,
+}
+
+impl Gpu {
+    /// Creates a device for the given testbed. `seed` drives measurement
+    /// noise; equal seeds reproduce identical virtual timings.
+    pub fn new(spec: TestbedSpec, mode: ExecMode, seed: u64) -> Self {
+        let sim = Sim::new(spec.link, spec.noise, seed);
+        let dev = DeviceMemory::new(spec.gpu.mem_capacity_bytes);
+        Gpu { spec, mode, sim, host: HostArena::default(), dev }
+    }
+
+    /// The testbed this device simulates.
+    pub fn spec(&self) -> &TestbedSpec {
+        &self.spec
+    }
+
+    /// True in [`ExecMode::Functional`].
+    pub fn is_functional(&self) -> bool {
+        self.mode == ExecMode::Functional
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Creates a new stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.sim.create_stream()
+    }
+
+    /// Registers a host staging buffer holding `payload`.
+    ///
+    /// In [`ExecMode::TimingOnly`] the data is degraded to a ghost of the
+    /// same type and length.
+    pub fn register_host(&mut self, payload: impl Into<Payload>, pinned: bool) -> HostBufId {
+        let payload = payload.into();
+        let payload = if self.is_functional() {
+            payload
+        } else {
+            Payload::Ghost { dtype: payload.dtype(), len: payload.len() }
+        };
+        self.host.register(HostBuffer { payload, pinned })
+    }
+
+    /// Registers a metadata-only host buffer (any mode).
+    pub fn register_host_ghost(&mut self, dtype: Dtype, len: usize, pinned: bool) -> HostBufId {
+        self.host.register(HostBuffer { payload: Payload::Ghost { dtype, len }, pinned })
+    }
+
+    /// Borrows the payload of a host buffer (to read results back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] for stale ids.
+    pub fn host_payload(&self, id: HostBufId) -> Result<&Payload, SimError> {
+        Ok(&self.host.get(id)?.payload)
+    }
+
+    /// Removes a host buffer from the arena and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] for stale ids.
+    pub fn take_host(&mut self, id: HostBufId) -> Result<HostBuffer, SimError> {
+        self.host.unregister(id)
+    }
+
+    /// Allocates `len` elements of `dtype` on the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfDeviceMemory`] if capacity is exceeded.
+    pub fn alloc_device(&mut self, dtype: Dtype, len: usize) -> Result<DevBufId, SimError> {
+        self.dev.alloc(dtype, len, self.is_functional())
+    }
+
+    /// Frees a device buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BufferInUse`] if work is still queued or running
+    /// (call [`synchronize`](Gpu::synchronize) first), or
+    /// [`SimError::UnknownBuffer`] for stale ids.
+    pub fn free_device(&mut self, id: DevBufId) -> Result<(), SimError> {
+        if !self.sim.idle() {
+            return Err(SimError::BufferInUse {
+                what: format!("device buffer {id:?} freed while work is queued"),
+            });
+        }
+        self.dev.free(id)
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn device_mem_used(&self) -> usize {
+        self.dev.used()
+    }
+
+    /// Bytes of device memory still available.
+    pub fn device_mem_available(&self) -> usize {
+        self.dev.available()
+    }
+
+    fn check_copy(&self, desc: &CopyDesc) -> Result<(usize, bool), SimError> {
+        desc.check_shapes()?;
+        let hb = self.host.get(desc.host)?;
+        let db = self.dev.get(desc.dev)?;
+        if hb.payload.dtype() != db.dtype() {
+            return Err(SimError::InvalidAccess {
+                what: format!(
+                    "copy dtype mismatch: host {} vs device {}",
+                    hb.payload.dtype(),
+                    db.dtype()
+                ),
+            });
+        }
+        desc.host_region.check(hb.payload.len(), "host region")?;
+        desc.dev_region.check(db.len(), "device region")?;
+        let bytes = desc.host_region.elems() * hb.payload.dtype().width();
+        Ok((bytes, !hb.pinned))
+    }
+
+    /// Enqueues an asynchronous host-to-device copy on `stream`
+    /// (`cublasSetMatrixAsync` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAccess`] for out-of-bounds regions or
+    /// dtype mismatches, [`SimError::UnknownBuffer`]/[`SimError::UnknownStream`]
+    /// for stale ids.
+    pub fn memcpy_h2d_async(&mut self, stream: StreamId, desc: CopyDesc) -> Result<(), SimError> {
+        self.check_stream(stream)?;
+        let (bytes, pageable) = self.check_copy(&desc)?;
+        self.sim.enqueue(stream, OpKind::H2d { desc, bytes, pageable });
+        Ok(())
+    }
+
+    /// Enqueues an asynchronous device-to-host copy on `stream`
+    /// (`cublasGetMatrixAsync` analogue).
+    ///
+    /// # Errors
+    ///
+    /// As for [`memcpy_h2d_async`](Gpu::memcpy_h2d_async).
+    pub fn memcpy_d2h_async(&mut self, stream: StreamId, desc: CopyDesc) -> Result<(), SimError> {
+        self.check_stream(stream)?;
+        let (bytes, pageable) = self.check_copy(&desc)?;
+        self.sim.enqueue(stream, OpKind::D2h { desc, bytes, pageable });
+        Ok(())
+    }
+
+    fn check_stream(&self, stream: StreamId) -> Result<(), SimError> {
+        if self.sim.stream_exists(stream) {
+            Ok(())
+        } else {
+            Err(SimError::UnknownStream { id: stream.0 })
+        }
+    }
+
+    fn check_kernel_args(&self, shape: &KernelShape, args: &KernelArgs) -> Result<(), SimError> {
+        match (*shape, *args) {
+            (KernelShape::Gemm { m, n, k, dtype }, KernelArgs::Gemm { a, b, c, .. }) => {
+                if c.buf == a.buf || c.buf == b.buf {
+                    return Err(SimError::InvalidAccess {
+                        what: "gemm output buffer must not alias inputs".to_owned(),
+                    });
+                }
+                for (r, rows, cols, what) in
+                    [(a, m, k, "gemm A"), (b, k, n, "gemm B"), (c, m, n, "gemm C")]
+                {
+                    let p = self.dev.get(r.buf)?;
+                    if p.dtype() != dtype {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: dtype {} != kernel {dtype}", p.dtype()),
+                        });
+                    }
+                    check_mat_ref(p, &r, rows, cols, what)?;
+                }
+                Ok(())
+            }
+            (KernelShape::Axpy { n, dtype }, KernelArgs::Axpy { x, y, .. }) => {
+                if x.buf == y.buf {
+                    return Err(SimError::InvalidAccess {
+                        what: "axpy vectors must live in distinct buffers".to_owned(),
+                    });
+                }
+                for (v, what) in [(x, "axpy x"), (y, "axpy y")] {
+                    let p = self.dev.get(v.buf)?;
+                    if p.dtype() != dtype {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: dtype {} != kernel {dtype}", p.dtype()),
+                        });
+                    }
+                    if v.offset + n > p.len() {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: region exceeds buffer"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            (KernelShape::Dot { n, dtype }, KernelArgs::Dot { x, y, out }) => {
+                if out.buf == x.buf || out.buf == y.buf {
+                    return Err(SimError::InvalidAccess {
+                        what: "dot output slot must not alias inputs".to_owned(),
+                    });
+                }
+                for (v, len, what) in [(x, n, "dot x"), (y, n, "dot y"), (out, 1, "dot out")] {
+                    let p = self.dev.get(v.buf)?;
+                    if p.dtype() != dtype {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: dtype {} != kernel {dtype}", p.dtype()),
+                        });
+                    }
+                    if v.offset + len > p.len() {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: region exceeds buffer"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            (KernelShape::Gemv { m, n, dtype }, KernelArgs::Gemv { a, x, y, .. }) => {
+                if y.buf == x.buf || y.buf == a.buf {
+                    return Err(SimError::InvalidAccess {
+                        what: "gemv output must not alias inputs".to_owned(),
+                    });
+                }
+                let pa = self.dev.get(a.buf)?;
+                if pa.dtype() != dtype {
+                    return Err(SimError::InvalidAccess {
+                        what: format!("gemv A: dtype {} != kernel {dtype}", pa.dtype()),
+                    });
+                }
+                check_mat_ref(pa, &a, m, n, "gemv A")?;
+                for (v, len, what) in [(x, n, "gemv x"), (y, m, "gemv y")] {
+                    let p = self.dev.get(v.buf)?;
+                    if p.dtype() != dtype {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: dtype {} != kernel {dtype}", p.dtype()),
+                        });
+                    }
+                    if v.offset + len > p.len() {
+                        return Err(SimError::InvalidAccess {
+                            what: format!("{what}: region exceeds buffer"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(SimError::InvalidAccess {
+                what: "kernel shape does not match its arguments".to_owned(),
+            }),
+        }
+    }
+
+    /// Enqueues a kernel launch on `stream`.
+    ///
+    /// In functional mode `args` must be provided and name device buffers of
+    /// the kernel's element type; output buffers must not alias inputs. In
+    /// timing mode `args` may be `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAccess`] for shape/argument mismatches and
+    /// aliasing violations.
+    pub fn launch_kernel(
+        &mut self,
+        stream: StreamId,
+        shape: KernelShape,
+        args: Option<KernelArgs>,
+    ) -> Result<(), SimError> {
+        self.check_stream(stream)?;
+        if let Some(args) = &args {
+            self.check_kernel_args(&shape, args)?;
+        } else if self.is_functional() {
+            return Err(SimError::InvalidAccess {
+                what: "functional mode requires kernel arguments".to_owned(),
+            });
+        }
+        let base_secs = kernel_time(&self.spec.gpu, &shape);
+        self.sim.enqueue(stream, OpKind::Kernel { shape, args, base_secs });
+        Ok(())
+    }
+
+    /// Records an event on `stream`; later ops can
+    /// [`wait_event`](Gpu::wait_event) on it from other streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownStream`] for stale stream ids.
+    pub fn record_event(&mut self, stream: StreamId) -> Result<EventId, SimError> {
+        self.check_stream(stream)?;
+        let ev = EventId(self.sim.create_event());
+        self.sim.enqueue(stream, OpKind::EventRecord(ev));
+        Ok(ev)
+    }
+
+    /// Makes `stream` wait until `event` has been recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEvent`] / [`SimError::UnknownStream`] for
+    /// stale ids.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<(), SimError> {
+        self.check_stream(stream)?;
+        if !self.sim.event_exists(event.0) {
+            return Err(SimError::UnknownEvent { id: event.0 });
+        }
+        self.sim.enqueue(stream, OpKind::EventWait(event));
+        Ok(())
+    }
+
+    /// Runs all enqueued work to completion (`cudaDeviceSynchronize`) and
+    /// returns the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors (these indicate scheduler
+    /// bugs, e.g. dtype mixes that slipped past enqueue validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule deadlocks on an event that is never recorded.
+    pub fn synchronize(&mut self) -> Result<SimTime, SimError> {
+        let completed = self.sim.run_to_idle();
+        if self.is_functional() {
+            for op in completed {
+                let kind = self.sim.op_kind(op).clone();
+                funcexec::apply(&kind, &mut self.host, &mut self.dev)?;
+            }
+        }
+        Ok(self.sim.now())
+    }
+
+    /// Execution trace accumulated since construction or the last
+    /// [`clear_trace`](Gpu::clear_trace).
+    pub fn trace(&self) -> &Trace {
+        &self.sim.trace()
+    }
+
+    /// Discards the accumulated trace (keeps the clock running).
+    pub fn clear_trace(&mut self) {
+        self.sim.clear_trace();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{DevMatRef, DevVecRef, Region2d};
+    use crate::spec::{testbed_i, testbed_ii, NoiseSpec};
+    use cocopelia_hostblas::{level3, Matrix};
+
+    fn quiet(mut tb: TestbedSpec) -> TestbedSpec {
+        tb.noise = NoiseSpec::NONE;
+        tb
+    }
+
+    #[test]
+    fn functional_round_trip_h2d_d2h() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::Functional, 1);
+        let s = gpu.create_stream();
+        let data: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let h_src = gpu.register_host(data.clone(), true);
+        let h_dst = gpu.register_host(vec![0.0f64; 100], true);
+        let d = gpu.alloc_device(Dtype::F64, 100).expect("alloc");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h_src, d, 100)).expect("h2d");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(h_dst, d, 100)).expect("d2h");
+        gpu.synchronize().expect("sync");
+        assert_eq!(gpu.host_payload(h_dst).expect("buf").as_f64(), &data[..]);
+    }
+
+    #[test]
+    fn functional_gemm_matches_reference() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::Functional, 1);
+        let s = gpu.create_stream();
+        let (m, n, k) = (8, 7, 9);
+        let a = Matrix::<f64>::from_fn(m, k, |i, j| (i + 2 * j) as f64 * 0.25);
+        let b = Matrix::<f64>::from_fn(k, n, |i, j| (i as f64) - (j as f64) * 0.5);
+        let mut c_ref = Matrix::<f64>::zeros(m, n);
+        level3::gemm(1.0, &a.view(), &b.view(), 0.0, &mut c_ref.view_mut());
+
+        let ha = gpu.register_host(a.into_vec(), true);
+        let hb = gpu.register_host(b.into_vec(), true);
+        let hc = gpu.register_host(vec![0.0f64; m * n], true);
+        let da = gpu.alloc_device(Dtype::F64, m * k).expect("alloc");
+        let db = gpu.alloc_device(Dtype::F64, k * n).expect("alloc");
+        let dc = gpu.alloc_device(Dtype::F64, m * n).expect("alloc");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(ha, da, m * k)).expect("h2d a");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hb, db, k * n)).expect("h2d b");
+        gpu.launch_kernel(
+            s,
+            KernelShape::Gemm { dtype: Dtype::F64, m, n, k },
+            Some(KernelArgs::Gemm {
+                alpha: 1.0,
+                beta: 0.0,
+                a: DevMatRef { buf: da, offset: 0, ld: m },
+                b: DevMatRef { buf: db, offset: 0, ld: k },
+                c: DevMatRef { buf: dc, offset: 0, ld: m },
+            }),
+        )
+        .expect("launch");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hc, dc, m * n)).expect("d2h");
+        gpu.synchronize().expect("sync");
+        let got = gpu.host_payload(hc).expect("buf").as_f64();
+        for (x, y) in got.iter().zip(c_ref.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn functional_axpy_computes() {
+        let mut gpu = Gpu::new(quiet(testbed_ii()), ExecMode::Functional, 3);
+        let s = gpu.create_stream();
+        let n = 50;
+        let hx = gpu.register_host(vec![2.0f64; n], true);
+        let hy = gpu.register_host(vec![1.0f64; n], true);
+        let dx = gpu.alloc_device(Dtype::F64, n).expect("alloc");
+        let dy = gpu.alloc_device(Dtype::F64, n).expect("alloc");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hx, dx, n)).expect("h2d");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hy, dy, n)).expect("h2d");
+        gpu.launch_kernel(
+            s,
+            KernelShape::Axpy { dtype: Dtype::F64, n },
+            Some(KernelArgs::Axpy {
+                alpha: 3.0,
+                x: DevVecRef { buf: dx, offset: 0 },
+                y: DevVecRef { buf: dy, offset: 0 },
+            }),
+        )
+        .expect("launch");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hy, dy, n)).expect("d2h");
+        gpu.synchronize().expect("sync");
+        assert!(gpu.host_payload(hy).expect("buf").as_f64().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn strided_tile_copy() {
+        // Copy the (1,1)-anchored 2x2 tile of a 4x4 host matrix into a
+        // packed device tile and back into a different host location.
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::Functional, 1);
+        let s = gpu.create_stream();
+        let m = Matrix::<f64>::from_fn(4, 4, |i, j| (10 * i + j) as f64);
+        let h = gpu.register_host(m.into_vec(), true);
+        let hout = gpu.register_host(vec![0.0f64; 4], true);
+        let d = gpu.alloc_device(Dtype::F64, 4).expect("alloc");
+        gpu.memcpy_h2d_async(
+            s,
+            CopyDesc {
+                host: h,
+                host_region: Region2d { offset: 1 + 4, ld: 4, rows: 2, cols: 2 },
+                dev: d,
+                dev_region: Region2d { offset: 0, ld: 2, rows: 2, cols: 2 },
+            },
+        )
+        .expect("h2d");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hout, d, 4)).expect("d2h");
+        gpu.synchronize().expect("sync");
+        // (1,1), (2,1), (1,2), (2,2) of the original in column-major order.
+        assert_eq!(gpu.host_payload(hout).expect("buf").as_f64(), &[11.0, 21.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut tb = quiet(testbed_i());
+        tb.gpu.mem_capacity_bytes = 1000;
+        let mut gpu = Gpu::new(tb, ExecMode::TimingOnly, 1);
+        assert!(gpu.alloc_device(Dtype::F64, 100).is_ok()); // 800 bytes
+        let err = gpu.alloc_device(Dtype::F64, 100).expect_err("oom");
+        assert!(matches!(err, SimError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn free_requires_idle() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        let s = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F64, 10, true);
+        let d = gpu.alloc_device(Dtype::F64, 10).expect("alloc");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10)).expect("h2d");
+        assert!(matches!(gpu.free_device(d), Err(SimError::BufferInUse { .. })));
+        gpu.synchronize().expect("sync");
+        gpu.free_device(d).expect("free after sync");
+        assert_eq!(gpu.device_mem_used(), 0);
+    }
+
+    #[test]
+    fn copy_region_out_of_bounds_rejected() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        let s = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F64, 10, true);
+        let d = gpu.alloc_device(Dtype::F64, 5).expect("alloc");
+        let err = gpu
+            .memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10))
+            .expect_err("device too small");
+        assert!(matches!(err, SimError::InvalidAccess { .. }));
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        let s = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F32, 10, true);
+        let d = gpu.alloc_device(Dtype::F64, 10).expect("alloc");
+        assert!(gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10)).is_err());
+    }
+
+    #[test]
+    fn gemm_aliasing_rejected() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        let s = gpu.create_stream();
+        let d = gpu.alloc_device(Dtype::F64, 64).expect("alloc");
+        let r = DevMatRef { buf: d, offset: 0, ld: 8 };
+        let err = gpu
+            .launch_kernel(
+                s,
+                KernelShape::Gemm { dtype: Dtype::F64, m: 8, n: 8, k: 8 },
+                Some(KernelArgs::Gemm { alpha: 1.0, beta: 0.0, a: r, b: r, c: r }),
+            )
+            .expect_err("aliased");
+        assert!(matches!(err, SimError::InvalidAccess { .. }));
+    }
+
+    #[test]
+    fn functional_mode_requires_args() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::Functional, 1);
+        let s = gpu.create_stream();
+        let err = gpu
+            .launch_kernel(s, KernelShape::Axpy { dtype: Dtype::F64, n: 4 }, None)
+            .expect_err("no args");
+        assert!(matches!(err, SimError::InvalidAccess { .. }));
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        let err = gpu
+            .launch_kernel(StreamId(9), KernelShape::Axpy { dtype: Dtype::F64, n: 4 }, None)
+            .expect_err("no stream");
+        assert!(matches!(err, SimError::UnknownStream { id: 9 }));
+    }
+
+    #[test]
+    fn trace_records_overlap() {
+        let mut gpu = Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1);
+        let s_copy = gpu.create_stream();
+        let s_exec = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F64, 1 << 22, true);
+        let d = gpu.alloc_device(Dtype::F64, 1 << 22).expect("alloc");
+        gpu.memcpy_h2d_async(s_copy, CopyDesc::contiguous(h, d, 1 << 22)).expect("h2d");
+        gpu.launch_kernel(
+            s_exec,
+            KernelShape::Gemm { dtype: Dtype::F64, m: 2048, n: 2048, k: 2048 },
+            None,
+        )
+        .expect("launch");
+        gpu.synchronize().expect("sync");
+        let t = gpu.trace();
+        assert_eq!(t.entries().len(), 2);
+        // Both started at t=0 on separate engines — they overlap.
+        assert_eq!(t.entries()[0].start, t.entries()[1].start);
+    }
+}

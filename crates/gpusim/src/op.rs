@@ -1,0 +1,297 @@
+//! Operation descriptors: the units of work enqueued on simulated streams.
+
+use crate::error::SimError;
+use crate::kernel::KernelShape;
+use crate::memory::{DevBufId, HostBufId, Payload};
+
+/// Identifier of a simulated stream (the CUDA-stream analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// Raw index, for display purposes.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a recorded inter-stream synchronisation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) usize);
+
+/// A 2-D strided element region inside a buffer, in elements.
+///
+/// Describes the sub-matrix layout of both ends of a
+/// `cublas{Set,Get}MatrixAsync`-style copy: `rows × cols` elements starting
+/// at `offset`, with consecutive columns `ld` elements apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region2d {
+    /// Linear element offset of the region's first element.
+    pub offset: usize,
+    /// Leading dimension (stride between columns) in elements.
+    pub ld: usize,
+    /// Rows per column (contiguous run length).
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Region2d {
+    /// A contiguous 1-D region of `len` elements starting at `offset`.
+    pub fn contiguous(offset: usize, len: usize) -> Self {
+        Region2d { offset, ld: len.max(1), rows: len, cols: 1 }
+    }
+
+    /// Total element count of the region.
+    pub fn elems(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// One-past-the-end linear index touched by the region (0 if empty).
+    pub fn max_index(&self) -> usize {
+        if self.rows == 0 || self.cols == 0 {
+            return 0;
+        }
+        self.offset + (self.cols - 1) * self.ld + self.rows
+    }
+
+    /// Validates the region against a buffer of `len` elements.
+    pub(crate) fn check(&self, len: usize, what: &str) -> Result<(), SimError> {
+        if self.rows > 0 && self.ld < self.rows {
+            return Err(SimError::InvalidAccess {
+                what: format!("{what}: ld {} < rows {}", self.ld, self.rows),
+            });
+        }
+        if self.max_index() > len {
+            return Err(SimError::InvalidAccess {
+                what: format!(
+                    "{what}: region reaches element {} of a {len}-element buffer",
+                    self.max_index()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Endpoint pair of a host↔device copy. Direction comes from the API used
+/// ([`Gpu::memcpy_h2d_async`](crate::Gpu::memcpy_h2d_async) vs
+/// [`Gpu::memcpy_d2h_async`](crate::Gpu::memcpy_d2h_async)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyDesc {
+    /// Host-side buffer.
+    pub host: HostBufId,
+    /// Region within the host buffer.
+    pub host_region: Region2d,
+    /// Device-side buffer.
+    pub dev: DevBufId,
+    /// Region within the device buffer.
+    pub dev_region: Region2d,
+}
+
+impl CopyDesc {
+    /// Copy of `len` contiguous elements between the starts of two buffers.
+    pub fn contiguous(host: HostBufId, dev: DevBufId, len: usize) -> Self {
+        CopyDesc {
+            host,
+            host_region: Region2d::contiguous(0, len),
+            dev,
+            dev_region: Region2d::contiguous(0, len),
+        }
+    }
+
+    /// Validates region shape agreement (`rows × cols` must match).
+    pub(crate) fn check_shapes(&self) -> Result<(), SimError> {
+        if self.host_region.rows != self.dev_region.rows
+            || self.host_region.cols != self.dev_region.cols
+        {
+            return Err(SimError::InvalidAccess {
+                what: format!(
+                    "copy region shape mismatch: host {}x{} vs device {}x{}",
+                    self.host_region.rows,
+                    self.host_region.cols,
+                    self.dev_region.rows,
+                    self.dev_region.cols
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Reference to a column-major matrix stored inside a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevMatRef {
+    /// Device buffer holding the matrix.
+    pub buf: DevBufId,
+    /// Element offset of element (0, 0).
+    pub offset: usize,
+    /// Leading dimension in elements.
+    pub ld: usize,
+}
+
+/// Reference to a contiguous vector stored inside a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevVecRef {
+    /// Device buffer holding the vector.
+    pub buf: DevBufId,
+    /// Element offset of the first element.
+    pub offset: usize,
+}
+
+/// Functional-mode arguments of a kernel launch. `None` in timing-only mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArgs {
+    /// Arguments for [`KernelShape::Gemm`].
+    Gemm {
+        /// Scale on `A·B`.
+        alpha: f64,
+        /// Scale on the prior value of `C`.
+        beta: f64,
+        /// Left operand (`m × k`).
+        a: DevMatRef,
+        /// Right operand (`k × n`).
+        b: DevMatRef,
+        /// Output operand (`m × n`); must not alias `a` or `b`.
+        c: DevMatRef,
+    },
+    /// Arguments for [`KernelShape::Axpy`].
+    Axpy {
+        /// Scale on `x`.
+        alpha: f64,
+        /// Input vector.
+        x: DevVecRef,
+        /// In/out vector; must not alias `x`.
+        y: DevVecRef,
+    },
+    /// Arguments for [`KernelShape::Dot`].
+    Dot {
+        /// First input vector.
+        x: DevVecRef,
+        /// Second input vector (may alias `x` for norms).
+        y: DevVecRef,
+        /// One-element output slot for the partial result; must not alias
+        /// the inputs.
+        out: DevVecRef,
+    },
+    /// Arguments for [`KernelShape::Gemv`].
+    Gemv {
+        /// Scale on `A·x`.
+        alpha: f64,
+        /// Scale on the prior value of `y`.
+        beta: f64,
+        /// Matrix operand (`m × n`).
+        a: DevMatRef,
+        /// Input vector (`n`).
+        x: DevVecRef,
+        /// In/out vector (`m`); must not alias `a` or `x`.
+        y: DevVecRef,
+    },
+}
+
+/// What an enqueued op does. Crate-internal; users go through the `Gpu` API.
+#[derive(Debug, Clone)]
+pub(crate) enum OpKind {
+    H2d {
+        desc: CopyDesc,
+        bytes: usize,
+        pageable: bool,
+    },
+    D2h {
+        desc: CopyDesc,
+        bytes: usize,
+        pageable: bool,
+    },
+    Kernel {
+        shape: KernelShape,
+        args: Option<KernelArgs>,
+        /// Noise-free duration in seconds, fixed at enqueue time.
+        base_secs: f64,
+    },
+    EventRecord(EventId),
+    EventWait(EventId),
+}
+
+impl OpKind {
+    pub(crate) fn label(&self) -> String {
+        match self {
+            OpKind::H2d { bytes, .. } => format!("h2d {bytes}B"),
+            OpKind::D2h { bytes, .. } => format!("d2h {bytes}B"),
+            OpKind::Kernel { shape, .. } => shape.label(),
+            OpKind::EventRecord(e) => format!("record ev{}", e.0),
+            OpKind::EventWait(e) => format!("wait ev{}", e.0),
+        }
+    }
+}
+
+/// Internal handle for an enqueued op.
+pub(crate) type OpId = usize;
+
+/// One enqueued operation.
+#[derive(Debug, Clone)]
+pub(crate) struct Op {
+    pub stream: StreamId,
+    pub kind: OpKind,
+}
+
+/// Validates that a matrix reference fits inside its payload.
+pub(crate) fn check_mat_ref(
+    payload: &Payload,
+    r: &DevMatRef,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> Result<(), SimError> {
+    let region = Region2d { offset: r.offset, ld: r.ld, rows, cols };
+    region.check(payload.len(), what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_region() {
+        let r = Region2d::contiguous(3, 10);
+        assert_eq!(r.elems(), 10);
+        assert_eq!(r.max_index(), 13);
+    }
+
+    #[test]
+    fn empty_region_max_index_zero() {
+        let r = Region2d { offset: 5, ld: 4, rows: 0, cols: 0 };
+        assert_eq!(r.max_index(), 0);
+        assert!(r.check(0, "x").is_ok());
+    }
+
+    #[test]
+    fn region_bounds_check() {
+        let r = Region2d { offset: 0, ld: 4, rows: 4, cols: 3 };
+        assert_eq!(r.max_index(), 12);
+        assert!(r.check(12, "x").is_ok());
+        assert!(r.check(11, "x").is_err());
+    }
+
+    #[test]
+    fn region_ld_too_small_rejected() {
+        let r = Region2d { offset: 0, ld: 2, rows: 4, cols: 1 };
+        assert!(r.check(100, "x").is_err());
+    }
+
+    #[test]
+    fn copy_shape_mismatch_rejected() {
+        let desc = CopyDesc {
+            host: HostBufId(0),
+            host_region: Region2d { offset: 0, ld: 4, rows: 4, cols: 2 },
+            dev: DevBufId(0),
+            dev_region: Region2d { offset: 0, ld: 4, rows: 4, cols: 3 },
+        };
+        assert!(desc.check_shapes().is_err());
+    }
+
+    #[test]
+    fn op_labels() {
+        let k = OpKind::EventRecord(EventId(7));
+        assert!(k.label().contains("ev7"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Hardware descriptions: GPU, interconnect, measurement noise, and the two
+//! paper testbeds.
+//!
+//! A [`TestbedSpec`] is the *ground truth* the simulator executes against.
+//! The CoCoPeLia deployment step (crate `cocopelia-deploy`) never reads these
+//! numbers directly — it recovers them through micro-benchmarks exactly the
+//! way the paper does on hardware, which is what makes the model-validation
+//! loop honest.
+
+use cocopelia_hostblas::Dtype;
+
+/// One direction of the host-device interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirLinkSpec {
+    /// Fixed per-transfer setup latency in seconds (the `t_l` of §IV-A).
+    pub latency_s: f64,
+    /// Sustained bandwidth in bytes/second (the `1/t_b` of Table II).
+    pub bandwidth_bps: f64,
+}
+
+impl DirLinkSpec {
+    /// Ideal (contention-free) duration of a transfer of `bytes`.
+    pub fn ideal_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// Full-duplex interconnect with asymmetric bidirectional slowdown.
+///
+/// While transfers are active in *both* directions, each direction's
+/// instantaneous rate drops to `bandwidth / sl_dir` (§III-B2 of the paper;
+/// the `sl` column of Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Host-to-device direction.
+    pub h2d: DirLinkSpec,
+    /// Device-to-host direction.
+    pub d2h: DirLinkSpec,
+    /// h2d slowdown factor while d2h is simultaneously transferring (>= 1).
+    pub sl_h2d_bid: f64,
+    /// d2h slowdown factor while h2d is simultaneously transferring (>= 1).
+    pub sl_d2h_bid: f64,
+    /// Bandwidth multiplier (< 1) applied to transfers from/to pageable
+    /// (non-pinned) host memory.
+    pub pageable_factor: f64,
+}
+
+/// Per-architecture quantisation behaviour of the BLAS kernels.
+///
+/// The paper observes (§V-C) that the V100 shows performance *spikes* for
+/// particular problem sizes that its model does not capture, while the K40
+/// does not. We reproduce that as a dimension-alignment bonus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantProfile {
+    /// Smooth performance surface (K40-like).
+    Smooth,
+    /// Alignment-sensitive surface (V100-like): dimensions that are
+    /// multiples of 256/128/64 run at full speed; others lose efficiency.
+    Spiky,
+}
+
+impl QuantProfile {
+    /// Efficiency multiplier for a kernel whose dimensions are `dims`.
+    pub fn factor(&self, dims: &[usize]) -> f64 {
+        match self {
+            QuantProfile::Smooth => 1.0,
+            QuantProfile::Spiky => {
+                let worst = dims
+                    .iter()
+                    .filter(|&&d| d > 0)
+                    .map(|&d| {
+                        if d % 256 == 0 {
+                            1.0
+                        } else if d % 128 == 0 {
+                            0.97
+                        } else if d % 64 == 0 {
+                            0.93
+                        } else {
+                            0.86
+                        }
+                    })
+                    .fold(1.0f64, f64::min);
+                worst
+            }
+        }
+    }
+}
+
+/// Compute-side description of the simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Peak double-precision throughput in FLOP/s.
+    pub fp64_peak_flops: f64,
+    /// Peak single-precision throughput in FLOP/s.
+    pub fp32_peak_flops: f64,
+    /// Device memory bandwidth in bytes/second (bounds level-1/2 kernels).
+    pub mem_bandwidth_bps: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity_bytes: usize,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Resident thread blocks each SM can run concurrently for the BLAS
+    /// kernels modelled here.
+    pub blocks_per_sm: usize,
+    /// Fixed kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Fraction of peak a perfectly-sized gemm reaches.
+    pub gemm_eff_max: f64,
+    /// Fraction of memory bandwidth the streaming kernels reach.
+    pub mem_eff_max: f64,
+    /// Alignment sensitivity of kernel performance.
+    pub quant: QuantProfile,
+}
+
+impl GpuSpec {
+    /// Peak FLOP/s for the given precision.
+    pub fn peak_flops(&self, dtype: Dtype) -> f64 {
+        match dtype {
+            Dtype::F32 => self.fp32_peak_flops,
+            Dtype::F64 => self.fp64_peak_flops,
+        }
+    }
+}
+
+/// Magnitude of multiplicative measurement noise injected by the simulator.
+///
+/// Real micro-benchmarks observe run-to-run variance; the paper's deployment
+/// loop (§IV-A) repeats every measurement until the 95 % confidence interval
+/// of the mean falls within 5 % of it. Zero-noise configurations make the
+/// simulator fully deterministic for property tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSpec {
+    /// Relative standard deviation of kernel durations.
+    pub kernel_sigma: f64,
+    /// Relative standard deviation of transfer bandwidth.
+    pub transfer_sigma: f64,
+}
+
+impl NoiseSpec {
+    /// No noise: every run of the same schedule takes identical virtual time.
+    pub const NONE: NoiseSpec = NoiseSpec { kernel_sigma: 0.0, transfer_sigma: 0.0 };
+
+    /// Noise levels representative of a quiet dedicated node.
+    pub const REALISTIC: NoiseSpec = NoiseSpec { kernel_sigma: 0.015, transfer_sigma: 0.01 };
+}
+
+/// A complete simulated machine: GPU + interconnect + noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedSpec {
+    /// Short identifier used in reports ("Testbed I", …).
+    pub name: String,
+    /// Compute description.
+    pub gpu: GpuSpec,
+    /// Interconnect description.
+    pub link: LinkSpec,
+    /// Measurement noise.
+    pub noise: NoiseSpec,
+}
+
+/// Paper Testbed I: NVIDIA Tesla K40 behind PCIe Gen2 (Table II/III).
+///
+/// Link coefficients are taken from Table II (h2d 3.15 GB/s, d2h 3.29 GB/s,
+/// `sl` 1.0 / 1.16); compute figures from the K40 datasheet era the paper
+/// references.
+pub fn testbed_i() -> TestbedSpec {
+    TestbedSpec {
+        name: "Testbed I (K40)".to_owned(),
+        gpu: GpuSpec {
+            name: "NVIDIA Tesla K40".to_owned(),
+            fp64_peak_flops: 1.43e12,
+            fp32_peak_flops: 4.29e12,
+            mem_bandwidth_bps: 288e9,
+            mem_capacity_bytes: 12 * (1 << 30),
+            sm_count: 15,
+            blocks_per_sm: 2,
+            launch_overhead_s: 8e-6,
+            gemm_eff_max: 0.84,
+            mem_eff_max: 0.80,
+            quant: QuantProfile::Smooth,
+        },
+        link: LinkSpec {
+            h2d: DirLinkSpec { latency_s: 2.4e-6, bandwidth_bps: 3.15e9 },
+            d2h: DirLinkSpec { latency_s: 2.2e-6, bandwidth_bps: 3.29e9 },
+            sl_h2d_bid: 1.0,
+            sl_d2h_bid: 1.16,
+            pageable_factor: 0.55,
+        },
+        noise: NoiseSpec::REALISTIC,
+    }
+}
+
+/// Paper Testbed II: NVIDIA Tesla V100 behind PCIe Gen3 x16 (Table II/III).
+///
+/// Link coefficients from Table II (h2d 12.18 GB/s, d2h 12.98 GB/s, `sl`
+/// 1.27 / 1.41). The V100's spiky kernel-performance surface (§V-C) is
+/// enabled via [`QuantProfile::Spiky`].
+pub fn testbed_ii() -> TestbedSpec {
+    TestbedSpec {
+        name: "Testbed II (V100)".to_owned(),
+        gpu: GpuSpec {
+            name: "NVIDIA Tesla V100".to_owned(),
+            fp64_peak_flops: 7.8e12,
+            fp32_peak_flops: 15.7e12,
+            mem_bandwidth_bps: 900e9,
+            mem_capacity_bytes: 16 * (1 << 30),
+            sm_count: 80,
+            blocks_per_sm: 2,
+            launch_overhead_s: 5e-6,
+            gemm_eff_max: 0.93,
+            mem_eff_max: 0.85,
+            quant: QuantProfile::Spiky,
+        },
+        link: LinkSpec {
+            h2d: DirLinkSpec { latency_s: 2.5e-6, bandwidth_bps: 12.18e9 },
+            d2h: DirLinkSpec { latency_s: 2.5e-6, bandwidth_bps: 12.98e9 },
+            sl_h2d_bid: 1.27,
+            sl_d2h_bid: 1.41,
+            pageable_factor: 0.55,
+        },
+        noise: NoiseSpec::REALISTIC,
+    }
+}
+
+/// A synthetic testbed with a configurable bandwidth/FLOP ratio, used by the
+/// ablation benchmarks to sweep machine balance ("future machines with
+/// different transfer bandwidth/computation ratios", §II-A).
+///
+/// `bw_scale` multiplies both link bandwidths of Testbed II.
+pub fn synthetic_testbed(bw_scale: f64) -> TestbedSpec {
+    let mut tb = testbed_ii();
+    tb.name = format!("Synthetic (V100 x link {bw_scale:.2})");
+    tb.link.h2d.bandwidth_bps *= bw_scale;
+    tb.link.d2h.bandwidth_bps *= bw_scale;
+    tb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbeds_have_expected_bandwidth_ratio() {
+        let (a, b) = (testbed_i(), testbed_ii());
+        let ratio = b.link.h2d.bandwidth_bps / a.link.h2d.bandwidth_bps;
+        // "Testbed II has almost 3x higher bandwidth than testbed I"
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ideal_time_has_latency_floor() {
+        let d = DirLinkSpec { latency_s: 1e-5, bandwidth_bps: 1e9 };
+        assert!((d.ideal_time(0) - 1e-5).abs() < 1e-15);
+        assert!((d.ideal_time(1_000_000_000) - 1.00001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v100_slowdowns_exceed_k40() {
+        let (a, b) = (testbed_i(), testbed_ii());
+        assert!(b.link.sl_h2d_bid > a.link.sl_h2d_bid);
+        assert!(b.link.sl_d2h_bid > a.link.sl_d2h_bid);
+        // d2h more heavily affected than h2d on both testbeds.
+        assert!(a.link.sl_d2h_bid >= a.link.sl_h2d_bid);
+        assert!(b.link.sl_d2h_bid >= b.link.sl_h2d_bid);
+    }
+
+    #[test]
+    fn quant_profiles() {
+        assert_eq!(QuantProfile::Smooth.factor(&[100, 100, 100]), 1.0);
+        assert_eq!(QuantProfile::Spiky.factor(&[256, 512, 1024]), 1.0);
+        assert!(QuantProfile::Spiky.factor(&[100, 256, 256]) < 0.9);
+        assert_eq!(QuantProfile::Spiky.factor(&[128, 256, 256]), 0.97);
+        // Zero dims ignored.
+        assert_eq!(QuantProfile::Spiky.factor(&[0]), 1.0);
+    }
+
+    #[test]
+    fn peak_selects_precision() {
+        let tb = testbed_ii();
+        assert!(tb.gpu.peak_flops(Dtype::F32) > tb.gpu.peak_flops(Dtype::F64));
+    }
+
+    #[test]
+    fn synthetic_scales_link_only() {
+        let base = testbed_ii();
+        let syn = synthetic_testbed(0.5);
+        assert!((syn.link.h2d.bandwidth_bps - base.link.h2d.bandwidth_bps * 0.5).abs() < 1.0);
+        assert_eq!(syn.gpu.fp64_peak_flops, base.gpu.fp64_peak_flops);
+    }
+}

@@ -1,0 +1,200 @@
+//! Execution traces: what ran where and when on the simulated device.
+//!
+//! Traces back the model-validation experiments (overlap can be inspected,
+//! not just trusted) and power the Gantt rendering used by the
+//! `pipeline_gantt` example, which reproduces the pipeline anatomy of the
+//! paper's Figure 2.
+
+use crate::op::StreamId;
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// The three hardware engines of the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EngineKind {
+    /// Host-to-device DMA copy engine.
+    CopyH2d,
+    /// Device-to-host DMA copy engine.
+    CopyD2h,
+    /// Kernel execution engine (the SM array as a unit).
+    Compute,
+}
+
+impl EngineKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::CopyH2d => "h2d",
+            EngineKind::CopyD2h => "d2h",
+            EngineKind::Compute => "exec",
+        }
+    }
+}
+
+/// One completed operation occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Op sequence number (global enqueue order).
+    pub op: usize,
+    /// Stream the op was enqueued on.
+    pub stream: StreamId,
+    /// Engine that executed it.
+    pub engine: EngineKind,
+    /// Human-readable description.
+    pub label: String,
+    /// Start of execution on the engine.
+    pub start: SimTime,
+    /// End of execution.
+    pub end: SimTime,
+    /// Bytes moved, for copies.
+    pub bytes: Option<usize>,
+}
+
+impl TraceEntry {
+    /// Wall-clock duration of the entry.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Chronological record of everything the simulated device executed.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// All entries in completion order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub(crate) fn entry_mut(&mut self, idx: usize) -> Option<&mut TraceEntry> {
+        self.entries.get_mut(idx)
+    }
+
+    /// Total busy time per engine.
+    pub fn engine_busy(&self, engine: EngineKind) -> SimTime {
+        let ns = self
+            .entries
+            .iter()
+            .filter(|e| e.engine == engine)
+            .map(|e| e.duration().as_nanos())
+            .sum();
+        SimTime::from_nanos(ns)
+    }
+
+    /// Total bytes moved in one copy direction.
+    pub fn bytes_moved(&self, engine: EngineKind) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.engine == engine)
+            .filter_map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Renders an ASCII Gantt chart, one row per engine, `width` columns
+    /// spanning the trace's time extent.
+    ///
+    /// `h2d` rows show `>`, `d2h` rows `<`, compute rows `#`. Overlapping
+    /// occupancy in a column keeps the busiest glyph.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let t_end = self.entries.iter().map(|e| e.end.as_nanos()).max().unwrap_or(0);
+        let t_start = self.entries.iter().map(|e| e.start.as_nanos()).min().unwrap_or(0);
+        let span = (t_end - t_start).max(1) as f64;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "time span: {} .. {} ({})",
+            SimTime::from_nanos(t_start),
+            SimTime::from_nanos(t_end),
+            SimTime::from_nanos(t_end - t_start)
+        );
+        for engine in [EngineKind::CopyH2d, EngineKind::Compute, EngineKind::CopyD2h] {
+            let glyph = match engine {
+                EngineKind::CopyH2d => '>',
+                EngineKind::CopyD2h => '<',
+                EngineKind::Compute => '#',
+            };
+            let mut row = vec![' '; width];
+            for e in self.entries.iter().filter(|e| e.engine == engine) {
+                let a = ((e.start.as_nanos() - t_start) as f64 / span * width as f64) as usize;
+                let b = ((e.end.as_nanos() - t_start) as f64 / span * width as f64).ceil() as usize;
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = glyph;
+                }
+            }
+            let _ = writeln!(out, "{:>4} |{}|", engine.name(), row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(engine: EngineKind, start: u64, end: u64, bytes: Option<usize>) -> TraceEntry {
+        TraceEntry {
+            op: 0,
+            stream: StreamId(0),
+            engine,
+            label: "t".to_owned(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_per_engine() {
+        let mut t = Trace::default();
+        t.push(entry(EngineKind::CopyH2d, 0, 100, Some(10)));
+        t.push(entry(EngineKind::CopyH2d, 150, 250, Some(20)));
+        t.push(entry(EngineKind::Compute, 50, 80, None));
+        assert_eq!(t.engine_busy(EngineKind::CopyH2d).as_nanos(), 200);
+        assert_eq!(t.engine_busy(EngineKind::Compute).as_nanos(), 30);
+        assert_eq!(t.bytes_moved(EngineKind::CopyH2d), 30);
+        assert_eq!(t.bytes_moved(EngineKind::CopyD2h), 0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut t = Trace::default();
+        t.push(entry(EngineKind::CopyH2d, 0, 50, Some(1)));
+        t.push(entry(EngineKind::Compute, 50, 100, None));
+        let g = t.gantt(40);
+        assert!(g.contains("h2d"));
+        assert!(g.contains("exec"));
+        assert!(g.contains('>'));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_gantt_does_not_panic() {
+        let t = Trace::default();
+        let g = t.gantt(20);
+        assert!(g.contains("time span"));
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

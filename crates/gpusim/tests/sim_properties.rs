@@ -1,0 +1,173 @@
+//! Property-based invariants of the discrete-event engine, checked over
+//! randomly generated schedules: engines never double-book, makespans are
+//! bounded by engine work, contention can only slow transfers down, and
+//! equal seeds replay identically.
+
+use cocopelia_gpusim::{
+    testbed_i, testbed_ii, CopyDesc, EngineKind, ExecMode, Gpu, KernelShape, NoiseSpec,
+    TestbedSpec,
+};
+use cocopelia_hostblas::Dtype;
+use proptest::prelude::*;
+
+fn quiet(mut tb: TestbedSpec) -> TestbedSpec {
+    tb.noise = NoiseSpec::NONE;
+    tb
+}
+
+/// One randomly-chosen op for the schedule generator.
+#[derive(Debug, Clone, Copy)]
+enum RandOp {
+    H2d { elems: usize },
+    D2h { elems: usize },
+    Kernel { n: usize },
+}
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    prop_oneof![
+        (1usize..200_000).prop_map(|elems| RandOp::H2d { elems }),
+        (1usize..200_000).prop_map(|elems| RandOp::D2h { elems }),
+        (1usize..100_000).prop_map(|n| RandOp::Kernel { n }),
+    ]
+}
+
+/// Enqueues `ops` across `n_streams` round-robin and runs to completion.
+fn run_schedule(tb: TestbedSpec, ops: &[RandOp], n_streams: usize, seed: u64) -> Gpu {
+    let mut gpu = Gpu::new(tb, ExecMode::TimingOnly, seed);
+    let streams: Vec<_> = (0..n_streams).map(|_| gpu.create_stream()).collect();
+    let host = gpu.register_host_ghost(Dtype::F64, 200_000, true);
+    let dev = gpu.alloc_device(Dtype::F64, 200_000).expect("alloc");
+    for (i, op) in ops.iter().enumerate() {
+        let s = streams[i % n_streams];
+        match *op {
+            RandOp::H2d { elems } => {
+                gpu.memcpy_h2d_async(s, CopyDesc::contiguous(host, dev, elems)).expect("h2d")
+            }
+            RandOp::D2h { elems } => {
+                gpu.memcpy_d2h_async(s, CopyDesc::contiguous(host, dev, elems)).expect("d2h")
+            }
+            RandOp::Kernel { n } => gpu
+                .launch_kernel(s, KernelShape::Axpy { dtype: Dtype::F64, n }, None)
+                .expect("kernel"),
+        }
+    }
+    gpu.synchronize().expect("sync");
+    gpu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Each engine executes one op at a time: its trace entries are
+    /// disjoint in time and every op appears exactly once.
+    #[test]
+    fn engines_never_double_book(
+        ops in prop::collection::vec(rand_op(), 1..40),
+        n_streams in 1usize..5,
+    ) {
+        let gpu = run_schedule(quiet(testbed_i()), &ops, n_streams, 1);
+        let trace = gpu.trace();
+        prop_assert_eq!(trace.len(), ops.len());
+        for engine in [EngineKind::CopyH2d, EngineKind::CopyD2h, EngineKind::Compute] {
+            let mut spans: Vec<(u64, u64)> = trace
+                .entries()
+                .iter()
+                .filter(|e| e.engine == engine)
+                .map(|e| (e.start.as_nanos(), e.end.as_nanos()))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1, "{engine:?} overlap: {w:?}");
+            }
+        }
+    }
+
+    /// The makespan is at least the busiest engine's work and at most the
+    /// serial sum of all engine work.
+    #[test]
+    fn makespan_bounds(
+        ops in prop::collection::vec(rand_op(), 1..40),
+        n_streams in 1usize..5,
+    ) {
+        let gpu = run_schedule(quiet(testbed_ii()), &ops, n_streams, 2);
+        let trace = gpu.trace();
+        let makespan = trace.entries().iter().map(|e| e.end.as_nanos()).max().unwrap_or(0);
+        let busy: Vec<u64> = [EngineKind::CopyH2d, EngineKind::CopyD2h, EngineKind::Compute]
+            .iter()
+            .map(|&e| trace.engine_busy(e).as_nanos())
+            .collect();
+        prop_assert!(makespan >= *busy.iter().max().expect("engines"));
+        prop_assert!(makespan <= busy.iter().sum::<u64>());
+    }
+
+    /// More streams can only help (or tie): a k-stream round-robin of the
+    /// same ops never takes longer than the fully serial single stream.
+    #[test]
+    fn parallelism_never_hurts(
+        ops in prop::collection::vec(rand_op(), 1..30),
+    ) {
+        let serial = run_schedule(quiet(testbed_i()), &ops, 1, 3).now().as_nanos();
+        let parallel = run_schedule(quiet(testbed_i()), &ops, 3, 3).now().as_nanos();
+        // Allow 1ns-per-op rounding slack.
+        prop_assert!(parallel <= serial + ops.len() as u64, "{parallel} > {serial}");
+    }
+
+    /// Determinism: identical seeds replay identically even with noise;
+    /// the noise-free engine ignores the seed entirely.
+    #[test]
+    fn replay_is_deterministic(
+        ops in prop::collection::vec(rand_op(), 1..30),
+        n_streams in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = run_schedule(testbed_ii(), &ops, n_streams, seed).now();
+        let b = run_schedule(testbed_ii(), &ops, n_streams, seed).now();
+        prop_assert_eq!(a, b);
+        let c = run_schedule(quiet(testbed_ii()), &ops, n_streams, seed).now();
+        let d = run_schedule(quiet(testbed_ii()), &ops, n_streams, seed ^ 0xABCD).now();
+        prop_assert_eq!(c, d, "noise-free timing must not depend on the seed");
+    }
+
+    /// Bidirectional contention can only slow a transfer down, and by at
+    /// most its configured slowdown factor.
+    #[test]
+    fn contention_bounded_by_sl(elems in 10_000usize..500_000) {
+        let tb = quiet(testbed_ii());
+        // Alone.
+        let mut gpu = Gpu::new(tb.clone(), ExecMode::TimingOnly, 1);
+        let s = gpu.create_stream();
+        let host = gpu.register_host_ghost(Dtype::F64, elems, true);
+        let dev = gpu.alloc_device(Dtype::F64, elems).expect("alloc");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(host, dev, elems)).expect("d2h");
+        gpu.synchronize().expect("sync");
+        let alone = gpu.now().as_secs_f64();
+
+        // Against a saturating opposite stream.
+        let mut gpu = Gpu::new(tb.clone(), ExecMode::TimingOnly, 1);
+        let s1 = gpu.create_stream();
+        let s2 = gpu.create_stream();
+        let big_host = gpu.register_host_ghost(Dtype::F64, elems * 8, true);
+        let big_dev = gpu.alloc_device(Dtype::F64, elems * 8).expect("alloc");
+        let host = gpu.register_host_ghost(Dtype::F64, elems, true);
+        let dev = gpu.alloc_device(Dtype::F64, elems).expect("alloc");
+        gpu.memcpy_h2d_async(s1, CopyDesc::contiguous(big_host, big_dev, elems * 8))
+            .expect("h2d");
+        gpu.memcpy_d2h_async(s2, CopyDesc::contiguous(host, dev, elems)).expect("d2h");
+        gpu.synchronize().expect("sync");
+        let d2h_end = gpu
+            .trace()
+            .entries()
+            .iter()
+            .find(|e| e.engine == EngineKind::CopyD2h)
+            .expect("d2h entry")
+            .end
+            .as_secs_f64();
+
+        prop_assert!(d2h_end >= alone * 0.999, "contention sped the transfer up");
+        prop_assert!(
+            d2h_end <= alone * tb.link.sl_d2h_bid * 1.01,
+            "slowdown {d2h_end} exceeds sl bound {}",
+            alone * tb.link.sl_d2h_bid
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Runtime descriptor of the two BLAS element types.
+
+/// Runtime tag for the floating-point precision of a buffer or routine.
+///
+/// Mirrors the `s`/`d` prefix of the BLAS naming scheme (`sgemm` vs `dgemm`).
+/// Lives in this leaf crate so the simulator, models and runtime all share
+/// one definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Dtype {
+    /// IEEE-754 single precision (`f32`).
+    F32,
+    /// IEEE-754 double precision (`f64`).
+    F64,
+}
+
+impl Dtype {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn width(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F64 => 8,
+        }
+    }
+
+    /// BLAS routine prefix letter (`'s'` or `'d'`).
+    #[inline]
+    pub fn blas_prefix(self) -> char {
+        match self {
+            Dtype::F32 => 's',
+            Dtype::F64 => 'd',
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dtype::F32 => write!(f, "f32"),
+            Dtype::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Dtype::F32.width(), 4);
+        assert_eq!(Dtype::F64.width(), 8);
+    }
+
+    #[test]
+    fn prefixes() {
+        assert_eq!(Dtype::F32.blas_prefix(), 's');
+        assert_eq!(Dtype::F64.blas_prefix(), 'd');
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dtype::F64.to_string(), "f64");
+    }
+}

@@ -1,0 +1,153 @@
+//! Level-1 BLAS: vector-vector operations.
+//!
+//! These operate on plain slices, mirroring the stride-1 subset of the BLAS
+//! interface (the paper's `daxpy` evaluation uses contiguous vectors).
+
+use crate::scalar::Scalar;
+
+/// `y ← α·x + y` (the routine the paper evaluates as `daxpy`/`saxpy`).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+///
+/// # Example
+///
+/// ```
+/// let x = vec![1.0f64, 2.0];
+/// let mut y = vec![10.0, 20.0];
+/// cocopelia_hostblas::level1::axpy(2.0, &x, &mut y);
+/// assert_eq!(y, vec![12.0, 24.0]);
+/// ```
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch {} vs {}", x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product `xᵀy`, accumulated in `f64` regardless of `T`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch {} vs {}", x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(&a, &b)| a.to_f64() * b.to_f64()).sum()
+}
+
+/// `x ← α·x`.
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`, accumulated in `f64`.
+pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+}
+
+/// Sum of absolute values `‖x‖₁`, accumulated in `f64`.
+pub fn asum<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.to_f64().abs()).sum()
+}
+
+/// Index of the element with the largest absolute value, or `None` for an
+/// empty vector. Ties resolve to the lowest index, as in reference BLAS.
+pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.to_f64().abs();
+        match best {
+            Some((_, b)) if a <= b => {}
+            _ => best = Some((i, a)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// `y ← x`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "copy length mismatch {} vs {}", x.len(), y.len());
+    y.copy_from_slice(x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_manual() {
+        let x = [1.0f64, -2.0, 3.0];
+        let mut y = [0.5, 0.5, 0.5];
+        axpy(3.0, &x, &mut y);
+        assert_eq!(y, [3.5, -5.5, 9.5]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_identity() {
+        let x = [1.0f32; 8];
+        let mut y = [2.0f32; 8];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [2.0f32; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = [1.0f64; 3];
+        let mut y = [1.0f64; 4];
+        axpy(1.0, &x, &mut y);
+    }
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        let x = [1.0f64, 0.0];
+        let y = [0.0f64, 1.0];
+        assert_eq!(dot(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn dot_accumulates_in_f64() {
+        // 1e8 f32 ones would lose precision in f32 accumulation; our f64
+        // accumulator keeps small cases exact.
+        let x = vec![1.0f32; 1000];
+        assert_eq!(dot(&x, &x), 1000.0);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0f64, 2.0, 3.0];
+        scal(-2.0, &mut x);
+        assert_eq!(x, [-2.0, -4.0, -6.0]);
+    }
+
+    #[test]
+    fn nrm2_pythagorean() {
+        assert!((nrm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asum_absolute() {
+        assert_eq!(asum(&[-1.0f64, 2.0, -3.0]), 6.0);
+    }
+
+    #[test]
+    fn iamax_first_tie_wins() {
+        assert_eq!(iamax(&[1.0f64, -3.0, 3.0]), Some(1));
+        assert_eq!(iamax::<f64>(&[]), None);
+    }
+
+    #[test]
+    fn copy_copies() {
+        let x = [1.0f64, 2.0];
+        let mut y = [0.0f64; 2];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+    }
+}

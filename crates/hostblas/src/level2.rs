@@ -1,0 +1,114 @@
+//! Level-2 BLAS: matrix-vector operations.
+
+use crate::matrix::MatrixView;
+use crate::scalar::Scalar;
+
+/// `y ← α·A·x + β·y` for an `m × n` matrix `A` (no-transpose `gemv`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != A.cols()` or `y.len() != A.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use cocopelia_hostblas::{Matrix, level2};
+///
+/// let a = Matrix::<f64>::from_fn(2, 2, |i, j| if i == j { 2.0 } else { 0.0 });
+/// let x = vec![1.0, 3.0];
+/// let mut y = vec![0.0, 0.0];
+/// level2::gemv(1.0, &a.view(), &x, 0.0, &mut y);
+/// assert_eq!(y, vec![2.0, 6.0]);
+/// ```
+pub fn gemv<T: Scalar>(alpha: T, a: &MatrixView<'_, T>, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(x.len(), a.cols(), "gemv: x length {} != A cols {}", x.len(), a.cols());
+    assert_eq!(y.len(), a.rows(), "gemv: y length {} != A rows {}", y.len(), a.rows());
+    for yi in y.iter_mut() {
+        *yi *= beta;
+    }
+    // Column-major friendly loop order: walk columns of A.
+    for (j, &xj) in x.iter().enumerate() {
+        let axj = alpha * xj;
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi += a.get(i, j) * axj;
+        }
+    }
+}
+
+/// Rank-1 update `A ← A + α·x·yᵀ`, returned as a fresh dense matrix-update
+/// applied through the mutable view.
+///
+/// # Panics
+///
+/// Panics if `x.len() != A.rows()` or `y.len() != A.cols()`.
+pub fn ger<T: Scalar>(
+    alpha: T,
+    x: &[T],
+    y: &[T],
+    a: &mut crate::matrix::MatrixViewMut<'_, T>,
+) {
+    assert_eq!(x.len(), a.rows(), "ger: x length {} != A rows {}", x.len(), a.rows());
+    assert_eq!(y.len(), a.cols(), "ger: y length {} != A cols {}", y.len(), a.cols());
+    for (j, &yj) in y.iter().enumerate() {
+        let ayj = alpha * yj;
+        for (i, &xi) in x.iter().enumerate() {
+            let cur = a.get(i, j);
+            a.set(i, j, cur + xi * ayj);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn gemv_identity() {
+        let a = Matrix::<f64>::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![9.0; 3];
+        gemv(1.0, &a.view(), &x, 0.0, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gemv_beta_accumulates() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let x = vec![1.0, 1.0];
+        let mut y = vec![3.0, 4.0];
+        gemv(1.0, &a.view(), &x, 2.0, &mut y);
+        assert_eq!(y, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn gemv_rectangular() {
+        // A = [[1, 2, 3], [4, 5, 6]], x = [1, 1, 1] -> y = [6, 15]
+        let a = Matrix::<f64>::from_fn(2, 3, |i, j| (i * 3 + j + 1) as f64);
+        let x = vec![1.0; 3];
+        let mut y = vec![0.0; 2];
+        gemv(1.0, &a.view(), &x, 0.0, &mut y);
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn gemv_dim_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let x = vec![0.0; 2];
+        let mut y = vec![0.0; 2];
+        gemv(1.0, &a.view(), &x, 0.0, &mut y);
+    }
+
+    #[test]
+    fn ger_outer_product() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        let x = vec![1.0, 2.0];
+        let y = vec![3.0, 4.0];
+        ger(1.0, &x, &y, &mut a.view_mut());
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 0), 6.0);
+        assert_eq!(a.get(0, 1), 4.0);
+        assert_eq!(a.get(1, 1), 8.0);
+    }
+}

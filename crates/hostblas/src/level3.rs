@@ -1,0 +1,361 @@
+//! Level-3 BLAS: matrix-matrix operations.
+//!
+//! Two `gemm` implementations are provided: a textbook triple loop
+//! ([`gemm_naive`]) used as the oracle in tests, and a cache-blocked variant
+//! ([`gemm`]) used everywhere else, including by the simulator's functional
+//! mode. Both compute `C ← α·A·B + β·C` on column-major views.
+
+use crate::matrix::{MatrixView, MatrixViewMut};
+
+use crate::scalar::Scalar;
+
+/// Cache-block edge used by [`gemm`]. Chosen to keep one block of each
+/// operand comfortably inside L1/L2 for both `f32` and `f64`.
+const BLOCK: usize = 64;
+
+/// Validates that `A (m×k)`, `B (k×n)`, `C (m×n)` dimensions agree.
+fn check_dims<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>, c: &MatrixViewMut<'_, T>) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm: A cols {} != B rows {}",
+        a.cols(),
+        b.rows()
+    );
+    assert_eq!(c.rows(), a.rows(), "gemm: C rows {} != A rows {}", c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols(), "gemm: C cols {} != B cols {}", c.cols(), b.cols());
+}
+
+/// Textbook `C ← α·A·B + β·C` triple loop. Oracle for tests; do not use on
+/// large problems.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn gemm_naive<T: Scalar>(
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    beta: T,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    check_dims(a, b, c);
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            let prev = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * prev);
+        }
+    }
+}
+
+/// Cache-blocked `C ← α·A·B + β·C`.
+///
+/// The working implementation used by the simulator's functional mode. The
+/// `β` scaling is applied exactly once per `C` element before accumulation.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use cocopelia_hostblas::{Matrix, level3};
+///
+/// let a = Matrix::<f64>::from_fn(3, 3, |i, j| (i == j) as u8 as f64 * 2.0);
+/// let b = Matrix::<f64>::from_fn(3, 3, |i, j| (i + j) as f64);
+/// let mut c = Matrix::<f64>::zeros(3, 3);
+/// level3::gemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut());
+/// assert_eq!(c.get(1, 2), 6.0); // 2 * (1 + 2)
+/// ```
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    beta: T,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    check_dims(a, b, c);
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+
+    // β pass over C.
+    for j in 0..n {
+        for i in 0..m {
+            let prev = c.get(i, j);
+            c.set(i, j, beta * prev);
+        }
+    }
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+
+    // Blocked accumulation, jj/pp/ii order keeps B and C column reuse high.
+    for jj in (0..n).step_by(BLOCK) {
+        let nb = BLOCK.min(n - jj);
+        for pp in (0..k).step_by(BLOCK) {
+            let kb = BLOCK.min(k - pp);
+            for ii in (0..m).step_by(BLOCK) {
+                let mb = BLOCK.min(m - ii);
+                for j in jj..jj + nb {
+                    for p in pp..pp + kb {
+                        let bv = alpha * b.get(p, j);
+                        if bv == T::ZERO {
+                            continue;
+                        }
+                        for i in ii..ii + mb {
+                            let prev = c.get(i, j);
+                            c.set(i, j, prev + a.get(i, p) * bv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C ← α·A·Aᵀ + β·C` for symmetric rank-k update on the full matrix (both
+/// triangles written, which is what the dense comparisons in this repo need).
+///
+/// # Panics
+///
+/// Panics if `C` is not square with `C.rows() == A.rows()`.
+pub fn syrk_full<T: Scalar>(
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    beta: T,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    assert_eq!(c.rows(), c.cols(), "syrk: C must be square");
+    assert_eq!(c.rows(), a.rows(), "syrk: C dim {} != A rows {}", c.rows(), a.rows());
+    let (m, k) = (a.rows(), a.cols());
+    for j in 0..m {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                acc += a.get(i, p) * a.get(j, p);
+            }
+            let prev = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn fill(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        // Small deterministic pseudo-random fill without external deps.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive_square() {
+        let a = fill(37, 41, 1);
+        let b = fill(41, 29, 2);
+        let mut c1 = fill(37, 29, 3);
+        let mut c2 = c1.clone();
+        gemm_naive(1.3, &a.view(), &b.view(), 0.7, &mut c1.view_mut());
+        gemm(1.3, &a.view(), &b.view(), 0.7, &mut c2.view_mut());
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_crosses_block_boundaries() {
+        // Dimensions straddling the 64 block edge.
+        let a = fill(65, 130, 4);
+        let b = fill(130, 66, 5);
+        let mut c1 = Matrix::zeros(65, 66);
+        let mut c2 = Matrix::zeros(65, 66);
+        gemm_naive(1.0, &a.view(), &b.view(), 0.0, &mut c1.view_mut());
+        gemm(1.0, &a.view(), &b.view(), 0.0, &mut c2.view_mut());
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_zero_only_scales_c() {
+        let a = fill(8, 8, 6);
+        let b = fill(8, 8, 7);
+        let mut c = fill(8, 8, 8);
+        let expect: Vec<f64> = c.as_slice().iter().map(|v| v * 0.5).collect();
+        gemm(0.0, &a.view(), &b.view(), 0.5, &mut c.view_mut());
+        assert_eq!(c.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn gemm_identity_left() {
+        let eye = Matrix::<f64>::from_fn(16, 16, |i, j| (i == j) as u8 as f64);
+        let b = fill(16, 9, 9);
+        let mut c = Matrix::zeros(16, 9);
+        gemm(1.0, &eye.view(), &b.view(), 0.0, &mut c.view_mut());
+        for (x, y) in c.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_k_zero_is_beta_scale() {
+        let a = Matrix::<f64>::zeros(4, 0);
+        let b = Matrix::<f64>::zeros(0, 4);
+        let mut c = fill(4, 4, 10);
+        let expect: Vec<f64> = c.as_slice().iter().map(|v| v * 2.0).collect();
+        gemm(1.0, &a.view(), &b.view(), 2.0, &mut c.view_mut());
+        assert_eq!(c.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A cols")]
+    fn gemm_mismatched_inner_dim_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 2);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut());
+    }
+
+    #[test]
+    fn gemm_on_sub_blocks_with_ld() {
+        // Run gemm on interior blocks of larger matrices to exercise ld != rows.
+        let big_a = fill(20, 20, 11);
+        let big_b = fill(20, 20, 12);
+        let mut big_c = Matrix::zeros(20, 20);
+        let a = big_a.block(2, 3, 5, 6);
+        let b = big_b.block(1, 4, 6, 7);
+        {
+            let mut cblk = big_c.block_mut(3, 3, 5, 7);
+            gemm(1.0, &a, &b, 0.0, &mut cblk);
+        }
+        // Oracle on packed copies.
+        let ap = a.to_matrix();
+        let bp = b.to_matrix();
+        let mut cp = Matrix::zeros(5, 7);
+        gemm_naive(1.0, &ap.view(), &bp.view(), 0.0, &mut cp.view_mut());
+        for i in 0..5 {
+            for j in 0..7 {
+                assert!((big_c.get(3 + i, 3 + j) - cp.get(i, j)).abs() < 1e-10);
+            }
+        }
+        // Untouched region stays zero.
+        assert_eq!(big_c.get(0, 0), 0.0);
+        assert_eq!(big_c.get(19, 19), 0.0);
+    }
+
+    #[test]
+    fn syrk_full_matches_gemm_with_transpose() {
+        let a = fill(6, 4, 13);
+        let at = Matrix::from_fn(4, 6, |i, j| a.get(j, i));
+        let mut c1 = Matrix::zeros(6, 6);
+        let mut c2 = Matrix::zeros(6, 6);
+        syrk_full(1.0, &a.view(), 0.0, &mut c1.view_mut());
+        gemm_naive(1.0, &a.view(), &at.view(), 0.0, &mut c2.view_mut());
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_parallel_matches_blocked() {
+        let a = fill(150, 90, 21);
+        let b = fill(90, 130, 22);
+        let c0 = fill(150, 130, 23);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm(1.1, &a.view(), &b.view(), 0.4, &mut c1.view_mut());
+        gemm_parallel(1.1, &a.view(), &b.view(), 0.4, &mut c2);
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gemm_parallel_small_fallback() {
+        let a = fill(3, 3, 24);
+        let b = fill(3, 3, 25);
+        let mut c1 = Matrix::zeros(3, 3);
+        let mut c2 = Matrix::zeros(3, 3);
+        gemm_naive(1.0, &a.view(), &b.view(), 0.0, &mut c1.view_mut());
+        gemm_parallel(1.0, &a.view(), &b.view(), 0.0, &mut c2);
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_f32_matches_naive() {
+        let a64 = fill(33, 17, 14);
+        let b64 = fill(17, 21, 15);
+        let a = Matrix::<f32>::from_fn(33, 17, |i, j| a64.get(i, j) as f32);
+        let b = Matrix::<f32>::from_fn(17, 21, |i, j| b64.get(i, j) as f32);
+        let mut c1 = Matrix::<f32>::zeros(33, 21);
+        let mut c2 = Matrix::<f32>::zeros(33, 21);
+        gemm_naive(1.0f32, &a.view(), &b.view(), 0.0, &mut c1.view_mut());
+        gemm(1.0f32, &a.view(), &b.view(), 0.0, &mut c2.view_mut());
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+}
+
+/// Multi-threaded `C ← α·A·B + β·C`: column blocks of `C` are computed by
+/// [`gemm`] on scoped threads (each thread owns a disjoint slice of `C`, so
+/// no synchronisation is needed).
+///
+/// Used by the functional simulator's host-side verification of large
+/// problems; falls back to single-threaded [`gemm`] for small outputs.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn gemm_parallel<T: Scalar>(
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    beta: T,
+    c: &mut crate::matrix::Matrix<T>,
+) {
+    {
+        let cv = c.view_mut();
+        check_dims(a, b, &cv);
+    }
+    let (m, n) = (c.rows(), c.cols());
+    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    if threads <= 1 || n < 2 || m * n < 64 * 64 {
+        return gemm(alpha, a, b, beta, &mut c.view_mut());
+    }
+    let block = n.div_ceil(threads.min(n));
+    // Column-major storage: column blocks of C are contiguous slices.
+    let mut slices: Vec<&mut [T]> = Vec::new();
+    let mut rest = c.as_mut_slice();
+    let mut col = 0usize;
+    let mut blocks = Vec::new();
+    while col < n {
+        let cols_here = block.min(n - col);
+        let (head, tail) = rest.split_at_mut(cols_here * m);
+        slices.push(head);
+        blocks.push((col, cols_here));
+        rest = tail;
+        col += cols_here;
+    }
+    std::thread::scope(|scope| {
+        for (slice, &(col0, cols_here)) in slices.into_iter().zip(&blocks) {
+            scope.spawn(move || {
+                let b_blk = b.block(0, col0, b.rows(), cols_here);
+                let mut c_blk = MatrixViewMut::new(m, cols_here, m, slice);
+                gemm(alpha, a, &b_blk, beta, &mut c_blk);
+            });
+        }
+    });
+}

@@ -1,0 +1,48 @@
+//! Reference host BLAS implementation for the CoCoPeLia reproduction.
+//!
+//! This crate provides the *numeric ground truth* for the project: plain,
+//! well-tested, column-major implementations of the BLAS routines that the
+//! CoCoPeLia paper evaluates (`axpy`, `gemv`, `gemm`), plus a handful of
+//! supporting level-1 routines. The GPU simulator
+//! (`cocopelia-gpusim`) calls into these kernels when running in *functional*
+//! mode so that every tiled schedule produced by the CoCoPeLia runtime or one
+//! of the baseline libraries can be checked bit-for-bit (well,
+//! tolerance-for-tolerance) against a single reference computation.
+//!
+//! The crate is deliberately dependency-free and makes no attempt at being
+//! fast beyond a simple cache-blocked `gemm`; correctness and clarity win
+//! every trade-off here.
+//!
+//! # Layout convention
+//!
+//! Everything is **column-major** with an explicit leading dimension, exactly
+//! like the legacy BLAS/LAPACK interface the paper's libraries
+//! (cuBLAS/cuBLASXt/BLASX) implement. Element `(i, j)` of a matrix with
+//! leading dimension `ld` lives at linear index `i + j * ld`.
+//!
+//! # Example
+//!
+//! ```
+//! use cocopelia_hostblas::{Matrix, level3};
+//!
+//! let a = Matrix::<f64>::from_fn(2, 3, |i, j| (i + j) as f64);
+//! let b = Matrix::<f64>::from_fn(3, 2, |i, j| (i * j) as f64);
+//! let mut c = Matrix::<f64>::zeros(2, 2);
+//! level3::gemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut());
+//! assert_eq!(c.get(0, 0), 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod dtype;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod matrix;
+pub mod scalar;
+pub mod tiling;
+pub mod validate;
+
+pub use dtype::Dtype;
+pub use matrix::{Matrix, MatrixView, MatrixViewMut};
+pub use scalar::Scalar;

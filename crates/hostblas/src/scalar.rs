@@ -1,0 +1,182 @@
+//! The [`Scalar`] abstraction over the two BLAS floating-point types.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type usable by every routine in this crate.
+///
+/// Implemented for exactly `f32` and `f64` — the two precisions the paper's
+/// evaluation covers (`sgemm`/`dgemm`, `daxpy`). The trait is sealed: BLAS
+/// semantics are only defined for these two types here, and keeping the set
+/// closed lets downstream code match exhaustively on
+/// [`width`](Scalar::WIDTH).
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Send
+    + Sync
+    + private::Sealed
+    + 'static
+{
+    /// Size of the type in bytes (4 for `f32`, 8 for `f64`).
+    const WIDTH: usize;
+
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Machine epsilon of the type.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (used to inject test data and constants).
+    fn from_f64(v: f64) -> Self;
+
+    /// Lossless widening to `f64` (used for error norms and accumulation).
+    fn to_f64(self) -> f64;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+
+    /// Larger of two values (NaN-propagating like `f64::max` is *not*
+    /// required; ties resolve to `self`).
+    fn max_val(self, other: Self) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+impl Scalar for f32 {
+    const WIDTH: usize = 4;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline]
+    fn max_val(self, other: Self) -> Self {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Scalar for f64 {
+    const WIDTH: usize = 8;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline]
+    fn max_val(self, other: Self) -> Self {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_size_of() {
+        assert_eq!(f32::WIDTH, std::mem::size_of::<f32>());
+        assert_eq!(f64::WIDTH, std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::ZERO + f64::ONE, 1.0f64);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let x = 1.25f64;
+        assert_eq!(f64::from_f64(x).to_f64(), x);
+    }
+
+    #[test]
+    fn f32_narrowing() {
+        let x = 0.1f64;
+        let narrowed = f32::from_f64(x);
+        assert!((narrowed.to_f64() - x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn abs_and_sqrt() {
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert_eq!(4.0f32.sqrt(), 2.0);
+    }
+
+    #[test]
+    fn max_val_picks_larger() {
+        assert_eq!(1.0f64.max_val(2.0), 2.0);
+        assert_eq!(3.0f32.max_val(2.0), 3.0);
+    }
+}

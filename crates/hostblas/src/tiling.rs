@@ -1,0 +1,140 @@
+//! Square-tiling arithmetic shared by the schedulers and the models.
+//!
+//! The paper splits every problem dimension with a single tiling size `T`
+//! (§III-B): a dimension of extent `d` becomes `ceil(d / T)` tiles, the last
+//! of which may be short. This module is the single source of truth for that
+//! decomposition so the runtime scheduler, the baselines, and the prediction
+//! models can never disagree about tile counts or extents.
+
+/// Integer ceiling division.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    assert!(b != 0, "ceil_div by zero");
+    a.div_ceil(b)
+}
+
+/// One tile interval `[start, start + len)` of a 1-D decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRange {
+    /// First element index covered by this tile.
+    pub start: usize,
+    /// Number of elements in this tile (`<= T`, `> 0`).
+    pub len: usize,
+}
+
+/// Splits the extent `dim` into tiles of size `t` (last tile may be short).
+///
+/// Returns an empty vector for `dim == 0`.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cocopelia_hostblas::tiling::split;
+///
+/// let tiles = split(10, 4);
+/// assert_eq!(tiles.len(), 3);
+/// assert_eq!(tiles[2].start, 8);
+/// assert_eq!(tiles[2].len, 2);
+/// ```
+pub fn split(dim: usize, t: usize) -> Vec<TileRange> {
+    assert!(t != 0, "tile size must be positive");
+    let mut out = Vec::with_capacity(ceil_div(dim.max(1), t));
+    let mut start = 0;
+    while start < dim {
+        let len = t.min(dim - start);
+        out.push(TileRange { start, len });
+        start += len;
+    }
+    out
+}
+
+/// Number of tiles `ceil(dim / t)` without materialising them.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+#[inline]
+pub fn tile_count(dim: usize, t: usize) -> usize {
+    assert!(t != 0, "tile size must be positive");
+    ceil_div(dim, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_exact_division() {
+        let tiles = split(8, 4);
+        assert_eq!(tiles.len(), 2);
+        assert!(tiles.iter().all(|t| t.len == 4));
+    }
+
+    #[test]
+    fn split_with_remainder() {
+        let tiles = split(9, 4);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[2].len, 1);
+    }
+
+    #[test]
+    fn split_tile_larger_than_dim() {
+        let tiles = split(3, 100);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], TileRange { start: 0, len: 3 });
+    }
+
+    #[test]
+    fn split_zero_dim_is_empty() {
+        assert!(split(0, 4).is_empty());
+        assert_eq!(tile_count(0, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn split_zero_tile_panics() {
+        let _ = split(4, 0);
+    }
+
+    #[test]
+    fn tile_count_matches_split_len() {
+        for dim in [1usize, 5, 16, 100, 1023] {
+            for t in [1usize, 2, 7, 16, 2048] {
+                assert_eq!(tile_count(dim, t), split(dim, t).len());
+            }
+        }
+    }
+
+    proptest! {
+        /// Tiles partition [0, dim): contiguous, disjoint, full coverage.
+        #[test]
+        fn tiles_partition_dimension(dim in 0usize..10_000, t in 1usize..4096) {
+            let tiles = split(dim, t);
+            let mut cursor = 0usize;
+            for tile in &tiles {
+                prop_assert_eq!(tile.start, cursor);
+                prop_assert!(tile.len >= 1 && tile.len <= t);
+                cursor += tile.len;
+            }
+            prop_assert_eq!(cursor, dim);
+        }
+
+        /// Only the final tile may be shorter than `t`.
+        #[test]
+        fn only_last_tile_short(dim in 1usize..10_000, t in 1usize..4096) {
+            let tiles = split(dim, t);
+            for tile in &tiles[..tiles.len() - 1] {
+                prop_assert_eq!(tile.len, t);
+            }
+        }
+    }
+}

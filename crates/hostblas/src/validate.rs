@@ -1,0 +1,95 @@
+//! Numeric comparison helpers used by the integration tests to check tiled
+//! schedules against the reference kernels.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Maximum element-wise relative error between two equally-sized slices.
+///
+/// The denominator is `max(|a|, |b|, floor)` with `floor = 1e-30` to avoid
+/// dividing by zero on exactly-zero entries.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_rel_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch {} vs {}", a.len(), b.len());
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let (xf, yf) = (x.to_f64(), y.to_f64());
+        let denom = xf.abs().max(yf.abs()).max(1e-30);
+        let err = (xf - yf).abs() / denom;
+        if err > worst {
+            worst = err;
+        }
+    }
+    worst
+}
+
+/// Maximum element-wise absolute error between two equally-sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `true` if two matrices agree element-wise within `tol` relative error.
+pub fn matrices_close<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, tol: f64) -> bool {
+    a.rows() == b.rows() && a.cols() == b.cols() && max_rel_err(a.as_slice(), b.as_slice()) <= tol
+}
+
+/// Reasonable comparison tolerance for an accumulation of depth `k` in
+/// precision `T`: `k·ε·64`, floored at `64·ε`.
+///
+/// Used by the scheduler correctness tests, where tiled and reference `gemm`
+/// accumulate in different orders.
+pub fn gemm_tolerance<T: Scalar>(k: usize) -> f64 {
+    let eps = T::EPSILON.to_f64();
+    (k.max(1) as f64) * eps * 64.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_slices_have_zero_error() {
+        let a = [1.0f64, -2.0, 3.0];
+        assert_eq!(max_rel_err(&a, &a), 0.0);
+        assert_eq!(max_abs_err(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rel_err_detects_difference() {
+        let a = [1.0f64];
+        let b = [1.1f64];
+        let err = max_rel_err(&a, &b);
+        assert!((err - 0.1 / 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_entries_do_not_divide_by_zero() {
+        let a = [0.0f64];
+        let b = [0.0f64];
+        assert_eq!(max_rel_err(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn matrices_close_shape_mismatch_is_false() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let b = Matrix::<f64>::zeros(2, 3);
+        assert!(!matrices_close(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn tolerance_scales_with_k() {
+        assert!(gemm_tolerance::<f64>(1000) > gemm_tolerance::<f64>(10));
+        assert!(gemm_tolerance::<f32>(10) > gemm_tolerance::<f64>(10));
+    }
+}

@@ -1,0 +1,587 @@
+//! The CoCoPeLia library handle: routine wrappers, runtime tiling-size
+//! selection with model reuse, and device-residency management.
+
+use crate::error::RuntimeError;
+use crate::operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};
+use crate::scheduler::{axpy, dot, gemm, gemv, Streams};
+use cocopelia_core::models::{ModelCtx, ModelKind};
+use cocopelia_core::params::{Loc, ProblemSpec, RoutineClass};
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::select::{Selection, TileSelector};
+use cocopelia_gpusim::{CopyDesc, Gpu, SimScalar, SimTime};
+use cocopelia_hostblas::{Dtype, Matrix};
+use std::collections::HashMap;
+
+/// Key for the model-reuse cache (§IV-C: "initialize the corresponding
+/// model only the first time a user makes a call … with a set of
+/// parameters").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SelectKey {
+    routine: RoutineClass,
+    dtype: Dtype,
+    dims: Vec<usize>,
+    /// Per-operand (location, input, output) — everything the models read
+    /// from the operand list.
+    flags: Vec<(Loc, bool, bool)>,
+    model: ModelKind,
+}
+
+impl SelectKey {
+    fn of(problem: &ProblemSpec, model: ModelKind) -> Self {
+        SelectKey {
+            routine: problem.routine,
+            dtype: problem.dtype,
+            dims: problem.dims(),
+            flags: problem.operands.iter().map(|o| (o.loc, o.input, o.output)).collect(),
+            model,
+        }
+    }
+}
+
+/// Facts about one executed routine call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutineReport {
+    /// Virtual wall time of the call (enqueue through device sync).
+    pub elapsed: SimTime,
+    /// Tiling size used.
+    pub tile: usize,
+    /// Sub-kernels launched.
+    pub subkernels: usize,
+    /// Useful floating-point operations of the problem.
+    pub flops: f64,
+    /// The tile selection, when `T` was chosen by a model (absent for
+    /// [`TileChoice::Fixed`]).
+    pub selection: Option<Selection>,
+}
+
+impl RoutineReport {
+    /// Achieved throughput in GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.elapsed.as_secs_f64() / 1e9
+    }
+}
+
+/// Result of a gemm call.
+#[derive(Debug)]
+pub struct GemmResult<T> {
+    /// The updated `C`, when it was passed as host data in functional mode.
+    pub c: Option<Matrix<T>>,
+    /// Schedule facts.
+    pub report: RoutineReport,
+}
+
+/// Result of a dot call.
+#[derive(Debug)]
+pub struct DotResult {
+    /// The reduction value, when host data was provided in functional mode.
+    pub value: Option<f64>,
+    /// Schedule facts.
+    pub report: RoutineReport,
+}
+
+/// Result of an axpy or gemv call.
+#[derive(Debug)]
+pub struct VecResult<T> {
+    /// The updated `y`, when it was passed as host data in functional mode.
+    pub y: Option<Vec<T>>,
+    /// Schedule facts.
+    pub report: RoutineReport,
+}
+
+/// The end-to-end CoCoPeLia library of §IV-C: BLAS wrappers with 3-way
+/// overlap, full tile reuse, and automatic tiling-size selection.
+///
+/// # Example
+///
+/// ```no_run
+/// use cocopelia_deploy::{deploy, DeployConfig};
+/// use cocopelia_gpusim::{testbed_ii, ExecMode, Gpu};
+/// use cocopelia_hostblas::Matrix;
+/// use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let report = deploy(&testbed_ii(), &DeployConfig::quick())?;
+/// let gpu = Gpu::new(testbed_ii(), ExecMode::Functional, 42);
+/// let mut ctx = Cocopelia::new(gpu, report.profile);
+///
+/// let n = 4096;
+/// let a = Matrix::<f64>::from_fn(n, n, |i, j| (i + j) as f64 / n as f64);
+/// let b = Matrix::<f64>::from_fn(n, n, |i, j| (i as f64 - j as f64) / n as f64);
+/// let c = Matrix::<f64>::zeros(n, n);
+/// let out = ctx.dgemm(1.0, MatOperand::Host(a), MatOperand::Host(b),
+///     0.0, MatOperand::Host(c), TileChoice::Auto)?;
+/// println!("T = {}, {:.1} GFLOP/s", out.report.tile, out.report.gflops());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cocopelia {
+    gpu: Gpu,
+    profile: SystemProfile,
+    selector: TileSelector,
+    streams: Option<Streams>,
+    cache: HashMap<SelectKey, Selection>,
+}
+
+impl Cocopelia {
+    /// Wraps a device with a deployed system profile.
+    pub fn new(gpu: Gpu, profile: SystemProfile) -> Self {
+        Cocopelia { gpu, profile, selector: TileSelector::default(), streams: None, cache: HashMap::new() }
+    }
+
+    /// Replaces the tile-selection policy.
+    pub fn set_selector(&mut self, selector: TileSelector) {
+        self.selector = selector;
+    }
+
+    /// The wrapped device.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Mutable access to the wrapped device (trace inspection etc.).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Consumes the handle and returns the device.
+    pub fn into_gpu(self) -> Gpu {
+        self.gpu
+    }
+
+    /// The deployed profile in use.
+    pub fn profile(&self) -> &SystemProfile {
+        &self.profile
+    }
+
+    fn ensure_streams(&mut self) -> Streams {
+        // Streams are created once and reused across calls (§IV-C).
+        match self.streams {
+            Some(s) => s,
+            None => {
+                let s = Streams::create(&mut self.gpu);
+                self.streams = Some(s);
+                s
+            }
+        }
+    }
+
+    /// Runs `CoCoPeLia_select` for `problem` under `model`, with model
+    /// reuse across calls.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::MissingExecTable`] if deployment did not benchmark
+    /// the routine; model errors propagate as [`RuntimeError::Model`].
+    pub fn select_tile(
+        &mut self,
+        problem: &ProblemSpec,
+        model: ModelKind,
+    ) -> Result<Selection, RuntimeError> {
+        let key = SelectKey::of(problem, model);
+        if let Some(sel) = self.cache.get(&key) {
+            return Ok(sel.clone());
+        }
+        let exec = self.profile.exec_table(problem.routine, problem.dtype).ok_or_else(|| {
+            RuntimeError::MissingExecTable { routine: problem.routine.name(problem.dtype) }
+        })?;
+        let ctx = ModelCtx {
+            problem,
+            transfer: &self.profile.transfer,
+            exec,
+            full_kernel_time: None,
+        };
+        let sel = self.selector.select(model, &ctx)?;
+        self.cache.insert(key, sel.clone());
+        Ok(sel)
+    }
+
+    fn resolve_tile(
+        &mut self,
+        problem: &ProblemSpec,
+        choice: TileChoice,
+    ) -> Result<(usize, Option<Selection>), RuntimeError> {
+        match choice {
+            TileChoice::Fixed(t) => {
+                if t == 0 {
+                    return Err(RuntimeError::DimensionMismatch {
+                        what: "tiling size must be positive".to_owned(),
+                    });
+                }
+                Ok((t, None))
+            }
+            TileChoice::Auto => {
+                let model = ModelKind::recommended_for(problem.routine);
+                let sel = self.select_tile(problem, model)?;
+                Ok((sel.tile, Some(sel)))
+            }
+            TileChoice::Model(model) => {
+                let sel = self.select_tile(problem, model)?;
+                Ok((sel.tile, Some(sel)))
+            }
+        }
+    }
+
+    /// General matrix multiply `C ← α·A·B + β·C` with 3-way overlap.
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatches, missing exec tables (for model-driven tile
+    /// choices) and simulator failures.
+    pub fn gemm<T: SimScalar>(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<T>,
+        b: MatOperand<T>,
+        beta: f64,
+        c: MatOperand<T>,
+        choice: TileChoice,
+    ) -> Result<GemmResult<T>, RuntimeError> {
+        let (m, n, k) = gemm::check_dims(&a, &b, &c)?;
+        let problem =
+            ProblemSpec::gemm(T::DTYPE, m, n, k, a.loc(), b.loc(), c.loc(), beta != 0.0);
+        let (tile, selection) = self.resolve_tile(&problem, choice)?;
+        let streams = self.ensure_streams();
+        let t0 = self.gpu.now();
+        let run = gemm::run(&mut self.gpu, streams, alpha, a, b, beta, c, tile)?;
+        let elapsed = self.gpu.now().saturating_since(t0);
+        Ok(GemmResult {
+            c: run.c,
+            report: RoutineReport {
+                elapsed,
+                tile,
+                subkernels: run.subkernels,
+                flops: problem.flops(),
+                selection,
+            },
+        })
+    }
+
+    /// `y ← α·x + y` with 3-way overlap.
+    ///
+    /// # Errors
+    ///
+    /// As for [`gemm`](Self::gemm).
+    pub fn axpy<T: SimScalar>(
+        &mut self,
+        alpha: f64,
+        x: VecOperand<T>,
+        y: VecOperand<T>,
+        choice: TileChoice,
+    ) -> Result<VecResult<T>, RuntimeError> {
+        if x.len() != y.len() {
+            return Err(RuntimeError::DimensionMismatch {
+                what: format!("axpy: x has {} elements but y has {}", x.len(), y.len()),
+            });
+        }
+        let problem = ProblemSpec::axpy(T::DTYPE, x.len(), x.loc(), y.loc());
+        let (tile, selection) = self.resolve_tile(&problem, choice)?;
+        let streams = self.ensure_streams();
+        let t0 = self.gpu.now();
+        let run = axpy::run(&mut self.gpu, streams, alpha, x, y, tile)?;
+        let elapsed = self.gpu.now().saturating_since(t0);
+        Ok(VecResult {
+            y: run.y,
+            report: RoutineReport {
+                elapsed,
+                tile,
+                subkernels: run.subkernels,
+                flops: problem.flops(),
+                selection,
+            },
+        })
+    }
+
+    /// Tiled reduction `result ← xᵀy` with 3-way overlap (the partials
+    /// drain in one transfer and are summed on the host).
+    ///
+    /// # Errors
+    ///
+    /// As for [`gemm`](Self::gemm).
+    pub fn dot<T: SimScalar>(
+        &mut self,
+        x: VecOperand<T>,
+        y: VecOperand<T>,
+        choice: TileChoice,
+    ) -> Result<DotResult, RuntimeError> {
+        if x.len() != y.len() {
+            return Err(RuntimeError::DimensionMismatch {
+                what: format!("dot: x has {} elements but y has {}", x.len(), y.len()),
+            });
+        }
+        let problem = ProblemSpec::dot(T::DTYPE, x.len(), x.loc(), y.loc());
+        let (tile, selection) = self.resolve_tile(&problem, choice)?;
+        let streams = self.ensure_streams();
+        let t0 = self.gpu.now();
+        let run = dot::run(&mut self.gpu, streams, x, y, tile)?;
+        let elapsed = self.gpu.now().saturating_since(t0);
+        Ok(DotResult {
+            value: run.value,
+            report: RoutineReport {
+                elapsed,
+                tile,
+                subkernels: run.subkernels,
+                flops: problem.flops(),
+                selection,
+            },
+        })
+    }
+
+    /// Double-precision dot (BLAS `ddot`). See [`dot`](Self::dot).
+    ///
+    /// # Errors
+    ///
+    /// As for [`dot`](Self::dot).
+    pub fn ddot(
+        &mut self,
+        x: VecOperand<f64>,
+        y: VecOperand<f64>,
+        choice: TileChoice,
+    ) -> Result<DotResult, RuntimeError> {
+        self.dot(x, y, choice)
+    }
+
+    /// `y ← α·A·x + β·y` with 3-way overlap (the extension routine).
+    ///
+    /// # Errors
+    ///
+    /// As for [`gemm`](Self::gemm).
+    pub fn gemv<T: SimScalar>(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<T>,
+        x: VecOperand<T>,
+        beta: f64,
+        y: VecOperand<T>,
+        choice: TileChoice,
+    ) -> Result<VecResult<T>, RuntimeError> {
+        if x.len() != a.cols() || y.len() != a.rows() {
+            return Err(RuntimeError::DimensionMismatch {
+                what: format!(
+                    "gemv: A is {}x{} but x has {} and y has {} elements",
+                    a.rows(),
+                    a.cols(),
+                    x.len(),
+                    y.len()
+                ),
+            });
+        }
+        let problem = ProblemSpec::gemv(
+            T::DTYPE,
+            a.rows(),
+            a.cols(),
+            a.loc(),
+            x.loc(),
+            y.loc(),
+            beta != 0.0,
+        );
+        let (tile, selection) = self.resolve_tile(&problem, choice)?;
+        let streams = self.ensure_streams();
+        let t0 = self.gpu.now();
+        let run = gemv::run(&mut self.gpu, streams, alpha, a, x, beta, y, tile)?;
+        let elapsed = self.gpu.now().saturating_since(t0);
+        Ok(VecResult {
+            y: run.y,
+            report: RoutineReport {
+                elapsed,
+                tile,
+                subkernels: run.subkernels,
+                flops: problem.flops(),
+                selection,
+            },
+        })
+    }
+
+    /// Double-precision gemm (BLAS `dgemm`). See [`gemm`](Self::gemm).
+    ///
+    /// # Errors
+    ///
+    /// As for [`gemm`](Self::gemm).
+    pub fn dgemm(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<f64>,
+        b: MatOperand<f64>,
+        beta: f64,
+        c: MatOperand<f64>,
+        choice: TileChoice,
+    ) -> Result<GemmResult<f64>, RuntimeError> {
+        self.gemm(alpha, a, b, beta, c, choice)
+    }
+
+    /// Single-precision gemm (BLAS `sgemm`). See [`gemm`](Self::gemm).
+    ///
+    /// # Errors
+    ///
+    /// As for [`gemm`](Self::gemm).
+    pub fn sgemm(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<f32>,
+        b: MatOperand<f32>,
+        beta: f64,
+        c: MatOperand<f32>,
+        choice: TileChoice,
+    ) -> Result<GemmResult<f32>, RuntimeError> {
+        self.gemm(alpha, a, b, beta, c, choice)
+    }
+
+    /// Double-precision axpy (BLAS `daxpy`). See [`axpy`](Self::axpy).
+    ///
+    /// # Errors
+    ///
+    /// As for [`axpy`](Self::axpy).
+    pub fn daxpy(
+        &mut self,
+        alpha: f64,
+        x: VecOperand<f64>,
+        y: VecOperand<f64>,
+        choice: TileChoice,
+    ) -> Result<VecResult<f64>, RuntimeError> {
+        self.axpy(alpha, x, y, choice)
+    }
+
+    /// Double-precision gemv (BLAS `dgemv`). See [`gemv`](Self::gemv).
+    ///
+    /// # Errors
+    ///
+    /// As for [`gemv`](Self::gemv).
+    pub fn dgemv(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<f64>,
+        x: VecOperand<f64>,
+        beta: f64,
+        y: VecOperand<f64>,
+        choice: TileChoice,
+    ) -> Result<VecResult<f64>, RuntimeError> {
+        self.gemv(alpha, a, x, beta, y, choice)
+    }
+
+    /// Copies a host matrix into device memory and returns a resident
+    /// handle (the "data already on the GPU" scenario of §III-A2).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory and other simulator failures.
+    pub fn upload_matrix<T: SimScalar>(
+        &mut self,
+        m: &Matrix<T>,
+    ) -> Result<DeviceMatrix, RuntimeError> {
+        let len = m.rows() * m.cols();
+        let host = self.gpu.register_host(T::into_payload(m.as_slice().to_vec()), true);
+        let dev = self.gpu.alloc_device(T::DTYPE, len)?;
+        let streams = self.ensure_streams();
+        self.gpu.memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, len))?;
+        self.gpu.synchronize()?;
+        self.gpu.take_host(host)?;
+        Ok(DeviceMatrix { buf: dev, rows: m.rows(), cols: m.cols() })
+    }
+
+    /// Allocates a device-resident matrix without data (timing sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory.
+    pub fn alloc_matrix(
+        &mut self,
+        dtype: Dtype,
+        rows: usize,
+        cols: usize,
+    ) -> Result<DeviceMatrix, RuntimeError> {
+        let dev = self.gpu.alloc_device(dtype, rows * cols)?;
+        Ok(DeviceMatrix { buf: dev, rows, cols })
+    }
+
+    /// Copies a device-resident matrix back to the host.
+    ///
+    /// # Errors
+    ///
+    /// Fails in timing-only mode (no data to download) with
+    /// [`RuntimeError::NotFunctional`].
+    pub fn download_matrix<T: SimScalar>(
+        &mut self,
+        d: &DeviceMatrix,
+    ) -> Result<Matrix<T>, RuntimeError> {
+        if !self.gpu.is_functional() {
+            return Err(RuntimeError::NotFunctional);
+        }
+        let len = d.rows * d.cols;
+        let host = self.gpu.register_host(T::into_payload(vec![T::ZERO; len]), true);
+        let streams = self.ensure_streams();
+        self.gpu.memcpy_d2h_async(streams.d2h, CopyDesc::contiguous(host, d.buf, len))?;
+        self.gpu.synchronize()?;
+        let buf = self.gpu.take_host(host)?;
+        Ok(Matrix::from_vec(d.rows, d.cols, T::payload_into_vec(buf.payload)))
+    }
+
+    /// Releases a device-resident matrix.
+    ///
+    /// # Errors
+    ///
+    /// Stale handles and in-flight work.
+    pub fn free_matrix(&mut self, d: DeviceMatrix) -> Result<(), RuntimeError> {
+        self.gpu.free_device(d.buf)?;
+        Ok(())
+    }
+
+    /// Copies a host vector into device memory.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory and other simulator failures.
+    pub fn upload_vector<T: SimScalar>(&mut self, v: &[T]) -> Result<DeviceVector, RuntimeError> {
+        let host = self.gpu.register_host(T::into_payload(v.to_vec()), true);
+        let dev = self.gpu.alloc_device(T::DTYPE, v.len())?;
+        let streams = self.ensure_streams();
+        self.gpu.memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, v.len()))?;
+        self.gpu.synchronize()?;
+        self.gpu.take_host(host)?;
+        Ok(DeviceVector { buf: dev, len: v.len() })
+    }
+
+    /// Allocates a device-resident vector without data.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory.
+    pub fn alloc_vector(&mut self, dtype: Dtype, len: usize) -> Result<DeviceVector, RuntimeError> {
+        let dev = self.gpu.alloc_device(dtype, len)?;
+        Ok(DeviceVector { buf: dev, len })
+    }
+
+    /// Copies a device-resident vector back to the host.
+    ///
+    /// # Errors
+    ///
+    /// Fails in timing-only mode with [`RuntimeError::NotFunctional`].
+    pub fn download_vector<T: SimScalar>(
+        &mut self,
+        d: &DeviceVector,
+    ) -> Result<Vec<T>, RuntimeError> {
+        if !self.gpu.is_functional() {
+            return Err(RuntimeError::NotFunctional);
+        }
+        let host = self.gpu.register_host(T::into_payload(vec![T::ZERO; d.len]), true);
+        let streams = self.ensure_streams();
+        self.gpu.memcpy_d2h_async(streams.d2h, CopyDesc::contiguous(host, d.buf, d.len))?;
+        self.gpu.synchronize()?;
+        let buf = self.gpu.take_host(host)?;
+        Ok(T::payload_into_vec(buf.payload))
+    }
+
+    /// Releases a device-resident vector.
+    ///
+    /// # Errors
+    ///
+    /// Stale handles and in-flight work.
+    pub fn free_vector(&mut self, d: DeviceVector) -> Result<(), RuntimeError> {
+        self.gpu.free_device(d.buf)?;
+        Ok(())
+    }
+
+    /// Number of cached tile selections (model reuse, §IV-C).
+    pub fn cached_selections(&self) -> usize {
+        self.cache.len()
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type of the CoCoPeLia runtime.
+
+use cocopelia_core::models::ModelError;
+use cocopelia_gpusim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the CoCoPeLia runtime library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Operand dimensions are inconsistent with the routine.
+    DimensionMismatch {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
+    /// The system profile lacks an execution table for the requested
+    /// routine/precision (deployment did not benchmark it).
+    MissingExecTable {
+        /// Canonical routine name, e.g. `"dgemm"`.
+        routine: String,
+    },
+    /// A model evaluation failed.
+    Model(ModelError),
+    /// Data was requested from a timing-only (ghost) execution.
+    NotFunctional,
+    /// The underlying simulated device reported a failure.
+    Sim(SimError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+            RuntimeError::MissingExecTable { routine } => {
+                write!(f, "no execution table for {routine} in the system profile")
+            }
+            RuntimeError::Model(e) => write!(f, "model error: {e}"),
+            RuntimeError::NotFunctional => {
+                write!(f, "no data available: device is running in timing-only mode")
+            }
+            RuntimeError::Sim(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Model(e) => Some(e),
+            RuntimeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ModelError> for RuntimeError {
+    fn from(e: ModelError) -> Self {
+        RuntimeError::Model(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for RuntimeError {
+    fn from(e: SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let e = RuntimeError::DimensionMismatch { what: "A cols != B rows".into() };
+        assert!(e.to_string().contains("A cols"));
+        let e = RuntimeError::MissingExecTable { routine: "dgemm".into() };
+        assert!(e.to_string().contains("dgemm"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = RuntimeError::Model(ModelError::EmptyExecTable);
+        assert!(e.source().is_some());
+        let e = RuntimeError::DimensionMismatch { what: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # cocopelia-runtime
+//!
+//! The end-to-end CoCoPeLia BLAS offload library of §IV-C: a tile scheduler
+//! with square tiling, full tile reuse, 3-way overlap over one stream per
+//! operation type, and runtime tiling-size selection driven by the
+//! `cocopelia-core` prediction models.
+//!
+//! Entry point: [`Cocopelia`], wrapping a simulated device
+//! ([`cocopelia_gpusim::Gpu`]) and a deployed
+//! [`SystemProfile`](cocopelia_core::profile::SystemProfile).
+//!
+//! Routines: [`Cocopelia::dgemm`], [`Cocopelia::sgemm`],
+//! [`Cocopelia::daxpy`], plus [`Cocopelia::dgemv`] as the paper's
+//! "extension skeleton" routine. Each accepts operands on the host (with or
+//! without data) or already resident on the device, and a [`TileChoice`]:
+//! automatic model-driven selection, a specific model (for the Fig. 6
+//! comparisons), or a fixed `T` à la cuBLASXt.
+
+#![deny(missing_docs)]
+
+mod ctx;
+mod error;
+mod operand;
+mod scheduler;
+
+pub mod multigpu;
+
+pub use ctx::{Cocopelia, DotResult, GemmResult, RoutineReport, VecResult};
+pub use error::RuntimeError;
+pub use multigpu::{MultiGemmResult, MultiGpu};
+pub use operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};

@@ -1,0 +1,23 @@
+//! # cocopelia-xp
+//!
+//! The experiment harness for the CoCoPeLia reproduction: the paper's §V-B
+//! validation and §V-E evaluation problem sets ([`sets`]), library/model
+//! runners on fresh simulated devices ([`runner`]), error statistics and
+//! violin summaries ([`stats`]), and plain-text table/figure rendering
+//! ([`table`]).
+//!
+//! Every bench target in `cocopelia-bench` is a thin composition of this
+//! crate's pieces; the cross-crate integration tests in the repository's
+//! `tests/` directory are attached here.
+
+#![deny(missing_docs)]
+
+pub mod runner;
+pub mod sets;
+pub mod stats;
+pub mod table;
+
+pub use runner::{AxpyLib, GemmLib, Lab, RunOut};
+pub use sets::{AxpyProblem, GemmProblem, Scale};
+pub use stats::{geomean_improvement_pct, rel_err_pct, ViolinSummary};
+pub use table::{bar_chart, TextTable};

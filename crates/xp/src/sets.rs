@@ -1,0 +1,339 @@
+//! The paper's validation and evaluation problem sets (§V-B, §V-E).
+
+use cocopelia_core::params::{Loc, ProblemSpec};
+use cocopelia_hostblas::Dtype;
+
+/// One gemm problem instance of a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmProblem {
+    /// Element precision.
+    pub dtype: Dtype,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Initial residence of `A`.
+    pub loc_a: Loc,
+    /// Initial residence of `B`.
+    pub loc_b: Loc,
+    /// Initial residence of `C`.
+    pub loc_c: Loc,
+}
+
+impl GemmProblem {
+    /// The model-facing description (β is 1 throughout the paper's sets).
+    pub fn spec(&self) -> ProblemSpec {
+        ProblemSpec::gemm(
+            self.dtype, self.m, self.n, self.k, self.loc_a, self.loc_b, self.loc_c, true,
+        )
+    }
+
+    /// True if every operand starts on the host.
+    pub fn full_offload(&self) -> bool {
+        [self.loc_a, self.loc_b, self.loc_c].iter().all(|&l| l == Loc::Host)
+    }
+
+    /// Compact label like `dgemm 8192x8192x8192 HDH`.
+    pub fn label(&self) -> String {
+        let l = |loc: Loc| if loc == Loc::Host { 'H' } else { 'D' };
+        format!(
+            "{}gemm {}x{}x{} {}{}{}",
+            self.dtype.blas_prefix(),
+            self.m,
+            self.n,
+            self.k,
+            l(self.loc_a),
+            l(self.loc_b),
+            l(self.loc_c)
+        )
+    }
+}
+
+/// One axpy problem instance of a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxpyProblem {
+    /// Vector length.
+    pub n: usize,
+    /// Initial residence of `x`.
+    pub loc_x: Loc,
+    /// Initial residence of `y`.
+    pub loc_y: Loc,
+}
+
+impl AxpyProblem {
+    /// The model-facing description.
+    pub fn spec(&self) -> ProblemSpec {
+        ProblemSpec::axpy(Dtype::F64, self.n, self.loc_x, self.loc_y)
+    }
+
+    /// True if both vectors start on the host.
+    pub fn full_offload(&self) -> bool {
+        self.loc_x == Loc::Host && self.loc_y == Loc::Host
+    }
+
+    /// Compact label like `daxpy 64Mi HD`.
+    pub fn label(&self) -> String {
+        let l = |loc: Loc| if loc == Loc::Host { 'H' } else { 'D' };
+        format!("daxpy {}Mi {}{}", self.n >> 20, l(self.loc_x), l(self.loc_y))
+    }
+}
+
+/// Experiment scale: the paper's full grids or a reduced grid with the same
+/// structure (used by default so every bench finishes in minutes; set the
+/// `COCOPELIA_FULL=1` environment variable for the full sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-exact problem grids.
+    Full,
+    /// Structurally identical, coarser grids.
+    Reduced,
+}
+
+impl Scale {
+    /// Reads `COCOPELIA_FULL` from the environment.
+    pub fn from_env() -> Scale {
+        if std::env::var("COCOPELIA_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale::Full
+        } else {
+            Scale::Reduced
+        }
+    }
+}
+
+/// The seven gemm location combinations (all on host … two on device;
+/// all-on-device is excluded since nothing overlaps, §V-B).
+pub fn gemm_loc_combos() -> Vec<(Loc, Loc, Loc)> {
+    let mut v = Vec::new();
+    for a in [Loc::Host, Loc::Device] {
+        for b in [Loc::Host, Loc::Device] {
+            for c in [Loc::Host, Loc::Device] {
+                if (a, b, c) != (Loc::Device, Loc::Device, Loc::Device) {
+                    v.push((a, b, c));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// The three axpy location combinations.
+pub fn axpy_loc_combos() -> Vec<(Loc, Loc)> {
+    vec![(Loc::Host, Loc::Host), (Loc::Host, Loc::Device), (Loc::Device, Loc::Host)]
+}
+
+/// §V-B gemm validation set, square problems: sizes `{4,8,12,16}·2^10` ×
+/// all 7 location combinations (28 problems at full scale).
+pub fn gemm_validation_square(dtype: Dtype, scale: Scale) -> Vec<GemmProblem> {
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[4 << 10, 8 << 10, 12 << 10, 16 << 10],
+        Scale::Reduced => &[4 << 10, 8 << 10],
+    };
+    let mut v = Vec::new();
+    for &s in sizes {
+        for (a, b, c) in gemm_loc_combos() {
+            v.push(GemmProblem { dtype, m: s, n: s, k: s, loc_a: a, loc_b: b, loc_c: c });
+        }
+    }
+    v
+}
+
+/// §V-B gemm shape set: fat-by-thin (`M = N = K·r²`) and thin-by-fat
+/// (`M = N = K/r²`) at constant volume, `r ∈ {3,4,5}`, full offload.
+///
+/// Dimensions are rounded to multiples of 256 so they land on the tiling
+/// grid the way the paper's sweep does.
+pub fn gemm_validation_shapes(dtype: Dtype, scale: Scale) -> Vec<GemmProblem> {
+    let volumes: &[f64] = match scale {
+        Scale::Full => &[
+            (8u64 << 10) as f64 * (8u64 << 10) as f64 * (8u64 << 10) as f64,
+            (12u64 << 10) as f64 * (12u64 << 10) as f64 * (12u64 << 10) as f64,
+        ],
+        Scale::Reduced => &[(8u64 << 10) as f64 * (8u64 << 10) as f64 * (8u64 << 10) as f64],
+    };
+    let round = |x: f64| ((x / 256.0).round().max(1.0) as usize) * 256;
+    // Reject problems whose full-reuse device footprint exceeds Testbed I's
+    // 12 GB ("all selected problem sizes can fit in the device memory").
+    let fits = |m: usize, n: usize, k: usize| {
+        (m * k + k * n + m * n) * dtype.width() < 11 * (1 << 30)
+    };
+    let mut v = Vec::new();
+    for &vol in volumes {
+        for r in [3usize, 4, 5] {
+            let r2 = (r * r) as f64;
+            // Fat-by-thin: M = N = K·r² ⇒ K = (vol / r⁴)^(1/3).
+            let k = round((vol / (r2 * r2)).cbrt());
+            let mn = round(k as f64 * r2);
+            if fits(mn, mn, k) {
+                v.push(GemmProblem {
+                    dtype,
+                    m: mn,
+                    n: mn,
+                    k,
+                    loc_a: Loc::Host,
+                    loc_b: Loc::Host,
+                    loc_c: Loc::Host,
+                });
+            }
+            // Thin-by-fat: M = N = K/r² ⇒ K = (vol · r⁴)^(1/3).
+            let k = round((vol * r2 * r2).cbrt());
+            let mn = round(k as f64 / r2);
+            if fits(mn, mn, k) {
+                v.push(GemmProblem {
+                    dtype,
+                    m: mn,
+                    n: mn,
+                    k,
+                    loc_a: Loc::Host,
+                    loc_b: Loc::Host,
+                    loc_c: Loc::Host,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// §V-B daxpy validation set: `N ∈ {8,64,128,256}·2^20` × 3 location
+/// combinations.
+pub fn daxpy_validation(scale: Scale) -> Vec<AxpyProblem> {
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[8 << 20, 64 << 20, 128 << 20, 256 << 20],
+        Scale::Reduced => &[8 << 20, 64 << 20],
+    };
+    let mut v = Vec::new();
+    for &n in sizes {
+        for (x, y) in axpy_loc_combos() {
+            v.push(AxpyProblem { n, loc_x: x, loc_y: y });
+        }
+    }
+    v
+}
+
+/// §V-E gemm evaluation set: square sizes `4·2^10 … 16·2^10` (step 0.5·2^10
+/// at full scale) × 7 locations, plus the shape set.
+pub fn gemm_eval_set(dtype: Dtype, scale: Scale) -> Vec<GemmProblem> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => (8..=32).map(|i| i * 512).collect(), // 25 sizes
+        Scale::Reduced => (2..=8).map(|i| i * 2048).collect(), // 7 sizes
+    };
+    let mut v = Vec::new();
+    for &s in &sizes {
+        for (a, b, c) in gemm_loc_combos() {
+            v.push(GemmProblem { dtype, m: s, n: s, k: s, loc_a: a, loc_b: b, loc_c: c });
+        }
+    }
+    v.extend(gemm_validation_shapes(dtype, scale));
+    v
+}
+
+/// §V-E daxpy evaluation set: 11 sizes × 3 locations at full scale.
+pub fn daxpy_eval_set(scale: Scale) -> Vec<AxpyProblem> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => (0..11).map(|i| (64 + i * 96) << 20).collect(),
+        Scale::Reduced => (0..4).map(|i| (64 + i * 192) << 20).collect(),
+    };
+    let mut v = Vec::new();
+    for &n in &sizes {
+        for (x, y) in axpy_loc_combos() {
+            v.push(AxpyProblem { n, loc_x: x, loc_y: y });
+        }
+    }
+    v
+}
+
+/// The paper's measured tiling grid for gemm sweeps: `T = 256..16384` step
+/// 256 (coarser at reduced scale), filtered by `T ≤ min_dim/1.5`.
+pub fn gemm_tile_grid(min_dim: usize, scale: Scale) -> Vec<usize> {
+    let step = match scale {
+        Scale::Full => 256,
+        Scale::Reduced => 512,
+    };
+    let cap = (min_dim as f64 / 1.5) as usize;
+    (1..=64).map(|i| i * step).filter(|&t| t <= cap && t <= 16384).collect()
+}
+
+/// Tiling grid for daxpy sweeps: multiples of `2^21` elements.
+pub fn daxpy_tile_grid(n: usize, scale: Scale) -> Vec<usize> {
+    let step: usize = match scale {
+        Scale::Full => 1 << 21,
+        Scale::Reduced => 1 << 22,
+    };
+    (1..=32).map(|i| i * step).filter(|&t| t <= n / 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_combos_counts_match_paper() {
+        assert_eq!(gemm_loc_combos().len(), 7); // 2^3 - 1
+        assert_eq!(axpy_loc_combos().len(), 3); // 2^2 - 1
+    }
+
+    #[test]
+    fn full_validation_set_sizes() {
+        assert_eq!(gemm_validation_square(Dtype::F64, Scale::Full).len(), 28);
+        assert_eq!(daxpy_validation(Scale::Full).len(), 12);
+        // 12 shape problems at full scale, minus the ones whose footprint
+        // exceeds Testbed I's device memory.
+        let shapes = gemm_validation_shapes(Dtype::F64, Scale::Full);
+        assert!(shapes.len() >= 9 && shapes.len() <= 12, "{}", shapes.len());
+    }
+
+    #[test]
+    fn shapes_preserve_volume_roughly() {
+        for p in gemm_validation_shapes(Dtype::F64, Scale::Full) {
+            let vol = p.m as f64 * p.n as f64 * p.k as f64;
+            let target = (8u64 << 10).pow(3) as f64;
+            let lo = target / 3.0;
+            let hi = (12f64 / 8.0).powi(3) * target * 3.0;
+            assert!(vol > lo && vol < hi, "{} volume {vol}", p.label());
+            // All dims on the 256 grid.
+            assert_eq!(p.m % 256, 0);
+            assert_eq!(p.k % 256, 0);
+        }
+    }
+
+    #[test]
+    fn shape_set_contains_fat_and_thin() {
+        let shapes = gemm_validation_shapes(Dtype::F64, Scale::Reduced);
+        assert!(shapes.iter().any(|p| p.m > p.k * 4), "fat-by-thin present");
+        assert!(shapes.iter().any(|p| p.k > p.m * 4), "thin-by-fat present");
+    }
+
+    #[test]
+    fn eval_sets_nonempty_and_fit_memory() {
+        // Largest problem must fit a 12 GB device with full reuse staging.
+        for p in gemm_eval_set(Dtype::F64, Scale::Full) {
+            let bytes = (p.m * p.k + p.k * p.n + p.m * p.n) * 8;
+            assert!(bytes < 11 * (1 << 30), "{} needs {bytes}", p.label());
+        }
+        assert_eq!(daxpy_eval_set(Scale::Full).len(), 33);
+    }
+
+    #[test]
+    fn tile_grid_respects_constraint() {
+        let grid = gemm_tile_grid(4096, Scale::Full);
+        assert!(grid.iter().all(|&t| t as f64 <= 4096.0 / 1.5));
+        assert!(grid.contains(&256));
+        assert!(!gemm_tile_grid(256, Scale::Full).contains(&256));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let p = GemmProblem {
+            dtype: Dtype::F32,
+            m: 1024,
+            n: 1024,
+            k: 1024,
+            loc_a: Loc::Host,
+            loc_b: Loc::Device,
+            loc_c: Loc::Host,
+        };
+        assert_eq!(p.label(), "sgemm 1024x1024x1024 HDH");
+        assert!(p.spec().operands[1].loc == Loc::Device);
+    }
+}

@@ -1,0 +1,142 @@
+//! Result statistics: relative errors, violin summaries (the paper reports
+//! error distributions as violin plots), and geometric-mean improvements.
+
+/// Percentage relative error `100·(predicted − measured)/measured` (§V-C).
+///
+/// # Panics
+///
+/// Panics if `measured` is not strictly positive.
+pub fn rel_err_pct(predicted: f64, measured: f64) -> f64 {
+    assert!(measured > 0.0, "measured time must be positive, got {measured}");
+    100.0 * (predicted - measured) / measured
+}
+
+/// Five-number summary plus mean of a sample, standing in for a violin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolinSummary {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Linear-interpolated percentile of a sorted slice, `p ∈ [0, 100]`.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+impl ViolinSummary {
+    /// Summarises a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or non-finite values.
+    pub fn of(samples: &[f64]) -> ViolinSummary {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        assert!(samples.iter().all(|v| v.is_finite()), "samples must be finite");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ViolinSummary {
+            min: sorted[0],
+            q1: percentile(&sorted, 25.0),
+            median: percentile(&sorted, 50.0),
+            q3: percentile(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            n: sorted.len(),
+        }
+    }
+
+    /// One-line rendering, `min/q1/med/q3/max` with the mean in brackets.
+    pub fn render(&self) -> String {
+        format!(
+            "min {:+7.1}  q1 {:+7.1}  med {:+7.1}  q3 {:+7.1}  max {:+7.1}  (mean {:+6.1}, n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.n
+        )
+    }
+}
+
+/// Geometric mean of strictly-positive ratios, reported as a percentage
+/// improvement (`(gm − 1)·100`), the way Table IV summarises speedups.
+///
+/// # Panics
+///
+/// Panics on an empty sample or non-positive ratios.
+pub fn geomean_improvement_pct(speedups: &[f64]) -> f64 {
+    (cocopelia_deploy::geomean(speedups) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_signs() {
+        assert!((rel_err_pct(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!((rel_err_pct(0.9, 1.0) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rel_err_rejects_zero_measured() {
+        let _ = rel_err_pct(1.0, 0.0);
+    }
+
+    #[test]
+    fn violin_of_known_sample() {
+        let v = ViolinSummary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(v.min, 1.0);
+        assert_eq!(v.median, 3.0);
+        assert_eq!(v.q1, 2.0);
+        assert_eq!(v.q3, 4.0);
+        assert_eq!(v.max, 5.0);
+        assert_eq!(v.mean, 3.0);
+        assert_eq!(v.n, 5);
+    }
+
+    #[test]
+    fn violin_single_sample() {
+        let v = ViolinSummary::of(&[2.5]);
+        assert_eq!(v.median, 2.5);
+        assert_eq!(v.q1, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn violin_rejects_empty() {
+        let _ = ViolinSummary::of(&[]);
+    }
+
+    #[test]
+    fn geomean_improvement() {
+        // Speedups 1.1 and 1.21: geomean = sqrt(1.331) ≈ 1.1537.
+        let pct = geomean_improvement_pct(&[1.1, 1.21]);
+        assert!((pct - 15.37).abs() < 0.1, "{pct}");
+        assert!((geomean_improvement_pct(&[1.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let s = ViolinSummary::of(&[-5.0, 0.0, 5.0]).render();
+        assert!(s.contains("med"));
+        assert!(s.contains("n=3"));
+    }
+}

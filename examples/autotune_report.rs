@@ -1,0 +1,62 @@
+//! Autotuning anatomy for one problem: sweep the tiling size, measure the
+//! real (simulated) offload time for each candidate, and overlay what each
+//! prediction model expected — a per-problem slice of Figures 1 and 6.
+//!
+//! ```text
+//! cargo run --release --example autotune_report
+//! ```
+
+use cocopelia_core::models::ModelKind;
+use cocopelia_core::params::Loc;
+use cocopelia_gpusim::testbed_ii;
+use cocopelia_hostblas::Dtype;
+use cocopelia_runtime::TileChoice;
+use cocopelia_xp::{GemmLib, GemmProblem, Lab, TextTable};
+
+fn main() {
+    let p = GemmProblem {
+        dtype: Dtype::F64,
+        m: 8192,
+        n: 8192,
+        k: 8192,
+        loc_a: Loc::Host,
+        loc_b: Loc::Host,
+        loc_c: Loc::Host,
+    };
+    println!("deploying on {} ...", testbed_ii().name);
+    let lab = Lab::deploy(testbed_ii());
+    let full_kernel = lab.full_kernel_gemm(&p, 3);
+    println!("\n{} — measured vs predicted offload time per tiling size:\n", p.label());
+
+    let mut table = TextTable::new(vec![
+        "T", "measured (ms)", "CSO (ms)", "Eq.1 (ms)", "Eq.2 (ms)", "Eq.4 BTS (ms)", "Eq.5 DR (ms)",
+    ]);
+    let tiles: Vec<usize> = (1..=10).map(|i| i * 512).collect();
+    let mut best = (0usize, f64::INFINITY);
+    for &t in &tiles {
+        let measured = lab
+            .run_gemm(&p, GemmLib::Cocopelia(TileChoice::Fixed(t)), 11 + t as u64)
+            .expect("measured run")
+            .secs;
+        if measured < best.1 {
+            best = (t, measured);
+        }
+        let mut cells = vec![t.to_string(), format!("{:.1}", measured * 1e3)];
+        for model in ModelKind::all() {
+            let fk = (model == ModelKind::Cso).then_some(full_kernel);
+            let pred = lab.predict_gemm(&p, model, t, fk).expect("prediction");
+            cells.push(format!("{:.1}", pred.total * 1e3));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+
+    let auto = lab.run_gemm(&p, GemmLib::Cocopelia(TileChoice::Auto), 13).expect("auto run");
+    println!("measured optimum : T = {} at {:.1} ms", best.0, best.1 * 1e3);
+    println!(
+        "CoCoPeLia picked : T = {} at {:.1} ms ({:.1}% of optimal throughput)",
+        auto.tile,
+        auto.secs * 1e3,
+        100.0 * best.1 / auto.secs
+    );
+}

@@ -1,0 +1,60 @@
+//! The 3-way-concurrency pipeline made visible: run one tiled dgemm and
+//! render each engine's occupancy as an ASCII Gantt chart — the anatomy of
+//! the paper's Figure 2, straight from the simulator's execution trace.
+//!
+//! ```text
+//! cargo run --release --example pipeline_gantt
+//! ```
+
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::transfer::{LatBw, TransferModel};
+use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, Gpu, NoiseSpec};
+use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE; // a clean diagram
+    let dummy = SystemProfile::new(
+        "gantt-demo",
+        TransferModel {
+            h2d: LatBw { t_l: 0.0, t_b: 0.0 },
+            d2h: LatBw { t_l: 0.0, t_b: 0.0 },
+            sl_h2d: 1.0,
+            sl_d2h: 1.0,
+        },
+    );
+    let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 1), dummy);
+
+    let n = 4096;
+    let t = 1024;
+    println!("dgemm {n}x{n}x{n}, T = {t}, full offload, Testbed I:\n");
+    let out = ctx.dgemm(
+        1.0,
+        MatOperand::HostGhost { rows: n, cols: n },
+        MatOperand::HostGhost { rows: n, cols: n },
+        1.0,
+        MatOperand::HostGhost { rows: n, cols: n },
+        TileChoice::Fixed(t),
+    )?;
+
+    let trace = ctx.gpu().trace();
+    println!("{}", trace.gantt(100));
+    let makespan = out.report.elapsed.as_secs_f64();
+    for engine in [EngineKind::CopyH2d, EngineKind::Compute, EngineKind::CopyD2h] {
+        let busy = trace.engine_busy(engine).as_secs_f64();
+        println!(
+            "{:>4}: busy {:6.1} ms ({:4.1}% of makespan), {:7.1} MB moved",
+            engine.name(),
+            busy * 1e3,
+            100.0 * busy / makespan,
+            trace.bytes_moved(engine) as f64 / 1e6
+        );
+    }
+    println!(
+        "\nmakespan {:.1} ms over {} sub-kernels — the h2d fill at the left edge and\n\
+         the d2h drain at the right edge are the pipeline's only serial parts.",
+        makespan * 1e3,
+        out.report.subkernels
+    );
+    Ok(())
+}

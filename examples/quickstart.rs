@@ -1,0 +1,66 @@
+//! Quickstart: deploy CoCoPeLia on a simulated V100 testbed, run one
+//! auto-tuned `dgemm` with real data, verify the numbers, and show what the
+//! tile selection decided.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cocopelia_deploy::{deploy, DeployConfig};
+use cocopelia_gpusim::{testbed_ii, ExecMode, Gpu};
+use cocopelia_hostblas::{level3, validate, Matrix};
+use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. One-off deployment: micro-benchmark the machine and fit the
+    //    transfer/execution sub-models (§IV-A). Takes a couple of minutes
+    //    on real hardware, a couple of seconds on the simulator.
+    println!("deploying on {} ...", testbed_ii().name);
+    let report = deploy(&testbed_ii(), &DeployConfig::quick())?;
+    println!(
+        "  fitted link: h2d {:.2} GB/s (sl {:.2}), d2h {:.2} GB/s (sl {:.2})",
+        1.0 / report.fit.h2d.t_b / 1e9,
+        report.fit.h2d.sl,
+        1.0 / report.fit.d2h.t_b / 1e9,
+        report.fit.d2h.sl,
+    );
+
+    // 2. Wrap a device with the deployed profile. Functional mode carries
+    //    real matrix data through every simulated transfer and kernel.
+    let gpu = Gpu::new(testbed_ii(), ExecMode::Functional, 42);
+    let mut ctx = Cocopelia::new(gpu, report.profile);
+
+    // 3. Call dgemm exactly like a BLAS wrapper, with automatic tiling-size
+    //    selection (the DR-Model of Eq. 5 picks T at the first call).
+    let n = 1024;
+    let a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 23) as f64 / 23.0);
+    let b = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 5 + j * 11) % 19) as f64 / 19.0 - 0.5);
+    let c = Matrix::<f64>::zeros(n, n);
+    let out = ctx.dgemm(
+        1.0,
+        MatOperand::Host(a.clone()),
+        MatOperand::Host(b.clone()),
+        0.0,
+        MatOperand::Host(c),
+        TileChoice::Auto,
+    )?;
+
+    let sel = out.report.selection.as_ref().expect("auto selection ran");
+    println!("\ndgemm {n}x{n}x{n}, full offload:");
+    println!("  model          : {}", sel.prediction.model);
+    println!("  selected tile  : T = {}", out.report.tile);
+    println!("  predicted time : {:.3} ms", sel.prediction.total * 1e3);
+    println!("  simulated time : {:.3} ms", out.report.elapsed.as_secs_f64() * 1e3);
+    println!("  throughput     : {:.1} GFLOP/s", out.report.gflops());
+    println!("  sub-kernels    : {}", out.report.subkernels);
+
+    // 4. The result is real: compare against the host reference BLAS.
+    let mut expect = Matrix::<f64>::zeros(n, n);
+    level3::gemm(1.0, &a.view(), &b.view(), 0.0, &mut expect.view_mut());
+    let got = out.c.expect("host output data");
+    let err = validate::max_rel_err(got.as_slice(), expect.as_slice());
+    println!("  max rel error  : {err:.2e} vs reference BLAS");
+    assert!(err < validate::gemm_tolerance::<f64>(n));
+    println!("\nOK");
+    Ok(())
+}

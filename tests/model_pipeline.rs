@@ -1,0 +1,187 @@
+//! The prediction loop closed end-to-end: deploy micro-benchmarks on a
+//! simulated testbed, predict offload times with the paper's models, run
+//! the actual schedules, and check the predictions track the measurements.
+
+use cocopelia_core::models::{predict, ModelCtx, ModelKind};
+use cocopelia_core::params::{Loc, ProblemSpec};
+use cocopelia_deploy::{deploy, measure_full_kernel, CiConfig, DeployConfig};
+use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, KernelShape, NoiseSpec, TestbedSpec};
+use cocopelia_hostblas::Dtype;
+use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+use proptest::prelude::*;
+
+fn quiet() -> TestbedSpec {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE;
+    tb
+}
+
+fn lab() -> (TestbedSpec, cocopelia_core::profile::SystemProfile) {
+    let tb = quiet();
+    let mut cfg = DeployConfig::quick();
+    cfg.transfer_dims = vec![512, 1024, 2048];
+    cfg.gemm_tiles = (1..=8).map(|i| i * 256).collect();
+    cfg.axpy_tiles = vec![1 << 19, 1 << 20, 1 << 21, 1 << 22];
+    cfg.gemv_tiles = vec![512, 1024];
+    let report = deploy(&tb, &cfg).expect("deploys");
+    (tb, report.profile)
+}
+
+fn measure_gemm(tb: &TestbedSpec, profile: &cocopelia_core::profile::SystemProfile, n: usize, t: usize) -> f64 {
+    let mut ctx = Cocopelia::new(Gpu::new(tb.clone(), ExecMode::TimingOnly, 5), profile.clone());
+    ctx.dgemm(
+        1.0,
+        MatOperand::HostGhost { rows: n, cols: n },
+        MatOperand::HostGhost { rows: n, cols: n },
+        1.0,
+        MatOperand::HostGhost { rows: n, cols: n },
+        TileChoice::Fixed(t),
+    )
+    .expect("runs")
+    .report
+    .elapsed
+    .as_secs_f64()
+}
+
+#[test]
+fn dr_model_tracks_reuse_scheduler_within_15_percent() {
+    let (tb, profile) = lab();
+    let exec = profile.exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+        .expect("gemm table");
+    for n in [2048usize, 4096] {
+        for t in [512usize, 1024] {
+            let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
+            let ctx = ModelCtx {
+                problem: &problem,
+                transfer: &profile.transfer,
+                exec,
+                full_kernel_time: None,
+            };
+            let pred = predict(ModelKind::DataReuse, &ctx, t).expect("predicts").total;
+            let meas = measure_gemm(&tb, &profile, n, t);
+            let err = (pred - meas).abs() / meas;
+            assert!(err < 0.15, "n={n} T={t}: pred {pred:.4} meas {meas:.4} err {:.1}%", err * 100.0);
+        }
+    }
+}
+
+#[test]
+fn dr_predictions_rank_tiles_usefully() {
+    // The measured best tile must be within 5% of the tile the model picks.
+    let (tb, profile) = lab();
+    let exec = profile
+        .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+        .expect("gemm table");
+    let n = 4096;
+    let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
+    let ctx = ModelCtx { problem: &problem, transfer: &profile.transfer, exec, full_kernel_time: None };
+    let tiles: Vec<usize> = (1..=8).map(|i| i * 256).collect();
+    let mut best_pred = (0usize, f64::INFINITY);
+    let mut best_meas = (0usize, f64::INFINITY);
+    let mut meas_at = std::collections::HashMap::new();
+    for &t in &tiles {
+        let p = predict(ModelKind::DataReuse, &ctx, t).expect("predicts").total;
+        let m = measure_gemm(&tb, &profile, n, t);
+        meas_at.insert(t, m);
+        if p < best_pred.1 {
+            best_pred = (t, p);
+        }
+        if m < best_meas.1 {
+            best_meas = (t, m);
+        }
+    }
+    let selected_meas = meas_at[&best_pred.0];
+    assert!(
+        selected_meas <= best_meas.1 * 1.05,
+        "selected T={} measures {selected_meas:.4}, optimum T={} measures {:.4}",
+        best_pred.0,
+        best_meas.0,
+        best_meas.1
+    );
+}
+
+#[test]
+fn cso_underpredicts_on_reuse_scheduler() {
+    // The headline qualitative claim of Figure 5: the reuse-blind CSO model
+    // is much less accurate than DR on the CoCoPeLia implementation.
+    let (tb, profile) = lab();
+    let exec = profile
+        .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+        .expect("gemm table");
+    let n = 4096;
+    let t = 512;
+    let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
+    let full = measure_full_kernel(
+        &tb,
+        KernelShape::Gemm { dtype: Dtype::F64, m: n, n, k: n },
+        &CiConfig::default(),
+        3,
+    )
+    .expect("kernel probe");
+    let ctx = ModelCtx {
+        problem: &problem,
+        transfer: &profile.transfer,
+        exec,
+        full_kernel_time: Some(full),
+    };
+    let meas = measure_gemm(&tb, &profile, n, t);
+    let dr = predict(ModelKind::DataReuse, &ctx, t).expect("dr").total;
+    let cso = predict(ModelKind::Cso, &ctx, t).expect("cso").total;
+    let dr_err = (dr - meas).abs() / meas;
+    let cso_err = (cso - meas).abs() / meas;
+    assert!(dr_err < cso_err, "DR {:.1}% !< CSO {:.1}%", dr_err * 100.0, cso_err * 100.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Model sanity: predictions are positive, finite, and monotone in the
+    /// problem volume for a fixed tile.
+    #[test]
+    fn predictions_monotone_in_problem_size(
+        base in 1024usize..2048,
+        growth in 1usize..4,
+        t in 256usize..512,
+    ) {
+        let (_, profile) = lab_cached();
+        let exec = profile
+            .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+            .expect("gemm table");
+        let small = ProblemSpec::gemm(Dtype::F64, base, base, base, Loc::Host, Loc::Host, Loc::Host, true);
+        let big_n = base * (1 + growth);
+        let big = ProblemSpec::gemm(Dtype::F64, big_n, big_n, big_n, Loc::Host, Loc::Host, Loc::Host, true);
+        for kind in [ModelKind::Baseline, ModelKind::DataLoc, ModelKind::Bts, ModelKind::DataReuse] {
+            let c1 = ModelCtx { problem: &small, transfer: &profile.transfer, exec, full_kernel_time: None };
+            let c2 = ModelCtx { problem: &big, transfer: &profile.transfer, exec, full_kernel_time: None };
+            let p1 = predict(kind, &c1, t).expect("small").total;
+            let p2 = predict(kind, &c2, t).expect("big").total;
+            prop_assert!(p1.is_finite() && p2.is_finite() && p1 > 0.0);
+            prop_assert!(p2 > p1, "{kind:?}: {p2} !> {p1}");
+        }
+    }
+
+    /// Reuse can only help: DR <= DataLoc for full-offload gemm.
+    #[test]
+    fn reuse_never_predicted_slower(
+        n in 1024usize..4096,
+        t in 256usize..1024,
+    ) {
+        let (_, profile) = lab_cached();
+        let exec = profile
+            .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+            .expect("gemm table");
+        let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
+        let ctx = ModelCtx { problem: &problem, transfer: &profile.transfer, exec, full_kernel_time: None };
+        let dl = predict(ModelKind::DataLoc, &ctx, t).expect("dataloc").total;
+        let dr = predict(ModelKind::DataReuse, &ctx, t).expect("dr").total;
+        prop_assert!(dr <= dl * 1.001, "DR {dr} vs DataLoc {dl}");
+    }
+}
+
+/// Deployment is expensive relative to a proptest case; cache one profile
+/// for the whole process.
+fn lab_cached() -> (TestbedSpec, cocopelia_core::profile::SystemProfile) {
+    use std::sync::OnceLock;
+    static LAB: OnceLock<(TestbedSpec, cocopelia_core::profile::SystemProfile)> = OnceLock::new();
+    LAB.get_or_init(lab).clone()
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, and the full test suite.
+#
+# Offline-registry caveat: this workspace resolves its external dependencies
+# (rand, serde, serde_json, proptest, criterion) to the API-compatible stubs
+# vendored under vendor/ via path entries in [workspace.dependencies] —
+# `cargo` never touches a registry, so the script runs in fully offline
+# environments. Do not add registry dependencies without vendoring them the
+# same way.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "CI gate passed."

@@ -42,7 +42,10 @@ impl Blasx {
                 sl_d2h: 1.0,
             },
         );
-        Blasx { ctx: Cocopelia::new(gpu, dummy), tile }
+        Blasx {
+            ctx: Cocopelia::new(gpu, dummy),
+            tile,
+        }
     }
 
     /// The static tiling size in use.
@@ -82,7 +85,9 @@ impl Blasx {
         // smaller than the tile (a single-tile schedule).
         let min_dim = a.rows().min(b.cols()).min(a.cols());
         let tile = self.tile.min(min_dim.max(1));
-        let out = self.ctx.gemm(alpha, a, b, beta, c, TileChoice::Fixed(tile))?;
+        let out = self
+            .ctx
+            .gemm(alpha, a, b, beta, c, TileChoice::Fixed(tile))?;
         Ok(BaselineResult {
             output: out.c,
             elapsed: out.report.elapsed,
@@ -110,10 +115,19 @@ mod tests {
         let res = blasx
             .gemm::<f64>(
                 1.0,
-                MatOperand::HostGhost { rows: 4096, cols: 4096 },
-                MatOperand::HostGhost { rows: 4096, cols: 4096 },
+                MatOperand::HostGhost {
+                    rows: 4096,
+                    cols: 4096,
+                },
+                MatOperand::HostGhost {
+                    rows: 4096,
+                    cols: 4096,
+                },
                 1.0,
-                MatOperand::HostGhost { rows: 4096, cols: 4096 },
+                MatOperand::HostGhost {
+                    rows: 4096,
+                    cols: 4096,
+                },
             )
             .expect("runs");
         assert_eq!(res.subkernels, 8);
@@ -142,10 +156,19 @@ mod tests {
         let res = blasx
             .gemm::<f64>(
                 1.0,
-                MatOperand::HostGhost { rows: 512, cols: 512 },
-                MatOperand::HostGhost { rows: 512, cols: 512 },
+                MatOperand::HostGhost {
+                    rows: 512,
+                    cols: 512,
+                },
+                MatOperand::HostGhost {
+                    rows: 512,
+                    cols: 512,
+                },
                 0.0,
-                MatOperand::HostGhost { rows: 512, cols: 512 },
+                MatOperand::HostGhost {
+                    rows: 512,
+                    cols: 512,
+                },
             )
             .expect("runs");
         assert_eq!(res.subkernels, 1);

@@ -39,15 +39,25 @@ fn stage<T: SimScalar>(gpu: &mut Gpu, op: MatOperand<T>) -> Staging {
         MatOperand::Host(m) => {
             let rows = m.rows();
             let host = gpu.register_host(T::into_payload(m.into_vec()), true);
-            Staging { host: Some(host), dev: None, rows }
+            Staging {
+                host: Some(host),
+                dev: None,
+                rows,
+            }
         }
         MatOperand::HostGhost { rows, cols } => {
             let host = gpu.register_host_ghost(T::DTYPE, rows * cols, true);
-            Staging { host: Some(host), dev: None, rows }
+            Staging {
+                host: Some(host),
+                dev: None,
+                rows,
+            }
         }
-        MatOperand::Device(d) => {
-            Staging { host: None, dev: Some((d.raw_buf(), d.rows())), rows: d.rows() }
-        }
+        MatOperand::Device(d) => Staging {
+            host: None,
+            dev: Some((d.raw_buf(), d.rows())),
+            rows: d.rows(),
+        },
     }
 }
 
@@ -63,7 +73,12 @@ struct Ring {
 
 impl Ring {
     fn new(depth: usize, elems: usize) -> Ring {
-        Ring { depth, elems, slots: Vec::new(), next: 0 }
+        Ring {
+            depth,
+            elems,
+            slots: Vec::new(),
+            next: 0,
+        }
     }
 
     /// Returns `(slot index, buffer)` ready to be written on `writer`.
@@ -121,7 +136,11 @@ fn fetch_tile<T: SimScalar>(
 ) -> Result<StagedTile, RuntimeError> {
     if let Some((buf, rows)) = st.dev {
         return Ok(StagedTile {
-            mat: DevMatRef { buf, offset: rr.start + cr.start * rows, ld: rows },
+            mat: DevMatRef {
+                buf,
+                offset: rr.start + cr.start * rows,
+                ld: rows,
+            },
             ready: None,
             slot: None,
         });
@@ -141,14 +160,27 @@ fn fetch_tile<T: SimScalar>(
                     cols: cr.len,
                 },
                 dev: buf,
-                dev_region: Region2d { offset: 0, ld: rr.len, rows: rr.len, cols: cr.len },
+                dev_region: Region2d {
+                    offset: 0,
+                    ld: rr.len,
+                    rows: rr.len,
+                    cols: cr.len,
+                },
             },
         )?;
         Some(gpu.record_event(h2d)?)
     } else {
         None
     };
-    Ok(StagedTile { mat: DevMatRef { buf, offset: 0, ld: rr.len }, ready, slot: Some(slot) })
+    Ok(StagedTile {
+        mat: DevMatRef {
+            buf,
+            offset: 0,
+            ld: rr.len,
+        },
+        ready,
+        slot: Some(slot),
+    })
 }
 
 /// Runs `C ← α·A·B + β·C` under the cuBLASXt policy with tiling size
@@ -170,7 +202,11 @@ pub fn gemm<T: SimScalar>(
     let (kb, n) = (b.rows(), b.cols());
     if k != kb || c.rows() != m || c.cols() != n {
         return Err(RuntimeError::DimensionMismatch {
-            what: format!("cublasxt gemm: A {m}x{k}, B {kb}x{n}, C {}x{}", c.rows(), c.cols()),
+            what: format!(
+                "cublasxt gemm: A {m}x{k}, B {kb}x{n}, C {}x{}",
+                c.rows(),
+                c.cols()
+            ),
         });
     }
     if tile == 0 {
@@ -211,8 +247,7 @@ pub fn gemm<T: SimScalar>(
                         gpu.wait_event(h2d, *ev)?;
                     }
                 }
-                let c_t =
-                    fetch_tile::<T>(gpu, h2d, &st_c, &mut c_ring, ri, cj, fetch_c_now, exec)?;
+                let c_t = fetch_tile::<T>(gpu, h2d, &st_c, &mut c_ring, ri, cj, fetch_c_now, exec)?;
                 if let Some(ev) = c_t.ready {
                     gpu.wait_event(exec, ev)?;
                 }
@@ -224,7 +259,12 @@ pub fn gemm<T: SimScalar>(
                 }
                 gpu.launch_kernel(
                     exec,
-                    KernelShape::Gemm { dtype: T::DTYPE, m: ri.len, n: cj.len, k: kp.len },
+                    KernelShape::Gemm {
+                        dtype: T::DTYPE,
+                        m: ri.len,
+                        n: cj.len,
+                        k: kp.len,
+                    },
                     Some(KernelArgs::Gemm {
                         alpha,
                         beta: if p == 0 { beta } else { 1.0 },
@@ -291,7 +331,12 @@ pub fn gemm<T: SimScalar>(
             gpu.take_host(h)?;
         }
     }
-    Ok(BaselineResult { output: c_out, elapsed, flops, subkernels })
+    Ok(BaselineResult {
+        output: c_out,
+        elapsed,
+        flops,
+        subkernels,
+    })
 }
 
 #[cfg(test)]
@@ -309,7 +354,9 @@ mod tests {
     fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -415,7 +462,10 @@ mod tests {
         assert_eq!(gpu.device_mem_used(), 0);
         // Peak usage during the run was at most the ring capacity.
         let ring_bytes = (2 * INPUT_RING + OUTPUT_RING) * t * t * 8;
-        assert!(ring_bytes < 16 * 1024 * 1024, "rings stay small: {ring_bytes}");
+        assert!(
+            ring_bytes < 16 * 1024 * 1024,
+            "rings stay small: {ring_bytes}"
+        );
     }
 
     #[test]

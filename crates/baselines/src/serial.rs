@@ -27,7 +27,11 @@ pub fn gemm<T: SimScalar>(
     let (kb, n) = (b.rows(), b.cols());
     if k != kb || c.rows() != m || c.cols() != n {
         return Err(RuntimeError::DimensionMismatch {
-            what: format!("serial gemm: A {m}x{k}, B {kb}x{n}, C {}x{}", c.rows(), c.cols()),
+            what: format!(
+                "serial gemm: A {m}x{k}, B {kb}x{n}, C {}x{}",
+                c.rows(),
+                c.cols()
+            ),
         });
     }
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
@@ -36,42 +40,70 @@ pub fn gemm<T: SimScalar>(
 
     // Stage a full-matrix device buffer per operand (uploading host ones).
     let mut owned = Vec::new();
-    let place = |gpu: &mut Gpu,
-                     op: MatOperand<T>,
-                     copy_in: bool,
-                     owned: &mut Vec<cocopelia_gpusim::DevBufId>|
-     -> Result<(DevMatRef, Option<cocopelia_gpusim::HostBufId>, usize), RuntimeError> {
-        match op {
-            MatOperand::Device(d) => {
-                Ok((DevMatRef { buf: d.raw_buf(), offset: 0, ld: d.rows() }, None, d.rows()))
-            }
-            host_op => {
-                let rows = host_op.rows();
-                let cols = host_op.cols();
-                let host = match host_op {
-                    MatOperand::Host(mat) => gpu.register_host(T::into_payload(mat.into_vec()), true),
-                    MatOperand::HostGhost { .. } => {
-                        gpu.register_host_ghost(T::DTYPE, rows * cols, true)
+    let place =
+        |gpu: &mut Gpu,
+         op: MatOperand<T>,
+         copy_in: bool,
+         owned: &mut Vec<cocopelia_gpusim::DevBufId>|
+         -> Result<(DevMatRef, Option<cocopelia_gpusim::HostBufId>, usize), RuntimeError> {
+            match op {
+                MatOperand::Device(d) => Ok((
+                    DevMatRef {
+                        buf: d.raw_buf(),
+                        offset: 0,
+                        ld: d.rows(),
+                    },
+                    None,
+                    d.rows(),
+                )),
+                host_op => {
+                    let rows = host_op.rows();
+                    let cols = host_op.cols();
+                    let host = match host_op {
+                        MatOperand::Host(mat) => {
+                            gpu.register_host(T::into_payload(mat.into_vec()), true)
+                        }
+                        MatOperand::HostGhost { .. } => {
+                            gpu.register_host_ghost(T::DTYPE, rows * cols, true)
+                        }
+                        MatOperand::Device(_) => unreachable!("handled above"),
+                    };
+                    let dev = gpu.alloc_device(T::DTYPE, rows * cols)?;
+                    owned.push(dev);
+                    if copy_in {
+                        gpu.memcpy_h2d_async(stream, CopyDesc::contiguous(host, dev, rows * cols))?;
                     }
-                    MatOperand::Device(_) => unreachable!("handled above"),
-                };
-                let dev = gpu.alloc_device(T::DTYPE, rows * cols)?;
-                owned.push(dev);
-                if copy_in {
-                    gpu.memcpy_h2d_async(stream, CopyDesc::contiguous(host, dev, rows * cols))?;
+                    Ok((
+                        DevMatRef {
+                            buf: dev,
+                            offset: 0,
+                            ld: rows,
+                        },
+                        Some(host),
+                        rows,
+                    ))
                 }
-                Ok((DevMatRef { buf: dev, offset: 0, ld: rows }, Some(host), rows))
             }
-        }
-    };
+        };
     let (a_ref, a_host, _) = place(gpu, a, true, &mut owned)?;
     let (b_ref, b_host, _) = place(gpu, b, true, &mut owned)?;
     let (c_ref, c_host, _) = place(gpu, c, beta != 0.0, &mut owned)?;
 
     gpu.launch_kernel(
         stream,
-        KernelShape::Gemm { dtype: T::DTYPE, m, n, k },
-        Some(KernelArgs::Gemm { alpha, beta, a: a_ref, b: b_ref, c: c_ref }),
+        KernelShape::Gemm {
+            dtype: T::DTYPE,
+            m,
+            n,
+            k,
+        },
+        Some(KernelArgs::Gemm {
+            alpha,
+            beta,
+            a: a_ref,
+            b: b_ref,
+            c: c_ref,
+        }),
     )?;
     if let Some(host) = c_host {
         gpu.memcpy_d2h_async(stream, CopyDesc::contiguous(host, c_ref.buf, m * n))?;
@@ -93,7 +125,12 @@ pub fn gemm<T: SimScalar>(
     for h in [a_host, b_host].into_iter().flatten() {
         gpu.take_host(h)?;
     }
-    Ok(BaselineResult { output: c_out, elapsed, flops, subkernels: 1 })
+    Ok(BaselineResult {
+        output: c_out,
+        elapsed,
+        flops,
+        subkernels: 1,
+    })
 }
 
 #[cfg(test)]
@@ -105,7 +142,11 @@ mod tests {
     fn quiet_gpu(functional: bool) -> Gpu {
         let mut tb = testbed_i();
         tb.noise = NoiseSpec::NONE;
-        let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         Gpu::new(tb, mode, 1)
     }
 
@@ -138,10 +179,19 @@ mod tests {
         gemm::<f64>(
             &mut gpu,
             1.0,
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
             1.0,
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
         )
         .expect("runs");
         // Busy times tile the makespan exactly: no two entries overlap.

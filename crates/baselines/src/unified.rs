@@ -8,9 +8,7 @@
 //! migration of chunk `i+1` with compute on chunk `i`.
 
 use crate::BaselineResult;
-use cocopelia_gpusim::{
-    CopyDesc, DevVecRef, Gpu, KernelArgs, KernelShape, Region2d, SimScalar,
-};
+use cocopelia_gpusim::{CopyDesc, DevVecRef, Gpu, KernelArgs, KernelShape, Region2d, SimScalar};
 use cocopelia_hostblas::tiling::split;
 use cocopelia_runtime::{RuntimeError, VecOperand};
 
@@ -66,25 +64,49 @@ pub fn daxpy_prefetch(
     let mut subkernels = 0usize;
 
     for t in split(n, chunk) {
-        let region = Region2d { offset: t.start, ld: t.len.max(1), rows: t.len, cols: 1 };
+        let region = Region2d {
+            offset: t.start,
+            ld: t.len.max(1),
+            rows: t.len,
+            cols: 1,
+        };
         // Prefetch both operands' pages for this chunk.
         gpu.memcpy_h2d_async(
             migrate,
-            CopyDesc { host: hx, host_region: region, dev: dx, dev_region: region },
+            CopyDesc {
+                host: hx,
+                host_region: region,
+                dev: dx,
+                dev_region: region,
+            },
         )?;
         gpu.memcpy_h2d_async(
             migrate,
-            CopyDesc { host: hy, host_region: region, dev: dy, dev_region: region },
+            CopyDesc {
+                host: hy,
+                host_region: region,
+                dev: dy,
+                dev_region: region,
+            },
         )?;
         let migrated = gpu.record_event(migrate)?;
         gpu.wait_event(exec, migrated)?;
         gpu.launch_kernel(
             exec,
-            KernelShape::Axpy { dtype: cocopelia_hostblas::Dtype::F64, n: t.len },
+            KernelShape::Axpy {
+                dtype: cocopelia_hostblas::Dtype::F64,
+                n: t.len,
+            },
             Some(KernelArgs::Axpy {
                 alpha,
-                x: DevVecRef { buf: dx, offset: t.start },
-                y: DevVecRef { buf: dy, offset: t.start },
+                x: DevVecRef {
+                    buf: dx,
+                    offset: t.start,
+                },
+                y: DevVecRef {
+                    buf: dy,
+                    offset: t.start,
+                },
             }),
         )?;
         subkernels += 1;
@@ -93,7 +115,12 @@ pub fn daxpy_prefetch(
         gpu.wait_event(writeback, done)?;
         gpu.memcpy_d2h_async(
             writeback,
-            CopyDesc { host: hy, host_region: region, dev: dy, dev_region: region },
+            CopyDesc {
+                host: hy,
+                host_region: region,
+                dev: dy,
+                dev_region: region,
+            },
         )?;
     }
 
@@ -103,8 +130,16 @@ pub fn daxpy_prefetch(
     gpu.free_device(dy)?;
     gpu.take_host(hx)?;
     let ybuf = gpu.take_host(hy)?;
-    let y_out = ybuf.payload.is_functional().then(|| f64::payload_into_vec(ybuf.payload));
-    Ok(BaselineResult { output: y_out, elapsed, flops, subkernels })
+    let y_out = ybuf
+        .payload
+        .is_functional()
+        .then(|| f64::payload_into_vec(ybuf.payload));
+    Ok(BaselineResult {
+        output: y_out,
+        elapsed,
+        flops,
+        subkernels,
+    })
 }
 
 #[cfg(test)]
@@ -125,9 +160,14 @@ mod tests {
         let y: Vec<f64> = vec![1.0; n];
         let expect: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
         let mut gpu = Gpu::new(quiet(), ExecMode::Functional, 1);
-        let res =
-            daxpy_prefetch(&mut gpu, 2.0, VecOperand::Host(x), VecOperand::Host(y), 1024)
-                .expect("runs");
+        let res = daxpy_prefetch(
+            &mut gpu,
+            2.0,
+            VecOperand::Host(x),
+            VecOperand::Host(y),
+            1024,
+        )
+        .expect("runs");
         assert_eq!(res.output.expect("functional"), expect);
         assert_eq!(res.subkernels, 5);
     }
@@ -181,7 +221,9 @@ mod tests {
     #[test]
     fn device_operands_rejected() {
         let mut gpu = Gpu::new(quiet(), ExecMode::TimingOnly, 1);
-        let dev = gpu.alloc_device(cocopelia_hostblas::Dtype::F64, 8).expect("alloc");
+        let dev = gpu
+            .alloc_device(cocopelia_hostblas::Dtype::F64, 8)
+            .expect("alloc");
         let _ = dev;
         let err = daxpy_prefetch(
             &mut gpu,

@@ -39,7 +39,13 @@ fn main() {
         ModelKind::DataReuse,
     ];
     let mut table = TextTable::new(vec![
-        "link x", "static 2048", "T_opt", "Eq.1", "Eq.2", "Eq.4", "Eq.5(DR)",
+        "link x",
+        "static 2048",
+        "T_opt",
+        "Eq.1",
+        "Eq.2",
+        "Eq.4",
+        "Eq.5(DR)",
     ]);
     for &bw in scales {
         let lab = Lab::deploy(synthetic_testbed(bw));

@@ -20,8 +20,16 @@ use cocopelia_runtime::Cocopelia;
 fn overhead_benches(c: &mut Criterion) {
     let report = deploy(&testbed_ii(), &DeployConfig::paper()).expect("deploys");
     let profile = report.profile;
-    let problem =
-        ProblemSpec::gemm(Dtype::F64, 16384, 16384, 16384, Loc::Host, Loc::Host, Loc::Host, true);
+    let problem = ProblemSpec::gemm(
+        Dtype::F64,
+        16384,
+        16384,
+        16384,
+        Loc::Host,
+        Loc::Host,
+        Loc::Host,
+        true,
+    );
     let exec = profile
         .exec_table(problem.routine, problem.dtype)
         .expect("gemm table present")
@@ -49,15 +57,24 @@ fn overhead_benches(c: &mut Criterion) {
             exec: &exec,
             full_kernel_time: None,
         };
-        b.iter(|| predict(ModelKind::DataReuse, black_box(&ctx), 2048).expect("predicts").total)
+        b.iter(|| {
+            predict(ModelKind::DataReuse, black_box(&ctx), 2048)
+                .expect("predicts")
+                .total
+        })
     });
 
     c.bench_function("cached_selection", |b| {
         let gpu = Gpu::new(testbed_ii(), ExecMode::TimingOnly, 1);
         let mut ctx = Cocopelia::new(gpu, profile.clone());
         // Prime the cache once.
-        ctx.select_tile(&problem, ModelKind::DataReuse).expect("selects");
-        b.iter(|| ctx.select_tile(black_box(&problem), ModelKind::DataReuse).expect("cached").tile)
+        ctx.select_tile(&problem, ModelKind::DataReuse)
+            .expect("selects");
+        b.iter(|| {
+            ctx.select_tile(black_box(&problem), ModelKind::DataReuse)
+                .expect("cached")
+                .tile
+        })
     });
 }
 

@@ -20,7 +20,12 @@ fn main() {
     };
     for n in sizes {
         let mut table = TextTable::new(vec![
-            "devices", "makespan (ms)", "aggregate GFLOP/s", "speedup", "efficiency", "tiles used",
+            "devices",
+            "makespan (ms)",
+            "aggregate GFLOP/s",
+            "speedup",
+            "efficiency",
+            "tiles used",
         ]);
         let mut base = None;
         for g in [1usize, 2, 4, 8] {
@@ -34,8 +39,7 @@ fn main() {
             let out = mg.gemm_ghost(n, n, n, TileChoice::Auto).expect("runs");
             let secs = out.elapsed.as_secs_f64();
             let base_secs = *base.get_or_insert(secs);
-            let tiles: Vec<String> =
-                out.per_device.iter().map(|r| r.tile.to_string()).collect();
+            let tiles: Vec<String> = out.per_device.iter().map(|r| r.tile.to_string()).collect();
             table.row(vec![
                 g.to_string(),
                 format!("{:.1}", secs * 1e3),

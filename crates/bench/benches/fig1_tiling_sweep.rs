@@ -37,8 +37,9 @@ fn main() {
             let grid = gemm_tile_grid(s, scale);
             let mut series = Vec::new();
             for &t in &grid {
-                let out =
-                    lab.run_gemm(&p, GemmLib::CublasXt(t), 0xF16 + t as u64).expect("sweep run");
+                let out = lab
+                    .run_gemm(&p, GemmLib::CublasXt(t), 0xF16 + t as u64)
+                    .expect("sweep run");
                 series.push((format!("T={t}"), out.gflops));
             }
             let (best_t, best) = series

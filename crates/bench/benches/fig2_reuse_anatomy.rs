@@ -51,7 +51,12 @@ fn main() {
     )
     .expect("runs");
     let trace = ctx.gpu().trace();
-    let end = trace.entries().iter().map(|e| e.end.as_nanos()).max().expect("entries");
+    let end = trace
+        .entries()
+        .iter()
+        .map(|e| e.end.as_nanos())
+        .max()
+        .expect("entries");
 
     let windows = 10usize;
     let mut table = TextTable::new(vec!["window", "h2d busy", "exec busy", "d2h busy", "phase"]);
@@ -63,7 +68,11 @@ fn main() {
         let h2d = utilisation(trace, EngineKind::CopyH2d, w0, w1);
         let exec = utilisation(trace, EngineKind::Compute, w0, w1);
         let d2h = utilisation(trace, EngineKind::CopyD2h, w0, w1);
-        let phase = if h2d > exec { "transfer-bound" } else { "execution-bound" };
+        let phase = if h2d > exec {
+            "transfer-bound"
+        } else {
+            "execution-bound"
+        };
         first_phase.get_or_insert(phase);
         last_phase = Some(phase);
         table.row(vec![

@@ -10,12 +10,12 @@
 use cocopelia_core::models::ModelKind;
 use cocopelia_gpusim::{testbed_i, testbed_ii};
 use cocopelia_hostblas::Dtype;
+use cocopelia_runtime::TileChoice;
 use cocopelia_xp::sets::{
     daxpy_tile_grid, daxpy_validation, gemm_tile_grid, gemm_validation_shapes,
     gemm_validation_square,
 };
 use cocopelia_xp::{rel_err_pct, AxpyLib, GemmLib, Lab, Scale, ViolinSummary};
-use cocopelia_runtime::TileChoice;
 
 fn main() {
     let scale = Scale::from_env();
@@ -45,7 +45,11 @@ fn main() {
         }
         println!("daxpy:");
         for (model, samples) in &errs {
-            println!("  {:<15} {}", model.name(), ViolinSummary::of(samples).render());
+            println!(
+                "  {:<15} {}",
+                model.name(),
+                ViolinSummary::of(samples).render()
+            );
         }
 
         // s/dgemm through the cuBLASXt policy (no reuse).
@@ -80,7 +84,11 @@ fn main() {
             }
             println!("{}gemm (cuBLASXt policy):", dtype.blas_prefix());
             for (model, samples) in &errs {
-                println!("  {:<15} {}", model.name(), ViolinSummary::of(samples).render());
+                println!(
+                    "  {:<15} {}",
+                    model.name(),
+                    ViolinSummary::of(samples).render()
+                );
             }
         }
         println!();

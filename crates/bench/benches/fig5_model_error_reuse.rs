@@ -24,8 +24,10 @@ fn main() {
         let lab = Lab::deploy(testbed);
         println!("--- {} ---", lab.testbed.name);
         for dtype in [Dtype::F64, Dtype::F32] {
-            let mut errs: Vec<(ModelKind, Vec<f64>)> =
-                vec![(ModelKind::DataReuse, Vec::new()), (ModelKind::Cso, Vec::new())];
+            let mut errs: Vec<(ModelKind, Vec<f64>)> = vec![
+                (ModelKind::DataReuse, Vec::new()),
+                (ModelKind::Cso, Vec::new()),
+            ];
             let mut problems = gemm_validation_square(dtype, scale);
             problems.extend(gemm_validation_shapes(dtype, scale));
             for p in problems {
@@ -44,7 +46,11 @@ fn main() {
             }
             println!("{}gemm (CoCoPeLia implementation):", dtype.blas_prefix());
             for (model, samples) in &errs {
-                println!("  {:<15} {}", model.name(), ViolinSummary::of(samples).render());
+                println!(
+                    "  {:<15} {}",
+                    model.name(),
+                    ViolinSummary::of(samples).render()
+                );
             }
         }
         println!();

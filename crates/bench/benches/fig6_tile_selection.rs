@@ -29,7 +29,14 @@ fn main() {
         let mut problems = gemm_validation_square(dtype, scale);
         problems.extend(gemm_validation_shapes(dtype, scale));
         let mut table = TextTable::new(vec![
-            "problem", "static T=2048", "T_opt", "gain%", "Eq.1", "Eq.2", "Eq.4", "Eq.5(DR)",
+            "problem",
+            "static T=2048",
+            "T_opt",
+            "gain%",
+            "Eq.1",
+            "Eq.2",
+            "Eq.4",
+            "Eq.5(DR)",
         ]);
         // Per-model speedup-vs-static samples for the summary.
         let mut gains: Vec<Vec<f64>> = vec![Vec::new(); models.len() + 1];
@@ -70,10 +77,17 @@ fn main() {
             }
             table.row(cells);
         }
-        println!("{}gemm — measured GFLOP/s per selection policy:", dtype.blas_prefix());
+        println!(
+            "{}gemm — measured GFLOP/s per selection policy:",
+            dtype.blas_prefix()
+        );
         println!("{}", table.render());
         println!("improvement over static T=2048 (%):");
-        println!("  {:<12} {}", "T_opt", ViolinSummary::of(&gains[0]).render());
+        println!(
+            "  {:<12} {}",
+            "T_opt",
+            ViolinSummary::of(&gains[0]).render()
+        );
         for (mi, model) in models.iter().enumerate() {
             println!(
                 "  {:<12} {}",

@@ -24,11 +24,15 @@ fn cublasxt_best(lab: &Lab, p: &GemmProblem, scale: Scale) -> (usize, f64) {
         grid
     } else {
         let stride = grid.len() as f64 / 10.0;
-        (0..10).map(|i| grid[(i as f64 * stride) as usize]).collect()
+        (0..10)
+            .map(|i| grid[(i as f64 * stride) as usize])
+            .collect()
     };
     let mut best = (0usize, 0.0f64);
     for t in picks {
-        let out = lab.run_gemm(p, GemmLib::CublasXt(t), 53 + t as u64).expect("xt run");
+        let out = lab
+            .run_gemm(p, GemmLib::CublasXt(t), 53 + t as u64)
+            .expect("xt run");
         if out.gflops > best.1 {
             best = (t, out.gflops);
         }
@@ -117,5 +121,7 @@ fn main() {
             println!("{}", table.render());
         }
     }
-    println!("(paper: CoCoPeLia >= both everywhere; biggest margins on full offload & fat-by-thin)");
+    println!(
+        "(paper: CoCoPeLia >= both everywhere; biggest margins on full offload & fat-by-thin)"
+    );
 }

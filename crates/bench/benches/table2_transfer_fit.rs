@@ -9,7 +9,13 @@ use cocopelia_xp::{Lab, TextTable};
 fn main() {
     println!("=== Table III: testbed description ===\n");
     let mut spec_table = TextTable::new(vec![
-        "testbed", "GPU", "FP64 peak", "FP32 peak", "mem BW", "capacity", "SMs",
+        "testbed",
+        "GPU",
+        "FP64 peak",
+        "FP32 peak",
+        "mem BW",
+        "capacity",
+        "SMs",
     ]);
     for tb in [testbed_i(), testbed_ii()] {
         spec_table.row(vec![
@@ -26,7 +32,14 @@ fn main() {
 
     println!("=== Table II: fitted transfer sub-models ===\n");
     let mut table = TextTable::new(vec![
-        "system", "dir", "t_l (us)", "1/t_b (GB/s)", "RSE", "1/t_b bid (GB/s)", "RSE bid", "sl",
+        "system",
+        "dir",
+        "t_l (us)",
+        "1/t_b (GB/s)",
+        "RSE",
+        "1/t_b bid (GB/s)",
+        "RSE bid",
+        "sl",
         "sl truth",
     ]);
     for tb in [testbed_i(), testbed_ii()] {
@@ -47,5 +60,7 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    println!("(paper Table II: TB-I 3.15/3.29 GB/s, sl 1.0/1.16; TB-II 12.18/12.98 GB/s, sl 1.27/1.41)");
+    println!(
+        "(paper Table II: TB-I 3.15/3.29 GB/s, sl 1.0/1.16; TB-II 12.18/12.98 GB/s, sl 1.27/1.41)"
+    );
 }

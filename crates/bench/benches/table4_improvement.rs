@@ -11,9 +11,7 @@ use cocopelia_gpusim::{testbed_i, testbed_ii};
 use cocopelia_hostblas::Dtype;
 use cocopelia_runtime::TileChoice;
 use cocopelia_xp::sets::{daxpy_eval_set, gemm_eval_set, gemm_tile_grid};
-use cocopelia_xp::{
-    geomean_improvement_pct, AxpyLib, GemmLib, GemmProblem, Lab, Scale, TextTable,
-};
+use cocopelia_xp::{geomean_improvement_pct, AxpyLib, GemmLib, GemmProblem, Lab, Scale, TextTable};
 
 /// cuBLASXt best-of-N tiling sizes, as in §V-E.
 fn cublasxt_best_secs(lab: &Lab, p: &GemmProblem, scale: Scale) -> f64 {
@@ -22,18 +20,29 @@ fn cublasxt_best_secs(lab: &Lab, p: &GemmProblem, scale: Scale) -> f64 {
         grid
     } else {
         let stride = grid.len() as f64 / 10.0;
-        (0..10).map(|i| grid[(i as f64 * stride) as usize]).collect()
+        (0..10)
+            .map(|i| grid[(i as f64 * stride) as usize])
+            .collect()
     };
     picks
         .into_iter()
-        .map(|t| lab.run_gemm(p, GemmLib::CublasXt(t), 67 + t as u64).expect("xt run").secs)
+        .map(|t| {
+            lab.run_gemm(p, GemmLib::CublasXt(t), 67 + t as u64)
+                .expect("xt run")
+                .secs
+        })
         .fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
     let scale = Scale::from_env();
     println!("=== Table IV: geo-mean % improvement of CoCoPeLia over the best other library ===\n");
-    let mut table = TextTable::new(vec!["testbed", "routine", "full offload", "partial offload"]);
+    let mut table = TextTable::new(vec![
+        "testbed",
+        "routine",
+        "full offload",
+        "partial offload",
+    ]);
     for testbed in [testbed_i(), testbed_ii()] {
         let lab = Lab::deploy(testbed);
         for dtype in [Dtype::F64, Dtype::F32] {
@@ -45,7 +54,10 @@ fn main() {
                     .expect("cocopelia run")
                     .secs;
                 let xt = cublasxt_best_secs(&lab, &p, scale);
-                let blasx = lab.run_gemm(&p, GemmLib::Blasx, 73).expect("blasx run").secs;
+                let blasx = lab
+                    .run_gemm(&p, GemmLib::Blasx, 73)
+                    .expect("blasx run")
+                    .secs;
                 let best_other = xt.min(blasx);
                 let speedup = best_other / coco;
                 if p.full_offload() {
@@ -73,7 +85,10 @@ fn main() {
             if !p.full_offload() {
                 continue;
             }
-            let um = lab.run_daxpy(&p, AxpyLib::UnifiedPrefetch, 83).expect("um daxpy").secs;
+            let um = lab
+                .run_daxpy(&p, AxpyLib::UnifiedPrefetch, 83)
+                .expect("um daxpy")
+                .secs;
             let speedup = um / coco;
             if p.full_offload() {
                 full.push(speedup);

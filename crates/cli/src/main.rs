@@ -4,6 +4,8 @@
 //! cocopelia deploy  --testbed ii --out profile.json [--quick]
 //! cocopelia predict --profile profile.json --routine dgemm --dims 8192 8192 8192 [--loc HHH] [--model dr]
 //! cocopelia run     --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--tile auto|2048]
+//! cocopelia report  --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--json report.json]
+//! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! ```
 
@@ -39,6 +41,11 @@ usage:
                     --dims <D1> [D2] [D3] [--loc <H|D per operand>] [--model <cso|eq1|eq2|bts|dr>]
   cocopelia run     --testbed <i|ii> --profile <profile.json> --routine <...>
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
+  cocopelia report  --testbed <i|ii> --profile <profile.json> --routine <...>
+                    --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>] [--json <out.json>]
+  cocopelia trace   --testbed <i|ii> --profile <profile.json> --routine <...>
+                    --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
+                    --out <trace.json> [--format <chrome|jsonl>]
   cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]";
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -50,6 +57,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "deploy" => cmd_deploy(&args),
         "predict" => cmd_predict(&args),
         "run" => cmd_run(&args),
+        "report" => cmd_report(&args),
+        "trace" => cmd_trace(&args),
         "gantt" => cmd_gantt(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -94,8 +103,21 @@ fn problem(args: &Args) -> Result<ProblemSpec, String> {
     match routine.as_str() {
         "dgemm" | "sgemm" => {
             need(3)?;
-            let dt = if routine == "dgemm" { Dtype::F64 } else { Dtype::F32 };
-            Ok(ProblemSpec::gemm(dt, dims[0], dims[1], dims[2], loc(0), loc(1), loc(2), true))
+            let dt = if routine == "dgemm" {
+                Dtype::F64
+            } else {
+                Dtype::F32
+            };
+            Ok(ProblemSpec::gemm(
+                dt,
+                dims[0],
+                dims[1],
+                dims[2],
+                loc(0),
+                loc(1),
+                loc(2),
+                true,
+            ))
         }
         "daxpy" => {
             need(1)?;
@@ -107,7 +129,15 @@ fn problem(args: &Args) -> Result<ProblemSpec, String> {
         }
         "dgemv" => {
             need(2)?;
-            Ok(ProblemSpec::gemv(Dtype::F64, dims[0], dims[1], loc(0), loc(1), loc(2), true))
+            Ok(ProblemSpec::gemv(
+                Dtype::F64,
+                dims[0],
+                dims[1],
+                loc(0),
+                loc(1),
+                loc(2),
+                true,
+            ))
         }
         other => Err(format!("unknown routine `{other}`")),
     }
@@ -128,9 +158,17 @@ fn model(args: &Args) -> Result<Option<ModelKind>, String> {
 fn cmd_deploy(args: &Args) -> Result<(), String> {
     let tb = testbed(args)?;
     let out = args.get("out")?;
-    let cfg = if args.has_flag("quick") { DeployConfig::quick() } else { DeployConfig::paper() };
-    eprintln!("deploying on {} ({} transfer dims, {} gemm tiles) ...",
-        tb.name, cfg.transfer_dims.len(), cfg.gemm_tiles.len());
+    let cfg = if args.has_flag("quick") {
+        DeployConfig::quick()
+    } else {
+        DeployConfig::paper()
+    };
+    eprintln!(
+        "deploying on {} ({} transfer dims, {} gemm tiles) ...",
+        tb.name,
+        cfg.transfer_dims.len(),
+        cfg.gemm_tiles.len()
+    );
     let report = deploy(&tb, &cfg).map_err(|e| e.to_string())?;
     println!(
         "h2d: t_l {:.2}us  {:.2} GB/s  sl {:.2}",
@@ -155,22 +193,47 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let spec = problem(args)?;
     let kind = model(args)?.unwrap_or_else(|| ModelKind::recommended_for(spec.routine));
     if kind == ModelKind::Cso {
-        return Err("the CSO comparator needs a measured full-kernel time; use the bench harness".into());
+        return Err(
+            "the CSO comparator needs a measured full-kernel time; use the bench harness".into(),
+        );
     }
     let exec = profile
         .exec_table(spec.routine, spec.dtype)
         .ok_or_else(|| format!("profile has no table for {}", spec.routine.name(spec.dtype)))?;
-    let ctx = ModelCtx { problem: &spec, transfer: &profile.transfer, exec, full_kernel_time: None };
-    let sel = TileSelector::default().select(kind, &ctx).map_err(|e| e.to_string())?;
-    println!("{} predictions for {}:", kind.name(), spec.routine.name(spec.dtype));
+    let ctx = ModelCtx {
+        problem: &spec,
+        transfer: &profile.transfer,
+        exec,
+        full_kernel_time: None,
+    };
+    let sel = TileSelector::default()
+        .select(kind, &ctx)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} predictions for {}:",
+        kind.name(),
+        spec.routine.name(spec.dtype)
+    );
     for p in &sel.evaluated {
-        let marker = if p.tile == sel.tile { "  <= T_best" } else { "" };
-        println!("  T={:<6} k={:<7} predicted {:>10.3} ms{marker}", p.tile, p.k, p.total * 1e3);
+        let marker = if p.tile == sel.tile {
+            "  <= T_best"
+        } else {
+            ""
+        };
+        println!(
+            "  T={:<6} k={:<7} predicted {:>10.3} ms{marker}",
+            p.tile,
+            p.k,
+            p.total * 1e3
+        );
     }
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+/// Builds a timing-only pipeline from `--testbed`/`--profile`, runs the
+/// requested routine once, and returns the handle (trace + observer
+/// populated) with the call's report.
+fn execute(args: &Args) -> Result<(Cocopelia, cocopelia_runtime::RoutineReport), String> {
     let tb = testbed(args)?;
     let profile = load_profile(args)?;
     let spec = problem(args)?;
@@ -184,9 +247,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let report = match spec.routine {
         cocopelia_core::params::RoutineClass::Gemm => {
             let (m, n, k) = (dims[0], dims[1], dims[2]);
-            ctx.dgemm(1.0, ghost_mat(m, k), ghost_mat(k, n), 1.0, ghost_mat(m, n), choice)
-                .map_err(|e| e.to_string())?
-                .report
+            ctx.dgemm(
+                1.0,
+                ghost_mat(m, k),
+                ghost_mat(k, n),
+                1.0,
+                ghost_mat(m, n),
+                choice,
+            )
+            .map_err(|e| e.to_string())?
+            .report
         }
         cocopelia_core::params::RoutineClass::Axpy => {
             let n = dims[0];
@@ -201,9 +271,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         cocopelia_core::params::RoutineClass::Dot => {
             let n = dims[0];
-            ctx.ddot(VecOperand::HostGhost { len: n }, VecOperand::HostGhost { len: n }, choice)
-                .map_err(|e| e.to_string())?
-                .report
+            ctx.ddot(
+                VecOperand::HostGhost { len: n },
+                VecOperand::HostGhost { len: n },
+                choice,
+            )
+            .map_err(|e| e.to_string())?
+            .report
         }
         cocopelia_core::params::RoutineClass::Gemv => {
             let (m, n) = (dims[0], dims[1]);
@@ -219,13 +293,47 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .report
         }
     };
+    Ok((ctx, report))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (ctx, report) = execute(args)?;
     println!(
-        "T = {}  elapsed {:.3} ms  {:.1} GFLOP/s  ({} sub-kernels)",
+        "T = {}  elapsed {:.3} ms  {:.1} GFLOP/s  ({} sub-kernels)  overlap {:.2}x",
         report.tile,
         report.elapsed.as_secs_f64() * 1e3,
         report.gflops(),
-        report.subkernels
+        report.subkernels,
+        report.overlap.efficiency()
     );
+    drop(ctx);
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let (ctx, _report) = execute(args)?;
+    print!("{}", ctx.observer().render());
+    if let Some(path) = args.get_opt("json") {
+        let json = serde_json::to_string(&ctx.observer().to_value()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nJSON report written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let (ctx, _report) = execute(args)?;
+    let out = args.get("out")?;
+    let entries = ctx.gpu().trace().entries();
+    let text = match args.get_opt("format").as_deref() {
+        None | Some("chrome") => {
+            cocopelia_obs::export::to_chrome_trace(entries).map_err(|e| e.to_string())?
+        }
+        Some("jsonl") => cocopelia_obs::export::to_jsonl(entries).map_err(|e| e.to_string())?,
+        Some(other) => return Err(format!("unknown trace format `{other}`")),
+    };
+    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("{} trace entries written to {out}", entries.len());
     Ok(())
 }
 
@@ -235,7 +343,10 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     if dims.len() != 3 {
         return Err("gantt needs --dims M N K".into());
     }
-    let tile: usize = args.get("tile")?.parse().map_err(|_| "bad tile".to_owned())?;
+    let tile: usize = args
+        .get("tile")?
+        .parse()
+        .map_err(|_| "bad tile".to_owned())?;
     let width: usize = args
         .get_opt("width")
         .map(|w| w.parse().map_err(|_| "bad width".to_owned()))
@@ -253,14 +364,27 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 3), dummy);
     ctx.dgemm(
         1.0,
-        MatOperand::<f64>::HostGhost { rows: dims[0], cols: dims[2] },
-        MatOperand::HostGhost { rows: dims[2], cols: dims[1] },
+        MatOperand::<f64>::HostGhost {
+            rows: dims[0],
+            cols: dims[2],
+        },
+        MatOperand::HostGhost {
+            rows: dims[2],
+            cols: dims[1],
+        },
         1.0,
-        MatOperand::HostGhost { rows: dims[0], cols: dims[1] },
+        MatOperand::HostGhost {
+            rows: dims[0],
+            cols: dims[1],
+        },
         TileChoice::Fixed(tile),
     )
     .map_err(|e| e.to_string())?;
     println!("{}", ctx.gpu().trace().gantt(width));
+    print!(
+        "{}",
+        cocopelia_obs::gantt::engine_summary(ctx.gpu().trace().entries())
+    );
     Ok(())
 }
 
@@ -307,9 +431,15 @@ mod args_impl {
         }
 
         pub fn get_usize_list(&self, key: &str) -> Result<Vec<usize>, String> {
-            let vals = self.values.get(key).ok_or_else(|| format!("missing --{key}"))?;
+            let vals = self
+                .values
+                .get(key)
+                .ok_or_else(|| format!("missing --{key}"))?;
             vals.iter()
-                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --{key} value `{v}`")))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --{key} value `{v}`"))
+                })
                 .collect()
         }
 

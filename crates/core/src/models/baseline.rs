@@ -49,7 +49,12 @@ mod tests {
         let p = gemm_problem(256);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::Baseline, &ctx, 256).expect("predicts");
         assert_eq!(pred.k, 1);
         let expect = pred.t_in_tile + pred.t_gpu_tile + pred.t_out_tile;
@@ -61,7 +66,12 @@ mod tests {
         let p = gemm_problem(4096);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::Baseline, &ctx, 512).expect("predicts");
         let stage = pred.t_gpu_tile.max(pred.t_in_tile).max(pred.t_out_tile);
         let expect =
@@ -74,7 +84,12 @@ mod tests {
         let p = gemm_problem(1024);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::Baseline, &ctx, 512).expect("predicts");
         // Three operands, each one 512x512 f64 tile each way.
         let one = tr.t_h2d(512 * 512 * 8);

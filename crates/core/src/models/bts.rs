@@ -66,7 +66,12 @@ mod tests {
         );
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let d = predict(ModelKind::DataLoc, &ctx, 512).expect("dataloc");
         let b = predict(ModelKind::Bts, &ctx, 512).expect("bts");
         assert!((d.total - b.total).abs() < 1e-12);
@@ -79,7 +84,12 @@ mod tests {
         let p = ProblemSpec::axpy(Dtype::F64, 1 << 26, Loc::Host, Loc::Host);
         let tr = transfer();
         let ex = crate::exec_table::ExecTable::new(vec![(1 << 20, 1e-4), (1 << 24, 1.3e-3)]);
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let d = predict(ModelKind::DataLoc, &ctx, 1 << 22).expect("dataloc");
         let b = predict(ModelKind::Bts, &ctx, 1 << 22).expect("bts");
         assert!(b.total > d.total, "bts {} vs dataloc {}", b.total, d.total);
@@ -92,7 +102,12 @@ mod tests {
         let p = gemm_problem(4096);
         let tr = transfer();
         let ex = crate::exec_table::ExecTable::new(vec![(1024, 10.0)]); // absurdly slow GPU
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let d = predict(ModelKind::DataLoc, &ctx, 1024).expect("dataloc");
         let b = predict(ModelKind::Bts, &ctx, 1024).expect("bts");
         assert!((d.total - b.total).abs() < 1e-9);

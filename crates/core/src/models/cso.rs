@@ -27,7 +27,9 @@
 use super::{ModelCtx, ModelError, ModelKind, Prediction};
 
 pub(super) fn predict(ctx: &ModelCtx<'_>, t: usize) -> Result<Prediction, ModelError> {
-    let full = ctx.full_kernel_time.ok_or(ModelError::CsoNeedsFullKernelTime)?;
+    let full = ctx
+        .full_kernel_time
+        .ok_or(ModelError::CsoNeedsFullKernelTime)?;
     if ctx.exec.is_empty() {
         // Not strictly needed by the math, but keeps parity of failure modes
         // across models instantiated from the same micro-benchmarks.
@@ -74,7 +76,12 @@ mod tests {
         let p = gemm_problem(4096);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: Some(8.0) };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: Some(8.0),
+        };
         let pred = predict(ModelKind::Cso, &ctx, 1024).expect("predicts");
         assert_eq!(pred.k, 64);
         assert!((pred.t_gpu_tile - 0.125).abs() < 1e-12);
@@ -96,8 +103,18 @@ mod tests {
             Loc::Host,
             true,
         );
-        let c1 = ModelCtx { problem: &host, transfer: &tr, exec: &ex, full_kernel_time: Some(1.0) };
-        let c2 = ModelCtx { problem: &dev, transfer: &tr, exec: &ex, full_kernel_time: Some(1.0) };
+        let c1 = ModelCtx {
+            problem: &host,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: Some(1.0),
+        };
+        let c2 = ModelCtx {
+            problem: &dev,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: Some(1.0),
+        };
         let p1 = predict(ModelKind::Cso, &c1, 512).expect("host");
         let p2 = predict(ModelKind::Cso, &c2, 512).expect("dev");
         assert!(p2.t_in_tile < p1.t_in_tile);
@@ -115,7 +132,12 @@ mod tests {
         let k = p.subkernels(t) as f64;
         let tile_time = ex.lookup(t).expect("grid point");
         let full = 0.7 * k * tile_time; // whole problem 30% faster than split
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: Some(full) };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: Some(full),
+        };
         let cso = predict(ModelKind::Cso, &ctx, t).expect("cso");
         let bts = predict(ModelKind::Bts, &ctx, t).expect("bts");
         assert!(cso.total < bts.total);

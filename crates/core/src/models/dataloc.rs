@@ -84,7 +84,12 @@ mod tests {
         );
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::DataLoc, &ctx, 512).expect("predicts");
         // Only C moves: one tile in, one tile out.
         let one = tr.t_h2d(512 * 512 * 8);
@@ -99,7 +104,12 @@ mod tests {
         let p = ProblemSpec::axpy(Dtype::F64, 1 << 24, Loc::Host, Loc::Host);
         let tr = transfer();
         let ex = crate::exec_table::ExecTable::new(vec![(1 << 20, 1e-4), (1 << 24, 1.2e-3)]);
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let base = predict(ModelKind::Baseline, &ctx, 1 << 20).expect("baseline");
         let loc = predict(ModelKind::DataLoc, &ctx, 1 << 20).expect("dataloc");
         assert!(loc.total < base.total);

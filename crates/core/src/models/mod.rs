@@ -190,7 +190,10 @@ pub(crate) fn t_gpu_subkernel_avg(ctx: &ModelCtx<'_>, t: usize) -> Result<f64, M
     let mut k = 0usize;
     for (vol, count) in combos {
         let cube_equiv = vol.powf(1.0 / nd).round().max(1.0) as usize;
-        let per = ctx.exec.interpolate(cube_equiv).ok_or(ModelError::EmptyExecTable)?;
+        let per = ctx
+            .exec
+            .interpolate(cube_equiv)
+            .ok_or(ModelError::EmptyExecTable)?;
         total += per * count as f64;
         k += count;
     }
@@ -255,8 +258,14 @@ pub(crate) mod test_support {
     /// 10 µs latency, mild asymmetric slowdowns.
     pub fn transfer() -> TransferModel {
         TransferModel {
-            h2d: LatBw { t_l: 1e-5, t_b: 1e-9 },
-            d2h: LatBw { t_l: 1e-5, t_b: 1e-9 },
+            h2d: LatBw {
+                t_l: 1e-5,
+                t_b: 1e-9,
+            },
+            d2h: LatBw {
+                t_l: 1e-5,
+                t_b: 1e-9,
+            },
             sl_h2d: 1.1,
             sl_d2h: 1.4,
         }
@@ -290,9 +299,18 @@ mod tests {
 
     #[test]
     fn recommended_models_follow_levels() {
-        assert_eq!(ModelKind::recommended_for(RoutineClass::Axpy), ModelKind::Bts);
-        assert_eq!(ModelKind::recommended_for(RoutineClass::Gemv), ModelKind::Bts);
-        assert_eq!(ModelKind::recommended_for(RoutineClass::Gemm), ModelKind::DataReuse);
+        assert_eq!(
+            ModelKind::recommended_for(RoutineClass::Axpy),
+            ModelKind::Bts
+        );
+        assert_eq!(
+            ModelKind::recommended_for(RoutineClass::Gemv),
+            ModelKind::Bts
+        );
+        assert_eq!(
+            ModelKind::recommended_for(RoutineClass::Gemm),
+            ModelKind::DataReuse
+        );
     }
 
     #[test]
@@ -300,7 +318,12 @@ mod tests {
         let p = gemm_problem(1024);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         assert_eq!(predict(ModelKind::Bts, &ctx, 0), Err(ModelError::ZeroTile));
     }
 
@@ -309,8 +332,16 @@ mod tests {
         let p = gemm_problem(1024);
         let tr = transfer();
         let ex = ExecTable::new(Vec::new());
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
-        assert_eq!(predict(ModelKind::Baseline, &ctx, 256), Err(ModelError::EmptyExecTable));
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
+        assert_eq!(
+            predict(ModelKind::Baseline, &ctx, 256),
+            Err(ModelError::EmptyExecTable)
+        );
     }
 
     #[test]
@@ -318,8 +349,16 @@ mod tests {
         let p = gemm_problem(1024);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
-        assert_eq!(predict(ModelKind::Cso, &ctx, 256), Err(ModelError::CsoNeedsFullKernelTime));
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
+        assert_eq!(
+            predict(ModelKind::Cso, &ctx, 256),
+            Err(ModelError::CsoNeedsFullKernelTime)
+        );
     }
 
     #[test]
@@ -327,10 +366,19 @@ mod tests {
         let p = gemm_problem(4096);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: Some(0.1) };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: Some(0.1),
+        };
         for kind in ModelKind::all() {
             let pred = predict(kind, &ctx, 1024).expect("predicts");
-            assert!(pred.total.is_finite() && pred.total > 0.0, "{kind}: {}", pred.total);
+            assert!(
+                pred.total.is_finite() && pred.total > 0.0,
+                "{kind}: {}",
+                pred.total
+            );
             assert_eq!(pred.k, 64);
         }
     }
@@ -352,10 +400,18 @@ mod tests {
             Loc::Host,
             true,
         );
-        let ctx_full =
-            ModelCtx { problem: &full, transfer: &tr, exec: &ex, full_kernel_time: None };
-        let ctx_part =
-            ModelCtx { problem: &part, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx_full = ModelCtx {
+            problem: &full,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
+        let ctx_part = ModelCtx {
+            problem: &part,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let t = 512;
         let base = predict(ModelKind::Baseline, &ctx_full, t).expect("baseline");
         let loc_full = predict(ModelKind::DataLoc, &ctx_full, t).expect("dataloc full");
@@ -370,11 +426,21 @@ mod tests {
         let p = gemm_problem(4096);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         for t in [256, 512, 1024, 2048] {
             let d = predict(ModelKind::DataLoc, &ctx, t).expect("dataloc");
             let b = predict(ModelKind::Bts, &ctx, t).expect("bts");
-            assert!(b.total >= d.total - 1e-12, "T={t}: {} < {}", b.total, d.total);
+            assert!(
+                b.total >= d.total - 1e-12,
+                "T={t}: {} < {}",
+                b.total,
+                d.total
+            );
         }
     }
 
@@ -384,11 +450,21 @@ mod tests {
         let p = gemm_problem(8192);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let t = 512;
         let bts = predict(ModelKind::Bts, &ctx, t).expect("bts");
         let dr = predict(ModelKind::DataReuse, &ctx, t).expect("dr");
-        assert!(dr.total < bts.total, "DR {} should beat BTS {}", dr.total, bts.total);
+        assert!(
+            dr.total < bts.total,
+            "DR {} should beat BTS {}",
+            dr.total,
+            bts.total
+        );
     }
 
     #[test]

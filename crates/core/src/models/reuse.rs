@@ -102,7 +102,12 @@ mod tests {
         let p = gemm_problem(256);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::DataReuse, &ctx, 256).expect("predicts");
         assert_eq!(pred.k, 1);
         let expect = pred.t_in_tile + pred.t_gpu_tile + pred.t_out_tile;
@@ -117,7 +122,12 @@ mod tests {
         let p = gemm_problem(4096);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let t = 512;
         let dr = predict(ModelKind::DataReuse, &ctx, t).expect("dr");
         let bts = predict(ModelKind::Bts, &ctx, t).expect("bts");
@@ -130,7 +140,12 @@ mod tests {
         let p = gemm_problem(2048);
         let tr = transfer();
         let ex = crate::exec_table::ExecTable::new(vec![(512, 1.0)]);
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::DataReuse, &ctx, 512).expect("predicts");
         let kernel_total = pred.k as f64;
         assert!((pred.total - kernel_total) < kernel_total * 0.01);
@@ -150,7 +165,12 @@ mod tests {
         );
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let pred = predict(ModelKind::DataReuse, &ctx, 512).expect("predicts");
         assert_eq!(pred.t_in_tile, 0.0);
         assert!(pred.t_out_tile > 0.0);
@@ -160,10 +180,24 @@ mod tests {
     fn transfer_bound_when_fetches_exceed_stages() {
         // Tiny K: k = (n/T)^2 · 1 stages but A and B still contribute
         // (n/T)·(K/T) + (K/T)·(n/T) tiles… choose dims to force k_in > k−1.
-        let p = ProblemSpec::gemm(Dtype::F64, 512, 512, 8192, Loc::Host, Loc::Host, Loc::Host, true);
+        let p = ProblemSpec::gemm(
+            Dtype::F64,
+            512,
+            512,
+            8192,
+            Loc::Host,
+            Loc::Host,
+            Loc::Host,
+            true,
+        );
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let t = 512;
         // k = 1·1·16 = 16 subkernels; fetched tiles: A 16 + B 16 + C 1 = 33.
         let pred = predict(ModelKind::DataReuse, &ctx, t).expect("predicts");

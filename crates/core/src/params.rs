@@ -103,7 +103,12 @@ impl Operand {
     /// Panics if `t == 0`.
     pub fn tiles(&self, t: usize) -> usize {
         assert!(t > 0, "tile size must be positive");
-        self.rows.div_ceil(t) * if self.is_matrix() { self.cols.div_ceil(t) } else { 1 }
+        self.rows.div_ceil(t)
+            * if self.is_matrix() {
+                self.cols.div_ceil(t)
+            } else {
+                1
+            }
     }
 
     /// Bytes of one (full-size) tile of this operand under tiling size `t`.
@@ -159,8 +164,20 @@ impl ProblemSpec {
             d2: None,
             d3: None,
             operands: vec![
-                Operand { rows: n, cols: 1, loc: loc_x, input: true, output: false },
-                Operand { rows: n, cols: 1, loc: loc_y, input: true, output: true },
+                Operand {
+                    rows: n,
+                    cols: 1,
+                    loc: loc_x,
+                    input: true,
+                    output: false,
+                },
+                Operand {
+                    rows: n,
+                    cols: 1,
+                    loc: loc_y,
+                    input: true,
+                    output: true,
+                },
             ],
         }
     }
@@ -177,8 +194,20 @@ impl ProblemSpec {
             d2: None,
             d3: None,
             operands: vec![
-                Operand { rows: n, cols: 1, loc: loc_x, input: true, output: false },
-                Operand { rows: n, cols: 1, loc: loc_y, input: true, output: false },
+                Operand {
+                    rows: n,
+                    cols: 1,
+                    loc: loc_x,
+                    input: true,
+                    output: false,
+                },
+                Operand {
+                    rows: n,
+                    cols: 1,
+                    loc: loc_y,
+                    input: true,
+                    output: false,
+                },
             ],
         }
     }
@@ -200,9 +229,27 @@ impl ProblemSpec {
             d2: Some(n),
             d3: None,
             operands: vec![
-                Operand { rows: m, cols: n, loc: loc_a, input: true, output: false },
-                Operand { rows: n, cols: 1, loc: loc_x, input: true, output: false },
-                Operand { rows: m, cols: 1, loc: loc_y, input: beta_nonzero, output: true },
+                Operand {
+                    rows: m,
+                    cols: n,
+                    loc: loc_a,
+                    input: true,
+                    output: false,
+                },
+                Operand {
+                    rows: n,
+                    cols: 1,
+                    loc: loc_x,
+                    input: true,
+                    output: false,
+                },
+                Operand {
+                    rows: m,
+                    cols: 1,
+                    loc: loc_y,
+                    input: beta_nonzero,
+                    output: true,
+                },
             ],
         }
     }
@@ -210,6 +257,7 @@ impl ProblemSpec {
     /// Describes `C ← α·A·B + β·C` with `A (m×k)`, `B (k×n)`, `C (m×n)`.
     ///
     /// When `beta_nonzero` is false, `C` is write-only and never fetched.
+    #[allow(clippy::too_many_arguments)]
     pub fn gemm(
         dtype: Dtype,
         m: usize,
@@ -227,9 +275,27 @@ impl ProblemSpec {
             d2: Some(n),
             d3: Some(k),
             operands: vec![
-                Operand { rows: m, cols: k, loc: loc_a, input: true, output: false },
-                Operand { rows: k, cols: n, loc: loc_b, input: true, output: false },
-                Operand { rows: m, cols: n, loc: loc_c, input: beta_nonzero, output: true },
+                Operand {
+                    rows: m,
+                    cols: k,
+                    loc: loc_a,
+                    input: true,
+                    output: false,
+                },
+                Operand {
+                    rows: k,
+                    cols: n,
+                    loc: loc_b,
+                    input: true,
+                    output: false,
+                },
+                Operand {
+                    rows: m,
+                    cols: n,
+                    loc: loc_c,
+                    input: beta_nonzero,
+                    output: true,
+                },
             ],
         }
     }
@@ -264,9 +330,7 @@ impl ProblemSpec {
             RoutineClass::Axpy | RoutineClass::Dot => 2.0 * self.d1 as f64,
             RoutineClass::Gemv => 2.0 * self.d1 as f64 * self.d2.unwrap_or(0) as f64,
             RoutineClass::Gemm => {
-                2.0 * self.d1 as f64
-                    * self.d2.unwrap_or(0) as f64
-                    * self.d3.unwrap_or(0) as f64
+                2.0 * self.d1 as f64 * self.d2.unwrap_or(0) as f64 * self.d3.unwrap_or(0) as f64
             }
         }
     }
@@ -328,11 +392,23 @@ mod tests {
 
     #[test]
     fn operand_tiles_and_bytes() {
-        let m = Operand { rows: 10, cols: 6, loc: Loc::Host, input: true, output: false };
+        let m = Operand {
+            rows: 10,
+            cols: 6,
+            loc: Loc::Host,
+            input: true,
+            output: false,
+        };
         assert_eq!(m.tiles(4), 3 * 2);
         assert_eq!(m.tile_bytes(4, Dtype::F64), 128);
         assert_eq!(m.bytes(Dtype::F32), 240);
-        let v = Operand { rows: 10, cols: 1, loc: Loc::Host, input: true, output: false };
+        let v = Operand {
+            rows: 10,
+            cols: 1,
+            loc: Loc::Host,
+            input: true,
+            output: false,
+        };
         assert!(!v.is_matrix());
         assert_eq!(v.tiles(4), 3);
         assert_eq!(v.tile_bytes(4, Dtype::F64), 32);
@@ -342,7 +418,10 @@ mod tests {
     fn flops_formulas() {
         let g = ProblemSpec::gemm(Dtype::F64, 2, 3, 4, Loc::Host, Loc::Host, Loc::Host, true);
         assert_eq!(g.flops(), 48.0);
-        assert_eq!(ProblemSpec::axpy(Dtype::F64, 5, Loc::Host, Loc::Host).flops(), 10.0);
+        assert_eq!(
+            ProblemSpec::axpy(Dtype::F64, 5, Loc::Host, Loc::Host).flops(),
+            10.0
+        );
         let v = ProblemSpec::gemv(Dtype::F32, 3, 4, Loc::Host, Loc::Host, Loc::Host, true);
         assert_eq!(v.flops(), 24.0);
     }
@@ -352,8 +431,16 @@ mod tests {
         let full = ProblemSpec::gemm(Dtype::F64, 2, 2, 2, Loc::Host, Loc::Host, Loc::Host, true);
         assert!(full.full_offload());
         assert!(!full.fully_resident());
-        let res =
-            ProblemSpec::gemm(Dtype::F64, 2, 2, 2, Loc::Device, Loc::Device, Loc::Device, true);
+        let res = ProblemSpec::gemm(
+            Dtype::F64,
+            2,
+            2,
+            2,
+            Loc::Device,
+            Loc::Device,
+            Loc::Device,
+            true,
+        );
         assert!(res.fully_resident());
         assert!(!res.full_offload());
     }
@@ -367,8 +454,20 @@ mod tests {
 
     #[test]
     fn min_dim_over_present_dims() {
-        let p = ProblemSpec::gemm(Dtype::F64, 100, 50, 200, Loc::Host, Loc::Host, Loc::Host, true);
+        let p = ProblemSpec::gemm(
+            Dtype::F64,
+            100,
+            50,
+            200,
+            Loc::Host,
+            Loc::Host,
+            Loc::Host,
+            true,
+        );
         assert_eq!(p.min_dim(), 50);
-        assert_eq!(ProblemSpec::axpy(Dtype::F64, 7, Loc::Host, Loc::Host).min_dim(), 7);
+        assert_eq!(
+            ProblemSpec::axpy(Dtype::F64, 7, Loc::Host, Loc::Host).min_dim(),
+            7
+        );
     }
 }

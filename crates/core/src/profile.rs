@@ -28,7 +28,11 @@ pub struct SystemProfile {
 impl SystemProfile {
     /// Creates an empty profile (no kernel tables yet).
     pub fn new(testbed: impl Into<String>, transfer: TransferModel) -> Self {
-        SystemProfile { testbed: testbed.into(), transfer, exec: BTreeMap::new() }
+        SystemProfile {
+            testbed: testbed.into(),
+            transfer,
+            exec: BTreeMap::new(),
+        }
     }
 
     /// Stores the execution table for a routine/precision pair.
@@ -68,13 +72,23 @@ mod tests {
 
     fn profile() -> SystemProfile {
         let transfer = TransferModel {
-            h2d: LatBw { t_l: 1e-5, t_b: 1e-9 },
-            d2h: LatBw { t_l: 1e-5, t_b: 1.1e-9 },
+            h2d: LatBw {
+                t_l: 1e-5,
+                t_b: 1e-9,
+            },
+            d2h: LatBw {
+                t_l: 1e-5,
+                t_b: 1.1e-9,
+            },
             sl_h2d: 1.0,
             sl_d2h: 1.2,
         };
         let mut p = SystemProfile::new("test", transfer);
-        p.insert_exec(RoutineClass::Gemm, Dtype::F64, ExecTable::new(vec![(256, 1e-3)]));
+        p.insert_exec(
+            RoutineClass::Gemm,
+            Dtype::F64,
+            ExecTable::new(vec![(256, 1e-3)]),
+        );
         p
     }
 

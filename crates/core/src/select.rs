@@ -19,7 +19,10 @@ pub struct TileSelector {
 
 impl Default for TileSelector {
     fn default() -> Self {
-        TileSelector { min_tile: 256, constraint_divisor: 1.5 }
+        TileSelector {
+            min_tile: 256,
+            constraint_divisor: 1.5,
+        }
     }
 }
 
@@ -83,7 +86,11 @@ impl TileSelector {
             .min_by(|a, b| a.total.partial_cmp(&b.total).expect("finite predictions"))
             .copied()
             .expect("candidates is never empty");
-        Ok(Selection { tile: best.tile, prediction: best, evaluated })
+        Ok(Selection {
+            tile: best.tile,
+            prediction: best,
+            evaluated,
+        })
     }
 }
 
@@ -97,7 +104,12 @@ mod tests {
         let p = gemm_problem(1024);
         let tr = transfer();
         let ex = gemm_exec(); // grid 256..4096 step 256
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let sel = TileSelector::default();
         let cands = sel.candidates(&ctx);
         // 1024/1.5 = 682 -> only 256 and 512 qualify.
@@ -109,7 +121,12 @@ mod tests {
         let p = gemm_problem(300);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let cands = TileSelector::default().candidates(&ctx);
         assert_eq!(cands, vec![256]);
     }
@@ -119,7 +136,12 @@ mod tests {
         let p = gemm_problem(100);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         assert_eq!(TileSelector::default().candidates(&ctx), vec![100]);
     }
 
@@ -128,7 +150,12 @@ mod tests {
         let p = gemm_problem(8192);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
         let sel = TileSelector::default()
             .select(crate::models::ModelKind::DataReuse, &ctx)
             .expect("selects");
@@ -144,9 +171,15 @@ mod tests {
         let p = gemm_problem(8192);
         let tr = transfer();
         let ex = gemm_exec();
-        let ctx = ModelCtx { problem: &p, transfer: &tr, exec: &ex, full_kernel_time: None };
-        let sel =
-            TileSelector::default().select(crate::models::ModelKind::Bts, &ctx).expect("selects");
+        let ctx = ModelCtx {
+            problem: &p,
+            transfer: &tr,
+            exec: &ex,
+            full_kernel_time: None,
+        };
+        let sel = TileSelector::default()
+            .select(crate::models::ModelKind::Bts, &ctx)
+            .expect("selects");
         let tiles: Vec<usize> = sel.evaluated.iter().map(|e| e.tile).collect();
         let mut sorted = tiles.clone();
         sorted.sort_unstable();

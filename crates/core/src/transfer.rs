@@ -108,8 +108,14 @@ mod tests {
 
     fn model() -> TransferModel {
         TransferModel {
-            h2d: LatBw { t_l: 1e-5, t_b: 1e-9 }, // 1 GB/s
-            d2h: LatBw { t_l: 2e-5, t_b: 2e-9 }, // 0.5 GB/s
+            h2d: LatBw {
+                t_l: 1e-5,
+                t_b: 1e-9,
+            }, // 1 GB/s
+            d2h: LatBw {
+                t_l: 2e-5,
+                t_b: 2e-9,
+            }, // 0.5 GB/s
             sl_h2d: 1.2,
             sl_d2h: 1.5,
         }

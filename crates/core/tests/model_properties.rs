@@ -23,8 +23,14 @@ fn exec_table(per_flop: f64) -> ExecTable {
 
 fn transfer(bw: f64, sl_h2d: f64, sl_d2h: f64) -> TransferModel {
     TransferModel {
-        h2d: LatBw { t_l: 5e-6, t_b: 1.0 / bw },
-        d2h: LatBw { t_l: 5e-6, t_b: 1.0 / bw },
+        h2d: LatBw {
+            t_l: 5e-6,
+            t_b: 1.0 / bw,
+        },
+        d2h: LatBw {
+            t_l: 5e-6,
+            t_b: 1.0 / bw,
+        },
         sl_h2d,
         sl_d2h,
     }

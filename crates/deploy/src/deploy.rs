@@ -114,15 +114,31 @@ pub struct DeploymentReport {
 /// println!("h2d bandwidth: {:.2} GB/s", 1.0 / report.fit.h2d.t_b / 1e9);
 /// ```
 pub fn deploy(testbed: &TestbedSpec, cfg: &DeployConfig) -> Result<DeploymentReport, SimError> {
-    let h2d_sweep =
-        transfer_sweep(testbed, Direction::H2d, &cfg.transfer_dims, &cfg.ci, cfg.seed)?;
-    let d2h_sweep =
-        transfer_sweep(testbed, Direction::D2h, &cfg.transfer_dims, &cfg.ci, cfg.seed ^ 0x5a5a)?;
+    let h2d_sweep = transfer_sweep(
+        testbed,
+        Direction::H2d,
+        &cfg.transfer_dims,
+        &cfg.ci,
+        cfg.seed,
+    )?;
+    let d2h_sweep = transfer_sweep(
+        testbed,
+        Direction::D2h,
+        &cfg.transfer_dims,
+        &cfg.ci,
+        cfg.seed ^ 0x5a5a,
+    )?;
     let h2d = fit_sweep(&h2d_sweep);
     let d2h = fit_sweep(&d2h_sweep);
     let transfer = TransferModel {
-        h2d: LatBw { t_l: h2d.t_l, t_b: h2d.t_b },
-        d2h: LatBw { t_l: d2h.t_l, t_b: d2h.t_b },
+        h2d: LatBw {
+            t_l: h2d.t_l,
+            t_b: h2d.t_b,
+        },
+        d2h: LatBw {
+            t_l: d2h.t_l,
+            t_b: d2h.t_b,
+        },
         sl_h2d: h2d.sl.max(1.0),
         sl_d2h: d2h.sl.max(1.0),
     };
@@ -136,7 +152,10 @@ pub fn deploy(testbed: &TestbedSpec, cfg: &DeployConfig) -> Result<DeploymentRep
         let table = exec_table(testbed, routine, dtype, tiles, &cfg.ci, cfg.seed)?;
         profile.insert_exec(routine, dtype, table);
     }
-    Ok(DeploymentReport { profile, fit: TransferFit { h2d, d2h } })
+    Ok(DeploymentReport {
+        profile,
+        fit: TransferFit { h2d, d2h },
+    })
 }
 
 #[cfg(test)]

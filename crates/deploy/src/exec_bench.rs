@@ -14,7 +14,12 @@ pub fn tile_shape(routine: RoutineClass, dtype: Dtype, t: usize) -> KernelShape 
         RoutineClass::Axpy => KernelShape::Axpy { dtype, n: t },
         RoutineClass::Dot => KernelShape::Dot { dtype, n: t },
         RoutineClass::Gemv => KernelShape::Gemv { dtype, m: t, n: t },
-        RoutineClass::Gemm => KernelShape::Gemm { dtype, m: t, n: t, k: t },
+        RoutineClass::Gemm => KernelShape::Gemm {
+            dtype,
+            m: t,
+            n: t,
+            k: t,
+        },
     }
 }
 
@@ -106,20 +111,38 @@ mod tests {
     #[test]
     fn measured_kernel_matches_ground_truth_without_noise() {
         let tb = quiet();
-        let shape = KernelShape::Gemm { dtype: Dtype::F64, m: 1024, n: 1024, k: 1024 };
+        let shape = KernelShape::Gemm {
+            dtype: Dtype::F64,
+            m: 1024,
+            n: 1024,
+            k: 1024,
+        };
         let measured = measure_kernel(&tb, shape, &CiConfig::default(), 3).expect("measures");
         let truth = kernel_time(&tb.gpu, &shape);
-        assert!((measured - truth).abs() / truth < 1e-6, "{measured} vs {truth}");
+        assert!(
+            (measured - truth).abs() / truth < 1e-6,
+            "{measured} vs {truth}"
+        );
     }
 
     #[test]
     fn table_covers_grid_and_is_monotone_for_gemm() {
         let tb = quiet();
         let tiles = [256, 512, 1024, 2048];
-        let table = exec_table(&tb, RoutineClass::Gemm, Dtype::F64, &tiles, &CiConfig::default(), 5)
-            .expect("table");
+        let table = exec_table(
+            &tb,
+            RoutineClass::Gemm,
+            Dtype::F64,
+            &tiles,
+            &CiConfig::default(),
+            5,
+        )
+        .expect("table");
         assert_eq!(table.len(), 4);
-        let times: Vec<f64> = tiles.iter().map(|&t| table.lookup(t).expect("entry")).collect();
+        let times: Vec<f64> = tiles
+            .iter()
+            .map(|&t| table.lookup(t).expect("entry"))
+            .collect();
         for w in times.windows(2) {
             assert!(w[1] > w[0], "gemm tile time must grow with T: {times:?}");
         }
@@ -128,9 +151,15 @@ mod tests {
     #[test]
     fn noisy_measurement_close_to_truth() {
         let tb = testbed_i();
-        let shape = KernelShape::Axpy { dtype: Dtype::F64, n: 1 << 22 };
+        let shape = KernelShape::Axpy {
+            dtype: Dtype::F64,
+            n: 1 << 22,
+        };
         let measured = measure_kernel(&tb, shape, &CiConfig::default(), 17).expect("measures");
         let truth = kernel_time(&tb.gpu, &shape);
-        assert!((measured - truth).abs() / truth < 0.05, "{measured} vs {truth}");
+        assert!(
+            (measured - truth).abs() / truth < 0.05,
+            "{measured} vs {truth}"
+        );
     }
 }

@@ -41,11 +41,7 @@ pub struct TransferSweep {
 }
 
 /// Measures the average setup latency of minimal transfers in `dir`.
-fn measure_latency(
-    gpu: &mut Gpu,
-    dir: Direction,
-    ci: &CiConfig,
-) -> Result<Measurement, SimError> {
+fn measure_latency(gpu: &mut Gpu, dir: Direction, ci: &CiConfig) -> Result<Measurement, SimError> {
     let stream = gpu.create_stream();
     let host = gpu.register_host_ghost(Dtype::F64, 1, true);
     let dev = gpu.alloc_device(Dtype::F64, 1)?;
@@ -149,12 +145,13 @@ pub fn transfer_sweep(
         bytes.push((d * d * 8) as f64);
         for (coupled, out) in [(false, &mut uni), (true, &mut bid)] {
             let mut err = None;
-            let m = measure_until_ci(ci, || match timed_square_transfer(&mut gpu, dir, d, coupled)
-            {
-                Ok(s) => s,
-                Err(e) => {
-                    err = Some(e);
-                    1.0
+            let m = measure_until_ci(ci, || {
+                match timed_square_transfer(&mut gpu, dir, d, coupled) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        err = Some(e);
+                        1.0
+                    }
                 }
             });
             if let Some(e) = err {
@@ -163,7 +160,13 @@ pub fn transfer_sweep(
             out.push(m.mean);
         }
     }
-    Ok(TransferSweep { dir, bytes, uni_secs: uni, bid_secs: bid, latency })
+    Ok(TransferSweep {
+        dir,
+        bytes,
+        uni_secs: uni,
+        bid_secs: bid,
+        latency,
+    })
 }
 
 /// One direction's fitted coefficients (a row of Table II).
@@ -217,7 +220,11 @@ mod tests {
         let mut gpu = Gpu::new(tb.clone(), ExecMode::TimingOnly, 1);
         let m = measure_latency(&mut gpu, Direction::H2d, &CiConfig::default()).expect("probe");
         // 8 bytes at 3.15 GB/s add ~2.5ns on top of 2.4us.
-        assert!((m.mean - tb.link.h2d.latency_s).abs() < 1e-8, "measured {}", m.mean);
+        assert!(
+            (m.mean - tb.link.h2d.latency_s).abs() < 1e-8,
+            "measured {}",
+            m.mean
+        );
     }
 
     #[test]
@@ -260,7 +267,11 @@ mod tests {
             transfer_sweep(&tb, Direction::H2d, &dims, &CiConfig::default(), 11).expect("sweep");
         let fit = fit_sweep(&sweep);
         let true_tb = 1.0 / tb.link.h2d.bandwidth_bps;
-        assert!((fit.t_b - true_tb).abs() / true_tb < 0.05, "fit {}", fit.t_b);
+        assert!(
+            (fit.t_b - true_tb).abs() / true_tb < 0.05,
+            "fit {}",
+            fit.t_b
+        );
         assert!(fit.rse >= 0.0);
     }
 }

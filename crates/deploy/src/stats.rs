@@ -15,7 +15,11 @@ pub struct CiConfig {
 
 impl Default for CiConfig {
     fn default() -> Self {
-        CiConfig { rel_halfwidth: 0.05, min_samples: 5, max_samples: 200 }
+        CiConfig {
+            rel_halfwidth: 0.05,
+            min_samples: 5,
+            max_samples: 200,
+        }
     }
 }
 
@@ -56,7 +60,12 @@ pub fn measure_until_ci(cfg: &CiConfig, mut sample: impl FnMut() -> f64) -> Meas
         let halfwidth = 1.96 * std / n.sqrt();
         let converged = mean > 0.0 && halfwidth <= cfg.rel_halfwidth * mean;
         if converged || xs.len() >= cfg.max_samples {
-            return Measurement { mean, std, n: xs.len(), converged };
+            return Measurement {
+                mean,
+                std,
+                n: xs.len(),
+                converged,
+            };
         }
     }
 }
@@ -79,7 +88,13 @@ pub struct ZeroInterceptFit {
 ///
 /// Panics if the inputs differ in length, are empty, or `Σx² == 0`.
 pub fn fit_zero_intercept(xs: &[f64], ys: &[f64]) -> ZeroInterceptFit {
-    assert_eq!(xs.len(), ys.len(), "length mismatch {} vs {}", xs.len(), ys.len());
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "length mismatch {} vs {}",
+        xs.len(),
+        ys.len()
+    );
     assert!(!xs.is_empty(), "cannot fit zero points");
     let sxx: f64 = xs.iter().map(|x| x * x).sum();
     assert!(sxx > 0.0, "degenerate regressor");
@@ -96,7 +111,11 @@ pub fn fit_zero_intercept(xs: &[f64], ys: &[f64]) -> ZeroInterceptFit {
         .sum::<f64>()
         / denom)
         .sqrt();
-    ZeroInterceptFit { slope, rse, n: xs.len() }
+    ZeroInterceptFit {
+        slope,
+        rse,
+        n: xs.len(),
+    }
 }
 
 /// Geometric mean of strictly-positive values (used for Table IV summaries).
@@ -132,15 +151,21 @@ mod tests {
     #[test]
     fn noisy_signal_takes_more_samples() {
         let mut i = 0usize;
-        let m = measure_until_ci(&CiConfig { rel_halfwidth: 0.01, ..Default::default() }, || {
-            i += 1;
-            // ±10% alternating noise around 1.0.
-            if i % 2 == 0 {
-                1.1
-            } else {
-                0.9
-            }
-        });
+        let m = measure_until_ci(
+            &CiConfig {
+                rel_halfwidth: 0.01,
+                ..Default::default()
+            },
+            || {
+                i += 1;
+                // ±10% alternating noise around 1.0.
+                if i.is_multiple_of(2) {
+                    1.1
+                } else {
+                    0.9
+                }
+            },
+        );
         assert!(m.n > 5, "took {} samples", m.n);
         assert!((m.mean - 1.0).abs() < 0.05);
     }
@@ -148,7 +173,11 @@ mod tests {
     #[test]
     fn cap_prevents_infinite_loops() {
         let mut i = 0.0f64;
-        let cfg = CiConfig { rel_halfwidth: 1e-9, min_samples: 2, max_samples: 10 };
+        let cfg = CiConfig {
+            rel_halfwidth: 1e-9,
+            min_samples: 2,
+            max_samples: 10,
+        };
         let m = measure_until_ci(&cfg, || {
             i += 1.0;
             i // wildly non-stationary

@@ -25,7 +25,7 @@
 use crate::op::{Op, OpId, OpKind, StreamId};
 use crate::spec::{LinkSpec, NoiseSpec};
 use crate::time::SimTime;
-use crate::trace::{EngineKind, Trace, TraceEntry};
+use crate::trace::{EngineKind, OpTag, Trace, TraceEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -80,6 +80,8 @@ pub(crate) struct Sim {
     noise: NoiseSpec,
     rng: StdRng,
     trace: Trace,
+    /// Ambient routine tag stamped onto ops at enqueue time.
+    current_tag: Option<OpTag>,
 }
 
 impl Sim {
@@ -97,7 +99,16 @@ impl Sim {
             noise,
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::default(),
+            current_tag: None,
         }
+    }
+
+    pub(crate) fn set_tag(&mut self, tag: Option<OpTag>) {
+        self.current_tag = tag;
+    }
+
+    pub(crate) fn tag(&self) -> Option<&OpTag> {
+        self.current_tag.as_ref()
     }
 
     pub(crate) fn now(&self) -> SimTime {
@@ -134,7 +145,11 @@ impl Sim {
     pub(crate) fn enqueue(&mut self, stream: StreamId, kind: OpKind) -> OpId {
         debug_assert!(self.stream_exists(stream));
         let id = self.ops.len();
-        self.ops.push(Op { stream, kind });
+        self.ops.push(Op {
+            stream,
+            kind,
+            tag: self.current_tag.clone(),
+        });
         self.issued.push(false);
         self.streams[stream.0].push_back(id);
         id
@@ -189,7 +204,9 @@ impl Sim {
             let mut progressed = false;
             // 1. Stream heads: handle instant ops, dispatch engine ops.
             for s in 0..self.streams.len() {
-                let Some(&head) = self.streams[s].front() else { continue };
+                let Some(&head) = self.streams[s].front() else {
+                    continue;
+                };
                 if self.issued[head] {
                     continue; // already on an engine, waiting for completion
                 }
@@ -227,7 +244,11 @@ impl Sim {
                 }
             }
             // 2. Idle engines pick up queued work.
-            for engine_kind in [EngineKind::CopyH2d, EngineKind::CopyD2h, EngineKind::Compute] {
+            for engine_kind in [
+                EngineKind::CopyH2d,
+                EngineKind::CopyD2h,
+                EngineKind::Compute,
+            ] {
                 if self.engine(engine_kind).active.is_some() {
                     continue;
                 }
@@ -277,19 +298,32 @@ impl Sim {
         let stream = self.ops[op_id].stream;
         let label = self.ops[op_id].kind.label();
         let (phase, work_total, rate_factor, bytes) = match self.ops[op_id].kind {
-            OpKind::H2d { bytes, pageable, .. } | OpKind::D2h { bytes, pageable, .. } => {
+            OpKind::H2d {
+                bytes, pageable, ..
+            }
+            | OpKind::D2h {
+                bytes, pageable, ..
+            } => {
                 let dir = if matches!(self.ops[op_id].kind, OpKind::H2d { .. }) {
                     self.link.h2d
                 } else {
                     self.link.d2h
                 };
                 let latency_ns = (dir.latency_s * 1e9).ceil() as u64;
-                let page_factor = if pageable { self.link.pageable_factor } else { 1.0 };
+                let page_factor = if pageable {
+                    self.link.pageable_factor
+                } else {
+                    1.0
+                };
                 let rate_factor = page_factor * self.noise_factor(self.noise.transfer_sigma);
                 let phase = if latency_ns > 0 {
-                    Phase::Latency { remaining_ns: latency_ns }
+                    Phase::Latency {
+                        remaining_ns: latency_ns,
+                    }
                 } else {
-                    Phase::Work { remaining: bytes as f64 }
+                    Phase::Work {
+                        remaining: bytes as f64,
+                    }
                 };
                 (phase, bytes as f64, rate_factor, Some(bytes))
             }
@@ -310,8 +344,15 @@ impl Sim {
             start: self.now(),
             end: self.now(), // patched at completion
             bytes,
+            tag: self.ops[op_id].tag.clone(),
         });
-        ActiveOp { op: op_id, phase, work_total, rate_factor, trace_idx }
+        ActiveOp {
+            op: op_id,
+            phase,
+            work_total,
+            rate_factor,
+            trace_idx,
+        }
     }
 
     /// Instantaneous payload rate of a copy direction given current
@@ -320,7 +361,10 @@ impl Sim {
         let other_busy = |e: &Engine| {
             matches!(
                 e.active,
-                Some(ActiveOp { phase: Phase::Work { .. }, .. })
+                Some(ActiveOp {
+                    phase: Phase::Work { .. },
+                    ..
+                })
             )
         };
         match kind {
@@ -373,7 +417,11 @@ impl Sim {
     fn advance(&mut self, completed: &mut Vec<OpId>) {
         // Snapshot rates *before* mutating anything: they are constant over
         // the interval we are about to traverse.
-        let kinds = [EngineKind::CopyH2d, EngineKind::CopyD2h, EngineKind::Compute];
+        let kinds = [
+            EngineKind::CopyH2d,
+            EngineKind::CopyD2h,
+            EngineKind::Compute,
+        ];
         let rates: Vec<f64> = kinds.iter().map(|&k| self.dir_rate(k)).collect();
         let estimates: Vec<Option<u64>> = kinds.iter().map(|&k| self.estimate_ns(k)).collect();
         let dt = estimates
@@ -388,15 +436,21 @@ impl Sim {
         for (idx, &kind) in kinds.iter().enumerate() {
             let rate = rates[idx];
             let est = estimates[idx];
-            let Some(active) = self.engine_mut(kind).active.as_mut() else { continue };
+            let Some(active) = self.engine_mut(kind).active.as_mut() else {
+                continue;
+            };
             match active.phase {
                 Phase::Latency { remaining_ns } => {
                     if dt >= remaining_ns {
                         // Latency exhausted exactly at this boundary (dt is
                         // the min, so dt == remaining_ns when this fires).
-                        active.phase = Phase::Work { remaining: active.work_total };
+                        active.phase = Phase::Work {
+                            remaining: active.work_total,
+                        };
                     } else {
-                        active.phase = Phase::Latency { remaining_ns: remaining_ns - dt };
+                        active.phase = Phase::Latency {
+                            remaining_ns: remaining_ns - dt,
+                        };
                     }
                 }
                 Phase::Work { remaining } => {
@@ -447,8 +501,14 @@ mod tests {
 
     fn quiet_link() -> LinkSpec {
         LinkSpec {
-            h2d: DirLinkSpec { latency_s: 1e-6, bandwidth_bps: 1e9 },
-            d2h: DirLinkSpec { latency_s: 1e-6, bandwidth_bps: 1e9 },
+            h2d: DirLinkSpec {
+                latency_s: 1e-6,
+                bandwidth_bps: 1e9,
+            },
+            d2h: DirLinkSpec {
+                latency_s: 1e-6,
+                bandwidth_bps: 1e9,
+            },
             sl_h2d_bid: 1.0,
             sl_d2h_bid: 2.0,
             pageable_factor: 0.5,
@@ -458,15 +518,26 @@ mod tests {
     fn copy_kind(bytes: usize, h2d: bool) -> OpKind {
         let desc = CopyDesc::contiguous(HostBufId(0), DevBufId(0), bytes / 8);
         if h2d {
-            OpKind::H2d { desc, bytes, pageable: false }
+            OpKind::H2d {
+                desc,
+                bytes,
+                pageable: false,
+            }
         } else {
-            OpKind::D2h { desc, bytes, pageable: false }
+            OpKind::D2h {
+                desc,
+                bytes,
+                pageable: false,
+            }
         }
     }
 
     fn kernel_kind(secs: f64) -> OpKind {
         OpKind::Kernel {
-            shape: KernelShape::Axpy { dtype: Dtype::F64, n: 1 },
+            shape: KernelShape::Axpy {
+                dtype: Dtype::F64,
+                n: 1,
+            },
             args: None,
             base_secs: secs,
         }
@@ -650,13 +721,23 @@ mod tests {
             let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
             let s = sim.create_stream();
             let desc = CopyDesc::contiguous(HostBufId(0), DevBufId(0), 125_000);
-            sim.enqueue(s, OpKind::H2d { desc, bytes: 1_000_000, pageable });
+            sim.enqueue(
+                s,
+                OpKind::H2d {
+                    desc,
+                    bytes: 1_000_000,
+                    pageable,
+                },
+            );
             sim.run_to_idle();
             sim.now().as_secs_f64()
         };
         let pinned = time_with(false);
         let pageable = time_with(true);
-        assert!((pageable / pinned - 2.0).abs() < 0.01, "{pageable} vs {pinned}");
+        assert!(
+            (pageable / pinned - 2.0).abs() < 0.01,
+            "{pageable} vs {pinned}"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfDeviceMemory { requested, available } => write!(
+            SimError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of device memory: requested {requested} bytes, {available} available"
             ),
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let e = SimError::OutOfDeviceMemory { requested: 10, available: 5 };
+        let e = SimError::OutOfDeviceMemory {
+            requested: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("10"));
         let e = SimError::UnknownStream { id: 3 };
         assert!(e.to_string().contains('3'));

@@ -61,6 +61,7 @@ fn apply_d2h(desc: &CopyDesc, host: &mut HostArena, dev: &DeviceMemory) -> Resul
     typed_copy(src, desc.dev_region, dst, desc.host_region)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemm_typed<T: Scalar>(
     alpha: f64,
     beta: f64,
@@ -90,7 +91,16 @@ fn apply_kernel(
 ) -> Result<(), SimError> {
     use crate::kernel::KernelShape;
     match (*shape, *args) {
-        (KernelShape::Gemm { m, n, k, .. }, KernelArgs::Gemm { alpha, beta, a, b, c }) => {
+        (
+            KernelShape::Gemm { m, n, k, .. },
+            KernelArgs::Gemm {
+                alpha,
+                beta,
+                a,
+                b,
+                c,
+            },
+        ) => {
             if m == 0 || n == 0 {
                 return Ok(());
             }
@@ -137,7 +147,11 @@ fn apply_kernel(
                 let px = dev.get(x.buf)?;
                 match (&mut py, px) {
                     (Payload::F64(yd), Payload::F64(xd)) => {
-                        level1::axpy(alpha, &xd[x.offset..x.offset + n], &mut yd[y.offset..y.offset + n]);
+                        level1::axpy(
+                            alpha,
+                            &xd[x.offset..x.offset + n],
+                            &mut yd[y.offset..y.offset + n],
+                        );
                         Ok(())
                     }
                     (Payload::F32(yd), Payload::F32(xd)) => {
@@ -168,17 +182,14 @@ fn apply_kernel(
                 let py = dev.get(y.buf)?;
                 match (&mut po, px, py) {
                     (Payload::F64(od), Payload::F64(xd), Payload::F64(yd)) => {
-                        od[out.offset] = level1::dot(
-                            &xd[x.offset..x.offset + n],
-                            &yd[y.offset..y.offset + n],
-                        );
+                        od[out.offset] =
+                            level1::dot(&xd[x.offset..x.offset + n], &yd[y.offset..y.offset + n]);
                         Ok(())
                     }
                     (Payload::F32(od), Payload::F32(xd), Payload::F32(yd)) => {
-                        od[out.offset] = level1::dot(
-                            &xd[x.offset..x.offset + n],
-                            &yd[y.offset..y.offset + n],
-                        ) as f32;
+                        od[out.offset] =
+                            level1::dot(&xd[x.offset..x.offset + n], &yd[y.offset..y.offset + n])
+                                as f32;
                         Ok(())
                     }
                     _ => Err(SimError::InvalidAccess {
@@ -189,7 +200,16 @@ fn apply_kernel(
             dev.restore_payload(out.buf, po);
             result
         }
-        (KernelShape::Gemv { m, n, .. }, KernelArgs::Gemv { alpha, beta, a, x, y }) => {
+        (
+            KernelShape::Gemv { m, n, .. },
+            KernelArgs::Gemv {
+                alpha,
+                beta,
+                a,
+                x,
+                y,
+            },
+        ) => {
             let py = dev.take_payload(y.buf)?;
             if !py.is_functional() {
                 dev.restore_payload(y.buf, py);
@@ -245,10 +265,12 @@ pub(crate) fn apply(
     match kind {
         OpKind::H2d { desc, .. } => apply_h2d(desc, host, dev),
         OpKind::D2h { desc, .. } => apply_d2h(desc, host, dev),
-        OpKind::Kernel { shape, args: Some(args), .. } => apply_kernel(shape, args, dev),
-        OpKind::Kernel { args: None, .. } | OpKind::EventRecord(_) | OpKind::EventWait(_) => {
-            Ok(())
-        }
+        OpKind::Kernel {
+            shape,
+            args: Some(args),
+            ..
+        } => apply_kernel(shape, args, dev),
+        OpKind::Kernel { args: None, .. } | OpKind::EventRecord(_) | OpKind::EventWait(_) => Ok(()),
     }
 }
 
@@ -263,9 +285,19 @@ mod tests {
         let mut dst = vec![0.0f64; 4];
         copy_region(
             &src,
-            Region2d { offset: 1, ld: 3, rows: 2, cols: 2 },
+            Region2d {
+                offset: 1,
+                ld: 3,
+                rows: 2,
+                cols: 2,
+            },
             &mut dst,
-            Region2d { offset: 0, ld: 2, rows: 2, cols: 2 },
+            Region2d {
+                offset: 0,
+                ld: 2,
+                rows: 2,
+                cols: 2,
+            },
         );
         assert_eq!(dst, vec![1.0, 2.0, 4.0, 5.0]);
     }
@@ -280,7 +312,10 @@ mod tests {
 
     #[test]
     fn ghost_copies_are_noops() {
-        let src = Payload::Ghost { dtype: cocopelia_hostblas::Dtype::F64, len: 4 };
+        let src = Payload::Ghost {
+            dtype: cocopelia_hostblas::Dtype::F64,
+            len: 4,
+        };
         let mut dst = Payload::F64(vec![9.0; 4]);
         let r = Region2d::contiguous(0, 4);
         typed_copy(&src, r, &mut dst, r).expect("ghost copy ok");

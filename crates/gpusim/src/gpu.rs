@@ -9,7 +9,7 @@ use crate::memory::{DevBufId, DeviceMemory, HostArena, HostBufId, HostBuffer, Pa
 use crate::op::{check_mat_ref, CopyDesc, EventId, KernelArgs, OpKind, StreamId};
 use crate::spec::TestbedSpec;
 use crate::time::SimTime;
-use crate::trace::Trace;
+use crate::trace::{OpTag, Trace};
 use cocopelia_hostblas::Dtype;
 
 /// Whether simulated kernels and copies actually move and compute data.
@@ -63,7 +63,13 @@ impl Gpu {
     pub fn new(spec: TestbedSpec, mode: ExecMode, seed: u64) -> Self {
         let sim = Sim::new(spec.link, spec.noise, seed);
         let dev = DeviceMemory::new(spec.gpu.mem_capacity_bytes);
-        Gpu { spec, mode, sim, host: HostArena::default(), dev }
+        Gpu {
+            spec,
+            mode,
+            sim,
+            host: HostArena::default(),
+            dev,
+        }
     }
 
     /// The testbed this device simulates.
@@ -95,14 +101,20 @@ impl Gpu {
         let payload = if self.is_functional() {
             payload
         } else {
-            Payload::Ghost { dtype: payload.dtype(), len: payload.len() }
+            Payload::Ghost {
+                dtype: payload.dtype(),
+                len: payload.len(),
+            }
         };
         self.host.register(HostBuffer { payload, pinned })
     }
 
     /// Registers a metadata-only host buffer (any mode).
     pub fn register_host_ghost(&mut self, dtype: Dtype, len: usize, pinned: bool) -> HostBufId {
-        self.host.register(HostBuffer { payload: Payload::Ghost { dtype, len }, pinned })
+        self.host.register(HostBuffer {
+            payload: Payload::Ghost { dtype, len },
+            pinned,
+        })
     }
 
     /// Borrows the payload of a host buffer (to read results back).
@@ -188,7 +200,14 @@ impl Gpu {
     pub fn memcpy_h2d_async(&mut self, stream: StreamId, desc: CopyDesc) -> Result<(), SimError> {
         self.check_stream(stream)?;
         let (bytes, pageable) = self.check_copy(&desc)?;
-        self.sim.enqueue(stream, OpKind::H2d { desc, bytes, pageable });
+        self.sim.enqueue(
+            stream,
+            OpKind::H2d {
+                desc,
+                bytes,
+                pageable,
+            },
+        );
         Ok(())
     }
 
@@ -201,7 +220,14 @@ impl Gpu {
     pub fn memcpy_d2h_async(&mut self, stream: StreamId, desc: CopyDesc) -> Result<(), SimError> {
         self.check_stream(stream)?;
         let (bytes, pageable) = self.check_copy(&desc)?;
-        self.sim.enqueue(stream, OpKind::D2h { desc, bytes, pageable });
+        self.sim.enqueue(
+            stream,
+            OpKind::D2h {
+                desc,
+                bytes,
+                pageable,
+            },
+        );
         Ok(())
     }
 
@@ -221,9 +247,11 @@ impl Gpu {
                         what: "gemm output buffer must not alias inputs".to_owned(),
                     });
                 }
-                for (r, rows, cols, what) in
-                    [(a, m, k, "gemm A"), (b, k, n, "gemm B"), (c, m, n, "gemm C")]
-                {
+                for (r, rows, cols, what) in [
+                    (a, m, k, "gemm A"),
+                    (b, k, n, "gemm B"),
+                    (c, m, n, "gemm C"),
+                ] {
                     let p = self.dev.get(r.buf)?;
                     if p.dtype() != dtype {
                         return Err(SimError::InvalidAccess {
@@ -335,7 +363,14 @@ impl Gpu {
             });
         }
         let base_secs = kernel_time(&self.spec.gpu, &shape);
-        self.sim.enqueue(stream, OpKind::Kernel { shape, args, base_secs });
+        self.sim.enqueue(
+            stream,
+            OpKind::Kernel {
+                shape,
+                args,
+                base_secs,
+            },
+        );
         Ok(())
     }
 
@@ -389,10 +424,30 @@ impl Gpu {
         Ok(self.sim.now())
     }
 
+    /// Sets the ambient op tag: every op enqueued until the next
+    /// [`set_op_tag`](Gpu::set_op_tag) or [`clear_op_tag`](Gpu::clear_op_tag)
+    /// carries a snapshot of `tag` into its [`TraceEntry`](crate::TraceEntry).
+    ///
+    /// Schedulers use this to attribute low-level copies and kernel launches
+    /// to the routine call, tile, and operand they serve.
+    pub fn set_op_tag(&mut self, tag: OpTag) {
+        self.sim.set_tag(Some(tag));
+    }
+
+    /// Clears the ambient op tag; subsequently enqueued ops are untagged.
+    pub fn clear_op_tag(&mut self) {
+        self.sim.set_tag(None);
+    }
+
+    /// The ambient op tag currently in effect, if any.
+    pub fn op_tag(&self) -> Option<&OpTag> {
+        self.sim.tag()
+    }
+
     /// Execution trace accumulated since construction or the last
     /// [`clear_trace`](Gpu::clear_trace).
     pub fn trace(&self) -> &Trace {
-        &self.sim.trace()
+        self.sim.trace()
     }
 
     /// Discards the accumulated trace (keeps the clock running).
@@ -421,8 +476,10 @@ mod tests {
         let h_src = gpu.register_host(data.clone(), true);
         let h_dst = gpu.register_host(vec![0.0f64; 100], true);
         let d = gpu.alloc_device(Dtype::F64, 100).expect("alloc");
-        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h_src, d, 100)).expect("h2d");
-        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(h_dst, d, 100)).expect("d2h");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h_src, d, 100))
+            .expect("h2d");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(h_dst, d, 100))
+            .expect("d2h");
         gpu.synchronize().expect("sync");
         assert_eq!(gpu.host_payload(h_dst).expect("buf").as_f64(), &data[..]);
     }
@@ -443,21 +500,41 @@ mod tests {
         let da = gpu.alloc_device(Dtype::F64, m * k).expect("alloc");
         let db = gpu.alloc_device(Dtype::F64, k * n).expect("alloc");
         let dc = gpu.alloc_device(Dtype::F64, m * n).expect("alloc");
-        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(ha, da, m * k)).expect("h2d a");
-        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hb, db, k * n)).expect("h2d b");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(ha, da, m * k))
+            .expect("h2d a");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hb, db, k * n))
+            .expect("h2d b");
         gpu.launch_kernel(
             s,
-            KernelShape::Gemm { dtype: Dtype::F64, m, n, k },
+            KernelShape::Gemm {
+                dtype: Dtype::F64,
+                m,
+                n,
+                k,
+            },
             Some(KernelArgs::Gemm {
                 alpha: 1.0,
                 beta: 0.0,
-                a: DevMatRef { buf: da, offset: 0, ld: m },
-                b: DevMatRef { buf: db, offset: 0, ld: k },
-                c: DevMatRef { buf: dc, offset: 0, ld: m },
+                a: DevMatRef {
+                    buf: da,
+                    offset: 0,
+                    ld: m,
+                },
+                b: DevMatRef {
+                    buf: db,
+                    offset: 0,
+                    ld: k,
+                },
+                c: DevMatRef {
+                    buf: dc,
+                    offset: 0,
+                    ld: m,
+                },
             }),
         )
         .expect("launch");
-        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hc, dc, m * n)).expect("d2h");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hc, dc, m * n))
+            .expect("d2h");
         gpu.synchronize().expect("sync");
         let got = gpu.host_payload(hc).expect("buf").as_f64();
         for (x, y) in got.iter().zip(c_ref.as_slice()) {
@@ -474,11 +551,16 @@ mod tests {
         let hy = gpu.register_host(vec![1.0f64; n], true);
         let dx = gpu.alloc_device(Dtype::F64, n).expect("alloc");
         let dy = gpu.alloc_device(Dtype::F64, n).expect("alloc");
-        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hx, dx, n)).expect("h2d");
-        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hy, dy, n)).expect("h2d");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hx, dx, n))
+            .expect("h2d");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(hy, dy, n))
+            .expect("h2d");
         gpu.launch_kernel(
             s,
-            KernelShape::Axpy { dtype: Dtype::F64, n },
+            KernelShape::Axpy {
+                dtype: Dtype::F64,
+                n,
+            },
             Some(KernelArgs::Axpy {
                 alpha: 3.0,
                 x: DevVecRef { buf: dx, offset: 0 },
@@ -486,9 +568,15 @@ mod tests {
             }),
         )
         .expect("launch");
-        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hy, dy, n)).expect("d2h");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hy, dy, n))
+            .expect("d2h");
         gpu.synchronize().expect("sync");
-        assert!(gpu.host_payload(hy).expect("buf").as_f64().iter().all(|&v| v == 7.0));
+        assert!(gpu
+            .host_payload(hy)
+            .expect("buf")
+            .as_f64()
+            .iter()
+            .all(|&v| v == 7.0));
     }
 
     #[test]
@@ -505,16 +593,30 @@ mod tests {
             s,
             CopyDesc {
                 host: h,
-                host_region: Region2d { offset: 1 + 4, ld: 4, rows: 2, cols: 2 },
+                host_region: Region2d {
+                    offset: 1 + 4,
+                    ld: 4,
+                    rows: 2,
+                    cols: 2,
+                },
                 dev: d,
-                dev_region: Region2d { offset: 0, ld: 2, rows: 2, cols: 2 },
+                dev_region: Region2d {
+                    offset: 0,
+                    ld: 2,
+                    rows: 2,
+                    cols: 2,
+                },
             },
         )
         .expect("h2d");
-        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hout, d, 4)).expect("d2h");
+        gpu.memcpy_d2h_async(s, CopyDesc::contiguous(hout, d, 4))
+            .expect("d2h");
         gpu.synchronize().expect("sync");
         // (1,1), (2,1), (1,2), (2,2) of the original in column-major order.
-        assert_eq!(gpu.host_payload(hout).expect("buf").as_f64(), &[11.0, 21.0, 12.0, 22.0]);
+        assert_eq!(
+            gpu.host_payload(hout).expect("buf").as_f64(),
+            &[11.0, 21.0, 12.0, 22.0]
+        );
     }
 
     #[test]
@@ -533,8 +635,12 @@ mod tests {
         let s = gpu.create_stream();
         let h = gpu.register_host_ghost(Dtype::F64, 10, true);
         let d = gpu.alloc_device(Dtype::F64, 10).expect("alloc");
-        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10)).expect("h2d");
-        assert!(matches!(gpu.free_device(d), Err(SimError::BufferInUse { .. })));
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10))
+            .expect("h2d");
+        assert!(matches!(
+            gpu.free_device(d),
+            Err(SimError::BufferInUse { .. })
+        ));
         gpu.synchronize().expect("sync");
         gpu.free_device(d).expect("free after sync");
         assert_eq!(gpu.device_mem_used(), 0);
@@ -558,7 +664,9 @@ mod tests {
         let s = gpu.create_stream();
         let h = gpu.register_host_ghost(Dtype::F32, 10, true);
         let d = gpu.alloc_device(Dtype::F64, 10).expect("alloc");
-        assert!(gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10)).is_err());
+        assert!(gpu
+            .memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10))
+            .is_err());
     }
 
     #[test]
@@ -566,12 +674,27 @@ mod tests {
         let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
         let s = gpu.create_stream();
         let d = gpu.alloc_device(Dtype::F64, 64).expect("alloc");
-        let r = DevMatRef { buf: d, offset: 0, ld: 8 };
+        let r = DevMatRef {
+            buf: d,
+            offset: 0,
+            ld: 8,
+        };
         let err = gpu
             .launch_kernel(
                 s,
-                KernelShape::Gemm { dtype: Dtype::F64, m: 8, n: 8, k: 8 },
-                Some(KernelArgs::Gemm { alpha: 1.0, beta: 0.0, a: r, b: r, c: r }),
+                KernelShape::Gemm {
+                    dtype: Dtype::F64,
+                    m: 8,
+                    n: 8,
+                    k: 8,
+                },
+                Some(KernelArgs::Gemm {
+                    alpha: 1.0,
+                    beta: 0.0,
+                    a: r,
+                    b: r,
+                    c: r,
+                }),
             )
             .expect_err("aliased");
         assert!(matches!(err, SimError::InvalidAccess { .. }));
@@ -582,7 +705,14 @@ mod tests {
         let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::Functional, 1);
         let s = gpu.create_stream();
         let err = gpu
-            .launch_kernel(s, KernelShape::Axpy { dtype: Dtype::F64, n: 4 }, None)
+            .launch_kernel(
+                s,
+                KernelShape::Axpy {
+                    dtype: Dtype::F64,
+                    n: 4,
+                },
+                None,
+            )
             .expect_err("no args");
         assert!(matches!(err, SimError::InvalidAccess { .. }));
     }
@@ -591,7 +721,14 @@ mod tests {
     fn unknown_stream_rejected() {
         let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
         let err = gpu
-            .launch_kernel(StreamId(9), KernelShape::Axpy { dtype: Dtype::F64, n: 4 }, None)
+            .launch_kernel(
+                StreamId(9),
+                KernelShape::Axpy {
+                    dtype: Dtype::F64,
+                    n: 4,
+                },
+                None,
+            )
             .expect_err("no stream");
         assert!(matches!(err, SimError::UnknownStream { id: 9 }));
     }
@@ -603,10 +740,16 @@ mod tests {
         let s_exec = gpu.create_stream();
         let h = gpu.register_host_ghost(Dtype::F64, 1 << 22, true);
         let d = gpu.alloc_device(Dtype::F64, 1 << 22).expect("alloc");
-        gpu.memcpy_h2d_async(s_copy, CopyDesc::contiguous(h, d, 1 << 22)).expect("h2d");
+        gpu.memcpy_h2d_async(s_copy, CopyDesc::contiguous(h, d, 1 << 22))
+            .expect("h2d");
         gpu.launch_kernel(
             s_exec,
-            KernelShape::Gemm { dtype: Dtype::F64, m: 2048, n: 2048, k: 2048 },
+            KernelShape::Gemm {
+                dtype: Dtype::F64,
+                m: 2048,
+                n: 2048,
+                k: 2048,
+            },
             None,
         )
         .expect("launch");

@@ -142,7 +142,11 @@ pub fn kernel_time(gpu: &GpuSpec, shape: &KernelShape) -> f64 {
             // Tail-wave efficiency: fractional final wave wastes SMs; tiny
             // grids cannot fill the machine at all.
             let waves = blocks / capacity;
-            let wave_eff = if waves <= 1.0 { waves } else { waves / waves.ceil() };
+            let wave_eff = if waves <= 1.0 {
+                waves
+            } else {
+                waves / waves.ceil()
+            };
             let k_ramp = k as f64 / (k as f64 + GEMM_K_HALF);
             let dims = [m, n, k];
             let lo = *dims.iter().min().expect("nonempty") as f64;
@@ -167,14 +171,22 @@ mod tests {
     use crate::spec::{testbed_i, testbed_ii};
 
     fn dgemm(m: usize, n: usize, k: usize) -> KernelShape {
-        KernelShape::Gemm { dtype: Dtype::F64, m, n, k }
+        KernelShape::Gemm {
+            dtype: Dtype::F64,
+            m,
+            n,
+            k,
+        }
     }
 
     #[test]
     fn flops_and_bytes() {
         let s = dgemm(2, 3, 4);
         assert_eq!(s.flops(), 48.0);
-        let a = KernelShape::Axpy { dtype: Dtype::F64, n: 10 };
+        let a = KernelShape::Axpy {
+            dtype: Dtype::F64,
+            n: 10,
+        };
         assert_eq!(a.flops(), 20.0);
         assert_eq!(a.mem_bytes(), 240.0);
     }
@@ -184,7 +196,13 @@ mod tests {
         let gpu = testbed_i().gpu;
         assert_eq!(kernel_time(&gpu, &dgemm(0, 10, 10)), gpu.launch_overhead_s);
         assert_eq!(
-            kernel_time(&gpu, &KernelShape::Axpy { dtype: Dtype::F32, n: 0 }),
+            kernel_time(
+                &gpu,
+                &KernelShape::Axpy {
+                    dtype: Dtype::F32,
+                    n: 0
+                }
+            ),
             gpu.launch_overhead_s
         );
     }
@@ -235,7 +253,10 @@ mod tests {
         let misaligned = dgemm(2050, 2050, 2050);
         let aligned_ratio = kernel_time(&v100, &aligned) / kernel_time(&smooth, &aligned);
         let mis_ratio = kernel_time(&v100, &misaligned) / kernel_time(&smooth, &misaligned);
-        assert!((aligned_ratio - 1.0).abs() < 1e-12, "aligned unaffected: {aligned_ratio}");
+        assert!(
+            (aligned_ratio - 1.0).abs() < 1e-12,
+            "aligned unaffected: {aligned_ratio}"
+        );
         assert!(mis_ratio > 1.1, "misaligned pays the spike: {mis_ratio}");
         // The K40 profile is smooth by construction.
         assert_eq!(testbed_i().gpu.quant, crate::spec::QuantProfile::Smooth);
@@ -247,7 +268,12 @@ mod tests {
         let d = kernel_time(&gpu, &dgemm(4096, 4096, 4096));
         let s = kernel_time(
             &gpu,
-            &KernelShape::Gemm { dtype: Dtype::F32, m: 4096, n: 4096, k: 4096 },
+            &KernelShape::Gemm {
+                dtype: Dtype::F32,
+                m: 4096,
+                n: 4096,
+                k: 4096,
+            },
         );
         assert!(s < d);
     }
@@ -255,8 +281,20 @@ mod tests {
     #[test]
     fn axpy_is_bandwidth_bound_and_ramps() {
         let gpu = testbed_i().gpu;
-        let small = kernel_time(&gpu, &KernelShape::Axpy { dtype: Dtype::F64, n: 1 << 10 });
-        let large = kernel_time(&gpu, &KernelShape::Axpy { dtype: Dtype::F64, n: 1 << 26 });
+        let small = kernel_time(
+            &gpu,
+            &KernelShape::Axpy {
+                dtype: Dtype::F64,
+                n: 1 << 10,
+            },
+        );
+        let large = kernel_time(
+            &gpu,
+            &KernelShape::Axpy {
+                dtype: Dtype::F64,
+                n: 1 << 26,
+            },
+        );
         // Large vector should approach 3*N*8 / (bw * eff).
         let ideal = 3.0 * (1u64 << 26) as f64 * 8.0 / (gpu.mem_bandwidth_bps * gpu.mem_eff_max);
         assert!(large > ideal && large < ideal * 1.2);
@@ -267,7 +305,18 @@ mod tests {
     #[test]
     fn labels_mention_routine() {
         assert!(dgemm(1, 2, 3).label().contains("dgemm"));
-        assert!(KernelShape::Axpy { dtype: Dtype::F64, n: 5 }.label().contains("daxpy"));
-        assert!(KernelShape::Gemv { dtype: Dtype::F32, m: 2, n: 2 }.label().contains("sgemv"));
+        assert!(KernelShape::Axpy {
+            dtype: Dtype::F64,
+            n: 5
+        }
+        .label()
+        .contains("daxpy"));
+        assert!(KernelShape::Gemv {
+            dtype: Dtype::F32,
+            m: 2,
+            n: 2
+        }
+        .label()
+        .contains("sgemv"));
     }
 }

@@ -66,4 +66,4 @@ pub use spec::{
     QuantProfile, TestbedSpec,
 };
 pub use time::SimTime;
-pub use trace::{EngineKind, Trace, TraceEntry};
+pub use trace::{EngineKind, OpTag, OperandRole, Trace, TraceEntry};

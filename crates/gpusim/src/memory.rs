@@ -167,21 +167,27 @@ impl HostArena {
         self.bufs
             .get(id.0)
             .and_then(|b| b.as_ref())
-            .ok_or_else(|| SimError::UnknownBuffer { what: format!("host buffer {}", id.0) })
+            .ok_or_else(|| SimError::UnknownBuffer {
+                what: format!("host buffer {}", id.0),
+            })
     }
 
     pub(crate) fn get_mut(&mut self, id: HostBufId) -> Result<&mut HostBuffer, SimError> {
         self.bufs
             .get_mut(id.0)
             .and_then(|b| b.as_mut())
-            .ok_or_else(|| SimError::UnknownBuffer { what: format!("host buffer {}", id.0) })
+            .ok_or_else(|| SimError::UnknownBuffer {
+                what: format!("host buffer {}", id.0),
+            })
     }
 
     pub(crate) fn unregister(&mut self, id: HostBufId) -> Result<HostBuffer, SimError> {
         self.bufs
             .get_mut(id.0)
             .and_then(|b| b.take())
-            .ok_or_else(|| SimError::UnknownBuffer { what: format!("host buffer {}", id.0) })
+            .ok_or_else(|| SimError::UnknownBuffer {
+                what: format!("host buffer {}", id.0),
+            })
     }
 }
 
@@ -195,7 +201,11 @@ pub(crate) struct DeviceMemory {
 
 impl DeviceMemory {
     pub(crate) fn new(capacity: usize) -> Self {
-        Self { capacity, used: 0, bufs: Vec::new() }
+        Self {
+            capacity,
+            used: 0,
+            bufs: Vec::new(),
+        }
     }
 
     pub(crate) fn used(&self) -> usize {
@@ -229,13 +239,17 @@ impl DeviceMemory {
         let slot = self
             .bufs
             .get_mut(id.0)
-            .ok_or_else(|| SimError::UnknownBuffer { what: format!("device buffer {}", id.0) })?;
+            .ok_or_else(|| SimError::UnknownBuffer {
+                what: format!("device buffer {}", id.0),
+            })?;
         match slot.take() {
             Some(p) => {
                 self.used -= p.bytes();
                 Ok(())
             }
-            None => Err(SimError::UnknownBuffer { what: format!("device buffer {}", id.0) }),
+            None => Err(SimError::UnknownBuffer {
+                what: format!("device buffer {}", id.0),
+            }),
         }
     }
 
@@ -243,7 +257,9 @@ impl DeviceMemory {
         self.bufs
             .get(id.0)
             .and_then(|b| b.as_ref())
-            .ok_or_else(|| SimError::UnknownBuffer { what: format!("device buffer {}", id.0) })
+            .ok_or_else(|| SimError::UnknownBuffer {
+                what: format!("device buffer {}", id.0),
+            })
     }
 
     /// Temporarily removes a payload (used by the functional executor to
@@ -252,7 +268,9 @@ impl DeviceMemory {
         self.bufs
             .get_mut(id.0)
             .and_then(|b| b.take())
-            .ok_or_else(|| SimError::UnknownBuffer { what: format!("device buffer {}", id.0) })
+            .ok_or_else(|| SimError::UnknownBuffer {
+                what: format!("device buffer {}", id.0),
+            })
     }
 
     /// Restores a payload previously removed with [`take_payload`](Self::take_payload).
@@ -262,6 +280,7 @@ impl DeviceMemory {
 }
 
 #[cfg(test)]
+#[allow(clippy::items_after_test_module)]
 mod tests {
     use super::*;
 
@@ -295,7 +314,13 @@ mod tests {
         let b = dm.alloc(Dtype::F32, 10, false).expect("fits"); // 40 bytes
         assert_eq!(dm.available(), 20);
         let err = dm.alloc(Dtype::F64, 4, false).expect_err("32 > 20");
-        assert!(matches!(err, SimError::OutOfDeviceMemory { requested: 32, available: 20 }));
+        assert!(matches!(
+            err,
+            SimError::OutOfDeviceMemory {
+                requested: 32,
+                available: 20
+            }
+        ));
         dm.free(a).expect("free a");
         assert_eq!(dm.used(), 40);
         dm.free(b).expect("free b");
@@ -314,7 +339,10 @@ mod tests {
     #[test]
     fn host_arena_round_trip() {
         let mut arena = HostArena::default();
-        let id = arena.register(HostBuffer { payload: vec![1.0f64, 2.0].into(), pinned: true });
+        let id = arena.register(HostBuffer {
+            payload: vec![1.0f64, 2.0].into(),
+            pinned: true,
+        });
         assert_eq!(arena.get(id).expect("present").payload.len(), 2);
         let buf = arena.unregister(id).expect("present");
         assert_eq!(buf.payload.as_f64(), &[1.0, 2.0]);

@@ -13,6 +13,13 @@ impl StreamId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds a stream id from a raw index, for synthesising trace entries
+    /// in tests and tooling. Not a valid handle for enqueueing unless the
+    /// index came from [`Gpu::create_stream`](crate::Gpu::create_stream).
+    pub fn from_raw(index: usize) -> StreamId {
+        StreamId(index)
+    }
 }
 
 /// Identifier of a recorded inter-stream synchronisation event.
@@ -39,7 +46,12 @@ pub struct Region2d {
 impl Region2d {
     /// A contiguous 1-D region of `len` elements starting at `offset`.
     pub fn contiguous(offset: usize, len: usize) -> Self {
-        Region2d { offset, ld: len.max(1), rows: len, cols: 1 }
+        Region2d {
+            offset,
+            ld: len.max(1),
+            rows: len,
+            cols: 1,
+        }
     }
 
     /// Total element count of the region.
@@ -232,6 +244,8 @@ pub(crate) type OpId = usize;
 pub(crate) struct Op {
     pub stream: StreamId,
     pub kind: OpKind,
+    /// Snapshot of the ambient routine tag at enqueue time.
+    pub tag: Option<crate::trace::OpTag>,
 }
 
 /// Validates that a matrix reference fits inside its payload.
@@ -242,7 +256,12 @@ pub(crate) fn check_mat_ref(
     cols: usize,
     what: &str,
 ) -> Result<(), SimError> {
-    let region = Region2d { offset: r.offset, ld: r.ld, rows, cols };
+    let region = Region2d {
+        offset: r.offset,
+        ld: r.ld,
+        rows,
+        cols,
+    };
     region.check(payload.len(), what)
 }
 
@@ -259,14 +278,24 @@ mod tests {
 
     #[test]
     fn empty_region_max_index_zero() {
-        let r = Region2d { offset: 5, ld: 4, rows: 0, cols: 0 };
+        let r = Region2d {
+            offset: 5,
+            ld: 4,
+            rows: 0,
+            cols: 0,
+        };
         assert_eq!(r.max_index(), 0);
         assert!(r.check(0, "x").is_ok());
     }
 
     #[test]
     fn region_bounds_check() {
-        let r = Region2d { offset: 0, ld: 4, rows: 4, cols: 3 };
+        let r = Region2d {
+            offset: 0,
+            ld: 4,
+            rows: 4,
+            cols: 3,
+        };
         assert_eq!(r.max_index(), 12);
         assert!(r.check(12, "x").is_ok());
         assert!(r.check(11, "x").is_err());
@@ -274,7 +303,12 @@ mod tests {
 
     #[test]
     fn region_ld_too_small_rejected() {
-        let r = Region2d { offset: 0, ld: 2, rows: 4, cols: 1 };
+        let r = Region2d {
+            offset: 0,
+            ld: 2,
+            rows: 4,
+            cols: 1,
+        };
         assert!(r.check(100, "x").is_err());
     }
 
@@ -282,9 +316,19 @@ mod tests {
     fn copy_shape_mismatch_rejected() {
         let desc = CopyDesc {
             host: HostBufId(0),
-            host_region: Region2d { offset: 0, ld: 4, rows: 4, cols: 2 },
+            host_region: Region2d {
+                offset: 0,
+                ld: 4,
+                rows: 4,
+                cols: 2,
+            },
             dev: DevBufId(0),
-            dev_region: Region2d { offset: 0, ld: 4, rows: 4, cols: 3 },
+            dev_region: Region2d {
+                offset: 0,
+                ld: 4,
+                rows: 4,
+                cols: 3,
+            },
         };
         assert!(desc.check_shapes().is_err());
     }

@@ -140,10 +140,16 @@ pub struct NoiseSpec {
 
 impl NoiseSpec {
     /// No noise: every run of the same schedule takes identical virtual time.
-    pub const NONE: NoiseSpec = NoiseSpec { kernel_sigma: 0.0, transfer_sigma: 0.0 };
+    pub const NONE: NoiseSpec = NoiseSpec {
+        kernel_sigma: 0.0,
+        transfer_sigma: 0.0,
+    };
 
     /// Noise levels representative of a quiet dedicated node.
-    pub const REALISTIC: NoiseSpec = NoiseSpec { kernel_sigma: 0.015, transfer_sigma: 0.01 };
+    pub const REALISTIC: NoiseSpec = NoiseSpec {
+        kernel_sigma: 0.015,
+        transfer_sigma: 0.01,
+    };
 }
 
 /// A complete simulated machine: GPU + interconnect + noise.
@@ -181,8 +187,14 @@ pub fn testbed_i() -> TestbedSpec {
             quant: QuantProfile::Smooth,
         },
         link: LinkSpec {
-            h2d: DirLinkSpec { latency_s: 2.4e-6, bandwidth_bps: 3.15e9 },
-            d2h: DirLinkSpec { latency_s: 2.2e-6, bandwidth_bps: 3.29e9 },
+            h2d: DirLinkSpec {
+                latency_s: 2.4e-6,
+                bandwidth_bps: 3.15e9,
+            },
+            d2h: DirLinkSpec {
+                latency_s: 2.2e-6,
+                bandwidth_bps: 3.29e9,
+            },
             sl_h2d_bid: 1.0,
             sl_d2h_bid: 1.16,
             pageable_factor: 0.55,
@@ -213,8 +225,14 @@ pub fn testbed_ii() -> TestbedSpec {
             quant: QuantProfile::Spiky,
         },
         link: LinkSpec {
-            h2d: DirLinkSpec { latency_s: 2.5e-6, bandwidth_bps: 12.18e9 },
-            d2h: DirLinkSpec { latency_s: 2.5e-6, bandwidth_bps: 12.98e9 },
+            h2d: DirLinkSpec {
+                latency_s: 2.5e-6,
+                bandwidth_bps: 12.18e9,
+            },
+            d2h: DirLinkSpec {
+                latency_s: 2.5e-6,
+                bandwidth_bps: 12.98e9,
+            },
             sl_h2d_bid: 1.27,
             sl_d2h_bid: 1.41,
             pageable_factor: 0.55,
@@ -250,7 +268,10 @@ mod tests {
 
     #[test]
     fn ideal_time_has_latency_floor() {
-        let d = DirLinkSpec { latency_s: 1e-5, bandwidth_bps: 1e9 };
+        let d = DirLinkSpec {
+            latency_s: 1e-5,
+            bandwidth_bps: 1e9,
+        };
         assert!((d.ideal_time(0) - 1e-5).abs() < 1e-15);
         assert!((d.ideal_time(1_000_000_000) - 1.00001).abs() < 1e-9);
     }

@@ -31,6 +31,62 @@ impl EngineKind {
     }
 }
 
+/// Role an operand plays in the routine that issued an op (the `i` of the
+/// paper's `get_i`/`set_i` flags, by name instead of position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandRole {
+    /// Left matrix of gemm/gemv.
+    A,
+    /// Right matrix of gemm.
+    B,
+    /// Output matrix of gemm.
+    C,
+    /// Input vector of gemv/axpy/dot.
+    X,
+    /// In/out vector of gemv/axpy/dot.
+    Y,
+    /// Per-tile partial-result slots of dot.
+    Partials,
+}
+
+impl OperandRole {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperandRole::A => "A",
+            OperandRole::B => "B",
+            OperandRole::C => "C",
+            OperandRole::X => "x",
+            OperandRole::Y => "y",
+            OperandRole::Partials => "partials",
+        }
+    }
+}
+
+/// Logical identity of the routine-level work behind a low-level op.
+///
+/// Schedulers set the ambient tag via
+/// [`Gpu::set_op_tag`](crate::Gpu::set_op_tag) before enqueueing; the
+/// simulator snapshots it into every op enqueued while it is set, and copies
+/// it into the op's [`TraceEntry`]. This is what turns an engine timeline
+/// into a per-tile pipeline anatomy (the paper's Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTag {
+    /// Routine family that issued the op (`"gemm"`, `"gemv"`, …).
+    pub routine: &'static str,
+    /// Routine invocation counter, distinguishing calls in one trace.
+    pub call: u64,
+    /// Tile coordinates `(row, col)` within the routine's tile grid
+    /// (vector routines use `(chunk, 0)`).
+    pub tile: (usize, usize),
+    /// Operand the op moves, `None` for kernel launches.
+    pub operand: Option<OperandRole>,
+    /// The op fetches data to the device (`get_i`).
+    pub get: bool,
+    /// The op returns data to the host (`set_i`).
+    pub set: bool,
+}
+
 /// One completed operation occurrence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
@@ -48,6 +104,8 @@ pub struct TraceEntry {
     pub end: SimTime,
     /// Bytes moved, for copies.
     pub bytes: Option<usize>,
+    /// Routine-level identity, when a scheduler tagged the op.
+    pub tag: Option<OpTag>,
 }
 
 impl TraceEntry {
@@ -118,8 +176,18 @@ impl Trace {
     /// occupancy in a column keeps the busiest glyph.
     pub fn gantt(&self, width: usize) -> String {
         let width = width.max(10);
-        let t_end = self.entries.iter().map(|e| e.end.as_nanos()).max().unwrap_or(0);
-        let t_start = self.entries.iter().map(|e| e.start.as_nanos()).min().unwrap_or(0);
+        let t_end = self
+            .entries
+            .iter()
+            .map(|e| e.end.as_nanos())
+            .max()
+            .unwrap_or(0);
+        let t_start = self
+            .entries
+            .iter()
+            .map(|e| e.start.as_nanos())
+            .min()
+            .unwrap_or(0);
         let span = (t_end - t_start).max(1) as f64;
         let mut out = String::new();
         let _ = writeln!(
@@ -129,7 +197,11 @@ impl Trace {
             SimTime::from_nanos(t_end),
             SimTime::from_nanos(t_end - t_start)
         );
-        for engine in [EngineKind::CopyH2d, EngineKind::Compute, EngineKind::CopyD2h] {
+        for engine in [
+            EngineKind::CopyH2d,
+            EngineKind::Compute,
+            EngineKind::CopyD2h,
+        ] {
             let glyph = match engine {
                 EngineKind::CopyH2d => '>',
                 EngineKind::CopyD2h => '<',
@@ -143,7 +215,12 @@ impl Trace {
                     *cell = glyph;
                 }
             }
-            let _ = writeln!(out, "{:>4} |{}|", engine.name(), row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>4} |{}|",
+                engine.name(),
+                row.iter().collect::<String>()
+            );
         }
         out
     }
@@ -162,6 +239,7 @@ mod tests {
             start: SimTime::from_nanos(start),
             end: SimTime::from_nanos(end),
             bytes,
+            tag: None,
         }
     }
 

@@ -4,8 +4,7 @@
 //! equal seeds replay identically.
 
 use cocopelia_gpusim::{
-    testbed_i, testbed_ii, CopyDesc, EngineKind, ExecMode, Gpu, KernelShape, NoiseSpec,
-    TestbedSpec,
+    testbed_i, testbed_ii, CopyDesc, EngineKind, ExecMode, Gpu, KernelShape, NoiseSpec, TestbedSpec,
 };
 use cocopelia_hostblas::Dtype;
 use proptest::prelude::*;
@@ -40,14 +39,21 @@ fn run_schedule(tb: TestbedSpec, ops: &[RandOp], n_streams: usize, seed: u64) ->
     for (i, op) in ops.iter().enumerate() {
         let s = streams[i % n_streams];
         match *op {
-            RandOp::H2d { elems } => {
-                gpu.memcpy_h2d_async(s, CopyDesc::contiguous(host, dev, elems)).expect("h2d")
-            }
-            RandOp::D2h { elems } => {
-                gpu.memcpy_d2h_async(s, CopyDesc::contiguous(host, dev, elems)).expect("d2h")
-            }
+            RandOp::H2d { elems } => gpu
+                .memcpy_h2d_async(s, CopyDesc::contiguous(host, dev, elems))
+                .expect("h2d"),
+            RandOp::D2h { elems } => gpu
+                .memcpy_d2h_async(s, CopyDesc::contiguous(host, dev, elems))
+                .expect("d2h"),
             RandOp::Kernel { n } => gpu
-                .launch_kernel(s, KernelShape::Axpy { dtype: Dtype::F64, n }, None)
+                .launch_kernel(
+                    s,
+                    KernelShape::Axpy {
+                        dtype: Dtype::F64,
+                        n,
+                    },
+                    None,
+                )
                 .expect("kernel"),
         }
     }

@@ -20,7 +20,13 @@ use crate::scalar::Scalar;
 /// assert_eq!(y, vec![12.0, 24.0]);
 /// ```
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), y.len(), "axpy length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
     }
@@ -32,8 +38,17 @@ pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
 ///
 /// Panics if `x` and `y` differ in length.
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot length mismatch {} vs {}", x.len(), y.len());
-    x.iter().zip(y.iter()).map(|(&a, &b)| a.to_f64() * b.to_f64()).sum()
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "dot length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
+    x.iter()
+        .zip(y.iter())
+        .map(|(&a, &b)| a.to_f64() * b.to_f64())
+        .sum()
 }
 
 /// `x ← α·x`.
@@ -45,7 +60,10 @@ pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
 
 /// Euclidean norm `‖x‖₂`, accumulated in `f64`.
 pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+    x.iter()
+        .map(|&v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Sum of absolute values `‖x‖₁`, accumulated in `f64`.
@@ -73,7 +91,13 @@ pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
 ///
 /// Panics if `x` and `y` differ in length.
 pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), y.len(), "copy length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "copy length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     y.copy_from_slice(x);
 }
 

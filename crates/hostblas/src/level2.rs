@@ -21,8 +21,20 @@ use crate::scalar::Scalar;
 /// assert_eq!(y, vec![2.0, 6.0]);
 /// ```
 pub fn gemv<T: Scalar>(alpha: T, a: &MatrixView<'_, T>, x: &[T], beta: T, y: &mut [T]) {
-    assert_eq!(x.len(), a.cols(), "gemv: x length {} != A cols {}", x.len(), a.cols());
-    assert_eq!(y.len(), a.rows(), "gemv: y length {} != A rows {}", y.len(), a.rows());
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "gemv: x length {} != A cols {}",
+        x.len(),
+        a.cols()
+    );
+    assert_eq!(
+        y.len(),
+        a.rows(),
+        "gemv: y length {} != A rows {}",
+        y.len(),
+        a.rows()
+    );
     for yi in y.iter_mut() {
         *yi *= beta;
     }
@@ -41,14 +53,21 @@ pub fn gemv<T: Scalar>(alpha: T, a: &MatrixView<'_, T>, x: &[T], beta: T, y: &mu
 /// # Panics
 ///
 /// Panics if `x.len() != A.rows()` or `y.len() != A.cols()`.
-pub fn ger<T: Scalar>(
-    alpha: T,
-    x: &[T],
-    y: &[T],
-    a: &mut crate::matrix::MatrixViewMut<'_, T>,
-) {
-    assert_eq!(x.len(), a.rows(), "ger: x length {} != A rows {}", x.len(), a.rows());
-    assert_eq!(y.len(), a.cols(), "ger: y length {} != A cols {}", y.len(), a.cols());
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut crate::matrix::MatrixViewMut<'_, T>) {
+    assert_eq!(
+        x.len(),
+        a.rows(),
+        "ger: x length {} != A rows {}",
+        x.len(),
+        a.rows()
+    );
+    assert_eq!(
+        y.len(),
+        a.cols(),
+        "ger: y length {} != A cols {}",
+        y.len(),
+        a.cols()
+    );
     for (j, &yj) in y.iter().enumerate() {
         let ayj = alpha * yj;
         for (i, &xi) in x.iter().enumerate() {

@@ -22,8 +22,20 @@ fn check_dims<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>, c: &Matri
         a.cols(),
         b.rows()
     );
-    assert_eq!(c.rows(), a.rows(), "gemm: C rows {} != A rows {}", c.rows(), a.rows());
-    assert_eq!(c.cols(), b.cols(), "gemm: C cols {} != B cols {}", c.cols(), b.cols());
+    assert_eq!(
+        c.rows(),
+        a.rows(),
+        "gemm: C rows {} != A rows {}",
+        c.rows(),
+        a.rows()
+    );
+    assert_eq!(
+        c.cols(),
+        b.cols(),
+        "gemm: C cols {} != B cols {}",
+        c.cols(),
+        b.cols()
+    );
 }
 
 /// Textbook `C ← α·A·B + β·C` triple loop. Oracle for tests; do not use on
@@ -131,7 +143,13 @@ pub fn syrk_full<T: Scalar>(
     c: &mut MatrixViewMut<'_, T>,
 ) {
     assert_eq!(c.rows(), c.cols(), "syrk: C must be square");
-    assert_eq!(c.rows(), a.rows(), "syrk: C dim {} != A rows {}", c.rows(), a.rows());
+    assert_eq!(
+        c.rows(),
+        a.rows(),
+        "syrk: C dim {} != A rows {}",
+        c.rows(),
+        a.rows()
+    );
     let (m, k) = (a.rows(), a.cols());
     for j in 0..m {
         for i in 0..m {
@@ -146,6 +164,7 @@ pub fn syrk_full<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::items_after_test_module)]
 mod tests {
     use super::*;
     use crate::matrix::Matrix;
@@ -154,7 +173,9 @@ mod tests {
         // Small deterministic pseudo-random fill without external deps.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -331,7 +352,9 @@ pub fn gemm_parallel<T: Scalar>(
         check_dims(a, b, &cv);
     }
     let (m, n) = (c.rows(), c.cols());
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     if threads <= 1 || n < 2 || m * n < 64 * 64 {
         return gemm(alpha, a, b, beta, &mut c.view_mut());
     }

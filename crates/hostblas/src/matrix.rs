@@ -85,7 +85,10 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i + j * self.rows]
     }
 
@@ -96,7 +99,10 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i + j * self.rows] = v;
     }
 
@@ -209,7 +215,12 @@ impl<'a, T: Scalar> MatrixView<'a, T> {
                 data.len()
             );
         }
-        Self { rows, cols, ld, data }
+        Self {
+            rows,
+            cols,
+            ld,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -237,7 +248,10 @@ impl<'a, T: Scalar> MatrixView<'a, T> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i + j * self.ld]
     }
 
@@ -291,7 +305,12 @@ impl<'a, T: Scalar> MatrixViewMut<'a, T> {
                 data.len()
             );
         }
-        Self { rows, cols, ld, data }
+        Self {
+            rows,
+            cols,
+            ld,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -319,7 +338,10 @@ impl<'a, T: Scalar> MatrixViewMut<'a, T> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i + j * self.ld]
     }
 
@@ -330,7 +352,10 @@ impl<'a, T: Scalar> MatrixViewMut<'a, T> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i + j * self.ld] = v;
     }
 
@@ -425,7 +450,7 @@ mod tests {
 
     #[test]
     fn view_new_validates_ld() {
-        let data = vec![0.0f64; 12];
+        let data = [0.0f64; 12];
         let v = MatrixView::new(3, 3, 4, &data[..]);
         assert_eq!(v.rows(), 3);
     }
@@ -433,7 +458,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "too short")]
     fn view_new_short_slice_panics() {
-        let data = vec![0.0f64; 5];
+        let data = [0.0f64; 5];
         let _ = MatrixView::new(3, 3, 3, &data[..]);
     }
 

@@ -13,7 +13,13 @@ use crate::scalar::Scalar;
 ///
 /// Panics if the slices differ in length.
 pub fn max_rel_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     let mut worst = 0.0f64;
     for (&x, &y) in a.iter().zip(b.iter()) {
         let (xf, yf) = (x.to_f64(), y.to_f64());
@@ -32,7 +38,13 @@ pub fn max_rel_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
 ///
 /// Panics if the slices differ in length.
 pub fn max_abs_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())

@@ -1,0 +1,136 @@
+//! Trace invariant checks: structural properties every well-formed
+//! simulator trace must satisfy, usable both as test assertions and as a
+//! sanity gate before exporting or aggregating a trace.
+
+use cocopelia_gpusim::{EngineKind, TraceEntry};
+use std::collections::HashSet;
+
+/// Checks the structural invariants of a batch of trace entries:
+///
+/// 1. every entry ends no earlier than it starts;
+/// 2. entries are recorded in non-decreasing start order (the simulator
+///    records at dispatch time);
+/// 3. no two entries on the same engine overlap in time — each engine is a
+///    serial resource;
+/// 4. no op id appears twice — each enqueued op executes exactly once.
+///
+/// # Errors
+///
+/// Returns every violated invariant as a human-readable message.
+pub fn check_entries(entries: &[TraceEntry]) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let mut seen_ops = HashSet::new();
+    let mut prev_start = 0u64;
+    for e in entries {
+        if e.end < e.start {
+            problems.push(format!(
+                "op {} ends before it starts: {} < {}",
+                e.op, e.end, e.start
+            ));
+        }
+        if e.start.as_nanos() < prev_start {
+            problems.push(format!(
+                "op {} recorded out of order: starts at {} after an entry starting at {}",
+                e.op,
+                e.start.as_nanos(),
+                prev_start
+            ));
+        }
+        prev_start = prev_start.max(e.start.as_nanos());
+        if !seen_ops.insert(e.op) {
+            problems.push(format!("op {} appears more than once in the trace", e.op));
+        }
+    }
+    for engine in [
+        EngineKind::CopyH2d,
+        EngineKind::Compute,
+        EngineKind::CopyD2h,
+    ] {
+        let mut spans: Vec<(u64, u64, usize)> = entries
+            .iter()
+            .filter(|e| e.engine == engine)
+            .map(|e| (e.start.as_nanos(), e.end.as_nanos(), e.op))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let (_, e0, op0) = w[0];
+            let (s1, _, op1) = w[1];
+            if s1 < e0 {
+                problems.push(format!(
+                    "{} engine double-booked: op {op1} starts at {s1} before op {op0} ends at {e0}",
+                    engine.name()
+                ));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocopelia_gpusim::{SimTime, StreamId};
+
+    fn entry(op: usize, engine: EngineKind, start: u64, end: u64) -> TraceEntry {
+        TraceEntry {
+            op,
+            stream: StreamId::from_raw(0),
+            engine,
+            label: "t".to_owned(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            bytes: None,
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let e = [
+            entry(0, EngineKind::CopyH2d, 0, 100),
+            entry(1, EngineKind::Compute, 50, 150),
+            entry(2, EngineKind::CopyH2d, 100, 200),
+        ];
+        assert!(check_entries(&e).is_ok());
+    }
+
+    #[test]
+    fn double_booked_engine_reported() {
+        let e = [
+            entry(0, EngineKind::Compute, 0, 100),
+            entry(1, EngineKind::Compute, 50, 150),
+        ];
+        let problems = check_entries(&e).expect_err("overlap");
+        assert!(problems.iter().any(|p| p.contains("double-booked")));
+    }
+
+    #[test]
+    fn duplicate_op_reported() {
+        let e = [
+            entry(7, EngineKind::CopyH2d, 0, 10),
+            entry(7, EngineKind::CopyD2h, 20, 30),
+        ];
+        let problems = check_entries(&e).expect_err("dup");
+        assert!(problems.iter().any(|p| p.contains("more than once")));
+    }
+
+    #[test]
+    fn out_of_order_start_reported() {
+        let e = [
+            entry(0, EngineKind::CopyH2d, 100, 200),
+            entry(1, EngineKind::Compute, 50, 150),
+        ];
+        let problems = check_entries(&e).expect_err("order");
+        assert!(problems.iter().any(|p| p.contains("out of order")));
+    }
+
+    #[test]
+    fn reversed_span_reported() {
+        let e = [entry(0, EngineKind::CopyH2d, 100, 50)];
+        assert!(check_entries(&e).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # cocopelia-obs
+//!
+//! End-to-end observability for the CoCoPeLia pipeline: structured trace
+//! inspection, a metrics registry, prediction-drift accounting, and trace
+//! exporters — the instrumentation layer between the `cocopelia-gpusim`
+//! simulator and the `cocopelia-runtime` library handle.
+//!
+//! * [`Observer`] — per-pipeline accumulator the runtime feeds after every
+//!   routine call; renders text and JSON reports.
+//! * [`OverlapStats`] — exact interval accounting of 3-way overlap; the
+//!   overlap-efficiency metric `sum(busy)/union(busy)`.
+//! * [`DriftAccountant`]/[`score_models`] — model-predicted offload time
+//!   vs. simulated actual, per model (Eq. 1/2/3–4/5 and CSO), with signed
+//!   and absolute error histograms.
+//! * [`export`] — JSON-lines and Chrome trace-event (Perfetto-compatible)
+//!   dumps of tagged traces.
+//! * [`gantt`] — the shared ASCII Gantt renderer (paper Fig. 2 anatomy).
+//! * [`invariants`] — structural trace well-formedness checks.
+//!
+//! ## Example: inspecting a synthetic trace
+//!
+//! ```
+//! use cocopelia_gpusim::{EngineKind, SimTime, StreamId, TraceEntry};
+//! use cocopelia_obs::OverlapStats;
+//!
+//! let entries = vec![TraceEntry {
+//!     op: 0,
+//!     stream: StreamId::from_raw(0),
+//!     engine: EngineKind::CopyH2d,
+//!     label: "h2d".to_owned(),
+//!     start: SimTime::from_nanos(0),
+//!     end: SimTime::from_nanos(100),
+//!     bytes: Some(800),
+//!     tag: None,
+//! }];
+//! let stats = OverlapStats::from_entries(&entries);
+//! assert_eq!(stats.makespan_ns, 100);
+//! assert_eq!(stats.efficiency(), 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod drift;
+pub mod export;
+pub mod gantt;
+pub mod invariants;
+pub mod metrics;
+pub mod observer;
+pub mod overlap;
+
+pub use drift::{score_models, DriftAccountant, DriftRecord, ModelErrorStats};
+pub use metrics::{Histogram, Registry};
+pub use observer::{CallObservation, CallSummary, Observer, EFFICIENCY_BOUNDS};
+pub use overlap::OverlapStats;

@@ -1,0 +1,241 @@
+//! A dependency-free metrics registry: named monotonic counters and
+//! fixed-bucket histograms.
+//!
+//! The registry is deliberately tiny — the pipeline is single-threaded per
+//! device handle, so plain `&mut` access suffices and no atomics or locks
+//! are involved. Everything renders to a text summary and to the [`Value`]
+//! data model for JSON export.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram over fixed, caller-supplied bucket boundaries.
+///
+/// Values land in the first bucket whose upper bound is `>=` the value;
+/// values above every bound land in an implicit overflow bucket. Sum and
+/// count are tracked exactly, so the mean is always available regardless of
+/// bucket resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "bounds".to_owned(),
+                Value::Seq(self.bounds.iter().map(|&b| Value::F64(b)).collect()),
+            ),
+            (
+                "counts".to_owned(),
+                Value::Seq(self.counts.iter().map(|&c| Value::U64(c)).collect()),
+            ),
+            ("sum".to_owned(), Value::F64(self.sum)),
+            ("count".to_owned(), Value::U64(self.count)),
+        ])
+    }
+}
+
+/// Named counters and histograms for one pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `v` to the counter `name`, creating it at zero if absent.
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `v` into histogram `name`, creating it with `bounds` if
+    /// absent (later calls ignore `bounds`).
+    pub fn histogram_observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .observe(v);
+    }
+
+    /// The histogram `name`, if any observation created it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "counters".to_owned(),
+                Value::Map(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                Value::Map(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders a human-readable summary, one line per metric.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<40} n={} mean={:.4} sum={:.4}",
+                h.count(),
+                h.mean(),
+                h.sum()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.counter_add("bytes", 10);
+        r.counter_add("bytes", 5);
+        assert_eq!(r.counter("bytes"), 15);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary lands in its bucket
+        h.observe(5.0);
+        h.observe(100.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 106.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_histograms_keep_first_bounds() {
+        let mut r = Registry::new();
+        r.histogram_observe("err", &[0.1, 0.2], 0.05);
+        r.histogram_observe("err", &[99.0], 0.15);
+        let h = r.histogram("err").expect("created");
+        assert_eq!(h.bounds(), &[0.1, 0.2]);
+        assert_eq!(h.counts(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn render_includes_all_metrics() {
+        let mut r = Registry::new();
+        r.counter_add("calls", 2);
+        r.histogram_observe("lat", &[1.0], 0.5);
+        let s = r.render();
+        assert!(s.contains("calls"));
+        assert!(s.contains("lat"));
+    }
+
+    #[test]
+    fn to_value_round_trips_through_json() {
+        let mut r = Registry::new();
+        r.counter_add("c", 7);
+        r.histogram_observe("h", &[1.0], 2.0);
+        let json = serde_json::to_string(&r.to_value()).expect("serializes");
+        assert!(json.contains("\"c\":7"));
+        assert!(json.contains("\"h\""));
+    }
+}

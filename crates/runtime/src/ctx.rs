@@ -10,6 +10,7 @@ use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::select::{Selection, TileSelector};
 use cocopelia_gpusim::{CopyDesc, Gpu, SimScalar, SimTime};
 use cocopelia_hostblas::{Dtype, Matrix};
+use cocopelia_obs::{score_models, CallObservation, DriftRecord, Observer, OverlapStats};
 use std::collections::HashMap;
 
 /// Key for the model-reuse cache (§IV-C: "initialize the corresponding
@@ -32,7 +33,11 @@ impl SelectKey {
             routine: problem.routine,
             dtype: problem.dtype,
             dims: problem.dims(),
-            flags: problem.operands.iter().map(|o| (o.loc, o.input, o.output)).collect(),
+            flags: problem
+                .operands
+                .iter()
+                .map(|o| (o.loc, o.input, o.output))
+                .collect(),
             model,
         }
     }
@@ -52,6 +57,11 @@ pub struct RoutineReport {
     /// The tile selection, when `T` was chosen by a model (absent for
     /// [`TileChoice::Fixed`]).
     pub selection: Option<Selection>,
+    /// Exact 3-way overlap statistics of the call's trace slice.
+    pub overlap: OverlapStats,
+    /// Per-model prediction-drift records scored against the achieved time
+    /// (empty when the profile has no exec table for the routine).
+    pub drift: Vec<DriftRecord>,
 }
 
 impl RoutineReport {
@@ -121,12 +131,20 @@ pub struct Cocopelia {
     selector: TileSelector,
     streams: Option<Streams>,
     cache: HashMap<SelectKey, Selection>,
+    obs: Observer,
 }
 
 impl Cocopelia {
     /// Wraps a device with a deployed system profile.
     pub fn new(gpu: Gpu, profile: SystemProfile) -> Self {
-        Cocopelia { gpu, profile, selector: TileSelector::default(), streams: None, cache: HashMap::new() }
+        Cocopelia {
+            gpu,
+            profile,
+            selector: TileSelector::default(),
+            streams: None,
+            cache: HashMap::new(),
+            obs: Observer::new(),
+        }
     }
 
     /// Replaces the tile-selection policy.
@@ -154,6 +172,17 @@ impl Cocopelia {
         &self.profile
     }
 
+    /// The pipeline observer: metrics, per-call overlap statistics, and
+    /// prediction-drift aggregates accumulated across routine calls.
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// Mutable access to the pipeline observer.
+    pub fn observer_mut(&mut self) -> &mut Observer {
+        &mut self.obs
+    }
+
     fn ensure_streams(&mut self) -> Streams {
         // Streams are created once and reused across calls (§IV-C).
         match self.streams {
@@ -179,12 +208,17 @@ impl Cocopelia {
         model: ModelKind,
     ) -> Result<Selection, RuntimeError> {
         let key = SelectKey::of(problem, model);
-        if let Some(sel) = self.cache.get(&key) {
-            return Ok(sel.clone());
+        if let Some(sel) = self.cache.get(&key).cloned() {
+            self.obs.record_selection_lookup(true);
+            return Ok(sel);
         }
-        let exec = self.profile.exec_table(problem.routine, problem.dtype).ok_or_else(|| {
-            RuntimeError::MissingExecTable { routine: problem.routine.name(problem.dtype) }
-        })?;
+        self.obs.record_selection_lookup(false);
+        let exec = self
+            .profile
+            .exec_table(problem.routine, problem.dtype)
+            .ok_or_else(|| RuntimeError::MissingExecTable {
+                routine: problem.routine.name(problem.dtype),
+            })?;
         let ctx = ModelCtx {
             problem,
             transfer: &self.profile.transfer,
@@ -222,6 +256,53 @@ impl Cocopelia {
         }
     }
 
+    /// Scores the finished call against every evaluable model, feeds the
+    /// observer, and returns the overlap stats and drift records for the
+    /// call's [`RoutineReport`].
+    #[allow(clippy::too_many_arguments)]
+    fn finish_call(
+        &mut self,
+        routine: &'static str,
+        call: u64,
+        problem: &ProblemSpec,
+        tile: usize,
+        selection: Option<&Selection>,
+        subkernels: usize,
+        elapsed: SimTime,
+        trace_start: usize,
+        tile_hits: u64,
+        tile_misses: u64,
+    ) -> (OverlapStats, Vec<DriftRecord>) {
+        let actual_secs = elapsed.as_secs_f64();
+        let drift = match self.profile.exec_table(problem.routine, problem.dtype) {
+            Some(exec) => {
+                let mctx = ModelCtx {
+                    problem,
+                    transfer: &self.profile.transfer,
+                    exec,
+                    full_kernel_time: None,
+                };
+                score_models(routine, call, &mctx, tile, actual_secs)
+            }
+            None => Vec::new(),
+        };
+        let entries = &self.gpu.trace().entries()[trace_start..];
+        let overlap = OverlapStats::from_entries(entries);
+        self.obs.observe_call(CallObservation {
+            routine,
+            call,
+            tile,
+            model: selection.map(|s| s.prediction.model),
+            subkernels,
+            elapsed_secs: actual_secs,
+            entries,
+            tile_hits,
+            tile_misses,
+            drift: drift.clone(),
+        });
+        (overlap, drift)
+    }
+
     /// General matrix multiply `C ← α·A·B + β·C` with 3-way overlap.
     ///
     /// # Errors
@@ -238,13 +319,26 @@ impl Cocopelia {
         choice: TileChoice,
     ) -> Result<GemmResult<T>, RuntimeError> {
         let (m, n, k) = gemm::check_dims(&a, &b, &c)?;
-        let problem =
-            ProblemSpec::gemm(T::DTYPE, m, n, k, a.loc(), b.loc(), c.loc(), beta != 0.0);
+        let problem = ProblemSpec::gemm(T::DTYPE, m, n, k, a.loc(), b.loc(), c.loc(), beta != 0.0);
         let (tile, selection) = self.resolve_tile(&problem, choice)?;
         let streams = self.ensure_streams();
+        let call = self.obs.next_call_id();
+        let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = gemm::run(&mut self.gpu, streams, alpha, a, b, beta, c, tile)?;
+        let run = gemm::run(&mut self.gpu, streams, call, alpha, a, b, beta, c, tile)?;
         let elapsed = self.gpu.now().saturating_since(t0);
+        let (overlap, drift) = self.finish_call(
+            "gemm",
+            call,
+            &problem,
+            tile,
+            selection.as_ref(),
+            run.subkernels,
+            elapsed,
+            trace_start,
+            run.tile_hits,
+            run.tile_misses,
+        );
         Ok(GemmResult {
             c: run.c,
             report: RoutineReport {
@@ -253,6 +347,8 @@ impl Cocopelia {
                 subkernels: run.subkernels,
                 flops: problem.flops(),
                 selection,
+                overlap,
+                drift,
             },
         })
     }
@@ -277,9 +373,23 @@ impl Cocopelia {
         let problem = ProblemSpec::axpy(T::DTYPE, x.len(), x.loc(), y.loc());
         let (tile, selection) = self.resolve_tile(&problem, choice)?;
         let streams = self.ensure_streams();
+        let call = self.obs.next_call_id();
+        let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = axpy::run(&mut self.gpu, streams, alpha, x, y, tile)?;
+        let run = axpy::run(&mut self.gpu, streams, call, alpha, x, y, tile)?;
         let elapsed = self.gpu.now().saturating_since(t0);
+        let (overlap, drift) = self.finish_call(
+            "axpy",
+            call,
+            &problem,
+            tile,
+            selection.as_ref(),
+            run.subkernels,
+            elapsed,
+            trace_start,
+            run.tile_hits,
+            run.tile_misses,
+        );
         Ok(VecResult {
             y: run.y,
             report: RoutineReport {
@@ -288,6 +398,8 @@ impl Cocopelia {
                 subkernels: run.subkernels,
                 flops: problem.flops(),
                 selection,
+                overlap,
+                drift,
             },
         })
     }
@@ -312,9 +424,23 @@ impl Cocopelia {
         let problem = ProblemSpec::dot(T::DTYPE, x.len(), x.loc(), y.loc());
         let (tile, selection) = self.resolve_tile(&problem, choice)?;
         let streams = self.ensure_streams();
+        let call = self.obs.next_call_id();
+        let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = dot::run(&mut self.gpu, streams, x, y, tile)?;
+        let run = dot::run(&mut self.gpu, streams, call, x, y, tile)?;
         let elapsed = self.gpu.now().saturating_since(t0);
+        let (overlap, drift) = self.finish_call(
+            "dot",
+            call,
+            &problem,
+            tile,
+            selection.as_ref(),
+            run.subkernels,
+            elapsed,
+            trace_start,
+            run.tile_hits,
+            run.tile_misses,
+        );
         Ok(DotResult {
             value: run.value,
             report: RoutineReport {
@@ -323,6 +449,8 @@ impl Cocopelia {
                 subkernels: run.subkernels,
                 flops: problem.flops(),
                 selection,
+                overlap,
+                drift,
             },
         })
     }
@@ -377,9 +505,23 @@ impl Cocopelia {
         );
         let (tile, selection) = self.resolve_tile(&problem, choice)?;
         let streams = self.ensure_streams();
+        let call = self.obs.next_call_id();
+        let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = gemv::run(&mut self.gpu, streams, alpha, a, x, beta, y, tile)?;
+        let run = gemv::run(&mut self.gpu, streams, call, alpha, a, x, beta, y, tile)?;
         let elapsed = self.gpu.now().saturating_since(t0);
+        let (overlap, drift) = self.finish_call(
+            "gemv",
+            call,
+            &problem,
+            tile,
+            selection.as_ref(),
+            run.subkernels,
+            elapsed,
+            trace_start,
+            run.tile_hits,
+            run.tile_misses,
+        );
         Ok(VecResult {
             y: run.y,
             report: RoutineReport {
@@ -388,6 +530,8 @@ impl Cocopelia {
                 subkernels: run.subkernels,
                 flops: problem.flops(),
                 selection,
+                overlap,
+                drift,
             },
         })
     }
@@ -469,13 +613,20 @@ impl Cocopelia {
         m: &Matrix<T>,
     ) -> Result<DeviceMatrix, RuntimeError> {
         let len = m.rows() * m.cols();
-        let host = self.gpu.register_host(T::into_payload(m.as_slice().to_vec()), true);
+        let host = self
+            .gpu
+            .register_host(T::into_payload(m.as_slice().to_vec()), true);
         let dev = self.gpu.alloc_device(T::DTYPE, len)?;
         let streams = self.ensure_streams();
-        self.gpu.memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, len))?;
+        self.gpu
+            .memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, len))?;
         self.gpu.synchronize()?;
         self.gpu.take_host(host)?;
-        Ok(DeviceMatrix { buf: dev, rows: m.rows(), cols: m.cols() })
+        Ok(DeviceMatrix {
+            buf: dev,
+            rows: m.rows(),
+            cols: m.cols(),
+        })
     }
 
     /// Allocates a device-resident matrix without data (timing sweeps).
@@ -490,7 +641,11 @@ impl Cocopelia {
         cols: usize,
     ) -> Result<DeviceMatrix, RuntimeError> {
         let dev = self.gpu.alloc_device(dtype, rows * cols)?;
-        Ok(DeviceMatrix { buf: dev, rows, cols })
+        Ok(DeviceMatrix {
+            buf: dev,
+            rows,
+            cols,
+        })
     }
 
     /// Copies a device-resident matrix back to the host.
@@ -507,12 +662,19 @@ impl Cocopelia {
             return Err(RuntimeError::NotFunctional);
         }
         let len = d.rows * d.cols;
-        let host = self.gpu.register_host(T::into_payload(vec![T::ZERO; len]), true);
+        let host = self
+            .gpu
+            .register_host(T::into_payload(vec![T::ZERO; len]), true);
         let streams = self.ensure_streams();
-        self.gpu.memcpy_d2h_async(streams.d2h, CopyDesc::contiguous(host, d.buf, len))?;
+        self.gpu
+            .memcpy_d2h_async(streams.d2h, CopyDesc::contiguous(host, d.buf, len))?;
         self.gpu.synchronize()?;
         let buf = self.gpu.take_host(host)?;
-        Ok(Matrix::from_vec(d.rows, d.cols, T::payload_into_vec(buf.payload)))
+        Ok(Matrix::from_vec(
+            d.rows,
+            d.cols,
+            T::payload_into_vec(buf.payload),
+        ))
     }
 
     /// Releases a device-resident matrix.
@@ -534,10 +696,14 @@ impl Cocopelia {
         let host = self.gpu.register_host(T::into_payload(v.to_vec()), true);
         let dev = self.gpu.alloc_device(T::DTYPE, v.len())?;
         let streams = self.ensure_streams();
-        self.gpu.memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, v.len()))?;
+        self.gpu
+            .memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, v.len()))?;
         self.gpu.synchronize()?;
         self.gpu.take_host(host)?;
-        Ok(DeviceVector { buf: dev, len: v.len() })
+        Ok(DeviceVector {
+            buf: dev,
+            len: v.len(),
+        })
     }
 
     /// Allocates a device-resident vector without data.
@@ -562,9 +728,12 @@ impl Cocopelia {
         if !self.gpu.is_functional() {
             return Err(RuntimeError::NotFunctional);
         }
-        let host = self.gpu.register_host(T::into_payload(vec![T::ZERO; d.len]), true);
+        let host = self
+            .gpu
+            .register_host(T::into_payload(vec![T::ZERO; d.len]), true);
         let streams = self.ensure_streams();
-        self.gpu.memcpy_d2h_async(streams.d2h, CopyDesc::contiguous(host, d.buf, d.len))?;
+        self.gpu
+            .memcpy_d2h_async(streams.d2h, CopyDesc::contiguous(host, d.buf, d.len))?;
         self.gpu.synchronize()?;
         let buf = self.gpu.take_host(host)?;
         Ok(T::payload_into_vec(buf.payload))

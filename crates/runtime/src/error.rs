@@ -37,7 +37,10 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Model(e) => write!(f, "model error: {e}"),
             RuntimeError::NotFunctional => {
-                write!(f, "no data available: device is running in timing-only mode")
+                write!(
+                    f,
+                    "no data available: device is running in timing-only mode"
+                )
             }
             RuntimeError::Sim(e) => write!(f, "device error: {e}"),
         }
@@ -74,9 +77,13 @@ mod tests {
 
     #[test]
     fn displays_are_nonempty() {
-        let e = RuntimeError::DimensionMismatch { what: "A cols != B rows".into() };
+        let e = RuntimeError::DimensionMismatch {
+            what: "A cols != B rows".into(),
+        };
         assert!(e.to_string().contains("A cols"));
-        let e = RuntimeError::MissingExecTable { routine: "dgemm".into() };
+        let e = RuntimeError::MissingExecTable {
+            routine: "dgemm".into(),
+        };
         assert!(e.to_string().contains("dgemm"));
     }
 

@@ -65,7 +65,10 @@ impl MultiGpu {
         assert!(count > 0, "need at least one device");
         let devices = (0..count)
             .map(|i| {
-                Cocopelia::new(Gpu::new(testbed.clone(), mode, seed.wrapping_add(i as u64)), profile.clone())
+                Cocopelia::new(
+                    Gpu::new(testbed.clone(), mode, seed.wrapping_add(i as u64)),
+                    profile.clone(),
+                )
             })
             .collect();
         MultiGpu { devices }
@@ -174,9 +177,15 @@ impl MultiGpu {
             let out = dev.gemm::<f64>(
                 1.0,
                 MatOperand::HostGhost { rows: m, cols: k },
-                MatOperand::HostGhost { rows: k, cols: blk.len },
+                MatOperand::HostGhost {
+                    rows: k,
+                    cols: blk.len,
+                },
                 1.0,
-                MatOperand::HostGhost { rows: m, cols: blk.len },
+                MatOperand::HostGhost {
+                    rows: m,
+                    cols: blk.len,
+                },
                 choice,
             )?;
             per_device.push(out.report);
@@ -223,7 +232,9 @@ mod tests {
     fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -272,7 +283,9 @@ mod tests {
     fn uneven_split_covers_all_columns() {
         // n = 50 over 3 devices: blocks of 17, 17, 16.
         let mut mg = MultiGpu::new(&quiet(), 3, ExecMode::TimingOnly, 1, dummy_profile());
-        let out = mg.gemm_ghost(64, 50, 64, TileChoice::Fixed(16)).expect("runs");
+        let out = mg
+            .gemm_ghost(64, 50, 64, TileChoice::Fixed(16))
+            .expect("runs");
         assert_eq!(out.per_device.len(), 3);
         let total_sub: usize = out.per_device.iter().map(|r| r.subkernels).sum();
         // 4 row tiles x 4 depth tiles x (2+2+1) col tiles... all columns

@@ -193,6 +193,9 @@ mod tests {
     #[test]
     fn tile_choice_variants() {
         assert_ne!(TileChoice::Auto, TileChoice::Fixed(256));
-        assert_eq!(TileChoice::Model(ModelKind::Bts), TileChoice::Model(ModelKind::Bts));
+        assert_eq!(
+            TileChoice::Model(ModelKind::Bts),
+            TileChoice::Model(ModelKind::Bts)
+        );
     }
 }

@@ -4,7 +4,7 @@
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
 use crate::operand::VecOperand;
-use cocopelia_gpusim::{DevVecRef, Gpu, KernelArgs, KernelShape, SimScalar};
+use cocopelia_gpusim::{DevVecRef, Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar};
 use cocopelia_hostblas::tiling::split;
 
 /// Output of a scheduled axpy.
@@ -12,11 +12,14 @@ use cocopelia_hostblas::tiling::split;
 pub(crate) struct AxpyRun<T> {
     pub y: Option<Vec<T>>,
     pub subkernels: usize,
+    pub tile_hits: u64,
+    pub tile_misses: u64,
 }
 
 pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
+    call: u64,
     alpha: f64,
     x: VecOperand<T>,
     y: VecOperand<T>,
@@ -28,6 +31,14 @@ pub(crate) fn run<T: SimScalar>(
         });
     }
     let n = x.len();
+    let tag = |chunk: usize, operand: Option<OperandRole>, get: bool, set: bool| OpTag {
+        routine: "axpy",
+        call,
+        tile: (chunk, 0),
+        operand,
+        get,
+        set,
+    };
     let store_x = OperandStore::from_vec(gpu, x);
     let store_y = OperandStore::from_vec(gpu, y);
     let one = cocopelia_hostblas::tiling::TileRange { start: 0, len: 1 };
@@ -35,35 +46,55 @@ pub(crate) fn run<T: SimScalar>(
     let mut subkernels = 0usize;
 
     for (i, &t) in split(n, tile).iter().enumerate() {
+        gpu.set_op_tag(tag(i, Some(OperandRole::X), true, false));
         let x_tile = fetcher.tile::<T>(gpu, streams.h2d, 0, store_x, (i, t), (0, one), true)?;
+        gpu.set_op_tag(tag(i, Some(OperandRole::Y), true, false));
         let y_tile = fetcher.tile::<T>(gpu, streams.h2d, 1, store_y, (i, t), (0, one), true)?;
         for ev in [x_tile.ready, y_tile.ready].into_iter().flatten() {
             gpu.wait_event(streams.exec, ev)?;
         }
+        gpu.set_op_tag(tag(i, None, false, false));
         gpu.launch_kernel(
             streams.exec,
-            KernelShape::Axpy { dtype: T::DTYPE, n: t.len },
+            KernelShape::Axpy {
+                dtype: T::DTYPE,
+                n: t.len,
+            },
             Some(KernelArgs::Axpy {
                 alpha,
-                x: DevVecRef { buf: x_tile.mat.buf, offset: x_tile.mat.offset },
-                y: DevVecRef { buf: y_tile.mat.buf, offset: y_tile.mat.offset },
+                x: DevVecRef {
+                    buf: x_tile.mat.buf,
+                    offset: x_tile.mat.offset,
+                },
+                y: DevVecRef {
+                    buf: y_tile.mat.buf,
+                    offset: y_tile.mat.offset,
+                },
             }),
         )?;
         subkernels += 1;
         if store_y.host_id().is_some() {
             let done = gpu.record_event(streams.exec)?;
             gpu.wait_event(streams.d2h, done)?;
+            gpu.set_op_tag(tag(i, Some(OperandRole::Y), false, true));
             fetcher.write_back(gpu, streams.d2h, store_y, y_tile, t, one)?;
         }
     }
+    gpu.clear_op_tag();
 
     gpu.synchronize()?;
+    let (tile_hits, tile_misses) = fetcher.hit_miss();
     fetcher.release(gpu)?;
     let y_data = super::take_host_data::<T>(gpu, store_y)?;
     if let Some(h) = store_x.host_id() {
         gpu.take_host(h)?;
     }
-    Ok(AxpyRun { y: y_data, subkernels })
+    Ok(AxpyRun {
+        y: y_data,
+        subkernels,
+        tile_hits,
+        tile_misses,
+    })
 }
 
 #[cfg(test)]
@@ -74,7 +105,11 @@ mod tests {
     fn quiet_gpu(functional: bool) -> Gpu {
         let mut tb = testbed_i();
         tb.noise = NoiseSpec::NONE;
-        let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         Gpu::new(tb, mode, 1)
     }
 
@@ -90,6 +125,7 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             2.5,
             VecOperand::Host(x),
             VecOperand::Host(y),
@@ -109,14 +145,23 @@ mod tests {
         run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
             VecOperand::HostGhost { len: n },
             VecOperand::HostGhost { len: n },
             1 << 18,
         )
         .expect("runs");
-        assert_eq!(gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d), 2 * n * 8);
-        assert_eq!(gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyD2h), n * 8);
+        assert_eq!(
+            gpu.trace()
+                .bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d),
+            2 * n * 8
+        );
+        assert_eq!(
+            gpu.trace()
+                .bytes_moved(cocopelia_gpusim::EngineKind::CopyD2h),
+            n * 8
+        );
     }
 
     #[test]
@@ -126,6 +171,7 @@ mod tests {
         let err = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
             VecOperand::HostGhost { len: 10 },
             VecOperand::HostGhost { len: 11 },
@@ -142,9 +188,16 @@ mod tests {
         let y = vec![2.0f32; n];
         let mut gpu = quiet_gpu(true);
         let streams = Streams::create(&mut gpu);
-        let run =
-            run::<f32>(&mut gpu, streams, 3.0, VecOperand::Host(x), VecOperand::Host(y), 32)
-                .expect("runs");
+        let run = run::<f32>(
+            &mut gpu,
+            streams,
+            0,
+            3.0,
+            VecOperand::Host(x),
+            VecOperand::Host(y),
+            32,
+        )
+        .expect("runs");
         assert!(run.y.expect("functional").iter().all(|&v| v == 5.0));
     }
 }

@@ -9,7 +9,9 @@
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
 use crate::operand::VecOperand;
-use cocopelia_gpusim::{CopyDesc, DevVecRef, Gpu, KernelArgs, KernelShape, SimScalar};
+use cocopelia_gpusim::{
+    CopyDesc, DevVecRef, Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar,
+};
 use cocopelia_hostblas::tiling::{split, TileRange};
 
 /// Output of a scheduled dot.
@@ -18,11 +20,14 @@ pub(crate) struct DotRun {
     /// The reduction value (functional mode only).
     pub value: Option<f64>,
     pub subkernels: usize,
+    pub tile_hits: u64,
+    pub tile_misses: u64,
 }
 
 pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
+    call: u64,
     x: VecOperand<T>,
     y: VecOperand<T>,
     tile: usize,
@@ -33,6 +38,14 @@ pub(crate) fn run<T: SimScalar>(
         });
     }
     let n = x.len();
+    let tag = |chunk: usize, operand: Option<OperandRole>, get: bool, set: bool| OpTag {
+        routine: "dot",
+        call,
+        tile: (chunk, 0),
+        operand,
+        get,
+        set,
+    };
     let tiles = split(n, tile);
     let num_tiles = tiles.len().max(1);
     let store_x = OperandStore::from_vec(gpu, x);
@@ -46,42 +59,68 @@ pub(crate) fn run<T: SimScalar>(
 
     let mut subkernels = 0usize;
     for (i, &t) in tiles.iter().enumerate() {
+        gpu.set_op_tag(tag(i, Some(OperandRole::X), true, false));
         let x_tile = fetcher.tile::<T>(gpu, streams.h2d, 0, store_x, (i, t), (0, one), true)?;
+        gpu.set_op_tag(tag(i, Some(OperandRole::Y), true, false));
         let y_tile = fetcher.tile::<T>(gpu, streams.h2d, 1, store_y, (i, t), (0, one), true)?;
         for ev in [x_tile.ready, y_tile.ready].into_iter().flatten() {
             gpu.wait_event(streams.exec, ev)?;
         }
+        gpu.set_op_tag(tag(i, None, false, false));
         gpu.launch_kernel(
             streams.exec,
-            KernelShape::Dot { dtype: T::DTYPE, n: t.len },
+            KernelShape::Dot {
+                dtype: T::DTYPE,
+                n: t.len,
+            },
             Some(KernelArgs::Dot {
-                x: DevVecRef { buf: x_tile.mat.buf, offset: x_tile.mat.offset },
-                y: DevVecRef { buf: y_tile.mat.buf, offset: y_tile.mat.offset },
-                out: DevVecRef { buf: partials_dev, offset: i },
+                x: DevVecRef {
+                    buf: x_tile.mat.buf,
+                    offset: x_tile.mat.offset,
+                },
+                y: DevVecRef {
+                    buf: y_tile.mat.buf,
+                    offset: y_tile.mat.offset,
+                },
+                out: DevVecRef {
+                    buf: partials_dev,
+                    offset: i,
+                },
             }),
         )?;
         subkernels += 1;
     }
     let done = gpu.record_event(streams.exec)?;
     gpu.wait_event(streams.d2h, done)?;
+    gpu.set_op_tag(tag(0, Some(OperandRole::Partials), false, true));
     gpu.memcpy_d2h_async(
         streams.d2h,
         CopyDesc::contiguous(partials_host, partials_dev, num_tiles),
     )?;
+    gpu.clear_op_tag();
 
     gpu.synchronize()?;
+    let (tile_hits, tile_misses) = fetcher.hit_miss();
     fetcher.release(gpu)?;
     gpu.free_device(partials_dev)?;
     let partials = gpu.take_host(partials_host)?;
     let value = partials.payload.is_functional().then(|| {
-        T::payload_slice(&partials.payload).iter().map(|v| v.to_f64()).sum::<f64>()
+        T::payload_slice(&partials.payload)
+            .iter()
+            .map(|v| v.to_f64())
+            .sum::<f64>()
     });
     for s in [store_x, store_y] {
         if let Some(h) = s.host_id() {
             gpu.take_host(h)?;
         }
     }
-    Ok(DotRun { value, subkernels })
+    Ok(DotRun {
+        value,
+        subkernels,
+        tile_hits,
+        tile_misses,
+    })
 }
 
 #[cfg(test)]
@@ -92,7 +131,11 @@ mod tests {
     fn quiet_gpu(functional: bool) -> Gpu {
         let mut tb = testbed_i();
         tb.noise = NoiseSpec::NONE;
-        let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         Gpu::new(tb, mode, 1)
     }
 
@@ -105,8 +148,15 @@ mod tests {
 
         let mut gpu = quiet_gpu(true);
         let streams = Streams::create(&mut gpu);
-        let run = run::<f64>(&mut gpu, streams, VecOperand::Host(x), VecOperand::Host(y), 256)
-            .expect("runs");
+        let run = run::<f64>(
+            &mut gpu,
+            streams,
+            0,
+            VecOperand::Host(x),
+            VecOperand::Host(y),
+            256,
+        )
+        .expect("runs");
         assert_eq!(run.subkernels, 4);
         let got = run.value.expect("functional");
         assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
@@ -121,14 +171,23 @@ mod tests {
         run::<f64>(
             &mut gpu,
             streams,
+            0,
             VecOperand::HostGhost { len: n },
             VecOperand::HostGhost { len: n },
             1 << 20,
         )
         .expect("runs");
         // d2h traffic: exactly the 4 partial slots.
-        assert_eq!(gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyD2h), 4 * 8);
-        assert_eq!(gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d), 2 * n * 8);
+        assert_eq!(
+            gpu.trace()
+                .bytes_moved(cocopelia_gpusim::EngineKind::CopyD2h),
+            4 * 8
+        );
+        assert_eq!(
+            gpu.trace()
+                .bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d),
+            2 * n * 8
+        );
     }
 
     #[test]
@@ -140,6 +199,7 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             VecOperand::Host(x.clone()),
             VecOperand::Host(x),
             16,
@@ -156,6 +216,7 @@ mod tests {
             run::<f64>(
                 &mut gpu,
                 streams,
+                0,
                 VecOperand::HostGhost { len: 4 },
                 VecOperand::HostGhost { len: 5 },
                 2

@@ -10,7 +10,7 @@
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
 use crate::operand::MatOperand;
-use cocopelia_gpusim::{Gpu, KernelArgs, KernelShape, SimScalar};
+use cocopelia_gpusim::{Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar};
 use cocopelia_hostblas::tiling::split;
 use cocopelia_hostblas::Matrix;
 
@@ -20,6 +20,8 @@ use cocopelia_hostblas::Matrix;
 pub(crate) struct GemmRun<T> {
     pub c: Option<Matrix<T>>,
     pub subkernels: usize,
+    pub tile_hits: u64,
+    pub tile_misses: u64,
 }
 
 /// Validates dimensions and returns `(m, n, k)`.
@@ -47,6 +49,7 @@ pub(crate) fn check_dims<T: cocopelia_hostblas::Scalar>(
 pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
+    call: u64,
     alpha: f64,
     a: MatOperand<T>,
     b: MatOperand<T>,
@@ -55,6 +58,14 @@ pub(crate) fn run<T: SimScalar>(
     tile: usize,
 ) -> Result<GemmRun<T>, RuntimeError> {
     let (m, n, k) = check_dims(&a, &b, &c)?;
+    let tag = |tile: (usize, usize), operand: Option<OperandRole>, get: bool, set: bool| OpTag {
+        routine: "gemm",
+        call,
+        tile,
+        operand,
+        get,
+        set,
+    };
     let c_rows = m;
     let store_a = OperandStore::from_mat(gpu, a);
     let store_b = OperandStore::from_mat(gpu, b);
@@ -68,11 +79,14 @@ pub(crate) fn run<T: SimScalar>(
 
     for (i, &ri) in row_tiles.iter().enumerate() {
         for (j, &cj) in col_tiles.iter().enumerate() {
+            gpu.set_op_tag(tag((i, j), Some(OperandRole::C), fetch_c, false));
             let c_tile =
                 fetcher.tile::<T>(gpu, streams.h2d, 2, store_c, (i, ri), (j, cj), fetch_c)?;
             for (p, &kp) in depth_tiles.iter().enumerate() {
+                gpu.set_op_tag(tag((i, p), Some(OperandRole::A), true, false));
                 let a_tile =
                     fetcher.tile::<T>(gpu, streams.h2d, 0, store_a, (i, ri), (p, kp), true)?;
+                gpu.set_op_tag(tag((p, j), Some(OperandRole::B), true, false));
                 let b_tile =
                     fetcher.tile::<T>(gpu, streams.h2d, 1, store_b, (p, kp), (j, cj), true)?;
                 for ev in [a_tile.ready, b_tile.ready].into_iter().flatten() {
@@ -84,9 +98,15 @@ pub(crate) fn run<T: SimScalar>(
                     }
                 }
                 let beta_p = if p == 0 { beta } else { 1.0 };
+                gpu.set_op_tag(tag((i, j), None, false, false));
                 gpu.launch_kernel(
                     streams.exec,
-                    KernelShape::Gemm { dtype: T::DTYPE, m: ri.len, n: cj.len, k: kp.len },
+                    KernelShape::Gemm {
+                        dtype: T::DTYPE,
+                        m: ri.len,
+                        n: cj.len,
+                        k: kp.len,
+                    },
                     Some(KernelArgs::Gemm {
                         alpha,
                         beta: beta_p,
@@ -101,12 +121,15 @@ pub(crate) fn run<T: SimScalar>(
             if store_c.host_id().is_some() {
                 let done = gpu.record_event(streams.exec)?;
                 gpu.wait_event(streams.d2h, done)?;
+                gpu.set_op_tag(tag((i, j), Some(OperandRole::C), false, true));
                 fetcher.write_back(gpu, streams.d2h, store_c, c_tile, ri, cj)?;
             }
         }
     }
+    gpu.clear_op_tag();
 
     gpu.synchronize()?;
+    let (tile_hits, tile_misses) = fetcher.hit_miss();
     fetcher.release(gpu)?;
     let c_data = super::take_host_data::<T>(gpu, store_c)?;
     // Release the A/B staging registrations too (drop host copies).
@@ -115,7 +138,12 @@ pub(crate) fn run<T: SimScalar>(
             gpu.take_host(h)?;
         }
     }
-    Ok(GemmRun { c: c_data.map(|v| Matrix::from_vec(c_rows, n, v)), subkernels })
+    Ok(GemmRun {
+        c: c_data.map(|v| Matrix::from_vec(c_rows, n, v)),
+        subkernels,
+        tile_hits,
+        tile_misses,
+    })
 }
 
 #[cfg(test)]
@@ -127,14 +155,20 @@ mod tests {
     fn quiet_gpu(functional: bool) -> Gpu {
         let mut tb = testbed_i();
         tb.noise = NoiseSpec::NONE;
-        let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         Gpu::new(tb, mode, 1)
     }
 
     fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
         let mut state = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -165,6 +199,7 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.5,
             MatOperand::Host(a),
             MatOperand::Host(b),
@@ -196,6 +231,7 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             2.0,
             MatOperand::Host(a),
             MatOperand::Host(b),
@@ -207,7 +243,9 @@ mod tests {
         let got = run.c.expect("functional C");
         assert!(validate::matrices_close(&got, &expect, 1e-10));
         // No h2d bytes for C: A and B are 16x16 each, fetched in 8x8 tiles.
-        let h2d_bytes = gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d);
+        let h2d_bytes = gpu
+            .trace()
+            .bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d);
         assert_eq!(h2d_bytes, 2 * 16 * 16 * 8);
     }
 
@@ -219,6 +257,7 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
             MatOperand::HostGhost { rows: m, cols: k },
             MatOperand::HostGhost { rows: k, cols: n },
@@ -229,10 +268,14 @@ mod tests {
         .expect("runs");
         assert_eq!(run.subkernels, 4 * 4 * 4);
         // h2d volume = exactly one copy of A + B + C.
-        let h2d_bytes = gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d);
+        let h2d_bytes = gpu
+            .trace()
+            .bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d);
         assert_eq!(h2d_bytes, 3 * 64 * 64 * 8);
         // d2h volume = exactly one copy of C.
-        let d2h_bytes = gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyD2h);
+        let d2h_bytes = gpu
+            .trace()
+            .bytes_moved(cocopelia_gpusim::EngineKind::CopyD2h);
         assert_eq!(d2h_bytes, 64 * 64 * 8);
     }
 
@@ -249,7 +292,8 @@ mod tests {
         // Upload A and B manually (whole-matrix resident buffers).
         let mut upload = |m: &Matrix<f64>| {
             let host = gpu.register_host(m.as_slice().to_vec(), true);
-            let dev = gpu.alloc_device(cocopelia_hostblas::Dtype::F64, m.rows() * m.cols())
+            let dev = gpu
+                .alloc_device(cocopelia_hostblas::Dtype::F64, m.rows() * m.cols())
                 .expect("alloc");
             gpu.memcpy_h2d_async(
                 streams.h2d,
@@ -266,15 +310,28 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
-            MatOperand::Device(crate::operand::DeviceMatrix { buf: da, rows: n, cols: n }),
-            MatOperand::Device(crate::operand::DeviceMatrix { buf: db, rows: n, cols: n }),
+            MatOperand::Device(crate::operand::DeviceMatrix {
+                buf: da,
+                rows: n,
+                cols: n,
+            }),
+            MatOperand::Device(crate::operand::DeviceMatrix {
+                buf: db,
+                rows: n,
+                cols: n,
+            }),
             0.0,
             MatOperand::Host(c),
             16,
         )
         .expect("runs");
-        assert_eq!(gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d), 0);
+        assert_eq!(
+            gpu.trace()
+                .bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d),
+            0
+        );
         let got = run.c.expect("functional C");
         assert!(validate::matrices_close(&got, &expect, 1e-10));
     }
@@ -286,6 +343,7 @@ mod tests {
         let err = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
             MatOperand::HostGhost { rows: 4, cols: 5 },
             MatOperand::HostGhost { rows: 6, cols: 4 },
@@ -305,19 +363,40 @@ mod tests {
         run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
             1.0,
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
             512,
         )
         .expect("runs");
         let trace = gpu.trace();
-        let total = trace.entries().iter().map(|e| e.end.as_nanos()).max().expect("entries");
-        let h2d = trace.engine_busy(cocopelia_gpusim::EngineKind::CopyH2d).as_nanos();
-        let exec = trace.engine_busy(cocopelia_gpusim::EngineKind::Compute).as_nanos();
-        let d2h = trace.engine_busy(cocopelia_gpusim::EngineKind::CopyD2h).as_nanos();
+        let total = trace
+            .entries()
+            .iter()
+            .map(|e| e.end.as_nanos())
+            .max()
+            .expect("entries");
+        let h2d = trace
+            .engine_busy(cocopelia_gpusim::EngineKind::CopyH2d)
+            .as_nanos();
+        let exec = trace
+            .engine_busy(cocopelia_gpusim::EngineKind::Compute)
+            .as_nanos();
+        let d2h = trace
+            .engine_busy(cocopelia_gpusim::EngineKind::CopyD2h)
+            .as_nanos();
         assert!(
             h2d + exec + d2h > total + total / 10,
             "busy {h2d}+{exec}+{d2h} vs makespan {total}: no overlap"

@@ -5,7 +5,7 @@
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
 use crate::operand::{MatOperand, VecOperand};
-use cocopelia_gpusim::{DevVecRef, Gpu, KernelArgs, KernelShape, SimScalar};
+use cocopelia_gpusim::{DevVecRef, Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar};
 use cocopelia_hostblas::tiling::{split, TileRange};
 
 /// Output of a scheduled gemv.
@@ -13,11 +13,15 @@ use cocopelia_hostblas::tiling::{split, TileRange};
 pub(crate) struct GemvRun<T> {
     pub y: Option<Vec<T>>,
     pub subkernels: usize,
+    pub tile_hits: u64,
+    pub tile_misses: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
+    call: u64,
     alpha: f64,
     a: MatOperand<T>,
     x: VecOperand<T>,
@@ -26,6 +30,14 @@ pub(crate) fn run<T: SimScalar>(
     tile: usize,
 ) -> Result<GemvRun<T>, RuntimeError> {
     let (m, n) = (a.rows(), a.cols());
+    let tag = |tile: (usize, usize), operand: Option<OperandRole>, get: bool, set: bool| OpTag {
+        routine: "gemv",
+        call,
+        tile,
+        operand,
+        get,
+        set,
+    };
     if x.len() != n || y.len() != m {
         return Err(RuntimeError::DimensionMismatch {
             what: format!(
@@ -46,10 +58,14 @@ pub(crate) fn run<T: SimScalar>(
     let mut subkernels = 0usize;
 
     for (i, &ri) in row_tiles.iter().enumerate() {
+        gpu.set_op_tag(tag((i, 0), Some(OperandRole::Y), fetch_y, false));
         let y_tile = fetcher.tile::<T>(gpu, streams.h2d, 2, store_y, (i, ri), (0, one), fetch_y)?;
         for (j, &cj) in col_tiles.iter().enumerate() {
+            gpu.set_op_tag(tag((i, j), Some(OperandRole::A), true, false));
             let a_tile = fetcher.tile::<T>(gpu, streams.h2d, 0, store_a, (i, ri), (j, cj), true)?;
-            let x_tile = fetcher.tile::<T>(gpu, streams.h2d, 1, store_x, (j, cj), (0, one), true)?;
+            gpu.set_op_tag(tag((j, 0), Some(OperandRole::X), true, false));
+            let x_tile =
+                fetcher.tile::<T>(gpu, streams.h2d, 1, store_x, (j, cj), (0, one), true)?;
             for ev in [a_tile.ready, x_tile.ready].into_iter().flatten() {
                 gpu.wait_event(streams.exec, ev)?;
             }
@@ -59,15 +75,26 @@ pub(crate) fn run<T: SimScalar>(
                 }
             }
             let beta_j = if j == 0 { beta } else { 1.0 };
+            gpu.set_op_tag(tag((i, j), None, false, false));
             gpu.launch_kernel(
                 streams.exec,
-                KernelShape::Gemv { dtype: T::DTYPE, m: ri.len, n: cj.len },
+                KernelShape::Gemv {
+                    dtype: T::DTYPE,
+                    m: ri.len,
+                    n: cj.len,
+                },
                 Some(KernelArgs::Gemv {
                     alpha,
                     beta: beta_j,
                     a: a_tile.mat,
-                    x: DevVecRef { buf: x_tile.mat.buf, offset: x_tile.mat.offset },
-                    y: DevVecRef { buf: y_tile.mat.buf, offset: y_tile.mat.offset },
+                    x: DevVecRef {
+                        buf: x_tile.mat.buf,
+                        offset: x_tile.mat.offset,
+                    },
+                    y: DevVecRef {
+                        buf: y_tile.mat.buf,
+                        offset: y_tile.mat.offset,
+                    },
                 }),
             )?;
             subkernels += 1;
@@ -75,11 +102,14 @@ pub(crate) fn run<T: SimScalar>(
         if store_y.host_id().is_some() {
             let done = gpu.record_event(streams.exec)?;
             gpu.wait_event(streams.d2h, done)?;
+            gpu.set_op_tag(tag((i, 0), Some(OperandRole::Y), false, true));
             fetcher.write_back(gpu, streams.d2h, store_y, y_tile, ri, one)?;
         }
     }
+    gpu.clear_op_tag();
 
     gpu.synchronize()?;
+    let (tile_hits, tile_misses) = fetcher.hit_miss();
     fetcher.release(gpu)?;
     let y_data = super::take_host_data::<T>(gpu, store_y)?;
     for s in [store_a, store_x] {
@@ -87,7 +117,12 @@ pub(crate) fn run<T: SimScalar>(
             gpu.take_host(h)?;
         }
     }
-    Ok(GemvRun { y: y_data, subkernels })
+    Ok(GemvRun {
+        y: y_data,
+        subkernels,
+        tile_hits,
+        tile_misses,
+    })
 }
 
 #[cfg(test)]
@@ -99,7 +134,11 @@ mod tests {
     fn quiet_gpu(functional: bool) -> Gpu {
         let mut tb = testbed_i();
         tb.noise = NoiseSpec::NONE;
-        let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         Gpu::new(tb, mode, 1)
     }
 
@@ -117,6 +156,7 @@ mod tests {
         let run = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.5,
             MatOperand::Host(a),
             VecOperand::Host(x),
@@ -141,6 +181,7 @@ mod tests {
         run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
             MatOperand::HostGhost { rows: m, cols: n },
             VecOperand::HostGhost { len: n },
@@ -150,7 +191,9 @@ mod tests {
         )
         .expect("runs");
         // h2d = A (m*n) + x (n) + y (m); x reused across the 4 row blocks.
-        let h2d = gpu.trace().bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d);
+        let h2d = gpu
+            .trace()
+            .bytes_moved(cocopelia_gpusim::EngineKind::CopyH2d);
         assert_eq!(h2d, (m * n + n + m) * 8);
     }
 
@@ -161,6 +204,7 @@ mod tests {
         let err = run::<f64>(
             &mut gpu,
             streams,
+            0,
             1.0,
             MatOperand::HostGhost { rows: 4, cols: 4 },
             VecOperand::HostGhost { len: 5 },

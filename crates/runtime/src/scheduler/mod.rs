@@ -35,7 +35,11 @@ pub(crate) struct Streams {
 
 impl Streams {
     pub(crate) fn create(gpu: &mut Gpu) -> Streams {
-        Streams { h2d: gpu.create_stream(), exec: gpu.create_stream(), d2h: gpu.create_stream() }
+        Streams {
+            h2d: gpu.create_stream(),
+            exec: gpu.create_stream(),
+            d2h: gpu.create_stream(),
+        }
     }
 }
 
@@ -60,7 +64,10 @@ impl OperandStore {
                 let host = gpu.register_host_ghost(T::DTYPE, rows * cols, true);
                 OperandStore::Host { host, rows }
             }
-            MatOperand::Device(d) => OperandStore::Device { buf: d.buf, rows: d.rows },
+            MatOperand::Device(d) => OperandStore::Device {
+                buf: d.buf,
+                rows: d.rows,
+            },
         }
     }
 
@@ -75,7 +82,10 @@ impl OperandStore {
                 let host = gpu.register_host_ghost(T::DTYPE, len, true);
                 OperandStore::Host { host, rows: len }
             }
-            VecOperand::Device(d) => OperandStore::Device { buf: d.buf, rows: d.len },
+            VecOperand::Device(d) => OperandStore::Device {
+                buf: d.buf,
+                rows: d.len,
+            },
         }
     }
 
@@ -100,6 +110,10 @@ pub(crate) struct TileRef {
 pub(crate) struct TileFetcher {
     cache: HashMap<(u8, usize, usize), TileRef>,
     allocated: Vec<DevBufId>,
+    /// Requests served from the cache (a tile already on the device).
+    hits: u64,
+    /// Requests that allocated and (possibly) fetched a fresh tile.
+    misses: u64,
 }
 
 impl TileFetcher {
@@ -120,13 +134,19 @@ impl TileFetcher {
     ) -> Result<TileRef, RuntimeError> {
         match store {
             OperandStore::Device { buf, rows } => Ok(TileRef {
-                mat: DevMatRef { buf, offset: rr.start + cr.start * rows, ld: rows },
+                mat: DevMatRef {
+                    buf,
+                    offset: rr.start + cr.start * rows,
+                    ld: rows,
+                },
                 ready: None,
             }),
             OperandStore::Host { host, rows } => {
                 if let Some(t) = self.cache.get(&(op_idx, ri, ci)) {
+                    self.hits += 1;
                     return Ok(*t);
                 }
+                self.misses += 1;
                 let buf = gpu.alloc_device(T::DTYPE, rr.len * cr.len)?;
                 self.allocated.push(buf);
                 let ready = if fetch {
@@ -153,7 +173,14 @@ impl TileFetcher {
                 } else {
                     None
                 };
-                let t = TileRef { mat: DevMatRef { buf, offset: 0, ld: rr.len }, ready };
+                let t = TileRef {
+                    mat: DevMatRef {
+                        buf,
+                        offset: 0,
+                        ld: rr.len,
+                    },
+                    ready,
+                };
                 self.cache.insert((op_idx, ri, ci), t);
                 Ok(t)
             }
@@ -171,7 +198,9 @@ impl TileFetcher {
         rr: TileRange,
         cr: TileRange,
     ) -> Result<(), RuntimeError> {
-        let OperandStore::Host { host, rows } = store else { return Ok(()) };
+        let OperandStore::Host { host, rows } = store else {
+            return Ok(());
+        };
         gpu.memcpy_d2h_async(
             d2h,
             CopyDesc {
@@ -201,6 +230,11 @@ impl TileFetcher {
             gpu.free_device(buf)?;
         }
         Ok(())
+    }
+
+    /// `(hits, misses)` of the tile cache so far.
+    pub(crate) fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Number of distinct cached (host-operand) tiles.
@@ -239,7 +273,11 @@ mod tests {
     fn quiet_gpu(functional: bool) -> Gpu {
         let mut tb: TestbedSpec = testbed_i();
         tb.noise = NoiseSpec::NONE;
-        let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         Gpu::new(tb, mode, 1)
     }
 
@@ -255,16 +293,40 @@ mod tests {
         let rows = split(8, 4);
         let cols = split(8, 4);
         let t1 = f
-            .tile::<f64>(&mut gpu, streams.h2d, 0, store, (0, rows[0]), (1, cols[1]), true)
+            .tile::<f64>(
+                &mut gpu,
+                streams.h2d,
+                0,
+                store,
+                (0, rows[0]),
+                (1, cols[1]),
+                true,
+            )
             .expect("tile");
         let t2 = f
-            .tile::<f64>(&mut gpu, streams.h2d, 0, store, (0, rows[0]), (1, cols[1]), true)
+            .tile::<f64>(
+                &mut gpu,
+                streams.h2d,
+                0,
+                store,
+                (0, rows[0]),
+                (1, cols[1]),
+                true,
+            )
             .expect("tile again");
         assert_eq!(t1.mat.buf, t2.mat.buf);
         assert_eq!(f.cached_tiles(), 1);
         // Different tile indices allocate a new buffer.
         let t3 = f
-            .tile::<f64>(&mut gpu, streams.h2d, 0, store, (1, rows[1]), (1, cols[1]), true)
+            .tile::<f64>(
+                &mut gpu,
+                streams.h2d,
+                0,
+                store,
+                (1, rows[1]),
+                (1, cols[1]),
+                true,
+            )
             .expect("other tile");
         assert_ne!(t1.mat.buf, t3.mat.buf);
         assert_eq!(f.cached_tiles(), 2);
@@ -277,12 +339,22 @@ mod tests {
     fn device_store_yields_views_without_alloc() {
         let mut gpu = quiet_gpu(false);
         let streams = Streams::create(&mut gpu);
-        let dev = gpu.alloc_device(cocopelia_hostblas::Dtype::F64, 64).expect("alloc");
+        let dev = gpu
+            .alloc_device(cocopelia_hostblas::Dtype::F64, 64)
+            .expect("alloc");
         let store = OperandStore::Device { buf: dev, rows: 8 };
         let mut f = TileFetcher::default();
         let rows = split(8, 4);
         let t = f
-            .tile::<f64>(&mut gpu, streams.h2d, 0, store, (1, rows[1]), (1, rows[1]), true)
+            .tile::<f64>(
+                &mut gpu,
+                streams.h2d,
+                0,
+                store,
+                (1, rows[1]),
+                (1, rows[1]),
+                true,
+            )
             .expect("view");
         assert_eq!(t.mat.offset, 4 + 4 * 8);
         assert_eq!(t.mat.ld, 8);
@@ -302,13 +374,25 @@ mod tests {
         let cols = split(6, 4);
         // Fetch tile (1,1) — the 2x2 remainder corner — and write it back.
         let t = f
-            .tile::<f64>(&mut gpu, streams.h2d, 0, store, (1, rows[1]), (1, cols[1]), true)
+            .tile::<f64>(
+                &mut gpu,
+                streams.h2d,
+                0,
+                store,
+                (1, rows[1]),
+                (1, cols[1]),
+                true,
+            )
             .expect("tile");
         // Order the write-back after the fetch, as the schedulers do.
-        gpu.wait_event(streams.d2h, t.ready.expect("host fetch has event")).expect("wait");
-        f.write_back(&mut gpu, streams.d2h, store, t, rows[1], cols[1]).expect("wb");
+        gpu.wait_event(streams.d2h, t.ready.expect("host fetch has event"))
+            .expect("wait");
+        f.write_back(&mut gpu, streams.d2h, store, t, rows[1], cols[1])
+            .expect("wb");
         gpu.synchronize().expect("sync");
-        let back = take_host_data::<f64>(&mut gpu, store).expect("data").expect("functional");
+        let back = take_host_data::<f64>(&mut gpu, store)
+            .expect("data")
+            .expect("functional");
         assert_eq!(back, m.as_slice());
     }
 }

@@ -29,7 +29,10 @@ impl Lab {
     pub fn deploy(testbed: TestbedSpec) -> Lab {
         let report = cocopelia_deploy::deploy(&testbed, &DeployConfig::paper())
             .expect("deployment on a simulated testbed cannot fail");
-        Lab { testbed, profile: report.profile }
+        Lab {
+            testbed,
+            profile: report.profile,
+        }
     }
 
     /// Like [`deploy`](Self::deploy) but also returns the Table II fit.
@@ -40,7 +43,13 @@ impl Lab {
     pub fn deploy_with_fit(testbed: TestbedSpec) -> (Lab, cocopelia_deploy::TransferFit) {
         let report = cocopelia_deploy::deploy(&testbed, &DeployConfig::paper())
             .expect("deployment on a simulated testbed cannot fail");
-        (Lab { testbed, profile: report.profile }, report.fit)
+        (
+            Lab {
+                testbed,
+                profile: report.profile,
+            },
+            report.fit,
+        )
     }
 }
 
@@ -87,7 +96,12 @@ impl Lab {
     /// # Errors
     ///
     /// Propagates runtime failures (dimension errors, device OOM).
-    pub fn run_gemm(&self, p: &GemmProblem, lib: GemmLib, seed: u64) -> Result<RunOut, RuntimeError> {
+    pub fn run_gemm(
+        &self,
+        p: &GemmProblem,
+        lib: GemmLib,
+        seed: u64,
+    ) -> Result<RunOut, RuntimeError> {
         match p.dtype {
             Dtype::F64 => self.run_gemm_typed::<f64>(p, lib, seed),
             Dtype::F32 => self.run_gemm_typed::<f32>(p, lib, seed),
@@ -131,10 +145,13 @@ impl Lab {
                 let a = mk(&mut gpu, p.loc_a, p.m, p.k)?;
                 let b = mk(&mut gpu, p.loc_b, p.k, p.n)?;
                 let c = mk(&mut gpu, p.loc_c, p.m, p.n)?;
-                let out = cocopelia_baselines::cublasxt::gemm::<T>(
-                    &mut gpu, 1.0, a, b, 1.0, c, tile,
-                )?;
-                Ok(RunOut { secs: out.elapsed.as_secs_f64(), gflops: out.gflops(), tile })
+                let out =
+                    cocopelia_baselines::cublasxt::gemm::<T>(&mut gpu, 1.0, a, b, 1.0, c, tile)?;
+                Ok(RunOut {
+                    secs: out.elapsed.as_secs_f64(),
+                    gflops: out.gflops(),
+                    tile,
+                })
             }
             GemmLib::Blasx => {
                 let mut blasx = cocopelia_baselines::Blasx::new(gpu);
@@ -143,14 +160,22 @@ impl Lab {
                 let c = mk(blasx.gpu_mut(), p.loc_c, p.m, p.n)?;
                 let tile = blasx.tile();
                 let out = blasx.gemm::<T>(1.0, a, b, 1.0, c)?;
-                Ok(RunOut { secs: out.elapsed.as_secs_f64(), gflops: out.gflops(), tile })
+                Ok(RunOut {
+                    secs: out.elapsed.as_secs_f64(),
+                    gflops: out.gflops(),
+                    tile,
+                })
             }
             GemmLib::Serial => {
                 let a = mk(&mut gpu, p.loc_a, p.m, p.k)?;
                 let b = mk(&mut gpu, p.loc_b, p.k, p.n)?;
                 let c = mk(&mut gpu, p.loc_c, p.m, p.n)?;
                 let out = cocopelia_baselines::serial::gemm::<T>(&mut gpu, 1.0, a, b, 1.0, c)?;
-                Ok(RunOut { secs: out.elapsed.as_secs_f64(), gflops: out.gflops(), tile: 0 })
+                Ok(RunOut {
+                    secs: out.elapsed.as_secs_f64(),
+                    gflops: out.gflops(),
+                    tile: 0,
+                })
             }
         }
     }
@@ -160,7 +185,12 @@ impl Lab {
     /// # Errors
     ///
     /// Propagates runtime failures.
-    pub fn run_daxpy(&self, p: &AxpyProblem, lib: AxpyLib, seed: u64) -> Result<RunOut, RuntimeError> {
+    pub fn run_daxpy(
+        &self,
+        p: &AxpyProblem,
+        lib: AxpyLib,
+        seed: u64,
+    ) -> Result<RunOut, RuntimeError> {
         let mut gpu = Gpu::new(self.testbed.clone(), ExecMode::TimingOnly, seed);
         let mk = |gpu: &mut Gpu,
                   loc: cocopelia_core::params::Loc,
@@ -222,7 +252,12 @@ impl Lab {
             .profile
             .exec_table(spec.routine, spec.dtype)
             .expect("profile contains gemm tables");
-        let ctx = ModelCtx { problem: &spec, transfer: &self.profile.transfer, exec, full_kernel_time };
+        let ctx = ModelCtx {
+            problem: &spec,
+            transfer: &self.profile.transfer,
+            exec,
+            full_kernel_time,
+        };
         predict(model, &ctx, t)
     }
 
@@ -243,21 +278,34 @@ impl Lab {
             .profile
             .exec_table(spec.routine, spec.dtype)
             .expect("profile contains daxpy tables");
-        let ctx = ModelCtx { problem: &spec, transfer: &self.profile.transfer, exec, full_kernel_time };
+        let ctx = ModelCtx {
+            problem: &spec,
+            transfer: &self.profile.transfer,
+            exec,
+            full_kernel_time,
+        };
         predict(model, &ctx, t)
     }
 
     /// Measures the full-problem kernel-only time for `p` — the CSO
     /// comparator's input (§V-C).
     pub fn full_kernel_gemm(&self, p: &GemmProblem, seed: u64) -> f64 {
-        let shape = KernelShape::Gemm { dtype: p.dtype, m: p.m, n: p.n, k: p.k };
+        let shape = KernelShape::Gemm {
+            dtype: p.dtype,
+            m: p.m,
+            n: p.n,
+            k: p.k,
+        };
         measure_full_kernel(&self.testbed, shape, &CiConfig::default(), seed)
             .expect("kernel micro-benchmark cannot fail")
     }
 
     /// Measures the full-problem kernel-only time for a daxpy problem.
     pub fn full_kernel_daxpy(&self, p: &AxpyProblem, seed: u64) -> f64 {
-        let shape = KernelShape::Axpy { dtype: Dtype::F64, n: p.n };
+        let shape = KernelShape::Axpy {
+            dtype: Dtype::F64,
+            n: p.n,
+        };
         measure_full_kernel(&self.testbed, shape, &CiConfig::default(), seed)
             .expect("kernel micro-benchmark cannot fail")
     }
@@ -275,7 +323,10 @@ mod tests {
         tb.noise = NoiseSpec::NONE;
         // A reduced deployment keeps the test fast.
         let report = cocopelia_deploy::deploy(&tb, &DeployConfig::quick()).expect("deploys");
-        Lab { testbed: tb, profile: report.profile }
+        Lab {
+            testbed: tb,
+            profile: report.profile,
+        }
     }
 
     fn small_problem() -> GemmProblem {
@@ -310,9 +361,15 @@ mod tests {
         let lab = quiet_lab();
         let p = small_problem();
         let serial = lab.run_gemm(&p, GemmLib::Serial, 1).expect("serial");
-        let coco =
-            lab.run_gemm(&p, GemmLib::Cocopelia(TileChoice::Fixed(512)), 1).expect("coco");
-        assert!(coco.secs < serial.secs, "coco {} vs serial {}", coco.secs, serial.secs);
+        let coco = lab
+            .run_gemm(&p, GemmLib::Cocopelia(TileChoice::Fixed(512)), 1)
+            .expect("coco");
+        assert!(
+            coco.secs < serial.secs,
+            "coco {} vs serial {}",
+            coco.secs,
+            serial.secs
+        );
     }
 
     #[test]
@@ -320,16 +377,24 @@ mod tests {
         let lab = quiet_lab();
         let p = small_problem();
         let xt = lab.run_gemm(&p, GemmLib::CublasXt(512), 1).expect("xt");
-        let coco =
-            lab.run_gemm(&p, GemmLib::Cocopelia(TileChoice::Fixed(512)), 1).expect("coco");
-        assert!(coco.secs < xt.secs, "coco {} vs cublasxt {}", coco.secs, xt.secs);
+        let coco = lab
+            .run_gemm(&p, GemmLib::Cocopelia(TileChoice::Fixed(512)), 1)
+            .expect("coco");
+        assert!(
+            coco.secs < xt.secs,
+            "coco {} vs cublasxt {}",
+            coco.secs,
+            xt.secs
+        );
     }
 
     #[test]
     fn auto_selection_runs_end_to_end() {
         let lab = quiet_lab();
         let p = small_problem();
-        let out = lab.run_gemm(&p, GemmLib::Cocopelia(TileChoice::Auto), 3).expect("auto");
+        let out = lab
+            .run_gemm(&p, GemmLib::Cocopelia(TileChoice::Auto), 3)
+            .expect("auto");
         assert!(out.tile >= 256);
     }
 

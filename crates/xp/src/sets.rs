@@ -32,7 +32,9 @@ impl GemmProblem {
 
     /// True if every operand starts on the host.
     pub fn full_offload(&self) -> bool {
-        [self.loc_a, self.loc_b, self.loc_c].iter().all(|&l| l == Loc::Host)
+        [self.loc_a, self.loc_b, self.loc_c]
+            .iter()
+            .all(|&l| l == Loc::Host)
     }
 
     /// Compact label like `dgemm 8192x8192x8192 HDH`.
@@ -76,7 +78,12 @@ impl AxpyProblem {
     /// Compact label like `daxpy 64Mi HD`.
     pub fn label(&self) -> String {
         let l = |loc: Loc| if loc == Loc::Host { 'H' } else { 'D' };
-        format!("daxpy {}Mi {}{}", self.n >> 20, l(self.loc_x), l(self.loc_y))
+        format!(
+            "daxpy {}Mi {}{}",
+            self.n >> 20,
+            l(self.loc_x),
+            l(self.loc_y)
+        )
     }
 }
 
@@ -94,7 +101,10 @@ pub enum Scale {
 impl Scale {
     /// Reads `COCOPELIA_FULL` from the environment.
     pub fn from_env() -> Scale {
-        if std::env::var("COCOPELIA_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("COCOPELIA_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale::Full
         } else {
             Scale::Reduced
@@ -120,7 +130,11 @@ pub fn gemm_loc_combos() -> Vec<(Loc, Loc, Loc)> {
 
 /// The three axpy location combinations.
 pub fn axpy_loc_combos() -> Vec<(Loc, Loc)> {
-    vec![(Loc::Host, Loc::Host), (Loc::Host, Loc::Device), (Loc::Device, Loc::Host)]
+    vec![
+        (Loc::Host, Loc::Host),
+        (Loc::Host, Loc::Device),
+        (Loc::Device, Loc::Host),
+    ]
 }
 
 /// §V-B gemm validation set, square problems: sizes `{4,8,12,16}·2^10` ×
@@ -133,7 +147,15 @@ pub fn gemm_validation_square(dtype: Dtype, scale: Scale) -> Vec<GemmProblem> {
     let mut v = Vec::new();
     for &s in sizes {
         for (a, b, c) in gemm_loc_combos() {
-            v.push(GemmProblem { dtype, m: s, n: s, k: s, loc_a: a, loc_b: b, loc_c: c });
+            v.push(GemmProblem {
+                dtype,
+                m: s,
+                n: s,
+                k: s,
+                loc_a: a,
+                loc_b: b,
+                loc_c: c,
+            });
         }
     }
     v
@@ -155,9 +177,8 @@ pub fn gemm_validation_shapes(dtype: Dtype, scale: Scale) -> Vec<GemmProblem> {
     let round = |x: f64| ((x / 256.0).round().max(1.0) as usize) * 256;
     // Reject problems whose full-reuse device footprint exceeds Testbed I's
     // 12 GB ("all selected problem sizes can fit in the device memory").
-    let fits = |m: usize, n: usize, k: usize| {
-        (m * k + k * n + m * n) * dtype.width() < 11 * (1 << 30)
-    };
+    let fits =
+        |m: usize, n: usize, k: usize| (m * k + k * n + m * n) * dtype.width() < 11 * (1 << 30);
     let mut v = Vec::new();
     for &vol in volumes {
         for r in [3usize, 4, 5] {
@@ -205,7 +226,11 @@ pub fn daxpy_validation(scale: Scale) -> Vec<AxpyProblem> {
     let mut v = Vec::new();
     for &n in sizes {
         for (x, y) in axpy_loc_combos() {
-            v.push(AxpyProblem { n, loc_x: x, loc_y: y });
+            v.push(AxpyProblem {
+                n,
+                loc_x: x,
+                loc_y: y,
+            });
         }
     }
     v
@@ -221,7 +246,15 @@ pub fn gemm_eval_set(dtype: Dtype, scale: Scale) -> Vec<GemmProblem> {
     let mut v = Vec::new();
     for &s in &sizes {
         for (a, b, c) in gemm_loc_combos() {
-            v.push(GemmProblem { dtype, m: s, n: s, k: s, loc_a: a, loc_b: b, loc_c: c });
+            v.push(GemmProblem {
+                dtype,
+                m: s,
+                n: s,
+                k: s,
+                loc_a: a,
+                loc_b: b,
+                loc_c: c,
+            });
         }
     }
     v.extend(gemm_validation_shapes(dtype, scale));
@@ -237,7 +270,11 @@ pub fn daxpy_eval_set(scale: Scale) -> Vec<AxpyProblem> {
     let mut v = Vec::new();
     for &n in &sizes {
         for (x, y) in axpy_loc_combos() {
-            v.push(AxpyProblem { n, loc_x: x, loc_y: y });
+            v.push(AxpyProblem {
+                n,
+                loc_x: x,
+                loc_y: y,
+            });
         }
     }
     v
@@ -251,7 +288,10 @@ pub fn gemm_tile_grid(min_dim: usize, scale: Scale) -> Vec<usize> {
         Scale::Reduced => 512,
     };
     let cap = (min_dim as f64 / 1.5) as usize;
-    (1..=64).map(|i| i * step).filter(|&t| t <= cap && t <= 16384).collect()
+    (1..=64)
+        .map(|i| i * step)
+        .filter(|&t| t <= cap && t <= 16384)
+        .collect()
 }
 
 /// Tiling grid for daxpy sweeps: multiples of `2^21` elements.

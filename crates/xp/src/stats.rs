@@ -7,7 +7,10 @@
 ///
 /// Panics if `measured` is not strictly positive.
 pub fn rel_err_pct(predicted: f64, measured: f64) -> f64 {
-    assert!(measured > 0.0, "measured time must be positive, got {measured}");
+    assert!(
+        measured > 0.0,
+        "measured time must be positive, got {measured}"
+    );
     100.0 * (predicted - measured) / measured
 }
 
@@ -51,7 +54,10 @@ impl ViolinSummary {
     /// Panics on an empty sample or non-finite values.
     pub fn of(samples: &[f64]) -> ViolinSummary {
         assert!(!samples.is_empty(), "cannot summarise an empty sample");
-        assert!(samples.iter().all(|v| v.is_finite()), "samples must be finite");
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "samples must be finite"
+        );
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         ViolinSummary {

@@ -13,7 +13,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -70,7 +73,11 @@ impl TextTable {
 /// Renders a labelled horizontal bar chart (one row per label), scaled to
 /// `width` characters at the maximum value.
 pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
-    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max).max(1e-30);
+    let max = items
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-30);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, v) in items {

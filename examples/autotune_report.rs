@@ -26,10 +26,19 @@ fn main() {
     println!("deploying on {} ...", testbed_ii().name);
     let lab = Lab::deploy(testbed_ii());
     let full_kernel = lab.full_kernel_gemm(&p, 3);
-    println!("\n{} — measured vs predicted offload time per tiling size:\n", p.label());
+    println!(
+        "\n{} — measured vs predicted offload time per tiling size:\n",
+        p.label()
+    );
 
     let mut table = TextTable::new(vec![
-        "T", "measured (ms)", "CSO (ms)", "Eq.1 (ms)", "Eq.2 (ms)", "Eq.4 BTS (ms)", "Eq.5 DR (ms)",
+        "T",
+        "measured (ms)",
+        "CSO (ms)",
+        "Eq.1 (ms)",
+        "Eq.2 (ms)",
+        "Eq.4 BTS (ms)",
+        "Eq.5 DR (ms)",
     ]);
     let tiles: Vec<usize> = (1..=10).map(|i| i * 512).collect();
     let mut best = (0usize, f64::INFINITY);
@@ -51,8 +60,14 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let auto = lab.run_gemm(&p, GemmLib::Cocopelia(TileChoice::Auto), 13).expect("auto run");
-    println!("measured optimum : T = {} at {:.1} ms", best.0, best.1 * 1e3);
+    let auto = lab
+        .run_gemm(&p, GemmLib::Cocopelia(TileChoice::Auto), 13)
+        .expect("auto run");
+    println!(
+        "measured optimum : T = {} at {:.1} ms",
+        best.0,
+        best.1 * 1e3
+    );
     println!(
         "CoCoPeLia picked : T = {} at {:.1} ms ({:.1}% of optimal throughput)",
         auto.tile,

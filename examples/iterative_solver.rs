@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "iter {iter} (A resident):     T = {:<5} {:.1} GFLOP/s{}",
             out.report.tile,
             out.report.gflops(),
-            if iter == 1 { "   <- model re-selected for the new locations" } else { "" }
+            if iter == 1 {
+                "   <- model re-selected for the new locations"
+            } else {
+                ""
+            }
         );
     }
     // Model reuse (§IV-C): the resident-A problem was selected once and

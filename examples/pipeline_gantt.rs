@@ -2,13 +2,17 @@
 //! render each engine's occupancy as an ASCII Gantt chart — the anatomy of
 //! the paper's Figure 2, straight from the simulator's execution trace.
 //!
+//! The rendering itself lives in `cocopelia_obs::gantt` (shared with the
+//! CLI); this example is a thin driver around it.
+//!
 //! ```text
 //! cargo run --release --example pipeline_gantt
 //! ```
 
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
-use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, Gpu, NoiseSpec};
+use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, NoiseSpec};
+use cocopelia_obs::gantt;
 use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,23 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TileChoice::Fixed(t),
     )?;
 
-    let trace = ctx.gpu().trace();
-    println!("{}", trace.gantt(100));
-    let makespan = out.report.elapsed.as_secs_f64();
-    for engine in [EngineKind::CopyH2d, EngineKind::Compute, EngineKind::CopyD2h] {
-        let busy = trace.engine_busy(engine).as_secs_f64();
-        println!(
-            "{:>4}: busy {:6.1} ms ({:4.1}% of makespan), {:7.1} MB moved",
-            engine.name(),
-            busy * 1e3,
-            100.0 * busy / makespan,
-            trace.bytes_moved(engine) as f64 / 1e6
-        );
-    }
+    let entries = ctx.gpu().trace().entries();
+    println!("{}", gantt::render(entries, 100));
+    print!("{}", gantt::engine_summary(entries));
     println!(
         "\nmakespan {:.1} ms over {} sub-kernels — the h2d fill at the left edge and\n\
          the d2h drain at the right edge are the pipeline's only serial parts.",
-        makespan * 1e3,
+        out.report.elapsed.as_secs_f64() * 1e3,
         out.report.subkernels
     );
     Ok(())

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  model          : {}", sel.prediction.model);
     println!("  selected tile  : T = {}", out.report.tile);
     println!("  predicted time : {:.3} ms", sel.prediction.total * 1e3);
-    println!("  simulated time : {:.3} ms", out.report.elapsed.as_secs_f64() * 1e3);
+    println!(
+        "  simulated time : {:.3} ms",
+        out.report.elapsed.as_secs_f64() * 1e3
+    );
     println!("  throughput     : {:.1} GFLOP/s", out.report.gflops());
     println!("  sub-kernels    : {}", out.report.subkernels);
 

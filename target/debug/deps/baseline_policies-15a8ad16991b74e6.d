@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_policies-15a8ad16991b74e6.d: crates/xp/../../tests/baseline_policies.rs
+
+/root/repo/target/debug/deps/baseline_policies-15a8ad16991b74e6: crates/xp/../../tests/baseline_policies.rs
+
+crates/xp/../../tests/baseline_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_policies-2b195e70529188fb.d: crates/xp/../../tests/baseline_policies.rs
+
+/root/repo/target/debug/deps/baseline_policies-2b195e70529188fb: crates/xp/../../tests/baseline_policies.rs
+
+crates/xp/../../tests/baseline_policies.rs:

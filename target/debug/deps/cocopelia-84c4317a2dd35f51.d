@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia-84c4317a2dd35f51.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cocopelia-84c4317a2dd35f51: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

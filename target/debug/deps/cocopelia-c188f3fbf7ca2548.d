@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia-c188f3fbf7ca2548.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cocopelia-c188f3fbf7ca2548: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia-fdf739a303011b48.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cocopelia-fdf739a303011b48: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

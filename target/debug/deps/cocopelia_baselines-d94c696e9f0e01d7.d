@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_baselines-d94c696e9f0e01d7.d: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+/root/repo/target/debug/deps/cocopelia_baselines-d94c696e9f0e01d7: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cublasxt.rs:
+crates/baselines/src/serial.rs:
+crates/baselines/src/unified.rs:
+crates/baselines/src/blasx.rs:

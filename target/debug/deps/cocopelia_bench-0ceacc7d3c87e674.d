@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_bench-0ceacc7d3c87e674.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_bench-0ceacc7d3c87e674.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cocopelia_bench-848b19ddb867a536.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcocopelia_bench-848b19ddb867a536.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcocopelia_bench-848b19ddb867a536.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

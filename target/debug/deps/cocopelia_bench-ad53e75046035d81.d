@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cocopelia_bench-ad53e75046035d81.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcocopelia_bench-ad53e75046035d81.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcocopelia_bench-ad53e75046035d81.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia_bench-ddf3c283ac46c03b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cocopelia_bench-ddf3c283ac46c03b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia_bench-f7ec06857c577f09.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cocopelia_bench-f7ec06857c577f09: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

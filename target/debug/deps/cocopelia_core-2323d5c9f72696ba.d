@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cocopelia_core-2323d5c9f72696ba.d: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+/root/repo/target/debug/deps/libcocopelia_core-2323d5c9f72696ba.rlib: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+/root/repo/target/debug/deps/libcocopelia_core-2323d5c9f72696ba.rmeta: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec_table.rs:
+crates/core/src/models/mod.rs:
+crates/core/src/models/baseline.rs:
+crates/core/src/models/bts.rs:
+crates/core/src/models/cso.rs:
+crates/core/src/models/dataloc.rs:
+crates/core/src/models/reuse.rs:
+crates/core/src/params.rs:
+crates/core/src/profile.rs:
+crates/core/src/select.rs:
+crates/core/src/transfer.rs:

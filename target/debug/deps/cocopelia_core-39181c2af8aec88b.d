@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cocopelia_core-39181c2af8aec88b.d: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_core-39181c2af8aec88b.rmeta: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/exec_table.rs:
+crates/core/src/models/mod.rs:
+crates/core/src/models/baseline.rs:
+crates/core/src/models/bts.rs:
+crates/core/src/models/cso.rs:
+crates/core/src/models/dataloc.rs:
+crates/core/src/models/reuse.rs:
+crates/core/src/params.rs:
+crates/core/src/profile.rs:
+crates/core/src/select.rs:
+crates/core/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cocopelia_core-b1fbcd2fcbfbef30.d: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+/root/repo/target/debug/deps/cocopelia_core-b1fbcd2fcbfbef30: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec_table.rs:
+crates/core/src/models/mod.rs:
+crates/core/src/models/baseline.rs:
+crates/core/src/models/bts.rs:
+crates/core/src/models/cso.rs:
+crates/core/src/models/dataloc.rs:
+crates/core/src/models/reuse.rs:
+crates/core/src/params.rs:
+crates/core/src/profile.rs:
+crates/core/src/select.rs:
+crates/core/src/transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_deploy-4e0ce25bc55b53d6.d: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+/root/repo/target/debug/deps/cocopelia_deploy-4e0ce25bc55b53d6: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/exec_bench.rs:
+crates/deploy/src/microbench.rs:
+crates/deploy/src/stats.rs:
+crates/deploy/src/deploy.rs:

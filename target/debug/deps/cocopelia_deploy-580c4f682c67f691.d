@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cocopelia_deploy-580c4f682c67f691.d: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+/root/repo/target/debug/deps/libcocopelia_deploy-580c4f682c67f691.rlib: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+/root/repo/target/debug/deps/libcocopelia_deploy-580c4f682c67f691.rmeta: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/exec_bench.rs:
+crates/deploy/src/microbench.rs:
+crates/deploy/src/stats.rs:
+crates/deploy/src/deploy.rs:

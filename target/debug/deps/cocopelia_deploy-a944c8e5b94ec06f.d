@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cocopelia_deploy-a944c8e5b94ec06f.d: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_deploy-a944c8e5b94ec06f.rmeta: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs Cargo.toml
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/exec_bench.rs:
+crates/deploy/src/microbench.rs:
+crates/deploy/src/stats.rs:
+crates/deploy/src/deploy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cocopelia_gpusim-536ceb4a594de627.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_gpusim-536ceb4a594de627.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/funcexec.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/op.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/time.rs:
+crates/gpusim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

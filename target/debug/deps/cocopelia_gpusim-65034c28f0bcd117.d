@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cocopelia_gpusim-65034c28f0bcd117.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/debug/deps/cocopelia_gpusim-65034c28f0bcd117: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/funcexec.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/op.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/time.rs:
+crates/gpusim/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cocopelia_hostblas-0e24bc280d20839b.d: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_hostblas-0e24bc280d20839b.rmeta: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs Cargo.toml
+
+crates/hostblas/src/lib.rs:
+crates/hostblas/src/dtype.rs:
+crates/hostblas/src/level1.rs:
+crates/hostblas/src/level2.rs:
+crates/hostblas/src/level3.rs:
+crates/hostblas/src/matrix.rs:
+crates/hostblas/src/scalar.rs:
+crates/hostblas/src/tiling.rs:
+crates/hostblas/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cocopelia_hostblas-bc829fe04d34e3e3.d: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs
+
+/root/repo/target/debug/deps/libcocopelia_hostblas-bc829fe04d34e3e3.rlib: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs
+
+/root/repo/target/debug/deps/libcocopelia_hostblas-bc829fe04d34e3e3.rmeta: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs
+
+crates/hostblas/src/lib.rs:
+crates/hostblas/src/dtype.rs:
+crates/hostblas/src/level1.rs:
+crates/hostblas/src/level2.rs:
+crates/hostblas/src/level3.rs:
+crates/hostblas/src/matrix.rs:
+crates/hostblas/src/scalar.rs:
+crates/hostblas/src/tiling.rs:
+crates/hostblas/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cocopelia_obs-1073d5a012edd2a9.d: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_obs-1073d5a012edd2a9.rmeta: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

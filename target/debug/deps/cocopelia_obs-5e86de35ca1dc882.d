@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cocopelia_obs-5e86de35ca1dc882.d: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+/root/repo/target/debug/deps/cocopelia_obs-5e86de35ca1dc882: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:

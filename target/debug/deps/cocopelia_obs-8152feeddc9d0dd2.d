@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cocopelia_obs-8152feeddc9d0dd2.d: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+/root/repo/target/debug/deps/libcocopelia_obs-8152feeddc9d0dd2.rlib: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+/root/repo/target/debug/deps/libcocopelia_obs-8152feeddc9d0dd2.rmeta: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cocopelia_xp-14d21209cbc20d86.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/libcocopelia_xp-14d21209cbc20d86.rlib: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/libcocopelia_xp-14d21209cbc20d86.rmeta: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cocopelia_xp-436e27a40a22483c.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/libcocopelia_xp-436e27a40a22483c.rlib: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/libcocopelia_xp-436e27a40a22483c.rmeta: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

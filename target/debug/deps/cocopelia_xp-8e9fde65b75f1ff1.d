@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_xp-8e9fde65b75f1ff1.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/cocopelia_xp-8e9fde65b75f1ff1: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

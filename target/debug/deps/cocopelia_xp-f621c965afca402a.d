@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_xp-f621c965afca402a.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/cocopelia_xp-f621c965afca402a: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bdc152155b1194d7.d: crates/xp/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bdc152155b1194d7: crates/xp/../../tests/end_to_end.rs
+
+crates/xp/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reuse_anatomy-21aec3e4d4496a49.d: crates/bench/benches/fig2_reuse_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reuse_anatomy-21aec3e4d4496a49.rmeta: crates/bench/benches/fig2_reuse_anatomy.rs Cargo.toml
+
+crates/bench/benches/fig2_reuse_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_model_error_noreuse-9d8804a56df8ce3f.d: crates/bench/benches/fig4_model_error_noreuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_model_error_noreuse-9d8804a56df8ce3f.rmeta: crates/bench/benches/fig4_model_error_noreuse.rs Cargo.toml
+
+crates/bench/benches/fig4_model_error_noreuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

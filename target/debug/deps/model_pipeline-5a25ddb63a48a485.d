@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_pipeline-5a25ddb63a48a485.d: crates/xp/../../tests/model_pipeline.rs
+
+/root/repo/target/debug/deps/model_pipeline-5a25ddb63a48a485: crates/xp/../../tests/model_pipeline.rs
+
+crates/xp/../../tests/model_pipeline.rs:

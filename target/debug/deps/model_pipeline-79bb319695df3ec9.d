@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_pipeline-79bb319695df3ec9.d: crates/xp/../../tests/model_pipeline.rs
+
+/root/repo/target/debug/deps/model_pipeline-79bb319695df3ec9: crates/xp/../../tests/model_pipeline.rs
+
+crates/xp/../../tests/model_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-0364961e93c3e3ea.d: crates/core/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-0364961e93c3e3ea: crates/core/tests/model_properties.rs
+
+crates/core/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numerical_correctness-6013099b71286104.d: crates/xp/../../tests/numerical_correctness.rs
+
+/root/repo/target/debug/deps/numerical_correctness-6013099b71286104: crates/xp/../../tests/numerical_correctness.rs
+
+crates/xp/../../tests/numerical_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numerical_correctness-dc2d4aaa777486c5.d: crates/xp/../../tests/numerical_correctness.rs
+
+/root/repo/target/debug/deps/numerical_correctness-dc2d4aaa777486c5: crates/xp/../../tests/numerical_correctness.rs
+
+crates/xp/../../tests/numerical_correctness.rs:

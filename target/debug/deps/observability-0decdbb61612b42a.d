@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-0decdbb61612b42a.d: crates/xp/../../tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-0decdbb61612b42a.rmeta: crates/xp/../../tests/observability.rs Cargo.toml
+
+crates/xp/../../tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

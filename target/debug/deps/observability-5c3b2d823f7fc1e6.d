@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-5c3b2d823f7fc1e6.d: crates/xp/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-5c3b2d823f7fc1e6: crates/xp/../../tests/observability.rs
+
+crates/xp/../../tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_roundtrip-744f232be1a3e128.d: crates/xp/../../tests/profile_roundtrip.rs
+
+/root/repo/target/debug/deps/profile_roundtrip-744f232be1a3e128: crates/xp/../../tests/profile_roundtrip.rs
+
+crates/xp/../../tests/profile_roundtrip.rs:

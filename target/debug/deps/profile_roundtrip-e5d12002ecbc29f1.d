@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_roundtrip-e5d12002ecbc29f1.d: crates/xp/../../tests/profile_roundtrip.rs
+
+/root/repo/target/debug/deps/profile_roundtrip-e5d12002ecbc29f1: crates/xp/../../tests/profile_roundtrip.rs
+
+crates/xp/../../tests/profile_roundtrip.rs:

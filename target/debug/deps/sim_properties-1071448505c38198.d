@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-1071448505c38198.d: crates/gpusim/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-1071448505c38198: crates/gpusim/tests/sim_properties.rs
+
+crates/gpusim/tests/sim_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_properties-db9618b589819e03.d: crates/gpusim/tests/sim_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_properties-db9618b589819e03.rmeta: crates/gpusim/tests/sim_properties.rs Cargo.toml
+
+crates/gpusim/tests/sim_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-fb9a13d218d1a25c.d: crates/gpusim/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-fb9a13d218d1a25c: crates/gpusim/tests/sim_properties.rs
+
+crates/gpusim/tests/sim_properties.rs:

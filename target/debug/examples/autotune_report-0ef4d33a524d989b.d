@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_report-0ef4d33a524d989b.d: crates/xp/../../examples/autotune_report.rs
+
+/root/repo/target/debug/examples/autotune_report-0ef4d33a524d989b: crates/xp/../../examples/autotune_report.rs
+
+crates/xp/../../examples/autotune_report.rs:

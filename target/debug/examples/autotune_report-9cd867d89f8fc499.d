@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_report-9cd867d89f8fc499.d: crates/xp/../../examples/autotune_report.rs
+
+/root/repo/target/debug/examples/autotune_report-9cd867d89f8fc499: crates/xp/../../examples/autotune_report.rs
+
+crates/xp/../../examples/autotune_report.rs:

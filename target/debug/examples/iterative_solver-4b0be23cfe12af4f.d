@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iterative_solver-4b0be23cfe12af4f.d: crates/xp/../../examples/iterative_solver.rs
+
+/root/repo/target/debug/examples/iterative_solver-4b0be23cfe12af4f: crates/xp/../../examples/iterative_solver.rs
+
+crates/xp/../../examples/iterative_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iterative_solver-936c8f84cf8dfce5.d: crates/xp/../../examples/iterative_solver.rs
+
+/root/repo/target/debug/examples/iterative_solver-936c8f84cf8dfce5: crates/xp/../../examples/iterative_solver.rs
+
+crates/xp/../../examples/iterative_solver.rs:

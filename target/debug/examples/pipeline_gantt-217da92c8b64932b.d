@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_gantt-217da92c8b64932b.d: crates/xp/../../examples/pipeline_gantt.rs
+
+/root/repo/target/debug/examples/pipeline_gantt-217da92c8b64932b: crates/xp/../../examples/pipeline_gantt.rs
+
+crates/xp/../../examples/pipeline_gantt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_gantt-727b6b1949c3c27c.d: crates/xp/../../examples/pipeline_gantt.rs
+
+/root/repo/target/debug/examples/pipeline_gantt-727b6b1949c3c27c: crates/xp/../../examples/pipeline_gantt.rs
+
+crates/xp/../../examples/pipeline_gantt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_gantt-d649876da76253d6.d: crates/xp/../../examples/pipeline_gantt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_gantt-d649876da76253d6.rmeta: crates/xp/../../examples/pipeline_gantt.rs Cargo.toml
+
+crates/xp/../../examples/pipeline_gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

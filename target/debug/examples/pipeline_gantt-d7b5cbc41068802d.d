@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_gantt-d7b5cbc41068802d.d: crates/xp/../../examples/pipeline_gantt.rs
+
+/root/repo/target/debug/examples/pipeline_gantt-d7b5cbc41068802d: crates/xp/../../examples/pipeline_gantt.rs
+
+crates/xp/../../examples/pipeline_gantt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-225e2c0560cc724d.d: crates/xp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-225e2c0560cc724d: crates/xp/../../examples/quickstart.rs
+
+crates/xp/../../examples/quickstart.rs:

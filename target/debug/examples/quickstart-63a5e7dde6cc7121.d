@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-63a5e7dde6cc7121.d: crates/xp/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-63a5e7dde6cc7121.rmeta: crates/xp/../../examples/quickstart.rs Cargo.toml
+
+crates/xp/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bd59b1234989176d.d: crates/xp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bd59b1234989176d: crates/xp/../../examples/quickstart.rs
+
+crates/xp/../../examples/quickstart.rs:

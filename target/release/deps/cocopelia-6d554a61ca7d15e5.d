@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cocopelia-6d554a61ca7d15e5.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/cocopelia-6d554a61ca7d15e5: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cocopelia-8a082fcbf6cdffc9.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/cocopelia-8a082fcbf6cdffc9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cocopelia_bench-257589942d0955c4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcocopelia_bench-257589942d0955c4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcocopelia_bench-257589942d0955c4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cocopelia_bench-25902c330357f34f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcocopelia_bench-25902c330357f34f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcocopelia_bench-25902c330357f34f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cocopelia_core-4e29560b4dec75d0.d: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+/root/repo/target/release/deps/libcocopelia_core-4e29560b4dec75d0.rlib: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+/root/repo/target/release/deps/libcocopelia_core-4e29560b4dec75d0.rmeta: crates/core/src/lib.rs crates/core/src/exec_table.rs crates/core/src/models/mod.rs crates/core/src/models/baseline.rs crates/core/src/models/bts.rs crates/core/src/models/cso.rs crates/core/src/models/dataloc.rs crates/core/src/models/reuse.rs crates/core/src/params.rs crates/core/src/profile.rs crates/core/src/select.rs crates/core/src/transfer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec_table.rs:
+crates/core/src/models/mod.rs:
+crates/core/src/models/baseline.rs:
+crates/core/src/models/bts.rs:
+crates/core/src/models/cso.rs:
+crates/core/src/models/dataloc.rs:
+crates/core/src/models/reuse.rs:
+crates/core/src/params.rs:
+crates/core/src/profile.rs:
+crates/core/src/select.rs:
+crates/core/src/transfer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cocopelia_deploy-494269b071654697.d: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+/root/repo/target/release/deps/libcocopelia_deploy-494269b071654697.rlib: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+/root/repo/target/release/deps/libcocopelia_deploy-494269b071654697.rmeta: crates/deploy/src/lib.rs crates/deploy/src/exec_bench.rs crates/deploy/src/microbench.rs crates/deploy/src/stats.rs crates/deploy/src/deploy.rs
+
+crates/deploy/src/lib.rs:
+crates/deploy/src/exec_bench.rs:
+crates/deploy/src/microbench.rs:
+crates/deploy/src/stats.rs:
+crates/deploy/src/deploy.rs:

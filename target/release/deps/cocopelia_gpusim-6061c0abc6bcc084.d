@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cocopelia_gpusim-6061c0abc6bcc084.d: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/release/deps/libcocopelia_gpusim-6061c0abc6bcc084.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/release/deps/libcocopelia_gpusim-6061c0abc6bcc084.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/engine.rs crates/gpusim/src/funcexec.rs crates/gpusim/src/gpu.rs crates/gpusim/src/error.rs crates/gpusim/src/kernel.rs crates/gpusim/src/memory.rs crates/gpusim/src/op.rs crates/gpusim/src/spec.rs crates/gpusim/src/time.rs crates/gpusim/src/trace.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/funcexec.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/error.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/op.rs:
+crates/gpusim/src/spec.rs:
+crates/gpusim/src/time.rs:
+crates/gpusim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cocopelia_hostblas-9471df57567f650f.d: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs
+
+/root/repo/target/release/deps/libcocopelia_hostblas-9471df57567f650f.rlib: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs
+
+/root/repo/target/release/deps/libcocopelia_hostblas-9471df57567f650f.rmeta: crates/hostblas/src/lib.rs crates/hostblas/src/dtype.rs crates/hostblas/src/level1.rs crates/hostblas/src/level2.rs crates/hostblas/src/level3.rs crates/hostblas/src/matrix.rs crates/hostblas/src/scalar.rs crates/hostblas/src/tiling.rs crates/hostblas/src/validate.rs
+
+crates/hostblas/src/lib.rs:
+crates/hostblas/src/dtype.rs:
+crates/hostblas/src/level1.rs:
+crates/hostblas/src/level2.rs:
+crates/hostblas/src/level3.rs:
+crates/hostblas/src/matrix.rs:
+crates/hostblas/src/scalar.rs:
+crates/hostblas/src/tiling.rs:
+crates/hostblas/src/validate.rs:

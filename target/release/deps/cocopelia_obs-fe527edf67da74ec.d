@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cocopelia_obs-fe527edf67da74ec.d: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+/root/repo/target/release/deps/libcocopelia_obs-fe527edf67da74ec.rlib: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+/root/repo/target/release/deps/libcocopelia_obs-fe527edf67da74ec.rmeta: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cocopelia_runtime-f783e2e82e74068a.d: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/release/deps/libcocopelia_runtime-f783e2e82e74068a.rlib: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/release/deps/libcocopelia_runtime-f783e2e82e74068a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/ctx.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/operand.rs:
+crates/runtime/src/scheduler/mod.rs:
+crates/runtime/src/scheduler/axpy.rs:
+crates/runtime/src/scheduler/dot.rs:
+crates/runtime/src/scheduler/gemm.rs:
+crates/runtime/src/scheduler/gemv.rs:
+crates/runtime/src/multigpu.rs:

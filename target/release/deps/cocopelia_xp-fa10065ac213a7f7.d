@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cocopelia_xp-fa10065ac213a7f7.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/release/deps/libcocopelia_xp-fa10065ac213a7f7.rlib: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/release/deps/libcocopelia_xp-fa10065ac213a7f7.rmeta: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

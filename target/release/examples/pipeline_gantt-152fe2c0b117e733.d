@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipeline_gantt-152fe2c0b117e733.d: crates/xp/../../examples/pipeline_gantt.rs
+
+/root/repo/target/release/examples/pipeline_gantt-152fe2c0b117e733: crates/xp/../../examples/pipeline_gantt.rs
+
+crates/xp/../../examples/pipeline_gantt.rs:

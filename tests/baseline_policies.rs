@@ -34,18 +34,30 @@ fn transfer_volumes_match_policy_definitions() {
     let tile_bytes = t * t * 8;
 
     // CoCoPeLia / BLASX (full reuse): each matrix moves exactly once.
-    let mut ctx =
-        Cocopelia::new(Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1), dummy_profile());
-    ctx.dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(t)).expect("runs");
-    assert_eq!(ctx.gpu().trace().bytes_moved(EngineKind::CopyH2d), 3 * n * n * 8);
-    assert_eq!(ctx.gpu().trace().bytes_moved(EngineKind::CopyD2h), n * n * 8);
+    let mut ctx = Cocopelia::new(
+        Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1),
+        dummy_profile(),
+    );
+    ctx.dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(t))
+        .expect("runs");
+    assert_eq!(
+        ctx.gpu().trace().bytes_moved(EngineKind::CopyH2d),
+        3 * n * n * 8
+    );
+    assert_eq!(
+        ctx.gpu().trace().bytes_moved(EngineKind::CopyD2h),
+        n * n * 8
+    );
 
     // cuBLASXt (no reuse): 3 tiles in + 1 tile out per sub-kernel.
     let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
     cocopelia_baselines::cublasxt::gemm::<f64>(&mut gpu, 1.0, ghost(n), ghost(n), 1.0, ghost(n), t)
         .expect("runs");
     let k = kt * kt * kt;
-    assert_eq!(gpu.trace().bytes_moved(EngineKind::CopyH2d), 3 * k * tile_bytes);
+    assert_eq!(
+        gpu.trace().bytes_moved(EngineKind::CopyH2d),
+        3 * k * tile_bytes
+    );
     assert_eq!(gpu.trace().bytes_moved(EngineKind::CopyD2h), k * tile_bytes);
 }
 
@@ -55,8 +67,10 @@ fn reuse_scheduler_beats_no_reuse_on_transfer_bound_problems() {
     // factor (the Fig. 7 full-offload ordering).
     let n = 2048;
     let t = 512;
-    let mut ctx =
-        Cocopelia::new(Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1), dummy_profile());
+    let mut ctx = Cocopelia::new(
+        Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1),
+        dummy_profile(),
+    );
     let coco = ctx
         .dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(t))
         .expect("runs")
@@ -85,15 +99,28 @@ fn blasx_equals_cocopelia_at_the_same_tile() {
     // must produce identical schedules (and identical virtual times,
     // noise-free).
     let n = 4096;
-    let mut ctx =
-        Cocopelia::new(Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1), dummy_profile());
+    let mut ctx = Cocopelia::new(
+        Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1),
+        dummy_profile(),
+    );
     let coco = ctx
-        .dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(2048))
+        .dgemm(
+            1.0,
+            ghost(n),
+            ghost(n),
+            1.0,
+            ghost(n),
+            TileChoice::Fixed(2048),
+        )
         .expect("runs")
         .report
         .elapsed;
-    let mut blasx = cocopelia_baselines::Blasx::new(Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1));
-    let bx = blasx.gemm::<f64>(1.0, ghost(n), ghost(n), 1.0, ghost(n)).expect("runs").elapsed;
+    let mut blasx =
+        cocopelia_baselines::Blasx::new(Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1));
+    let bx = blasx
+        .gemm::<f64>(1.0, ghost(n), ghost(n), 1.0, ghost(n))
+        .expect("runs")
+        .elapsed;
     assert_eq!(coco, bx);
 }
 
@@ -111,8 +138,10 @@ fn unified_memory_daxpy_pays_the_migration_penalty() {
     .expect("runs")
     .elapsed
     .as_secs_f64();
-    let mut ctx =
-        Cocopelia::new(Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1), dummy_profile());
+    let mut ctx = Cocopelia::new(
+        Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1),
+        dummy_profile(),
+    );
     let pinned = ctx
         .daxpy(
             1.0,
@@ -133,21 +162,24 @@ fn unified_memory_daxpy_pays_the_migration_penalty() {
 fn serial_offload_is_the_slowest_policy() {
     let n = 2048;
     let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
-    let serial = cocopelia_baselines::serial::gemm::<f64>(
-        &mut gpu,
-        1.0,
-        ghost(n),
-        ghost(n),
-        1.0,
-        ghost(n),
-    )
-    .expect("runs")
-    .elapsed
-    .as_secs_f64();
-    let mut ctx =
-        Cocopelia::new(Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1), dummy_profile());
+    let serial =
+        cocopelia_baselines::serial::gemm::<f64>(&mut gpu, 1.0, ghost(n), ghost(n), 1.0, ghost(n))
+            .expect("runs")
+            .elapsed
+            .as_secs_f64();
+    let mut ctx = Cocopelia::new(
+        Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1),
+        dummy_profile(),
+    );
     let coco = ctx
-        .dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(512))
+        .dgemm(
+            1.0,
+            ghost(n),
+            ghost(n),
+            1.0,
+            ghost(n),
+            TileChoice::Fixed(512),
+        )
         .expect("runs")
         .report
         .elapsed
@@ -160,17 +192,42 @@ fn makespan_bounded_by_engine_work_and_critical_path() {
     // Schedule-sanity invariant: the makespan can never beat the busiest
     // engine, and never exceed the serial sum of all engine work.
     let n = 2048;
-    let mut ctx =
-        Cocopelia::new(Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1), dummy_profile());
-    ctx.dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(512)).expect("runs");
+    let mut ctx = Cocopelia::new(
+        Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1),
+        dummy_profile(),
+    );
+    ctx.dgemm(
+        1.0,
+        ghost(n),
+        ghost(n),
+        1.0,
+        ghost(n),
+        TileChoice::Fixed(512),
+    )
+    .expect("runs");
     let trace = ctx.gpu().trace();
-    let makespan = trace.entries().iter().map(|e| e.end.as_nanos()).max().expect("entries");
-    let busy: Vec<u64> = [EngineKind::CopyH2d, EngineKind::Compute, EngineKind::CopyD2h]
+    let makespan = trace
+        .entries()
         .iter()
-        .map(|&e| trace.engine_busy(e).as_nanos())
-        .collect();
+        .map(|e| e.end.as_nanos())
+        .max()
+        .expect("entries");
+    let busy: Vec<u64> = [
+        EngineKind::CopyH2d,
+        EngineKind::Compute,
+        EngineKind::CopyD2h,
+    ]
+    .iter()
+    .map(|&e| trace.engine_busy(e).as_nanos())
+    .collect();
     let max_busy = *busy.iter().max().expect("engines");
     let sum_busy: u64 = busy.iter().sum();
-    assert!(makespan >= max_busy, "makespan {makespan} < busiest engine {max_busy}");
-    assert!(makespan <= sum_busy, "makespan {makespan} > serial sum {sum_busy}");
+    assert!(
+        makespan >= max_busy,
+        "makespan {makespan} < busiest engine {max_busy}"
+    );
+    assert!(
+        makespan <= sum_busy,
+        "makespan {makespan} > serial sum {sum_busy}"
+    );
 }

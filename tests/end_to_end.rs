@@ -25,14 +25,20 @@ fn quick_cfg() -> DeployConfig {
 fn ctx(tb: TestbedSpec, functional: bool) -> Cocopelia {
     let tb = quiet(tb);
     let report = deploy(&tb, &quick_cfg()).expect("deploys");
-    let mode = if functional { ExecMode::Functional } else { ExecMode::TimingOnly };
+    let mode = if functional {
+        ExecMode::Functional
+    } else {
+        ExecMode::TimingOnly
+    };
     Cocopelia::new(Gpu::new(tb, mode, 42), report.profile)
 }
 
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
     let mut state = seed;
     Matrix::from_fn(rows, cols, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     })
 }
@@ -76,10 +82,19 @@ fn selection_cache_reuses_model_across_calls() {
     let run = |ctx: &mut Cocopelia| {
         ctx.dgemm(
             1.0,
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
             1.0,
-            MatOperand::HostGhost { rows: 2048, cols: 2048 },
+            MatOperand::HostGhost {
+                rows: 2048,
+                cols: 2048,
+            },
             TileChoice::Auto,
         )
         .expect("runs")
@@ -87,16 +102,26 @@ fn selection_cache_reuses_model_across_calls() {
     let first = run(&mut ctx);
     assert_eq!(ctx.cached_selections(), 1);
     let second = run(&mut ctx);
-    assert_eq!(ctx.cached_selections(), 1, "same parameter set reuses the model");
+    assert_eq!(
+        ctx.cached_selections(),
+        1,
+        "same parameter set reuses the model"
+    );
     assert_eq!(first.report.tile, second.report.tile);
     // A different location combination is a different model instance.
     let dev = ctx.alloc_matrix(Dtype::F64, 2048, 2048).expect("alloc");
     ctx.dgemm(
         1.0,
         MatOperand::Device(dev),
-        MatOperand::HostGhost { rows: 2048, cols: 2048 },
+        MatOperand::HostGhost {
+            rows: 2048,
+            cols: 2048,
+        },
         1.0,
-        MatOperand::HostGhost { rows: 2048, cols: 2048 },
+        MatOperand::HostGhost {
+            rows: 2048,
+            cols: 2048,
+        },
         TileChoice::Auto,
     )
     .expect("runs");
@@ -111,7 +136,12 @@ fn daxpy_auto_runs_and_verifies() {
     let y: Vec<f64> = (0..n).map(|i| (i % 31) as f64).collect();
     let expect: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + b).collect();
     let out = ctx
-        .daxpy(2.0, VecOperand::Host(x), VecOperand::Host(y), TileChoice::Auto)
+        .daxpy(
+            2.0,
+            VecOperand::Host(x),
+            VecOperand::Host(y),
+            TileChoice::Auto,
+        )
         .expect("runs");
     let sel = out.report.selection.as_ref().expect("auto selects");
     assert_eq!(sel.prediction.model, ModelKind::Bts);
@@ -132,7 +162,10 @@ fn ddot_reduction_runs_with_auto_selection() {
     let sel = out.report.selection.as_ref().expect("auto selects");
     assert_eq!(sel.prediction.model, ModelKind::Bts);
     let got = out.value.expect("functional");
-    assert!((got - expect).abs() < expect.abs().max(1.0) * 1e-12, "{got} vs {expect}");
+    assert!(
+        (got - expect).abs() < expect.abs().max(1.0) * 1e-12,
+        "{got} vs {expect}"
+    );
     assert!(out.report.subkernels >= 2, "reduction actually tiled");
 }
 
@@ -188,7 +221,11 @@ fn device_resident_round_trip_through_uploads() {
     assert!(out.c.is_none());
     // …but downloadable.
     let got: Matrix<f64> = ctx.download_matrix(&dc).expect("download");
-    assert!(validate::matrices_close(&got, &expect, validate::gemm_tolerance::<f64>(n)));
+    assert!(validate::matrices_close(
+        &got,
+        &expect,
+        validate::gemm_tolerance::<f64>(n)
+    ));
     ctx.free_matrix(da).expect("free");
     ctx.free_matrix(db).expect("free");
     ctx.free_matrix(dc).expect("free");
@@ -199,15 +236,26 @@ fn overlap_beats_serial_schedule_end_to_end() {
     let tb = quiet(testbed_i());
     let report = deploy(&tb, &quick_cfg()).expect("deploys");
     // Overlapped run.
-    let mut ctx =
-        Cocopelia::new(Gpu::new(tb.clone(), ExecMode::TimingOnly, 1), report.profile.clone());
+    let mut ctx = Cocopelia::new(
+        Gpu::new(tb.clone(), ExecMode::TimingOnly, 1),
+        report.profile.clone(),
+    );
     let coco = ctx
         .dgemm(
             1.0,
-            MatOperand::HostGhost { rows: 3072, cols: 3072 },
-            MatOperand::HostGhost { rows: 3072, cols: 3072 },
+            MatOperand::HostGhost {
+                rows: 3072,
+                cols: 3072,
+            },
+            MatOperand::HostGhost {
+                rows: 3072,
+                cols: 3072,
+            },
             1.0,
-            MatOperand::HostGhost { rows: 3072, cols: 3072 },
+            MatOperand::HostGhost {
+                rows: 3072,
+                cols: 3072,
+            },
             TileChoice::Auto,
         )
         .expect("runs");
@@ -216,10 +264,19 @@ fn overlap_beats_serial_schedule_end_to_end() {
     let serial = cocopelia_baselines::serial::gemm::<f64>(
         &mut gpu,
         1.0,
-        MatOperand::HostGhost { rows: 3072, cols: 3072 },
-        MatOperand::HostGhost { rows: 3072, cols: 3072 },
+        MatOperand::HostGhost {
+            rows: 3072,
+            cols: 3072,
+        },
+        MatOperand::HostGhost {
+            rows: 3072,
+            cols: 3072,
+        },
         1.0,
-        MatOperand::HostGhost { rows: 3072, cols: 3072 },
+        MatOperand::HostGhost {
+            rows: 3072,
+            cols: 3072,
+        },
     )
     .expect("runs");
     assert!(
@@ -233,9 +290,19 @@ fn overlap_beats_serial_schedule_end_to_end() {
 #[test]
 fn select_tile_agrees_with_direct_model_evaluation() {
     let mut ctx = ctx(testbed_ii(), false);
-    let problem =
-        ProblemSpec::gemm(Dtype::F64, 4096, 4096, 4096, Loc::Host, Loc::Host, Loc::Host, true);
-    let sel = ctx.select_tile(&problem, ModelKind::DataReuse).expect("selects");
+    let problem = ProblemSpec::gemm(
+        Dtype::F64,
+        4096,
+        4096,
+        4096,
+        Loc::Host,
+        Loc::Host,
+        Loc::Host,
+        true,
+    );
+    let sel = ctx
+        .select_tile(&problem, ModelKind::DataReuse)
+        .expect("selects");
     // The winner must be the argmin of the evaluated curve.
     for e in &sel.evaluated {
         assert!(sel.prediction.total <= e.total + 1e-15);

@@ -27,8 +27,16 @@ fn lab() -> (TestbedSpec, cocopelia_core::profile::SystemProfile) {
     (tb, report.profile)
 }
 
-fn measure_gemm(tb: &TestbedSpec, profile: &cocopelia_core::profile::SystemProfile, n: usize, t: usize) -> f64 {
-    let mut ctx = Cocopelia::new(Gpu::new(tb.clone(), ExecMode::TimingOnly, 5), profile.clone());
+fn measure_gemm(
+    tb: &TestbedSpec,
+    profile: &cocopelia_core::profile::SystemProfile,
+    n: usize,
+    t: usize,
+) -> f64 {
+    let mut ctx = Cocopelia::new(
+        Gpu::new(tb.clone(), ExecMode::TimingOnly, 5),
+        profile.clone(),
+    );
     ctx.dgemm(
         1.0,
         MatOperand::HostGhost { rows: n, cols: n },
@@ -46,21 +54,29 @@ fn measure_gemm(tb: &TestbedSpec, profile: &cocopelia_core::profile::SystemProfi
 #[test]
 fn dr_model_tracks_reuse_scheduler_within_15_percent() {
     let (tb, profile) = lab();
-    let exec = profile.exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+    let exec = profile
+        .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
         .expect("gemm table");
     for n in [2048usize, 4096] {
         for t in [512usize, 1024] {
-            let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
+            let problem =
+                ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
             let ctx = ModelCtx {
                 problem: &problem,
                 transfer: &profile.transfer,
                 exec,
                 full_kernel_time: None,
             };
-            let pred = predict(ModelKind::DataReuse, &ctx, t).expect("predicts").total;
+            let pred = predict(ModelKind::DataReuse, &ctx, t)
+                .expect("predicts")
+                .total;
             let meas = measure_gemm(&tb, &profile, n, t);
             let err = (pred - meas).abs() / meas;
-            assert!(err < 0.15, "n={n} T={t}: pred {pred:.4} meas {meas:.4} err {:.1}%", err * 100.0);
+            assert!(
+                err < 0.15,
+                "n={n} T={t}: pred {pred:.4} meas {meas:.4} err {:.1}%",
+                err * 100.0
+            );
         }
     }
 }
@@ -74,13 +90,20 @@ fn dr_predictions_rank_tiles_usefully() {
         .expect("gemm table");
     let n = 4096;
     let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
-    let ctx = ModelCtx { problem: &problem, transfer: &profile.transfer, exec, full_kernel_time: None };
+    let ctx = ModelCtx {
+        problem: &problem,
+        transfer: &profile.transfer,
+        exec,
+        full_kernel_time: None,
+    };
     let tiles: Vec<usize> = (1..=8).map(|i| i * 256).collect();
     let mut best_pred = (0usize, f64::INFINITY);
     let mut best_meas = (0usize, f64::INFINITY);
     let mut meas_at = std::collections::HashMap::new();
     for &t in &tiles {
-        let p = predict(ModelKind::DataReuse, &ctx, t).expect("predicts").total;
+        let p = predict(ModelKind::DataReuse, &ctx, t)
+            .expect("predicts")
+            .total;
         let m = measure_gemm(&tb, &profile, n, t);
         meas_at.insert(t, m);
         if p < best_pred.1 {
@@ -113,7 +136,12 @@ fn cso_underpredicts_on_reuse_scheduler() {
     let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
     let full = measure_full_kernel(
         &tb,
-        KernelShape::Gemm { dtype: Dtype::F64, m: n, n, k: n },
+        KernelShape::Gemm {
+            dtype: Dtype::F64,
+            m: n,
+            n,
+            k: n,
+        },
         &CiConfig::default(),
         3,
     )
@@ -129,7 +157,87 @@ fn cso_underpredicts_on_reuse_scheduler() {
     let cso = predict(ModelKind::Cso, &ctx, t).expect("cso").total;
     let dr_err = (dr - meas).abs() / meas;
     let cso_err = (cso - meas).abs() / meas;
-    assert!(dr_err < cso_err, "DR {:.1}% !< CSO {:.1}%", dr_err * 100.0, cso_err * 100.0);
+    assert!(
+        dr_err < cso_err,
+        "DR {:.1}% !< CSO {:.1}%",
+        dr_err * 100.0,
+        cso_err * 100.0
+    );
+}
+
+#[test]
+fn drift_records_populated_and_match_hand_computed_errors() {
+    // Every model-driven (and fixed-tile, profile-backed) call must leave
+    // per-model drift records whose errors agree with predictions recomputed
+    // here by hand from the same profile.
+    let (tb, profile) = lab();
+    let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 5), profile.clone());
+    let n = 4096;
+    let out = ctx
+        .dgemm(
+            1.0,
+            MatOperand::HostGhost { rows: n, cols: n },
+            MatOperand::HostGhost { rows: n, cols: n },
+            1.0,
+            MatOperand::HostGhost { rows: n, cols: n },
+            TileChoice::Model(ModelKind::DataReuse),
+        )
+        .expect("runs")
+        .report;
+
+    // One record per evaluable model: CSO is skipped (no full kernel time).
+    assert_eq!(out.drift.len(), 4);
+    assert!(out.drift.iter().all(|r| r.model != ModelKind::Cso));
+
+    let exec = profile
+        .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
+        .expect("gemm table");
+    let problem = ProblemSpec::gemm(Dtype::F64, n, n, n, Loc::Host, Loc::Host, Loc::Host, true);
+    let mctx = ModelCtx {
+        problem: &problem,
+        transfer: &profile.transfer,
+        exec,
+        full_kernel_time: None,
+    };
+    let actual = out.elapsed.as_secs_f64();
+    for rec in &out.drift {
+        assert_eq!(rec.tile, out.tile);
+        assert_eq!(rec.actual_secs, actual);
+        let by_hand = predict(rec.model, &mctx, out.tile).expect("predicts").total;
+        assert_eq!(rec.predicted_secs, by_hand, "{:?}", rec.model);
+        let hand_err = (by_hand - actual) / actual;
+        assert!((rec.signed_rel_err() - hand_err).abs() < 1e-15);
+    }
+
+    // The observer aggregates agree with the same hand computation, and the
+    // chosen DR model tracks the scheduler far better than reuse-blind Eq. 1.
+    let obs = ctx.observer();
+    assert_eq!(obs.drift().records().len(), 4);
+    let dr = obs
+        .drift()
+        .model_stats(ModelKind::DataReuse)
+        .expect("DR scored");
+    let dr_hand = (predict(ModelKind::DataReuse, &mctx, out.tile)
+        .expect("dr")
+        .total
+        - actual)
+        / actual;
+    assert_eq!(dr.count, 1);
+    assert!((dr.mean_signed() - dr_hand).abs() < 1e-15);
+    assert!((dr.mean_abs() - dr_hand.abs()).abs() < 1e-15);
+    let base = obs
+        .drift()
+        .model_stats(ModelKind::Baseline)
+        .expect("baseline scored");
+    assert!(
+        dr.mean_abs() < base.mean_abs(),
+        "DR must out-predict Eq. 1 on the reuse scheduler"
+    );
+    assert!(
+        dr.mean_abs() < 0.15,
+        "DR drift {:.1}% too large",
+        dr.mean_abs() * 100.0
+    );
 }
 
 proptest! {

@@ -29,12 +29,20 @@ fn dummy_profile() -> cocopelia_core::profile::SystemProfile {
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     Matrix::from_fn(rows, cols, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     })
 }
 
-fn reference(alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>, beta: f64, c: &Matrix<f64>) -> Matrix<f64> {
+fn reference(
+    alpha: f64,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    beta: f64,
+    c: &Matrix<f64>,
+) -> Matrix<f64> {
     let mut out = c.clone();
     level3::gemm(alpha, &a.view(), &b.view(), beta, &mut out.view_mut());
     out

@@ -33,11 +33,23 @@ fn reloaded_profile_gives_identical_predictions() {
     let profile = deployed_profile();
     let json = profile.to_json().expect("serializes");
     let back = SystemProfile::from_json(&json).expect("parses");
-    let problem =
-        ProblemSpec::gemm(Dtype::F64, 4096, 4096, 4096, Loc::Host, Loc::Host, Loc::Host, true);
+    let problem = ProblemSpec::gemm(
+        Dtype::F64,
+        4096,
+        4096,
+        4096,
+        Loc::Host,
+        Loc::Host,
+        Loc::Host,
+        true,
+    );
     for t in [256usize, 512, 1024] {
-        for kind in [ModelKind::Baseline, ModelKind::DataLoc, ModelKind::Bts, ModelKind::DataReuse]
-        {
+        for kind in [
+            ModelKind::Baseline,
+            ModelKind::DataLoc,
+            ModelKind::Bts,
+            ModelKind::DataReuse,
+        ] {
             let exec1 = profile
                 .exec_table(cocopelia_core::params::RoutineClass::Gemm, Dtype::F64)
                 .expect("table");
@@ -98,5 +110,8 @@ fn deployment_is_reproducible_per_seed() {
     assert_eq!(a, b, "same seed, same measurements, same profile");
     cfg.seed ^= 0xdead;
     let c = deploy(&tb, &cfg).expect("deploys");
-    assert_ne!(a.profile.transfer, c.profile.transfer, "different seed, different noise");
+    assert_ne!(
+        a.profile.transfer, c.profile.transfer,
+        "different seed, different noise"
+    );
 }

@@ -1,0 +1,113 @@
+//! Test-runner plumbing: configuration, the deterministic RNG handed to
+//! strategies, and the case-failure error type.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honored by the vendored runner.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// The deterministic random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn seeded(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform sample from `[range.start, range.end)`.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+}
+
+/// Drives the case loop for one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed (zero).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seeded(0),
+        }
+    }
+
+    /// A runner seeded from the test name, so distinct tests explore
+    /// distinct schedules while every run of the same test is identical.
+    pub fn new_seeded(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seeded(h),
+        }
+    }
+
+    /// Number of cases this runner executes.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's random source.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

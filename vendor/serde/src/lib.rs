@@ -1,0 +1,386 @@
+//! Offline vendored stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build container has no network access to a crates registry, so the
+//! workspace resolves `serde` to this crate by path (see the root
+//! manifest). Instead of serde's visitor architecture, serialization
+//! goes through a self-describing [`Value`] tree: `Serialize` renders a
+//! value into the tree and `Deserialize` reconstructs from it. The derive
+//! macros (re-exported from the vendored `serde_derive` under the `derive`
+//! feature) generate those two impls for named-field structs and
+//! unit-variant enums — exactly the shapes this workspace derives.
+
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+/// A [`Value::Null`] with a `'static` address, used for absent map keys so
+/// `Option` fields deserialize to `None`.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`]; absent keys read as `null`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not a map.
+    pub fn field(&self, key: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(pairs) => Ok(pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: a shape mismatch between the value tree and the
+/// target type.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a free-form message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// A "expected X, found Y" mismatch against `found`'s kind.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError {
+            msg: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses the value tree into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range"))),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match v {
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range")))?,
+                    Value::I64(n) => *n,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::custom(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                // Integral floats render without a decimal point and parse
+                // back as integers; coerce them.
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // serde_json writes non-finite as null
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arity = [$($idx),+].len();
+                match v {
+                    Value::Seq(items) if items.len() == arity => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u64::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+    }
+
+    #[test]
+    fn float_coerces_from_integer_value() {
+        assert_eq!(f64::from_value(&Value::U64(2)).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(256, 0.5), (512, 0.25)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v.to_value()).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("dgemm".to_string(), 3usize);
+        assert_eq!(
+            BTreeMap::<String, usize>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+
+        let o: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn absent_map_key_reads_as_null() {
+        let v = Value::Map(vec![("present".into(), Value::U64(1))]);
+        assert_eq!(v.field("absent").unwrap(), &Value::Null);
+        assert_eq!(
+            Option::<usize>::from_value(v.field("absent").unwrap()).unwrap(),
+            None
+        );
+    }
+}

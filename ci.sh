@@ -23,4 +23,12 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== perf snapshot gate (vs BENCH_seed.json) =="
+# The standard sweep is deterministic (quiet testbed, fixed seeds): any
+# makespan drift against the committed baseline is a code change. If a
+# change legitimately shifts performance, regenerate the baseline in the
+# same PR: target/release/cocopelia snapshot --out BENCH_seed.json
+target/release/cocopelia snapshot --out target/BENCH_ci.json --label ci
+target/release/cocopelia compare BENCH_seed.json target/BENCH_ci.json
+
 echo "CI gate passed."

@@ -7,7 +7,13 @@
 //! cocopelia report  --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--json report.json]
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
+//! cocopelia calib   --testbed i [--quick] [--json calib.json]
+//! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
+//! cocopelia compare BENCH_seed.json BENCH_pr.json [--threshold 0.05] [--json diff.json]
 //! ```
+//!
+//! `compare` exits 0 when the candidate snapshot is clean and 2 when any
+//! sweep entry regressed, so it can gate CI directly.
 
 use cocopelia_core::models::{ModelCtx, ModelKind};
 use cocopelia_core::params::{Loc, ProblemSpec};
@@ -25,7 +31,7 @@ use args::Args;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -46,12 +52,21 @@ usage:
   cocopelia trace   --testbed <i|ii> --profile <profile.json> --routine <...>
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
                     --out <trace.json> [--format <chrome|jsonl>]
-  cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]";
+  cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]
+  cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
+  cocopelia snapshot --out <BENCH_label.json> [--testbed <i|ii>] [--label <label>]
+  cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]";
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("missing subcommand".to_owned());
     };
+    if cmd == "compare" {
+        // `compare` is the one positional-taking command (two snapshot
+        // paths) and the one command with a non-binary exit code.
+        let (pos, args) = Args::parse_with_positionals(rest)?;
+        return cmd_compare(&pos, &args);
+    }
     let args = Args::parse(rest)?;
     match cmd.as_str() {
         "deploy" => cmd_deploy(&args),
@@ -60,8 +75,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         "report" => cmd_report(&args),
         "trace" => cmd_trace(&args),
         "gantt" => cmd_gantt(&args),
+        "calib" => cmd_calib(&args),
+        "snapshot" => cmd_snapshot(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
 fn testbed(args: &Args) -> Result<TestbedSpec, String> {
@@ -388,6 +406,88 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_calib(args: &Args) -> Result<(), String> {
+    let tb = testbed(args)?;
+    let cfg = if args.has_flag("quick") {
+        DeployConfig::quick()
+    } else {
+        DeployConfig::paper()
+    };
+    eprintln!("deploying on {} for the calibration audit ...", tb.name);
+    let report = deploy(&tb, &cfg).map_err(|e| e.to_string())?;
+    let calib = cocopelia_obs::CalibReport::from_deployment(&report);
+    print!("{}", calib.render());
+    if let Some(path) = args.get_opt("json") {
+        let json = serde_json::to_string(&calib.to_value()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nJSON calibration report written to {path}");
+    }
+    Ok(())
+}
+
+/// Derives a snapshot label from the output filename: `BENCH_pr2.json`
+/// labels the snapshot `pr2`.
+fn label_from_out(out: &str) -> String {
+    std::path::Path::new(out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .map(|s| s.strip_prefix("BENCH_").unwrap_or(s))
+        .filter(|s| !s.is_empty())
+        .unwrap_or("snapshot")
+        .to_owned()
+}
+
+fn cmd_snapshot(args: &Args) -> Result<(), String> {
+    let out = args.get("out")?;
+    let tb = if args.get_opt("testbed").is_some() {
+        testbed(args)?
+    } else {
+        testbed_i()
+    };
+    let label = args
+        .get_opt("label")
+        .unwrap_or_else(|| label_from_out(&out));
+    eprintln!("collecting the standard sweep on {} ...", tb.name);
+    let snap = cocopelia_xp::collect_snapshot(&tb, &label)?;
+    print!("{}", snap.render());
+    let json = snap.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("snapshot written to {out}");
+    Ok(())
+}
+
+fn load_snapshot(path: &str) -> Result<cocopelia_obs::Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    cocopelia_obs::Snapshot::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_compare(pos: &[String], args: &Args) -> Result<ExitCode, String> {
+    let [base_path, new_path] = pos else {
+        return Err("compare needs exactly two snapshot files: <base.json> <new.json>".to_owned());
+    };
+    let base = load_snapshot(base_path)?;
+    let new = load_snapshot(new_path)?;
+    let mut cfg = cocopelia_obs::DiffConfig::default();
+    if let Some(t) = args.get_opt("threshold") {
+        cfg.makespan_threshold = t
+            .parse()
+            .map_err(|_| format!("bad --threshold value `{t}`"))?;
+    }
+    let report = cocopelia_obs::DiffReport::compare(&base, &new, cfg)?;
+    print!("{}", report.render());
+    if let Some(path) = args.get_opt("json") {
+        let json = serde_json::to_string(&report.to_value()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("JSON diff written to {path}");
+    }
+    if report.has_regressions() {
+        eprintln!("performance regression detected");
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 /// Minimal `--key value` / `--flag` parser (kept dependency-free).
 mod args_impl {
     use super::HashMap;
@@ -399,6 +499,17 @@ mod args_impl {
     }
 
     impl Args {
+        /// Like [`parse`](Self::parse), but tokens before the first `--key`
+        /// are collected as positional arguments instead of rejected.
+        pub fn parse_with_positionals(argv: &[String]) -> Result<(Vec<String>, Args), String> {
+            let split = argv
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .unwrap_or(argv.len());
+            let (pos, rest) = argv.split_at(split);
+            Ok((pos.to_vec(), Args::parse(rest)?))
+        }
+
         pub fn parse(argv: &[String]) -> Result<Args, String> {
             let mut out = Args::default();
             let mut i = 0;
@@ -474,6 +585,24 @@ mod tests {
     #[test]
     fn rejects_positionals() {
         assert!(Args::parse(&argv("stray")).is_err());
+    }
+
+    #[test]
+    fn parse_with_positionals_splits_at_first_flag() {
+        let (pos, a) = Args::parse_with_positionals(&argv("base.json new.json --threshold 0.1"))
+            .expect("parses");
+        assert_eq!(pos, vec!["base.json".to_owned(), "new.json".to_owned()]);
+        assert_eq!(a.get("threshold").expect("present"), "0.1");
+        let (none, _) = Args::parse_with_positionals(&argv("--threshold 0.1")).expect("parses");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn snapshot_label_derivation() {
+        assert_eq!(super::label_from_out("BENCH_seed.json"), "seed");
+        assert_eq!(super::label_from_out("out/BENCH_pr2.json"), "pr2");
+        assert_eq!(super::label_from_out("results.json"), "results");
+        assert_eq!(super::label_from_out("BENCH_.json"), "snapshot");
     }
 
     #[test]

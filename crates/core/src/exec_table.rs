@@ -28,6 +28,12 @@ impl ExecTable {
         self.entries.iter().map(|&(t, _)| t)
     }
 
+    /// The raw `(tile_size, seconds)` measurement pairs, ascending by tile
+    /// size (used by calibration audits that resample the grid).
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
     /// Number of grid points.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -28,4 +28,7 @@ mod deploy;
 pub use deploy::{deploy, DeployConfig, DeploymentReport, TransferFit};
 pub use exec_bench::{exec_table, measure_full_kernel, measure_kernel, tile_shape};
 pub use microbench::{fit_sweep, transfer_sweep, DirFit, Direction, TransferSweep};
-pub use stats::{fit_zero_intercept, geomean, measure_until_ci, CiConfig, Measurement};
+pub use stats::{
+    fit_zero_intercept, geomean, geomean_filtered, measure_until_ci, CiConfig, GeomeanResult,
+    Measurement, ZeroInterceptFit,
+};

@@ -169,7 +169,8 @@ pub fn transfer_sweep(
     })
 }
 
-/// One direction's fitted coefficients (a row of Table II).
+/// One direction's fitted coefficients (a row of Table II), plus the
+/// goodness-of-fit diagnostics a calibration report renders.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DirFit {
     /// Setup latency `t_l` (seconds).
@@ -184,6 +185,26 @@ pub struct DirFit {
     pub rse_bid: f64,
     /// Bidirectional slowdown `sl = t_b_bid / t_b`.
     pub sl: f64,
+    /// Uncentered R² of the unidirectional fit.
+    pub r2: f64,
+    /// Root-mean-square error of the unidirectional fit (seconds).
+    pub rmse: f64,
+    /// 95 % confidence half-width of `t_b`.
+    pub ci95: f64,
+    /// Uncentered R² of the bidirectional (BTS) fit.
+    pub r2_bid: f64,
+    /// Root-mean-square error of the bidirectional fit (seconds).
+    pub rmse_bid: f64,
+    /// 95 % confidence half-width of `t_b_bid`.
+    pub ci95_bid: f64,
+    /// Number of sweep points fitted.
+    pub n: usize,
+    /// Achieved relative 95 % CI of the latency micro-benchmark.
+    pub t_l_rel_ci: f64,
+    /// Samples the latency micro-benchmark took.
+    pub t_l_samples: usize,
+    /// Whether the latency micro-benchmark met the CI criterion.
+    pub t_l_converged: bool,
 }
 
 /// Fits the latency/bandwidth coefficients from a sweep, following §IV-A:
@@ -201,6 +222,16 @@ pub fn fit_sweep(sweep: &TransferSweep) -> DirFit {
         t_b_bid: bid.slope,
         rse_bid: bid.rse,
         sl: bid.slope / uni.slope,
+        r2: uni.r2,
+        rmse: uni.rmse,
+        ci95: uni.slope_ci95,
+        r2_bid: bid.r2,
+        rmse_bid: bid.rmse,
+        ci95_bid: bid.slope_ci95,
+        n: uni.n,
+        t_l_rel_ci: sweep.latency.rel_ci,
+        t_l_samples: sweep.latency.n,
+        t_l_converged: sweep.latency.converged,
     }
 }
 
@@ -242,6 +273,14 @@ mod tests {
         );
         // sl_h2d is 1.0 on testbed I.
         assert!((fit.sl - 1.0).abs() < 0.02, "sl {}", fit.sl);
+        // A noise-free sweep yields a near-perfect linear law, and the
+        // latency probe converges immediately.
+        assert!(fit.r2 > 0.999, "r2 {}", fit.r2);
+        assert!(fit.r2_bid > 0.999, "r2_bid {}", fit.r2_bid);
+        assert!(fit.ci95 < fit.t_b * 0.01, "ci95 {}", fit.ci95);
+        assert_eq!(fit.n, dims.len());
+        assert!(fit.t_l_converged);
+        assert!(fit.t_l_rel_ci <= 0.05);
     }
 
     #[test]

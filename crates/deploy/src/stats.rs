@@ -1,5 +1,7 @@
 //! Measurement statistics: confidence-interval-driven repetition and
-//! zero-intercept least squares, as prescribed by §IV-A.
+//! zero-intercept least squares, as prescribed by §IV-A, plus the fit
+//! diagnostics (R², RMSE, coefficient confidence) that calibration
+//! reporting builds on.
 
 /// Repetition policy: repeat a measurement "until the 95 % confidence
 /// interval of the mean falls within 5 % of the reported mean value".
@@ -34,6 +36,10 @@ pub struct Measurement {
     pub n: usize,
     /// Whether the CI criterion was met (false if `max_samples` hit first).
     pub converged: bool,
+    /// The *achieved* 95 % CI half-width relative to the mean at the moment
+    /// sampling stopped — `<= cfg.rel_halfwidth` exactly when `converged`.
+    /// `f64::INFINITY` for a zero mean (the criterion is undefined there).
+    pub rel_ci: f64,
 }
 
 /// Runs `sample` repeatedly until the 95 % CI criterion of `cfg` holds.
@@ -58,6 +64,11 @@ pub fn measure_until_ci(cfg: &CiConfig, mut sample: impl FnMut() -> f64) -> Meas
         };
         let std = var.sqrt();
         let halfwidth = 1.96 * std / n.sqrt();
+        let rel_ci = if mean != 0.0 {
+            halfwidth / mean.abs()
+        } else {
+            f64::INFINITY
+        };
         let converged = mean > 0.0 && halfwidth <= cfg.rel_halfwidth * mean;
         if converged || xs.len() >= cfg.max_samples {
             return Measurement {
@@ -65,13 +76,15 @@ pub fn measure_until_ci(cfg: &CiConfig, mut sample: impl FnMut() -> f64) -> Meas
                 std,
                 n: xs.len(),
                 converged,
+                rel_ci,
             };
         }
     }
 }
 
-/// Result of a zero-intercept least-squares regression `y ≈ slope · x`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Result of a zero-intercept least-squares regression `y ≈ slope · x`,
+/// with the goodness-of-fit diagnostics a calibration report needs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZeroInterceptFit {
     /// Fitted slope.
     pub slope: f64,
@@ -79,6 +92,17 @@ pub struct ZeroInterceptFit {
     pub rse: f64,
     /// Number of points fitted.
     pub n: usize,
+    /// Per-point residuals `y − slope·x`, in input order.
+    pub residuals: Vec<f64>,
+    /// Uncentered coefficient of determination `1 − Σr²/Σy²` (the centered
+    /// form is meaningless when the intercept is pinned at zero). 1.0 for a
+    /// perfect fit; can go negative when the fit is worse than `y = 0`.
+    pub r2: f64,
+    /// Root-mean-square error `sqrt(Σr²/n)`.
+    pub rmse: f64,
+    /// 95 % confidence half-width of the slope,
+    /// `1.96·sqrt(σ²/Σx²)` with `σ² = Σr²/(n−1)`.
+    pub slope_ci95: f64,
 }
 
 /// Fits `y = slope·x` by least squares with the intercept pinned at zero
@@ -100,39 +124,71 @@ pub fn fit_zero_intercept(xs: &[f64], ys: &[f64]) -> ZeroInterceptFit {
     assert!(sxx > 0.0, "degenerate regressor");
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
     let slope = sxy / sxx;
-    let denom = (xs.len().max(2) - 1) as f64;
-    let rse = (xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| {
-            let r = y - slope * x;
-            r * r
-        })
-        .sum::<f64>()
-        / denom)
-        .sqrt();
+    let residuals: Vec<f64> = xs.iter().zip(ys).map(|(x, y)| y - slope * x).collect();
+    let ssr: f64 = residuals.iter().map(|r| r * r).sum();
+    let syy: f64 = ys.iter().map(|y| y * y).sum();
+    let n = xs.len();
+    let denom = (n.max(2) - 1) as f64;
+    let sigma2 = ssr / denom;
+    let rse = sigma2.sqrt();
+    let r2 = if syy > 0.0 { 1.0 - ssr / syy } else { 1.0 };
+    let rmse = (ssr / n as f64).sqrt();
+    let slope_ci95 = 1.96 * (sigma2 / sxx).sqrt();
     ZeroInterceptFit {
         slope,
         rse,
-        n: xs.len(),
+        n,
+        residuals,
+        r2,
+        rmse,
+        slope_ci95,
     }
 }
 
-/// Geometric mean of strictly-positive values (used for Table IV summaries).
+/// Outcome of a [`geomean_filtered`] aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeomeanResult {
+    /// Geometric mean of the values that passed the validity filter, or 0
+    /// when none did.
+    pub value: f64,
+    /// How many values entered the mean.
+    pub used: usize,
+    /// How many values were skipped (non-finite or non-positive).
+    pub skipped: usize,
+}
+
+/// Geometric mean over the strictly-positive, finite subset of `xs`.
 ///
-/// # Panics
+/// Invalid observations (NaN, ±∞, zero, negative) are skipped and counted
+/// instead of poisoning the aggregate; an input with no valid values yields
+/// `value == 0.0`.
+pub fn geomean_filtered(xs: &[f64]) -> GeomeanResult {
+    let mut log_sum = 0.0;
+    let mut used = 0usize;
+    for &x in xs {
+        if x.is_finite() && x > 0.0 {
+            log_sum += x.ln();
+            used += 1;
+        }
+    }
+    GeomeanResult {
+        value: if used == 0 {
+            0.0
+        } else {
+            (log_sum / used as f64).exp()
+        },
+        used,
+        skipped: xs.len() - used,
+    }
+}
+
+/// Geometric mean of positive values (used for Table IV summaries).
 ///
-/// Panics if `xs` is empty or any value is non-positive.
+/// Non-finite and non-positive values are skipped rather than propagated;
+/// an empty (or fully-invalid) input returns 0. Use [`geomean_filtered`]
+/// when the skip count matters.
 pub fn geomean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "geomean of nothing");
-    let log_sum: f64 = xs
-        .iter()
-        .map(|&x| {
-            assert!(x > 0.0, "geomean requires positive values, got {x}");
-            x.ln()
-        })
-        .sum();
-    (log_sum / xs.len() as f64).exp()
+    geomean_filtered(xs).value
 }
 
 #[cfg(test)]
@@ -146,6 +202,7 @@ mod tests {
         assert_eq!(m.n, 5);
         assert!(m.converged);
         assert_eq!(m.std, 0.0);
+        assert_eq!(m.rel_ci, 0.0);
     }
 
     #[test]
@@ -154,6 +211,10 @@ mod tests {
         let m = measure_until_ci(
             &CiConfig {
                 rel_halfwidth: 0.01,
+                // ±10% noise at a 1% CI needs ~(1.96·0.1/0.01)² ≈ 385
+                // samples; leave room so the run converges instead of
+                // hitting the cap.
+                max_samples: 1000,
                 ..Default::default()
             },
             || {
@@ -168,6 +229,8 @@ mod tests {
         );
         assert!(m.n > 5, "took {} samples", m.n);
         assert!((m.mean - 1.0).abs() < 0.05);
+        assert!(m.converged);
+        assert!(m.rel_ci <= 0.01, "achieved CI {}", m.rel_ci);
     }
 
     #[test]
@@ -184,6 +247,9 @@ mod tests {
         });
         assert_eq!(m.n, 10);
         assert!(!m.converged);
+        // The achieved CI is recorded even on a non-converged run, so a
+        // calibration report can flag it.
+        assert!(m.rel_ci > 1e-9);
     }
 
     #[test]
@@ -193,6 +259,10 @@ mod tests {
         let fit = fit_zero_intercept(&xs, &ys);
         assert!((fit.slope - 3.5).abs() < 1e-12);
         assert!(fit.rse < 1e-12);
+        assert!(fit.r2 > 1.0 - 1e-12);
+        assert!(fit.rmse < 1e-12);
+        assert!(fit.slope_ci95 < 1e-12);
+        assert_eq!(fit.residuals.len(), 10);
     }
 
     #[test]
@@ -206,6 +276,22 @@ mod tests {
         let fit = fit_zero_intercept(&xs, &ys);
         assert!((fit.slope - 2.0).abs() < 0.01);
         assert!(fit.rse > 0.0);
+        // Residual magnitude is ~0.5 against signal ~2x, so R² stays high
+        // but strictly below 1, and the true slope lies inside the CI.
+        assert!(fit.r2 > 0.99 && fit.r2 < 1.0, "r2 {}", fit.r2);
+        assert!((fit.rmse - 0.5).abs() < 0.01, "rmse {}", fit.rmse);
+        assert!((fit.slope - 2.0).abs() <= fit.slope_ci95);
+    }
+
+    #[test]
+    fn fit_diagnostics_flag_poor_fits() {
+        // A quadratic relation forced through a linear fit: R² well below
+        // the near-1 values a genuine linear law produces.
+        let xs: Vec<f64> = (1..=20).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let fit = fit_zero_intercept(&xs, &ys);
+        assert!(fit.r2 < 0.97, "r2 {}", fit.r2);
+        assert!(fit.rmse > 1.0);
     }
 
     #[test]
@@ -221,8 +307,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn geomean_rejects_nonpositive() {
-        let _ = geomean(&[1.0, 0.0]);
+    fn geomean_skips_invalid_values() {
+        // Non-positive and non-finite observations are filtered, not
+        // propagated into a NaN aggregate.
+        let r = geomean_filtered(&[1.0, 4.0, 0.0, -3.0, f64::NAN, f64::INFINITY]);
+        assert!((r.value - 2.0).abs() < 1e-12);
+        assert_eq!(r.used, 2);
+        assert_eq!(r.skipped, 4);
+        assert!((geomean(&[1.0, 4.0, f64::NAN]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_nothing_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+        let r = geomean_filtered(&[f64::NAN, -1.0]);
+        assert_eq!(r.value, 0.0);
+        assert_eq!(r.used, 0);
+        assert_eq!(r.skipped, 2);
     }
 }

@@ -1,0 +1,528 @@
+//! Calibration diagnostics: how trustworthy are the Eq. 1–5 model inputs?
+//!
+//! The paper's deployment step (§IV-A) produces three kinds of model input:
+//! the zero-intercept transfer fits (`t_l`, `t_b`), the bidirectional
+//! slowdowns (`sl`, the BTS fits of Eq. 3–4), and the empirical `t_GPU^T`
+//! lookup tables. This module audits all three *before* anything runs:
+//!
+//! * [`FitRow`] — R², RMSE, and the 95 % slope confidence half-width of each
+//!   least-squares fit (uni- and bidirectional, both directions);
+//! * [`LatencyRow`] — whether each `t_l` micro-benchmark actually met the
+//!   95 %-CI repetition criterion, and the CI it achieved;
+//! * [`ExecAudit`] — a leave-one-out interpolation-error sweep over each
+//!   execution table: drop one grid point, predict it from its neighbours,
+//!   and report the mean/max relative error (high error means the grid is
+//!   too coarse for the runtime's off-grid interpolation to be trusted).
+//!
+//! [`CalibReport::from_deployment`] assembles everything from a
+//! [`DeploymentReport`]; `render` produces the human-readable table and
+//! `to_value` the JSON form used by `cocopelia calib --json`.
+
+use cocopelia_core::exec_table::ExecTable;
+use cocopelia_deploy::{DeploymentReport, DirFit};
+use serde::Value;
+use std::fmt::Write as _;
+
+/// R² below this value flags a transfer fit as untrustworthy.
+pub const R2_WARN_THRESHOLD: f64 = 0.95;
+
+/// Leave-one-out mean relative error above this flags an exec table.
+pub const LOO_WARN_THRESHOLD: f64 = 0.10;
+
+/// Achieved relative CI above this flags a latency micro-benchmark as
+/// under-converged even when it nominally stopped.
+pub const CI_WARN_THRESHOLD: f64 = 0.05;
+
+/// Goodness-of-fit diagnostics of one zero-intercept least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitRow {
+    /// Which fit this row describes (`"h2d"`, `"d2h-bid (BTS)"`, …).
+    pub name: String,
+    /// Fitted slope (seconds/byte).
+    pub slope: f64,
+    /// Uncentered R² of the fit.
+    pub r2: f64,
+    /// Root-mean-square error (seconds).
+    pub rmse: f64,
+    /// 95 % confidence half-width of the slope (seconds/byte).
+    pub ci95: f64,
+    /// `ci95` relative to the slope (dimensionless; small is good).
+    pub ci95_rel: f64,
+    /// Number of sweep points fitted.
+    pub n: usize,
+}
+
+impl FitRow {
+    fn of(name: &str, slope: f64, r2: f64, rmse: f64, ci95: f64, n: usize) -> FitRow {
+        FitRow {
+            name: name.to_owned(),
+            slope,
+            r2,
+            rmse,
+            ci95,
+            ci95_rel: if slope != 0.0 {
+                ci95 / slope.abs()
+            } else {
+                0.0
+            },
+            n,
+        }
+    }
+
+    /// True when the fit quality is below the report's warning thresholds.
+    pub fn flagged(&self) -> bool {
+        self.r2 < R2_WARN_THRESHOLD
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_owned(), Value::Str(self.name.clone())),
+            ("slope".to_owned(), Value::F64(self.slope)),
+            ("r2".to_owned(), Value::F64(self.r2)),
+            ("rmse".to_owned(), Value::F64(self.rmse)),
+            ("ci95".to_owned(), Value::F64(self.ci95)),
+            ("ci95_rel".to_owned(), Value::F64(self.ci95_rel)),
+            ("n".to_owned(), Value::U64(self.n as u64)),
+            ("flagged".to_owned(), Value::Bool(self.flagged())),
+        ])
+    }
+}
+
+/// Convergence diagnostics of one latency (`t_l`) micro-benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// Which probe (`"h2d"` or `"d2h"`).
+    pub name: String,
+    /// Measured setup latency (seconds).
+    pub t_l: f64,
+    /// Achieved relative 95 % CI when sampling stopped.
+    pub rel_ci: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Whether the CI criterion was met before the sample cap.
+    pub converged: bool,
+}
+
+impl LatencyRow {
+    /// True when the micro-benchmark is under-converged. A NaN CI (no
+    /// samples, zero mean) counts as flagged.
+    pub fn flagged(&self) -> bool {
+        !self.converged || self.rel_ci.is_nan() || self.rel_ci > CI_WARN_THRESHOLD
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_owned(), Value::Str(self.name.clone())),
+            ("t_l".to_owned(), Value::F64(self.t_l)),
+            ("rel_ci".to_owned(), Value::F64(self.rel_ci)),
+            ("samples".to_owned(), Value::U64(self.samples as u64)),
+            ("converged".to_owned(), Value::Bool(self.converged)),
+            ("flagged".to_owned(), Value::Bool(self.flagged())),
+        ])
+    }
+}
+
+/// Leave-one-out audit of one execution-time table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecAudit {
+    /// Canonical routine name (`"dgemm"`, `"daxpy"`, …).
+    pub routine: String,
+    /// Grid points in the table.
+    pub points: usize,
+    /// Smallest measured tiling size.
+    pub min_tile: usize,
+    /// Largest measured tiling size.
+    pub max_tile: usize,
+    /// Mean absolute relative leave-one-out interpolation error.
+    pub loo_mean_abs_rel: f64,
+    /// Worst absolute relative leave-one-out interpolation error.
+    pub loo_max_abs_rel: f64,
+    /// The tiling size with the worst leave-one-out error.
+    pub worst_tile: usize,
+}
+
+impl ExecAudit {
+    /// True when the table's interpolation error is above threshold.
+    pub fn flagged(&self) -> bool {
+        self.loo_mean_abs_rel > LOO_WARN_THRESHOLD
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("routine".to_owned(), Value::Str(self.routine.clone())),
+            ("points".to_owned(), Value::U64(self.points as u64)),
+            ("min_tile".to_owned(), Value::U64(self.min_tile as u64)),
+            ("max_tile".to_owned(), Value::U64(self.max_tile as u64)),
+            (
+                "loo_mean_abs_rel".to_owned(),
+                Value::F64(self.loo_mean_abs_rel),
+            ),
+            (
+                "loo_max_abs_rel".to_owned(),
+                Value::F64(self.loo_max_abs_rel),
+            ),
+            ("worst_tile".to_owned(), Value::U64(self.worst_tile as u64)),
+            ("flagged".to_owned(), Value::Bool(self.flagged())),
+        ])
+    }
+}
+
+/// Audits one execution table with a leave-one-out interpolation sweep.
+///
+/// Each *interior* grid point is removed in turn, the table is asked to
+/// interpolate at the removed tiling size, and the relative error against
+/// the held-out measurement is recorded. Endpoints are kept: removing one
+/// would measure extrapolation, a different regime from the between-points
+/// interpolation the runtime relies on. Tables with fewer than 3 points
+/// report zero error (there is no interior point to hold out).
+pub fn audit_exec_table(routine: &str, table: &ExecTable) -> ExecAudit {
+    let entries = table.entries();
+    let points = entries.len();
+    let (min_tile, max_tile) = match (entries.first(), entries.last()) {
+        (Some(&(lo, _)), Some(&(hi, _))) => (lo, hi),
+        _ => (0, 0),
+    };
+    let mut sum_abs = 0.0;
+    let mut max_abs = 0.0f64;
+    let mut worst_tile = min_tile;
+    let mut scored = 0usize;
+    if points >= 3 {
+        for i in 1..points - 1 {
+            let (tile, truth) = entries[i];
+            if truth <= 0.0 {
+                continue;
+            }
+            let held_out: Vec<(usize, f64)> = entries
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            let reduced = ExecTable::new(held_out);
+            let Some(predicted) = reduced.interpolate(tile) else {
+                continue;
+            };
+            let err = ((predicted - truth) / truth).abs();
+            sum_abs += err;
+            scored += 1;
+            if err > max_abs {
+                max_abs = err;
+                worst_tile = tile;
+            }
+        }
+    }
+    ExecAudit {
+        routine: routine.to_owned(),
+        points,
+        min_tile,
+        max_tile,
+        loo_mean_abs_rel: if scored == 0 {
+            0.0
+        } else {
+            sum_abs / scored as f64
+        },
+        loo_max_abs_rel: max_abs,
+        worst_tile,
+    }
+}
+
+/// The full pre-flight calibration report: transfer-fit quality, latency
+/// micro-benchmark convergence, and exec-table coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibReport {
+    /// Name of the profiled testbed.
+    pub testbed: String,
+    /// One row per least-squares fit (h2d/d2h, uni + BTS).
+    pub fits: Vec<FitRow>,
+    /// One row per latency micro-benchmark.
+    pub latencies: Vec<LatencyRow>,
+    /// One audit per deployed execution table, name-ordered.
+    pub exec: Vec<ExecAudit>,
+}
+
+fn dir_rows(name: &str, fit: &DirFit, fits: &mut Vec<FitRow>, lats: &mut Vec<LatencyRow>) {
+    fits.push(FitRow::of(name, fit.t_b, fit.r2, fit.rmse, fit.ci95, fit.n));
+    fits.push(FitRow::of(
+        &format!("{name}-bid (BTS)"),
+        fit.t_b_bid,
+        fit.r2_bid,
+        fit.rmse_bid,
+        fit.ci95_bid,
+        fit.n,
+    ));
+    lats.push(LatencyRow {
+        name: name.to_owned(),
+        t_l: fit.t_l,
+        rel_ci: fit.t_l_rel_ci,
+        samples: fit.t_l_samples,
+        converged: fit.t_l_converged,
+    });
+}
+
+impl CalibReport {
+    /// Builds the report from a finished deployment.
+    pub fn from_deployment(report: &DeploymentReport) -> CalibReport {
+        let mut fits = Vec::with_capacity(4);
+        let mut latencies = Vec::with_capacity(2);
+        dir_rows("h2d", &report.fit.h2d, &mut fits, &mut latencies);
+        dir_rows("d2h", &report.fit.d2h, &mut fits, &mut latencies);
+        let exec = report
+            .profile
+            .exec
+            .iter()
+            .map(|(name, table)| audit_exec_table(name, table))
+            .collect();
+        CalibReport {
+            testbed: report.profile.testbed.clone(),
+            fits,
+            latencies,
+            exec,
+        }
+    }
+
+    /// Human-readable warnings for every flagged row, empty when the
+    /// calibration looks trustworthy.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for f in &self.fits {
+            if f.flagged() {
+                out.push(format!(
+                    "fit {}: R² {:.4} below {R2_WARN_THRESHOLD} — transfer model unreliable",
+                    f.name, f.r2
+                ));
+            }
+        }
+        for l in &self.latencies {
+            if l.flagged() {
+                out.push(format!(
+                    "latency {}: under-converged (rel CI {:.3} after {} samples, converged={})",
+                    l.name, l.rel_ci, l.samples, l.converged
+                ));
+            }
+        }
+        for e in &self.exec {
+            if e.flagged() {
+                out.push(format!(
+                    "exec table {}: leave-one-out error {:.1}% above {:.0}% — grid too coarse",
+                    e.routine,
+                    e.loo_mean_abs_rel * 100.0,
+                    LOO_WARN_THRESHOLD * 100.0
+                ));
+            }
+        }
+        out
+    }
+
+    /// True when nothing in the calibration is flagged.
+    pub fn trustworthy(&self) -> bool {
+        self.warnings().is_empty()
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("testbed".to_owned(), Value::Str(self.testbed.clone())),
+            (
+                "fits".to_owned(),
+                Value::Seq(self.fits.iter().map(FitRow::to_value).collect()),
+            ),
+            (
+                "latencies".to_owned(),
+                Value::Seq(self.latencies.iter().map(LatencyRow::to_value).collect()),
+            ),
+            (
+                "exec".to_owned(),
+                Value::Seq(self.exec.iter().map(ExecAudit::to_value).collect()),
+            ),
+            (
+                "warnings".to_owned(),
+                Value::Seq(self.warnings().into_iter().map(Value::Str).collect()),
+            ),
+            ("trustworthy".to_owned(), Value::Bool(self.trustworthy())),
+        ])
+    }
+
+    /// Renders the full human-readable calibration report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "calibration report for testbed `{}`", self.testbed);
+        let _ = writeln!(out, "\n== transfer fits ==");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>9} {:>12} {:>10} {:>4}",
+            "fit", "GB/s", "R2", "RMSE us", "CI95 rel", "n"
+        );
+        for f in &self.fits {
+            let gbs = if f.slope > 0.0 {
+                1.0 / f.slope / 1e9
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12.2} {:>9.5} {:>12.3} {:>9.2}% {:>4}{}",
+                f.name,
+                gbs,
+                f.r2,
+                f.rmse * 1e6,
+                f.ci95_rel * 100.0,
+                f.n,
+                if f.flagged() { "  <-- FLAG" } else { "" }
+            );
+        }
+        let _ = writeln!(out, "\n== latency micro-benchmarks ==");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>8} {:>10}",
+            "probe", "t_l us", "rel CI", "samples", "converged"
+        );
+        for l in &self.latencies {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10.3} {:>9.2}% {:>8} {:>10}{}",
+                l.name,
+                l.t_l * 1e6,
+                l.rel_ci * 100.0,
+                l.samples,
+                l.converged,
+                if l.flagged() { "  <-- FLAG" } else { "" }
+            );
+        }
+        let _ = writeln!(out, "\n== exec tables (leave-one-out) ==");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "routine", "points", "min T", "max T", "mean|err|", "max|err|", "worst T"
+        );
+        for e in &self.exec {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>10} {:>10} {:>9.2}% {:>9.2}% {:>10}{}",
+                e.routine,
+                e.points,
+                e.min_tile,
+                e.max_tile,
+                e.loo_mean_abs_rel * 100.0,
+                e.loo_max_abs_rel * 100.0,
+                e.worst_tile,
+                if e.flagged() { "  <-- FLAG" } else { "" }
+            );
+        }
+        let warnings = self.warnings();
+        if warnings.is_empty() {
+            let _ = writeln!(out, "\ncalibration OK: model inputs look trustworthy");
+        } else {
+            let _ = writeln!(out, "\n== warnings ==");
+            for w in &warnings {
+                let _ = writeln!(out, "  ! {w}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocopelia_deploy::{deploy, DeployConfig};
+    use cocopelia_gpusim::{testbed_i, NoiseSpec};
+
+    fn quiet_deployment() -> DeploymentReport {
+        let mut tb = testbed_i();
+        tb.noise = NoiseSpec::NONE;
+        let mut cfg = DeployConfig::quick();
+        cfg.transfer_dims = vec![512, 1024, 2048, 4096];
+        // Dense grids: linear interpolation of a superlinear kernel time is
+        // only trustworthy when neighbouring tiles are close, so the
+        // "trustworthy" fixture must not use sparse power-of-two spacing.
+        cfg.gemm_tiles = (8..=16).map(|i| i * 128).collect();
+        cfg.axpy_tiles = vec![1 << 20, 1 << 21, 1 << 22];
+        cfg.gemv_tiles = (4..=8).map(|i| i * 256).collect();
+        deploy(&tb, &cfg).expect("deploys")
+    }
+
+    #[test]
+    fn quiet_deployment_is_trustworthy() {
+        let report = CalibReport::from_deployment(&quiet_deployment());
+        assert_eq!(report.fits.len(), 4);
+        assert_eq!(report.latencies.len(), 2);
+        assert!(!report.exec.is_empty());
+        for f in &report.fits {
+            assert!(f.r2 > 0.999, "{}: r2 {}", f.name, f.r2);
+        }
+        for l in &report.latencies {
+            assert!(l.converged, "{} under-converged", l.name);
+        }
+        assert!(report.trustworthy(), "warnings: {:?}", report.warnings());
+    }
+
+    #[test]
+    fn leave_one_out_flags_a_jagged_table() {
+        // A near-linear grid interpolates essentially exactly...
+        let smooth = ExecTable::new((1..=8).map(|i| (i * 256, i as f64)).collect());
+        let good = audit_exec_table("smooth", &smooth);
+        assert!(good.loo_mean_abs_rel < 1e-9, "{good:?}");
+        assert!(!good.flagged());
+        // ...a table with an order-of-magnitude spike does not: the spike
+        // itself is badly predicted and it poisons its neighbours' LOO too.
+        let jagged = ExecTable::new(vec![
+            (256, 1.0),
+            (512, 2.0),
+            (768, 40.0),
+            (1024, 4.0),
+            (1280, 5.0),
+        ]);
+        let bad = audit_exec_table("jagged", &jagged);
+        assert!(bad.flagged(), "{bad:?}");
+        assert!(bad.loo_max_abs_rel >= bad.loo_mean_abs_rel);
+        assert!(
+            [512, 768, 1024].contains(&bad.worst_tile),
+            "worst tile {} should be at or beside the spike",
+            bad.worst_tile
+        );
+    }
+
+    #[test]
+    fn tiny_tables_report_zero_error() {
+        let t = ExecTable::new(vec![(256, 1.0), (512, 2.0)]);
+        let audit = audit_exec_table("tiny", &t);
+        assert_eq!(audit.loo_mean_abs_rel, 0.0);
+        assert_eq!(audit.points, 2);
+        assert!(!audit.flagged());
+    }
+
+    #[test]
+    fn render_and_json_cover_all_sections() {
+        let report = CalibReport::from_deployment(&quiet_deployment());
+        let text = report.render();
+        assert!(text.contains("transfer fits"));
+        assert!(text.contains("h2d-bid (BTS)"));
+        assert!(text.contains("latency micro-benchmarks"));
+        assert!(text.contains("leave-one-out"));
+        assert!(text.contains("calibration OK"));
+        let json = serde_json::to_string(&report.to_value()).expect("serializes");
+        assert!(json.contains("\"trustworthy\":true"));
+        assert!(json.contains("\"r2\""));
+        assert!(json.contains("\"loo_mean_abs_rel\""));
+    }
+
+    #[test]
+    fn under_converged_latency_is_flagged() {
+        let row = LatencyRow {
+            name: "h2d".to_owned(),
+            t_l: 1e-6,
+            rel_ci: 0.4,
+            samples: 200,
+            converged: false,
+        };
+        assert!(row.flagged());
+        let mut report = CalibReport::from_deployment(&quiet_deployment());
+        report.latencies[0] = row;
+        assert!(!report.trustworthy());
+        assert!(report.render().contains("FLAG"));
+        assert!(report.warnings()[0].contains("under-converged"));
+    }
+}

@@ -1,0 +1,432 @@
+//! Snapshot comparison: longitudinal regression detection between two
+//! [`Snapshot`]s against relative thresholds.
+//!
+//! Entries are matched by their stable id. Each matched pair is classified
+//! as regression / improvement / neutral from the relative makespan delta
+//! (an overlap-efficiency collapse beyond threshold also regresses — a
+//! slowdown hidden by a faster kernel should still fail the gate). Entries
+//! present in the baseline but missing from the candidate count as
+//! regressions too: lost coverage must never read as a pass. The report
+//! renders as text, exports as a value tree, and answers
+//! [`DiffReport::has_regressions`] for CI-friendly exit codes.
+
+use crate::snapshot::Snapshot;
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Relative thresholds for classifying a metric delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Relative makespan growth beyond which an entry regresses
+    /// (default 0.05 = 5 %).
+    pub makespan_threshold: f64,
+    /// Relative overlap-efficiency loss beyond which an entry regresses
+    /// even when the makespan held (default 0.10).
+    pub overlap_threshold: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            makespan_threshold: 0.05,
+            overlap_threshold: 0.10,
+        }
+    }
+}
+
+/// Classification of one snapshot entry's delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Performance got worse beyond threshold.
+    Regression,
+    /// Performance got better beyond threshold.
+    Improvement,
+    /// Within threshold either way.
+    Neutral,
+}
+
+impl Verdict {
+    /// Short lowercase name (`"regression"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Regression => "regression",
+            Verdict::Improvement => "improvement",
+            Verdict::Neutral => "neutral",
+        }
+    }
+}
+
+/// One matched entry's comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryDiff {
+    /// The sweep-entry id both snapshots share.
+    pub id: String,
+    /// Baseline makespan, nanoseconds.
+    pub base_makespan_ns: u64,
+    /// Candidate makespan, nanoseconds.
+    pub new_makespan_ns: u64,
+    /// Relative makespan delta `(new − base)/base`; positive is slower.
+    pub makespan_delta_rel: f64,
+    /// Baseline overlap efficiency.
+    pub base_overlap: f64,
+    /// Candidate overlap efficiency.
+    pub new_overlap: f64,
+    /// The classification.
+    pub verdict: Verdict,
+    /// Human-readable notes (tile changed, overlap collapsed, …).
+    pub notes: Vec<String>,
+}
+
+impl EntryDiff {
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".to_owned(), Value::Str(self.id.clone())),
+            (
+                "base_makespan_ns".to_owned(),
+                Value::U64(self.base_makespan_ns),
+            ),
+            (
+                "new_makespan_ns".to_owned(),
+                Value::U64(self.new_makespan_ns),
+            ),
+            (
+                "makespan_delta_rel".to_owned(),
+                Value::F64(self.makespan_delta_rel),
+            ),
+            ("base_overlap".to_owned(), Value::F64(self.base_overlap)),
+            ("new_overlap".to_owned(), Value::F64(self.new_overlap)),
+            (
+                "verdict".to_owned(),
+                Value::Str(self.verdict.name().to_owned()),
+            ),
+            (
+                "notes".to_owned(),
+                Value::Seq(self.notes.iter().cloned().map(Value::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// The full comparison of two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Baseline snapshot label.
+    pub base_label: String,
+    /// Candidate snapshot label.
+    pub new_label: String,
+    /// Thresholds the classification used.
+    pub config: DiffConfig,
+    /// One diff per entry present in both snapshots, in baseline order.
+    pub entries: Vec<EntryDiff>,
+    /// Entry ids present in the baseline but missing from the candidate
+    /// (counted as regressions — lost coverage is not a pass).
+    pub missing: Vec<String>,
+    /// Entry ids new in the candidate (informational).
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// Compares `new` against the `base`line under `cfg` thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the snapshots were taken on different testbeds —
+    /// cross-machine deltas are meaningless for regression gating.
+    pub fn compare(base: &Snapshot, new: &Snapshot, cfg: DiffConfig) -> Result<DiffReport, String> {
+        if base.testbed != new.testbed {
+            return Err(format!(
+                "cannot compare snapshots from different testbeds (`{}` vs `{}`)",
+                base.testbed, new.testbed
+            ));
+        }
+        let mut entries = Vec::new();
+        let mut missing = Vec::new();
+        for b in &base.entries {
+            let Some(n) = new.entry(&b.id) else {
+                missing.push(b.id.clone());
+                continue;
+            };
+            let delta = if b.makespan_ns == 0 {
+                0.0
+            } else {
+                (n.makespan_ns as f64 - b.makespan_ns as f64) / b.makespan_ns as f64
+            };
+            let overlap_loss = if b.overlap_efficiency > 0.0 {
+                (b.overlap_efficiency - n.overlap_efficiency) / b.overlap_efficiency
+            } else {
+                0.0
+            };
+            let mut notes = Vec::new();
+            if b.tile != n.tile {
+                notes.push(format!("selected tile changed {} -> {}", b.tile, n.tile));
+            }
+            if overlap_loss > cfg.overlap_threshold {
+                notes.push(format!(
+                    "overlap efficiency collapsed {:.2}x -> {:.2}x",
+                    b.overlap_efficiency, n.overlap_efficiency
+                ));
+            }
+            let verdict = if delta > cfg.makespan_threshold || overlap_loss > cfg.overlap_threshold
+            {
+                Verdict::Regression
+            } else if delta < -cfg.makespan_threshold {
+                Verdict::Improvement
+            } else {
+                Verdict::Neutral
+            };
+            entries.push(EntryDiff {
+                id: b.id.clone(),
+                base_makespan_ns: b.makespan_ns,
+                new_makespan_ns: n.makespan_ns,
+                makespan_delta_rel: delta,
+                base_overlap: b.overlap_efficiency,
+                new_overlap: n.overlap_efficiency,
+                verdict,
+                notes,
+            });
+        }
+        let added = new
+            .entries
+            .iter()
+            .filter(|n| base.entry(&n.id).is_none())
+            .map(|n| n.id.clone())
+            .collect();
+        Ok(DiffReport {
+            base_label: base.label.clone(),
+            new_label: new.label.clone(),
+            config: cfg,
+            entries,
+            missing,
+            added,
+        })
+    }
+
+    /// Number of entries with the given verdict.
+    pub fn count(&self, verdict: Verdict) -> usize {
+        self.entries.iter().filter(|e| e.verdict == verdict).count()
+    }
+
+    /// True when any entry regressed or baseline coverage was lost —
+    /// exactly when a CI gate should fail.
+    pub fn has_regressions(&self) -> bool {
+        !self.missing.is_empty() || self.count(Verdict::Regression) > 0
+    }
+
+    /// The value-tree form, for JSON reports.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("base_label".to_owned(), Value::Str(self.base_label.clone())),
+            ("new_label".to_owned(), Value::Str(self.new_label.clone())),
+            (
+                "makespan_threshold".to_owned(),
+                Value::F64(self.config.makespan_threshold),
+            ),
+            (
+                "overlap_threshold".to_owned(),
+                Value::F64(self.config.overlap_threshold),
+            ),
+            (
+                "entries".to_owned(),
+                Value::Seq(self.entries.iter().map(EntryDiff::to_value).collect()),
+            ),
+            (
+                "missing".to_owned(),
+                Value::Seq(self.missing.iter().cloned().map(Value::Str).collect()),
+            ),
+            (
+                "added".to_owned(),
+                Value::Seq(self.added.iter().cloned().map(Value::Str).collect()),
+            ),
+            (
+                "regressions".to_owned(),
+                Value::U64(self.count(Verdict::Regression) as u64),
+            ),
+            (
+                "improvements".to_owned(),
+                Value::U64(self.count(Verdict::Improvement) as u64),
+            ),
+            (
+                "has_regressions".to_owned(),
+                Value::Bool(self.has_regressions()),
+            ),
+        ])
+    }
+
+    /// Renders the human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "comparing `{}` (base) vs `{}` (new), makespan threshold {:.1}%",
+            self.base_label,
+            self.new_label,
+            self.config.makespan_threshold * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>8} {:<12} notes",
+            "entry", "base ms", "new ms", "delta", "verdict"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12.3} {:>12.3} {:>+7.2}% {:<12} {}",
+                e.id,
+                e.base_makespan_ns as f64 / 1e6,
+                e.new_makespan_ns as f64 / 1e6,
+                e.makespan_delta_rel * 100.0,
+                e.verdict.name(),
+                e.notes.join("; ")
+            );
+        }
+        for id in &self.missing {
+            let _ = writeln!(out, "{id:<28} MISSING from new snapshot (regression)");
+        }
+        for id in &self.added {
+            let _ = writeln!(out, "{id:<28} added in new snapshot");
+        }
+        let _ = writeln!(
+            out,
+            "\n{} regression(s), {} improvement(s), {} neutral, {} missing",
+            self.count(Verdict::Regression),
+            self.count(Verdict::Improvement),
+            self.count(Verdict::Neutral),
+            self.missing.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotEntry;
+    use std::collections::BTreeMap;
+
+    fn entry(id: &str, makespan: u64, overlap: f64, tile: usize) -> SnapshotEntry {
+        SnapshotEntry {
+            id: id.to_owned(),
+            routine: "gemm".to_owned(),
+            dims: vec![1024, 1024, 1024],
+            tile,
+            makespan_ns: makespan,
+            elapsed_secs: makespan as f64 / 1e9,
+            gflops: 100.0,
+            overlap_efficiency: overlap,
+            cache_hit_rate: 0.5,
+            drift_mape: BTreeMap::new(),
+        }
+    }
+
+    fn snap(label: &str, entries: Vec<SnapshotEntry>) -> Snapshot {
+        let mut s = Snapshot::new(label, "tb");
+        s.entries = entries;
+        s
+    }
+
+    #[test]
+    fn identical_snapshots_are_clean() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap("b", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(!report.has_regressions());
+        assert_eq!(report.count(Verdict::Neutral), 1);
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap("b", vec![entry("e1", 1_100_000, 2.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(report.has_regressions());
+        assert_eq!(report.entries[0].verdict, Verdict::Regression);
+        assert!((report.entries[0].makespan_delta_rel - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_beyond_threshold_improves() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap("b", vec![entry("e1", 900_000, 2.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(!report.has_regressions());
+        assert_eq!(report.count(Verdict::Improvement), 1);
+    }
+
+    #[test]
+    fn small_jitter_is_neutral() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap("b", vec![entry("e1", 1_020_000, 2.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert_eq!(report.count(Verdict::Neutral), 1);
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn overlap_collapse_regresses_even_with_flat_makespan() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.5, 512)]);
+        let new = snap("b", vec![entry("e1", 1_000_000, 1.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(report.has_regressions());
+        assert!(report.entries[0].notes[0].contains("overlap"));
+    }
+
+    #[test]
+    fn missing_entries_fail_the_gate() {
+        let base = snap(
+            "a",
+            vec![
+                entry("e1", 1_000_000, 2.0, 512),
+                entry("e2", 2_000_000, 2.0, 512),
+            ],
+        );
+        let new = snap("b", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(report.has_regressions());
+        assert_eq!(report.missing, vec!["e2".to_owned()]);
+    }
+
+    #[test]
+    fn added_entries_are_informational() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap(
+            "b",
+            vec![
+                entry("e1", 1_000_000, 2.0, 512),
+                entry("e3", 500_000, 2.0, 512),
+            ],
+        );
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(!report.has_regressions());
+        assert_eq!(report.added, vec!["e3".to_owned()]);
+    }
+
+    #[test]
+    fn tile_change_is_noted() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap("b", vec![entry("e1", 1_000_000, 2.0, 1024)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        assert!(report.entries[0].notes[0].contains("tile changed 512 -> 1024"));
+    }
+
+    #[test]
+    fn cross_testbed_comparison_is_rejected() {
+        let base = snap("a", vec![]);
+        let mut new = snap("b", vec![]);
+        new.testbed = "other".to_owned();
+        assert!(DiffReport::compare(&base, &new, DiffConfig::default()).is_err());
+    }
+
+    #[test]
+    fn render_and_json_cover_the_report() {
+        let base = snap("a", vec![entry("e1", 1_000_000, 2.0, 512)]);
+        let new = snap("b", vec![entry("e1", 1_200_000, 2.0, 512)]);
+        let report = DiffReport::compare(&base, &new, DiffConfig::default()).expect("compares");
+        let text = report.render();
+        assert!(text.contains("regression"));
+        assert!(text.contains("e1"));
+        let json = serde_json::to_string(&report.to_value()).expect("serializes");
+        assert!(json.contains("\"has_regressions\":true"));
+        assert!(json.contains("\"regressions\":1"));
+    }
+}

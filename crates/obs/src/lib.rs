@@ -16,6 +16,13 @@
 //!   dumps of tagged traces.
 //! * [`gantt`] — the shared ASCII Gantt renderer (paper Fig. 2 anatomy).
 //! * [`invariants`] — structural trace well-formedness checks.
+//! * [`calib`] — calibration diagnostics: fit quality (R², RMSE, slope CI)
+//!   for the §IV-A transfer/BTS models and a leave-one-out interpolation
+//!   audit of the empirical exec-time tables.
+//! * [`snapshot`]/[`diff`] — versioned machine-readable performance
+//!   snapshots of a standard sweep (`BENCH_<label>.json`) and the
+//!   comparator that classifies entry deltas as regression / improvement /
+//!   neutral for CI gating.
 //!
 //! ## Example: inspecting a synthetic trace
 //!
@@ -40,6 +47,8 @@
 
 #![deny(missing_docs)]
 
+pub mod calib;
+pub mod diff;
 pub mod drift;
 pub mod export;
 pub mod gantt;
@@ -47,8 +56,12 @@ pub mod invariants;
 pub mod metrics;
 pub mod observer;
 pub mod overlap;
+pub mod snapshot;
 
+pub use calib::{audit_exec_table, CalibReport, ExecAudit, FitRow, LatencyRow};
+pub use diff::{DiffConfig, DiffReport, EntryDiff, Verdict};
 pub use drift::{score_models, DriftAccountant, DriftRecord, ModelErrorStats};
 pub use metrics::{Histogram, Registry};
 pub use observer::{CallObservation, CallSummary, Observer, EFFICIENCY_BOUNDS};
 pub use overlap::OverlapStats;
+pub use snapshot::{Snapshot, SnapshotEntry, SNAPSHOT_SCHEMA_VERSION};

@@ -15,13 +15,16 @@ use std::fmt::Write as _;
 /// Values land in the first bucket whose upper bound is `>=` the value;
 /// values above every bound land in an implicit overflow bucket. Sum and
 /// count are tracked exactly, so the mean is always available regardless of
-/// bucket resolution.
+/// bucket resolution. Non-finite observations are rejected (counted in
+/// [`skipped`](Histogram::skipped)) so one NaN can never poison the
+/// aggregates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
     sum: f64,
     count: u64,
+    skipped: u64,
 }
 
 impl Histogram {
@@ -33,11 +36,18 @@ impl Histogram {
             counts: vec![0; n + 1],
             sum: 0.0,
             count: 0,
+            skipped: 0,
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. NaN and ±∞ are not recorded — they bump the
+    /// [`skipped`](Histogram::skipped) counter instead, keeping `sum`,
+    /// `mean`, and the quantile estimates finite.
     pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         let idx = self
             .bounds
             .iter()
@@ -51,6 +61,11 @@ impl Histogram {
     /// Number of observations recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of non-finite observations rejected.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Sum of all observations.
@@ -77,8 +92,51 @@ impl Histogram {
         &self.counts
     }
 
+    /// Estimates the `q`-quantile (`q ∈ [0, 1]`, clamped) from the bucket
+    /// counts by linear interpolation inside the bracketing bucket.
+    ///
+    /// The estimate is always bracketed by the bucket boundaries: mass in
+    /// the first bucket reports that bucket's upper bound (there is no lower
+    /// edge to interpolate from) and mass in the overflow bucket reports the
+    /// largest bound. Returns `None` for an empty histogram or one with no
+    /// buckets. The estimate is monotone non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if (cum as f64) < rank || c == 0 {
+                continue;
+            }
+            // Bucket i brackets the rank.
+            if i >= self.bounds.len() {
+                // Overflow bucket: no upper edge, clamp to the last bound.
+                return Some(self.bounds[self.bounds.len() - 1]);
+            }
+            if i == 0 {
+                // First bucket: no lower edge, report its upper bound.
+                return Some(self.bounds[0]);
+            }
+            let lo = self.bounds[i - 1];
+            let hi = self.bounds[i];
+            let into = rank - (cum - c) as f64;
+            let frac = (into / c as f64).clamp(0.0, 1.0);
+            return Some(lo + (hi - lo) * frac);
+        }
+        // rank == count landed past the loop due to trailing zero buckets.
+        Some(self.bounds[self.bounds.len() - 1])
+    }
+
     /// The value-tree form, for JSON reports.
     pub fn to_value(&self) -> Value {
+        let quant = |q: f64| match self.quantile(q) {
+            Some(v) => Value::F64(v),
+            None => Value::Null,
+        };
         Value::Map(vec![
             (
                 "bounds".to_owned(),
@@ -90,6 +148,10 @@ impl Histogram {
             ),
             ("sum".to_owned(), Value::F64(self.sum)),
             ("count".to_owned(), Value::U64(self.count)),
+            ("skipped".to_owned(), Value::U64(self.skipped)),
+            ("p50".to_owned(), quant(0.50)),
+            ("p95".to_owned(), quant(0.95)),
+            ("p99".to_owned(), quant(0.99)),
         ])
     }
 }
@@ -172,13 +234,21 @@ impl Registry {
             let _ = writeln!(out, "{name:<40} {v}");
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(
+            let q = |p: f64| h.quantile(p).unwrap_or(0.0);
+            let _ = write!(
                 out,
-                "{name:<40} n={} mean={:.4} sum={:.4}",
+                "{name:<40} n={} mean={:.4} sum={:.4} p50={:.4} p95={:.4} p99={:.4}",
                 h.count(),
                 h.mean(),
-                h.sum()
+                h.sum(),
+                q(0.50),
+                q(0.95),
+                q(0.99),
             );
+            if h.skipped() > 0 {
+                let _ = write!(out, " skipped={}", h.skipped());
+            }
+            out.push('\n');
         }
         out
     }
@@ -207,6 +277,52 @@ mod tests {
         assert_eq!(h.counts(), &[2, 1, 1]);
         assert_eq!(h.count(), 4);
         assert!((h.mean() - 106.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_observations_are_skipped_not_propagated() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(2.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.skipped(), 3);
+        assert_eq!(h.mean(), 2.0);
+        assert!(h.sum().is_finite());
+        let json = serde_json::to_string(&h.to_value()).expect("serializes");
+        assert!(json.contains("\"skipped\":3"));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let mut h = Histogram::new(vec![10.0, 20.0, 30.0]);
+        // 10 observations in (10, 20]: ranks spread linearly across it.
+        for _ in 0..10 {
+            h.observe(15.0);
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((p50 - 15.0).abs() < 1e-12, "p50 {p50}");
+        let p100 = h.quantile(1.0).expect("non-empty");
+        assert!((p100 - 20.0).abs() < 1e-12, "p100 {p100}");
+    }
+
+    #[test]
+    fn quantile_edge_buckets_clamp_to_bounds() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(0.5); // first bucket: reported as its upper bound
+        h.observe(100.0); // overflow: reported as the last bound
+        assert_eq!(h.quantile(0.01), Some(1.0));
+        assert_eq!(h.quantile(0.99), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_empty_and_unbucketed() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.quantile(0.5), None);
+        let mut nb = Histogram::new(Vec::new());
+        nb.observe(1.0);
+        assert_eq!(nb.quantile(0.5), None);
     }
 
     #[test]

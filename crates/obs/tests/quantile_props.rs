@@ -1,0 +1,95 @@
+//! Property-based invariants of the bucket-quantile estimator.
+
+use cocopelia_obs::Histogram;
+use proptest::prelude::*;
+
+/// Ascending bucket bounds spanning the observation range used below.
+fn bounds() -> Vec<f64> {
+    vec![1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The estimate is monotone non-decreasing in `q`.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in proptest::collection::vec(0.0f64..200.0, 1..64),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new(bounds());
+        for v in &values {
+            h.observe(*v);
+        }
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let lo = h.quantile(lo_q).expect("non-empty");
+        let hi = h.quantile(hi_q).expect("non-empty");
+        prop_assert!(lo <= hi, "q{lo_q} -> {lo} > q{hi_q} -> {hi}");
+    }
+
+    /// The estimate always lies within the bucket boundaries: at least the
+    /// smallest bound and at most the largest, regardless of where the raw
+    /// observations actually fell.
+    #[test]
+    fn quantile_is_bracketed_by_bounds(
+        values in proptest::collection::vec(0.0f64..200.0, 1..64),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new(bounds());
+        for v in &values {
+            h.observe(*v);
+        }
+        let b = bounds();
+        let est = h.quantile(q).expect("non-empty");
+        prop_assert!(est >= b[0], "estimate {est} below first bound");
+        prop_assert!(est <= b[b.len() - 1], "estimate {est} above last bound");
+    }
+
+    /// When every observation lands inside the bucketed range (no overflow),
+    /// the estimate for an interior quantile is bracketed by the bucket that
+    /// holds the matching rank of the *sorted* raw observations.
+    #[test]
+    fn quantile_tracks_the_rank_bucket(
+        values in proptest::collection::vec(1.0f64..100.0, 2..64),
+        q in 0.01f64..0.99,
+    ) {
+        let mut h = Histogram::new(bounds());
+        let mut sorted = values.clone();
+        for v in &values {
+            h.observe(*v);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let est = h.quantile(q).expect("non-empty");
+        // The true rank-th value, using the same rank = q*n convention.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let b = bounds();
+        // The bucket holding `truth`.
+        let bi = b.iter().position(|&ub| truth <= ub).expect("in range");
+        let bucket_lo = if bi == 0 { b[0].min(truth) } else { b[bi - 1] };
+        let bucket_hi = b[bi];
+        prop_assert!(
+            est >= bucket_lo - 1e-9 && est <= bucket_hi + 1e-9,
+            "estimate {est} outside bucket [{bucket_lo}, {bucket_hi}] holding rank value {truth}"
+        );
+    }
+
+    /// Non-finite observations never change any quantile estimate.
+    #[test]
+    fn skipped_observations_do_not_shift_quantiles(
+        values in proptest::collection::vec(0.0f64..200.0, 1..32),
+        q in 0.0f64..1.0,
+    ) {
+        let mut clean = Histogram::new(bounds());
+        let mut dirty = Histogram::new(bounds());
+        for v in &values {
+            clean.observe(*v);
+            dirty.observe(*v);
+            dirty.observe(f64::NAN);
+            dirty.observe(f64::INFINITY);
+        }
+        prop_assert_eq!(clean.quantile(q), dirty.quantile(q));
+        prop_assert_eq!(dirty.skipped(), 2 * values.len() as u64);
+    }
+}

@@ -62,12 +62,27 @@ pub struct RoutineReport {
     /// Per-model prediction-drift records scored against the achieved time
     /// (empty when the profile has no exec table for the routine).
     pub drift: Vec<DriftRecord>,
+    /// Tile-buffer reuse hits during the call (§IV-C full tile reuse).
+    pub tile_hits: u64,
+    /// Tile-buffer fetches that missed the reuse cache.
+    pub tile_misses: u64,
 }
 
 impl RoutineReport {
     /// Achieved throughput in GFLOP/s.
     pub fn gflops(&self) -> f64 {
         self.flops / self.elapsed.as_secs_f64() / 1e9
+    }
+
+    /// Tile-cache hit rate `hits/(hits+misses)`, or 0 when no tile was
+    /// ever fetched.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.tile_hits + self.tile_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tile_hits as f64 / total as f64
+        }
     }
 }
 
@@ -349,6 +364,8 @@ impl Cocopelia {
                 selection,
                 overlap,
                 drift,
+                tile_hits: run.tile_hits,
+                tile_misses: run.tile_misses,
             },
         })
     }
@@ -400,6 +417,8 @@ impl Cocopelia {
                 selection,
                 overlap,
                 drift,
+                tile_hits: run.tile_hits,
+                tile_misses: run.tile_misses,
             },
         })
     }
@@ -451,6 +470,8 @@ impl Cocopelia {
                 selection,
                 overlap,
                 drift,
+                tile_hits: run.tile_hits,
+                tile_misses: run.tile_misses,
             },
         })
     }
@@ -532,6 +553,8 @@ impl Cocopelia {
                 selection,
                 overlap,
                 drift,
+                tile_hits: run.tile_hits,
+                tile_misses: run.tile_misses,
             },
         })
     }

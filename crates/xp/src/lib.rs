@@ -3,8 +3,9 @@
 //! The experiment harness for the CoCoPeLia reproduction: the paper's §V-B
 //! validation and §V-E evaluation problem sets ([`sets`]), library/model
 //! runners on fresh simulated devices ([`runner`]), error statistics and
-//! violin summaries ([`stats`]), and plain-text table/figure rendering
-//! ([`table`]).
+//! violin summaries ([`stats`]), plain-text table/figure rendering
+//! ([`table`]), and the deterministic standard sweep behind
+//! `cocopelia snapshot` ([`snapshot`]).
 //!
 //! Every bench target in `cocopelia-bench` is a thin composition of this
 //! crate's pieces; the cross-crate integration tests in the repository's
@@ -14,10 +15,12 @@
 
 pub mod runner;
 pub mod sets;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
 pub use runner::{AxpyLib, GemmLib, Lab, RunOut};
 pub use sets::{AxpyProblem, GemmProblem, Scale};
+pub use snapshot::{collect_snapshot, standard_sweep, SweepPoint, SNAPSHOT_SEED};
 pub use stats::{geomean_improvement_pct, rel_err_pct, ViolinSummary};
 pub use table::{bar_chart, TextTable};

@@ -83,9 +83,9 @@ impl ViolinSummary {
 /// Geometric mean of strictly-positive ratios, reported as a percentage
 /// improvement (`(gm − 1)·100`), the way Table IV summarises speedups.
 ///
-/// # Panics
-///
-/// Panics on an empty sample or non-positive ratios.
+/// Invalid ratios (non-finite or non-positive) are skipped by the
+/// underlying [`cocopelia_deploy::geomean`]; an all-invalid sample reports
+/// −100 % (geomean 0).
 pub fn geomean_improvement_pct(speedups: &[f64]) -> f64 {
     (cocopelia_deploy::geomean(speedups) - 1.0) * 100.0
 }

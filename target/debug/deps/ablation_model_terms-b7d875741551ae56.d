@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_model_terms-b7d875741551ae56.d: crates/bench/benches/ablation_model_terms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_model_terms-b7d875741551ae56.rmeta: crates/bench/benches/ablation_model_terms.rs Cargo.toml
+
+crates/bench/benches/ablation_model_terms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

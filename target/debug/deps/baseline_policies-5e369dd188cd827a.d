@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_policies-5e369dd188cd827a.d: crates/xp/../../tests/baseline_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_policies-5e369dd188cd827a.rmeta: crates/xp/../../tests/baseline_policies.rs Cargo.toml
+
+crates/xp/../../tests/baseline_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

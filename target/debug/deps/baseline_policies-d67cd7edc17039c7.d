@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_policies-d67cd7edc17039c7.d: crates/xp/../../tests/baseline_policies.rs
+
+/root/repo/target/debug/deps/baseline_policies-d67cd7edc17039c7: crates/xp/../../tests/baseline_policies.rs
+
+crates/xp/../../tests/baseline_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia-1547f28a36cef733.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cocopelia-1547f28a36cef733: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

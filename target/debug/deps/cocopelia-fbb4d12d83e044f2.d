@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia-fbb4d12d83e044f2.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia-fbb4d12d83e044f2.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cocopelia_baselines-5da479057940fb6e.d: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+/root/repo/target/debug/deps/libcocopelia_baselines-5da479057940fb6e.rlib: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+/root/repo/target/debug/deps/libcocopelia_baselines-5da479057940fb6e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cublasxt.rs:
+crates/baselines/src/serial.rs:
+crates/baselines/src/unified.rs:
+crates/baselines/src/blasx.rs:

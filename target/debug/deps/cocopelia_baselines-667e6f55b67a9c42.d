@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cocopelia_baselines-667e6f55b67a9c42.d: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_baselines-667e6f55b67a9c42.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cublasxt.rs:
+crates/baselines/src/serial.rs:
+crates/baselines/src/unified.rs:
+crates/baselines/src/blasx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

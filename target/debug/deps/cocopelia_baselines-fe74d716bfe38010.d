@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_baselines-fe74d716bfe38010.d: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+/root/repo/target/debug/deps/cocopelia_baselines-fe74d716bfe38010: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cublasxt.rs:
+crates/baselines/src/serial.rs:
+crates/baselines/src/unified.rs:
+crates/baselines/src/blasx.rs:

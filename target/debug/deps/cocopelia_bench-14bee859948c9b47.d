@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cocopelia_bench-14bee859948c9b47.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cocopelia_bench-14bee859948c9b47: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

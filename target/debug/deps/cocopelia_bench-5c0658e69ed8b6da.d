@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_bench-5c0658e69ed8b6da.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_bench-5c0658e69ed8b6da.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

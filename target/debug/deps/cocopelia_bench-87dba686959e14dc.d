@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cocopelia_bench-87dba686959e14dc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcocopelia_bench-87dba686959e14dc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcocopelia_bench-87dba686959e14dc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cocopelia_bench-af9bc8e1823b3005.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_bench-af9bc8e1823b3005.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cocopelia_obs-07f6d9c37eece390.d: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcocopelia_obs-07f6d9c37eece390.rlib: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcocopelia_obs-07f6d9c37eece390.rmeta: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/calib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:
+crates/obs/src/snapshot.rs:

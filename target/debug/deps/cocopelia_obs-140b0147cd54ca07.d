@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cocopelia_obs-140b0147cd54ca07.d: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_obs-140b0147cd54ca07.rmeta: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/calib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:
+crates/obs/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

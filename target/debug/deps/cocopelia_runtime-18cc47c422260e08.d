@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cocopelia_runtime-18cc47c422260e08.d: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/debug/deps/cocopelia_runtime-18cc47c422260e08: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/ctx.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/operand.rs:
+crates/runtime/src/scheduler/mod.rs:
+crates/runtime/src/scheduler/axpy.rs:
+crates/runtime/src/scheduler/dot.rs:
+crates/runtime/src/scheduler/gemm.rs:
+crates/runtime/src/scheduler/gemv.rs:
+crates/runtime/src/multigpu.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cocopelia_runtime-413a28130bb90f55.d: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/debug/deps/libcocopelia_runtime-413a28130bb90f55.rlib: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/debug/deps/libcocopelia_runtime-413a28130bb90f55.rmeta: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/ctx.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/operand.rs:
+crates/runtime/src/scheduler/mod.rs:
+crates/runtime/src/scheduler/axpy.rs:
+crates/runtime/src/scheduler/dot.rs:
+crates/runtime/src/scheduler/gemm.rs:
+crates/runtime/src/scheduler/gemv.rs:
+crates/runtime/src/multigpu.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cocopelia_runtime-571cba5c97b3277f.d: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_runtime-571cba5c97b3277f.rmeta: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/ctx.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/operand.rs:
+crates/runtime/src/scheduler/mod.rs:
+crates/runtime/src/scheduler/axpy.rs:
+crates/runtime/src/scheduler/dot.rs:
+crates/runtime/src/scheduler/gemm.rs:
+crates/runtime/src/scheduler/gemv.rs:
+crates/runtime/src/multigpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cocopelia_xp-047d1c96dcafac01.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/cocopelia_xp-047d1c96dcafac01: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/snapshot.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cocopelia_xp-7779887e5ed8621b.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/libcocopelia_xp-7779887e5ed8621b.rlib: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/debug/deps/libcocopelia_xp-7779887e5ed8621b.rmeta: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/snapshot.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cocopelia_xp-8eec0e55b8204650.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcocopelia_xp-8eec0e55b8204650.rmeta: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs Cargo.toml
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/snapshot.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

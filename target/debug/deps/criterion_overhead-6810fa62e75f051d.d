@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_overhead-6810fa62e75f051d.d: crates/bench/benches/criterion_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_overhead-6810fa62e75f051d.rmeta: crates/bench/benches/criterion_overhead.rs Cargo.toml
+
+crates/bench/benches/criterion_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

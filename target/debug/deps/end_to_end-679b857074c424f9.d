@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-679b857074c424f9.d: crates/xp/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-679b857074c424f9: crates/xp/../../tests/end_to_end.rs
+
+crates/xp/../../tests/end_to_end.rs:

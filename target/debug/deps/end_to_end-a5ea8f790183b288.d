@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-a5ea8f790183b288.d: crates/xp/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-a5ea8f790183b288.rmeta: crates/xp/../../tests/end_to_end.rs Cargo.toml
+
+crates/xp/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

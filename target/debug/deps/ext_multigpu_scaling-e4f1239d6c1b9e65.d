@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multigpu_scaling-e4f1239d6c1b9e65.d: crates/bench/benches/ext_multigpu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multigpu_scaling-e4f1239d6c1b9e65.rmeta: crates/bench/benches/ext_multigpu_scaling.rs Cargo.toml
+
+crates/bench/benches/ext_multigpu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

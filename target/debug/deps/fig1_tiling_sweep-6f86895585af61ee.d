@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_tiling_sweep-6f86895585af61ee.d: crates/bench/benches/fig1_tiling_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_tiling_sweep-6f86895585af61ee.rmeta: crates/bench/benches/fig1_tiling_sweep.rs Cargo.toml
+
+crates/bench/benches/fig1_tiling_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reuse_anatomy-634eec67ff657a23.d: crates/bench/benches/fig2_reuse_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reuse_anatomy-634eec67ff657a23.rmeta: crates/bench/benches/fig2_reuse_anatomy.rs Cargo.toml
+
+crates/bench/benches/fig2_reuse_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

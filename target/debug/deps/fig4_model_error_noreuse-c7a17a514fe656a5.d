@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_model_error_noreuse-c7a17a514fe656a5.d: crates/bench/benches/fig4_model_error_noreuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_model_error_noreuse-c7a17a514fe656a5.rmeta: crates/bench/benches/fig4_model_error_noreuse.rs Cargo.toml
+
+crates/bench/benches/fig4_model_error_noreuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_model_error_reuse-05f7b4406c3da2fd.d: crates/bench/benches/fig5_model_error_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_model_error_reuse-05f7b4406c3da2fd.rmeta: crates/bench/benches/fig5_model_error_reuse.rs Cargo.toml
+
+crates/bench/benches/fig5_model_error_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_tile_selection-8ebe284a2d719690.d: crates/bench/benches/fig6_tile_selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_tile_selection-8ebe284a2d719690.rmeta: crates/bench/benches/fig6_tile_selection.rs Cargo.toml
+
+crates/bench/benches/fig6_tile_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

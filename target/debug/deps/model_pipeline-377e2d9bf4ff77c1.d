@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_pipeline-377e2d9bf4ff77c1.d: crates/xp/../../tests/model_pipeline.rs
+
+/root/repo/target/debug/deps/model_pipeline-377e2d9bf4ff77c1: crates/xp/../../tests/model_pipeline.rs
+
+crates/xp/../../tests/model_pipeline.rs:

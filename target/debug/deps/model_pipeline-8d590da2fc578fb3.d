@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_pipeline-8d590da2fc578fb3.d: crates/xp/../../tests/model_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_pipeline-8d590da2fc578fb3.rmeta: crates/xp/../../tests/model_pipeline.rs Cargo.toml
+
+crates/xp/../../tests/model_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numerical_correctness-5f9d33a848763788.d: crates/xp/../../tests/numerical_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumerical_correctness-5f9d33a848763788.rmeta: crates/xp/../../tests/numerical_correctness.rs Cargo.toml
+
+crates/xp/../../tests/numerical_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

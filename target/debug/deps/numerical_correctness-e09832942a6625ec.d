@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numerical_correctness-e09832942a6625ec.d: crates/xp/../../tests/numerical_correctness.rs
+
+/root/repo/target/debug/deps/numerical_correctness-e09832942a6625ec: crates/xp/../../tests/numerical_correctness.rs
+
+crates/xp/../../tests/numerical_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-05e1005a11e88134.d: crates/xp/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-05e1005a11e88134: crates/xp/../../tests/observability.rs
+
+crates/xp/../../tests/observability.rs:

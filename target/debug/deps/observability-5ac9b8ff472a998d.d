@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-5ac9b8ff472a998d.d: crates/xp/../../tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-5ac9b8ff472a998d.rmeta: crates/xp/../../tests/observability.rs Cargo.toml
+
+crates/xp/../../tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

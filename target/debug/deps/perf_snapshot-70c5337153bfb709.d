@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perf_snapshot-70c5337153bfb709.d: crates/xp/../../tests/perf_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_snapshot-70c5337153bfb709.rmeta: crates/xp/../../tests/perf_snapshot.rs Cargo.toml
+
+crates/xp/../../tests/perf_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perf_snapshot-8c76fc3ab939f81d.d: crates/xp/../../tests/perf_snapshot.rs
+
+/root/repo/target/debug/deps/perf_snapshot-8c76fc3ab939f81d: crates/xp/../../tests/perf_snapshot.rs
+
+crates/xp/../../tests/perf_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xp

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_roundtrip-cc67cdaf198e0101.d: crates/xp/../../tests/profile_roundtrip.rs
+
+/root/repo/target/debug/deps/profile_roundtrip-cc67cdaf198e0101: crates/xp/../../tests/profile_roundtrip.rs
+
+crates/xp/../../tests/profile_roundtrip.rs:

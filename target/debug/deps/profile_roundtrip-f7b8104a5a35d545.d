@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_roundtrip-f7b8104a5a35d545.d: crates/xp/../../tests/profile_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_roundtrip-f7b8104a5a35d545.rmeta: crates/xp/../../tests/profile_roundtrip.rs Cargo.toml
+
+crates/xp/../../tests/profile_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantile_props-07fe13ac84e112f3.d: crates/obs/tests/quantile_props.rs
+
+/root/repo/target/debug/deps/quantile_props-07fe13ac84e112f3: crates/obs/tests/quantile_props.rs
+
+crates/obs/tests/quantile_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantile_props-56a354c941cee024.d: crates/obs/tests/quantile_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantile_props-56a354c941cee024.rmeta: crates/obs/tests/quantile_props.rs Cargo.toml
+
+crates/obs/tests/quantile_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_transfer_fit-b9454001689c9326.d: crates/bench/benches/table2_transfer_fit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_transfer_fit-b9454001689c9326.rmeta: crates/bench/benches/table2_transfer_fit.rs Cargo.toml
+
+crates/bench/benches/table2_transfer_fit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_improvement-91afa664b5058daf.d: crates/bench/benches/table4_improvement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_improvement-91afa664b5058daf.rmeta: crates/bench/benches/table4_improvement.rs Cargo.toml
+
+crates/bench/benches/table4_improvement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_report-2ed84c1eef72c173.d: crates/xp/../../examples/autotune_report.rs
+
+/root/repo/target/debug/examples/autotune_report-2ed84c1eef72c173: crates/xp/../../examples/autotune_report.rs
+
+crates/xp/../../examples/autotune_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune_report-91a70574246892ef.d: crates/xp/../../examples/autotune_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune_report-91a70574246892ef.rmeta: crates/xp/../../examples/autotune_report.rs Cargo.toml
+
+crates/xp/../../examples/autotune_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iterative_solver-8fbe920d4d6d078f.d: crates/xp/../../examples/iterative_solver.rs
+
+/root/repo/target/debug/examples/iterative_solver-8fbe920d4d6d078f: crates/xp/../../examples/iterative_solver.rs
+
+crates/xp/../../examples/iterative_solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iterative_solver-efba2ae6a6898eb1.d: crates/xp/../../examples/iterative_solver.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiterative_solver-efba2ae6a6898eb1.rmeta: crates/xp/../../examples/iterative_solver.rs Cargo.toml
+
+crates/xp/../../examples/iterative_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

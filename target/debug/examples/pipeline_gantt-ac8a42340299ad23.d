@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_gantt-ac8a42340299ad23.d: crates/xp/../../examples/pipeline_gantt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_gantt-ac8a42340299ad23.rmeta: crates/xp/../../examples/pipeline_gantt.rs Cargo.toml
+
+crates/xp/../../examples/pipeline_gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_gantt-b67fc2cc5eb9da0a.d: crates/xp/../../examples/pipeline_gantt.rs
+
+/root/repo/target/debug/examples/pipeline_gantt-b67fc2cc5eb9da0a: crates/xp/../../examples/pipeline_gantt.rs
+
+crates/xp/../../examples/pipeline_gantt.rs:

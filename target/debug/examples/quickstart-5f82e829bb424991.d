@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5f82e829bb424991.d: crates/xp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5f82e829bb424991: crates/xp/../../examples/quickstart.rs
+
+crates/xp/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-93ad1a439fa23bce.d: crates/xp/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-93ad1a439fa23bce.rmeta: crates/xp/../../examples/quickstart.rs Cargo.toml
+
+crates/xp/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

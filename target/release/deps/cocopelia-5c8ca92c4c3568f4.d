@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cocopelia-5c8ca92c4c3568f4.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/cocopelia-5c8ca92c4c3568f4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cocopelia_baselines-ceb61f0543303af2.d: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+/root/repo/target/release/deps/libcocopelia_baselines-ceb61f0543303af2.rlib: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+/root/repo/target/release/deps/libcocopelia_baselines-ceb61f0543303af2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cublasxt.rs crates/baselines/src/serial.rs crates/baselines/src/unified.rs crates/baselines/src/blasx.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cublasxt.rs:
+crates/baselines/src/serial.rs:
+crates/baselines/src/unified.rs:
+crates/baselines/src/blasx.rs:

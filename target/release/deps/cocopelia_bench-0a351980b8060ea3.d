@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cocopelia_bench-0a351980b8060ea3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcocopelia_bench-0a351980b8060ea3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcocopelia_bench-0a351980b8060ea3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cocopelia_obs-5bfc5405d43abe03.d: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libcocopelia_obs-5bfc5405d43abe03.rlib: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libcocopelia_obs-5bfc5405d43abe03.rmeta: crates/obs/src/lib.rs crates/obs/src/calib.rs crates/obs/src/diff.rs crates/obs/src/drift.rs crates/obs/src/export.rs crates/obs/src/gantt.rs crates/obs/src/invariants.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/overlap.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/calib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/export.rs:
+crates/obs/src/gantt.rs:
+crates/obs/src/invariants.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/overlap.rs:
+crates/obs/src/snapshot.rs:

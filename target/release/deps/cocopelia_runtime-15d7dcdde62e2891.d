@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cocopelia_runtime-15d7dcdde62e2891.d: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/release/deps/libcocopelia_runtime-15d7dcdde62e2891.rlib: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+/root/repo/target/release/deps/libcocopelia_runtime-15d7dcdde62e2891.rmeta: crates/runtime/src/lib.rs crates/runtime/src/ctx.rs crates/runtime/src/error.rs crates/runtime/src/operand.rs crates/runtime/src/scheduler/mod.rs crates/runtime/src/scheduler/axpy.rs crates/runtime/src/scheduler/dot.rs crates/runtime/src/scheduler/gemm.rs crates/runtime/src/scheduler/gemv.rs crates/runtime/src/multigpu.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/ctx.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/operand.rs:
+crates/runtime/src/scheduler/mod.rs:
+crates/runtime/src/scheduler/axpy.rs:
+crates/runtime/src/scheduler/dot.rs:
+crates/runtime/src/scheduler/gemm.rs:
+crates/runtime/src/scheduler/gemv.rs:
+crates/runtime/src/multigpu.rs:

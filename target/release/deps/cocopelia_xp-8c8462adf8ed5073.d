@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cocopelia_xp-8c8462adf8ed5073.d: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/release/deps/libcocopelia_xp-8c8462adf8ed5073.rlib: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+/root/repo/target/release/deps/libcocopelia_xp-8c8462adf8ed5073.rmeta: crates/xp/src/lib.rs crates/xp/src/runner.rs crates/xp/src/sets.rs crates/xp/src/snapshot.rs crates/xp/src/stats.rs crates/xp/src/table.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/runner.rs:
+crates/xp/src/sets.rs:
+crates/xp/src/snapshot.rs:
+crates/xp/src/stats.rs:
+crates/xp/src/table.rs:

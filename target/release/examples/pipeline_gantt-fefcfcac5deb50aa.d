@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipeline_gantt-fefcfcac5deb50aa.d: crates/xp/../../examples/pipeline_gantt.rs
+
+/root/repo/target/release/examples/pipeline_gantt-fefcfcac5deb50aa: crates/xp/../../examples/pipeline_gantt.rs
+
+crates/xp/../../examples/pipeline_gantt.rs:

@@ -12,7 +12,7 @@ use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{Gpu, SimScalar};
 use cocopelia_hostblas::Matrix;
-use cocopelia_runtime::{Cocopelia, MatOperand, RuntimeError, TileChoice};
+use cocopelia_runtime::{Cocopelia, GemmRequest, MatOperand, RuntimeError, TileChoice};
 
 /// BLASX's compile-time default tiling size.
 pub const BLASX_DEFAULT_TILE: usize = 2048;
@@ -85,9 +85,11 @@ impl Blasx {
         // smaller than the tile (a single-tile schedule).
         let min_dim = a.rows().min(b.cols()).min(a.cols());
         let tile = self.tile.min(min_dim.max(1));
-        let out = self
-            .ctx
-            .gemm(alpha, a, b, beta, c, TileChoice::Fixed(tile))?;
+        let out = GemmRequest::new(a, b, c)
+            .alpha(alpha)
+            .beta(beta)
+            .tile(TileChoice::Fixed(tile))
+            .run(&mut self.ctx)?;
         Ok(BaselineResult {
             output: out.c,
             elapsed: out.report.elapsed,

@@ -202,14 +202,14 @@ mod tests {
             },
         );
         let mut ctx = cocopelia_runtime::Cocopelia::new(gpu3, dummy);
-        let pinned = ctx
-            .daxpy(
-                1.0,
-                VecOperand::HostGhost { len: n },
-                VecOperand::HostGhost { len: n },
-                cocopelia_runtime::TileChoice::Fixed(DEFAULT_PREFETCH_CHUNK),
-            )
-            .expect("runs");
+        let pinned = cocopelia_runtime::AxpyRequest::new(
+            VecOperand::<f64>::HostGhost { len: n },
+            VecOperand::HostGhost { len: n },
+        )
+        .alpha(1.0)
+        .tile(cocopelia_runtime::TileChoice::Fixed(DEFAULT_PREFETCH_CHUNK))
+        .run(&mut ctx)
+        .expect("runs");
         assert!(
             um.elapsed.as_secs_f64() > pinned.report.elapsed.as_secs_f64() * 1.2,
             "um {} vs pinned {}",

@@ -10,7 +10,7 @@
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, Gpu, NoiseSpec, Trace};
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+use cocopelia_runtime::{Cocopelia, GemmRequest, MatOperand, TileChoice};
 use cocopelia_xp::TextTable;
 
 /// Fraction of `[w0, w1)` during which `engine` was busy.
@@ -41,14 +41,15 @@ fn main() {
     );
     let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 2), dummy);
     let n = 8192;
-    ctx.dgemm(
-        1.0,
+    GemmRequest::new(
         MatOperand::<f64>::HostGhost { rows: n, cols: n },
         MatOperand::HostGhost { rows: n, cols: n },
-        1.0,
         MatOperand::HostGhost { rows: n, cols: n },
-        TileChoice::Fixed(1024),
     )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(1024))
+    .run(&mut ctx)
     .expect("runs");
     let trace = ctx.gpu().trace();
     let end = trace

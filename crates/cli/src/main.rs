@@ -8,6 +8,7 @@
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! cocopelia calib   --testbed i [--quick] [--json calib.json]
+//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt]
 //! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
 //! cocopelia compare BENCH_seed.json BENCH_pr.json [--threshold 0.05] [--json diff.json]
 //! ```
@@ -22,11 +23,75 @@ use cocopelia_core::select::TileSelector;
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{testbed_i, testbed_ii, ExecMode, Gpu, TestbedSpec};
 use cocopelia_hostblas::Dtype;
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice, VecOperand};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, RuntimeError,
+    TileChoice, VecOperand,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use args::Args;
+
+/// Typed failure of a CLI invocation: keeps the offending path / runtime
+/// error attached instead of flattening everything to strings.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown subcommand, missing or malformed flag.
+    Usage(String),
+    /// A filesystem operation failed on `path`.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// The runtime refused or failed a routine call.
+    Runtime(RuntimeError),
+    /// JSON (de)serialisation failed.
+    Json(String),
+    /// Deployment, sweep, or snapshot data was unusable.
+    Data(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Runtime(e) => write!(f, "runtime: {e}"),
+            CliError::Json(m) => write!(f, "json: {m}"),
+            CliError::Data(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for CliError {
+    fn from(e: RuntimeError) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
+
+fn write_file(path: &str, text: &str) -> Result<(), CliError> {
+    std::fs::write(path, text).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -34,7 +99,9 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -54,20 +121,21 @@ usage:
                     --out <trace.json> [--format <chrome|jsonl>]
   cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]
   cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
+  cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>]
   cocopelia snapshot --out <BENCH_label.json> [--testbed <i|ii>] [--label <label>]
   cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]";
 
-fn run(argv: &[String]) -> Result<ExitCode, String> {
+fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err("missing subcommand".to_owned());
+        return Err(CliError::Usage("missing subcommand".to_owned()));
     };
     if cmd == "compare" {
         // `compare` is the one positional-taking command (two snapshot
         // paths) and the one command with a non-binary exit code.
-        let (pos, args) = Args::parse_with_positionals(rest)?;
+        let (pos, args) = Args::parse_with_positionals(rest).map_err(CliError::Usage)?;
         return cmd_compare(&pos, &args);
     }
-    let args = Args::parse(rest)?;
+    let args = Args::parse(rest).map_err(CliError::Usage)?;
     match cmd.as_str() {
         "deploy" => cmd_deploy(&args),
         "predict" => cmd_predict(&args),
@@ -76,30 +144,38 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "trace" => cmd_trace(&args),
         "gantt" => cmd_gantt(&args),
         "calib" => cmd_calib(&args),
+        "serve" => cmd_serve(&args),
         "snapshot" => cmd_snapshot(&args),
-        other => Err(format!("unknown subcommand `{other}`")),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
     .map(|()| ExitCode::SUCCESS)
 }
 
-fn testbed(args: &Args) -> Result<TestbedSpec, String> {
-    match args.get("testbed")?.as_str() {
+/// `--key value` lookup, with a missing key reported as a usage error.
+fn get(args: &Args, key: &str) -> Result<String, CliError> {
+    args.get(key).map_err(CliError::Usage)
+}
+
+fn testbed(args: &Args) -> Result<TestbedSpec, CliError> {
+    match get(args, "testbed")?.as_str() {
         "i" | "I" | "1" => Ok(testbed_i()),
         "ii" | "II" | "2" => Ok(testbed_ii()),
-        other => Err(format!("unknown testbed `{other}` (expected i or ii)")),
+        other => Err(CliError::Usage(format!(
+            "unknown testbed `{other}` (expected i or ii)"
+        ))),
     }
 }
 
-fn load_profile(args: &Args) -> Result<SystemProfile, String> {
-    let path = args.get("profile")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    SystemProfile::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn load_profile(args: &Args) -> Result<SystemProfile, CliError> {
+    let path = get(args, "profile")?;
+    let text = read_file(&path)?;
+    SystemProfile::from_json(&text).map_err(|e| CliError::Json(format!("parsing {path}: {e}")))
 }
 
 /// `(routine, dtype, dims)` from `--routine`/`--dims`.
-fn problem(args: &Args) -> Result<ProblemSpec, String> {
-    let routine = args.get("routine")?;
-    let dims = args.get_usize_list("dims")?;
+fn problem(args: &Args) -> Result<ProblemSpec, CliError> {
+    let routine = get(args, "routine")?;
+    let dims = args.get_usize_list("dims").map_err(CliError::Usage)?;
     let locs: Vec<Loc> = args
         .get_opt("loc")
         .unwrap_or_default()
@@ -107,7 +183,7 @@ fn problem(args: &Args) -> Result<ProblemSpec, String> {
         .map(|c| match c {
             'H' | 'h' => Ok(Loc::Host),
             'D' | 'd' => Ok(Loc::Device),
-            other => Err(format!("bad loc flag `{other}` (H or D)")),
+            other => Err(CliError::Usage(format!("bad loc flag `{other}` (H or D)"))),
         })
         .collect::<Result<_, _>>()?;
     let loc = |i: usize| locs.get(i).copied().unwrap_or(Loc::Host);
@@ -115,7 +191,10 @@ fn problem(args: &Args) -> Result<ProblemSpec, String> {
         if dims.len() == n {
             Ok(())
         } else {
-            Err(format!("{routine} needs {n} dims, got {}", dims.len()))
+            Err(CliError::Usage(format!(
+                "{routine} needs {n} dims, got {}",
+                dims.len()
+            )))
         }
     };
     match routine.as_str() {
@@ -157,11 +236,11 @@ fn problem(args: &Args) -> Result<ProblemSpec, String> {
                 true,
             ))
         }
-        other => Err(format!("unknown routine `{other}`")),
+        other => Err(CliError::Usage(format!("unknown routine `{other}`"))),
     }
 }
 
-fn model(args: &Args) -> Result<Option<ModelKind>, String> {
+fn model(args: &Args) -> Result<Option<ModelKind>, CliError> {
     Ok(match args.get_opt("model").as_deref() {
         None => None,
         Some("cso") => Some(ModelKind::Cso),
@@ -169,13 +248,13 @@ fn model(args: &Args) -> Result<Option<ModelKind>, String> {
         Some("eq2") | Some("dataloc") => Some(ModelKind::DataLoc),
         Some("bts") | Some("eq4") => Some(ModelKind::Bts),
         Some("dr") | Some("eq5") => Some(ModelKind::DataReuse),
-        Some(other) => return Err(format!("unknown model `{other}`")),
+        Some(other) => return Err(CliError::Usage(format!("unknown model `{other}`"))),
     })
 }
 
-fn cmd_deploy(args: &Args) -> Result<(), String> {
+fn cmd_deploy(args: &Args) -> Result<(), CliError> {
     let tb = testbed(args)?;
-    let out = args.get("out")?;
+    let out = get(args, "out")?;
     let cfg = if args.has_flag("quick") {
         DeployConfig::quick()
     } else {
@@ -187,7 +266,7 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         cfg.transfer_dims.len(),
         cfg.gemm_tiles.len()
     );
-    let report = deploy(&tb, &cfg).map_err(|e| e.to_string())?;
+    let report = deploy(&tb, &cfg).map_err(|e| CliError::Data(e.to_string()))?;
     println!(
         "h2d: t_l {:.2}us  {:.2} GB/s  sl {:.2}",
         report.fit.h2d.t_l * 1e6,
@@ -200,24 +279,32 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         1.0 / report.fit.d2h.t_b / 1e9,
         report.fit.d2h.sl
     );
-    let json = report.profile.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    let json = report
+        .profile
+        .to_json()
+        .map_err(|e| CliError::Json(e.to_string()))?;
+    write_file(&out, &json)?;
     println!("profile written to {out}");
     Ok(())
 }
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
+fn cmd_predict(args: &Args) -> Result<(), CliError> {
     let profile = load_profile(args)?;
     let spec = problem(args)?;
     let kind = model(args)?.unwrap_or_else(|| ModelKind::recommended_for(spec.routine));
     if kind == ModelKind::Cso {
-        return Err(
+        return Err(CliError::Usage(
             "the CSO comparator needs a measured full-kernel time; use the bench harness".into(),
-        );
+        ));
     }
     let exec = profile
         .exec_table(spec.routine, spec.dtype)
-        .ok_or_else(|| format!("profile has no table for {}", spec.routine.name(spec.dtype)))?;
+        .ok_or_else(|| {
+            CliError::Data(format!(
+                "profile has no table for {}",
+                spec.routine.name(spec.dtype)
+            ))
+        })?;
     let ctx = ModelCtx {
         problem: &spec,
         transfer: &profile.transfer,
@@ -226,7 +313,7 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     };
     let sel = TileSelector::default()
         .select(kind, &ctx)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Data(e.to_string()))?;
     println!(
         "{} predictions for {}:",
         kind.name(),
@@ -251,13 +338,16 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
 /// Builds a timing-only pipeline from `--testbed`/`--profile`, runs the
 /// requested routine once, and returns the handle (trace + observer
 /// populated) with the call's report.
-fn execute(args: &Args) -> Result<(Cocopelia, cocopelia_runtime::RoutineReport), String> {
+fn execute(args: &Args) -> Result<(Cocopelia, cocopelia_runtime::RoutineReport), CliError> {
     let tb = testbed(args)?;
     let profile = load_profile(args)?;
     let spec = problem(args)?;
     let choice = match args.get_opt("tile").as_deref() {
         None | Some("auto") => TileChoice::Auto,
-        Some(t) => TileChoice::Fixed(t.parse().map_err(|_| format!("bad tile `{t}`"))?),
+        Some(t) => TileChoice::Fixed(
+            t.parse()
+                .map_err(|_| CliError::Usage(format!("bad tile `{t}`")))?,
+        ),
     };
     let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 0xC11), profile);
     let dims = spec.dims();
@@ -265,56 +355,52 @@ fn execute(args: &Args) -> Result<(Cocopelia, cocopelia_runtime::RoutineReport),
     let report = match spec.routine {
         cocopelia_core::params::RoutineClass::Gemm => {
             let (m, n, k) = (dims[0], dims[1], dims[2]);
-            ctx.dgemm(
-                1.0,
-                ghost_mat(m, k),
-                ghost_mat(k, n),
-                1.0,
-                ghost_mat(m, n),
-                choice,
-            )
-            .map_err(|e| e.to_string())?
-            .report
+            GemmRequest::new(ghost_mat(m, k), ghost_mat(k, n), ghost_mat(m, n))
+                .alpha(1.0)
+                .beta(1.0)
+                .tile(choice)
+                .run(&mut ctx)?
+                .report
         }
         cocopelia_core::params::RoutineClass::Axpy => {
             let n = dims[0];
-            ctx.daxpy(
-                1.0,
+            AxpyRequest::new(
+                VecOperand::<f64>::HostGhost { len: n },
                 VecOperand::HostGhost { len: n },
-                VecOperand::HostGhost { len: n },
-                choice,
             )
-            .map_err(|e| e.to_string())?
+            .alpha(1.0)
+            .tile(choice)
+            .run(&mut ctx)?
             .report
         }
         cocopelia_core::params::RoutineClass::Dot => {
             let n = dims[0];
-            ctx.ddot(
+            DotRequest::new(
+                VecOperand::<f64>::HostGhost { len: n },
                 VecOperand::HostGhost { len: n },
-                VecOperand::HostGhost { len: n },
-                choice,
             )
-            .map_err(|e| e.to_string())?
+            .tile(choice)
+            .run(&mut ctx)?
             .report
         }
         cocopelia_core::params::RoutineClass::Gemv => {
             let (m, n) = (dims[0], dims[1]);
-            ctx.dgemv(
-                1.0,
+            GemvRequest::new(
                 ghost_mat(m, n),
                 VecOperand::HostGhost { len: n },
-                1.0,
                 VecOperand::HostGhost { len: m },
-                choice,
             )
-            .map_err(|e| e.to_string())?
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(choice)
+            .run(&mut ctx)?
             .report
         }
     };
     Ok((ctx, report))
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<(), CliError> {
     let (ctx, report) = execute(args)?;
     println!(
         "T = {}  elapsed {:.3} ms  {:.1} GFLOP/s  ({} sub-kernels)  overlap {:.2}x",
@@ -328,46 +414,52 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(args: &Args) -> Result<(), String> {
+fn cmd_report(args: &Args) -> Result<(), CliError> {
     let (ctx, _report) = execute(args)?;
     print!("{}", ctx.observer().render());
     if let Some(path) = args.get_opt("json") {
-        let json = serde_json::to_string(&ctx.observer().to_value()).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        let json = serde_json::to_string(&ctx.observer().to_value())
+            .map_err(|e| CliError::Json(e.to_string()))?;
+        write_file(&path, &json)?;
         println!("\nJSON report written to {path}");
     }
     Ok(())
 }
 
-fn cmd_trace(args: &Args) -> Result<(), String> {
+fn cmd_trace(args: &Args) -> Result<(), CliError> {
     let (ctx, _report) = execute(args)?;
-    let out = args.get("out")?;
+    let out = get(args, "out")?;
     let entries = ctx.gpu().trace().entries();
     let text = match args.get_opt("format").as_deref() {
-        None | Some("chrome") => {
-            cocopelia_obs::export::to_chrome_trace(entries).map_err(|e| e.to_string())?
+        None | Some("chrome") => cocopelia_obs::export::to_chrome_trace(entries)
+            .map_err(|e| CliError::Json(e.to_string()))?,
+        Some("jsonl") => {
+            cocopelia_obs::export::to_jsonl(entries).map_err(|e| CliError::Json(e.to_string()))?
         }
-        Some("jsonl") => cocopelia_obs::export::to_jsonl(entries).map_err(|e| e.to_string())?,
-        Some(other) => return Err(format!("unknown trace format `{other}`")),
+        Some(other) => {
+            return Err(CliError::Usage(format!("unknown trace format `{other}`")));
+        }
     };
-    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    write_file(&out, &text)?;
     println!("{} trace entries written to {out}", entries.len());
     Ok(())
 }
 
-fn cmd_gantt(args: &Args) -> Result<(), String> {
+fn cmd_gantt(args: &Args) -> Result<(), CliError> {
     let tb = testbed(args)?;
-    let dims = args.get_usize_list("dims")?;
+    let dims = args.get_usize_list("dims").map_err(CliError::Usage)?;
     if dims.len() != 3 {
-        return Err("gantt needs --dims M N K".into());
+        return Err(CliError::Usage("gantt needs --dims M N K".into()));
     }
-    let tile: usize = args
-        .get("tile")?
+    let tile: usize = get(args, "tile")?
         .parse()
-        .map_err(|_| "bad tile".to_owned())?;
+        .map_err(|_| CliError::Usage("bad tile".to_owned()))?;
     let width: usize = args
         .get_opt("width")
-        .map(|w| w.parse().map_err(|_| "bad width".to_owned()))
+        .map(|w| {
+            w.parse()
+                .map_err(|_| CliError::Usage("bad width".to_owned()))
+        })
         .transpose()?
         .unwrap_or(100);
     let dummy = SystemProfile::new(
@@ -380,8 +472,7 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
         },
     );
     let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 3), dummy);
-    ctx.dgemm(
-        1.0,
+    GemmRequest::new(
         MatOperand::<f64>::HostGhost {
             rows: dims[0],
             cols: dims[2],
@@ -390,14 +481,15 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
             rows: dims[2],
             cols: dims[1],
         },
-        1.0,
         MatOperand::HostGhost {
             rows: dims[0],
             cols: dims[1],
         },
-        TileChoice::Fixed(tile),
     )
-    .map_err(|e| e.to_string())?;
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(tile))
+    .run(&mut ctx)?;
     println!("{}", ctx.gpu().trace().gantt(width));
     print!(
         "{}",
@@ -406,7 +498,7 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_calib(args: &Args) -> Result<(), String> {
+fn cmd_calib(args: &Args) -> Result<(), CliError> {
     let tb = testbed(args)?;
     let cfg = if args.has_flag("quick") {
         DeployConfig::quick()
@@ -414,14 +506,56 @@ fn cmd_calib(args: &Args) -> Result<(), String> {
         DeployConfig::paper()
     };
     eprintln!("deploying on {} for the calibration audit ...", tb.name);
-    let report = deploy(&tb, &cfg).map_err(|e| e.to_string())?;
+    let report = deploy(&tb, &cfg).map_err(|e| CliError::Data(e.to_string()))?;
     let calib = cocopelia_obs::CalibReport::from_deployment(&report);
     print!("{}", calib.render());
     if let Some(path) = args.get_opt("json") {
-        let json = serde_json::to_string(&calib.to_value()).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        let json =
+            serde_json::to_string(&calib.to_value()).map_err(|e| CliError::Json(e.to_string()))?;
+        write_file(&path, &json)?;
         println!("\nJSON calibration report written to {path}");
     }
+    Ok(())
+}
+
+/// Serves a request trace (the standard mixed trace unless `--trace`
+/// points at a file) through the concurrent executor and prints the
+/// per-request outcomes, aggregates, and the speedup over a sequential
+/// no-reuse replay.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let tb = testbed(args)?;
+    let devices: usize = args
+        .get_opt("devices")
+        .map(|d| {
+            d.parse()
+                .map_err(|_| CliError::Usage(format!("bad --devices value `{d}`")))
+        })
+        .transpose()?
+        .unwrap_or(2);
+    if devices == 0 {
+        return Err(CliError::Usage("--devices must be at least 1".into()));
+    }
+    let trace = match args.get_opt("trace") {
+        Some(path) => {
+            let text = read_file(&path)?;
+            cocopelia_xp::parse_request_trace(&text)
+                .map_err(|e| CliError::Data(format!("{path}: {e}")))?
+        }
+        None => cocopelia_xp::standard_request_trace(),
+    };
+    let requests = trace.len();
+    eprintln!(
+        "deploying and serving {requests} request(s) on {} device(s) ...",
+        devices
+    );
+    let cmp = cocopelia_xp::run_serve(&tb, devices, trace).map_err(CliError::Data)?;
+    print!("{}", cmp.report.render());
+    println!(
+        "sequential no-reuse baseline {:.3} ms | speedup {:.2}x on {} device(s)",
+        cmp.sequential_secs * 1e3,
+        cmp.speedup(),
+        cmp.devices,
+    );
     Ok(())
 }
 
@@ -437,8 +571,8 @@ fn label_from_out(out: &str) -> String {
         .to_owned()
 }
 
-fn cmd_snapshot(args: &Args) -> Result<(), String> {
-    let out = args.get("out")?;
+fn cmd_snapshot(args: &Args) -> Result<(), CliError> {
+    let out = get(args, "out")?;
     let tb = if args.get_opt("testbed").is_some() {
         testbed(args)?
     } else {
@@ -448,22 +582,25 @@ fn cmd_snapshot(args: &Args) -> Result<(), String> {
         .get_opt("label")
         .unwrap_or_else(|| label_from_out(&out));
     eprintln!("collecting the standard sweep on {} ...", tb.name);
-    let snap = cocopelia_xp::collect_snapshot(&tb, &label)?;
+    let snap = cocopelia_xp::collect_snapshot(&tb, &label).map_err(CliError::Data)?;
     print!("{}", snap.render());
-    let json = snap.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    let json = snap.to_json().map_err(|e| CliError::Json(e.to_string()))?;
+    write_file(&out, &json)?;
     println!("snapshot written to {out}");
     Ok(())
 }
 
-fn load_snapshot(path: &str) -> Result<cocopelia_obs::Snapshot, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    cocopelia_obs::Snapshot::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn load_snapshot(path: &str) -> Result<cocopelia_obs::Snapshot, CliError> {
+    let text = read_file(path)?;
+    cocopelia_obs::Snapshot::from_json(&text)
+        .map_err(|e| CliError::Json(format!("parsing {path}: {e}")))
 }
 
-fn cmd_compare(pos: &[String], args: &Args) -> Result<ExitCode, String> {
+fn cmd_compare(pos: &[String], args: &Args) -> Result<ExitCode, CliError> {
     let [base_path, new_path] = pos else {
-        return Err("compare needs exactly two snapshot files: <base.json> <new.json>".to_owned());
+        return Err(CliError::Usage(
+            "compare needs exactly two snapshot files: <base.json> <new.json>".to_owned(),
+        ));
     };
     let base = load_snapshot(base_path)?;
     let new = load_snapshot(new_path)?;
@@ -471,13 +608,14 @@ fn cmd_compare(pos: &[String], args: &Args) -> Result<ExitCode, String> {
     if let Some(t) = args.get_opt("threshold") {
         cfg.makespan_threshold = t
             .parse()
-            .map_err(|_| format!("bad --threshold value `{t}`"))?;
+            .map_err(|_| CliError::Usage(format!("bad --threshold value `{t}`")))?;
     }
-    let report = cocopelia_obs::DiffReport::compare(&base, &new, cfg)?;
+    let report = cocopelia_obs::DiffReport::compare(&base, &new, cfg).map_err(CliError::Data)?;
     print!("{}", report.render());
     if let Some(path) = args.get_opt("json") {
-        let json = serde_json::to_string(&report.to_value()).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        let json =
+            serde_json::to_string(&report.to_value()).map_err(|e| CliError::Json(e.to_string()))?;
+        write_file(&path, &json)?;
         println!("JSON diff written to {path}");
     }
     if report.has_regressions() {
@@ -568,6 +706,7 @@ mod args {
 #[cfg(test)]
 mod tests {
     use super::args::Args;
+    use super::CliError;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_owned).collect()
@@ -607,8 +746,37 @@ mod tests {
 
     #[test]
     fn subcommand_dispatch_rejects_unknown() {
-        assert!(super::run(&argv("frobnicate --x 1")).is_err());
-        assert!(super::run(&[]).is_err());
+        assert!(matches!(
+            super::run(&argv("frobnicate --x 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(super::run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn errors_keep_their_context() {
+        // Io carries the path and the OS error as a source.
+        let err = super::read_file("/nonexistent/profile.json").expect_err("missing file");
+        let CliError::Io { path, source } = &err else {
+            panic!("expected Io, got {err:?}")
+        };
+        assert_eq!(path, "/nonexistent/profile.json");
+        assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+        assert!(std::error::Error::source(&err).is_some());
+        // Usage errors are the only ones that re-print the usage text.
+        assert!(std::error::Error::source(&CliError::Usage("x".into())).is_none());
+    }
+
+    #[test]
+    fn serve_rejects_zero_devices_and_bad_traces() {
+        assert!(matches!(
+            super::run(&argv("serve --testbed i --devices 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            super::run(&argv("serve --testbed i --trace /nonexistent/trace.txt")),
+            Err(CliError::Io { .. })
+        ));
     }
 
     #[test]

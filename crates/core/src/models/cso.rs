@@ -1,4 +1,4 @@
-//! The CSO-Model: the CUDA-stream overlap model of Werkhoven et al. [11],
+//! The CSO-Model: the CUDA-stream overlap model of Werkhoven et al. \[11\],
 //! re-implemented as the paper's comparison target (§V-C).
 //!
 //! Defining assumptions, kept deliberately (they are what CoCoPeLia

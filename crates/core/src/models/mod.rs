@@ -30,7 +30,7 @@ use std::fmt;
 /// Which offload-time model to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ModelKind {
-    /// The CUDA-stream-overlap comparator of Werkhoven et al. [11].
+    /// The CUDA-stream-overlap comparator of Werkhoven et al. \[11\].
     Cso,
     /// Eq. 1: pipelined overlap, every operand transferred both ways.
     Baseline,

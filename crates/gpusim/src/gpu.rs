@@ -170,6 +170,37 @@ impl Gpu {
         self.dev.available()
     }
 
+    /// Total device memory capacity in bytes (the testbed's HBM/GDDR size).
+    pub fn device_mem_capacity(&self) -> usize {
+        self.dev.capacity()
+    }
+
+    /// Size in bytes of one live device buffer — the residency query used
+    /// by admission control and device-cache accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] for stale ids.
+    pub fn device_buffer_bytes(&self, id: DevBufId) -> Result<usize, SimError> {
+        Ok(self.dev.get(id)?.bytes())
+    }
+
+    /// Ids of every live device buffer, in ascending allocation order.
+    ///
+    /// Request executors snapshot this before dispatching a routine so that
+    /// buffers leaked by a mid-schedule failure can be identified and
+    /// reclaimed before a retry.
+    pub fn live_device_buffers(&self) -> Vec<DevBufId> {
+        self.dev.live()
+    }
+
+    /// Ids of every live host staging buffer, in ascending registration
+    /// order (the host-side counterpart of
+    /// [`live_device_buffers`](Gpu::live_device_buffers)).
+    pub fn live_host_buffers(&self) -> Vec<HostBufId> {
+        self.host.live()
+    }
+
     fn check_copy(&self, desc: &CopyDesc) -> Result<(usize, bool), SimError> {
         desc.check_shapes()?;
         let hb = self.host.get(desc.host)?;
@@ -627,6 +658,27 @@ mod tests {
         assert!(gpu.alloc_device(Dtype::F64, 100).is_ok()); // 800 bytes
         let err = gpu.alloc_device(Dtype::F64, 100).expect_err("oom");
         assert!(matches!(err, SimError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn residency_queries_track_live_buffers() {
+        let mut tb = quiet(testbed_i());
+        tb.gpu.mem_capacity_bytes = 10_000;
+        let mut gpu = Gpu::new(tb, ExecMode::TimingOnly, 1);
+        assert_eq!(gpu.device_mem_capacity(), 10_000);
+        assert!(gpu.live_device_buffers().is_empty());
+        let a = gpu.alloc_device(Dtype::F64, 100).expect("alloc a");
+        let b = gpu.alloc_device(Dtype::F32, 50).expect("alloc b");
+        assert_eq!(gpu.device_buffer_bytes(a).expect("live"), 800);
+        assert_eq!(gpu.device_buffer_bytes(b).expect("live"), 200);
+        assert_eq!(gpu.live_device_buffers(), vec![a, b]);
+        gpu.free_device(a).expect("free");
+        assert_eq!(gpu.live_device_buffers(), vec![b]);
+        assert!(gpu.device_buffer_bytes(a).is_err());
+        let h = gpu.register_host_ghost(Dtype::F64, 10, true);
+        assert_eq!(gpu.live_host_buffers(), vec![h]);
+        gpu.take_host(h).expect("take");
+        assert!(gpu.live_host_buffers().is_empty());
     }
 
     #[test]

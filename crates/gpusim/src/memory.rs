@@ -189,6 +189,15 @@ impl HostArena {
                 what: format!("host buffer {}", id.0),
             })
     }
+
+    /// Ids of every live (registered, not yet taken) host buffer, ascending.
+    pub(crate) fn live(&self) -> Vec<HostBufId> {
+        self.bufs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| HostBufId(i)))
+            .collect()
+    }
 }
 
 /// Capacity-tracked device memory.
@@ -214,6 +223,19 @@ impl DeviceMemory {
 
     pub(crate) fn available(&self) -> usize {
         self.capacity - self.used
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ids of every live (not yet freed) device buffer, ascending.
+    pub(crate) fn live(&self) -> Vec<DevBufId> {
+        self.bufs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| DevBufId(i)))
+            .collect()
     }
 
     pub(crate) fn alloc(

@@ -4,7 +4,7 @@
 //! Both formats carry the full per-op identity: engine, stream, label,
 //! timing, byte counts, and — when the scheduler tagged the op — the
 //! routine/call/tile/operand attribution from
-//! [`OpTag`](cocopelia_gpusim::OpTag).
+//! [`OpTag`].
 
 use cocopelia_gpusim::{EngineKind, OpTag, TraceEntry};
 use serde::Value;

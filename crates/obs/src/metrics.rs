@@ -1,5 +1,5 @@
-//! A dependency-free metrics registry: named monotonic counters and
-//! fixed-bucket histograms.
+//! A dependency-free metrics registry: named monotonic counters,
+//! last-value gauges, and fixed-bucket histograms.
 //!
 //! The registry is deliberately tiny — the pipeline is single-threaded per
 //! device handle, so plain `&mut` access suffices and no atomics or locks
@@ -156,10 +156,11 @@ impl Histogram {
     }
 }
 
-/// Named counters and histograms for one pipeline.
+/// Named counters, gauges, and histograms for one pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -177,6 +178,25 @@ impl Registry {
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `name` to its latest value `v` (gauges are
+    /// last-value-wins, unlike monotonic counters). Non-finite values are
+    /// ignored, mirroring the histogram NaN policy.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        if v.is_finite() {
+            self.gauges.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Current value of gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Records `v` into histogram `name`, creating it with `bounds` if
@@ -216,6 +236,15 @@ impl Registry {
                 ),
             ),
             (
+                "gauges".to_owned(),
+                Value::Map(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::F64(v)))
+                        .collect(),
+                ),
+            ),
+            (
                 "histograms".to_owned(),
                 Value::Map(
                     self.histograms
@@ -232,6 +261,9 @@ impl Registry {
         let mut out = String::new();
         for (name, v) in &self.counters {
             let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:<40} {v:.4}");
         }
         for (name, h) in &self.histograms {
             let q = |p: f64| h.quantile(p).unwrap_or(0.0);
@@ -265,6 +297,24 @@ mod tests {
         r.counter_add("bytes", 5);
         assert_eq!(r.counter("bytes"), 15);
         assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_value_wins_and_skip_non_finite() {
+        let mut r = Registry::new();
+        assert_eq!(r.gauge("occupancy"), None);
+        r.gauge_set("occupancy", 0.5);
+        r.gauge_set("occupancy", 0.75);
+        assert_eq!(r.gauge("occupancy"), Some(0.75));
+        r.gauge_set("occupancy", f64::NAN);
+        r.gauge_set("bad", f64::INFINITY);
+        assert_eq!(r.gauge("occupancy"), Some(0.75));
+        assert_eq!(r.gauge("bad"), None);
+        let s = r.render();
+        assert!(s.contains("occupancy"));
+        let json = serde_json::to_string(&r.to_value()).expect("serializes");
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"occupancy\":0.75"));
     }
 
     #[test]

@@ -3,6 +3,9 @@
 
 use crate::error::RuntimeError;
 use crate::operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};
+use crate::request::{
+    AxpyRequest, DotRequest, GemmRequest, GemvRequest, MatArg, RoutineRequest, VecArg,
+};
 use crate::scheduler::{axpy, dot, gemm, gemv, Streams};
 use cocopelia_core::models::{ModelCtx, ModelKind};
 use cocopelia_core::params::{Loc, ProblemSpec, RoutineClass};
@@ -122,7 +125,7 @@ pub struct VecResult<T> {
 /// use cocopelia_deploy::{deploy, DeployConfig};
 /// use cocopelia_gpusim::{testbed_ii, ExecMode, Gpu};
 /// use cocopelia_hostblas::Matrix;
-/// use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+/// use cocopelia_runtime::{Cocopelia, GemmRequest, TileChoice};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let report = deploy(&testbed_ii(), &DeployConfig::quick())?;
@@ -133,8 +136,7 @@ pub struct VecResult<T> {
 /// let a = Matrix::<f64>::from_fn(n, n, |i, j| (i + j) as f64 / n as f64);
 /// let b = Matrix::<f64>::from_fn(n, n, |i, j| (i as f64 - j as f64) / n as f64);
 /// let c = Matrix::<f64>::zeros(n, n);
-/// let out = ctx.dgemm(1.0, MatOperand::Host(a), MatOperand::Host(b),
-///     0.0, MatOperand::Host(c), TileChoice::Auto)?;
+/// let out = GemmRequest::new(a, b, c).tile(TileChoice::Auto).run(&mut ctx)?;
 /// println!("T = {}, {:.1} GFLOP/s", out.report.tile, out.report.gflops());
 /// # Ok(())
 /// # }
@@ -318,21 +320,28 @@ impl Cocopelia {
         (overlap, drift)
     }
 
-    /// General matrix multiply `C ← α·A·B + β·C` with 3-way overlap.
+    /// Executes a [`GemmRequest`]: `C ← α·A·B + β·C` with 3-way overlap.
     ///
     /// # Errors
     ///
     /// Dimension mismatches, missing exec tables (for model-driven tile
-    /// choices) and simulator failures.
-    pub fn gemm<T: SimScalar>(
+    /// choices), shared operands (executor-only), and simulator failures.
+    pub fn run_gemm<T: SimScalar>(
         &mut self,
-        alpha: f64,
-        a: MatOperand<T>,
-        b: MatOperand<T>,
-        beta: f64,
-        c: MatOperand<T>,
-        choice: TileChoice,
+        req: GemmRequest<T>,
     ) -> Result<GemmResult<T>, RuntimeError> {
+        let GemmRequest {
+            a,
+            b,
+            c,
+            alpha,
+            beta,
+            tile: choice,
+            deadline: _,
+        } = req;
+        let a = inline_mat(a)?;
+        let b = inline_mat(b)?;
+        let c = inline_mat(c)?;
         let (m, n, k) = gemm::check_dims(&a, &b, &c)?;
         let problem = ProblemSpec::gemm(T::DTYPE, m, n, k, a.loc(), b.loc(), c.loc(), beta != 0.0);
         let (tile, selection) = self.resolve_tile(&problem, choice)?;
@@ -370,18 +379,24 @@ impl Cocopelia {
         })
     }
 
-    /// `y ← α·x + y` with 3-way overlap.
+    /// Executes an [`AxpyRequest`]: `y ← α·x + y` with 3-way overlap.
     ///
     /// # Errors
     ///
-    /// As for [`gemm`](Self::gemm).
-    pub fn axpy<T: SimScalar>(
+    /// As for [`run_gemm`](Self::run_gemm).
+    pub fn run_axpy<T: SimScalar>(
         &mut self,
-        alpha: f64,
-        x: VecOperand<T>,
-        y: VecOperand<T>,
-        choice: TileChoice,
+        req: AxpyRequest<T>,
     ) -> Result<VecResult<T>, RuntimeError> {
+        let AxpyRequest {
+            alpha,
+            x,
+            y,
+            tile: choice,
+            deadline: _,
+        } = req;
+        let x = inline_vec(x)?;
+        let y = inline_vec(y)?;
         if x.len() != y.len() {
             return Err(RuntimeError::DimensionMismatch {
                 what: format!("axpy: x has {} elements but y has {}", x.len(), y.len()),
@@ -423,18 +438,22 @@ impl Cocopelia {
         })
     }
 
-    /// Tiled reduction `result ← xᵀy` with 3-way overlap (the partials
-    /// drain in one transfer and are summed on the host).
+    /// Executes a [`DotRequest`]: tiled reduction `result ← xᵀy` with
+    /// 3-way overlap (the partials drain in one transfer and are summed on
+    /// the host).
     ///
     /// # Errors
     ///
-    /// As for [`gemm`](Self::gemm).
-    pub fn dot<T: SimScalar>(
-        &mut self,
-        x: VecOperand<T>,
-        y: VecOperand<T>,
-        choice: TileChoice,
-    ) -> Result<DotResult, RuntimeError> {
+    /// As for [`run_gemm`](Self::run_gemm).
+    pub fn run_dot<T: SimScalar>(&mut self, req: DotRequest<T>) -> Result<DotResult, RuntimeError> {
+        let DotRequest {
+            x,
+            y,
+            tile: choice,
+            deadline: _,
+        } = req;
+        let x = inline_vec(x)?;
+        let y = inline_vec(y)?;
         if x.len() != y.len() {
             return Err(RuntimeError::DimensionMismatch {
                 what: format!("dot: x has {} elements but y has {}", x.len(), y.len()),
@@ -476,34 +495,43 @@ impl Cocopelia {
         })
     }
 
-    /// Double-precision dot (BLAS `ddot`). See [`dot`](Self::dot).
+    /// Double-precision dot (BLAS `ddot`). See [`run_dot`](Self::run_dot).
     ///
     /// # Errors
     ///
-    /// As for [`dot`](Self::dot).
+    /// As for [`run_dot`](Self::run_dot).
+    #[deprecated(note = "use DotRequest::new(x, y).tile(choice).run(ctx)")]
     pub fn ddot(
         &mut self,
         x: VecOperand<f64>,
         y: VecOperand<f64>,
         choice: TileChoice,
     ) -> Result<DotResult, RuntimeError> {
-        self.dot(x, y, choice)
+        self.run_dot(DotRequest::new(x, y).tile(choice))
     }
 
-    /// `y ← α·A·x + β·y` with 3-way overlap (the extension routine).
+    /// Executes a [`GemvRequest`]: `y ← α·A·x + β·y` with 3-way overlap
+    /// (the extension routine).
     ///
     /// # Errors
     ///
-    /// As for [`gemm`](Self::gemm).
-    pub fn gemv<T: SimScalar>(
+    /// As for [`run_gemm`](Self::run_gemm).
+    pub fn run_gemv<T: SimScalar>(
         &mut self,
-        alpha: f64,
-        a: MatOperand<T>,
-        x: VecOperand<T>,
-        beta: f64,
-        y: VecOperand<T>,
-        choice: TileChoice,
+        req: GemvRequest<T>,
     ) -> Result<VecResult<T>, RuntimeError> {
+        let GemvRequest {
+            alpha,
+            a,
+            x,
+            beta,
+            y,
+            tile: choice,
+            deadline: _,
+        } = req;
+        let a = inline_mat(a)?;
+        let x = inline_vec(x)?;
+        let y = inline_vec(y)?;
         if x.len() != a.cols() || y.len() != a.rows() {
             return Err(RuntimeError::DimensionMismatch {
                 what: format!(
@@ -559,11 +587,110 @@ impl Cocopelia {
         })
     }
 
-    /// Double-precision gemm (BLAS `dgemm`). See [`gemm`](Self::gemm).
+    /// Executes a type-erased [`RoutineRequest`], returning its report.
+    /// This is the single-call twin of queued executor submission; typed
+    /// results (output matrices, reduction values) are only available
+    /// through the typed `run` paths.
     ///
     /// # Errors
     ///
-    /// As for [`gemm`](Self::gemm).
+    /// As for the underlying routine.
+    pub fn submit(
+        &mut self,
+        req: impl Into<RoutineRequest>,
+    ) -> Result<RoutineReport, RuntimeError> {
+        match req.into() {
+            RoutineRequest::GemmF64(r) => Ok(self.run_gemm(r)?.report),
+            RoutineRequest::GemmF32(r) => Ok(self.run_gemm(r)?.report),
+            RoutineRequest::AxpyF64(r) => Ok(self.run_axpy(r)?.report),
+            RoutineRequest::DotF64(r) => Ok(self.run_dot(r)?.report),
+            RoutineRequest::GemvF64(r) => Ok(self.run_gemv(r)?.report),
+        }
+    }
+
+    /// General matrix multiply `C ← α·A·B + β·C` with 3-way overlap.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_gemm`](Self::run_gemm).
+    #[deprecated(note = "use GemmRequest::new(a, b, c).alpha(..).beta(..).tile(choice).run(ctx)")]
+    pub fn gemm<T: SimScalar>(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<T>,
+        b: MatOperand<T>,
+        beta: f64,
+        c: MatOperand<T>,
+        choice: TileChoice,
+    ) -> Result<GemmResult<T>, RuntimeError> {
+        self.run_gemm(
+            GemmRequest::new(a, b, c)
+                .alpha(alpha)
+                .beta(beta)
+                .tile(choice),
+        )
+    }
+
+    /// `y ← α·x + y` with 3-way overlap.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_axpy`](Self::run_axpy).
+    #[deprecated(note = "use AxpyRequest::new(x, y).alpha(..).tile(choice).run(ctx)")]
+    pub fn axpy<T: SimScalar>(
+        &mut self,
+        alpha: f64,
+        x: VecOperand<T>,
+        y: VecOperand<T>,
+        choice: TileChoice,
+    ) -> Result<VecResult<T>, RuntimeError> {
+        self.run_axpy(AxpyRequest::new(x, y).alpha(alpha).tile(choice))
+    }
+
+    /// Tiled reduction `result ← xᵀy` with 3-way overlap.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_dot`](Self::run_dot).
+    #[deprecated(note = "use DotRequest::new(x, y).tile(choice).run(ctx)")]
+    pub fn dot<T: SimScalar>(
+        &mut self,
+        x: VecOperand<T>,
+        y: VecOperand<T>,
+        choice: TileChoice,
+    ) -> Result<DotResult, RuntimeError> {
+        self.run_dot(DotRequest::new(x, y).tile(choice))
+    }
+
+    /// `y ← α·A·x + β·y` with 3-way overlap (the extension routine).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_gemv`](Self::run_gemv).
+    #[deprecated(note = "use GemvRequest::new(a, x, y).alpha(..).beta(..).tile(choice).run(ctx)")]
+    pub fn gemv<T: SimScalar>(
+        &mut self,
+        alpha: f64,
+        a: MatOperand<T>,
+        x: VecOperand<T>,
+        beta: f64,
+        y: VecOperand<T>,
+        choice: TileChoice,
+    ) -> Result<VecResult<T>, RuntimeError> {
+        self.run_gemv(
+            GemvRequest::new(a, x, y)
+                .alpha(alpha)
+                .beta(beta)
+                .tile(choice),
+        )
+    }
+
+    /// Double-precision gemm (BLAS `dgemm`). See [`run_gemm`](Self::run_gemm).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_gemm`](Self::run_gemm).
+    #[deprecated(note = "use GemmRequest::new(a, b, c).alpha(..).beta(..).tile(choice).run(ctx)")]
     pub fn dgemm(
         &mut self,
         alpha: f64,
@@ -573,14 +700,20 @@ impl Cocopelia {
         c: MatOperand<f64>,
         choice: TileChoice,
     ) -> Result<GemmResult<f64>, RuntimeError> {
-        self.gemm(alpha, a, b, beta, c, choice)
+        self.run_gemm(
+            GemmRequest::new(a, b, c)
+                .alpha(alpha)
+                .beta(beta)
+                .tile(choice),
+        )
     }
 
-    /// Single-precision gemm (BLAS `sgemm`). See [`gemm`](Self::gemm).
+    /// Single-precision gemm (BLAS `sgemm`). See [`run_gemm`](Self::run_gemm).
     ///
     /// # Errors
     ///
-    /// As for [`gemm`](Self::gemm).
+    /// As for [`run_gemm`](Self::run_gemm).
+    #[deprecated(note = "use GemmRequest::new(a, b, c).alpha(..).beta(..).tile(choice).run(ctx)")]
     pub fn sgemm(
         &mut self,
         alpha: f64,
@@ -590,14 +723,20 @@ impl Cocopelia {
         c: MatOperand<f32>,
         choice: TileChoice,
     ) -> Result<GemmResult<f32>, RuntimeError> {
-        self.gemm(alpha, a, b, beta, c, choice)
+        self.run_gemm(
+            GemmRequest::new(a, b, c)
+                .alpha(alpha)
+                .beta(beta)
+                .tile(choice),
+        )
     }
 
-    /// Double-precision axpy (BLAS `daxpy`). See [`axpy`](Self::axpy).
+    /// Double-precision axpy (BLAS `daxpy`). See [`run_axpy`](Self::run_axpy).
     ///
     /// # Errors
     ///
-    /// As for [`axpy`](Self::axpy).
+    /// As for [`run_axpy`](Self::run_axpy).
+    #[deprecated(note = "use AxpyRequest::new(x, y).alpha(..).tile(choice).run(ctx)")]
     pub fn daxpy(
         &mut self,
         alpha: f64,
@@ -605,14 +744,15 @@ impl Cocopelia {
         y: VecOperand<f64>,
         choice: TileChoice,
     ) -> Result<VecResult<f64>, RuntimeError> {
-        self.axpy(alpha, x, y, choice)
+        self.run_axpy(AxpyRequest::new(x, y).alpha(alpha).tile(choice))
     }
 
-    /// Double-precision gemv (BLAS `dgemv`). See [`gemv`](Self::gemv).
+    /// Double-precision gemv (BLAS `dgemv`). See [`run_gemv`](Self::run_gemv).
     ///
     /// # Errors
     ///
-    /// As for [`gemv`](Self::gemv).
+    /// As for [`run_gemv`](Self::run_gemv).
+    #[deprecated(note = "use GemvRequest::new(a, x, y).alpha(..).beta(..).tile(choice).run(ctx)")]
     pub fn dgemv(
         &mut self,
         alpha: f64,
@@ -622,7 +762,12 @@ impl Cocopelia {
         y: VecOperand<f64>,
         choice: TileChoice,
     ) -> Result<VecResult<f64>, RuntimeError> {
-        self.gemv(alpha, a, x, beta, y, choice)
+        self.run_gemv(
+            GemvRequest::new(a, x, y)
+                .alpha(alpha)
+                .beta(beta)
+                .tile(choice),
+        )
     }
 
     /// Copies a host matrix into device memory and returns a resident
@@ -649,6 +794,35 @@ impl Cocopelia {
             buf: dev,
             rows: m.rows(),
             cols: m.cols(),
+        })
+    }
+
+    /// Charges the h2d transfer of a `rows × cols` ghost matrix and returns
+    /// the resident handle — the timing-only twin of
+    /// [`upload_matrix`](Self::upload_matrix). The serving layer uses this
+    /// to pay upload cost for residency-cache fills without host data.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory and other simulator failures.
+    pub fn upload_ghost_matrix(
+        &mut self,
+        dtype: Dtype,
+        rows: usize,
+        cols: usize,
+    ) -> Result<DeviceMatrix, RuntimeError> {
+        let len = rows * cols;
+        let host = self.gpu.register_host_ghost(dtype, len, true);
+        let dev = self.gpu.alloc_device(dtype, len)?;
+        let streams = self.ensure_streams();
+        self.gpu
+            .memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, len))?;
+        self.gpu.synchronize()?;
+        self.gpu.take_host(host)?;
+        Ok(DeviceMatrix {
+            buf: dev,
+            rows,
+            cols,
         })
     }
 
@@ -729,6 +903,28 @@ impl Cocopelia {
         })
     }
 
+    /// Charges the h2d transfer of a ghost vector of `len` elements and
+    /// returns the resident handle. See
+    /// [`upload_ghost_matrix`](Self::upload_ghost_matrix).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory and other simulator failures.
+    pub fn upload_ghost_vector(
+        &mut self,
+        dtype: Dtype,
+        len: usize,
+    ) -> Result<DeviceVector, RuntimeError> {
+        let host = self.gpu.register_host_ghost(dtype, len, true);
+        let dev = self.gpu.alloc_device(dtype, len)?;
+        let streams = self.ensure_streams();
+        self.gpu
+            .memcpy_h2d_async(streams.h2d, CopyDesc::contiguous(host, dev, len))?;
+        self.gpu.synchronize()?;
+        self.gpu.take_host(host)?;
+        Ok(DeviceVector { buf: dev, len })
+    }
+
     /// Allocates a device-resident vector without data.
     ///
     /// # Errors
@@ -775,5 +971,21 @@ impl Cocopelia {
     /// Number of cached tile selections (model reuse, §IV-C).
     pub fn cached_selections(&self) -> usize {
         self.cache.len()
+    }
+}
+
+/// Rejects shared matrix arguments outside an executor.
+fn inline_mat<T>(arg: MatArg<T>) -> Result<MatOperand<T>, RuntimeError> {
+    match arg {
+        MatArg::Inline(op) => Ok(op),
+        MatArg::Shared(s) => Err(RuntimeError::SharedOperand { key: s.key }),
+    }
+}
+
+/// Rejects shared vector arguments outside an executor.
+fn inline_vec<T>(arg: VecArg<T>) -> Result<VecOperand<T>, RuntimeError> {
+    match arg {
+        VecArg::Inline(op) => Ok(op),
+        VecArg::Shared(s) => Err(RuntimeError::SharedOperand { key: s.key }),
     }
 }

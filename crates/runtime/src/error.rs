@@ -26,6 +26,12 @@ pub enum RuntimeError {
     NotFunctional,
     /// The underlying simulated device reported a failure.
     Sim(SimError),
+    /// A request referenced a shared residency-cache operand outside an
+    /// executor (direct `submit`/`run` calls take inline operands only).
+    SharedOperand {
+        /// The residency-cache key the request referenced.
+        key: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -43,7 +49,59 @@ impl fmt::Display for RuntimeError {
                 )
             }
             RuntimeError::Sim(e) => write!(f, "device error: {e}"),
+            RuntimeError::SharedOperand { key } => {
+                write!(
+                    f,
+                    "operand '{key}' references a residency cache; shared operands \
+                     require an executor"
+                )
+            }
         }
+    }
+}
+
+/// Identifier the serving layer assigns to each submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// A runtime failure annotated with the request it occurred in.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct RequestError {
+    /// The failing request.
+    pub id: RequestId,
+    /// Canonical routine name of the request ("dgemm", "daxpy", …).
+    pub routine: &'static str,
+    /// The underlying runtime failure.
+    pub source: RuntimeError,
+}
+
+impl RequestError {
+    /// Annotates a runtime failure with request context.
+    pub fn new(id: RequestId, routine: &'static str, source: RuntimeError) -> Self {
+        RequestError {
+            id,
+            routine,
+            source,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request {} ({}): {}", self.id, self.routine, self.source)
+    }
+}
+
+impl Error for RequestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -93,5 +151,19 @@ mod tests {
         assert!(e.source().is_some());
         let e = RuntimeError::DimensionMismatch { what: "x".into() };
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn request_error_carries_context() {
+        let e = RequestError::new(
+            RequestId(7),
+            "dgemm",
+            RuntimeError::SharedOperand { key: "A".into() },
+        );
+        let s = e.to_string();
+        assert!(s.contains("req-7"), "{s}");
+        assert!(s.contains("dgemm"), "{s}");
+        assert!(s.contains("'A'"), "{s}");
+        assert!(e.source().is_some());
     }
 }

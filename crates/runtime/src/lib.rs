@@ -9,23 +9,32 @@
 //! ([`cocopelia_gpusim::Gpu`]) and a deployed
 //! [`SystemProfile`](cocopelia_core::profile::SystemProfile).
 //!
-//! Routines: [`Cocopelia::dgemm`], [`Cocopelia::sgemm`],
-//! [`Cocopelia::daxpy`], plus [`Cocopelia::dgemv`] as the paper's
-//! "extension skeleton" routine. Each accepts operands on the host (with or
-//! without data) or already resident on the device, and a [`TileChoice`]:
-//! automatic model-driven selection, a specific model (for the Fig. 6
-//! comparisons), or a fixed `T` à la cuBLASXt.
+//! Routines are described by typed request builders — [`GemmRequest`],
+//! [`AxpyRequest`], [`DotRequest`], [`GemvRequest`] (the paper's "extension
+//! skeleton" routine) — executed either directly
+//! ([`GemmRequest::run`], [`Cocopelia::submit`]) or queued through the
+//! concurrent serving layer ([`serve::Executor`]). Each operand lives on
+//! the host (with or without data), already on the device, or in the
+//! executor's cross-request residency cache, and each request carries a
+//! [`TileChoice`]: automatic model-driven selection, a specific model (for
+//! the Fig. 6 comparisons), or a fixed `T` à la cuBLASXt.
 
 #![deny(missing_docs)]
 
 mod ctx;
 mod error;
 mod operand;
+mod request;
 mod scheduler;
 
 pub mod multigpu;
+pub mod serve;
 
 pub use ctx::{Cocopelia, DotResult, GemmResult, RoutineReport, VecResult};
-pub use error::RuntimeError;
+pub use error::{RequestError, RequestId, RuntimeError};
 pub use multigpu::{MultiGemmResult, MultiGpu};
 pub use operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};
+pub use request::{
+    AxpyRequest, DotRequest, GemmRequest, GemvRequest, MatArg, RoutineRequest, SharedMat,
+    SharedVec, VecArg,
+};

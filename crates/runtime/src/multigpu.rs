@@ -18,6 +18,7 @@
 use crate::ctx::{Cocopelia, RoutineReport};
 use crate::error::RuntimeError;
 use crate::operand::{MatOperand, TileChoice};
+use crate::request::GemmRequest;
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_gpusim::{ExecMode, Gpu, SimScalar, SimTime, TestbedSpec};
 use cocopelia_hostblas::{tiling::split, Matrix};
@@ -84,6 +85,21 @@ impl MultiGpu {
         &self.devices
     }
 
+    /// Mutable access to one device handle (residency management, trace
+    /// inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device_mut(&mut self, i: usize) -> &mut Cocopelia {
+        &mut self.devices[i]
+    }
+
+    /// Mutable access to every device handle.
+    pub fn devices_mut(&mut self) -> &mut [Cocopelia] {
+        &mut self.devices
+    }
+
     /// `C ← α·A·B + β·C` split column-wise across the device group, with
     /// host data (functional verification supported).
     ///
@@ -119,13 +135,15 @@ impl MultiGpu {
         for (dev, blk) in self.devices.iter_mut().zip(&col_blocks) {
             let b_blk = b.block(0, blk.start, k, blk.len).to_matrix();
             let c_blk = c.block(0, blk.start, m, blk.len).to_matrix();
-            let out = dev.gemm::<T>(
-                alpha,
-                MatOperand::Host(a.clone()),
-                MatOperand::Host(b_blk),
-                beta,
-                MatOperand::Host(c_blk),
-                choice,
+            let out = dev.run_gemm::<T>(
+                GemmRequest::new(
+                    MatOperand::Host(a.clone()),
+                    MatOperand::Host(b_blk),
+                    MatOperand::Host(c_blk),
+                )
+                .alpha(alpha)
+                .beta(beta)
+                .tile(choice),
             )?;
             per_device.push(out.report);
             parts.push(out.c);
@@ -174,19 +192,21 @@ impl MultiGpu {
         let col_blocks = split(n, n.div_ceil(g).max(1));
         let mut per_device = Vec::with_capacity(col_blocks.len());
         for (dev, blk) in self.devices.iter_mut().zip(&col_blocks) {
-            let out = dev.gemm::<f64>(
-                1.0,
-                MatOperand::HostGhost { rows: m, cols: k },
-                MatOperand::HostGhost {
-                    rows: k,
-                    cols: blk.len,
-                },
-                1.0,
-                MatOperand::HostGhost {
-                    rows: m,
-                    cols: blk.len,
-                },
-                choice,
+            let out = dev.run_gemm::<f64>(
+                GemmRequest::new(
+                    MatOperand::HostGhost { rows: m, cols: k },
+                    MatOperand::HostGhost {
+                        rows: k,
+                        cols: blk.len,
+                    },
+                    MatOperand::HostGhost {
+                        rows: m,
+                        cols: blk.len,
+                    },
+                )
+                .alpha(1.0)
+                .beta(1.0)
+                .tile(choice),
             )?;
             per_device.push(out.report);
         }

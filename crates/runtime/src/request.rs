@@ -1,0 +1,692 @@
+//! Typed routine-request builders: the single entry-point vocabulary shared
+//! by direct calls ([`Cocopelia::submit`](crate::Cocopelia::submit)) and the
+//! queued executor ([`serve::Executor`](crate::serve::Executor)).
+//!
+//! A request names its operands either *inline* (a concrete
+//! [`MatOperand`]/[`VecOperand`] owned by the request) or *shared* (a
+//! string key naming an operand that the serving layer keeps device-resident
+//! across requests). Shared operands are only meaningful under an executor;
+//! submitting one directly yields
+//! [`RuntimeError::SharedOperand`](crate::RuntimeError::SharedOperand).
+
+use crate::ctx::{Cocopelia, DotResult, GemmResult, VecResult};
+use crate::error::RuntimeError;
+use crate::operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};
+use cocopelia_gpusim::SimScalar;
+use cocopelia_hostblas::Matrix;
+
+/// A named matrix operand kept device-resident by the serving layer and
+/// shared across requests (the BLASX-style residency cache).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedMat {
+    pub(crate) key: String,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+}
+
+impl SharedMat {
+    /// Names a shared matrix of the given shape.
+    pub fn new(key: impl Into<String>, rows: usize, cols: usize) -> Self {
+        SharedMat {
+            key: key.into(),
+            rows,
+            cols,
+        }
+    }
+
+    /// The residency-cache key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+/// A named vector operand kept device-resident by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedVec {
+    pub(crate) key: String,
+    pub(crate) len: usize,
+}
+
+impl SharedVec {
+    /// Names a shared vector of the given length.
+    pub fn new(key: impl Into<String>, len: usize) -> Self {
+        SharedVec {
+            key: key.into(),
+            len,
+        }
+    }
+
+    /// The residency-cache key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+/// A matrix argument of a routine request: inline data or a shared key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatArg<T> {
+    /// A concrete operand owned by this request.
+    Inline(MatOperand<T>),
+    /// A reference into the executor's cross-request residency cache.
+    Shared(SharedMat),
+}
+
+impl<T: SimScalar> MatArg<T> {
+    /// A shared-residency argument of the given shape.
+    pub fn shared(key: impl Into<String>, rows: usize, cols: usize) -> Self {
+        MatArg::Shared(SharedMat::new(key, rows, cols))
+    }
+
+    /// Row count of the argument.
+    pub fn rows(&self) -> usize {
+        match self {
+            MatArg::Inline(op) => op.rows(),
+            MatArg::Shared(s) => s.rows,
+        }
+    }
+
+    /// Column count of the argument.
+    pub fn cols(&self) -> usize {
+        match self {
+            MatArg::Inline(op) => op.cols(),
+            MatArg::Shared(s) => s.cols,
+        }
+    }
+
+    /// Device bytes the argument occupies once scheduled. Inline
+    /// device-resident operands contribute 0 (already charged).
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            MatArg::Inline(MatOperand::Device(_)) => 0,
+            _ => self.rows() * self.cols() * T::DTYPE.width(),
+        }
+    }
+
+    /// The shared key, when this argument references the residency cache.
+    pub fn shared_key(&self) -> Option<&str> {
+        match self {
+            MatArg::Inline(_) => None,
+            MatArg::Shared(s) => Some(&s.key),
+        }
+    }
+
+    /// Replaces a shared reference with an inline ghost of the same shape
+    /// (the no-residency-reuse baseline).
+    pub fn without_sharing(self) -> Self {
+        match self {
+            MatArg::Inline(op) => MatArg::Inline(op),
+            MatArg::Shared(s) => MatArg::Inline(MatOperand::HostGhost {
+                rows: s.rows,
+                cols: s.cols,
+            }),
+        }
+    }
+}
+
+impl<T> From<MatOperand<T>> for MatArg<T> {
+    fn from(op: MatOperand<T>) -> Self {
+        MatArg::Inline(op)
+    }
+}
+
+impl<T> From<Matrix<T>> for MatArg<T> {
+    fn from(m: Matrix<T>) -> Self {
+        MatArg::Inline(MatOperand::Host(m))
+    }
+}
+
+impl<T> From<DeviceMatrix> for MatArg<T> {
+    fn from(d: DeviceMatrix) -> Self {
+        MatArg::Inline(MatOperand::Device(d))
+    }
+}
+
+impl<T> From<SharedMat> for MatArg<T> {
+    fn from(s: SharedMat) -> Self {
+        MatArg::Shared(s)
+    }
+}
+
+/// A vector argument of a routine request: inline data or a shared key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VecArg<T> {
+    /// A concrete operand owned by this request.
+    Inline(VecOperand<T>),
+    /// A reference into the executor's cross-request residency cache.
+    Shared(SharedVec),
+}
+
+impl<T: SimScalar> VecArg<T> {
+    /// A shared-residency argument of the given length.
+    pub fn shared(key: impl Into<String>, len: usize) -> Self {
+        VecArg::Shared(SharedVec::new(key, len))
+    }
+
+    /// Element count of the argument.
+    pub fn len(&self) -> usize {
+        match self {
+            VecArg::Inline(op) => op.len(),
+            VecArg::Shared(s) => s.len,
+        }
+    }
+
+    /// True when the argument has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Device bytes the argument occupies once scheduled.
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            VecArg::Inline(VecOperand::Device(_)) => 0,
+            _ => self.len() * T::DTYPE.width(),
+        }
+    }
+
+    /// The shared key, when this argument references the residency cache.
+    pub fn shared_key(&self) -> Option<&str> {
+        match self {
+            VecArg::Inline(_) => None,
+            VecArg::Shared(s) => Some(&s.key),
+        }
+    }
+
+    /// Replaces a shared reference with an inline ghost of the same length.
+    pub fn without_sharing(self) -> Self {
+        match self {
+            VecArg::Inline(op) => VecArg::Inline(op),
+            VecArg::Shared(s) => VecArg::Inline(VecOperand::HostGhost { len: s.len }),
+        }
+    }
+}
+
+impl<T> From<VecOperand<T>> for VecArg<T> {
+    fn from(op: VecOperand<T>) -> Self {
+        VecArg::Inline(op)
+    }
+}
+
+impl<T> From<Vec<T>> for VecArg<T> {
+    fn from(v: Vec<T>) -> Self {
+        VecArg::Inline(VecOperand::Host(v))
+    }
+}
+
+impl<T> From<DeviceVector> for VecArg<T> {
+    fn from(d: DeviceVector) -> Self {
+        VecArg::Inline(VecOperand::Device(d))
+    }
+}
+
+impl<T> From<SharedVec> for VecArg<T> {
+    fn from(s: SharedVec) -> Self {
+        VecArg::Shared(s)
+    }
+}
+
+/// Builder for `C ← α·A·B + β·C`.
+///
+/// # Example
+///
+/// ```no_run
+/// # use cocopelia_runtime::{GemmRequest, MatOperand, TileChoice};
+/// # fn demo(mut ctx: cocopelia_runtime::Cocopelia) {
+/// let a = MatOperand::<f64>::HostGhost { rows: 4096, cols: 4096 };
+/// let b = MatOperand::<f64>::HostGhost { rows: 4096, cols: 4096 };
+/// let c = MatOperand::<f64>::HostGhost { rows: 4096, cols: 4096 };
+/// let out = GemmRequest::new(a, b, c)
+///     .alpha(1.0)
+///     .beta(0.5)
+///     .tile(TileChoice::Auto)
+///     .run(&mut ctx);
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmRequest<T> {
+    pub(crate) a: MatArg<T>,
+    pub(crate) b: MatArg<T>,
+    pub(crate) c: MatArg<T>,
+    pub(crate) alpha: f64,
+    pub(crate) beta: f64,
+    pub(crate) tile: TileChoice,
+    pub(crate) deadline: Option<f64>,
+}
+
+impl<T: SimScalar> GemmRequest<T> {
+    /// A gemm request with `alpha = 1`, `beta = 0`, automatic tiling, and
+    /// no deadline.
+    pub fn new(a: impl Into<MatArg<T>>, b: impl Into<MatArg<T>>, c: impl Into<MatArg<T>>) -> Self {
+        GemmRequest {
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+            alpha: 1.0,
+            beta: 0.0,
+            tile: TileChoice::Auto,
+            deadline: None,
+        }
+    }
+
+    /// Sets the `α` scalar.
+    pub fn alpha(mut self, v: f64) -> Self {
+        self.alpha = v;
+        self
+    }
+
+    /// Sets the `β` scalar.
+    pub fn beta(mut self, v: f64) -> Self {
+        self.beta = v;
+        self
+    }
+
+    /// Sets the tiling-size policy.
+    pub fn tile(mut self, choice: TileChoice) -> Self {
+        self.tile = choice;
+        self
+    }
+
+    /// Gives the request a virtual-time budget, measured from executor
+    /// dispatch. Ignored on direct [`run`](Self::run).
+    pub fn deadline_secs(mut self, secs: f64) -> Self {
+        self.deadline = Some(secs);
+        self
+    }
+
+    /// Executes the request on a library handle.
+    ///
+    /// # Errors
+    ///
+    /// As for the routine itself, plus
+    /// [`RuntimeError::SharedOperand`](crate::RuntimeError::SharedOperand)
+    /// when an argument references a residency cache (executor-only).
+    pub fn run(self, ctx: &mut Cocopelia) -> Result<GemmResult<T>, RuntimeError> {
+        ctx.run_gemm(self)
+    }
+}
+
+/// Builder for `y ← α·x + y`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxpyRequest<T> {
+    pub(crate) alpha: f64,
+    pub(crate) x: VecArg<T>,
+    pub(crate) y: VecArg<T>,
+    pub(crate) tile: TileChoice,
+    pub(crate) deadline: Option<f64>,
+}
+
+impl<T: SimScalar> AxpyRequest<T> {
+    /// An axpy request with `alpha = 1`, automatic tiling, no deadline.
+    pub fn new(x: impl Into<VecArg<T>>, y: impl Into<VecArg<T>>) -> Self {
+        AxpyRequest {
+            alpha: 1.0,
+            x: x.into(),
+            y: y.into(),
+            tile: TileChoice::Auto,
+            deadline: None,
+        }
+    }
+
+    /// Sets the `α` scalar.
+    pub fn alpha(mut self, v: f64) -> Self {
+        self.alpha = v;
+        self
+    }
+
+    /// Sets the tiling-size policy.
+    pub fn tile(mut self, choice: TileChoice) -> Self {
+        self.tile = choice;
+        self
+    }
+
+    /// Gives the request a virtual-time budget, measured from executor
+    /// dispatch. Ignored on direct [`run`](Self::run).
+    pub fn deadline_secs(mut self, secs: f64) -> Self {
+        self.deadline = Some(secs);
+        self
+    }
+
+    /// Executes the request on a library handle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GemmRequest::run`].
+    pub fn run(self, ctx: &mut Cocopelia) -> Result<VecResult<T>, RuntimeError> {
+        ctx.run_axpy(self)
+    }
+}
+
+/// Builder for the tiled reduction `result ← xᵀy`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DotRequest<T> {
+    pub(crate) x: VecArg<T>,
+    pub(crate) y: VecArg<T>,
+    pub(crate) tile: TileChoice,
+    pub(crate) deadline: Option<f64>,
+}
+
+impl<T: SimScalar> DotRequest<T> {
+    /// A dot request with automatic tiling and no deadline.
+    pub fn new(x: impl Into<VecArg<T>>, y: impl Into<VecArg<T>>) -> Self {
+        DotRequest {
+            x: x.into(),
+            y: y.into(),
+            tile: TileChoice::Auto,
+            deadline: None,
+        }
+    }
+
+    /// Sets the tiling-size policy.
+    pub fn tile(mut self, choice: TileChoice) -> Self {
+        self.tile = choice;
+        self
+    }
+
+    /// Gives the request a virtual-time budget, measured from executor
+    /// dispatch. Ignored on direct [`run`](Self::run).
+    pub fn deadline_secs(mut self, secs: f64) -> Self {
+        self.deadline = Some(secs);
+        self
+    }
+
+    /// Executes the request on a library handle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GemmRequest::run`].
+    pub fn run(self, ctx: &mut Cocopelia) -> Result<DotResult, RuntimeError> {
+        ctx.run_dot(self)
+    }
+}
+
+/// Builder for `y ← α·A·x + β·y`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemvRequest<T> {
+    pub(crate) alpha: f64,
+    pub(crate) a: MatArg<T>,
+    pub(crate) x: VecArg<T>,
+    pub(crate) beta: f64,
+    pub(crate) y: VecArg<T>,
+    pub(crate) tile: TileChoice,
+    pub(crate) deadline: Option<f64>,
+}
+
+impl<T: SimScalar> GemvRequest<T> {
+    /// A gemv request with `alpha = 1`, `beta = 0`, automatic tiling, and
+    /// no deadline.
+    pub fn new(a: impl Into<MatArg<T>>, x: impl Into<VecArg<T>>, y: impl Into<VecArg<T>>) -> Self {
+        GemvRequest {
+            alpha: 1.0,
+            a: a.into(),
+            x: x.into(),
+            beta: 0.0,
+            y: y.into(),
+            tile: TileChoice::Auto,
+            deadline: None,
+        }
+    }
+
+    /// Sets the `α` scalar.
+    pub fn alpha(mut self, v: f64) -> Self {
+        self.alpha = v;
+        self
+    }
+
+    /// Sets the `β` scalar.
+    pub fn beta(mut self, v: f64) -> Self {
+        self.beta = v;
+        self
+    }
+
+    /// Sets the tiling-size policy.
+    pub fn tile(mut self, choice: TileChoice) -> Self {
+        self.tile = choice;
+        self
+    }
+
+    /// Gives the request a virtual-time budget, measured from executor
+    /// dispatch. Ignored on direct [`run`](Self::run).
+    pub fn deadline_secs(mut self, secs: f64) -> Self {
+        self.deadline = Some(secs);
+        self
+    }
+
+    /// Executes the request on a library handle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GemmRequest::run`].
+    pub fn run(self, ctx: &mut Cocopelia) -> Result<VecResult<T>, RuntimeError> {
+        ctx.run_gemv(self)
+    }
+}
+
+/// A type-erased routine request, the unit the serving layer queues.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RoutineRequest {
+    /// Double-precision gemm.
+    GemmF64(GemmRequest<f64>),
+    /// Single-precision gemm.
+    GemmF32(GemmRequest<f32>),
+    /// Double-precision axpy.
+    AxpyF64(AxpyRequest<f64>),
+    /// Double-precision dot.
+    DotF64(DotRequest<f64>),
+    /// Double-precision gemv.
+    GemvF64(GemvRequest<f64>),
+}
+
+impl RoutineRequest {
+    /// Canonical BLAS name of the routine ("dgemm", "sgemm", …).
+    pub fn routine(&self) -> &'static str {
+        match self {
+            RoutineRequest::GemmF64(_) => "dgemm",
+            RoutineRequest::GemmF32(_) => "sgemm",
+            RoutineRequest::AxpyF64(_) => "daxpy",
+            RoutineRequest::DotF64(_) => "ddot",
+            RoutineRequest::GemvF64(_) => "dgemv",
+        }
+    }
+
+    /// Worst-case device bytes the request needs resident at once (every
+    /// non-device operand uploaded in full, per §IV-C full tile reuse).
+    /// Admission control compares this against device capacity.
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            RoutineRequest::GemmF64(r) => {
+                r.a.footprint_bytes() + r.b.footprint_bytes() + r.c.footprint_bytes()
+            }
+            RoutineRequest::GemmF32(r) => {
+                r.a.footprint_bytes() + r.b.footprint_bytes() + r.c.footprint_bytes()
+            }
+            RoutineRequest::AxpyF64(r) => r.x.footprint_bytes() + r.y.footprint_bytes(),
+            RoutineRequest::DotF64(r) => r.x.footprint_bytes() + r.y.footprint_bytes(),
+            RoutineRequest::GemvF64(r) => {
+                r.a.footprint_bytes() + r.x.footprint_bytes() + r.y.footprint_bytes()
+            }
+        }
+    }
+
+    /// The request's virtual-time budget, if any.
+    pub fn deadline(&self) -> Option<f64> {
+        match self {
+            RoutineRequest::GemmF64(r) => r.deadline,
+            RoutineRequest::GemmF32(r) => r.deadline,
+            RoutineRequest::AxpyF64(r) => r.deadline,
+            RoutineRequest::DotF64(r) => r.deadline,
+            RoutineRequest::GemvF64(r) => r.deadline,
+        }
+    }
+
+    /// Residency-cache keys the request references, in operand order.
+    pub fn shared_keys(&self) -> Vec<&str> {
+        match self {
+            RoutineRequest::GemmF64(r) => [&r.a, &r.b, &r.c]
+                .into_iter()
+                .filter_map(MatArg::shared_key)
+                .collect(),
+            RoutineRequest::GemmF32(r) => [&r.a, &r.b, &r.c]
+                .into_iter()
+                .filter_map(MatArg::shared_key)
+                .collect(),
+            RoutineRequest::AxpyF64(r) => [&r.x, &r.y]
+                .into_iter()
+                .filter_map(VecArg::shared_key)
+                .collect(),
+            RoutineRequest::DotF64(r) => [&r.x, &r.y]
+                .into_iter()
+                .filter_map(VecArg::shared_key)
+                .collect(),
+            RoutineRequest::GemvF64(r) => {
+                let mut keys: Vec<&str> = r.a.shared_key().into_iter().collect();
+                keys.extend([&r.x, &r.y].into_iter().filter_map(VecArg::shared_key));
+                keys
+            }
+        }
+    }
+
+    /// Rewrites every shared operand to an inline ghost of the same shape —
+    /// the "no residency reuse" baseline the throughput acceptance test
+    /// submits sequentially.
+    pub fn without_sharing(self) -> Self {
+        match self {
+            RoutineRequest::GemmF64(mut r) => {
+                r.a = r.a.without_sharing();
+                r.b = r.b.without_sharing();
+                r.c = r.c.without_sharing();
+                RoutineRequest::GemmF64(r)
+            }
+            RoutineRequest::GemmF32(mut r) => {
+                r.a = r.a.without_sharing();
+                r.b = r.b.without_sharing();
+                r.c = r.c.without_sharing();
+                RoutineRequest::GemmF32(r)
+            }
+            RoutineRequest::AxpyF64(mut r) => {
+                r.x = r.x.without_sharing();
+                r.y = r.y.without_sharing();
+                RoutineRequest::AxpyF64(r)
+            }
+            RoutineRequest::DotF64(mut r) => {
+                r.x = r.x.without_sharing();
+                r.y = r.y.without_sharing();
+                RoutineRequest::DotF64(r)
+            }
+            RoutineRequest::GemvF64(mut r) => {
+                r.a = r.a.without_sharing();
+                r.x = r.x.without_sharing();
+                r.y = r.y.without_sharing();
+                RoutineRequest::GemvF64(r)
+            }
+        }
+    }
+}
+
+impl From<GemmRequest<f64>> for RoutineRequest {
+    fn from(r: GemmRequest<f64>) -> Self {
+        RoutineRequest::GemmF64(r)
+    }
+}
+
+impl From<GemmRequest<f32>> for RoutineRequest {
+    fn from(r: GemmRequest<f32>) -> Self {
+        RoutineRequest::GemmF32(r)
+    }
+}
+
+impl From<AxpyRequest<f64>> for RoutineRequest {
+    fn from(r: AxpyRequest<f64>) -> Self {
+        RoutineRequest::AxpyF64(r)
+    }
+}
+
+impl From<DotRequest<f64>> for RoutineRequest {
+    fn from(r: DotRequest<f64>) -> Self {
+        RoutineRequest::DotF64(r)
+    }
+}
+
+impl From<GemvRequest<f64>> for RoutineRequest {
+    fn from(r: GemvRequest<f64>) -> Self {
+        RoutineRequest::GemvF64(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let r = GemmRequest::<f64>::new(
+            MatOperand::HostGhost { rows: 8, cols: 4 },
+            MatOperand::HostGhost { rows: 4, cols: 6 },
+            MatOperand::HostGhost { rows: 8, cols: 6 },
+        );
+        assert_eq!(r.alpha, 1.0);
+        assert_eq!(r.beta, 0.0);
+        assert_eq!(r.tile, TileChoice::Auto);
+        assert_eq!(r.deadline, None);
+        let r = r
+            .alpha(2.0)
+            .beta(0.5)
+            .tile(TileChoice::Fixed(2))
+            .deadline_secs(0.1);
+        assert_eq!((r.alpha, r.beta), (2.0, 0.5));
+        assert_eq!(r.tile, TileChoice::Fixed(2));
+        assert_eq!(r.deadline, Some(0.1));
+    }
+
+    #[test]
+    fn footprint_counts_non_device_operands() {
+        let mut gpu = cocopelia_gpusim::Gpu::new(
+            cocopelia_gpusim::testbed_i(),
+            cocopelia_gpusim::ExecMode::TimingOnly,
+            0,
+        );
+        let buf = gpu
+            .alloc_device(cocopelia_hostblas::Dtype::F64, 100)
+            .expect("alloc");
+        let req: RoutineRequest = GemmRequest::<f64>::new(
+            MatArg::shared("A", 10, 10),
+            MatOperand::HostGhost { rows: 10, cols: 10 },
+            MatOperand::Device(DeviceMatrix::from_raw(buf, 10, 10)),
+        )
+        .into();
+        // A (shared) + B (host ghost) count; device-resident C does not.
+        assert_eq!(req.footprint_bytes(), 2 * 10 * 10 * 8);
+        assert_eq!(req.routine(), "dgemm");
+        assert_eq!(req.shared_keys(), vec!["A"]);
+    }
+
+    #[test]
+    fn without_sharing_inlines_ghosts() {
+        let req: RoutineRequest = AxpyRequest::<f64>::new(VecArg::shared("x", 100), vec![0.0; 100])
+            .alpha(3.0)
+            .into();
+        assert_eq!(req.shared_keys(), vec!["x"]);
+        let plain = req.clone().without_sharing();
+        assert!(plain.shared_keys().is_empty());
+        assert_eq!(plain.footprint_bytes(), req.footprint_bytes());
+        match plain {
+            RoutineRequest::AxpyF64(r) => {
+                assert_eq!(r.alpha, 3.0);
+                assert_eq!(r.x, VecArg::Inline(VecOperand::HostGhost { len: 100 }));
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vector_and_matrix_conversions() {
+        let _: VecArg<f64> = vec![1.0, 2.0].into();
+        let _: VecArg<f64> = VecOperand::HostGhost { len: 3 }.into();
+        let _: MatArg<f32> = Matrix::<f32>::zeros(2, 2).into();
+        let m: MatArg<f64> = SharedMat::new("A", 3, 4).into();
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert_eq!(m.shared_key(), Some("A"));
+        let v: VecArg<f64> = SharedVec::new("x", 9).into();
+        assert_eq!(v.len(), 9);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,632 @@
+//! The queued request executor: admission, dispatch, residency, retry.
+
+use crate::ctx::{Cocopelia, RoutineReport};
+use crate::error::{RequestError, RequestId, RuntimeError};
+use crate::multigpu::MultiGpu;
+use crate::operand::{MatOperand, VecOperand};
+use crate::request::{MatArg, RoutineRequest, VecArg};
+use crate::serve::residency::{ResidencyCache, ResidentHandle};
+use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
+use cocopelia_obs::Registry;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+/// Bucket bounds of the `serve_queue_depth` histogram.
+const QUEUE_DEPTH_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Tuning knobs of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorConfig {
+    /// Fraction of each device's memory reserved for the cross-request
+    /// residency cache.
+    pub residency_frac: f64,
+    /// Admission ceiling: a request whose worst-case footprint exceeds
+    /// this fraction of device memory is rejected at submission.
+    pub admission_frac: f64,
+    /// Retry a request once after a transient device failure
+    /// (out-of-memory), reclaiming the device in between.
+    pub retry_transient: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            residency_frac: 0.5,
+            admission_frac: 0.9,
+            retry_transient: true,
+        }
+    }
+}
+
+/// Terminal state of a served request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RequestStatus {
+    /// The routine ran to completion within its deadline (if any).
+    Completed(RoutineReport),
+    /// Admission control refused the request at submission.
+    Rejected {
+        /// Why the request was not admitted.
+        reason: String,
+    },
+    /// The routine ran but blew its virtual-time budget.
+    TimedOut {
+        /// The request's budget in virtual seconds.
+        deadline: f64,
+        /// The virtual seconds the request actually took.
+        elapsed: f64,
+        /// The report of the (late) run.
+        report: Box<RoutineReport>,
+    },
+    /// The routine failed; transient failures have already been retried.
+    Failed(RequestError),
+}
+
+/// One request's terminal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The id assigned at submission.
+    pub id: RequestId,
+    /// Canonical routine name.
+    pub routine: &'static str,
+    /// Device the request ran on (`None` when rejected at submission).
+    pub device: Option<usize>,
+    /// How the request terminated.
+    pub status: RequestStatus,
+    /// True when the request was retried after a transient failure.
+    pub retried: bool,
+}
+
+impl RequestOutcome {
+    /// The completed report, when the request completed.
+    pub fn report(&self) -> Option<&RoutineReport> {
+        match &self.status {
+            RequestStatus::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate result of draining the executor queue once.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Terminal records: submission-time rejections first (in submit
+    /// order), then served requests in dispatch order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Virtual makespan of the run: the busiest device's elapsed time.
+    pub makespan: SimTime,
+    /// Per-device busy time over the run.
+    pub per_device_busy: Vec<SimTime>,
+    /// Useful floating-point operations of completed requests.
+    pub total_flops: f64,
+    /// Snapshot of the executor's metrics registry after the run.
+    pub metrics: Registry,
+}
+
+impl ServeReport {
+    /// Number of outcomes in the given terminal state.
+    fn count(&self, pred: impl Fn(&RequestStatus) -> bool) -> usize {
+        self.outcomes.iter().filter(|o| pred(&o.status)).count()
+    }
+
+    /// Completed requests.
+    pub fn completed(&self) -> usize {
+        self.count(|s| matches!(s, RequestStatus::Completed(_)))
+    }
+
+    /// Requests refused at submission.
+    pub fn rejected(&self) -> usize {
+        self.count(|s| matches!(s, RequestStatus::Rejected { .. }))
+    }
+
+    /// Requests that blew their deadline.
+    pub fn timed_out(&self) -> usize {
+        self.count(|s| matches!(s, RequestStatus::TimedOut { .. }))
+    }
+
+    /// Requests that failed after any retry.
+    pub fn failed(&self) -> usize {
+        self.count(|s| matches!(s, RequestStatus::Failed(_)))
+    }
+
+    /// Aggregate throughput of completed work in GFLOP/s of makespan.
+    pub fn throughput_gflops(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs > 0.0 {
+            self.total_flops / secs / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean device utilisation over the makespan, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        let span = self.makespan.as_secs_f64();
+        if span <= 0.0 || self.per_device_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.per_device_busy.iter().map(|t| t.as_secs_f64()).sum();
+        busy / (span * self.per_device_busy.len() as f64)
+    }
+
+    /// Human-readable summary: per-request lines plus aggregates.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let dev = match o.device {
+                Some(d) => format!("dev{d}"),
+                None => "-".to_owned(),
+            };
+            let retried = if o.retried { " (retried)" } else { "" };
+            match &o.status {
+                RequestStatus::Completed(r) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<8} {:<6} {:<5} completed  T={:<5} {:>9.3} ms {:>8.1} GF/s{retried}",
+                        o.id.to_string(),
+                        o.routine,
+                        dev,
+                        r.tile,
+                        r.elapsed.as_secs_f64() * 1e3,
+                        r.gflops(),
+                    );
+                }
+                RequestStatus::Rejected { reason } => {
+                    let _ = writeln!(
+                        out,
+                        "{:<8} {:<6} {:<5} rejected   {reason}",
+                        o.id.to_string(),
+                        o.routine,
+                        dev
+                    );
+                }
+                RequestStatus::TimedOut {
+                    deadline, elapsed, ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{:<8} {:<6} {:<5} timed-out  {:.3} ms > {:.3} ms budget{retried}",
+                        o.id.to_string(),
+                        o.routine,
+                        dev,
+                        elapsed * 1e3,
+                        deadline * 1e3,
+                    );
+                }
+                RequestStatus::Failed(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<8} {:<6} {:<5} failed     {e}{retried}",
+                        o.id.to_string(),
+                        o.routine,
+                        dev
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "requests {} | completed {} rejected {} timed-out {} failed {}",
+            self.outcomes.len(),
+            self.completed(),
+            self.rejected(),
+            self.timed_out(),
+            self.failed(),
+        );
+        let _ = writeln!(
+            out,
+            "makespan {:.3} ms | throughput {:.1} GFLOP/s | occupancy {:.1}%",
+            self.makespan.as_secs_f64() * 1e3,
+            self.throughput_gflops(),
+            self.occupancy() * 1e2,
+        );
+        out
+    }
+}
+
+/// The request-serving executor over a [`MultiGpu`] pool.
+///
+/// Lifecycle: [`submit`](Self::submit) requests (admission happens here),
+/// then [`run`](Self::run) to drain the queue. Each queued request is
+/// pulled by the device with the highest residency affinity for its shared
+/// operands, earliest virtual clock breaking ties — an idle device steals
+/// queued work.
+#[derive(Debug)]
+pub struct Executor {
+    pool: MultiGpu,
+    residency: Vec<ResidencyCache>,
+    cfg: ExecutorConfig,
+    queue: VecDeque<(RequestId, RoutineRequest)>,
+    outcomes: Vec<RequestOutcome>,
+    metrics: Registry,
+    next_id: u64,
+}
+
+impl Executor {
+    /// Wraps a device pool, carving each device's residency budget out of
+    /// its memory capacity per `cfg`.
+    pub fn new(pool: MultiGpu, cfg: ExecutorConfig) -> Self {
+        let residency = pool
+            .devices()
+            .iter()
+            .map(|dev| {
+                let cap = dev.gpu().device_mem_capacity() as f64;
+                ResidencyCache::new((cap * cfg.residency_frac.clamp(0.0, 1.0)) as usize)
+            })
+            .collect();
+        Executor {
+            pool,
+            residency,
+            cfg,
+            queue: VecDeque::new(),
+            outcomes: Vec::new(),
+            metrics: Registry::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &MultiGpu {
+        &self.pool
+    }
+
+    /// Consumes the executor and returns the pool.
+    pub fn into_pool(self) -> MultiGpu {
+        self.pool
+    }
+
+    /// The executor's metrics registry (counters, gauges, queue depth).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The residency cache of device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn residency(&self, d: usize) -> &ResidencyCache {
+        &self.residency[d]
+    }
+
+    /// Requests waiting for dispatch.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a request, returning its id. Admission control runs here: a
+    /// request whose worst-case footprint exceeds the configured fraction
+    /// of device memory terminates immediately as
+    /// [`RequestStatus::Rejected`].
+    pub fn submit(&mut self, req: impl Into<RoutineRequest>) -> RequestId {
+        let req = req.into();
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.metrics.counter_add("serve_requests_total", 1);
+        let cap = self.pool.devices()[0].gpu().device_mem_capacity();
+        let limit = (cap as f64 * self.cfg.admission_frac.clamp(0.0, 1.0)) as usize;
+        let footprint = req.footprint_bytes();
+        if footprint > limit {
+            self.metrics.counter_add("serve_rejected_total", 1);
+            self.outcomes.push(RequestOutcome {
+                id,
+                routine: req.routine(),
+                device: None,
+                status: RequestStatus::Rejected {
+                    reason: format!(
+                        "footprint {footprint} B exceeds admission limit {limit} B \
+                         ({:.0}% of device memory)",
+                        self.cfg.admission_frac * 1e2
+                    ),
+                },
+                retried: false,
+            });
+            return id;
+        }
+        self.queue.push_back((id, req));
+        id
+    }
+
+    /// The device that pulls `req`: highest residency affinity for the
+    /// request's shared operands, then earliest virtual clock, then lowest
+    /// index — deterministic in virtual time.
+    fn choose_device(&self, req: &RoutineRequest) -> usize {
+        let keys = req.shared_keys();
+        let mut best = 0usize;
+        let mut best_aff = self.residency[0].affinity(&keys);
+        let mut best_now = self.pool.devices()[0].gpu().now();
+        for i in 1..self.pool.device_count() {
+            let aff = self.residency[i].affinity(&keys);
+            let now = self.pool.devices()[i].gpu().now();
+            if aff > best_aff || (aff == best_aff && now < best_now) {
+                best = i;
+                best_aff = aff;
+                best_now = now;
+            }
+        }
+        best
+    }
+
+    /// Drains the queue, dispatching every request to a terminal status,
+    /// and reports the run.
+    pub fn run(&mut self) -> ServeReport {
+        let start: Vec<SimTime> = self.pool.devices().iter().map(|d| d.gpu().now()).collect();
+        while let Some((id, req)) = self.queue.pop_front() {
+            self.metrics.histogram_observe(
+                "serve_queue_depth",
+                &QUEUE_DEPTH_BOUNDS,
+                (self.queue.len() + 1) as f64,
+            );
+            let d = self.choose_device(&req);
+            let outcome = self.dispatch(id, d, req);
+            match &outcome.status {
+                RequestStatus::Completed(_) => {
+                    self.metrics.counter_add("serve_completed_total", 1);
+                }
+                RequestStatus::TimedOut { .. } => {
+                    self.metrics.counter_add("serve_timed_out_total", 1);
+                }
+                RequestStatus::Failed(_) => {
+                    self.metrics.counter_add("serve_failed_total", 1);
+                }
+                RequestStatus::Rejected { .. } => {}
+            }
+            self.outcomes.push(outcome);
+        }
+        let per_device_busy: Vec<SimTime> = self
+            .pool
+            .devices()
+            .iter()
+            .zip(&start)
+            .map(|(d, &s)| d.gpu().now().saturating_since(s))
+            .collect();
+        let makespan = per_device_busy
+            .iter()
+            .copied()
+            .max()
+            .expect("at least one device");
+        let total_flops: f64 = self
+            .outcomes
+            .iter()
+            .filter_map(RequestOutcome::report)
+            .map(|r| r.flops)
+            .sum();
+        let report = ServeReport {
+            outcomes: std::mem::take(&mut self.outcomes),
+            makespan,
+            per_device_busy,
+            total_flops,
+            metrics: Registry::new(),
+        };
+        self.metrics
+            .gauge_set("serve_makespan_secs", report.makespan.as_secs_f64());
+        self.metrics
+            .gauge_set("serve_throughput_gflops", report.throughput_gflops());
+        self.metrics
+            .gauge_set("serve_occupancy", report.occupancy());
+        ServeReport {
+            metrics: self.metrics.clone(),
+            ..report
+        }
+    }
+
+    /// Runs one admitted request on device `d` through to a terminal
+    /// status, retrying once on a transient failure.
+    fn dispatch(&mut self, id: RequestId, d: usize, req: RoutineRequest) -> RequestOutcome {
+        let routine = req.routine();
+        let deadline = req.deadline();
+        let pre_dev: BTreeSet<DevBufId> = self.pool.devices()[d]
+            .gpu()
+            .live_device_buffers()
+            .into_iter()
+            .collect();
+        let pre_host: BTreeSet<HostBufId> = self.pool.devices()[d]
+            .gpu()
+            .live_host_buffers()
+            .into_iter()
+            .collect();
+        let mut retried = false;
+        let mut result = self.execute_once(d, req.clone());
+        if let Err(e) = &result {
+            self.reclaim(d, &pre_dev, &pre_host);
+            let transient = matches!(e, RuntimeError::Sim(SimError::OutOfDeviceMemory { .. }));
+            if transient && self.cfg.retry_transient {
+                retried = true;
+                self.metrics.counter_add("serve_retries_total", 1);
+                result = self.execute_once(d, req);
+                if result.is_err() {
+                    self.reclaim(d, &pre_dev, &pre_host);
+                }
+            }
+        }
+        let status = match result {
+            Ok(report) => match deadline {
+                Some(dl) if report.elapsed.as_secs_f64() > dl => RequestStatus::TimedOut {
+                    deadline: dl,
+                    elapsed: report.elapsed.as_secs_f64(),
+                    report: Box::new(report),
+                },
+                _ => RequestStatus::Completed(report),
+            },
+            Err(e) => RequestStatus::Failed(RequestError::new(id, routine, e)),
+        };
+        RequestOutcome {
+            id,
+            routine,
+            device: Some(d),
+            status,
+            retried,
+        }
+    }
+
+    /// One attempt: resolve shared operands against device `d`'s residency
+    /// cache, run the routine, release bypass uploads.
+    fn execute_once(
+        &mut self,
+        d: usize,
+        req: RoutineRequest,
+    ) -> Result<RoutineReport, RuntimeError> {
+        let Executor {
+            pool,
+            residency,
+            metrics,
+            ..
+        } = self;
+        let dev = pool.device_mut(d);
+        let cache = &mut residency[d];
+        let mut bypass = Vec::new();
+        let resolved = resolve_request(dev, cache, metrics, &mut bypass, req)?;
+        let report = dev.submit(resolved)?;
+        for h in bypass {
+            free_resident(dev, h);
+        }
+        Ok(report)
+    }
+
+    /// Returns device `d` to a clean state after a failed attempt: waits
+    /// for in-flight work, evicts its residency cache, and frees any
+    /// buffer the failed attempt leaked (allocations alive now that were
+    /// not alive before the attempt).
+    fn reclaim(&mut self, d: usize, pre_dev: &BTreeSet<DevBufId>, pre_host: &BTreeSet<HostBufId>) {
+        let dev = self.pool.device_mut(d);
+        let _ = dev.gpu_mut().synchronize();
+        let evicted = self.residency[d].clear();
+        self.metrics
+            .counter_add("residency_evictions_total", evicted.len() as u64);
+        for e in evicted {
+            free_resident(dev, e.handle);
+        }
+        for b in dev.gpu().live_device_buffers() {
+            if !pre_dev.contains(&b) {
+                let _ = dev.gpu_mut().free_device(b);
+            }
+        }
+        for h in dev.gpu().live_host_buffers() {
+            if !pre_host.contains(&h) {
+                let _ = dev.gpu_mut().take_host(h);
+            }
+        }
+    }
+}
+
+/// Frees a cached or bypass device allocation, ignoring stale handles
+/// (reclaim may already have freed them).
+fn free_resident(dev: &mut Cocopelia, h: ResidentHandle) {
+    let _ = match h {
+        ResidentHandle::Mat(m) => dev.free_matrix(m),
+        ResidentHandle::Vec(v) => dev.free_vector(v),
+    };
+}
+
+/// Resolves one matrix argument: shared keys become device-resident
+/// operands via the residency cache (hit) or a ghost upload (miss).
+fn resolve_mat<T: SimScalar>(
+    dev: &mut Cocopelia,
+    cache: &mut ResidencyCache,
+    metrics: &mut Registry,
+    bypass: &mut Vec<ResidentHandle>,
+    arg: MatArg<T>,
+) -> Result<MatArg<T>, RuntimeError> {
+    let MatArg::Shared(s) = arg else {
+        return Ok(arg);
+    };
+    if let Some(m) = cache.lookup_mat(&s.key, T::DTYPE, s.rows, s.cols)? {
+        metrics.counter_add("residency_hits_total", 1);
+        return Ok(MatArg::Inline(MatOperand::Device(m)));
+    }
+    metrics.counter_add("residency_misses_total", 1);
+    let bytes = s.rows * s.cols * T::DTYPE.width();
+    let cacheable = cache.fits(bytes);
+    if cacheable {
+        for e in cache.evict_for(bytes) {
+            metrics.counter_add("residency_evictions_total", 1);
+            free_resident(dev, e.handle);
+        }
+    } else {
+        metrics.counter_add("residency_bypass_total", 1);
+    }
+    let m = dev.upload_ghost_matrix(T::DTYPE, s.rows, s.cols)?;
+    metrics.counter_add("residency_bytes_uploaded", bytes as u64);
+    if cacheable {
+        cache.insert_mat(&s.key, T::DTYPE, m, bytes);
+    } else {
+        bypass.push(ResidentHandle::Mat(m));
+    }
+    Ok(MatArg::Inline(MatOperand::Device(m)))
+}
+
+/// Resolves one vector argument; see [`resolve_mat`].
+fn resolve_vec<T: SimScalar>(
+    dev: &mut Cocopelia,
+    cache: &mut ResidencyCache,
+    metrics: &mut Registry,
+    bypass: &mut Vec<ResidentHandle>,
+    arg: VecArg<T>,
+) -> Result<VecArg<T>, RuntimeError> {
+    let VecArg::Shared(s) = arg else {
+        return Ok(arg);
+    };
+    if let Some(v) = cache.lookup_vec(&s.key, T::DTYPE, s.len)? {
+        metrics.counter_add("residency_hits_total", 1);
+        return Ok(VecArg::Inline(VecOperand::Device(v)));
+    }
+    metrics.counter_add("residency_misses_total", 1);
+    let bytes = s.len * T::DTYPE.width();
+    let cacheable = cache.fits(bytes);
+    if cacheable {
+        for e in cache.evict_for(bytes) {
+            metrics.counter_add("residency_evictions_total", 1);
+            free_resident(dev, e.handle);
+        }
+    } else {
+        metrics.counter_add("residency_bypass_total", 1);
+    }
+    let v = dev.upload_ghost_vector(T::DTYPE, s.len)?;
+    metrics.counter_add("residency_bytes_uploaded", bytes as u64);
+    if cacheable {
+        cache.insert_vec(&s.key, T::DTYPE, v, bytes);
+    } else {
+        bypass.push(ResidentHandle::Vec(v));
+    }
+    Ok(VecArg::Inline(VecOperand::Device(v)))
+}
+
+/// Resolves every shared operand of a request against one device.
+fn resolve_request(
+    dev: &mut Cocopelia,
+    cache: &mut ResidencyCache,
+    metrics: &mut Registry,
+    bypass: &mut Vec<ResidentHandle>,
+    req: RoutineRequest,
+) -> Result<RoutineRequest, RuntimeError> {
+    Ok(match req {
+        RoutineRequest::GemmF64(mut r) => {
+            r.a = resolve_mat(dev, cache, metrics, bypass, r.a)?;
+            r.b = resolve_mat(dev, cache, metrics, bypass, r.b)?;
+            r.c = resolve_mat(dev, cache, metrics, bypass, r.c)?;
+            RoutineRequest::GemmF64(r)
+        }
+        RoutineRequest::GemmF32(mut r) => {
+            r.a = resolve_mat(dev, cache, metrics, bypass, r.a)?;
+            r.b = resolve_mat(dev, cache, metrics, bypass, r.b)?;
+            r.c = resolve_mat(dev, cache, metrics, bypass, r.c)?;
+            RoutineRequest::GemmF32(r)
+        }
+        RoutineRequest::AxpyF64(mut r) => {
+            r.x = resolve_vec(dev, cache, metrics, bypass, r.x)?;
+            r.y = resolve_vec(dev, cache, metrics, bypass, r.y)?;
+            RoutineRequest::AxpyF64(r)
+        }
+        RoutineRequest::DotF64(mut r) => {
+            r.x = resolve_vec(dev, cache, metrics, bypass, r.x)?;
+            r.y = resolve_vec(dev, cache, metrics, bypass, r.y)?;
+            RoutineRequest::DotF64(r)
+        }
+        RoutineRequest::GemvF64(mut r) => {
+            r.a = resolve_mat(dev, cache, metrics, bypass, r.a)?;
+            r.x = resolve_vec(dev, cache, metrics, bypass, r.x)?;
+            r.y = resolve_vec(dev, cache, metrics, bypass, r.y)?;
+            RoutineRequest::GemvF64(r)
+        }
+    })
+}

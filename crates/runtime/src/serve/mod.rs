@@ -1,0 +1,36 @@
+//! The request-serving layer: a queued, admission-controlled executor that
+//! dispatches heterogeneous routine requests across a [`MultiGpu`] pool.
+//!
+//! The single-call library of §IV-C schedules one BLAS call at a time; a
+//! production deployment instead sees *traffic* — many requests, some
+//! naming the same operands. This module adds the three ingredients
+//! multi-request throughput comes from (following BLASX's shared tile
+//! cache and dynamic device dispatch):
+//!
+//! 1. **Admission control.** A request whose worst-case device footprint
+//!    cannot fit is rejected at submission instead of failing mid-flight.
+//! 2. **Virtual-time work dispatch.** Each queued request is pulled by the
+//!    device that (a) already holds the most of its shared operands and
+//!    (b) among those, has the earliest virtual clock — an idle device
+//!    steals work unless affinity says otherwise.
+//! 3. **Cross-request residency.** Operands named by key
+//!    ([`MatArg::shared`](crate::MatArg::shared)) live in a per-device LRU
+//!    cache, so a matrix uploaded for request *N* is not re-transferred
+//!    for request *N+1*.
+//!
+//! Each request terminates in exactly one [`RequestStatus`]; transient
+//! device failures (out-of-memory) are retried once after reclaiming the
+//! device. Aggregate throughput, queue-depth, and occupancy metrics flow
+//! through a [`cocopelia_obs::Registry`].
+//!
+//! Shared operands carry no host data (they are ghost uploads), so the
+//! serving layer is a *timing* harness: drive it with pools built in
+//! [`ExecMode::TimingOnly`](cocopelia_gpusim::ExecMode).
+//!
+//! [`MultiGpu`]: crate::MultiGpu
+
+mod executor;
+mod residency;
+
+pub use executor::{Executor, ExecutorConfig, RequestOutcome, RequestStatus, ServeReport};
+pub use residency::ResidencyCache;

@@ -1,0 +1,274 @@
+//! Per-device LRU cache of shared, device-resident operands.
+
+use crate::error::RuntimeError;
+use crate::operand::{DeviceMatrix, DeviceVector};
+use cocopelia_hostblas::Dtype;
+
+/// A cached device allocation: either a matrix or a vector.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResidentHandle {
+    /// A resident matrix.
+    Mat(DeviceMatrix),
+    /// A resident vector.
+    Vec(DeviceVector),
+}
+
+/// One cache entry.
+#[derive(Debug, Clone)]
+pub(crate) struct Resident {
+    pub(crate) key: String,
+    pub(crate) dtype: Dtype,
+    pub(crate) handle: ResidentHandle,
+    pub(crate) bytes: usize,
+    last_use: u64,
+}
+
+/// An LRU cache of shared operands resident on one device, bounded by a
+/// byte budget carved out of device memory.
+///
+/// The cache tracks *handles*; the executor owns the device and performs
+/// the actual allocation/free calls with the handles this cache evicts.
+#[derive(Debug)]
+pub struct ResidencyCache {
+    budget_bytes: usize,
+    used_bytes: usize,
+    clock: u64,
+    entries: Vec<Resident>,
+}
+
+impl ResidencyCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        ResidencyCache {
+            budget_bytes,
+            used_bytes: 0,
+            clock: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of cached operands.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when an operand of `bytes` could ever be cached.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.budget_bytes
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.clock += 1;
+        self.entries[idx].last_use = self.clock;
+    }
+
+    /// Looks up a shared matrix, refreshing its LRU position on a hit.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DimensionMismatch`] when `key` is cached with a
+    /// different dtype or shape than the request declares.
+    pub(crate) fn lookup_mat(
+        &mut self,
+        key: &str,
+        dtype: Dtype,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Option<DeviceMatrix>, RuntimeError> {
+        let Some(idx) = self.entries.iter().position(|e| e.key == key) else {
+            return Ok(None);
+        };
+        let e = &self.entries[idx];
+        match e.handle {
+            ResidentHandle::Mat(m) if e.dtype == dtype && m.rows() == rows && m.cols() == cols => {
+                self.touch(idx);
+                Ok(Some(m))
+            }
+            _ => Err(RuntimeError::DimensionMismatch {
+                what: format!(
+                    "shared operand '{key}' is cached with a different dtype or shape \
+                     than the request declares"
+                ),
+            }),
+        }
+    }
+
+    /// Looks up a shared vector, refreshing its LRU position on a hit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`lookup_mat`](Self::lookup_mat).
+    pub(crate) fn lookup_vec(
+        &mut self,
+        key: &str,
+        dtype: Dtype,
+        len: usize,
+    ) -> Result<Option<DeviceVector>, RuntimeError> {
+        let Some(idx) = self.entries.iter().position(|e| e.key == key) else {
+            return Ok(None);
+        };
+        let e = &self.entries[idx];
+        match e.handle {
+            ResidentHandle::Vec(v) if e.dtype == dtype && v.len() == len => {
+                self.touch(idx);
+                Ok(Some(v))
+            }
+            _ => Err(RuntimeError::DimensionMismatch {
+                what: format!(
+                    "shared operand '{key}' is cached with a different dtype or shape \
+                     than the request declares"
+                ),
+            }),
+        }
+    }
+
+    /// Evicts least-recently-used entries until `bytes` more would fit in
+    /// the budget, returning the evicted handles for the executor to free.
+    /// Entries already present are untouched; call only after a miss.
+    pub(crate) fn evict_for(&mut self, bytes: usize) -> Vec<Resident> {
+        let mut evicted = Vec::new();
+        while self.used_bytes + bytes > self.budget_bytes && !self.entries.is_empty() {
+            let idx = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let e = self.entries.remove(idx);
+            self.used_bytes -= e.bytes;
+            evicted.push(e);
+        }
+        evicted
+    }
+
+    /// Caches a matrix under `key`. The caller has already made room.
+    pub(crate) fn insert_mat(&mut self, key: &str, dtype: Dtype, m: DeviceMatrix, bytes: usize) {
+        self.clock += 1;
+        self.used_bytes += bytes;
+        self.entries.push(Resident {
+            key: key.to_owned(),
+            dtype,
+            handle: ResidentHandle::Mat(m),
+            bytes,
+            last_use: self.clock,
+        });
+    }
+
+    /// Caches a vector under `key`. The caller has already made room.
+    pub(crate) fn insert_vec(&mut self, key: &str, dtype: Dtype, v: DeviceVector, bytes: usize) {
+        self.clock += 1;
+        self.used_bytes += bytes;
+        self.entries.push(Resident {
+            key: key.to_owned(),
+            dtype,
+            handle: ResidentHandle::Vec(v),
+            bytes,
+            last_use: self.clock,
+        });
+    }
+
+    /// Empties the cache, returning every handle for the executor to free.
+    pub(crate) fn clear(&mut self) -> Vec<Resident> {
+        self.used_bytes = 0;
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Number of the request's `keys` currently resident (affinity score
+    /// for dispatch; does not refresh LRU positions).
+    pub(crate) fn affinity(&self, keys: &[&str]) -> usize {
+        keys.iter()
+            .filter(|k| self.entries.iter().any(|e| &e.key == *k))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocopelia_gpusim::{testbed_i, ExecMode, Gpu};
+
+    fn mat(gpu: &mut Gpu, rows: usize, cols: usize) -> DeviceMatrix {
+        let buf = gpu.alloc_device(Dtype::F64, rows * cols).expect("alloc");
+        DeviceMatrix::from_raw(buf, rows, cols)
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::new(testbed_i(), ExecMode::TimingOnly, 0)
+    }
+
+    #[test]
+    fn lru_eviction_order_and_budget() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(2000);
+        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
+        cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800);
+        assert_eq!(cache.used_bytes(), 1600);
+        // Touch A so B becomes the LRU entry.
+        cache
+            .lookup_mat("A", Dtype::F64, 10, 10)
+            .expect("shape ok")
+            .expect("hit");
+        let evicted = cache.evict_for(800);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, "B");
+        assert_eq!(cache.used_bytes(), 800);
+        assert!(cache
+            .lookup_mat("B", Dtype::F64, 10, 10)
+            .expect("shape ok")
+            .is_none());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(10_000);
+        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
+        assert!(cache.lookup_mat("A", Dtype::F64, 10, 11).is_err());
+        assert!(cache.lookup_mat("A", Dtype::F32, 10, 10).is_err());
+        // A vector lookup against a matrix entry is also a mismatch.
+        assert!(cache.lookup_vec("A", Dtype::F64, 100).is_err());
+    }
+
+    #[test]
+    fn affinity_counts_resident_keys() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(10_000);
+        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
+        cache.insert_vec(
+            "x",
+            Dtype::F64,
+            DeviceVector::from_raw(g.alloc_device(Dtype::F64, 5).expect("alloc"), 5),
+            40,
+        );
+        assert_eq!(cache.affinity(&["A", "x", "missing"]), 2);
+        assert_eq!(cache.affinity(&[]), 0);
+    }
+
+    #[test]
+    fn clear_returns_everything() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(10_000);
+        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
+        cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800);
+        let all = cache.clear();
+        assert_eq!(all.len(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+}

@@ -4,8 +4,9 @@
 //! validation and §V-E evaluation problem sets ([`sets`]), library/model
 //! runners on fresh simulated devices ([`runner`]), error statistics and
 //! violin summaries ([`stats`]), plain-text table/figure rendering
-//! ([`table`]), and the deterministic standard sweep behind
-//! `cocopelia snapshot` ([`snapshot`]).
+//! ([`table`]), the deterministic standard sweep behind
+//! `cocopelia snapshot` ([`snapshot`]), and the request-serving sweep and
+//! trace format behind `cocopelia serve` ([`serve`]).
 //!
 //! Every bench target in `cocopelia-bench` is a thin composition of this
 //! crate's pieces; the cross-crate integration tests in the repository's
@@ -14,12 +15,14 @@
 #![deny(missing_docs)]
 
 pub mod runner;
+pub mod serve;
 pub mod sets;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
 
 pub use runner::{AxpyLib, GemmLib, Lab, RunOut};
+pub use serve::{parse_request_trace, run_serve, standard_request_trace, ServeComparison};
 pub use sets::{AxpyProblem, GemmProblem, Scale};
 pub use snapshot::{collect_snapshot, standard_sweep, SweepPoint, SNAPSHOT_SEED};
 pub use stats::{geomean_improvement_pct, rel_err_pct, ViolinSummary};

@@ -134,7 +134,11 @@ impl Lab {
                 let a = mk(ctx.gpu_mut(), p.loc_a, p.m, p.k)?;
                 let b = mk(ctx.gpu_mut(), p.loc_b, p.k, p.n)?;
                 let c = mk(ctx.gpu_mut(), p.loc_c, p.m, p.n)?;
-                let out = ctx.gemm::<T>(1.0, a, b, 1.0, c, choice)?;
+                let out = cocopelia_runtime::GemmRequest::new(a, b, c)
+                    .alpha(1.0)
+                    .beta(1.0)
+                    .tile(choice)
+                    .run(&mut ctx)?;
                 Ok(RunOut {
                     secs: out.report.elapsed.as_secs_f64(),
                     gflops: out.report.gflops(),
@@ -209,7 +213,10 @@ impl Lab {
                 let mut ctx = Cocopelia::new(gpu, self.profile.clone());
                 let x = mk(ctx.gpu_mut(), p.loc_x, p.n)?;
                 let y = mk(ctx.gpu_mut(), p.loc_y, p.n)?;
-                let out = ctx.daxpy(1.5, x, y, choice)?;
+                let out = cocopelia_runtime::AxpyRequest::new(x, y)
+                    .alpha(1.5)
+                    .tile(choice)
+                    .run(&mut ctx)?;
                 Ok(RunOut {
                     secs: out.report.elapsed.as_secs_f64(),
                     gflops: out.report.gflops(),

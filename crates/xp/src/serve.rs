@@ -1,0 +1,352 @@
+//! Request-serving sweep: a standard heterogeneous request trace, an
+//! executor-vs-sequential comparison, and a plain-text trace format for
+//! the `cocopelia serve` subcommand.
+//!
+//! The comparison pits the [`Executor`] (cross-request residency cache,
+//! affinity dispatch over a device pool) against the same trace replayed
+//! sequentially on one fresh device with every shared operand stripped —
+//! the no-reuse baseline a client gets by calling the library once per
+//! request.
+
+use cocopelia_deploy::{deploy, DeployConfig};
+use cocopelia_gpusim::{ExecMode, NoiseSpec, SimScalar, TestbedSpec};
+use cocopelia_runtime::serve::{Executor, ExecutorConfig, ServeReport};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
+    RoutineRequest, SharedMat, SharedVec, TileChoice, VecArg, VecOperand,
+};
+
+use crate::snapshot::SNAPSHOT_SEED;
+
+/// Executor run vs the sequential no-reuse replay of the same trace.
+#[derive(Debug)]
+pub struct ServeComparison {
+    /// The executor's aggregate report.
+    pub report: ServeReport,
+    /// Virtual seconds of the sequential no-reuse baseline (sum of
+    /// per-request elapsed on one fresh device).
+    pub sequential_secs: f64,
+    /// Devices in the executor's pool.
+    pub devices: usize,
+}
+
+impl ServeComparison {
+    /// Sequential-baseline time over executor makespan (`> 1` = win).
+    pub fn speedup(&self) -> f64 {
+        let makespan = self.report.makespan.as_secs_f64();
+        if makespan > 0.0 {
+            self.sequential_secs / makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The standard mixed trace: ten requests across four routines, with the
+/// gemm operands `A`/`B`, the gemv matrix `A`, and the level-1 vector `X`
+/// shared across requests — enough reuse for the residency cache to show.
+pub fn standard_request_trace() -> Vec<RoutineRequest> {
+    let n = 2048usize;
+    let v = 1usize << 22;
+    let a = || SharedMat::new("A", n, n);
+    let b = || SharedMat::new("B", n, n);
+    let x = || SharedVec::new("X", v);
+    let gemm = || {
+        GemmRequest::<f64>::new(a(), b(), MatOperand::HostGhost { rows: n, cols: n })
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Auto)
+    };
+    vec![
+        gemm().into(),
+        gemm().into(),
+        gemm().into(),
+        gemm().into(),
+        GemmRequest::<f32>::new(
+            MatOperand::HostGhost {
+                rows: 1024,
+                cols: 1024,
+            },
+            MatOperand::HostGhost {
+                rows: 1024,
+                cols: 1024,
+            },
+            MatOperand::HostGhost {
+                rows: 1024,
+                cols: 1024,
+            },
+        )
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Auto)
+        .into(),
+        AxpyRequest::<f64>::new(x(), VecOperand::HostGhost { len: v })
+            .alpha(1.5)
+            .tile(TileChoice::Auto)
+            .into(),
+        AxpyRequest::<f64>::new(x(), VecOperand::HostGhost { len: v })
+            .alpha(-0.5)
+            .tile(TileChoice::Auto)
+            .into(),
+        DotRequest::<f64>::new(x(), SharedVec::new("Y", v))
+            .tile(TileChoice::Auto)
+            .into(),
+        DotRequest::<f64>::new(x(), SharedVec::new("Y", v))
+            .tile(TileChoice::Auto)
+            .into(),
+        GemvRequest::<f64>::new(
+            a(),
+            VecOperand::HostGhost { len: n },
+            VecOperand::HostGhost { len: n },
+        )
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Auto)
+        .into(),
+    ]
+}
+
+/// Deploys on a quiet copy of `testbed`, serves `trace` through an
+/// [`Executor`] over `devices` devices, and replays the same trace
+/// sequentially without sharing for the baseline.
+///
+/// # Errors
+///
+/// Propagates deployment and runtime failures as strings.
+pub fn run_serve(
+    testbed: &TestbedSpec,
+    devices: usize,
+    trace: Vec<RoutineRequest>,
+) -> Result<ServeComparison, String> {
+    let mut tb = testbed.clone();
+    tb.noise = NoiseSpec::NONE;
+    let deployed = deploy(&tb, &DeployConfig::quick()).map_err(|e| e.to_string())?;
+
+    // Sequential no-reuse baseline: one fresh device, shared operands
+    // replaced by plain host ghosts, requests back to back.
+    let mut seq = Cocopelia::new(
+        cocopelia_gpusim::Gpu::new(tb.clone(), ExecMode::TimingOnly, SNAPSHOT_SEED),
+        deployed.profile.clone(),
+    );
+    let mut sequential_secs = 0.0;
+    for req in &trace {
+        let report = seq
+            .submit(req.clone().without_sharing())
+            .map_err(|e| format!("sequential baseline: {e}"))?;
+        sequential_secs += report.elapsed.as_secs_f64();
+    }
+
+    let pool = MultiGpu::new(
+        &tb,
+        devices,
+        ExecMode::TimingOnly,
+        SNAPSHOT_SEED,
+        deployed.profile,
+    );
+    let mut exec = Executor::new(pool, ExecutorConfig::default());
+    for req in trace {
+        exec.submit(req);
+    }
+    let report = exec.run();
+    Ok(ServeComparison {
+        report,
+        sequential_secs,
+        devices,
+    })
+}
+
+/// Parses a plain-text request trace, one request per line:
+///
+/// ```text
+/// # comment
+/// dgemm 2048 2048 2048 a=A b=B c=- tile=auto deadline=0.25
+/// sgemm 1024 1024 1024
+/// daxpy 4194304 x=X
+/// ddot  4194304 x=X y=Y tile=1048576
+/// dgemv 2048 2048 a=A
+/// ```
+///
+/// Dims follow the routine name (`M N K` for gemm, `M N` for gemv, `N`
+/// for the level-1 routines). `a=`/`b=`/`c=`/`x=`/`y=` name shared
+/// operands (`-` or absence means a private host ghost), `tile=` is
+/// `auto` or a fixed size, and `deadline=` is a virtual-second budget.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on any parse failure.
+pub fn parse_request_trace(text: &str) -> Result<Vec<RoutineRequest>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_request_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+/// One `key=value` option split, with `-` meaning "not set".
+fn opt<'a>(tokens: &'a [&str], key: &str) -> Option<&'a str> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key))
+        .filter(|v| *v != "-")
+}
+
+fn mat<T: SimScalar>(key: Option<&str>, rows: usize, cols: usize) -> MatArg<T> {
+    match key {
+        Some(k) => SharedMat::new(k, rows, cols).into(),
+        None => MatOperand::HostGhost { rows, cols }.into(),
+    }
+}
+
+fn vec_arg<T: SimScalar>(key: Option<&str>, len: usize) -> VecArg<T> {
+    match key {
+        Some(k) => SharedVec::new(k, len).into(),
+        None => VecOperand::HostGhost { len }.into(),
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<RoutineRequest, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let (routine, rest) = tokens.split_first().ok_or("empty request line")?;
+    let dims: Vec<usize> = rest
+        .iter()
+        .take_while(|t| !t.contains('='))
+        .map(|t| t.parse().map_err(|_| format!("bad dim `{t}`")))
+        .collect::<Result<_, _>>()?;
+    let opts = &rest[dims.len()..];
+    if let Some(bad) = opts.iter().find(|t| !t.contains('=')) {
+        return Err(format!("unexpected token `{bad}`"));
+    }
+    let tile = match opt(opts, "tile=") {
+        None | Some("auto") => TileChoice::Auto,
+        Some(t) => TileChoice::Fixed(t.parse().map_err(|_| format!("bad tile `{t}`"))?),
+    };
+    let deadline: Option<f64> = opt(opts, "deadline=")
+        .map(|d| d.parse().map_err(|_| format!("bad deadline `{d}`")))
+        .transpose()?;
+    let need = |n: usize| {
+        if dims.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{routine} needs {n} dims, got {}", dims.len()))
+        }
+    };
+    let req: RoutineRequest = match *routine {
+        "dgemm" | "sgemm" => {
+            need(3)?;
+            let (m, n, k) = (dims[0], dims[1], dims[2]);
+            let (a, b, c) = (opt(opts, "a="), opt(opts, "b="), opt(opts, "c="));
+            if *routine == "dgemm" {
+                let mut r = GemmRequest::<f64>::new(mat(a, m, k), mat(b, k, n), mat(c, m, n))
+                    .alpha(1.0)
+                    .beta(1.0)
+                    .tile(tile);
+                if let Some(d) = deadline {
+                    r = r.deadline_secs(d);
+                }
+                r.into()
+            } else {
+                let mut r = GemmRequest::<f32>::new(mat(a, m, k), mat(b, k, n), mat(c, m, n))
+                    .alpha(1.0)
+                    .beta(1.0)
+                    .tile(tile);
+                if let Some(d) = deadline {
+                    r = r.deadline_secs(d);
+                }
+                r.into()
+            }
+        }
+        "daxpy" => {
+            need(1)?;
+            let n = dims[0];
+            let mut r =
+                AxpyRequest::<f64>::new(vec_arg(opt(opts, "x="), n), vec_arg(opt(opts, "y="), n))
+                    .alpha(1.0)
+                    .tile(tile);
+            if let Some(d) = deadline {
+                r = r.deadline_secs(d);
+            }
+            r.into()
+        }
+        "ddot" => {
+            need(1)?;
+            let n = dims[0];
+            let mut r =
+                DotRequest::<f64>::new(vec_arg(opt(opts, "x="), n), vec_arg(opt(opts, "y="), n))
+                    .tile(tile);
+            if let Some(d) = deadline {
+                r = r.deadline_secs(d);
+            }
+            r.into()
+        }
+        "dgemv" => {
+            need(2)?;
+            let (m, n) = (dims[0], dims[1]);
+            let mut r = GemvRequest::<f64>::new(
+                mat(opt(opts, "a="), m, n),
+                vec_arg(opt(opts, "x="), n),
+                vec_arg(opt(opts, "y="), m),
+            )
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(tile);
+            if let Some(d) = deadline {
+                r = r.deadline_secs(d);
+            }
+            r.into()
+        }
+        other => return Err(format!("unknown routine `{other}`")),
+    };
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_trace_is_mixed_and_shares_operands() {
+        let trace = standard_request_trace();
+        assert!(trace.len() >= 8);
+        let routines: std::collections::BTreeSet<&str> =
+            trace.iter().map(|r| r.routine()).collect();
+        assert!(routines.len() >= 4, "mixed routines, got {routines:?}");
+        let shared: usize = trace.iter().map(|r| r.shared_keys().len()).sum();
+        assert!(shared >= 8, "trace must actually share operands");
+    }
+
+    #[test]
+    fn trace_text_round_trips_routines_and_sharing() {
+        let text = "\
+# the standard shapes
+dgemm 2048 2048 2048 a=A b=B tile=auto deadline=0.25
+sgemm 1024 1024 1024
+daxpy 4194304 x=X
+ddot 4194304 x=X y=Y tile=1048576
+dgemv 2048 2048 a=A
+";
+        let trace = parse_request_trace(text).expect("parses");
+        assert_eq!(trace.len(), 5);
+        assert_eq!(
+            trace.iter().map(|r| r.routine()).collect::<Vec<_>>(),
+            vec!["dgemm", "sgemm", "daxpy", "ddot", "dgemv"]
+        );
+        assert_eq!(trace[0].shared_keys(), vec!["A", "B"]);
+        assert_eq!(trace[0].deadline(), Some(0.25));
+        assert!(trace[1].shared_keys().is_empty());
+        assert_eq!(trace[3].shared_keys(), vec!["X", "Y"]);
+        assert_eq!(trace[4].shared_keys(), vec!["A"]);
+    }
+
+    #[test]
+    fn trace_parse_errors_name_the_line() {
+        let err = parse_request_trace("dgemm 2048 2048\n").expect_err("too few dims");
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(parse_request_trace("frobnicate 8\n").is_err());
+        assert!(parse_request_trace("dgemm 1 1 1 tile=potato\n").is_err());
+        assert!(parse_request_trace("dgemm 1 1 1 stray\n").is_err());
+    }
+}

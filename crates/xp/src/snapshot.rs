@@ -11,7 +11,10 @@
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{ExecMode, Gpu, NoiseSpec, TestbedSpec};
 use cocopelia_obs::{Snapshot, SnapshotEntry};
-use cocopelia_runtime::{Cocopelia, MatOperand, RoutineReport, TileChoice, VecOperand};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, RoutineReport,
+    TileChoice, VecOperand,
+};
 use std::collections::BTreeMap;
 
 /// Seed for every simulated device in the sweep. The sweep also disables
@@ -61,30 +64,36 @@ fn run_point(ctx: &mut Cocopelia, p: &SweepPoint) -> Result<RoutineReport, Strin
     let report = match p.routine {
         "dgemm" => {
             let (m, n, k) = (p.dims[0], p.dims[1], p.dims[2]);
-            ctx.dgemm(
-                1.0,
-                ghost(m, k),
-                ghost(k, n),
-                1.0,
-                ghost(m, n),
-                TileChoice::Auto,
-            )
-            .map_err(|e| e.to_string())?
-            .report
+            GemmRequest::new(ghost(m, k), ghost(k, n), ghost(m, n))
+                .alpha(1.0)
+                .beta(1.0)
+                .tile(TileChoice::Auto)
+                .run(ctx)
+                .map_err(|e| e.to_string())?
+                .report
         }
         "daxpy" => {
-            ctx.daxpy(1.5, gvec(p.dims[0]), gvec(p.dims[0]), TileChoice::Auto)
+            AxpyRequest::new(gvec(p.dims[0]), gvec(p.dims[0]))
+                .alpha(1.5)
+                .tile(TileChoice::Auto)
+                .run(ctx)
                 .map_err(|e| e.to_string())?
                 .report
         }
         "ddot" => {
-            ctx.ddot(gvec(p.dims[0]), gvec(p.dims[0]), TileChoice::Auto)
+            DotRequest::new(gvec(p.dims[0]), gvec(p.dims[0]))
+                .tile(TileChoice::Auto)
+                .run(ctx)
                 .map_err(|e| e.to_string())?
                 .report
         }
         "dgemv" => {
             let (m, n) = (p.dims[0], p.dims[1]);
-            ctx.dgemv(1.0, ghost(m, n), gvec(n), 1.0, gvec(m), TileChoice::Auto)
+            GemvRequest::new(ghost(m, n), gvec(n), gvec(m))
+                .alpha(1.0)
+                .beta(1.0)
+                .tile(TileChoice::Auto)
+                .run(ctx)
                 .map_err(|e| e.to_string())?
                 .report
         }

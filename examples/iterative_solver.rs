@@ -15,7 +15,7 @@
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{testbed_ii, ExecMode, Gpu};
 use cocopelia_hostblas::{level1, Matrix};
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+use cocopelia_runtime::{Cocopelia, GemmRequest, MatOperand, TileChoice};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = deploy(&testbed_ii(), &DeployConfig::quick())?;
@@ -36,14 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut v = Matrix::<f64>::from_fn(n, block, |i, j| ((i + 3 * j) % 7) as f64 - 3.0);
 
     // Iteration 0: everything on the host (full offload).
-    let out = ctx.dgemm(
-        1.0,
-        MatOperand::Host(a.clone()),
-        MatOperand::Host(v.clone()),
-        0.0,
-        MatOperand::Host(Matrix::zeros(n, block)),
-        TileChoice::Auto,
-    )?;
+    let out = GemmRequest::new(a.clone(), v.clone(), Matrix::zeros(n, block))
+        .tile(TileChoice::Auto)
+        .run(&mut ctx)?;
     let full_offload_tile = out.report.tile;
     v = out.c.expect("host output");
     normalize(&mut v);
@@ -56,14 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Upload A once; subsequent iterations only move V.
     let a_dev = ctx.upload_matrix(&a)?;
     for iter in 1..=4 {
-        let out = ctx.dgemm(
-            1.0,
+        let out = GemmRequest::new(
             MatOperand::Device(a_dev),
             MatOperand::Host(v.clone()),
-            0.0,
             MatOperand::Host(Matrix::zeros(n, block)),
-            TileChoice::Auto,
-        )?;
+        )
+        .tile(TileChoice::Auto)
+        .run(&mut ctx)?;
         v = out.c.expect("host output");
         normalize(&mut v);
         println!(

@@ -13,7 +13,7 @@ use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, NoiseSpec};
 use cocopelia_obs::gantt;
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+use cocopelia_runtime::{Cocopelia, GemmRequest, MatOperand, TileChoice};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tb = testbed_i();
@@ -32,14 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4096;
     let t = 1024;
     println!("dgemm {n}x{n}x{n}, T = {t}, full offload, Testbed I:\n");
-    let out = ctx.dgemm(
-        1.0,
+    let out = GemmRequest::new(
+        MatOperand::<f64>::HostGhost { rows: n, cols: n },
         MatOperand::HostGhost { rows: n, cols: n },
         MatOperand::HostGhost { rows: n, cols: n },
-        1.0,
-        MatOperand::HostGhost { rows: n, cols: n },
-        TileChoice::Fixed(t),
-    )?;
+    )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(t))
+    .run(&mut ctx)?;
 
     let entries = ctx.gpu().trace().entries();
     println!("{}", gantt::render(entries, 100));

@@ -9,7 +9,7 @@
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{testbed_ii, ExecMode, Gpu};
 use cocopelia_hostblas::{level3, validate, Matrix};
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+use cocopelia_runtime::{Cocopelia, GemmRequest, TileChoice};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. One-off deployment: micro-benchmark the machine and fit the
@@ -30,20 +30,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu = Gpu::new(testbed_ii(), ExecMode::Functional, 42);
     let mut ctx = Cocopelia::new(gpu, report.profile);
 
-    // 3. Call dgemm exactly like a BLAS wrapper, with automatic tiling-size
+    // 3. Describe the dgemm as a typed request, with automatic tiling-size
     //    selection (the DR-Model of Eq. 5 picks T at the first call).
     let n = 1024;
     let a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 23) as f64 / 23.0);
     let b = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 5 + j * 11) % 19) as f64 / 19.0 - 0.5);
     let c = Matrix::<f64>::zeros(n, n);
-    let out = ctx.dgemm(
-        1.0,
-        MatOperand::Host(a.clone()),
-        MatOperand::Host(b.clone()),
-        0.0,
-        MatOperand::Host(c),
-        TileChoice::Auto,
-    )?;
+    let out = GemmRequest::new(a.clone(), b.clone(), c)
+        .alpha(1.0)
+        .beta(0.0)
+        .tile(TileChoice::Auto)
+        .run(&mut ctx)?;
 
     let sel = out.report.selection.as_ref().expect("auto selection ran");
     println!("\ndgemm {n}x{n}x{n}, full offload:");

@@ -3,7 +3,7 @@
 //! on.
 
 use cocopelia_gpusim::{testbed_i, testbed_ii, EngineKind, ExecMode, Gpu, NoiseSpec, TestbedSpec};
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice, VecOperand};
+use cocopelia_runtime::{AxpyRequest, Cocopelia, GemmRequest, MatOperand, TileChoice, VecOperand};
 
 fn quiet(mut tb: TestbedSpec) -> TestbedSpec {
     tb.noise = NoiseSpec::NONE;
@@ -38,7 +38,11 @@ fn transfer_volumes_match_policy_definitions() {
         Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1),
         dummy_profile(),
     );
-    ctx.dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(t))
+    GemmRequest::new(ghost(n), ghost(n), ghost(n))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(t))
+        .run(&mut ctx)
         .expect("runs");
     assert_eq!(
         ctx.gpu().trace().bytes_moved(EngineKind::CopyH2d),
@@ -71,8 +75,11 @@ fn reuse_scheduler_beats_no_reuse_on_transfer_bound_problems() {
         Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1),
         dummy_profile(),
     );
-    let coco = ctx
-        .dgemm(1.0, ghost(n), ghost(n), 1.0, ghost(n), TileChoice::Fixed(t))
+    let coco = GemmRequest::new(ghost(n), ghost(n), ghost(n))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(t))
+        .run(&mut ctx)
         .expect("runs")
         .report
         .elapsed
@@ -103,15 +110,11 @@ fn blasx_equals_cocopelia_at_the_same_tile() {
         Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1),
         dummy_profile(),
     );
-    let coco = ctx
-        .dgemm(
-            1.0,
-            ghost(n),
-            ghost(n),
-            1.0,
-            ghost(n),
-            TileChoice::Fixed(2048),
-        )
+    let coco = GemmRequest::new(ghost(n), ghost(n), ghost(n))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(2048))
+        .run(&mut ctx)
         .expect("runs")
         .report
         .elapsed;
@@ -142,17 +145,17 @@ fn unified_memory_daxpy_pays_the_migration_penalty() {
         Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1),
         dummy_profile(),
     );
-    let pinned = ctx
-        .daxpy(
-            1.0,
-            VecOperand::HostGhost { len: n },
-            VecOperand::HostGhost { len: n },
-            TileChoice::Fixed(1 << 21),
-        )
-        .expect("runs")
-        .report
-        .elapsed
-        .as_secs_f64();
+    let pinned = AxpyRequest::new(
+        VecOperand::<f64>::HostGhost { len: n },
+        VecOperand::HostGhost { len: n },
+    )
+    .alpha(1.0)
+    .tile(TileChoice::Fixed(1 << 21))
+    .run(&mut ctx)
+    .expect("runs")
+    .report
+    .elapsed
+    .as_secs_f64();
     // Pageable factor is 0.55: UM should be roughly 1.5-2x slower.
     assert!(um > pinned * 1.3, "um {um} vs pinned {pinned}");
     assert!(um < pinned * 3.0, "um {um} suspiciously slow vs {pinned}");
@@ -171,15 +174,11 @@ fn serial_offload_is_the_slowest_policy() {
         Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1),
         dummy_profile(),
     );
-    let coco = ctx
-        .dgemm(
-            1.0,
-            ghost(n),
-            ghost(n),
-            1.0,
-            ghost(n),
-            TileChoice::Fixed(512),
-        )
+    let coco = GemmRequest::new(ghost(n), ghost(n), ghost(n))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(512))
+        .run(&mut ctx)
         .expect("runs")
         .report
         .elapsed
@@ -196,15 +195,12 @@ fn makespan_bounded_by_engine_work_and_critical_path() {
         Gpu::new(quiet(testbed_ii()), ExecMode::TimingOnly, 1),
         dummy_profile(),
     );
-    ctx.dgemm(
-        1.0,
-        ghost(n),
-        ghost(n),
-        1.0,
-        ghost(n),
-        TileChoice::Fixed(512),
-    )
-    .expect("runs");
+    GemmRequest::new(ghost(n), ghost(n), ghost(n))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(512))
+        .run(&mut ctx)
+        .expect("runs");
     let trace = ctx.gpu().trace();
     let makespan = trace
         .entries()

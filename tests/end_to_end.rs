@@ -6,7 +6,10 @@ use cocopelia_core::params::{Loc, ProblemSpec};
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{testbed_i, testbed_ii, ExecMode, Gpu, NoiseSpec, TestbedSpec};
 use cocopelia_hostblas::{level3, validate, Dtype, Matrix};
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice, VecOperand};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, TileChoice,
+    VecOperand,
+};
 
 fn quiet(mut tb: TestbedSpec) -> TestbedSpec {
     tb.noise = NoiseSpec::NONE;
@@ -53,15 +56,11 @@ fn dgemm_auto_selection_is_correct_and_fast() {
     let mut expect = c.clone();
     level3::gemm(1.0, &a.view(), &b.view(), 1.0, &mut expect.view_mut());
 
-    let out = ctx
-        .dgemm(
-            1.0,
-            MatOperand::Host(a),
-            MatOperand::Host(b),
-            1.0,
-            MatOperand::Host(c),
-            TileChoice::Auto,
-        )
+    let out = GemmRequest::new(a, b, c)
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Auto)
+        .run(&mut ctx)
         .expect("runs");
     // Auto selection used the DR model and picked a tile from the profile.
     let sel = out.report.selection.as_ref().expect("auto selects");
@@ -80,9 +79,8 @@ fn dgemm_auto_selection_is_correct_and_fast() {
 fn selection_cache_reuses_model_across_calls() {
     let mut ctx = ctx(testbed_i(), false);
     let run = |ctx: &mut Cocopelia| {
-        ctx.dgemm(
-            1.0,
-            MatOperand::HostGhost {
+        GemmRequest::new(
+            MatOperand::<f64>::HostGhost {
                 rows: 2048,
                 cols: 2048,
             },
@@ -90,13 +88,15 @@ fn selection_cache_reuses_model_across_calls() {
                 rows: 2048,
                 cols: 2048,
             },
-            1.0,
             MatOperand::HostGhost {
                 rows: 2048,
                 cols: 2048,
             },
-            TileChoice::Auto,
         )
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Auto)
+        .run(ctx)
         .expect("runs")
     };
     let first = run(&mut ctx);
@@ -110,20 +110,21 @@ fn selection_cache_reuses_model_across_calls() {
     assert_eq!(first.report.tile, second.report.tile);
     // A different location combination is a different model instance.
     let dev = ctx.alloc_matrix(Dtype::F64, 2048, 2048).expect("alloc");
-    ctx.dgemm(
-        1.0,
+    GemmRequest::<f64>::new(
         MatOperand::Device(dev),
         MatOperand::HostGhost {
             rows: 2048,
             cols: 2048,
         },
-        1.0,
         MatOperand::HostGhost {
             rows: 2048,
             cols: 2048,
         },
-        TileChoice::Auto,
     )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Auto)
+    .run(&mut ctx)
     .expect("runs");
     assert_eq!(ctx.cached_selections(), 2);
 }
@@ -135,13 +136,10 @@ fn daxpy_auto_runs_and_verifies() {
     let x: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
     let y: Vec<f64> = (0..n).map(|i| (i % 31) as f64).collect();
     let expect: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + b).collect();
-    let out = ctx
-        .daxpy(
-            2.0,
-            VecOperand::Host(x),
-            VecOperand::Host(y),
-            TileChoice::Auto,
-        )
+    let out = AxpyRequest::new(VecOperand::Host(x), VecOperand::Host(y))
+        .alpha(2.0)
+        .tile(TileChoice::Auto)
+        .run(&mut ctx)
         .expect("runs");
     let sel = out.report.selection.as_ref().expect("auto selects");
     assert_eq!(sel.prediction.model, ModelKind::Bts);
@@ -155,8 +153,9 @@ fn ddot_reduction_runs_with_auto_selection() {
     let x: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.1).collect();
     let y: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) * 0.2).collect();
     let expect = cocopelia_hostblas::level1::dot(&x, &y);
-    let out = ctx
-        .ddot(VecOperand::Host(x), VecOperand::Host(y), TileChoice::Auto)
+    let out = DotRequest::new(VecOperand::Host(x), VecOperand::Host(y))
+        .tile(TileChoice::Auto)
+        .run(&mut ctx)
         .expect("runs");
     // Level-1 routine: the BTS model drives the selection.
     let sel = out.report.selection.as_ref().expect("auto selects");
@@ -179,16 +178,16 @@ fn dgemv_extension_runs_with_auto_selection() {
     let mut expect = y.clone();
     cocopelia_hostblas::level2::gemv(0.5, &a.view(), &x, 2.0, &mut expect);
 
-    let out = ctx
-        .dgemv(
-            0.5,
-            MatOperand::Host(a),
-            VecOperand::Host(x),
-            2.0,
-            VecOperand::Host(y),
-            TileChoice::Auto,
-        )
-        .expect("runs");
+    let out = GemvRequest::new(
+        MatOperand::Host(a),
+        VecOperand::Host(x),
+        VecOperand::Host(y),
+    )
+    .alpha(0.5)
+    .beta(2.0)
+    .tile(TileChoice::Auto)
+    .run(&mut ctx)
+    .expect("runs");
     let got = out.y.expect("functional");
     for (g, e) in got.iter().zip(&expect) {
         assert!((g - e).abs() < 1e-9, "{g} vs {e}");
@@ -207,16 +206,14 @@ fn device_resident_round_trip_through_uploads() {
     let da = ctx.upload_matrix(&a).expect("upload a");
     let db = ctx.upload_matrix(&b).expect("upload b");
     let dc = ctx.alloc_matrix(Dtype::F64, n, n).expect("alloc c");
-    let out = ctx
-        .dgemm(
-            1.0,
-            MatOperand::Device(da),
-            MatOperand::Device(db),
-            0.0,
-            MatOperand::Device(dc),
-            TileChoice::Fixed(256),
-        )
-        .expect("runs");
+    let out = GemmRequest::<f64>::new(
+        MatOperand::Device(da),
+        MatOperand::Device(db),
+        MatOperand::Device(dc),
+    )
+    .tile(TileChoice::Fixed(256))
+    .run(&mut ctx)
+    .expect("runs");
     // Fully-resident output: nothing returned inline…
     assert!(out.c.is_none());
     // …but downloadable.
@@ -240,25 +237,25 @@ fn overlap_beats_serial_schedule_end_to_end() {
         Gpu::new(tb.clone(), ExecMode::TimingOnly, 1),
         report.profile.clone(),
     );
-    let coco = ctx
-        .dgemm(
-            1.0,
-            MatOperand::HostGhost {
-                rows: 3072,
-                cols: 3072,
-            },
-            MatOperand::HostGhost {
-                rows: 3072,
-                cols: 3072,
-            },
-            1.0,
-            MatOperand::HostGhost {
-                rows: 3072,
-                cols: 3072,
-            },
-            TileChoice::Auto,
-        )
-        .expect("runs");
+    let coco = GemmRequest::new(
+        MatOperand::<f64>::HostGhost {
+            rows: 3072,
+            cols: 3072,
+        },
+        MatOperand::HostGhost {
+            rows: 3072,
+            cols: 3072,
+        },
+        MatOperand::HostGhost {
+            rows: 3072,
+            cols: 3072,
+        },
+    )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Auto)
+    .run(&mut ctx)
+    .expect("runs");
     // Serial offload of the same problem.
     let mut gpu = Gpu::new(tb, ExecMode::TimingOnly, 1);
     let serial = cocopelia_baselines::serial::gemm::<f64>(

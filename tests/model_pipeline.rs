@@ -7,7 +7,7 @@ use cocopelia_core::params::{Loc, ProblemSpec};
 use cocopelia_deploy::{deploy, measure_full_kernel, CiConfig, DeployConfig};
 use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, KernelShape, NoiseSpec, TestbedSpec};
 use cocopelia_hostblas::Dtype;
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice};
+use cocopelia_runtime::{Cocopelia, GemmRequest, MatOperand, TileChoice};
 use proptest::prelude::*;
 
 fn quiet() -> TestbedSpec {
@@ -37,14 +37,15 @@ fn measure_gemm(
         Gpu::new(tb.clone(), ExecMode::TimingOnly, 5),
         profile.clone(),
     );
-    ctx.dgemm(
-        1.0,
+    GemmRequest::new(
+        MatOperand::<f64>::HostGhost { rows: n, cols: n },
         MatOperand::HostGhost { rows: n, cols: n },
         MatOperand::HostGhost { rows: n, cols: n },
-        1.0,
-        MatOperand::HostGhost { rows: n, cols: n },
-        TileChoice::Fixed(t),
     )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(t))
+    .run(&mut ctx)
     .expect("runs")
     .report
     .elapsed
@@ -173,17 +174,17 @@ fn drift_records_populated_and_match_hand_computed_errors() {
     let (tb, profile) = lab();
     let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 5), profile.clone());
     let n = 4096;
-    let out = ctx
-        .dgemm(
-            1.0,
-            MatOperand::HostGhost { rows: n, cols: n },
-            MatOperand::HostGhost { rows: n, cols: n },
-            1.0,
-            MatOperand::HostGhost { rows: n, cols: n },
-            TileChoice::Model(ModelKind::DataReuse),
-        )
-        .expect("runs")
-        .report;
+    let out = GemmRequest::new(
+        MatOperand::<f64>::HostGhost { rows: n, cols: n },
+        MatOperand::HostGhost { rows: n, cols: n },
+        MatOperand::HostGhost { rows: n, cols: n },
+    )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Model(ModelKind::DataReuse))
+    .run(&mut ctx)
+    .expect("runs")
+    .report;
 
     // One record per evaluable model: CSO is skipped (no full kernel time).
     assert_eq!(out.drift.len(), 4);

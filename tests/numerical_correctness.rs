@@ -5,7 +5,7 @@
 
 use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, NoiseSpec, TestbedSpec};
 use cocopelia_hostblas::{level3, validate, Matrix};
-use cocopelia_runtime::{Cocopelia, DeviceMatrix, MatOperand, TileChoice};
+use cocopelia_runtime::{Cocopelia, DeviceMatrix, GemmRequest, MatOperand, TileChoice};
 use proptest::prelude::*;
 
 fn quiet() -> TestbedSpec {
@@ -88,8 +88,11 @@ proptest! {
         let mut ctx = Cocopelia::new(Gpu::new(quiet(), ExecMode::Functional, seed), dummy_profile());
         let (a_op, da) = operand(&mut ctx, a, a_dev);
         let (b_op, db) = operand(&mut ctx, b, b_dev);
-        let out = ctx
-            .dgemm(alpha, a_op, b_op, beta, MatOperand::Host(c), TileChoice::Fixed(tile))
+        let out = GemmRequest::new(a_op, b_op, MatOperand::Host(c))
+            .alpha(alpha)
+            .beta(beta)
+            .tile(TileChoice::Fixed(tile))
+            .run(&mut ctx)
             .expect("runs");
         let got = out.c.expect("functional");
         prop_assert!(
@@ -175,15 +178,11 @@ proptest! {
         let c = rand_matrix(n, n, seed + 2);
 
         let mut ctx = Cocopelia::new(Gpu::new(quiet(), ExecMode::Functional, seed), dummy_profile());
-        let coco = ctx
-            .dgemm(
-                1.0,
-                MatOperand::Host(a.clone()),
-                MatOperand::Host(b.clone()),
-                1.0,
-                MatOperand::Host(c.clone()),
-                TileChoice::Fixed(tile),
-            )
+        let coco = GemmRequest::new(a.clone(), b.clone(), c.clone())
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Fixed(tile))
+            .run(&mut ctx)
             .expect("runs")
             .c
             .expect("functional");

@@ -6,7 +6,10 @@ use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, Gpu, NoiseSpec, OperandRole, TraceEntry};
 use cocopelia_obs::{export, invariants, OverlapStats};
-use cocopelia_runtime::{Cocopelia, MatOperand, TileChoice, VecOperand};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, TileChoice,
+    VecOperand,
+};
 use serde::Value;
 
 /// A deterministic pipeline with no deployed exec tables — fixed tiles only.
@@ -30,43 +33,43 @@ fn ghost(rows: usize, cols: usize) -> MatOperand<f64> {
 }
 
 fn run_dgemm(ctx: &mut Cocopelia, n: usize, t: usize) -> cocopelia_runtime::RoutineReport {
-    ctx.dgemm(
-        1.0,
-        ghost(n, n),
-        ghost(n, n),
-        1.0,
-        ghost(n, n),
-        TileChoice::Fixed(t),
-    )
-    .expect("gemm runs")
-    .report
+    GemmRequest::new(ghost(n, n), ghost(n, n), ghost(n, n))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(t))
+        .run(ctx)
+        .expect("gemm runs")
+        .report
 }
 
 #[test]
 fn runtime_traces_satisfy_invariants() {
     let mut ctx = pipeline();
     run_dgemm(&mut ctx, 2048, 512);
-    ctx.daxpy(
-        2.0,
+    AxpyRequest::new(
+        VecOperand::<f64>::HostGhost { len: 1 << 20 },
         VecOperand::HostGhost { len: 1 << 20 },
-        VecOperand::HostGhost { len: 1 << 20 },
-        TileChoice::Fixed(1 << 18),
     )
+    .alpha(2.0)
+    .tile(TileChoice::Fixed(1 << 18))
+    .run(&mut ctx)
     .expect("axpy runs");
-    ctx.ddot(
+    DotRequest::new(
+        VecOperand::<f64>::HostGhost { len: 1 << 20 },
         VecOperand::HostGhost { len: 1 << 20 },
-        VecOperand::HostGhost { len: 1 << 20 },
-        TileChoice::Fixed(1 << 18),
     )
+    .tile(TileChoice::Fixed(1 << 18))
+    .run(&mut ctx)
     .expect("dot runs");
-    ctx.dgemv(
-        1.0,
+    GemvRequest::new(
         ghost(1024, 1024),
         VecOperand::HostGhost { len: 1024 },
-        1.0,
         VecOperand::HostGhost { len: 1024 },
-        TileChoice::Fixed(256),
     )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(256))
+    .run(&mut ctx)
     .expect("gemv runs");
     let entries = ctx.gpu().trace().entries();
     assert!(!entries.is_empty());

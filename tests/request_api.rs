@@ -1,0 +1,241 @@
+//! Parity contract of the request-builder redesign: every deprecated
+//! positional wrapper must produce a report identical to the equivalent
+//! typed builder on a same-seed fresh device — bit-for-bit in virtual
+//! time, selection, and overlap accounting.
+
+#![allow(deprecated)] // the whole point of this file is legacy-vs-builder
+
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::transfer::{LatBw, TransferModel};
+use cocopelia_deploy::{deploy, DeployConfig};
+use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, NoiseSpec, TestbedSpec};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, RoutineReport,
+    RuntimeError, SharedMat, TileChoice, VecOperand,
+};
+
+fn quiet() -> TestbedSpec {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE;
+    tb
+}
+
+fn dummy_profile() -> SystemProfile {
+    SystemProfile::new(
+        "request-api-test",
+        TransferModel {
+            h2d: LatBw { t_l: 0.0, t_b: 0.0 },
+            d2h: LatBw { t_l: 0.0, t_b: 0.0 },
+            sl_h2d: 1.0,
+            sl_d2h: 1.0,
+        },
+    )
+}
+
+/// A fresh timing-only pipeline; identical seeds give identical virtual
+/// clocks, so matching reports prove matching schedules.
+fn ctx(seed: u64) -> Cocopelia {
+    Cocopelia::new(
+        Gpu::new(quiet(), ExecMode::TimingOnly, seed),
+        dummy_profile(),
+    )
+}
+
+fn ghost(rows: usize, cols: usize) -> MatOperand<f64> {
+    MatOperand::HostGhost { rows, cols }
+}
+
+fn gvec(len: usize) -> VecOperand<f64> {
+    VecOperand::HostGhost { len }
+}
+
+#[test]
+fn dgemm_wrapper_matches_builder() {
+    let legacy = ctx(7)
+        .dgemm(
+            1.5,
+            ghost(1024, 1024),
+            ghost(1024, 1024),
+            0.5,
+            ghost(1024, 1024),
+            TileChoice::Fixed(256),
+        )
+        .expect("legacy runs")
+        .report;
+    let built = GemmRequest::new(ghost(1024, 1024), ghost(1024, 1024), ghost(1024, 1024))
+        .alpha(1.5)
+        .beta(0.5)
+        .tile(TileChoice::Fixed(256))
+        .run(&mut ctx(7))
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+}
+
+#[test]
+fn sgemm_wrapper_matches_builder() {
+    let g = |r, c| MatOperand::<f32>::HostGhost { rows: r, cols: c };
+    let legacy = ctx(11)
+        .sgemm(
+            2.0,
+            g(512, 512),
+            g(512, 512),
+            1.0,
+            g(512, 512),
+            TileChoice::Fixed(128),
+        )
+        .expect("legacy runs")
+        .report;
+    let built = GemmRequest::new(g(512, 512), g(512, 512), g(512, 512))
+        .alpha(2.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(128))
+        .run(&mut ctx(11))
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+}
+
+#[test]
+fn daxpy_wrapper_matches_builder() {
+    let n = 1 << 21;
+    let legacy = ctx(13)
+        .daxpy(2.5, gvec(n), gvec(n), TileChoice::Fixed(1 << 19))
+        .expect("legacy runs")
+        .report;
+    let built = AxpyRequest::new(gvec(n), gvec(n))
+        .alpha(2.5)
+        .tile(TileChoice::Fixed(1 << 19))
+        .run(&mut ctx(13))
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+}
+
+#[test]
+fn ddot_wrapper_matches_builder() {
+    let n = 1 << 21;
+    let legacy = ctx(17)
+        .ddot(gvec(n), gvec(n), TileChoice::Fixed(1 << 19))
+        .expect("legacy runs")
+        .report;
+    let built = DotRequest::new(gvec(n), gvec(n))
+        .tile(TileChoice::Fixed(1 << 19))
+        .run(&mut ctx(17))
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+}
+
+#[test]
+fn dgemv_wrapper_matches_builder() {
+    let legacy = ctx(19)
+        .dgemv(
+            0.5,
+            ghost(2048, 1024),
+            gvec(1024),
+            2.0,
+            gvec(2048),
+            TileChoice::Fixed(512),
+        )
+        .expect("legacy runs")
+        .report;
+    let built = GemvRequest::new(ghost(2048, 1024), gvec(1024), gvec(2048))
+        .alpha(0.5)
+        .beta(2.0)
+        .tile(TileChoice::Fixed(512))
+        .run(&mut ctx(19))
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+}
+
+#[test]
+fn builder_defaults_are_alpha_one_beta_zero() {
+    let legacy = ctx(23)
+        .dgemm(
+            1.0,
+            ghost(768, 768),
+            ghost(768, 768),
+            0.0,
+            ghost(768, 768),
+            TileChoice::Fixed(256),
+        )
+        .expect("legacy runs")
+        .report;
+    let built = GemmRequest::new(ghost(768, 768), ghost(768, 768), ghost(768, 768))
+        .tile(TileChoice::Fixed(256))
+        .run(&mut ctx(23))
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+}
+
+/// Auto selection goes through the full deploy → profile → model path;
+/// the wrapper and the builder must still agree report-for-report.
+#[test]
+fn auto_selection_parity_through_deployed_profile() {
+    let tb = quiet();
+    let mut cfg = DeployConfig::quick();
+    cfg.transfer_dims = vec![512, 1024, 2048];
+    cfg.gemm_tiles = vec![256, 512, 1024];
+    let profile = deploy(&tb, &cfg).expect("deploys").profile;
+    let fresh = || {
+        Cocopelia::new(
+            Gpu::new(tb.clone(), ExecMode::TimingOnly, 29),
+            profile.clone(),
+        )
+    };
+
+    let legacy = fresh()
+        .dgemm(
+            1.0,
+            ghost(2048, 2048),
+            ghost(2048, 2048),
+            1.0,
+            ghost(2048, 2048),
+            TileChoice::Auto,
+        )
+        .expect("legacy runs")
+        .report;
+    let built = GemmRequest::new(ghost(2048, 2048), ghost(2048, 2048), ghost(2048, 2048))
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Auto)
+        .run(&mut fresh())
+        .expect("builder runs")
+        .report;
+    assert_eq!(legacy, built);
+    assert!(legacy.selection.is_some(), "auto actually selected");
+}
+
+/// `submit` erases the request type but must not change its behaviour.
+#[test]
+fn submit_matches_typed_run() {
+    let request = || {
+        GemmRequest::new(ghost(1024, 1024), ghost(1024, 1024), ghost(1024, 1024))
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Fixed(512))
+    };
+    let typed: RoutineReport = request().run(&mut ctx(31)).expect("typed runs").report;
+    let erased = ctx(31).submit(request()).expect("submit runs");
+    assert_eq!(typed, erased);
+}
+
+/// Shared operands are an executor feature; a direct call must refuse
+/// them loudly instead of guessing.
+#[test]
+fn direct_submit_rejects_shared_operands() {
+    let req = GemmRequest::<f64>::new(
+        SharedMat::new("A", 256, 256),
+        ghost(256, 256),
+        ghost(256, 256),
+    )
+    .tile(TileChoice::Fixed(128));
+    let err = ctx(37).submit(req).expect_err("must refuse");
+    assert!(
+        matches!(&err, RuntimeError::SharedOperand { key } if key == "A"),
+        "unexpected error: {err}"
+    );
+}

@@ -1,0 +1,272 @@
+//! The request-serving executor end to end: admission control, deadlines,
+//! cross-request residency reuse, transient-failure retry, multi-device
+//! affinity dispatch — and the acceptance bar that serving a mixed trace
+//! with sharing strictly beats a sequential no-reuse replay.
+
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::transfer::{LatBw, TransferModel};
+use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, NoiseSpec, TestbedSpec};
+use cocopelia_runtime::serve::{Executor, ExecutorConfig, RequestStatus};
+use cocopelia_runtime::{
+    AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, MultiGpu,
+    RoutineRequest, SharedMat, SharedVec, TileChoice, VecOperand,
+};
+
+/// A quiet testbed with device memory clamped to `mem` bytes, so the
+/// admission/OOM paths are reachable with small problems.
+fn small_tb(mem: usize) -> TestbedSpec {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE;
+    tb.gpu.mem_capacity_bytes = mem;
+    tb
+}
+
+fn dummy_profile() -> SystemProfile {
+    SystemProfile::new(
+        "serve-test",
+        TransferModel {
+            h2d: LatBw { t_l: 0.0, t_b: 0.0 },
+            d2h: LatBw { t_l: 0.0, t_b: 0.0 },
+            sl_h2d: 1.0,
+            sl_d2h: 1.0,
+        },
+    )
+}
+
+fn pool(tb: &TestbedSpec, devices: usize) -> MultiGpu {
+    MultiGpu::new(tb, devices, ExecMode::TimingOnly, 42, dummy_profile())
+}
+
+const MB: usize = 1 << 20;
+
+fn ghost(rows: usize, cols: usize) -> MatOperand<f64> {
+    MatOperand::HostGhost { rows, cols }
+}
+
+/// A 1024³ dgemm (8 MB per operand) sharing `A`/`B` via the cache.
+fn shared_gemm() -> RoutineRequest {
+    GemmRequest::<f64>::new(
+        SharedMat::new("A", 1024, 1024),
+        SharedMat::new("B", 1024, 1024),
+        ghost(1024, 1024),
+    )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(512))
+    .into()
+}
+
+/// The standard mixed 8-request trace used by the acceptance test:
+/// 4 gemms sharing `A`/`B`, 2 axpys and a dot sharing `X`, and a gemv
+/// reusing `A`.
+fn mixed_trace() -> Vec<RoutineRequest> {
+    let n = 1 << 20; // 8 MB vectors
+    let x = || SharedVec::new("X", n);
+    vec![
+        shared_gemm(),
+        shared_gemm(),
+        shared_gemm(),
+        shared_gemm(),
+        AxpyRequest::<f64>::new(x(), VecOperand::HostGhost { len: n })
+            .alpha(1.5)
+            .tile(TileChoice::Fixed(1 << 19))
+            .into(),
+        AxpyRequest::<f64>::new(x(), VecOperand::HostGhost { len: n })
+            .alpha(-0.5)
+            .tile(TileChoice::Fixed(1 << 19))
+            .into(),
+        DotRequest::<f64>::new(x(), SharedVec::new("Y", n))
+            .tile(TileChoice::Fixed(1 << 19))
+            .into(),
+        GemvRequest::<f64>::new(
+            SharedMat::new("A", 1024, 1024),
+            VecOperand::HostGhost { len: 1024 },
+            VecOperand::HostGhost { len: 1024 },
+        )
+        .alpha(1.0)
+        .beta(1.0)
+        .tile(TileChoice::Fixed(512))
+        .into(),
+    ]
+}
+
+#[test]
+fn admission_control_rejects_oversized_requests() {
+    // 64 MB device, 0.9 admission limit: a 2048^3 dgemm (96 MB) is refused
+    // at submission; a 1024^3 (24 MB) is admitted and served.
+    let mut exec = Executor::new(pool(&small_tb(64 * MB), 1), ExecutorConfig::default());
+    let big = GemmRequest::<f64>::new(ghost(2048, 2048), ghost(2048, 2048), ghost(2048, 2048))
+        .tile(TileChoice::Fixed(512));
+    let rejected_id = exec.submit(big);
+    let admitted_id = exec.submit(shared_gemm());
+    assert_eq!(exec.queue_len(), 1, "the rejected request never queues");
+    let report = exec.run();
+    assert_eq!(report.outcomes.len(), 2);
+    assert_eq!(report.rejected(), 1);
+    assert_eq!(report.completed(), 1);
+    let rejected = &report.outcomes[0];
+    assert_eq!(rejected.id, rejected_id);
+    assert_eq!(rejected.device, None);
+    assert!(
+        matches!(&rejected.status, RequestStatus::Rejected { reason } if reason.contains("admission")),
+        "{:?}",
+        rejected.status
+    );
+    assert_eq!(report.outcomes[1].id, admitted_id);
+    assert_eq!(report.metrics.counter("serve_requests_total"), 2);
+    assert_eq!(report.metrics.counter("serve_rejected_total"), 1);
+}
+
+#[test]
+fn deadline_misses_terminate_as_timed_out() {
+    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    let req = GemmRequest::<f64>::new(ghost(1024, 1024), ghost(1024, 1024), ghost(1024, 1024))
+        .tile(TileChoice::Fixed(512))
+        .deadline_secs(1e-9);
+    exec.submit(req);
+    let report = exec.run();
+    assert_eq!(report.timed_out(), 1);
+    assert_eq!(report.metrics.counter("serve_timed_out_total"), 1);
+    let RequestStatus::TimedOut {
+        deadline,
+        elapsed,
+        report: late,
+    } = &report.outcomes[0].status
+    else {
+        panic!("expected TimedOut, got {:?}", report.outcomes[0].status)
+    };
+    assert_eq!(*deadline, 1e-9);
+    assert!(*elapsed > *deadline);
+    assert_eq!(late.elapsed.as_secs_f64(), *elapsed);
+    // A timed-out run still did the work; it just missed the SLA.
+    assert!(late.subkernels > 0);
+}
+
+#[test]
+fn residency_cache_reuses_operands_across_requests() {
+    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    for req in mixed_trace() {
+        exec.submit(req);
+    }
+    let report = exec.run();
+    assert_eq!(report.completed(), 8);
+    // A and B miss once each, then 3 follow-up gemms hit both and the gemv
+    // hits A; X misses once then hits twice; Y misses once.
+    assert_eq!(report.metrics.counter("residency_misses_total"), 4);
+    assert_eq!(report.metrics.counter("residency_hits_total"), 9);
+    assert_eq!(report.metrics.counter("residency_evictions_total"), 0);
+    // Each shared operand crosses the link exactly once — A, B, X, Y at
+    // 8 MB apiece — instead of once per referencing request.
+    assert_eq!(
+        report.metrics.counter("residency_bytes_uploaded"),
+        4 * 8 * MB as u64
+    );
+    // The cache still holds every shared operand (A, B, X, Y).
+    assert_eq!(exec.residency(0).len(), 4);
+}
+
+/// Acceptance: serving the mixed shared trace beats replaying it
+/// sequentially with sharing stripped, on the same single device.
+#[test]
+fn serving_with_reuse_beats_sequential_no_reuse() {
+    let tb = small_tb(256 * MB);
+    let mut seq = Cocopelia::new(
+        Gpu::new(tb.clone(), ExecMode::TimingOnly, 42),
+        dummy_profile(),
+    );
+    let mut sequential = 0.0;
+    for req in mixed_trace() {
+        sequential += seq
+            .submit(req.without_sharing())
+            .expect("baseline runs")
+            .elapsed
+            .as_secs_f64();
+    }
+
+    let mut exec = Executor::new(pool(&tb, 1), ExecutorConfig::default());
+    for req in mixed_trace() {
+        exec.submit(req);
+    }
+    let report = exec.run();
+    assert_eq!(report.completed(), 8);
+    let makespan = report.makespan.as_secs_f64();
+    assert!(
+        makespan < sequential,
+        "serving {makespan} !< sequential no-reuse {sequential}"
+    );
+    assert!(report.throughput_gflops() > 0.0);
+    let occupancy = report.occupancy();
+    assert!(occupancy > 0.0 && occupancy <= 1.0);
+}
+
+#[test]
+fn transient_oom_is_retried_after_reclaim() {
+    // 64 MB device, 32 MB residency budget. The first request parks A and B
+    // (16 MB) in the cache; the second needs ~57 MB of inline operands, so
+    // its first attempt hits OOM, the executor reclaims (evicting the
+    // cache), and the retry fits.
+    let mut exec = Executor::new(pool(&small_tb(64 * MB), 1), ExecutorConfig::default());
+    exec.submit(shared_gemm());
+    let n = 1472; // 3 x 17.3 MB inline + 16 MB cached > 64 MB; alone it fits
+    exec.submit(
+        GemmRequest::<f64>::new(ghost(n, n), ghost(n, n), ghost(n, n)).tile(TileChoice::Fixed(512)),
+    );
+    let report = exec.run();
+    assert_eq!(report.completed(), 2, "{}", report.render());
+    assert!(report.outcomes[1].retried, "second request must retry");
+    assert_eq!(report.metrics.counter("serve_retries_total"), 1);
+    // The reclaim emptied the cache on the way.
+    assert!(report.metrics.counter("residency_evictions_total") >= 2);
+    assert_eq!(exec.residency(0).len(), 0);
+    // Nothing leaked: only live device memory is gone after the run.
+    let dev = &exec.pool().devices()[0];
+    assert_eq!(dev.gpu().live_device_buffers().len(), 0);
+}
+
+#[test]
+fn shared_requests_group_by_affinity_and_idle_devices_steal() {
+    // Two devices: the four A/B gemms pile onto the device that cached A/B
+    // first, while the independent level-1 requests go to the idle one.
+    let mut exec = Executor::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
+    for req in mixed_trace() {
+        exec.submit(req);
+    }
+    let report = exec.run();
+    assert_eq!(report.completed(), 8);
+    let device = |i: usize| report.outcomes[i].device.expect("served");
+    // gemms 0-3 share A/B: all on one device; the gemv (7) reuses A there.
+    let gemm_dev = device(0);
+    for i in 1..4 {
+        assert_eq!(device(i), gemm_dev, "gemm {i} must follow the A/B cache");
+    }
+    assert_eq!(device(7), gemm_dev, "gemv must follow A");
+    // The level-1 chain lands on the other, idle device.
+    let vec_dev = device(4);
+    assert_ne!(vec_dev, gemm_dev, "idle device must steal the axpy work");
+    assert_eq!(device(5), vec_dev);
+    assert_eq!(device(6), vec_dev);
+    assert_eq!(report.per_device_busy.len(), 2);
+    assert!(report.per_device_busy.iter().all(|t| t.as_secs_f64() > 0.0));
+    // Two devices sharing the work: makespan is the max, not the sum.
+    let total: f64 = report.per_device_busy.iter().map(|t| t.as_secs_f64()).sum();
+    assert!(report.makespan.as_secs_f64() < total);
+}
+
+#[test]
+fn queue_depth_and_gauges_are_recorded() {
+    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    for req in mixed_trace() {
+        exec.submit(req);
+    }
+    assert_eq!(exec.queue_len(), 8);
+    let report = exec.run();
+    assert_eq!(exec.queue_len(), 0);
+    let gauge = |name: &str| report.metrics.gauge(name).expect("gauge set");
+    assert!((gauge("serve_makespan_secs") - report.makespan.as_secs_f64()).abs() < 1e-15);
+    assert!((gauge("serve_throughput_gflops") - report.throughput_gflops()).abs() < 1e-9);
+    assert!((gauge("serve_occupancy") - report.occupancy()).abs() < 1e-15);
+    // The render is self-contained: one line per request plus aggregates.
+    let text = report.render();
+    assert_eq!(text.lines().count(), 8 + 2);
+    assert!(text.contains("completed 8"));
+}

@@ -110,6 +110,15 @@ impl<T: SimScalar> MatArg<T> {
         }
     }
 
+    /// The shared key and its device footprint in bytes, when this
+    /// argument references the residency cache.
+    pub fn shared_footprint(&self) -> Option<(&str, usize)> {
+        match self {
+            MatArg::Inline(_) => None,
+            MatArg::Shared(s) => Some((&s.key, s.rows * s.cols * T::DTYPE.width())),
+        }
+    }
+
     /// Replaces a shared reference with an inline ghost of the same shape
     /// (the no-residency-reuse baseline).
     pub fn without_sharing(self) -> Self {
@@ -188,6 +197,15 @@ impl<T: SimScalar> VecArg<T> {
         match self {
             VecArg::Inline(_) => None,
             VecArg::Shared(s) => Some(&s.key),
+        }
+    }
+
+    /// The shared key and its device footprint in bytes, when this
+    /// argument references the residency cache.
+    pub fn shared_footprint(&self) -> Option<(&str, usize)> {
+        match self {
+            VecArg::Inline(_) => None,
+            VecArg::Shared(s) => Some((&s.key, s.len * T::DTYPE.width())),
         }
     }
 
@@ -541,6 +559,40 @@ impl RoutineRequest {
                 let mut keys: Vec<&str> = r.a.shared_key().into_iter().collect();
                 keys.extend([&r.x, &r.y].into_iter().filter_map(VecArg::shared_key));
                 keys
+            }
+        }
+    }
+
+    /// Residency-cache keys the request references, with each key's device
+    /// footprint in bytes, in operand order. The executor's dispatch cost
+    /// model charges a device the estimated upload time of the keys it is
+    /// missing.
+    pub fn shared_footprints(&self) -> Vec<(&str, usize)> {
+        match self {
+            RoutineRequest::GemmF64(r) => [&r.a, &r.b, &r.c]
+                .into_iter()
+                .filter_map(MatArg::shared_footprint)
+                .collect(),
+            RoutineRequest::GemmF32(r) => [&r.a, &r.b, &r.c]
+                .into_iter()
+                .filter_map(MatArg::shared_footprint)
+                .collect(),
+            RoutineRequest::AxpyF64(r) => [&r.x, &r.y]
+                .into_iter()
+                .filter_map(VecArg::shared_footprint)
+                .collect(),
+            RoutineRequest::DotF64(r) => [&r.x, &r.y]
+                .into_iter()
+                .filter_map(VecArg::shared_footprint)
+                .collect(),
+            RoutineRequest::GemvF64(r) => {
+                let mut out: Vec<(&str, usize)> = r.a.shared_footprint().into_iter().collect();
+                out.extend(
+                    [&r.x, &r.y]
+                        .into_iter()
+                        .filter_map(VecArg::shared_footprint),
+                );
+                out
             }
         }
     }

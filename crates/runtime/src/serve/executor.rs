@@ -228,9 +228,12 @@ impl ServeReport {
 ///
 /// Lifecycle: [`submit`](Self::submit) requests (admission happens here),
 /// then [`run`](Self::run) to drain the queue. Each queued request is
-/// pulled by the device with the highest residency affinity for its shared
-/// operands, earliest virtual clock breaking ties — an idle device steals
-/// queued work.
+/// pulled by the device with the lowest estimated ready time: its virtual
+/// clock plus the estimated upload time of the request's shared operands
+/// it does not hold resident. Residency affinity therefore wins only
+/// while the affine device's clock lead stays below the re-upload cost —
+/// a device that falls further behind loses the work to an idle peer
+/// instead of serialising the whole trace.
 #[derive(Debug)]
 pub struct Executor {
     pool: MultiGpu,
@@ -298,12 +301,23 @@ impl Executor {
     /// request whose worst-case footprint exceeds the configured fraction
     /// of device memory terminates immediately as
     /// [`RequestStatus::Rejected`].
+    ///
+    /// The limit is computed from the *smallest* device in the pool, so an
+    /// admitted request fits whichever device dispatch later picks
+    /// ([`MultiGpu`] pools are homogeneous today, making this the only
+    /// capacity; a heterogeneous pool stays safe but under-admits).
     pub fn submit(&mut self, req: impl Into<RoutineRequest>) -> RequestId {
         let req = req.into();
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.metrics.counter_add("serve_requests_total", 1);
-        let cap = self.pool.devices()[0].gpu().device_mem_capacity();
+        let cap = self
+            .pool
+            .devices()
+            .iter()
+            .map(|d| d.gpu().device_mem_capacity())
+            .min()
+            .expect("at least one device");
         let limit = (cap as f64 * self.cfg.admission_frac.clamp(0.0, 1.0)) as usize;
         let footprint = req.footprint_bytes();
         if footprint > limit {
@@ -327,21 +341,28 @@ impl Executor {
         id
     }
 
-    /// The device that pulls `req`: highest residency affinity for the
-    /// request's shared operands, then earliest virtual clock, then lowest
-    /// index — deterministic in virtual time.
+    /// The device that pulls `req`: lowest estimated ready time — virtual
+    /// clock plus the ideal h2d time of the shared operands the device is
+    /// missing — then lowest index. Residency affinity is thus *bounded*:
+    /// a device holding the operands is preferred only while its clock
+    /// lead over an idle peer stays below the re-upload cost, so
+    /// high-reuse traces still spread across the pool.
     fn choose_device(&self, req: &RoutineRequest) -> usize {
-        let keys = req.shared_keys();
+        let shared = req.shared_footprints();
         let mut best = 0usize;
-        let mut best_aff = self.residency[0].affinity(&keys);
-        let mut best_now = self.pool.devices()[0].gpu().now();
-        for i in 1..self.pool.device_count() {
-            let aff = self.residency[i].affinity(&keys);
-            let now = self.pool.devices()[i].gpu().now();
-            if aff > best_aff || (aff == best_aff && now < best_now) {
+        let mut best_cost = f64::INFINITY;
+        for i in 0..self.pool.device_count() {
+            let gpu = self.pool.devices()[i].gpu();
+            let h2d = gpu.spec().link.h2d;
+            let upload: f64 = shared
+                .iter()
+                .filter(|(k, _)| !self.residency[i].contains(k))
+                .map(|&(_, bytes)| h2d.ideal_time(bytes))
+                .sum();
+            let cost = gpu.now().as_secs_f64() + upload;
+            if cost < best_cost {
                 best = i;
-                best_aff = aff;
-                best_now = now;
+                best_cost = cost;
             }
         }
         best
@@ -428,15 +449,21 @@ impl Executor {
         let mut retried = false;
         let mut result = self.execute_once(d, req.clone());
         if let Err(e) = &result {
-            self.reclaim(d, &pre_dev, &pre_host);
             let transient = matches!(e, RuntimeError::Sim(SimError::OutOfDeviceMemory { .. }));
             if transient && self.cfg.retry_transient {
+                // Only a retry justifies the scorched-earth reclaim that
+                // evicts the whole residency cache to make room.
+                self.reclaim(d, &pre_dev, &pre_host);
                 retried = true;
                 self.metrics.counter_add("serve_retries_total", 1);
                 result = self.execute_once(d, req);
                 if result.is_err() {
-                    self.reclaim(d, &pre_dev, &pre_host);
+                    self.release_leaked(d, &pre_dev, &pre_host);
                 }
+            } else {
+                // No retry will run: free only what the failed attempt
+                // leaked and keep warm operands for later requests.
+                self.release_leaked(d, &pre_dev, &pre_host);
             }
         }
         let status = match result {
@@ -475,7 +502,11 @@ impl Executor {
         let dev = pool.device_mut(d);
         let cache = &mut residency[d];
         let mut bypass = Vec::new();
-        let resolved = resolve_request(dev, cache, metrics, &mut bypass, req)?;
+        // Pin every shared key of this request for the whole resolution:
+        // resolving a later operand must never evict (and free) an earlier
+        // operand of the same request out from under its resolved handle.
+        let pinned: Vec<String> = req.shared_keys().iter().map(|k| (*k).to_owned()).collect();
+        let resolved = resolve_request(dev, cache, metrics, &mut bypass, &pinned, req)?;
         let report = dev.submit(resolved)?;
         for h in bypass {
             free_resident(dev, h);
@@ -507,6 +538,31 @@ impl Executor {
             }
         }
     }
+
+    /// Frees buffers a failed attempt leaked on device `d` without
+    /// touching the residency cache: allocations alive now that were
+    /// neither alive before the attempt nor adopted by the cache (operands
+    /// the attempt successfully resolved stay warm for later requests).
+    fn release_leaked(
+        &mut self,
+        d: usize,
+        pre_dev: &BTreeSet<DevBufId>,
+        pre_host: &BTreeSet<HostBufId>,
+    ) {
+        let cached: BTreeSet<DevBufId> = self.residency[d].device_buffers().into_iter().collect();
+        let dev = self.pool.device_mut(d);
+        let _ = dev.gpu_mut().synchronize();
+        for b in dev.gpu().live_device_buffers() {
+            if !pre_dev.contains(&b) && !cached.contains(&b) {
+                let _ = dev.gpu_mut().free_device(b);
+            }
+        }
+        for h in dev.gpu().live_host_buffers() {
+            if !pre_host.contains(&h) {
+                let _ = dev.gpu_mut().take_host(h);
+            }
+        }
+    }
 }
 
 /// Frees a cached or bypass device allocation, ignoring stale handles
@@ -520,11 +576,15 @@ fn free_resident(dev: &mut Cocopelia, h: ResidentHandle) {
 
 /// Resolves one matrix argument: shared keys become device-resident
 /// operands via the residency cache (hit) or a ghost upload (miss).
+/// `pinned` names the whole request's shared keys, which eviction must
+/// not touch; an operand that cannot fit alongside them bypasses the
+/// cache instead.
 fn resolve_mat<T: SimScalar>(
     dev: &mut Cocopelia,
     cache: &mut ResidencyCache,
     metrics: &mut Registry,
     bypass: &mut Vec<ResidentHandle>,
+    pinned: &[String],
     arg: MatArg<T>,
 ) -> Result<MatArg<T>, RuntimeError> {
     let MatArg::Shared(s) = arg else {
@@ -536,9 +596,9 @@ fn resolve_mat<T: SimScalar>(
     }
     metrics.counter_add("residency_misses_total", 1);
     let bytes = s.rows * s.cols * T::DTYPE.width();
-    let cacheable = cache.fits(bytes);
+    let cacheable = cache.fits_pinned(bytes, pinned);
     if cacheable {
-        for e in cache.evict_for(bytes) {
+        for e in cache.evict_for(bytes, pinned) {
             metrics.counter_add("residency_evictions_total", 1);
             free_resident(dev, e.handle);
         }
@@ -561,6 +621,7 @@ fn resolve_vec<T: SimScalar>(
     cache: &mut ResidencyCache,
     metrics: &mut Registry,
     bypass: &mut Vec<ResidentHandle>,
+    pinned: &[String],
     arg: VecArg<T>,
 ) -> Result<VecArg<T>, RuntimeError> {
     let VecArg::Shared(s) = arg else {
@@ -572,9 +633,9 @@ fn resolve_vec<T: SimScalar>(
     }
     metrics.counter_add("residency_misses_total", 1);
     let bytes = s.len * T::DTYPE.width();
-    let cacheable = cache.fits(bytes);
+    let cacheable = cache.fits_pinned(bytes, pinned);
     if cacheable {
-        for e in cache.evict_for(bytes) {
+        for e in cache.evict_for(bytes, pinned) {
             metrics.counter_add("residency_evictions_total", 1);
             free_resident(dev, e.handle);
         }
@@ -591,41 +652,43 @@ fn resolve_vec<T: SimScalar>(
     Ok(VecArg::Inline(VecOperand::Device(v)))
 }
 
-/// Resolves every shared operand of a request against one device.
+/// Resolves every shared operand of a request against one device, with
+/// the request's own keys pinned against eviction.
 fn resolve_request(
     dev: &mut Cocopelia,
     cache: &mut ResidencyCache,
     metrics: &mut Registry,
     bypass: &mut Vec<ResidentHandle>,
+    pinned: &[String],
     req: RoutineRequest,
 ) -> Result<RoutineRequest, RuntimeError> {
     Ok(match req {
         RoutineRequest::GemmF64(mut r) => {
-            r.a = resolve_mat(dev, cache, metrics, bypass, r.a)?;
-            r.b = resolve_mat(dev, cache, metrics, bypass, r.b)?;
-            r.c = resolve_mat(dev, cache, metrics, bypass, r.c)?;
+            r.a = resolve_mat(dev, cache, metrics, bypass, pinned, r.a)?;
+            r.b = resolve_mat(dev, cache, metrics, bypass, pinned, r.b)?;
+            r.c = resolve_mat(dev, cache, metrics, bypass, pinned, r.c)?;
             RoutineRequest::GemmF64(r)
         }
         RoutineRequest::GemmF32(mut r) => {
-            r.a = resolve_mat(dev, cache, metrics, bypass, r.a)?;
-            r.b = resolve_mat(dev, cache, metrics, bypass, r.b)?;
-            r.c = resolve_mat(dev, cache, metrics, bypass, r.c)?;
+            r.a = resolve_mat(dev, cache, metrics, bypass, pinned, r.a)?;
+            r.b = resolve_mat(dev, cache, metrics, bypass, pinned, r.b)?;
+            r.c = resolve_mat(dev, cache, metrics, bypass, pinned, r.c)?;
             RoutineRequest::GemmF32(r)
         }
         RoutineRequest::AxpyF64(mut r) => {
-            r.x = resolve_vec(dev, cache, metrics, bypass, r.x)?;
-            r.y = resolve_vec(dev, cache, metrics, bypass, r.y)?;
+            r.x = resolve_vec(dev, cache, metrics, bypass, pinned, r.x)?;
+            r.y = resolve_vec(dev, cache, metrics, bypass, pinned, r.y)?;
             RoutineRequest::AxpyF64(r)
         }
         RoutineRequest::DotF64(mut r) => {
-            r.x = resolve_vec(dev, cache, metrics, bypass, r.x)?;
-            r.y = resolve_vec(dev, cache, metrics, bypass, r.y)?;
+            r.x = resolve_vec(dev, cache, metrics, bypass, pinned, r.x)?;
+            r.y = resolve_vec(dev, cache, metrics, bypass, pinned, r.y)?;
             RoutineRequest::DotF64(r)
         }
         RoutineRequest::GemvF64(mut r) => {
-            r.a = resolve_mat(dev, cache, metrics, bypass, r.a)?;
-            r.x = resolve_vec(dev, cache, metrics, bypass, r.x)?;
-            r.y = resolve_vec(dev, cache, metrics, bypass, r.y)?;
+            r.a = resolve_mat(dev, cache, metrics, bypass, pinned, r.a)?;
+            r.x = resolve_vec(dev, cache, metrics, bypass, pinned, r.x)?;
+            r.y = resolve_vec(dev, cache, metrics, bypass, pinned, r.y)?;
             RoutineRequest::GemvF64(r)
         }
     })

@@ -8,11 +8,14 @@
 //! cache and dynamic device dispatch):
 //!
 //! 1. **Admission control.** A request whose worst-case device footprint
-//!    cannot fit is rejected at submission instead of failing mid-flight.
+//!    cannot fit on the pool's smallest device is rejected at submission
+//!    instead of failing mid-flight.
 //! 2. **Virtual-time work dispatch.** Each queued request is pulled by the
-//!    device that (a) already holds the most of its shared operands and
-//!    (b) among those, has the earliest virtual clock — an idle device
-//!    steals work unless affinity says otherwise.
+//!    device with the lowest estimated ready time: virtual clock plus the
+//!    estimated upload time of the request's shared operands it is
+//!    missing. Residency affinity is thus bounded by the re-upload cost —
+//!    an idle device steals work once the affine device falls far enough
+//!    behind.
 //! 3. **Cross-request residency.** Operands named by key
 //!    ([`MatArg::shared`](crate::MatArg::shared)) live in a per-device LRU
 //!    cache, so a matrix uploaded for request *N* is not re-transferred

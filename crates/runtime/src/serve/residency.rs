@@ -2,6 +2,7 @@
 
 use crate::error::RuntimeError;
 use crate::operand::{DeviceMatrix, DeviceVector};
+use cocopelia_gpusim::DevBufId;
 use cocopelia_hostblas::Dtype;
 
 /// A cached device allocation: either a matrix or a vector.
@@ -72,6 +73,20 @@ impl ResidencyCache {
         bytes <= self.budget_bytes
     }
 
+    /// True when an operand of `bytes` can be cached without evicting any
+    /// `pinned` entry: the bytes plus every resident pinned entry must fit
+    /// in the budget. The executor pins the keys of the request being
+    /// resolved so a later operand never evicts an earlier one.
+    pub(crate) fn fits_pinned(&self, bytes: usize, pinned: &[String]) -> bool {
+        let pinned_bytes: usize = self
+            .entries
+            .iter()
+            .filter(|e| pinned.contains(&e.key))
+            .map(|e| e.bytes)
+            .sum();
+        bytes + pinned_bytes <= self.budget_bytes
+    }
+
     fn touch(&mut self, idx: usize) {
         self.clock += 1;
         self.entries[idx].last_use = self.clock;
@@ -139,17 +154,22 @@ impl ResidencyCache {
 
     /// Evicts least-recently-used entries until `bytes` more would fit in
     /// the budget, returning the evicted handles for the executor to free.
-    /// Entries already present are untouched; call only after a miss.
-    pub(crate) fn evict_for(&mut self, bytes: usize) -> Vec<Resident> {
+    /// `pinned` keys are never evicted (the current request's operands);
+    /// call only after a miss, and only when
+    /// [`fits_pinned`](Self::fits_pinned) said the bytes can be made to fit.
+    pub(crate) fn evict_for(&mut self, bytes: usize, pinned: &[String]) -> Vec<Resident> {
         let mut evicted = Vec::new();
-        while self.used_bytes + bytes > self.budget_bytes && !self.entries.is_empty() {
-            let idx = self
+        while self.used_bytes + bytes > self.budget_bytes {
+            let Some(idx) = self
                 .entries
                 .iter()
                 .enumerate()
+                .filter(|(_, e)| !pinned.contains(&e.key))
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
-                .expect("non-empty");
+            else {
+                break;
+            };
             let e = self.entries.remove(idx);
             self.used_bytes -= e.bytes;
             evicted.push(e);
@@ -189,12 +209,23 @@ impl ResidencyCache {
         std::mem::take(&mut self.entries)
     }
 
-    /// Number of the request's `keys` currently resident (affinity score
-    /// for dispatch; does not refresh LRU positions).
-    pub(crate) fn affinity(&self, keys: &[&str]) -> usize {
-        keys.iter()
-            .filter(|k| self.entries.iter().any(|e| &e.key == *k))
-            .count()
+    /// True when `key` is resident (does not refresh its LRU position).
+    /// Dispatch uses this to cost the shared operands a device is missing.
+    pub(crate) fn contains(&self, key: &str) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// Device buffers currently tracked by the cache. The executor uses
+    /// this to tell leaked allocations apart from live cached operands
+    /// when cleaning up after a failed attempt.
+    pub(crate) fn device_buffers(&self) -> Vec<DevBufId> {
+        self.entries
+            .iter()
+            .map(|e| match e.handle {
+                ResidentHandle::Mat(m) => m.raw_buf(),
+                ResidentHandle::Vec(v) => v.raw_buf(),
+            })
+            .collect()
     }
 }
 
@@ -224,7 +255,7 @@ mod tests {
             .lookup_mat("A", Dtype::F64, 10, 10)
             .expect("shape ok")
             .expect("hit");
-        let evicted = cache.evict_for(800);
+        let evicted = cache.evict_for(800, &[]);
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].key, "B");
         assert_eq!(cache.used_bytes(), 800);
@@ -232,6 +263,28 @@ mod tests {
             .lookup_mat("B", Dtype::F64, 10, 10)
             .expect("shape ok")
             .is_none());
+    }
+
+    #[test]
+    fn pinned_entries_are_never_evicted() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(2000);
+        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
+        cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800);
+        let pinned = vec!["A".to_owned(), "B".to_owned(), "C".to_owned()];
+        // C (800 B) cannot join A+B (1600 B pinned) under a 2000 B budget.
+        assert!(!cache.fits_pinned(800, &pinned));
+        assert!(cache.fits_pinned(400, &pinned));
+        // Even when asked to make room, pinned entries stay resident.
+        let evicted = cache.evict_for(800, &pinned);
+        assert!(evicted.is_empty());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.used_bytes(), 1600);
+        // An unpinned entry is still fair game.
+        cache.insert_mat("D", Dtype::F64, mat(&mut g, 5, 5), 200);
+        let evicted = cache.evict_for(400, &pinned);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, "D");
     }
 
     #[test]
@@ -246,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn affinity_counts_resident_keys() {
+    fn contains_sees_resident_keys() {
         let mut g = gpu();
         let mut cache = ResidencyCache::new(10_000);
         cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
@@ -256,8 +309,10 @@ mod tests {
             DeviceVector::from_raw(g.alloc_device(Dtype::F64, 5).expect("alloc"), 5),
             40,
         );
-        assert_eq!(cache.affinity(&["A", "x", "missing"]), 2);
-        assert_eq!(cache.affinity(&[]), 0);
+        assert!(cache.contains("A"));
+        assert!(cache.contains("x"));
+        assert!(!cache.contains("missing"));
+        assert_eq!(cache.device_buffers().len(), 2);
     }
 
     #[test]

@@ -224,32 +224,129 @@ fn transient_oom_is_retried_after_reclaim() {
 }
 
 #[test]
-fn shared_requests_group_by_affinity_and_idle_devices_steal() {
-    // Two devices: the four A/B gemms pile onto the device that cached A/B
-    // first, while the independent level-1 requests go to the idle one.
+fn affinity_holds_between_equally_loaded_devices() {
+    // Two interleaved operand families: requests follow the device that
+    // cached their family as long as both devices stay equally loaded
+    // (re-uploading would cost more than the zero clock gap).
+    let gemm_cd = || -> RoutineRequest {
+        GemmRequest::<f64>::new(
+            SharedMat::new("C2", 1024, 1024),
+            SharedMat::new("D2", 1024, 1024),
+            ghost(1024, 1024),
+        )
+        .tile(TileChoice::Fixed(512))
+        .into()
+    };
     let mut exec = Executor::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
-    for req in mixed_trace() {
+    for req in [shared_gemm(), gemm_cd(), shared_gemm(), gemm_cd()] {
         exec.submit(req);
     }
     let report = exec.run();
-    assert_eq!(report.completed(), 8);
+    assert_eq!(report.completed(), 4, "{}", report.render());
     let device = |i: usize| report.outcomes[i].device.expect("served");
-    // gemms 0-3 share A/B: all on one device; the gemv (7) reuses A there.
-    let gemm_dev = device(0);
-    for i in 1..4 {
-        assert_eq!(device(i), gemm_dev, "gemm {i} must follow the A/B cache");
+    assert_eq!(device(0), device(2), "A/B requests must share a device");
+    assert_eq!(device(1), device(3), "C2/D2 requests must share a device");
+    assert_ne!(device(0), device(1), "families must split across the pool");
+    // Each family uploads once and hits once.
+    assert_eq!(report.metrics.counter("residency_misses_total"), 4);
+    assert_eq!(report.metrics.counter("residency_hits_total"), 4);
+}
+
+#[test]
+fn idle_device_steals_when_affine_device_falls_behind() {
+    // Four identical A/B gemms on two devices: strict affinity would
+    // serialise them all onto the first device. The bounded policy steals
+    // to the idle device as soon as the affine device's clock lead exceeds
+    // the cost of re-uploading A and B, so the trace spreads.
+    let mut exec = Executor::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
+    for _ in 0..4 {
+        exec.submit(shared_gemm());
     }
-    assert_eq!(device(7), gemm_dev, "gemv must follow A");
-    // The level-1 chain lands on the other, idle device.
-    let vec_dev = device(4);
-    assert_ne!(vec_dev, gemm_dev, "idle device must steal the axpy work");
-    assert_eq!(device(5), vec_dev);
-    assert_eq!(device(6), vec_dev);
-    assert_eq!(report.per_device_busy.len(), 2);
+    let report = exec.run();
+    assert_eq!(report.completed(), 4, "{}", report.render());
+    let device = |i: usize| report.outcomes[i].device.expect("served");
+    assert_ne!(
+        device(0),
+        device(1),
+        "the second gemm must be stolen by the idle device"
+    );
+    let served: Vec<usize> = (0..4).map(device).collect();
+    assert!(
+        (0..2).all(|d| served.contains(&d)),
+        "both devices must serve work: {served:?}"
+    );
+    // Each device uploads A/B once (2 misses each); later gemms hit.
+    assert_eq!(report.metrics.counter("residency_misses_total"), 4);
+    assert_eq!(report.metrics.counter("residency_hits_total"), 4);
+    assert_eq!(report.metrics.counter("residency_evictions_total"), 0);
     assert!(report.per_device_busy.iter().all(|t| t.as_secs_f64() > 0.0));
     // Two devices sharing the work: makespan is the max, not the sum.
     let total: f64 = report.per_device_busy.iter().map(|t| t.as_secs_f64()).sum();
     assert!(report.makespan.as_secs_f64() < total);
+}
+
+#[test]
+fn same_request_shared_operands_never_evict_each_other() {
+    // 40 MB device: residency budget 20 MB, admission limit 36 MB. A gemm
+    // whose three shared operands total 24 MB is admitted but cannot cache
+    // them all — the third must bypass rather than evict the first out
+    // from under its already-resolved handle (which would dangle).
+    let mut exec = Executor::new(pool(&small_tb(40 * MB), 1), ExecutorConfig::default());
+    let req = || -> RoutineRequest {
+        GemmRequest::<f64>::new(
+            SharedMat::new("A", 1024, 1024),
+            SharedMat::new("B", 1024, 1024),
+            SharedMat::new("C", 1024, 1024),
+        )
+        .tile(TileChoice::Fixed(512))
+        .into()
+    };
+    exec.submit(req());
+    exec.submit(req());
+    let report = exec.run();
+    assert_eq!(report.completed(), 2, "{}", report.render());
+    // A and B cache (16 MB <= 20 MB); C bypasses on both requests because
+    // it cannot fit alongside its own request's pinned operands.
+    assert_eq!(report.metrics.counter("residency_evictions_total"), 0);
+    assert_eq!(report.metrics.counter("residency_bypass_total"), 2);
+    assert_eq!(report.metrics.counter("residency_misses_total"), 4);
+    assert_eq!(report.metrics.counter("residency_hits_total"), 2);
+    assert_eq!(exec.residency(0).len(), 2);
+    // Bypass uploads were released after each run; only A and B live on.
+    let dev = &exec.pool().devices()[0];
+    assert_eq!(dev.gpu().live_device_buffers().len(), 2);
+}
+
+#[test]
+fn non_transient_failure_keeps_cache_warm() {
+    // A mis-declared shared shape fails its own request but must not nuke
+    // the residency cache: later requests still hit the warm operands.
+    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    exec.submit(shared_gemm());
+    exec.submit(
+        GemmRequest::<f64>::new(
+            SharedMat::new("A", 512, 512), // cached as 1024 x 1024
+            ghost(512, 512),
+            ghost(512, 512),
+        )
+        .tile(TileChoice::Fixed(256)),
+    );
+    exec.submit(shared_gemm());
+    let report = exec.run();
+    assert_eq!(report.completed(), 2, "{}", report.render());
+    assert_eq!(report.failed(), 1);
+    assert!(
+        !report.outcomes[1].retried,
+        "shape mismatch is not transient; no retry"
+    );
+    assert_eq!(report.metrics.counter("serve_retries_total"), 0);
+    // The cache survived the failure: the third request hits A and B.
+    assert_eq!(report.metrics.counter("residency_hits_total"), 2);
+    assert_eq!(report.metrics.counter("residency_evictions_total"), 0);
+    assert_eq!(exec.residency(0).len(), 2);
+    // Nothing leaked beyond the two cached operands.
+    let dev = &exec.pool().devices()[0];
+    assert_eq!(dev.gpu().live_device_buffers().len(), 2);
 }
 
 #[test]

@@ -34,4 +34,11 @@ echo "== perf snapshot gate (vs BENCH_seed.json) =="
 target/release/cocopelia snapshot --out target/BENCH_ci.json --label ci
 target/release/cocopelia compare BENCH_seed.json target/BENCH_ci.json
 
+echo "== chaos soak gate (seeded fault injection) =="
+# Fault injection is seeded and rolled at enqueue time, so the soak —
+# scheduler retries, quarantine + re-dispatch, host fallback, leak and
+# trace-invariant checks over three fixed seeds — must pass bit-identically
+# on every run. The seeds live in tests/serve_faults.rs.
+cargo test --release -q -p cocopelia-xp --test serve_faults
+
 echo "CI gate passed."

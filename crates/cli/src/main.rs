@@ -3,12 +3,12 @@
 //! ```text
 //! cocopelia deploy  --testbed ii --out profile.json [--quick]
 //! cocopelia predict --profile profile.json --routine dgemm --dims 8192 8192 8192 [--loc HHH] [--model dr]
-//! cocopelia run     --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--tile auto|2048]
+//! cocopelia run     --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--tile auto|2048] [--faults seed=1,kernel=0.05]
 //! cocopelia report  --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 [--json report.json]
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! cocopelia calib   --testbed i [--quick] [--json calib.json]
-//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt]
+//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20]
 //! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
 //! cocopelia compare BENCH_seed.json BENCH_pr.json [--threshold 0.05] [--json diff.json]
 //! ```
@@ -21,7 +21,7 @@ use cocopelia_core::params::{Loc, ProblemSpec};
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::select::TileSelector;
 use cocopelia_deploy::{deploy, DeployConfig};
-use cocopelia_gpusim::{testbed_i, testbed_ii, ExecMode, Gpu, TestbedSpec};
+use cocopelia_gpusim::{testbed_i, testbed_ii, ExecMode, FaultSpec, Gpu, TestbedSpec};
 use cocopelia_hostblas::Dtype;
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, RuntimeError,
@@ -113,7 +113,7 @@ usage:
   cocopelia predict --profile <profile.json> --routine <dgemm|sgemm|daxpy|ddot|dgemv>
                     --dims <D1> [D2] [D3] [--loc <H|D per operand>] [--model <cso|eq1|eq2|bts|dr>]
   cocopelia run     --testbed <i|ii> --profile <profile.json> --routine <...>
-                    --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
+                    --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>] [--faults <spec>]
   cocopelia report  --testbed <i|ii> --profile <profile.json> --routine <...>
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>] [--json <out.json>]
   cocopelia trace   --testbed <i|ii> --profile <profile.json> --routine <...>
@@ -121,9 +121,12 @@ usage:
                     --out <trace.json> [--format <chrome|jsonl>]
   cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]
   cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
-  cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>]
+  cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
   cocopelia snapshot --out <BENCH_label.json> [--testbed <i|ii>] [--label <label>]
-  cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]";
+  cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]
+
+fault spec grammar (comma-separated, e.g. seed=1,h2d=0.02,kernel=0.05,lost_after=20):
+  seed=N h2d=P d2h=P kernel=P ecc=P lost_after=N degrade=START:END:FACTOR (repeatable)";
 
 fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -163,6 +166,16 @@ fn testbed(args: &Args) -> Result<TestbedSpec, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown testbed `{other}` (expected i or ii)"
         ))),
+    }
+}
+
+/// Parses `--faults <spec>` (absent means no injected faults).
+fn faults(args: &Args) -> Result<FaultSpec, CliError> {
+    match args.get_opt("faults") {
+        Some(spec) => {
+            FaultSpec::parse(&spec).map_err(|e| CliError::Usage(format!("bad --faults value: {e}")))
+        }
+        None => Ok(FaultSpec::none()),
     }
 }
 
@@ -349,7 +362,11 @@ fn execute(args: &Args) -> Result<(Cocopelia, cocopelia_runtime::RoutineReport),
                 .map_err(|_| CliError::Usage(format!("bad tile `{t}`")))?,
         ),
     };
-    let mut ctx = Cocopelia::new(Gpu::new(tb, ExecMode::TimingOnly, 0xC11), profile);
+    let fault_spec = faults(args)?;
+    let mut ctx = Cocopelia::new(
+        Gpu::with_faults(tb, ExecMode::TimingOnly, 0xC11, fault_spec),
+        profile,
+    );
     let dims = spec.dims();
     let ghost_mat = |r: usize, c: usize| MatOperand::<f64>::HostGhost { rows: r, cols: c };
     let report = match spec.routine {
@@ -410,6 +427,22 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         report.subkernels,
         report.overlap.efficiency()
     );
+    let stats = ctx.gpu().fault_stats();
+    if stats.total() > 0 || report.op_retries > 0 {
+        println!(
+            "faults: h2d {} d2h {} kernel {} ecc {} | op retries {}{}",
+            stats.h2d_faults,
+            stats.d2h_faults,
+            stats.kernel_faults,
+            stats.ecc_faults,
+            report.op_retries,
+            if stats.device_lost {
+                " | device lost"
+            } else {
+                ""
+            },
+        );
+    }
     drop(ctx);
     Ok(())
 }
@@ -543,12 +576,19 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
         None => cocopelia_xp::standard_request_trace(),
     };
+    let fault_spec = faults(args)?;
     let requests = trace.len();
     eprintln!(
-        "deploying and serving {requests} request(s) on {} device(s) ...",
-        devices
+        "deploying and serving {requests} request(s) on {} device(s){} ...",
+        devices,
+        if fault_spec.is_none() {
+            ""
+        } else {
+            " with fault injection"
+        },
     );
-    let cmp = cocopelia_xp::run_serve(&tb, devices, trace).map_err(CliError::Data)?;
+    let cmp = cocopelia_xp::run_serve_with_faults(&tb, devices, trace, &fault_spec)
+        .map_err(CliError::Data)?;
     print!("{}", cmp.report.render());
     println!(
         "sequential no-reuse baseline {:.3} ms | speedup {:.2}x on {} device(s)",
@@ -556,6 +596,22 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         cmp.speedup(),
         cmp.devices,
     );
+    if !fault_spec.is_none() {
+        let c = |name: &str| cmp.report.metrics.counter(name);
+        println!(
+            "faults: transient {} degraded {} fatal {} | retries {} (tile ops {}) | \
+             quarantined {} (re-dispatched {}, invalidated {}) | host fallbacks {}",
+            c("fault_transient_total"),
+            c("fault_degraded_total"),
+            c("fault_fatal_total"),
+            c("retry_attempts_total"),
+            c("retry_tile_ops_total"),
+            c("quarantine_devices_total"),
+            c("quarantine_redispatch_total"),
+            c("quarantine_invalidated_total"),
+            c("fault_host_fallback_total"),
+        );
+    }
     Ok(())
 }
 

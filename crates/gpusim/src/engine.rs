@@ -82,6 +82,10 @@ pub(crate) struct Sim {
     trace: Trace,
     /// Ambient routine tag stamped onto ops at enqueue time.
     current_tag: Option<OpTag>,
+    /// Link degradation windows `(start_ns, end_ns, factor)` from the fault
+    /// spec; the factor multiplies both directions' bandwidth inside the
+    /// window.
+    degrade: Vec<(u64, u64, f64)>,
 }
 
 impl Sim {
@@ -100,6 +104,68 @@ impl Sim {
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::default(),
             current_tag: None,
+            degrade: Vec::new(),
+        }
+    }
+
+    /// Installs the link degradation windows `(start_ns, end_ns, factor)`.
+    pub(crate) fn set_degrade(&mut self, mut windows: Vec<(u64, u64, f64)>) {
+        windows.sort_by_key(|w| w.0);
+        self.degrade = windows;
+    }
+
+    /// Bandwidth multiplier in effect at the current virtual time (first
+    /// matching window wins; `1.0` outside every window).
+    fn degrade_factor_now(&self) -> f64 {
+        self.degrade
+            .iter()
+            .find(|&&(s, e, _)| self.now_ns >= s && self.now_ns < e)
+            .map_or(1.0, |&(_, _, f)| f)
+    }
+
+    /// The next degrade-window boundary strictly after the current time.
+    fn next_degrade_boundary_ns(&self) -> Option<u64> {
+        self.degrade
+            .iter()
+            .flat_map(|&(s, e, _)| [s, e])
+            .filter(|&b| b > self.now_ns)
+            .min()
+    }
+
+    /// Advances the virtual clock by `ns` with no engine work in flight —
+    /// the host-side wait primitive behind retry backoff. Engines only hold
+    /// active ops inside [`Sim::run_to_idle`], so between public calls the
+    /// clock can move freely.
+    pub(crate) fn advance_by(&mut self, ns: u64) {
+        debug_assert!(
+            self.h2d.active.is_none() && self.d2h.active.is_none() && self.compute.active.is_none(),
+            "advance_by called with active engine work"
+        );
+        self.now_ns += ns;
+    }
+
+    /// Aborts all queued and in-flight work (terminal device loss): stream
+    /// and engine queues are dropped and active ops are cut short, their
+    /// trace entries ending now. Afterwards the simulator is idle.
+    pub(crate) fn abort_all(&mut self) {
+        for s in &mut self.streams {
+            s.clear();
+        }
+        let now = self.now();
+        for kind in [
+            EngineKind::CopyH2d,
+            EngineKind::CopyD2h,
+            EngineKind::Compute,
+        ] {
+            let engine = self.engine_mut(kind);
+            engine.queue.clear();
+            let taken = engine.active.take();
+            if let Some(active) = taken {
+                self.trace
+                    .entry_mut(active.trace_idx)
+                    .expect("trace entry recorded at start")
+                    .end = now;
+            }
         }
     }
 
@@ -369,7 +435,7 @@ impl Sim {
         };
         match kind {
             EngineKind::CopyH2d => {
-                let base = self.link.h2d.bandwidth_bps;
+                let base = self.link.h2d.bandwidth_bps * self.degrade_factor_now();
                 if other_busy(&self.d2h) {
                     base / self.link.sl_h2d_bid
                 } else {
@@ -377,7 +443,7 @@ impl Sim {
                 }
             }
             EngineKind::CopyD2h => {
-                let base = self.link.d2h.bandwidth_bps;
+                let base = self.link.d2h.bandwidth_bps * self.degrade_factor_now();
                 if other_busy(&self.h2d) {
                     base / self.link.sl_d2h_bid
                 } else {
@@ -424,12 +490,19 @@ impl Sim {
         ];
         let rates: Vec<f64> = kinds.iter().map(|&k| self.dir_rate(k)).collect();
         let estimates: Vec<Option<u64>> = kinds.iter().map(|&k| self.estimate_ns(k)).collect();
-        let dt = estimates
+        let mut dt = estimates
             .iter()
             .flatten()
             .copied()
             .min()
             .expect("advance called with no active ops");
+        // Rates change at degrade-window boundaries: clamp the step so the
+        // interval we integrate over has constant rates. A clamped step
+        // completes nothing (its estimate differs and work remains), and the
+        // next iteration re-snapshots rates at the boundary.
+        if let Some(boundary) = self.next_degrade_boundary_ns() {
+            dt = dt.min(boundary - self.now_ns);
+        }
         self.now_ns += dt;
         let dt_secs = dt as f64 / 1e9;
 
@@ -738,6 +811,60 @@ mod tests {
             (pageable / pinned - 2.0).abs() < 0.01,
             "{pageable} vs {pinned}"
         );
+    }
+
+    #[test]
+    fn degrade_window_slows_then_restores_rate() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        // 1 GB/s link; halve bandwidth during [1ms, 3ms).
+        sim.set_degrade(vec![(1_000_000, 3_000_000, 0.5)]);
+        let s = sim.create_stream();
+        sim.enqueue(s, copy_kind(4_000_000, true));
+        sim.run_to_idle();
+        let total = sim.now().as_secs_f64();
+        // 1µs latency, 0.999ms full rate (0.999MB), 2ms half rate (1MB),
+        // then 2.001MB at full rate: 5.001ms total.
+        assert!((total - 5.001e-3).abs() < 1e-5, "total {total}");
+    }
+
+    #[test]
+    fn empty_degrade_windows_change_nothing() {
+        let run = |windows: Vec<(u64, u64, f64)>| {
+            let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+            sim.set_degrade(windows);
+            let s = sim.create_stream();
+            sim.enqueue(s, copy_kind(4_000_000, true));
+            sim.enqueue(s, kernel_kind(1e-3));
+            sim.run_to_idle();
+            sim.now().as_nanos()
+        };
+        // A window whose factor is 1.0 forces boundary clamping but must
+        // not change the integrated result.
+        assert_eq!(run(Vec::new()), run(vec![(1_000_000, 3_000_000, 1.0)]));
+    }
+
+    #[test]
+    fn abort_all_clears_everything() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        sim.enqueue(s, copy_kind(1_000_000, true));
+        sim.enqueue(s, kernel_kind(1e-3));
+        assert!(!sim.idle());
+        sim.abort_all();
+        assert!(sim.idle());
+        assert!(sim.run_to_idle().is_empty());
+        assert_eq!(sim.now().as_nanos(), 0);
+    }
+
+    #[test]
+    fn advance_by_moves_idle_clock() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        sim.advance_by(1_500);
+        assert_eq!(sim.now().as_nanos(), 1_500);
+        let s = sim.create_stream();
+        sim.enqueue(s, kernel_kind(1e-3));
+        sim.run_to_idle();
+        assert_eq!(sim.now().as_nanos(), 1_001_500);
     }
 
     #[test]

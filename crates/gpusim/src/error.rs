@@ -41,6 +41,32 @@ pub enum SimError {
         /// Human-readable description of the busy buffer.
         what: String,
     },
+    /// A transient DMA fault injected by the device's
+    /// [`FaultSpec`](crate::FaultSpec): the copy enqueue failed and may be
+    /// retried.
+    TransferFault {
+        /// Human-readable description of the failing transfer.
+        what: String,
+    },
+    /// A transient kernel launch fault injected by the device's
+    /// [`FaultSpec`](crate::FaultSpec): the launch failed and may be retried.
+    KernelFault {
+        /// Human-readable description of the failing launch.
+        what: String,
+    },
+    /// An ECC-style corruption error injected by the device's
+    /// [`FaultSpec`](crate::FaultSpec). The operation's result must be
+    /// discarded and the work retried; repeated ECC errors indicate
+    /// degrading hardware.
+    EccError {
+        /// Human-readable description of the corrupted operation.
+        what: String,
+    },
+    /// The device crossed its [`FaultSpec::lost_after`](crate::FaultSpec)
+    /// threshold and is terminally lost: all in-flight work was aborted and
+    /// every subsequent enqueue, allocation, or synchronize fails with this
+    /// error. Buffer frees remain permitted for cleanup.
+    DeviceLost,
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +84,10 @@ impl fmt::Display for SimError {
             SimError::UnknownEvent { id } => write!(f, "unknown event id {id}"),
             SimError::InvalidAccess { what } => write!(f, "invalid access: {what}"),
             SimError::BufferInUse { what } => write!(f, "buffer in use: {what}"),
+            SimError::TransferFault { what } => write!(f, "transient transfer fault: {what}"),
+            SimError::KernelFault { what } => write!(f, "transient kernel fault: {what}"),
+            SimError::EccError { what } => write!(f, "ecc corruption error: {what}"),
+            SimError::DeviceLost => write!(f, "device lost"),
         }
     }
 }
@@ -77,6 +107,19 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let e = SimError::UnknownStream { id: 3 };
         assert!(e.to_string().contains('3'));
+        let e = SimError::TransferFault {
+            what: "h2d copy enqueue".into(),
+        };
+        assert!(e.to_string().contains("transient transfer fault"));
+        let e = SimError::KernelFault {
+            what: "kernel launch".into(),
+        };
+        assert!(e.to_string().contains("transient kernel fault"));
+        let e = SimError::EccError {
+            what: "kernel launch".into(),
+        };
+        assert!(e.to_string().contains("ecc"));
+        assert_eq!(SimError::DeviceLost.to_string(), "device lost");
     }
 
     #[test]

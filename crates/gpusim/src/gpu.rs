@@ -3,6 +3,7 @@
 
 use crate::engine::Sim;
 use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultSite, FaultSpec, FaultStats};
 use crate::funcexec;
 use crate::kernel::{kernel_time, KernelShape};
 use crate::memory::{DevBufId, DeviceMemory, HostArena, HostBufId, HostBuffer, Payload};
@@ -55,13 +56,38 @@ pub struct Gpu {
     sim: Sim,
     host: HostArena,
     dev: DeviceMemory,
+    faults: FaultPlan,
 }
 
 impl Gpu {
     /// Creates a device for the given testbed. `seed` drives measurement
-    /// noise; equal seeds reproduce identical virtual timings.
+    /// noise; equal seeds reproduce identical virtual timings. No faults
+    /// are injected (equivalent to [`Gpu::with_faults`] with
+    /// [`FaultSpec::none`]).
     pub fn new(spec: TestbedSpec, mode: ExecMode, seed: u64) -> Self {
-        let sim = Sim::new(spec.link, spec.noise, seed);
+        Gpu::with_faults(spec, mode, seed, FaultSpec::none())
+    }
+
+    /// Creates a device with a seeded fault-injection plan attached.
+    ///
+    /// The fault RNG is independent of the timing-noise RNG (driven by
+    /// `seed`), so a spec of [`FaultSpec::none`] reproduces [`Gpu::new`]
+    /// bit-for-bit.
+    pub fn with_faults(spec: TestbedSpec, mode: ExecMode, seed: u64, faults: FaultSpec) -> Self {
+        let mut sim = Sim::new(spec.link, spec.noise, seed);
+        sim.set_degrade(
+            faults
+                .degrade
+                .iter()
+                .map(|w| {
+                    (
+                        (w.start_s.max(0.0) * 1e9).round() as u64,
+                        (w.end_s.max(0.0) * 1e9).round() as u64,
+                        w.factor,
+                    )
+                })
+                .collect(),
+        );
         let dev = DeviceMemory::new(spec.gpu.mem_capacity_bytes);
         Gpu {
             spec,
@@ -69,6 +95,7 @@ impl Gpu {
             sim,
             host: HostArena::default(),
             dev,
+            faults: FaultPlan::new(faults),
         }
     }
 
@@ -85,6 +112,47 @@ impl Gpu {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// The fault-injection spec this device was built with.
+    pub fn fault_spec(&self) -> &FaultSpec {
+        self.faults.spec()
+    }
+
+    /// Counters of the faults injected so far (all zero for a device built
+    /// with [`FaultSpec::none`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// True once the device has crossed its
+    /// [`lost_after`](FaultSpec::lost_after) threshold. A lost device
+    /// rejects every enqueue, allocation, and synchronize with
+    /// [`SimError::DeviceLost`]; frees and host-buffer takes still work so
+    /// callers can clean up.
+    pub fn is_lost(&self) -> bool {
+        self.faults.is_lost()
+    }
+
+    /// Advances the virtual clock by `dt` while no work is in flight — the
+    /// host-side wait primitive behind retry backoff in virtual time.
+    pub fn advance_clock(&mut self, dt: SimTime) {
+        self.sim.advance_by(dt.as_nanos());
+    }
+
+    /// Rolls the fault dice for one enqueue site. On the device-lost
+    /// transition all queued and in-flight work is aborted so the device
+    /// drains cleanly for teardown.
+    fn fault_gate(&mut self, site: FaultSite) -> Result<(), SimError> {
+        match self.faults.inject(site) {
+            None => Ok(()),
+            Some(e) => {
+                if self.faults.is_lost() {
+                    self.sim.abort_all();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Creates a new stream.
@@ -139,8 +207,12 @@ impl Gpu {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::OutOfDeviceMemory`] if capacity is exceeded.
+    /// Returns [`SimError::OutOfDeviceMemory`] if capacity is exceeded, or
+    /// [`SimError::DeviceLost`] on a lost device.
     pub fn alloc_device(&mut self, dtype: Dtype, len: usize) -> Result<DevBufId, SimError> {
+        if self.faults.is_lost() {
+            return Err(SimError::DeviceLost);
+        }
         self.dev.alloc(dtype, len, self.is_functional())
     }
 
@@ -231,6 +303,7 @@ impl Gpu {
     pub fn memcpy_h2d_async(&mut self, stream: StreamId, desc: CopyDesc) -> Result<(), SimError> {
         self.check_stream(stream)?;
         let (bytes, pageable) = self.check_copy(&desc)?;
+        self.fault_gate(FaultSite::H2d)?;
         self.sim.enqueue(
             stream,
             OpKind::H2d {
@@ -251,6 +324,7 @@ impl Gpu {
     pub fn memcpy_d2h_async(&mut self, stream: StreamId, desc: CopyDesc) -> Result<(), SimError> {
         self.check_stream(stream)?;
         let (bytes, pageable) = self.check_copy(&desc)?;
+        self.fault_gate(FaultSite::D2h)?;
         self.sim.enqueue(
             stream,
             OpKind::D2h {
@@ -393,6 +467,7 @@ impl Gpu {
                 what: "functional mode requires kernel arguments".to_owned(),
             });
         }
+        self.fault_gate(FaultSite::Kernel)?;
         let base_secs = kernel_time(&self.spec.gpu, &shape);
         self.sim.enqueue(
             stream,
@@ -445,6 +520,13 @@ impl Gpu {
     ///
     /// Panics if the schedule deadlocks on an event that is never recorded.
     pub fn synchronize(&mut self) -> Result<SimTime, SimError> {
+        if self.faults.is_lost() {
+            // In-flight work was already aborted at the loss transition;
+            // clearing again keeps this idempotent for cleanup callers that
+            // sync (ignoring the error) before freeing buffers.
+            self.sim.abort_all();
+            return Err(SimError::DeviceLost);
+        }
         let completed = self.sim.run_to_idle();
         if self.is_functional() {
             for op in completed {
@@ -783,6 +865,100 @@ mod tests {
             )
             .expect_err("no stream");
         assert!(matches!(err, SimError::UnknownStream { id: 9 }));
+    }
+
+    #[test]
+    fn none_faults_are_bit_identical_to_new() {
+        let run = |gpu: &mut Gpu| {
+            let s = gpu.create_stream();
+            let h = gpu.register_host_ghost(Dtype::F64, 1 << 20, true);
+            let d = gpu.alloc_device(Dtype::F64, 1 << 20).expect("alloc");
+            gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 1 << 20))
+                .expect("h2d");
+            gpu.launch_kernel(
+                s,
+                KernelShape::Gemm {
+                    dtype: Dtype::F64,
+                    m: 512,
+                    n: 512,
+                    k: 512,
+                },
+                None,
+            )
+            .expect("launch");
+            gpu.synchronize().expect("sync").as_nanos()
+        };
+        // Realistic noise exercises the noise RNG alongside the (inactive)
+        // fault plan: the draws must be identical.
+        let mut plain = Gpu::new(testbed_i(), ExecMode::TimingOnly, 9);
+        let mut faulted = Gpu::with_faults(testbed_i(), ExecMode::TimingOnly, 9, FaultSpec::none());
+        assert_eq!(run(&mut plain), run(&mut faulted));
+    }
+
+    #[test]
+    fn injected_faults_surface_and_count() {
+        let spec = FaultSpec {
+            seed: 3,
+            h2d: 1.0,
+            ..FaultSpec::none()
+        };
+        let mut gpu = Gpu::with_faults(quiet(testbed_i()), ExecMode::TimingOnly, 1, spec);
+        let s = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F64, 10, true);
+        let d = gpu.alloc_device(Dtype::F64, 10).expect("alloc");
+        let err = gpu
+            .memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 10))
+            .expect_err("fault");
+        assert!(matches!(err, SimError::TransferFault { .. }));
+        assert_eq!(gpu.fault_stats().h2d_faults, 1);
+        // The failed enqueue left nothing queued: the device is still usable.
+        gpu.synchronize().expect("sync");
+        gpu.free_device(d).expect("free");
+    }
+
+    #[test]
+    fn device_lost_aborts_and_allows_cleanup() {
+        let spec = FaultSpec {
+            seed: 5,
+            kernel: 1.0,
+            lost_after: Some(1),
+            ..FaultSpec::none()
+        };
+        let mut gpu = Gpu::with_faults(quiet(testbed_i()), ExecMode::TimingOnly, 1, spec);
+        let s = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F64, 100, true);
+        let d = gpu.alloc_device(Dtype::F64, 100).expect("alloc");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 100))
+            .expect("h2d enqueues fine");
+        let err = gpu
+            .launch_kernel(
+                s,
+                KernelShape::Axpy {
+                    dtype: Dtype::F64,
+                    n: 100,
+                },
+                None,
+            )
+            .expect_err("lost");
+        assert!(matches!(err, SimError::DeviceLost));
+        assert!(gpu.is_lost());
+        assert!(matches!(gpu.synchronize(), Err(SimError::DeviceLost)));
+        assert!(matches!(
+            gpu.alloc_device(Dtype::F64, 1),
+            Err(SimError::DeviceLost)
+        ));
+        // Cleanup still works: the queued copy was aborted at the loss
+        // transition, so frees no longer see in-flight work.
+        gpu.free_device(d).expect("free after loss");
+        gpu.take_host(h).expect("take host after loss");
+        assert_eq!(gpu.device_mem_used(), 0);
+    }
+
+    #[test]
+    fn advance_clock_moves_virtual_time() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        gpu.advance_clock(SimTime::from_secs_f64(1e-4));
+        assert!((gpu.now().as_secs_f64() - 1e-4).abs() < 1e-12);
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod funcexec;
 mod gpu;
 
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod op;
@@ -57,6 +58,7 @@ pub mod time;
 pub mod trace;
 
 pub use error::SimError;
+pub use fault::{DegradeWindow, FaultSpec, FaultStats};
 pub use gpu::{ExecMode, Gpu};
 pub use kernel::{kernel_time, KernelShape};
 pub use memory::{DevBufId, HostBufId, Payload, SimScalar};

@@ -3,7 +3,11 @@
 //! sanity gate before exporting or aggregating a trace.
 
 use cocopelia_gpusim::{EngineKind, TraceEntry};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Spans of one logical tile op, keyed by its rendered tag plus label,
+/// as `(start_ns, end_ns, op_id)` triples.
+type TileOpSpans<'a> = HashMap<(String, &'a str), Vec<(u64, u64, usize)>>;
 
 /// Checks the structural invariants of a batch of trace entries:
 ///
@@ -12,7 +16,10 @@ use std::collections::HashSet;
 ///    records at dispatch time);
 /// 3. no two entries on the same engine overlap in time — each engine is a
 ///    serial resource;
-/// 4. no op id appears twice — each enqueued op executes exactly once.
+/// 4. no op id appears twice — each enqueued op executes exactly once;
+/// 5. re-issues of the same logical tile op (identical tag and label — a
+///    fault-tolerance retry) never overlap in time: a retry must only be
+///    enqueued after its failed predecessor is out of the pipeline.
 ///
 /// # Errors
 ///
@@ -59,6 +66,28 @@ pub fn check_entries(entries: &[TraceEntry]) -> Result<(), Vec<String>> {
                 problems.push(format!(
                     "{} engine double-booked: op {op1} starts at {s1} before op {op0} ends at {e0}",
                     engine.name()
+                ));
+            }
+        }
+    }
+    let mut by_tile_op: TileOpSpans = HashMap::new();
+    for e in entries {
+        if let Some(tag) = &e.tag {
+            by_tile_op
+                .entry((format!("{tag:?}"), e.label.as_str()))
+                .or_default()
+                .push((e.start.as_nanos(), e.end.as_nanos(), e.op));
+        }
+    }
+    for ((tag, label), mut spans) in by_tile_op {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let (_, e0, op0) = w[0];
+            let (s1, _, op1) = w[1];
+            if s1 < e0 {
+                problems.push(format!(
+                    "overlapping retry of `{label}` ({tag}): op {op1} starts at {s1} \
+                     before op {op0} ends at {e0}"
                 ));
             }
         }
@@ -132,5 +161,54 @@ mod tests {
     fn reversed_span_reported() {
         let e = [entry(0, EngineKind::CopyH2d, 100, 50)];
         assert!(check_entries(&e).is_err());
+    }
+
+    fn tagged(op: usize, engine: EngineKind, start: u64, end: u64, label: &str) -> TraceEntry {
+        TraceEntry {
+            label: label.to_owned(),
+            tag: Some(cocopelia_gpusim::OpTag {
+                routine: "gemm",
+                call: 0,
+                tile: (1, 2),
+                operand: None,
+                get: false,
+                set: false,
+            }),
+            ..entry(op, engine, start, end)
+        }
+    }
+
+    #[test]
+    fn sequential_retries_of_a_tile_op_pass() {
+        let e = [
+            tagged(0, EngineKind::CopyH2d, 0, 100, "get a[1][0]"),
+            tagged(1, EngineKind::CopyH2d, 100, 200, "get a[1][0]"),
+        ];
+        assert!(check_entries(&e).is_ok());
+    }
+
+    #[test]
+    fn overlapping_retries_of_a_tile_op_reported() {
+        // Same tag and label on different engines: engine serialisation
+        // cannot catch this, only the retry invariant can.
+        let e = [
+            tagged(0, EngineKind::CopyH2d, 0, 100, "get a[1][0]"),
+            tagged(1, EngineKind::CopyD2h, 50, 150, "get a[1][0]"),
+        ];
+        let problems = check_entries(&e).expect_err("overlapping retry");
+        assert!(problems.iter().any(|p| p.contains("overlapping retry")));
+    }
+
+    #[test]
+    fn distinct_tile_ops_may_overlap_across_engines() {
+        // Different labels under the same tag: a tile's fetch and kernel
+        // legitimately overlap with ops of other tiles (and untagged
+        // entries never participate in the retry check).
+        let e = [
+            tagged(0, EngineKind::CopyH2d, 0, 100, "get a[1][0]"),
+            tagged(1, EngineKind::Compute, 50, 150, "gemm tile"),
+            entry(2, EngineKind::CopyD2h, 60, 160),
+        ];
+        assert!(check_entries(&e).is_ok());
     }
 }

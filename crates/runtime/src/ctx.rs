@@ -2,6 +2,7 @@
 //! selection with model reuse, and device-residency management.
 
 use crate::error::RuntimeError;
+use crate::fault::RetryPolicy;
 use crate::operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};
 use crate::request::{
     AxpyRequest, DotRequest, GemmRequest, GemvRequest, MatArg, RoutineRequest, VecArg,
@@ -69,6 +70,9 @@ pub struct RoutineReport {
     pub tile_hits: u64,
     /// Tile-buffer fetches that missed the reuse cache.
     pub tile_misses: u64,
+    /// Tile-level operation retries the scheduler performed against
+    /// transient device faults (0 when the device is healthy).
+    pub op_retries: u64,
 }
 
 impl RoutineReport {
@@ -149,6 +153,7 @@ pub struct Cocopelia {
     streams: Option<Streams>,
     cache: HashMap<SelectKey, Selection>,
     obs: Observer,
+    retry: RetryPolicy,
 }
 
 impl Cocopelia {
@@ -161,12 +166,24 @@ impl Cocopelia {
             streams: None,
             cache: HashMap::new(),
             obs: Observer::new(),
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Replaces the tile-selection policy.
     pub fn set_selector(&mut self, selector: TileSelector) {
         self.selector = selector;
+    }
+
+    /// Replaces the tile-level retry/backoff policy applied to transient
+    /// device faults ([`RetryPolicy::none`] disables retrying).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The retry/backoff policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The wrapped device.
@@ -349,7 +366,18 @@ impl Cocopelia {
         let call = self.obs.next_call_id();
         let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = gemm::run(&mut self.gpu, streams, call, alpha, a, b, beta, c, tile)?;
+        let run = gemm::run(
+            &mut self.gpu,
+            streams,
+            call,
+            self.retry,
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+            tile,
+        )?;
         let elapsed = self.gpu.now().saturating_since(t0);
         let (overlap, drift) = self.finish_call(
             "gemm",
@@ -375,6 +403,7 @@ impl Cocopelia {
                 drift,
                 tile_hits: run.tile_hits,
                 tile_misses: run.tile_misses,
+                op_retries: run.retries,
             },
         })
     }
@@ -408,7 +437,7 @@ impl Cocopelia {
         let call = self.obs.next_call_id();
         let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = axpy::run(&mut self.gpu, streams, call, alpha, x, y, tile)?;
+        let run = axpy::run(&mut self.gpu, streams, call, self.retry, alpha, x, y, tile)?;
         let elapsed = self.gpu.now().saturating_since(t0);
         let (overlap, drift) = self.finish_call(
             "axpy",
@@ -434,6 +463,7 @@ impl Cocopelia {
                 drift,
                 tile_hits: run.tile_hits,
                 tile_misses: run.tile_misses,
+                op_retries: run.retries,
             },
         })
     }
@@ -465,7 +495,7 @@ impl Cocopelia {
         let call = self.obs.next_call_id();
         let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = dot::run(&mut self.gpu, streams, call, x, y, tile)?;
+        let run = dot::run(&mut self.gpu, streams, call, self.retry, x, y, tile)?;
         let elapsed = self.gpu.now().saturating_since(t0);
         let (overlap, drift) = self.finish_call(
             "dot",
@@ -491,6 +521,7 @@ impl Cocopelia {
                 drift,
                 tile_hits: run.tile_hits,
                 tile_misses: run.tile_misses,
+                op_retries: run.retries,
             },
         })
     }
@@ -557,7 +588,18 @@ impl Cocopelia {
         let call = self.obs.next_call_id();
         let trace_start = self.gpu.trace().len();
         let t0 = self.gpu.now();
-        let run = gemv::run(&mut self.gpu, streams, call, alpha, a, x, beta, y, tile)?;
+        let run = gemv::run(
+            &mut self.gpu,
+            streams,
+            call,
+            self.retry,
+            alpha,
+            a,
+            x,
+            beta,
+            y,
+            tile,
+        )?;
         let elapsed = self.gpu.now().saturating_since(t0);
         let (overlap, drift) = self.finish_call(
             "gemv",
@@ -583,6 +625,7 @@ impl Cocopelia {
                 drift,
                 tile_hits: run.tile_hits,
                 tile_misses: run.tile_misses,
+                op_retries: run.retries,
             },
         })
     }

@@ -34,6 +34,49 @@ pub enum RuntimeError {
     },
 }
 
+/// Coarse recoverability classification of a [`RuntimeError`], the single
+/// source of truth for retry/quarantine decisions in the schedulers and the
+/// serving executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Safe to retry as-is (possibly after reclaiming device memory):
+    /// out-of-memory, injected transfer faults, kernel launch faults.
+    Transient,
+    /// The operation must be redone and the hardware is suspect (ECC-style
+    /// corruption): retry, preferably counting toward quarantine faster.
+    Degraded,
+    /// Retrying cannot help: programming errors (dimension mismatches,
+    /// stale ids, missing tables) and terminal device loss.
+    Fatal,
+}
+
+impl FaultClass {
+    /// Whether a retry of the failed operation can ever succeed.
+    pub fn retryable(self) -> bool {
+        !matches!(self, FaultClass::Fatal)
+    }
+}
+
+impl RuntimeError {
+    /// Classifies this error for fault-tolerance purposes.
+    ///
+    /// Unknown future [`SimError`] variants (the enum is `#[non_exhaustive]`)
+    /// classify as [`FaultClass::Fatal`]: an unrecognised failure must not be
+    /// silently retried.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            RuntimeError::Sim(e) => match e {
+                SimError::OutOfDeviceMemory { .. }
+                | SimError::TransferFault { .. }
+                | SimError::KernelFault { .. } => FaultClass::Transient,
+                SimError::EccError { .. } => FaultClass::Degraded,
+                _ => FaultClass::Fatal,
+            },
+            _ => FaultClass::Fatal,
+        }
+    }
+}
+
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -151,6 +194,43 @@ mod tests {
         assert!(e.source().is_some());
         let e = RuntimeError::DimensionMismatch { what: "x".into() };
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn fault_classes_cover_the_taxonomy() {
+        let class = |e: SimError| RuntimeError::Sim(e).fault_class();
+        assert_eq!(
+            class(SimError::OutOfDeviceMemory {
+                requested: 1,
+                available: 0
+            }),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            class(SimError::TransferFault { what: "x".into() }),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            class(SimError::KernelFault { what: "x".into() }),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            class(SimError::EccError { what: "x".into() }),
+            FaultClass::Degraded
+        );
+        assert_eq!(class(SimError::DeviceLost), FaultClass::Fatal);
+        assert_eq!(
+            class(SimError::UnknownBuffer { what: "x".into() }),
+            FaultClass::Fatal
+        );
+        assert_eq!(
+            RuntimeError::DimensionMismatch { what: "x".into() }.fault_class(),
+            FaultClass::Fatal
+        );
+        assert_eq!(RuntimeError::NotFunctional.fault_class(), FaultClass::Fatal);
+        assert!(FaultClass::Transient.retryable());
+        assert!(FaultClass::Degraded.retryable());
+        assert!(!FaultClass::Fatal.retryable());
     }
 
     #[test]

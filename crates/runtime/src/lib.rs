@@ -23,6 +23,7 @@
 
 mod ctx;
 mod error;
+mod fault;
 mod operand;
 mod request;
 mod scheduler;
@@ -31,7 +32,8 @@ pub mod multigpu;
 pub mod serve;
 
 pub use ctx::{Cocopelia, DotResult, GemmResult, RoutineReport, VecResult};
-pub use error::{RequestError, RequestId, RuntimeError};
+pub use error::{FaultClass, RequestError, RequestId, RuntimeError};
+pub use fault::RetryPolicy;
 pub use multigpu::{MultiGemmResult, MultiGpu};
 pub use operand::{DeviceMatrix, DeviceVector, MatOperand, TileChoice, VecOperand};
 pub use request::{

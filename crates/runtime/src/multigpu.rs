@@ -20,7 +20,7 @@ use crate::error::RuntimeError;
 use crate::operand::{MatOperand, TileChoice};
 use crate::request::GemmRequest;
 use cocopelia_core::profile::SystemProfile;
-use cocopelia_gpusim::{ExecMode, Gpu, SimScalar, SimTime, TestbedSpec};
+use cocopelia_gpusim::{ExecMode, FaultSpec, Gpu, SimScalar, SimTime, TestbedSpec};
 use cocopelia_hostblas::{tiling::split, Matrix};
 
 /// A homogeneous group of simulated devices driven by one CoCoPeLia profile.
@@ -63,11 +63,32 @@ impl MultiGpu {
         seed: u64,
         profile: SystemProfile,
     ) -> Self {
+        Self::with_faults(testbed, count, mode, seed, profile, &FaultSpec::none())
+    }
+
+    /// Like [`MultiGpu::new`], but every device carries the given fault
+    /// plan, re-seeded per device (`faults.seed + i`) so the devices fail
+    /// independently. [`FaultSpec::none`] reproduces [`MultiGpu::new`]
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn with_faults(
+        testbed: &TestbedSpec,
+        count: usize,
+        mode: ExecMode,
+        seed: u64,
+        profile: SystemProfile,
+        faults: &FaultSpec,
+    ) -> Self {
         assert!(count > 0, "need at least one device");
         let devices = (0..count)
             .map(|i| {
+                let mut spec = faults.clone();
+                spec.seed = faults.seed.wrapping_add(i as u64);
                 Cocopelia::new(
-                    Gpu::new(testbed.clone(), mode, seed.wrapping_add(i as u64)),
+                    Gpu::with_faults(testbed.clone(), mode, seed.wrapping_add(i as u64), spec),
                     profile.clone(),
                 )
             })

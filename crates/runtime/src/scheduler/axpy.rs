@@ -3,6 +3,7 @@
 
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
+use crate::fault::RetryPolicy;
 use crate::operand::VecOperand;
 use cocopelia_gpusim::{DevVecRef, Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar};
 use cocopelia_hostblas::tiling::split;
@@ -14,12 +15,16 @@ pub(crate) struct AxpyRun<T> {
     pub subkernels: usize,
     pub tile_hits: u64,
     pub tile_misses: u64,
+    /// Transient-fault retries performed by the tile fetcher.
+    pub retries: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
     call: u64,
+    policy: RetryPolicy,
     alpha: f64,
     x: VecOperand<T>,
     y: VecOperand<T>,
@@ -42,7 +47,7 @@ pub(crate) fn run<T: SimScalar>(
     let store_x = OperandStore::from_vec(gpu, x);
     let store_y = OperandStore::from_vec(gpu, y);
     let one = cocopelia_hostblas::tiling::TileRange { start: 0, len: 1 };
-    let mut fetcher = TileFetcher::default();
+    let mut fetcher = TileFetcher::with_policy(policy);
     let mut subkernels = 0usize;
 
     for (i, &t) in split(n, tile).iter().enumerate() {
@@ -54,7 +59,8 @@ pub(crate) fn run<T: SimScalar>(
             gpu.wait_event(streams.exec, ev)?;
         }
         gpu.set_op_tag(tag(i, None, false, false));
-        gpu.launch_kernel(
+        fetcher.launch(
+            gpu,
             streams.exec,
             KernelShape::Axpy {
                 dtype: T::DTYPE,
@@ -84,6 +90,7 @@ pub(crate) fn run<T: SimScalar>(
 
     gpu.synchronize()?;
     let (tile_hits, tile_misses) = fetcher.hit_miss();
+    let retries = fetcher.retries();
     fetcher.release(gpu)?;
     let y_data = super::take_host_data::<T>(gpu, store_y)?;
     if let Some(h) = store_x.host_id() {
@@ -94,6 +101,7 @@ pub(crate) fn run<T: SimScalar>(
         subkernels,
         tile_hits,
         tile_misses,
+        retries,
     })
 }
 
@@ -126,6 +134,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             2.5,
             VecOperand::Host(x),
             VecOperand::Host(y),
@@ -146,6 +155,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             VecOperand::HostGhost { len: n },
             VecOperand::HostGhost { len: n },
@@ -172,6 +182,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             VecOperand::HostGhost { len: 10 },
             VecOperand::HostGhost { len: 11 },
@@ -192,6 +203,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             3.0,
             VecOperand::Host(x),
             VecOperand::Host(y),

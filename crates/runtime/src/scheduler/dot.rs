@@ -8,6 +8,7 @@
 
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
+use crate::fault::RetryPolicy;
 use crate::operand::VecOperand;
 use cocopelia_gpusim::{
     CopyDesc, DevVecRef, Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar,
@@ -22,12 +23,15 @@ pub(crate) struct DotRun {
     pub subkernels: usize,
     pub tile_hits: u64,
     pub tile_misses: u64,
+    /// Transient-fault retries performed by the tile fetcher.
+    pub retries: u64,
 }
 
 pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
     call: u64,
+    policy: RetryPolicy,
     x: VecOperand<T>,
     y: VecOperand<T>,
     tile: usize,
@@ -51,7 +55,7 @@ pub(crate) fn run<T: SimScalar>(
     let store_x = OperandStore::from_vec(gpu, x);
     let store_y = OperandStore::from_vec(gpu, y);
     let one = TileRange { start: 0, len: 1 };
-    let mut fetcher = TileFetcher::default();
+    let mut fetcher = TileFetcher::with_policy(policy);
 
     // One partial-result slot per chunk, drained in a single transfer.
     let partials_dev = gpu.alloc_device(T::DTYPE, num_tiles)?;
@@ -67,7 +71,8 @@ pub(crate) fn run<T: SimScalar>(
             gpu.wait_event(streams.exec, ev)?;
         }
         gpu.set_op_tag(tag(i, None, false, false));
-        gpu.launch_kernel(
+        fetcher.launch(
+            gpu,
             streams.exec,
             KernelShape::Dot {
                 dtype: T::DTYPE,
@@ -93,7 +98,8 @@ pub(crate) fn run<T: SimScalar>(
     let done = gpu.record_event(streams.exec)?;
     gpu.wait_event(streams.d2h, done)?;
     gpu.set_op_tag(tag(0, Some(OperandRole::Partials), false, true));
-    gpu.memcpy_d2h_async(
+    fetcher.copy_d2h(
+        gpu,
         streams.d2h,
         CopyDesc::contiguous(partials_host, partials_dev, num_tiles),
     )?;
@@ -101,6 +107,7 @@ pub(crate) fn run<T: SimScalar>(
 
     gpu.synchronize()?;
     let (tile_hits, tile_misses) = fetcher.hit_miss();
+    let retries = fetcher.retries();
     fetcher.release(gpu)?;
     gpu.free_device(partials_dev)?;
     let partials = gpu.take_host(partials_host)?;
@@ -120,6 +127,7 @@ pub(crate) fn run<T: SimScalar>(
         subkernels,
         tile_hits,
         tile_misses,
+        retries,
     })
 }
 
@@ -152,6 +160,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             VecOperand::Host(x),
             VecOperand::Host(y),
             256,
@@ -172,6 +181,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             VecOperand::HostGhost { len: n },
             VecOperand::HostGhost { len: n },
             1 << 20,
@@ -200,6 +210,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             VecOperand::Host(x.clone()),
             VecOperand::Host(x),
             16,
@@ -217,6 +228,7 @@ mod tests {
                 &mut gpu,
                 streams,
                 0,
+                RetryPolicy::default(),
                 VecOperand::HostGhost { len: 4 },
                 VecOperand::HostGhost { len: 5 },
                 2

@@ -9,6 +9,7 @@
 
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
+use crate::fault::RetryPolicy;
 use crate::operand::MatOperand;
 use cocopelia_gpusim::{Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar};
 use cocopelia_hostblas::tiling::split;
@@ -22,6 +23,8 @@ pub(crate) struct GemmRun<T> {
     pub subkernels: usize,
     pub tile_hits: u64,
     pub tile_misses: u64,
+    /// Transient-fault retries performed by the tile fetcher.
+    pub retries: u64,
 }
 
 /// Validates dimensions and returns `(m, n, k)`.
@@ -50,6 +53,7 @@ pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
     call: u64,
+    policy: RetryPolicy,
     alpha: f64,
     a: MatOperand<T>,
     b: MatOperand<T>,
@@ -73,7 +77,7 @@ pub(crate) fn run<T: SimScalar>(
     let row_tiles = split(m, tile);
     let col_tiles = split(n, tile);
     let depth_tiles = split(k, tile);
-    let mut fetcher = TileFetcher::default();
+    let mut fetcher = TileFetcher::with_policy(policy);
     let fetch_c = beta != 0.0;
     let mut subkernels = 0usize;
 
@@ -99,7 +103,8 @@ pub(crate) fn run<T: SimScalar>(
                 }
                 let beta_p = if p == 0 { beta } else { 1.0 };
                 gpu.set_op_tag(tag((i, j), None, false, false));
-                gpu.launch_kernel(
+                fetcher.launch(
+                    gpu,
                     streams.exec,
                     KernelShape::Gemm {
                         dtype: T::DTYPE,
@@ -130,6 +135,7 @@ pub(crate) fn run<T: SimScalar>(
 
     gpu.synchronize()?;
     let (tile_hits, tile_misses) = fetcher.hit_miss();
+    let retries = fetcher.retries();
     fetcher.release(gpu)?;
     let c_data = super::take_host_data::<T>(gpu, store_c)?;
     // Release the A/B staging registrations too (drop host copies).
@@ -143,6 +149,7 @@ pub(crate) fn run<T: SimScalar>(
         subkernels,
         tile_hits,
         tile_misses,
+        retries,
     })
 }
 
@@ -200,6 +207,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.5,
             MatOperand::Host(a),
             MatOperand::Host(b),
@@ -232,6 +240,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             2.0,
             MatOperand::Host(a),
             MatOperand::Host(b),
@@ -258,6 +267,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             MatOperand::HostGhost { rows: m, cols: k },
             MatOperand::HostGhost { rows: k, cols: n },
@@ -311,6 +321,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             MatOperand::Device(crate::operand::DeviceMatrix {
                 buf: da,
@@ -344,6 +355,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             MatOperand::HostGhost { rows: 4, cols: 5 },
             MatOperand::HostGhost { rows: 6, cols: 4 },
@@ -364,6 +376,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             MatOperand::HostGhost {
                 rows: 2048,

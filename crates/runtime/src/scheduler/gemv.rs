@@ -4,6 +4,7 @@
 
 use super::{OperandStore, Streams, TileFetcher};
 use crate::error::RuntimeError;
+use crate::fault::RetryPolicy;
 use crate::operand::{MatOperand, VecOperand};
 use cocopelia_gpusim::{DevVecRef, Gpu, KernelArgs, KernelShape, OpTag, OperandRole, SimScalar};
 use cocopelia_hostblas::tiling::{split, TileRange};
@@ -15,6 +16,8 @@ pub(crate) struct GemvRun<T> {
     pub subkernels: usize,
     pub tile_hits: u64,
     pub tile_misses: u64,
+    /// Transient-fault retries performed by the tile fetcher.
+    pub retries: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -22,6 +25,7 @@ pub(crate) fn run<T: SimScalar>(
     gpu: &mut Gpu,
     streams: Streams,
     call: u64,
+    policy: RetryPolicy,
     alpha: f64,
     a: MatOperand<T>,
     x: VecOperand<T>,
@@ -53,7 +57,7 @@ pub(crate) fn run<T: SimScalar>(
     let one = TileRange { start: 0, len: 1 };
     let row_tiles = split(m, tile);
     let col_tiles = split(n, tile);
-    let mut fetcher = TileFetcher::default();
+    let mut fetcher = TileFetcher::with_policy(policy);
     let fetch_y = beta != 0.0;
     let mut subkernels = 0usize;
 
@@ -76,7 +80,8 @@ pub(crate) fn run<T: SimScalar>(
             }
             let beta_j = if j == 0 { beta } else { 1.0 };
             gpu.set_op_tag(tag((i, j), None, false, false));
-            gpu.launch_kernel(
+            fetcher.launch(
+                gpu,
                 streams.exec,
                 KernelShape::Gemv {
                     dtype: T::DTYPE,
@@ -110,6 +115,7 @@ pub(crate) fn run<T: SimScalar>(
 
     gpu.synchronize()?;
     let (tile_hits, tile_misses) = fetcher.hit_miss();
+    let retries = fetcher.retries();
     fetcher.release(gpu)?;
     let y_data = super::take_host_data::<T>(gpu, store_y)?;
     for s in [store_a, store_x] {
@@ -122,6 +128,7 @@ pub(crate) fn run<T: SimScalar>(
         subkernels,
         tile_hits,
         tile_misses,
+        retries,
     })
 }
 
@@ -157,6 +164,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.5,
             MatOperand::Host(a),
             VecOperand::Host(x),
@@ -182,6 +190,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             MatOperand::HostGhost { rows: m, cols: n },
             VecOperand::HostGhost { len: n },
@@ -205,6 +214,7 @@ mod tests {
             &mut gpu,
             streams,
             0,
+            RetryPolicy::default(),
             1.0,
             MatOperand::HostGhost { rows: 4, cols: 4 },
             VecOperand::HostGhost { len: 5 },

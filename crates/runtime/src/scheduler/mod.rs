@@ -17,9 +17,11 @@ pub(crate) mod gemm;
 pub(crate) mod gemv;
 
 use crate::error::RuntimeError;
+use crate::fault::RetryPolicy;
 use crate::operand::{MatOperand, VecOperand};
 use cocopelia_gpusim::{
-    CopyDesc, DevBufId, DevMatRef, EventId, Gpu, HostBufId, Region2d, SimScalar, StreamId,
+    CopyDesc, DevBufId, DevMatRef, EventId, Gpu, HostBufId, KernelArgs, KernelShape, Region2d,
+    SimError, SimScalar, SimTime, StreamId,
 };
 use cocopelia_hostblas::tiling::TileRange;
 use std::collections::HashMap;
@@ -114,9 +116,77 @@ pub(crate) struct TileFetcher {
     hits: u64,
     /// Requests that allocated and (possibly) fetched a fresh tile.
     misses: u64,
+    /// Retry/backoff policy for transient enqueue faults.
+    policy: RetryPolicy,
+    /// Transient-fault retries performed so far in this call.
+    retries: u64,
 }
 
 impl TileFetcher {
+    /// Creates a fetcher with an explicit retry policy (the default policy
+    /// is [`RetryPolicy::default`]).
+    pub(crate) fn with_policy(policy: RetryPolicy) -> Self {
+        TileFetcher {
+            policy,
+            ..TileFetcher::default()
+        }
+    }
+
+    /// Transient-fault retries performed so far in this call.
+    pub(crate) fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Runs an enqueue-level device call, retrying transient faults with the
+    /// policy's capped exponential backoff. Backoff waits advance the
+    /// device's virtual clock, so retry latency shows up in timing results
+    /// (and delays everything enqueued afterwards, as a host-side sleep
+    /// would). Out-of-memory never reaches this helper — allocations are not
+    /// wrapped, because recovering from OOM requires an executor-level
+    /// reclaim, not a blind retry.
+    fn retry_sim<R>(
+        &mut self,
+        gpu: &mut Gpu,
+        mut f: impl FnMut(&mut Gpu) -> Result<R, SimError>,
+    ) -> Result<R, RuntimeError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match f(gpu) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let err = RuntimeError::Sim(e);
+                    if !err.fault_class().retryable() || attempt + 1 >= self.policy.max_attempts {
+                        return Err(err);
+                    }
+                    gpu.advance_clock(SimTime::from_secs_f64(self.policy.backoff_secs(attempt)));
+                    attempt += 1;
+                    self.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Launches a kernel with transient-fault retry.
+    pub(crate) fn launch(
+        &mut self,
+        gpu: &mut Gpu,
+        stream: StreamId,
+        shape: KernelShape,
+        args: Option<KernelArgs>,
+    ) -> Result<(), RuntimeError> {
+        self.retry_sim(gpu, |g| g.launch_kernel(stream, shape, args))
+    }
+
+    /// Enqueues a raw d2h copy with transient-fault retry (used for
+    /// partial-result drains that bypass the tile write-back path).
+    pub(crate) fn copy_d2h(
+        &mut self,
+        gpu: &mut Gpu,
+        stream: StreamId,
+        desc: CopyDesc,
+    ) -> Result<(), RuntimeError> {
+        self.retry_sim(gpu, |g| g.memcpy_d2h_async(stream, desc))
+    }
     /// Returns a device reference for tile `(ri, ci)` of operand `op_idx`.
     ///
     /// `fetch` controls whether host data is actually copied (false for
@@ -150,25 +220,23 @@ impl TileFetcher {
                 let buf = gpu.alloc_device(T::DTYPE, rr.len * cr.len)?;
                 self.allocated.push(buf);
                 let ready = if fetch {
-                    gpu.memcpy_h2d_async(
-                        h2d,
-                        CopyDesc {
-                            host,
-                            host_region: Region2d {
-                                offset: rr.start + cr.start * rows,
-                                ld: rows,
-                                rows: rr.len,
-                                cols: cr.len,
-                            },
-                            dev: buf,
-                            dev_region: Region2d {
-                                offset: 0,
-                                ld: rr.len,
-                                rows: rr.len,
-                                cols: cr.len,
-                            },
+                    let desc = CopyDesc {
+                        host,
+                        host_region: Region2d {
+                            offset: rr.start + cr.start * rows,
+                            ld: rows,
+                            rows: rr.len,
+                            cols: cr.len,
                         },
-                    )?;
+                        dev: buf,
+                        dev_region: Region2d {
+                            offset: 0,
+                            ld: rr.len,
+                            rows: rr.len,
+                            cols: cr.len,
+                        },
+                    };
+                    self.retry_sim(gpu, |g| g.memcpy_h2d_async(h2d, desc))?;
                     Some(gpu.record_event(h2d)?)
                 } else {
                     None
@@ -190,7 +258,7 @@ impl TileFetcher {
     /// Writes a (host-operand) tile back to its host region on the d2h
     /// stream. No-op for device-resident stores.
     pub(crate) fn write_back(
-        &self,
+        &mut self,
         gpu: &mut Gpu,
         d2h: StreamId,
         store: OperandStore,
@@ -201,7 +269,8 @@ impl TileFetcher {
         let OperandStore::Host { host, rows } = store else {
             return Ok(());
         };
-        gpu.memcpy_d2h_async(
+        self.copy_d2h(
+            gpu,
             d2h,
             CopyDesc {
                 host,
@@ -219,8 +288,7 @@ impl TileFetcher {
                     cols: cr.len,
                 },
             },
-        )?;
-        Ok(())
+        )
     }
 
     /// Frees every tile buffer this fetcher allocated. Call after

@@ -1,13 +1,13 @@
 //! The queued request executor: admission, dispatch, residency, retry.
 
 use crate::ctx::{Cocopelia, RoutineReport};
-use crate::error::{RequestError, RequestId, RuntimeError};
+use crate::error::{FaultClass, RequestError, RequestId, RuntimeError};
 use crate::multigpu::MultiGpu;
 use crate::operand::{MatOperand, VecOperand};
 use crate::request::{MatArg, RoutineRequest, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
 use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
-use cocopelia_obs::Registry;
+use cocopelia_obs::{OverlapStats, Registry};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt::Write as _;
 
@@ -23,9 +23,23 @@ pub struct ExecutorConfig {
     /// Admission ceiling: a request whose worst-case footprint exceeds
     /// this fraction of device memory is rejected at submission.
     pub admission_frac: f64,
-    /// Retry a request once after a transient device failure
-    /// (out-of-memory), reclaiming the device in between.
+    /// Retry requests after transient device failures (out-of-memory,
+    /// injected faults), reclaiming the device in between. When false,
+    /// [`max_retries`](ExecutorConfig::max_retries) is ignored and every
+    /// fault is terminal for its request.
     pub retry_transient: bool,
+    /// Request-level retry budget: how many times one request may be
+    /// re-attempted (on the same device after reclaim, or re-dispatched to
+    /// a healthy device after a quarantine) before it fails.
+    pub max_retries: u32,
+    /// Consecutive faults on one device before the executor quarantines
+    /// it: the device stops receiving work and its residency cache is
+    /// invalidated.
+    pub quarantine_after: u32,
+    /// Host-BLAS throughput (GFLOP/s) assumed for graceful degradation:
+    /// when every device in the pool is quarantined, requests complete on
+    /// the host at this rate instead of failing.
+    pub host_gflops: f64,
 }
 
 impl Default for ExecutorConfig {
@@ -34,6 +48,9 @@ impl Default for ExecutorConfig {
             residency_frac: 0.5,
             admission_frac: 0.9,
             retry_transient: true,
+            max_retries: 3,
+            quarantine_after: 2,
+            host_gflops: 50.0,
         }
     }
 }
@@ -73,8 +90,12 @@ pub struct RequestOutcome {
     pub device: Option<usize>,
     /// How the request terminated.
     pub status: RequestStatus,
-    /// True when the request was retried after a transient failure.
-    pub retried: bool,
+    /// Times the request was re-attempted after a fault (0 on a clean
+    /// first run).
+    pub retries: u32,
+    /// True when the request completed on the host because every device
+    /// in the pool was quarantined (graceful degradation).
+    pub host_fallback: bool,
 }
 
 impl RequestOutcome {
@@ -99,6 +120,8 @@ pub struct ServeReport {
     pub per_device_busy: Vec<SimTime>,
     /// Useful floating-point operations of completed requests.
     pub total_flops: f64,
+    /// Devices quarantined by the end of the run, in index order.
+    pub quarantined: Vec<usize>,
     /// Snapshot of the executor's metrics registry after the run.
     pub metrics: Registry,
 }
@@ -129,6 +152,11 @@ impl ServeReport {
         self.count(|s| matches!(s, RequestStatus::Failed(_)))
     }
 
+    /// Requests that completed on the host after pool-wide quarantine.
+    pub fn host_fallbacks(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.host_fallback).count()
+    }
+
     /// Aggregate throughput of completed work in GFLOP/s of makespan.
     pub fn throughput_gflops(&self) -> f64 {
         let secs = self.makespan.as_secs_f64();
@@ -155,9 +183,14 @@ impl ServeReport {
         for o in &self.outcomes {
             let dev = match o.device {
                 Some(d) => format!("dev{d}"),
+                None if o.host_fallback => "host".to_owned(),
                 None => "-".to_owned(),
             };
-            let retried = if o.retried { " (retried)" } else { "" };
+            let retried = if o.retries > 0 {
+                format!(" (retries={})", o.retries)
+            } else {
+                String::new()
+            };
             match &o.status {
                 RequestStatus::Completed(r) => {
                     let _ = writeln!(
@@ -220,6 +253,15 @@ impl ServeReport {
             self.throughput_gflops(),
             self.occupancy() * 1e2,
         );
+        if !self.quarantined.is_empty() || self.host_fallbacks() > 0 {
+            let devs: Vec<String> = self.quarantined.iter().map(|d| format!("dev{d}")).collect();
+            let _ = writeln!(
+                out,
+                "quarantined [{}] | host fallbacks {}",
+                devs.join(", "),
+                self.host_fallbacks(),
+            );
+        }
         out
     }
 }
@@ -243,6 +285,10 @@ pub struct Executor {
     outcomes: Vec<RequestOutcome>,
     metrics: Registry,
     next_id: u64,
+    /// Devices removed from dispatch after repeated faults or loss.
+    quarantined: Vec<bool>,
+    /// Consecutive faults per device; reset by any successful request.
+    fault_streak: Vec<u32>,
 }
 
 impl Executor {
@@ -257,6 +303,7 @@ impl Executor {
                 ResidencyCache::new((cap * cfg.residency_frac.clamp(0.0, 1.0)) as usize)
             })
             .collect();
+        let count = pool.device_count();
         Executor {
             pool,
             residency,
@@ -265,6 +312,8 @@ impl Executor {
             outcomes: Vec::new(),
             metrics: Registry::new(),
             next_id: 0,
+            quarantined: vec![false; count],
+            fault_streak: vec![0; count],
         }
     }
 
@@ -295,6 +344,15 @@ impl Executor {
     /// Requests waiting for dispatch.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Devices currently quarantined, in index order.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &q)| q.then_some(i))
+            .collect()
     }
 
     /// Submits a request, returning its id. Admission control runs here: a
@@ -333,7 +391,8 @@ impl Executor {
                         self.cfg.admission_frac * 1e2
                     ),
                 },
-                retried: false,
+                retries: 0,
+                host_fallback: false,
             });
             return id;
         }
@@ -341,17 +400,21 @@ impl Executor {
         id
     }
 
-    /// The device that pulls `req`: lowest estimated ready time — virtual
-    /// clock plus the ideal h2d time of the shared operands the device is
-    /// missing — then lowest index. Residency affinity is thus *bounded*:
-    /// a device holding the operands is preferred only while its clock
-    /// lead over an idle peer stays below the re-upload cost, so
-    /// high-reuse traces still spread across the pool.
-    fn choose_device(&self, req: &RoutineRequest) -> usize {
+    /// The healthy device that pulls `req`: lowest estimated ready time —
+    /// virtual clock plus the ideal h2d time of the shared operands the
+    /// device is missing — then lowest index. Residency affinity is thus
+    /// *bounded*: a device holding the operands is preferred only while
+    /// its clock lead over an idle peer stays below the re-upload cost, so
+    /// high-reuse traces still spread across the pool. Quarantined devices
+    /// never pull work; `None` means the whole pool is quarantined.
+    fn choose_device(&self, req: &RoutineRequest) -> Option<usize> {
         let shared = req.shared_footprints();
-        let mut best = 0usize;
+        let mut best: Option<usize> = None;
         let mut best_cost = f64::INFINITY;
         for i in 0..self.pool.device_count() {
+            if self.quarantined[i] {
+                continue;
+            }
             let gpu = self.pool.devices()[i].gpu();
             let h2d = gpu.spec().link.h2d;
             let upload: f64 = shared
@@ -361,7 +424,7 @@ impl Executor {
                 .sum();
             let cost = gpu.now().as_secs_f64() + upload;
             if cost < best_cost {
-                best = i;
+                best = Some(i);
                 best_cost = cost;
             }
         }
@@ -378,8 +441,7 @@ impl Executor {
                 &QUEUE_DEPTH_BOUNDS,
                 (self.queue.len() + 1) as f64,
             );
-            let d = self.choose_device(&req);
-            let outcome = self.dispatch(id, d, req);
+            let outcome = self.dispatch(id, req);
             match &outcome.status {
                 RequestStatus::Completed(_) => {
                     self.metrics.counter_add("serve_completed_total", 1);
@@ -417,6 +479,7 @@ impl Executor {
             makespan,
             per_device_busy,
             total_flops,
+            quarantined: self.quarantined(),
             metrics: Registry::new(),
         };
         self.metrics
@@ -431,58 +494,166 @@ impl Executor {
         }
     }
 
-    /// Runs one admitted request on device `d` through to a terminal
-    /// status, retrying once on a transient failure.
-    fn dispatch(&mut self, id: RequestId, d: usize, req: RoutineRequest) -> RequestOutcome {
+    /// Runs one admitted request through to a terminal status: dispatch to
+    /// the best healthy device, retry with device reclaim on retryable
+    /// faults ([`RuntimeError::fault_class`]), quarantine devices that
+    /// fault repeatedly or are lost (re-dispatching the request to a
+    /// healthy peer), and degrade gracefully to host BLAS when no healthy
+    /// device remains.
+    fn dispatch(&mut self, id: RequestId, req: RoutineRequest) -> RequestOutcome {
         let routine = req.routine();
         let deadline = req.deadline();
-        let pre_dev: BTreeSet<DevBufId> = self.pool.devices()[d]
-            .gpu()
-            .live_device_buffers()
-            .into_iter()
-            .collect();
-        let pre_host: BTreeSet<HostBufId> = self.pool.devices()[d]
-            .gpu()
-            .live_host_buffers()
-            .into_iter()
-            .collect();
-        let mut retried = false;
-        let mut result = self.execute_once(d, req.clone());
-        if let Err(e) = &result {
-            let transient = matches!(e, RuntimeError::Sim(SimError::OutOfDeviceMemory { .. }));
-            if transient && self.cfg.retry_transient {
-                // Only a retry justifies the scorched-earth reclaim that
-                // evicts the whole residency cache to make room.
-                self.reclaim(d, &pre_dev, &pre_host);
-                retried = true;
-                self.metrics.counter_add("serve_retries_total", 1);
-                result = self.execute_once(d, req);
-                if result.is_err() {
-                    self.release_leaked(d, &pre_dev, &pre_host);
-                }
-            } else {
-                // No retry will run: free only what the failed attempt
-                // leaked and keep warm operands for later requests.
-                self.release_leaked(d, &pre_dev, &pre_host);
+        let budget = if self.cfg.retry_transient {
+            self.cfg.max_retries
+        } else {
+            0
+        };
+        let mut retries: u32 = 0;
+        let mut host_fallback = false;
+        let mut device: Option<usize> = None;
+        let result = loop {
+            let Some(d) = self.choose_device(&req) else {
+                // Graceful degradation: the whole pool is quarantined, so
+                // the request completes on the host instead of failing.
+                host_fallback = true;
+                device = None;
+                self.metrics.counter_add("fault_host_fallback_total", 1);
+                break Ok(self.execute_host(&req));
+            };
+            if device.is_some_and(|prev| self.quarantined[prev]) {
+                // The previous attempt's device was quarantined under the
+                // request; it is now re-dispatched to a healthy peer.
+                self.metrics.counter_add("quarantine_redispatch_total", 1);
             }
-        }
+            device = Some(d);
+            let pre_dev: BTreeSet<DevBufId> = self.pool.devices()[d]
+                .gpu()
+                .live_device_buffers()
+                .into_iter()
+                .collect();
+            let pre_host: BTreeSet<HostBufId> = self.pool.devices()[d]
+                .gpu()
+                .live_host_buffers()
+                .into_iter()
+                .collect();
+            match self.execute_once(d, req.clone()) {
+                Ok(report) => {
+                    self.fault_streak[d] = 0;
+                    break Ok(report);
+                }
+                Err(e) => {
+                    let class = e.fault_class();
+                    let name = match class {
+                        FaultClass::Transient => "fault_transient_total",
+                        FaultClass::Degraded => "fault_degraded_total",
+                        FaultClass::Fatal => "fault_fatal_total",
+                    };
+                    self.metrics.counter_add(name, 1);
+                    if matches!(e, RuntimeError::Sim(SimError::DeviceLost)) {
+                        // The device is gone but the request is innocent:
+                        // quarantine the device and re-dispatch.
+                        self.quarantine(d);
+                        if retries >= budget {
+                            break Err(e);
+                        }
+                    } else if class.retryable() {
+                        self.fault_streak[d] += 1;
+                        if self.fault_streak[d] >= self.cfg.quarantine_after {
+                            self.quarantine(d);
+                        } else if retries < budget {
+                            // Only a retry justifies the scorched-earth
+                            // reclaim that evicts the whole residency
+                            // cache to make room.
+                            self.reclaim(d, &pre_dev, &pre_host);
+                        } else {
+                            // No retry will run: free only what the failed
+                            // attempt leaked and keep warm operands for
+                            // later requests.
+                            self.release_leaked(d, &pre_dev, &pre_host);
+                        }
+                        if retries >= budget {
+                            break Err(e);
+                        }
+                    } else {
+                        // Programming errors never improve on retry.
+                        self.release_leaked(d, &pre_dev, &pre_host);
+                        break Err(e);
+                    }
+                    retries += 1;
+                    self.metrics.counter_add("retry_attempts_total", 1);
+                    self.metrics.counter_add("serve_retries_total", 1);
+                }
+            }
+        };
         let status = match result {
-            Ok(report) => match deadline {
-                Some(dl) if report.elapsed.as_secs_f64() > dl => RequestStatus::TimedOut {
-                    deadline: dl,
-                    elapsed: report.elapsed.as_secs_f64(),
-                    report: Box::new(report),
-                },
-                _ => RequestStatus::Completed(report),
-            },
+            Ok(report) => {
+                self.metrics
+                    .counter_add("retry_tile_ops_total", report.op_retries);
+                match deadline {
+                    Some(dl) if report.elapsed.as_secs_f64() > dl => RequestStatus::TimedOut {
+                        deadline: dl,
+                        elapsed: report.elapsed.as_secs_f64(),
+                        report: Box::new(report),
+                    },
+                    _ => RequestStatus::Completed(report),
+                }
+            }
             Err(e) => RequestStatus::Failed(RequestError::new(id, routine, e)),
         };
         RequestOutcome {
             id,
             routine,
-            device: Some(d),
+            device,
             status,
-            retried,
+            retries,
+            host_fallback,
+        }
+    }
+
+    /// Quarantines device `d`: it stops pulling work, its residency cache
+    /// is invalidated, and every live allocation is released (a lost
+    /// device aborts in-flight work first). Idempotent.
+    fn quarantine(&mut self, d: usize) {
+        if self.quarantined[d] {
+            return;
+        }
+        self.quarantined[d] = true;
+        self.metrics.counter_add("quarantine_devices_total", 1);
+        let evicted = self.residency[d].clear();
+        self.metrics
+            .counter_add("quarantine_invalidated_total", evicted.len() as u64);
+        let dev = self.pool.device_mut(d);
+        let _ = dev.gpu_mut().synchronize();
+        for e in evicted {
+            free_resident(dev, e.handle);
+        }
+        for b in dev.gpu().live_device_buffers() {
+            let _ = dev.gpu_mut().free_device(b);
+        }
+        for h in dev.gpu().live_host_buffers() {
+            let _ = dev.gpu_mut().take_host(h);
+        }
+    }
+
+    /// Completes a request on the host at the configured
+    /// [`host_gflops`](ExecutorConfig::host_gflops) rate — the graceful
+    /// degradation path when every device is quarantined. Host time is
+    /// reported in the request's outcome but advances no device clock, so
+    /// it does not count toward the pool makespan.
+    fn execute_host(&mut self, req: &RoutineRequest) -> RoutineReport {
+        let flops = host_flops(req);
+        let elapsed = SimTime::from_secs_f64(flops / (self.cfg.host_gflops.max(1e-9) * 1e9));
+        RoutineReport {
+            elapsed,
+            tile: 0,
+            subkernels: 1,
+            flops,
+            selection: None,
+            overlap: OverlapStats::default(),
+            drift: Vec::new(),
+            tile_hits: 0,
+            tile_misses: 0,
+            op_retries: 0,
         }
     }
 
@@ -562,6 +733,22 @@ impl Executor {
                 let _ = dev.gpu_mut().take_host(h);
             }
         }
+    }
+}
+
+/// Useful floating-point operations of a request, for host-fallback time
+/// accounting (mirrors `ProblemSpec::flops` without needing a profile).
+fn host_flops(req: &RoutineRequest) -> f64 {
+    match req {
+        RoutineRequest::GemmF64(r) => {
+            2.0 * r.a.rows() as f64 * r.b.cols() as f64 * r.a.cols() as f64
+        }
+        RoutineRequest::GemmF32(r) => {
+            2.0 * r.a.rows() as f64 * r.b.cols() as f64 * r.a.cols() as f64
+        }
+        RoutineRequest::AxpyF64(r) => 2.0 * r.x.len() as f64,
+        RoutineRequest::DotF64(r) => 2.0 * r.x.len() as f64,
+        RoutineRequest::GemvF64(r) => 2.0 * r.a.rows() as f64 * r.a.cols() as f64,
     }
 }
 

@@ -21,10 +21,18 @@
 //!    cache, so a matrix uploaded for request *N* is not re-transferred
 //!    for request *N+1*.
 //!
-//! Each request terminates in exactly one [`RequestStatus`]; transient
-//! device failures (out-of-memory) are retried once after reclaiming the
-//! device. Aggregate throughput, queue-depth, and occupancy metrics flow
-//! through a [`cocopelia_obs::Registry`].
+//! Each request terminates in exactly one [`RequestStatus`]. The executor
+//! is fault-tolerant: retryable faults
+//! ([`RuntimeError::fault_class`](crate::RuntimeError::fault_class)) are
+//! retried up to [`ExecutorConfig::max_retries`] times after reclaiming
+//! the device; a device that faults
+//! [`ExecutorConfig::quarantine_after`] times in a row — or is lost
+//! outright — is quarantined (its residency cache invalidated, its
+//! allocations released) and the request re-dispatches to a healthy peer;
+//! when every device is quarantined, requests degrade gracefully to host
+//! BLAS at [`ExecutorConfig::host_gflops`]. Aggregate throughput,
+//! queue-depth, occupancy, and `fault_*`/`retry_*`/`quarantine_*` metrics
+//! flow through a [`cocopelia_obs::Registry`].
 //!
 //! Shared operands carry no host data (they are ghost uploads), so the
 //! serving layer is a *timing* harness: drive it with pools built in

@@ -217,8 +217,9 @@ impl ResidencyCache {
 
     /// Device buffers currently tracked by the cache. The executor uses
     /// this to tell leaked allocations apart from live cached operands
-    /// when cleaning up after a failed attempt.
-    pub(crate) fn device_buffers(&self) -> Vec<DevBufId> {
+    /// when cleaning up after a failed attempt; tests use it to prove a
+    /// device holds no allocation beyond its cached operands.
+    pub fn device_buffers(&self) -> Vec<DevBufId> {
         self.entries
             .iter()
             .map(|e| match e.handle {

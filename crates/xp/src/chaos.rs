@@ -1,0 +1,92 @@
+//! Deterministic chaos harness: seeded fault plans and request traces for
+//! soak-testing the fault-tolerant serving path (`cocopelia serve
+//! --faults`, `tests/serve_faults.rs`).
+//!
+//! Everything here is a pure function of its seed: the same seed yields
+//! the same fault plan, the same trace, and therefore — because the
+//! simulator itself is deterministic — the same end-to-end run.
+
+use cocopelia_gpusim::{DegradeWindow, FaultSpec};
+use cocopelia_runtime::{
+    AxpyRequest, DotRequest, GemmRequest, MatOperand, RoutineRequest, SharedMat, SharedVec,
+    TileChoice, VecOperand,
+};
+
+/// The standard chaos fault plan: a little of everything. Transient h2d/
+/// d2h and kernel faults at rates high enough that multi-tile requests
+/// see scheduler-level retries, ECC corruption on kernel launches, a link
+/// degradation window early in the run, and terminal device loss after
+/// `lost_after` accumulated faults so long runs exercise quarantine,
+/// re-dispatch, and (once the pool drains) host fallback.
+pub fn chaos_fault_spec(seed: u64) -> FaultSpec {
+    FaultSpec {
+        seed,
+        h2d: 0.05,
+        d2h: 0.05,
+        kernel: 0.08,
+        ecc: 0.04,
+        lost_after: Some(24),
+        degrade: vec![DegradeWindow {
+            start_s: 0.005,
+            end_s: 0.02,
+            factor: 0.5,
+        }],
+    }
+}
+
+/// A mixed request trace sized for the chaos soak: `rounds` rounds of
+/// four requests (two gemms sharing `A`/`B`, an axpy and a dot sharing
+/// `X`), small enough that a round is quick but multi-tile enough that
+/// every round enqueues dozens of faultable operations.
+pub fn chaos_request_trace(rounds: usize) -> Vec<RoutineRequest> {
+    let n = 1024usize;
+    let v = 1usize << 20;
+    let mut out = Vec::with_capacity(rounds * 4);
+    for _ in 0..rounds {
+        let gemm = || {
+            GemmRequest::<f64>::new(
+                SharedMat::new("A", n, n),
+                SharedMat::new("B", n, n),
+                MatOperand::HostGhost { rows: n, cols: n },
+            )
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Fixed(256))
+        };
+        out.push(gemm().into());
+        out.push(gemm().into());
+        out.push(
+            AxpyRequest::<f64>::new(SharedVec::new("X", v), VecOperand::HostGhost { len: v })
+                .alpha(1.5)
+                .tile(TileChoice::Fixed(1 << 18))
+                .into(),
+        );
+        out.push(
+            DotRequest::<f64>::new(SharedVec::new("X", v), SharedVec::new("Y", v))
+                .tile(TileChoice::Fixed(1 << 18))
+                .into(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_spec_is_deterministic_per_seed() {
+        assert_eq!(chaos_fault_spec(7), chaos_fault_spec(7));
+        assert_ne!(chaos_fault_spec(7), chaos_fault_spec(8));
+        assert!(!chaos_fault_spec(7).is_none());
+    }
+
+    #[test]
+    fn chaos_trace_scales_with_rounds() {
+        assert_eq!(chaos_request_trace(1).len(), 4);
+        assert_eq!(chaos_request_trace(5).len(), 20);
+        let routines: std::collections::BTreeSet<&str> =
+            chaos_request_trace(1).iter().map(|r| r.routine()).collect();
+        assert_eq!(routines.len(), 3, "mixed routines: {routines:?}");
+    }
+}

@@ -14,6 +14,7 @@
 
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod runner;
 pub mod serve;
 pub mod sets;
@@ -21,8 +22,11 @@ pub mod snapshot;
 pub mod stats;
 pub mod table;
 
+pub use chaos::{chaos_fault_spec, chaos_request_trace};
 pub use runner::{AxpyLib, GemmLib, Lab, RunOut};
-pub use serve::{parse_request_trace, run_serve, standard_request_trace, ServeComparison};
+pub use serve::{
+    parse_request_trace, run_serve, run_serve_with_faults, standard_request_trace, ServeComparison,
+};
 pub use sets::{AxpyProblem, GemmProblem, Scale};
 pub use snapshot::{collect_snapshot, standard_sweep, SweepPoint, SNAPSHOT_SEED};
 pub use stats::{geomean_improvement_pct, rel_err_pct, ViolinSummary};

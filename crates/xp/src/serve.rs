@@ -9,7 +9,7 @@
 //! request.
 
 use cocopelia_deploy::{deploy, DeployConfig};
-use cocopelia_gpusim::{ExecMode, NoiseSpec, SimScalar, TestbedSpec};
+use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, TestbedSpec};
 use cocopelia_runtime::serve::{Executor, ExecutorConfig, ServeReport};
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
@@ -118,6 +118,22 @@ pub fn run_serve(
     devices: usize,
     trace: Vec<RoutineRequest>,
 ) -> Result<ServeComparison, String> {
+    run_serve_with_faults(testbed, devices, trace, &FaultSpec::none())
+}
+
+/// [`run_serve`] with a fault plan injected into every pool device (the
+/// sequential baseline stays faultless — it is the no-reuse *and* no-fault
+/// reference). [`FaultSpec::none`] reproduces [`run_serve`] bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates deployment and runtime failures as strings.
+pub fn run_serve_with_faults(
+    testbed: &TestbedSpec,
+    devices: usize,
+    trace: Vec<RoutineRequest>,
+    faults: &FaultSpec,
+) -> Result<ServeComparison, String> {
     let mut tb = testbed.clone();
     tb.noise = NoiseSpec::NONE;
     let deployed = deploy(&tb, &DeployConfig::quick()).map_err(|e| e.to_string())?;
@@ -136,12 +152,13 @@ pub fn run_serve(
         sequential_secs += report.elapsed.as_secs_f64();
     }
 
-    let pool = MultiGpu::new(
+    let pool = MultiGpu::with_faults(
         &tb,
         devices,
         ExecMode::TimingOnly,
         SNAPSHOT_SEED,
         deployed.profile,
+        faults,
     );
     let mut exec = Executor::new(pool, ExecutorConfig::default());
     for req in trace {

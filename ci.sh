@@ -34,6 +34,12 @@ echo "== perf snapshot gate (vs BENCH_seed.json) =="
 target/release/cocopelia snapshot --out target/BENCH_ci.json --label ci
 target/release/cocopelia compare BENCH_seed.json target/BENCH_ci.json
 
+echo "== scheduling policy gate (predictive < fifo, edf deadline wins) =="
+# The policy-comparison acceptance tests: Predictive must strictly beat
+# FIFO's makespan on the skewed trace, EDF must meet the deadline FIFO
+# misses, and all three policies must export sched_predict_abs_err.
+cargo test --release -q -p cocopelia-xp --test serve_sched
+
 echo "== chaos soak gate (seeded fault injection) =="
 # Fault injection is seeded and rolled at enqueue time, so the soak —
 # scheduler retries, quarantine + re-dispatch, host fallback, leak and

@@ -122,6 +122,7 @@ usage:
   cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]
   cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
   cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
+                    [--policy <fifo|edf|predictive>]
   cocopelia snapshot --out <BENCH_label.json> [--testbed <i|ii>] [--label <label>]
   cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]
 
@@ -577,9 +578,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         None => cocopelia_xp::standard_request_trace(),
     };
     let fault_spec = faults(args)?;
+    let policy = match args.get_opt("policy") {
+        Some(p) => cocopelia_runtime::serve::SchedulePolicy::parse(&p).map_err(CliError::Usage)?,
+        None => cocopelia_runtime::serve::SchedulePolicy::Fifo,
+    };
     let requests = trace.len();
     eprintln!(
-        "deploying and serving {requests} request(s) on {} device(s){} ...",
+        "deploying and serving {requests} request(s) on {} device(s) under {policy}{} ...",
         devices,
         if fault_spec.is_none() {
             ""
@@ -587,7 +592,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             " with fault injection"
         },
     );
-    let cmp = cocopelia_xp::run_serve_with_faults(&tb, devices, trace, &fault_spec)
+    let cmp = cocopelia_xp::run_serve_with_policy(&tb, devices, trace, &fault_spec, policy)
         .map_err(CliError::Data)?;
     print!("{}", cmp.report.render());
     println!(
@@ -833,6 +838,15 @@ mod tests {
             super::run(&argv("serve --testbed i --trace /nonexistent/trace.txt")),
             Err(CliError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn serve_rejects_unknown_policy() {
+        let err = super::run(&argv("serve --testbed i --policy sjf")).expect_err("bad policy");
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains("sjf"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -110,6 +110,17 @@ impl<T: SimScalar> MatArg<T> {
         }
     }
 
+    /// Initial residence as the prediction models see it. Shared operands
+    /// count as device-resident: the executor resolves them onto the
+    /// device before the routine runs, and the dispatch cost model charges
+    /// any upload separately.
+    pub fn loc(&self) -> cocopelia_core::params::Loc {
+        match self {
+            MatArg::Inline(op) => op.loc(),
+            MatArg::Shared(_) => cocopelia_core::params::Loc::Device,
+        }
+    }
+
     /// The shared key and its device footprint in bytes, when this
     /// argument references the residency cache.
     pub fn shared_footprint(&self) -> Option<(&str, usize)> {
@@ -197,6 +208,15 @@ impl<T: SimScalar> VecArg<T> {
         match self {
             VecArg::Inline(_) => None,
             VecArg::Shared(s) => Some(&s.key),
+        }
+    }
+
+    /// Initial residence as the prediction models see it; see
+    /// [`MatArg::loc`].
+    pub fn loc(&self) -> cocopelia_core::params::Loc {
+        match self {
+            VecArg::Inline(op) => op.loc(),
+            VecArg::Shared(_) => cocopelia_core::params::Loc::Device,
         }
     }
 
@@ -303,8 +323,11 @@ impl<T: SimScalar> GemmRequest<T> {
         self
     }
 
-    /// Gives the request a virtual-time budget, measured from executor
-    /// dispatch. Ignored on direct [`run`](Self::run).
+    /// Gives the request a virtual-time budget on its *flow time*: the
+    /// executor compares it against the serving device's virtual clock at
+    /// completion, measured from the start of the run, so time spent
+    /// queued behind other requests counts. Ignored on direct
+    /// [`run`](Self::run).
     pub fn deadline_secs(mut self, secs: f64) -> Self {
         self.deadline = Some(secs);
         self
@@ -356,8 +379,11 @@ impl<T: SimScalar> AxpyRequest<T> {
         self
     }
 
-    /// Gives the request a virtual-time budget, measured from executor
-    /// dispatch. Ignored on direct [`run`](Self::run).
+    /// Gives the request a virtual-time budget on its *flow time*: the
+    /// executor compares it against the serving device's virtual clock at
+    /// completion, measured from the start of the run, so time spent
+    /// queued behind other requests counts. Ignored on direct
+    /// [`run`](Self::run).
     pub fn deadline_secs(mut self, secs: f64) -> Self {
         self.deadline = Some(secs);
         self
@@ -399,8 +425,11 @@ impl<T: SimScalar> DotRequest<T> {
         self
     }
 
-    /// Gives the request a virtual-time budget, measured from executor
-    /// dispatch. Ignored on direct [`run`](Self::run).
+    /// Gives the request a virtual-time budget on its *flow time*: the
+    /// executor compares it against the serving device's virtual clock at
+    /// completion, measured from the start of the run, so time spent
+    /// queued behind other requests counts. Ignored on direct
+    /// [`run`](Self::run).
     pub fn deadline_secs(mut self, secs: f64) -> Self {
         self.deadline = Some(secs);
         self
@@ -461,8 +490,11 @@ impl<T: SimScalar> GemvRequest<T> {
         self
     }
 
-    /// Gives the request a virtual-time budget, measured from executor
-    /// dispatch. Ignored on direct [`run`](Self::run).
+    /// Gives the request a virtual-time budget on its *flow time*: the
+    /// executor compares it against the serving device's virtual clock at
+    /// completion, measured from the start of the run, so time spent
+    /// queued behind other requests counts. Ignored on direct
+    /// [`run`](Self::run).
     pub fn deadline_secs(mut self, secs: f64) -> Self {
         self.deadline = Some(secs);
         self
@@ -597,6 +629,63 @@ impl RoutineRequest {
         }
     }
 
+    /// The request's tiling-size policy.
+    pub fn tile_choice(&self) -> TileChoice {
+        match self {
+            RoutineRequest::GemmF64(r) => r.tile,
+            RoutineRequest::GemmF32(r) => r.tile,
+            RoutineRequest::AxpyF64(r) => r.tile,
+            RoutineRequest::DotF64(r) => r.tile,
+            RoutineRequest::GemvF64(r) => r.tile,
+        }
+    }
+
+    /// The request as the prediction models see it — the bridge between
+    /// the serving layer and `core::models::predict`. Shared operands
+    /// count as device-resident ([`MatArg::loc`]); the scheduler charges
+    /// their upload through its own cost model.
+    pub fn problem_spec(&self) -> cocopelia_core::params::ProblemSpec {
+        use cocopelia_core::params::ProblemSpec;
+        use cocopelia_hostblas::Dtype;
+        match self {
+            RoutineRequest::GemmF64(r) => ProblemSpec::gemm(
+                Dtype::F64,
+                r.a.rows(),
+                r.b.cols(),
+                r.a.cols(),
+                r.a.loc(),
+                r.b.loc(),
+                r.c.loc(),
+                r.beta != 0.0,
+            ),
+            RoutineRequest::GemmF32(r) => ProblemSpec::gemm(
+                Dtype::F32,
+                r.a.rows(),
+                r.b.cols(),
+                r.a.cols(),
+                r.a.loc(),
+                r.b.loc(),
+                r.c.loc(),
+                r.beta != 0.0,
+            ),
+            RoutineRequest::AxpyF64(r) => {
+                ProblemSpec::axpy(Dtype::F64, r.x.len(), r.x.loc(), r.y.loc())
+            }
+            RoutineRequest::DotF64(r) => {
+                ProblemSpec::dot(Dtype::F64, r.x.len(), r.x.loc(), r.y.loc())
+            }
+            RoutineRequest::GemvF64(r) => ProblemSpec::gemv(
+                Dtype::F64,
+                r.a.rows(),
+                r.a.cols(),
+                r.a.loc(),
+                r.x.loc(),
+                r.y.loc(),
+                r.beta != 0.0,
+            ),
+        }
+    }
+
     /// Rewrites every shared operand to an inline ghost of the same shape —
     /// the "no residency reuse" baseline the throughput acceptance test
     /// submits sequentially.
@@ -727,6 +816,38 @@ mod tests {
             }
             other => panic!("unexpected variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn problem_spec_mirrors_request_shape_and_residence() {
+        use cocopelia_core::params::{Loc, RoutineClass};
+        let req: RoutineRequest = GemmRequest::<f64>::new(
+            MatArg::shared("A", 128, 64),
+            MatOperand::HostGhost { rows: 64, cols: 32 },
+            MatOperand::HostGhost {
+                rows: 128,
+                cols: 32,
+            },
+        )
+        .beta(1.0)
+        .tile(TileChoice::Fixed(32))
+        .into();
+        let p = req.problem_spec();
+        assert_eq!(p.routine, RoutineClass::Gemm);
+        assert_eq!(p.dims(), vec![128, 32, 64]);
+        assert_eq!(p.flops(), 2.0 * 128.0 * 32.0 * 64.0);
+        // Shared A reads as device-resident; inline host ghosts as host.
+        assert_eq!(p.operands[0].loc, Loc::Device);
+        assert_eq!(p.operands[1].loc, Loc::Host);
+        assert_eq!(req.tile_choice(), TileChoice::Fixed(32));
+
+        let req: RoutineRequest =
+            AxpyRequest::<f64>::new(VecArg::shared("x", 100), vec![0.0; 100]).into();
+        let p = req.problem_spec();
+        assert_eq!(p.routine, RoutineClass::Axpy);
+        assert_eq!(p.dims(), vec![100]);
+        assert_eq!(p.operands[0].loc, Loc::Device);
+        assert_eq!(req.tile_choice(), TileChoice::Auto);
     }
 
     #[test]

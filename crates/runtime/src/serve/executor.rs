@@ -3,11 +3,14 @@
 use crate::ctx::{Cocopelia, RoutineReport};
 use crate::error::{FaultClass, RequestError, RequestId, RuntimeError};
 use crate::multigpu::MultiGpu;
-use crate::operand::{MatOperand, VecOperand};
+use crate::operand::{MatOperand, TileChoice, VecOperand};
 use crate::request::{MatArg, RoutineRequest, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
+use crate::serve::sched::SchedulePolicy;
+use cocopelia_core::models::Prediction;
 use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
-use cocopelia_obs::{OverlapStats, Registry};
+use cocopelia_obs::drift::ABS_ERROR_BOUNDS;
+use cocopelia_obs::{DriftAccountant, DriftRecord, OverlapStats, Registry};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt::Write as _;
 
@@ -70,7 +73,9 @@ pub enum RequestStatus {
     TimedOut {
         /// The request's budget in virtual seconds.
         deadline: f64,
-        /// The virtual seconds the request actually took.
+        /// The request's *flow time* in virtual seconds: the serving
+        /// device's clock at completion measured from the start of the
+        /// drain, so queueing delay behind other requests counts.
         elapsed: f64,
         /// The report of the (late) run.
         report: Box<RoutineReport>,
@@ -106,6 +111,17 @@ impl RequestOutcome {
             _ => None,
         }
     }
+
+    /// The report of any run that executed, completed *or* timed out: a
+    /// timed-out request still did its device work, so its report counts
+    /// toward work accounting even though the result missed its budget.
+    pub fn executed_report(&self) -> Option<&RoutineReport> {
+        match &self.status {
+            RequestStatus::Completed(r) => Some(r),
+            RequestStatus::TimedOut { report, .. } => Some(report),
+            _ => None,
+        }
+    }
 }
 
 /// Aggregate result of draining the executor queue once.
@@ -118,10 +134,24 @@ pub struct ServeReport {
     pub makespan: SimTime,
     /// Per-device busy time over the run.
     pub per_device_busy: Vec<SimTime>,
-    /// Useful floating-point operations of completed requests.
+    /// Useful floating-point operations executed *on devices*: completed
+    /// and timed-out runs (a timed-out run still did its device work and
+    /// inflated the makespan, so it must count toward throughput).
+    /// Host-fallback work is excluded — see
+    /// [`host_flops`](ServeReport::host_flops).
     pub total_flops: f64,
+    /// Useful floating-point operations of host-fallback runs. Host work
+    /// advances no device clock, so mixing it into
+    /// [`total_flops`](ServeReport::total_flops) would credit the
+    /// device-only makespan with work no device did.
+    pub host_flops: f64,
+    /// Wall time host-fallback runs took (outside the device makespan).
+    pub host_time: SimTime,
     /// Devices quarantined by the end of the run, in index order.
     pub quarantined: Vec<usize>,
+    /// Predicted-vs-actual drift of the scheduler's per-dispatch offload
+    /// predictions, when the deployed profile could predict the requests.
+    pub drift: DriftAccountant,
     /// Snapshot of the executor's metrics registry after the run.
     pub metrics: Registry,
 }
@@ -157,7 +187,12 @@ impl ServeReport {
         self.outcomes.iter().filter(|o| o.host_fallback).count()
     }
 
-    /// Aggregate throughput of completed work in GFLOP/s of makespan.
+    /// Aggregate throughput of *device* work over the device makespan, in
+    /// GFLOP/s: [`total_flops`](ServeReport::total_flops) per second of
+    /// [`makespan`](ServeReport::makespan). Host-fallback work is excluded
+    /// from both numerator and denominator — when the whole pool
+    /// quarantines this reports `0`, not a division of host flops by a
+    /// near-zero device makespan.
     pub fn throughput_gflops(&self) -> f64 {
         let secs = self.makespan.as_secs_f64();
         if secs > 0.0 {
@@ -193,13 +228,19 @@ impl ServeReport {
             };
             match &o.status {
                 RequestStatus::Completed(r) => {
+                    // Host runs never tiled, so rendering their fabricated
+                    // `tile: 0` as a real tiling size would be misleading.
+                    let tile = if o.host_fallback {
+                        "-".to_owned()
+                    } else {
+                        r.tile.to_string()
+                    };
                     let _ = writeln!(
                         out,
-                        "{:<8} {:<6} {:<5} completed  T={:<5} {:>9.3} ms {:>8.1} GF/s{retried}",
+                        "{:<8} {:<6} {:<5} completed  T={tile:<5} {:>9.3} ms {:>8.1} GF/s{retried}",
                         o.id.to_string(),
                         o.routine,
                         dev,
-                        r.tile,
                         r.elapsed.as_secs_f64() * 1e3,
                         r.gflops(),
                     );
@@ -255,12 +296,24 @@ impl ServeReport {
         );
         if !self.quarantined.is_empty() || self.host_fallbacks() > 0 {
             let devs: Vec<String> = self.quarantined.iter().map(|d| format!("dev{d}")).collect();
+            let host = if self.host_fallbacks() > 0 {
+                format!(
+                    " ({:.2} GFLOP in {:.3} ms on host)",
+                    self.host_flops / 1e9,
+                    self.host_time.as_secs_f64() * 1e3,
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "quarantined [{}] | host fallbacks {}",
+                "quarantined [{}] | host fallbacks {}{host}",
                 devs.join(", "),
                 self.host_fallbacks(),
             );
+        }
+        if !self.drift.records().is_empty() {
+            out.push_str(&self.drift.render());
         }
         out
     }
@@ -269,21 +322,28 @@ impl ServeReport {
 /// The request-serving executor over a [`MultiGpu`] pool.
 ///
 /// Lifecycle: [`submit`](Self::submit) requests (admission happens here),
-/// then [`run`](Self::run) to drain the queue. Each queued request is
+/// then [`run`](Self::run) to drain the queue through the configured
+/// [`SchedulePolicy`] (FIFO by default; see
+/// [`set_policy`](Self::set_policy)). Under FIFO and EDF each request is
 /// pulled by the device with the lowest estimated ready time: its virtual
 /// clock plus the estimated upload time of the request's shared operands
 /// it does not hold resident. Residency affinity therefore wins only
 /// while the affine device's clock lead stays below the re-upload cost —
 /// a device that falls further behind loses the work to an idle peer
-/// instead of serialising the whole trace.
+/// instead of serialising the whole trace. The predictive policy extends
+/// the same ready-time estimate with the model-predicted offload time
+/// from each device's deployed profile and schedules longest-first to
+/// minimise the pool makespan.
 #[derive(Debug)]
 pub struct Executor {
     pool: MultiGpu,
     residency: Vec<ResidencyCache>,
     cfg: ExecutorConfig,
+    policy: SchedulePolicy,
     queue: VecDeque<(RequestId, RoutineRequest)>,
     outcomes: Vec<RequestOutcome>,
     metrics: Registry,
+    drift: DriftAccountant,
     next_id: u64,
     /// Devices removed from dispatch after repeated faults or loss.
     quarantined: Vec<bool>,
@@ -308,13 +368,26 @@ impl Executor {
             pool,
             residency,
             cfg,
+            policy: SchedulePolicy::default(),
             queue: VecDeque::new(),
             outcomes: Vec::new(),
             metrics: Registry::new(),
+            drift: DriftAccountant::new(),
             next_id: 0,
             quarantined: vec![false; count],
             fault_streak: vec![0; count],
         }
+    }
+
+    /// Sets the queue-scheduling policy for subsequent [`run`](Self::run)
+    /// calls (the default is [`SchedulePolicy::Fifo`]).
+    pub fn set_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active queue-scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
     }
 
     /// The wrapped pool.
@@ -397,7 +470,42 @@ impl Executor {
             return id;
         }
         self.queue.push_back((id, req));
+        // Depth is sampled on admission (and again at each dispatch), so
+        // burst arrivals are visible even if the queue drains quickly.
+        self.metrics.histogram_observe(
+            "serve_queue_depth",
+            &QUEUE_DEPTH_BOUNDS,
+            self.queue.len() as f64,
+        );
         id
+    }
+
+    /// Ideal h2d time device `d` would spend uploading the shared
+    /// operands of `req` it does not hold resident.
+    fn upload_estimate(&self, d: usize, req: &RoutineRequest) -> f64 {
+        let gpu = self.pool.devices()[d].gpu();
+        let h2d = gpu.spec().link.h2d;
+        req.shared_footprints()
+            .iter()
+            .filter(|(k, _)| !self.residency[d].contains(k))
+            .map(|&(_, bytes)| h2d.ideal_time(bytes))
+            .sum()
+    }
+
+    /// Model-predicted offload time of `req` on device `d`, through the
+    /// device's deployed profile
+    /// ([`SystemProfile::predict_offload`](cocopelia_core::SystemProfile::predict_offload)).
+    /// `None` when the profile cannot predict this routine/precision — the
+    /// scheduler then degrades to the upload-plus-clock heuristic.
+    fn offload_estimate(&self, d: usize, req: &RoutineRequest) -> Option<Prediction> {
+        let (model, tile) = match req.tile_choice() {
+            TileChoice::Fixed(t) => (None, Some(t)),
+            TileChoice::Model(m) => (Some(m), None),
+            TileChoice::Auto => (None, None),
+        };
+        self.pool.devices()[d]
+            .profile()
+            .predict_offload(&req.problem_spec(), model, tile)
     }
 
     /// The healthy device that pulls `req`: lowest estimated ready time —
@@ -408,21 +516,14 @@ impl Executor {
     /// high-reuse traces still spread across the pool. Quarantined devices
     /// never pull work; `None` means the whole pool is quarantined.
     fn choose_device(&self, req: &RoutineRequest) -> Option<usize> {
-        let shared = req.shared_footprints();
         let mut best: Option<usize> = None;
         let mut best_cost = f64::INFINITY;
         for i in 0..self.pool.device_count() {
             if self.quarantined[i] {
                 continue;
             }
-            let gpu = self.pool.devices()[i].gpu();
-            let h2d = gpu.spec().link.h2d;
-            let upload: f64 = shared
-                .iter()
-                .filter(|(k, _)| !self.residency[i].contains(k))
-                .map(|&(_, bytes)| h2d.ideal_time(bytes))
-                .sum();
-            let cost = gpu.now().as_secs_f64() + upload;
+            let cost =
+                self.pool.devices()[i].gpu().now().as_secs_f64() + self.upload_estimate(i, req);
             if cost < best_cost {
                 best = Some(i);
                 best_cost = cost;
@@ -431,17 +532,86 @@ impl Executor {
         best
     }
 
+    /// Pulls the next request per the active [`SchedulePolicy`], sampling
+    /// queue depth (the pulled request included) at dispatch time. The
+    /// third element is the predictive policy's preferred device, which
+    /// [`dispatch`](Self::dispatch) tries first.
+    fn next_dispatch(&mut self) -> Option<(RequestId, RoutineRequest, Option<usize>)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        self.metrics.histogram_observe(
+            "serve_queue_depth",
+            &QUEUE_DEPTH_BOUNDS,
+            self.queue.len() as f64,
+        );
+        let (idx, preferred) = match self.policy {
+            SchedulePolicy::Fifo => (0, None),
+            SchedulePolicy::Edf => {
+                // Earliest deadline wins; deadline-less requests sort to
+                // +inf, i.e. after every deadline-carrying one. Strict `<`
+                // keeps submission order within equal deadlines.
+                let mut best = 0;
+                let mut best_dl = f64::INFINITY;
+                for (i, (_, r)) in self.queue.iter().enumerate() {
+                    let dl = r.deadline().unwrap_or(f64::INFINITY);
+                    if dl < best_dl {
+                        best = i;
+                        best_dl = dl;
+                    }
+                }
+                (best, None)
+            }
+            SchedulePolicy::Predictive => {
+                let healthy: Vec<usize> = (0..self.pool.device_count())
+                    .filter(|&i| !self.quarantined[i])
+                    .collect();
+                if healthy.is_empty() {
+                    // Whole pool quarantined: order is irrelevant, every
+                    // request degrades to the host.
+                    (0, None)
+                } else {
+                    // Cost each request at its best device (clock + missing
+                    // uploads + predicted offload time), then dispatch the
+                    // request with the *largest* best-completion first —
+                    // longest-processing-time list scheduling, so a
+                    // straggler never lands on an already-loaded device at
+                    // the tail of the trace. Strict comparisons keep
+                    // submission order and lowest device index on ties.
+                    let mut pick = 0;
+                    let mut pick_completion = f64::NEG_INFINITY;
+                    let mut pick_dev = None;
+                    for (i, (_, r)) in self.queue.iter().enumerate() {
+                        let mut best_dev = healthy[0];
+                        let mut best_c = f64::INFINITY;
+                        for &d in &healthy {
+                            let c = self.pool.devices()[d].gpu().now().as_secs_f64()
+                                + self.upload_estimate(d, r)
+                                + self.offload_estimate(d, r).map_or(0.0, |p| p.total);
+                            if c < best_c {
+                                best_dev = d;
+                                best_c = c;
+                            }
+                        }
+                        if best_c > pick_completion {
+                            pick = i;
+                            pick_completion = best_c;
+                            pick_dev = Some(best_dev);
+                        }
+                    }
+                    (pick, pick_dev)
+                }
+            }
+        };
+        self.queue.remove(idx).map(|(id, r)| (id, r, preferred))
+    }
+
     /// Drains the queue, dispatching every request to a terminal status,
     /// and reports the run.
     pub fn run(&mut self) -> ServeReport {
         let start: Vec<SimTime> = self.pool.devices().iter().map(|d| d.gpu().now()).collect();
-        while let Some((id, req)) = self.queue.pop_front() {
-            self.metrics.histogram_observe(
-                "serve_queue_depth",
-                &QUEUE_DEPTH_BOUNDS,
-                (self.queue.len() + 1) as f64,
-            );
-            let outcome = self.dispatch(id, req);
+        while let Some((id, req, preferred)) = self.next_dispatch() {
+            let outcome = self.dispatch(id, req, preferred, &start);
             match &outcome.status {
                 RequestStatus::Completed(_) => {
                     self.metrics.counter_add("serve_completed_total", 1);
@@ -468,18 +638,29 @@ impl Executor {
             .copied()
             .max()
             .expect("at least one device");
-        let total_flops: f64 = self
-            .outcomes
-            .iter()
-            .filter_map(RequestOutcome::report)
-            .map(|r| r.flops)
-            .sum();
+        let mut total_flops = 0.0;
+        let mut host_flops_sum = 0.0;
+        let mut host_time = SimTime::ZERO;
+        for o in &self.outcomes {
+            let Some(r) = o.executed_report() else {
+                continue;
+            };
+            if o.host_fallback {
+                host_flops_sum += r.flops;
+                host_time += r.elapsed;
+            } else {
+                total_flops += r.flops;
+            }
+        }
         let report = ServeReport {
             outcomes: std::mem::take(&mut self.outcomes),
             makespan,
             per_device_busy,
             total_flops,
+            host_flops: host_flops_sum,
+            host_time,
             quarantined: self.quarantined(),
+            drift: std::mem::take(&mut self.drift),
             metrics: Registry::new(),
         };
         self.metrics
@@ -495,12 +676,22 @@ impl Executor {
     }
 
     /// Runs one admitted request through to a terminal status: dispatch to
-    /// the best healthy device, retry with device reclaim on retryable
-    /// faults ([`RuntimeError::fault_class`]), quarantine devices that
-    /// fault repeatedly or are lost (re-dispatching the request to a
-    /// healthy peer), and degrade gracefully to host BLAS when no healthy
-    /// device remains.
-    fn dispatch(&mut self, id: RequestId, req: RoutineRequest) -> RequestOutcome {
+    /// `preferred` (the scheduling policy's device pick) or the best
+    /// healthy device, retry with device reclaim on retryable faults
+    /// ([`RuntimeError::fault_class`]), quarantine devices that fault
+    /// repeatedly or are lost (re-dispatching the request to a healthy
+    /// peer), and degrade gracefully to host BLAS when no healthy device
+    /// remains. `start` holds each device's clock when the drain began:
+    /// deadlines are judged on *flow time* — the serving device's clock at
+    /// completion measured from that start — so time spent queued behind
+    /// other requests counts against the budget.
+    fn dispatch(
+        &mut self,
+        id: RequestId,
+        req: RoutineRequest,
+        mut preferred: Option<usize>,
+        start: &[SimTime],
+    ) -> RequestOutcome {
         let routine = req.routine();
         let deadline = req.deadline();
         let budget = if self.cfg.retry_transient {
@@ -512,7 +703,13 @@ impl Executor {
         let mut host_fallback = false;
         let mut device: Option<usize> = None;
         let result = loop {
-            let Some(d) = self.choose_device(&req) else {
+            // The policy's pick applies to the first attempt only; a retry
+            // after a fault re-chooses among the devices still healthy.
+            let pick = preferred
+                .take()
+                .filter(|&p| !self.quarantined[p])
+                .or_else(|| self.choose_device(&req));
+            let Some(d) = pick else {
                 // Graceful degradation: the whole pool is quarantined, so
                 // the request completes on the host instead of failing.
                 host_fallback = true;
@@ -536,9 +733,45 @@ impl Executor {
                 .live_host_buffers()
                 .into_iter()
                 .collect();
+            // Predicted completion of this attempt: missing-operand upload
+            // plus the model's offload estimate. Recorded against the
+            // actual clock advance under every policy, so FIFO/EDF runs
+            // expose the same misprediction accounting the predictive
+            // policy schedules by.
+            let estimate = self
+                .offload_estimate(d, &req)
+                .map(|p| (p, self.upload_estimate(d, &req)));
+            let clock_before = self.pool.devices()[d].gpu().now();
             match self.execute_once(d, req.clone()) {
                 Ok(report) => {
                     self.fault_streak[d] = 0;
+                    if let Some((pred, upload)) = estimate {
+                        let actual = self.pool.devices()[d]
+                            .gpu()
+                            .now()
+                            .saturating_since(clock_before)
+                            .as_secs_f64();
+                        let rec = DriftRecord {
+                            routine,
+                            call: id.0,
+                            model: pred.model,
+                            tile: pred.tile,
+                            predicted_secs: upload + pred.total,
+                            actual_secs: actual,
+                        };
+                        let err = rec.abs_rel_err();
+                        self.metrics.histogram_observe(
+                            "sched_predict_abs_err",
+                            &ABS_ERROR_BOUNDS,
+                            err,
+                        );
+                        self.metrics.histogram_observe(
+                            &format!("sched_predict_abs_err_{}", self.policy.name()),
+                            &ABS_ERROR_BOUNDS,
+                            err,
+                        );
+                        self.drift.record(rec);
+                    }
                     break Ok(report);
                 }
                 Err(e) => {
@@ -589,10 +822,22 @@ impl Executor {
             Ok(report) => {
                 self.metrics
                     .counter_add("retry_tile_ops_total", report.op_retries);
+                // Flow time: the serving device's clock advance since the
+                // drain began, so queueing delay counts against the
+                // deadline. Host runs advance no device clock; their own
+                // elapsed time is the closest flow measure available.
+                let flow = match device {
+                    Some(d) if !host_fallback => self.pool.devices()[d]
+                        .gpu()
+                        .now()
+                        .saturating_since(start[d])
+                        .as_secs_f64(),
+                    _ => report.elapsed.as_secs_f64(),
+                };
                 match deadline {
-                    Some(dl) if report.elapsed.as_secs_f64() > dl => RequestStatus::TimedOut {
+                    Some(dl) if flow > dl => RequestStatus::TimedOut {
                         deadline: dl,
-                        elapsed: report.elapsed.as_secs_f64(),
+                        elapsed: flow,
                         report: Box::new(report),
                     },
                     _ => RequestStatus::Completed(report),

@@ -10,12 +10,16 @@
 //! 1. **Admission control.** A request whose worst-case device footprint
 //!    cannot fit on the pool's smallest device is rejected at submission
 //!    instead of failing mid-flight.
-//! 2. **Virtual-time work dispatch.** Each queued request is pulled by the
-//!    device with the lowest estimated ready time: virtual clock plus the
-//!    estimated upload time of the request's shared operands it is
-//!    missing. Residency affinity is thus bounded by the re-upload cost —
-//!    an idle device steals work once the affine device falls far enough
-//!    behind.
+//! 2. **Policy-driven dispatch.** The queue drains through a pluggable
+//!    [`SchedulePolicy`]: FIFO (the default baseline), earliest-deadline-
+//!    first, or the prediction-guided policy that costs every request ×
+//!    device pair with the paper's models
+//!    ([`SystemProfile::predict_offload`](cocopelia_core::SystemProfile::predict_offload))
+//!    and schedules to minimise pool makespan. Whatever the policy, the
+//!    device for a request is never worse than the bounded-affinity
+//!    ready-time heuristic: virtual clock plus the estimated upload time
+//!    of the request's shared operands the device is missing, so an idle
+//!    device steals work once the affine device falls far enough behind.
 //! 3. **Cross-request residency.** Operands named by key
 //!    ([`MatArg::shared`](crate::MatArg::shared)) live in a per-device LRU
 //!    cache, so a matrix uploaded for request *N* is not re-transferred
@@ -42,6 +46,8 @@
 
 mod executor;
 mod residency;
+mod sched;
 
 pub use executor::{Executor, ExecutorConfig, RequestOutcome, RequestStatus, ServeReport};
 pub use residency::ResidencyCache;
+pub use sched::SchedulePolicy;

@@ -4,6 +4,7 @@ use crate::error::RuntimeError;
 use crate::operand::{DeviceMatrix, DeviceVector};
 use cocopelia_gpusim::DevBufId;
 use cocopelia_hostblas::Dtype;
+use std::collections::HashMap;
 
 /// A cached device allocation: either a matrix or a vector.
 #[derive(Debug, Clone, Copy)]
@@ -29,12 +30,21 @@ pub(crate) struct Resident {
 ///
 /// The cache tracks *handles*; the executor owns the device and performs
 /// the actual allocation/free calls with the handles this cache evicts.
+///
+/// Entries are indexed by key in a `HashMap`, so `lookup_*`/`contains` —
+/// which dispatch calls per shared key × device × queued request — are
+/// O(1) instead of a `Vec` scan. LRU order lives in each entry's
+/// `last_use` stamp (strictly increasing, hence unique), and every path
+/// that surfaces multiple entries (`evict_for`, `clear`,
+/// `device_buffers`) orders by it, so nothing about the map's iteration
+/// order can leak into the executor's free/upload sequence and break
+/// bit-identical replays.
 #[derive(Debug)]
 pub struct ResidencyCache {
     budget_bytes: usize,
     used_bytes: usize,
     clock: u64,
-    entries: Vec<Resident>,
+    entries: HashMap<String, Resident>,
 }
 
 impl ResidencyCache {
@@ -44,7 +54,7 @@ impl ResidencyCache {
             budget_bytes,
             used_bytes: 0,
             clock: 0,
-            entries: Vec::new(),
+            entries: HashMap::new(),
         }
     }
 
@@ -78,18 +88,15 @@ impl ResidencyCache {
     /// in the budget. The executor pins the keys of the request being
     /// resolved so a later operand never evicts an earlier one.
     pub(crate) fn fits_pinned(&self, bytes: usize, pinned: &[String]) -> bool {
+        // Iterate entries, not `pinned`: a self-referencing request (W·W)
+        // pins the same key twice, which must not double-count.
         let pinned_bytes: usize = self
             .entries
-            .iter()
+            .values()
             .filter(|e| pinned.contains(&e.key))
             .map(|e| e.bytes)
             .sum();
         bytes + pinned_bytes <= self.budget_bytes
-    }
-
-    fn touch(&mut self, idx: usize) {
-        self.clock += 1;
-        self.entries[idx].last_use = self.clock;
     }
 
     /// Looks up a shared matrix, refreshing its LRU position on a hit.
@@ -105,13 +112,13 @@ impl ResidencyCache {
         rows: usize,
         cols: usize,
     ) -> Result<Option<DeviceMatrix>, RuntimeError> {
-        let Some(idx) = self.entries.iter().position(|e| e.key == key) else {
+        let Some(e) = self.entries.get_mut(key) else {
             return Ok(None);
         };
-        let e = &self.entries[idx];
         match e.handle {
             ResidentHandle::Mat(m) if e.dtype == dtype && m.rows() == rows && m.cols() == cols => {
-                self.touch(idx);
+                self.clock += 1;
+                e.last_use = self.clock;
                 Ok(Some(m))
             }
             _ => Err(RuntimeError::DimensionMismatch {
@@ -134,13 +141,13 @@ impl ResidencyCache {
         dtype: Dtype,
         len: usize,
     ) -> Result<Option<DeviceVector>, RuntimeError> {
-        let Some(idx) = self.entries.iter().position(|e| e.key == key) else {
+        let Some(e) = self.entries.get_mut(key) else {
             return Ok(None);
         };
-        let e = &self.entries[idx];
         match e.handle {
             ResidentHandle::Vec(v) if e.dtype == dtype && v.len() == len => {
-                self.touch(idx);
+                self.clock += 1;
+                e.last_use = self.clock;
                 Ok(Some(v))
             }
             _ => Err(RuntimeError::DimensionMismatch {
@@ -160,68 +167,104 @@ impl ResidencyCache {
     pub(crate) fn evict_for(&mut self, bytes: usize, pinned: &[String]) -> Vec<Resident> {
         let mut evicted = Vec::new();
         while self.used_bytes + bytes > self.budget_bytes {
-            let Some(idx) = self
+            // `last_use` stamps are unique, so the minimum is a single
+            // deterministic victim regardless of map iteration order.
+            let Some(key) = self
                 .entries
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| !pinned.contains(&e.key))
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
+                .values()
+                .filter(|e| !pinned.contains(&e.key))
+                .min_by_key(|e| e.last_use)
+                .map(|e| e.key.clone())
             else {
                 break;
             };
-            let e = self.entries.remove(idx);
+            let e = self.entries.remove(&key).expect("victim is resident");
             self.used_bytes -= e.bytes;
             evicted.push(e);
         }
         evicted
     }
 
-    /// Caches a matrix under `key`. The caller has already made room.
-    pub(crate) fn insert_mat(&mut self, key: &str, dtype: Dtype, m: DeviceMatrix, bytes: usize) {
+    /// Caches a matrix under `key`, returning whether the entry was
+    /// inserted. A duplicate key is *rejected* (`false`) rather than
+    /// shadowing or double-counting the resident entry — the caller still
+    /// owns the handle it tried to insert.
+    pub(crate) fn insert_mat(
+        &mut self,
+        key: &str,
+        dtype: Dtype,
+        m: DeviceMatrix,
+        bytes: usize,
+    ) -> bool {
+        if self.entries.contains_key(key) {
+            return false;
+        }
         self.clock += 1;
         self.used_bytes += bytes;
-        self.entries.push(Resident {
-            key: key.to_owned(),
-            dtype,
-            handle: ResidentHandle::Mat(m),
-            bytes,
-            last_use: self.clock,
-        });
+        self.entries.insert(
+            key.to_owned(),
+            Resident {
+                key: key.to_owned(),
+                dtype,
+                handle: ResidentHandle::Mat(m),
+                bytes,
+                last_use: self.clock,
+            },
+        );
+        true
     }
 
-    /// Caches a vector under `key`. The caller has already made room.
-    pub(crate) fn insert_vec(&mut self, key: &str, dtype: Dtype, v: DeviceVector, bytes: usize) {
+    /// Caches a vector under `key`; as [`insert_mat`](Self::insert_mat).
+    pub(crate) fn insert_vec(
+        &mut self,
+        key: &str,
+        dtype: Dtype,
+        v: DeviceVector,
+        bytes: usize,
+    ) -> bool {
+        if self.entries.contains_key(key) {
+            return false;
+        }
         self.clock += 1;
         self.used_bytes += bytes;
-        self.entries.push(Resident {
-            key: key.to_owned(),
-            dtype,
-            handle: ResidentHandle::Vec(v),
-            bytes,
-            last_use: self.clock,
-        });
+        self.entries.insert(
+            key.to_owned(),
+            Resident {
+                key: key.to_owned(),
+                dtype,
+                handle: ResidentHandle::Vec(v),
+                bytes,
+                last_use: self.clock,
+            },
+        );
+        true
     }
 
-    /// Empties the cache, returning every handle for the executor to free.
+    /// Empties the cache, returning every handle for the executor to free
+    /// in LRU order (deterministic: `last_use` stamps are unique).
     pub(crate) fn clear(&mut self) -> Vec<Resident> {
         self.used_bytes = 0;
-        std::mem::take(&mut self.entries)
+        let mut all: Vec<Resident> = self.entries.drain().map(|(_, e)| e).collect();
+        all.sort_by_key(|e| e.last_use);
+        all
     }
 
     /// True when `key` is resident (does not refresh its LRU position).
     /// Dispatch uses this to cost the shared operands a device is missing.
     pub(crate) fn contains(&self, key: &str) -> bool {
-        self.entries.iter().any(|e| e.key == key)
+        self.entries.contains_key(key)
     }
 
-    /// Device buffers currently tracked by the cache. The executor uses
-    /// this to tell leaked allocations apart from live cached operands
-    /// when cleaning up after a failed attempt; tests use it to prove a
-    /// device holds no allocation beyond its cached operands.
+    /// Device buffers currently tracked by the cache, in LRU order. The
+    /// executor uses this to tell leaked allocations apart from live
+    /// cached operands when cleaning up after a failed attempt; tests use
+    /// it to prove a device holds no allocation beyond its cached
+    /// operands.
     pub fn device_buffers(&self) -> Vec<DevBufId> {
-        self.entries
-            .iter()
+        let mut entries: Vec<&Resident> = self.entries.values().collect();
+        entries.sort_by_key(|e| e.last_use);
+        entries
+            .into_iter()
             .map(|e| match e.handle {
                 ResidentHandle::Mat(m) => m.raw_buf(),
                 ResidentHandle::Vec(v) => v.raw_buf(),
@@ -248,8 +291,8 @@ mod tests {
     fn lru_eviction_order_and_budget() {
         let mut g = gpu();
         let mut cache = ResidencyCache::new(2000);
-        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
-        cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800);
+        assert!(cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800));
+        assert!(cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800));
         assert_eq!(cache.used_bytes(), 1600);
         // Touch A so B becomes the LRU entry.
         cache
@@ -289,6 +332,30 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_key_inserts_are_rejected() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(10_000);
+        assert!(cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800));
+        // Same key again — even with a different shape, dtype, or kind —
+        // is refused and changes nothing.
+        assert!(!cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800));
+        assert!(!cache.insert_mat("A", Dtype::F32, mat(&mut g, 3, 3), 36));
+        assert!(!cache.insert_vec(
+            "A",
+            Dtype::F64,
+            DeviceVector::from_raw(g.alloc_device(Dtype::F64, 5).expect("alloc"), 5),
+            40,
+        ));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), 800);
+        // The original entry is intact.
+        assert!(cache
+            .lookup_mat("A", Dtype::F64, 10, 10)
+            .expect("shape ok")
+            .is_some());
+    }
+
+    #[test]
     fn shape_mismatch_is_an_error() {
         let mut g = gpu();
         let mut cache = ResidencyCache::new(10_000);
@@ -317,13 +384,20 @@ mod tests {
     }
 
     #[test]
-    fn clear_returns_everything() {
+    fn clear_returns_everything_in_lru_order() {
         let mut g = gpu();
         let mut cache = ResidencyCache::new(10_000);
         cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
         cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800);
+        // Touch A so the LRU order is B, then A.
+        cache
+            .lookup_mat("A", Dtype::F64, 10, 10)
+            .expect("shape ok")
+            .expect("hit");
         let all = cache.clear();
         assert_eq!(all.len(), 2);
+        assert_eq!(all[0].key, "B");
+        assert_eq!(all[1].key, "A");
         assert!(cache.is_empty());
         assert_eq!(cache.used_bytes(), 0);
     }

@@ -25,7 +25,8 @@ pub mod table;
 pub use chaos::{chaos_fault_spec, chaos_request_trace};
 pub use runner::{AxpyLib, GemmLib, Lab, RunOut};
 pub use serve::{
-    parse_request_trace, run_serve, run_serve_with_faults, standard_request_trace, ServeComparison,
+    deadline_request_trace, parse_request_trace, run_serve, run_serve_with_faults,
+    run_serve_with_policy, skewed_request_trace, standard_request_trace, ServeComparison,
 };
 pub use sets::{AxpyProblem, GemmProblem, Scale};
 pub use snapshot::{collect_snapshot, standard_sweep, SweepPoint, SNAPSHOT_SEED};

@@ -10,7 +10,7 @@
 
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, TestbedSpec};
-use cocopelia_runtime::serve::{Executor, ExecutorConfig, ServeReport};
+use cocopelia_runtime::serve::{Executor, ExecutorConfig, SchedulePolicy, ServeReport};
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
     RoutineRequest, SharedMat, SharedVec, TileChoice, VecArg, VecOperand,
@@ -106,6 +106,51 @@ pub fn standard_request_trace() -> Vec<RoutineRequest> {
     ]
 }
 
+/// The standard *skewed* trace for scheduling-policy comparisons: six
+/// equal dgemm requests and one eight-times-larger straggler submitted
+/// *last*. FIFO spreads the small requests across the pool first and then
+/// lands the straggler on an already-loaded device; the predictive policy
+/// recognises the straggler as the longest job and dispatches it first
+/// (LPT), so the small requests pack onto the other devices under it.
+/// Operands are private (no sharing) so the comparison isolates
+/// scheduling from residency effects.
+pub fn skewed_request_trace() -> Vec<RoutineRequest> {
+    let ghost = |n: usize| MatOperand::HostGhost { rows: n, cols: n };
+    let gemm = |n: usize| {
+        GemmRequest::<f64>::new(ghost(n), ghost(n), ghost(n))
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Auto)
+    };
+    let mut trace: Vec<RoutineRequest> = (0..6).map(|_| gemm(1024).into()).collect();
+    trace.push(gemm(2048).into());
+    trace
+}
+
+/// The standard *deadline* trace: a large deadline-less dgemm submitted
+/// first, then a small dgemm whose 25 ms flow-time budget is comfortable
+/// on its own (~10 ms on Testbed I) but blown when it queues behind the
+/// ~40 ms large request. FIFO serves in submission order and misses the
+/// deadline; EDF pulls the deadline-carrying request forward and meets
+/// it. Serve it on **one** device — with more, the two requests never
+/// contend and both policies meet the deadline.
+pub fn deadline_request_trace() -> Vec<RoutineRequest> {
+    let ghost = |n: usize| MatOperand::HostGhost { rows: n, cols: n };
+    vec![
+        GemmRequest::<f64>::new(ghost(2048), ghost(2048), ghost(2048))
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Auto)
+            .into(),
+        GemmRequest::<f64>::new(ghost(1024), ghost(1024), ghost(1024))
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Auto)
+            .deadline_secs(0.025)
+            .into(),
+    ]
+}
+
 /// Deploys on a quiet copy of `testbed`, serves `trace` through an
 /// [`Executor`] over `devices` devices, and replays the same trace
 /// sequentially without sharing for the baseline.
@@ -134,6 +179,23 @@ pub fn run_serve_with_faults(
     trace: Vec<RoutineRequest>,
     faults: &FaultSpec,
 ) -> Result<ServeComparison, String> {
+    run_serve_with_policy(testbed, devices, trace, faults, SchedulePolicy::Fifo)
+}
+
+/// [`run_serve_with_faults`] with an explicit queue-scheduling policy.
+/// [`SchedulePolicy::Fifo`] reproduces [`run_serve_with_faults`]
+/// bit-for-bit; the sequential baseline is policy-independent.
+///
+/// # Errors
+///
+/// Propagates deployment and runtime failures as strings.
+pub fn run_serve_with_policy(
+    testbed: &TestbedSpec,
+    devices: usize,
+    trace: Vec<RoutineRequest>,
+    faults: &FaultSpec,
+    policy: SchedulePolicy,
+) -> Result<ServeComparison, String> {
     let mut tb = testbed.clone();
     tb.noise = NoiseSpec::NONE;
     let deployed = deploy(&tb, &DeployConfig::quick()).map_err(|e| e.to_string())?;
@@ -161,6 +223,7 @@ pub fn run_serve_with_faults(
         faults,
     );
     let mut exec = Executor::new(pool, ExecutorConfig::default());
+    exec.set_policy(policy);
     for req in trace {
         exec.submit(req);
     }

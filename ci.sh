@@ -2,7 +2,8 @@
 # Local CI gate: formatting, lints, release build, and the full test suite.
 #
 # Offline-registry caveat: this workspace resolves its external dependencies
-# (rand, serde, serde_json, proptest, criterion) to the API-compatible stubs
+# (rand, serde, serde_json, proptest, criterion, iai_callgrind) to the
+# API-compatible stubs
 # vendored under vendor/ via path entries in [workspace.dependencies] —
 # `cargo` never touches a registry, so the script runs in fully offline
 # environments. Do not add registry dependencies without vendoring them the
@@ -46,5 +47,17 @@ echo "== chaos soak gate (seeded fault injection) =="
 # trace-invariant checks over three fixed seeds — must pass bit-identically
 # on every run. The seeds live in tests/serve_faults.rs.
 cargo test --release -q -p cocopelia-xp --test serve_faults
+
+echo "== trace pipeline gate (spans, perfetto, timeline) =="
+# The serve tracing pipeline end to end: span invariants on chaos runs,
+# Perfetto round-trip decode (track counts, flows, per-track monotonicity),
+# timeline rendering, and traced-vs-untraced timing identity.
+cargo test --release -q -p cocopelia-xp --test serve_trace
+
+echo "== microbench smoke (dispatch / residency / trace hot paths) =="
+# Builds and runs the iai-callgrind-style microbenches once so the hot-path
+# bench targets can't rot. Numbers are informational (the vendored harness
+# reports wall clock, not instruction counts).
+cargo bench --bench micro_hotpaths
 
 echo "CI gate passed."

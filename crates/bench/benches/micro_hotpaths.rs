@@ -1,0 +1,153 @@
+//! Instruction-count-style microbenches for the serving hot paths: the
+//! scheduler's dispatch decision, the residency-cache admission probe,
+//! and the span-record / Perfetto-export trace path.
+//!
+//! Uses the `iai_callgrind` harness (vendored wall-clock stand-in; the
+//! registry version counts instructions under callgrind). Each function
+//! is self-contained — setup inside, hot loop sized to dominate it.
+
+use iai_callgrind::{black_box, main};
+
+use cocopelia_core::profile::SystemProfile;
+use cocopelia_core::transfer::{LatBw, TransferModel};
+use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, NoiseSpec, SimTime, TraceEntry};
+use cocopelia_obs::{DeviceLane, ServeTrace, SpanLog, SpanPhase};
+use cocopelia_runtime::serve::{Executor, ExecutorConfig};
+use cocopelia_runtime::{GemmRequest, MatOperand, MultiGpu, RoutineRequest, SharedMat, TileChoice};
+
+fn dummy_profile() -> SystemProfile {
+    SystemProfile::new(
+        "micro",
+        TransferModel {
+            h2d: LatBw { t_l: 0.0, t_b: 0.0 },
+            d2h: LatBw { t_l: 0.0, t_b: 0.0 },
+            sl_h2d: 1.0,
+            sl_d2h: 1.0,
+        },
+    )
+}
+
+fn shared_gemm() -> RoutineRequest {
+    GemmRequest::<f64>::new(
+        SharedMat::new("A", 1024, 1024),
+        SharedMat::new("B", 1024, 1024),
+        MatOperand::HostGhost {
+            rows: 1024,
+            cols: 1024,
+        },
+    )
+    .alpha(1.0)
+    .beta(1.0)
+    .tile(TileChoice::Fixed(512))
+    .into()
+}
+
+fn quiet_executor(devices: usize) -> Executor {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE;
+    let pool = MultiGpu::new(&tb, devices, ExecMode::TimingOnly, 42, dummy_profile());
+    Executor::new(pool, ExecutorConfig::default())
+}
+
+/// The scheduler's per-request decision: pop the next request and pick
+/// its device (affinity + ready-time heuristic) without executing it.
+#[inline(never)]
+fn next_dispatch() {
+    let mut exec = quiet_executor(4);
+    for _ in 0..64 {
+        exec.submit(shared_gemm());
+    }
+    while let Some(decision) = exec.next_dispatch_for_bench() {
+        black_box(decision);
+    }
+}
+
+/// The admission probe against a residency cache populated by a real
+/// shared-operand run: `fits` plus the buffer enumeration.
+#[inline(never)]
+fn residency_probe() {
+    let mut exec = quiet_executor(2);
+    for _ in 0..4 {
+        exec.submit(shared_gemm());
+    }
+    exec.run();
+    let cache = exec.residency(0);
+    for i in 0..200_000usize {
+        black_box(cache.fits(i & 0xFFFF));
+    }
+    black_box(cache.device_buffers());
+    black_box(cache.used_bytes());
+}
+
+/// The span-record hot path: what the executor pays per traced request.
+#[inline(never)]
+fn span_record() {
+    let mut log = SpanLog::default();
+    for i in 0..10_000u64 {
+        let parent = log.record(
+            None,
+            i,
+            Some((i % 4) as usize),
+            SpanPhase::Dispatch,
+            "attempt 0",
+            i * 100,
+            i * 100 + 80,
+            Some(i),
+        );
+        log.record(
+            Some(parent),
+            i,
+            Some((i % 4) as usize),
+            SpanPhase::Exec,
+            "exec",
+            i * 100 + 10,
+            i * 100 + 70,
+            None,
+        );
+    }
+    black_box(log.len());
+}
+
+/// The Perfetto protobuf encode of a serve trace with engine lanes.
+#[inline(never)]
+fn perfetto_export() {
+    let mut log = SpanLog::default();
+    let mut entries = Vec::new();
+    for i in 0..1_000u64 {
+        log.record(
+            None,
+            i,
+            Some((i % 2) as usize),
+            SpanPhase::Dispatch,
+            "attempt 0",
+            i * 200,
+            i * 200 + 150,
+            Some(i),
+        );
+        entries.push(TraceEntry {
+            op: i as usize,
+            stream: cocopelia_gpusim::StreamId::from_raw(0),
+            engine: EngineKind::Compute,
+            label: "gemm tile".to_owned(),
+            start: SimTime::from_nanos(i * 200),
+            end: SimTime::from_nanos(i * 200 + 150),
+            bytes: None,
+            tag: None,
+        });
+    }
+    let trace = ServeTrace {
+        spans: log.into_spans(),
+        lanes: vec![DeviceLane {
+            device: 0,
+            name: "dev0".to_owned(),
+            entries,
+        }],
+    };
+    black_box(cocopelia_obs::perfetto::to_perfetto(black_box(&trace)));
+}
+
+main!(
+    callgrind_args = "--simulate-wb=no", "--simulate-hwpref=yes",
+        "--I1=32768,8,64", "--D1=32768,8,64", "--LL=8388608,16,64";
+    functions = next_dispatch, residency_probe, span_record, perfetto_export
+);

@@ -8,7 +8,8 @@
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! cocopelia calib   --testbed i [--quick] [--json calib.json]
-//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20]
+//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--snapshot-ms 5]
+//! cocopelia timeline --testbed i [--devices 2] [--trace requests.txt] [--faults ...] [--width 96] [--color]
 //! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
 //! cocopelia compare BENCH_seed.json BENCH_pr.json [--threshold 0.05] [--json diff.json]
 //! ```
@@ -93,6 +94,13 @@ fn write_file(path: &str, text: &str) -> Result<(), CliError> {
     })
 }
 
+fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
@@ -118,11 +126,15 @@ usage:
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>] [--json <out.json>]
   cocopelia trace   --testbed <i|ii> --profile <profile.json> --routine <...>
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
-                    --out <trace.json> [--format <chrome|jsonl>]
+                    --out <trace.json> [--format <chrome|jsonl|perfetto>]
   cocopelia gantt   --testbed <i|ii> --dims <M> <N> <K> --tile <N> [--width <cols>]
   cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
   cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
-                    [--policy <fifo|edf|predictive>]
+                    [--policy <fifo|edf|predictive>] [--trace-out <out.json|out.perfetto>]
+                    [--snapshot-ms <N>]
+  cocopelia timeline --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
+                    [--policy <fifo|edf|predictive>] [--width <cols>] [--color]
+                    [--trace-out <out.json|out.perfetto>] [--snapshot-ms <N>]
   cocopelia snapshot --out <BENCH_label.json> [--testbed <i|ii>] [--label <label>]
   cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]
 
@@ -149,6 +161,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "gantt" => cmd_gantt(&args),
         "calib" => cmd_calib(&args),
         "serve" => cmd_serve(&args),
+        "timeline" => cmd_timeline(&args),
         "snapshot" => cmd_snapshot(&args),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
@@ -464,17 +477,24 @@ fn cmd_trace(args: &Args) -> Result<(), CliError> {
     let (ctx, _report) = execute(args)?;
     let out = get(args, "out")?;
     let entries = ctx.gpu().trace().entries();
-    let text = match args.get_opt("format").as_deref() {
-        None | Some("chrome") => cocopelia_obs::export::to_chrome_trace(entries)
-            .map_err(|e| CliError::Json(e.to_string()))?,
+    match args.get_opt("format").as_deref() {
+        None | Some("chrome") => {
+            let text = cocopelia_obs::export::to_chrome_trace(entries)
+                .map_err(|e| CliError::Json(e.to_string()))?;
+            write_file(&out, &text)?;
+        }
         Some("jsonl") => {
-            cocopelia_obs::export::to_jsonl(entries).map_err(|e| CliError::Json(e.to_string()))?
+            let text = cocopelia_obs::export::to_jsonl(entries)
+                .map_err(|e| CliError::Json(e.to_string()))?;
+            write_file(&out, &text)?;
+        }
+        Some("perfetto") => {
+            write_bytes(&out, &cocopelia_obs::perfetto::to_perfetto_single(entries))?;
         }
         Some(other) => {
             return Err(CliError::Usage(format!("unknown trace format `{other}`")));
         }
-    };
-    write_file(&out, &text)?;
+    }
     println!("{} trace entries written to {out}", entries.len());
     Ok(())
 }
@@ -552,11 +572,13 @@ fn cmd_calib(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Serves a request trace (the standard mixed trace unless `--trace`
-/// points at a file) through the concurrent executor and prints the
-/// per-request outcomes, aggregates, and the speedup over a sequential
-/// no-reuse replay.
-fn cmd_serve(args: &Args) -> Result<(), CliError> {
+/// Shared front half of `serve` and `timeline`: parses the pool size,
+/// request trace, fault plan, policy, and snapshot interval, then runs
+/// the executor comparison (span tracing on when `trace_spans`).
+fn serve_comparison(
+    args: &Args,
+    trace_spans: bool,
+) -> Result<(cocopelia_xp::ServeComparison, FaultSpec), CliError> {
     let tb = testbed(args)?;
     let devices: usize = args
         .get_opt("devices")
@@ -582,6 +604,16 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         Some(p) => cocopelia_runtime::serve::SchedulePolicy::parse(&p).map_err(CliError::Usage)?,
         None => cocopelia_runtime::serve::SchedulePolicy::Fifo,
     };
+    let snapshot_interval = args
+        .get_opt("snapshot-ms")
+        .map(|ms| {
+            ms.parse::<f64>()
+                .ok()
+                .filter(|v| *v > 0.0)
+                .map(|v| cocopelia_gpusim::SimTime::from_secs_f64(v * 1e-3))
+                .ok_or_else(|| CliError::Usage(format!("bad --snapshot-ms value `{ms}`")))
+        })
+        .transpose()?;
     let requests = trace.len();
     eprintln!(
         "deploying and serving {requests} request(s) on {} device(s) under {policy}{} ...",
@@ -592,8 +624,40 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             " with fault injection"
         },
     );
-    let cmp = cocopelia_xp::run_serve_with_policy(&tb, devices, trace, &fault_spec, policy)
+    let options = cocopelia_xp::ServeOptions {
+        policy,
+        trace: trace_spans,
+        snapshot_interval,
+    };
+    let cmp = cocopelia_xp::run_serve_with_options(&tb, devices, trace, &fault_spec, &options)
         .map_err(CliError::Data)?;
+    Ok((cmp, fault_spec))
+}
+
+/// Writes a serve trace in the format its extension names: `.perfetto` /
+/// `.pftrace` → binary Perfetto protobuf (open in ui.perfetto.dev),
+/// anything else → Chrome trace JSON (`chrome://tracing`).
+fn write_serve_trace(path: &str, trace: &cocopelia_obs::ServeTrace) -> Result<(), CliError> {
+    if path.ends_with(".perfetto") || path.ends_with(".pftrace") {
+        write_bytes(path, &cocopelia_obs::perfetto::to_perfetto(trace))?;
+        println!("perfetto trace written to {path} (open in ui.perfetto.dev)");
+    } else {
+        let text = cocopelia_obs::export::serve_trace_to_chrome(trace)
+            .map_err(|e| CliError::Json(e.to_string()))?;
+        write_file(path, &text)?;
+        println!("chrome trace written to {path}");
+    }
+    Ok(())
+}
+
+/// Serves a request trace (the standard mixed trace unless `--trace`
+/// points at a file) through the concurrent executor and prints the
+/// per-request outcomes, aggregates, and the speedup over a sequential
+/// no-reuse replay. `--trace-out` additionally exports the run's
+/// request-lifecycle trace.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let trace_out = args.get_opt("trace-out");
+    let (cmp, fault_spec) = serve_comparison(args, trace_out.is_some())?;
     print!("{}", cmp.report.render());
     println!(
         "sequential no-reuse baseline {:.3} ms | speedup {:.2}x on {} device(s)",
@@ -616,6 +680,44 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             c("quarantine_invalidated_total"),
             c("fault_host_fallback_total"),
         );
+    }
+    if let Some(path) = trace_out {
+        let trace = cmp
+            .report
+            .trace
+            .as_ref()
+            .ok_or_else(|| CliError::Data("executor produced no trace".into()))?;
+        write_serve_trace(&path, trace)?;
+    }
+    Ok(())
+}
+
+/// Runs the same comparison as `serve` with tracing always on and renders
+/// the per-device timetable instead of the report: device rows × virtual-
+/// time columns with glyphs for copies, kernels, retries, and
+/// quarantines. `--trace-out` exports the trace alongside.
+fn cmd_timeline(args: &Args) -> Result<(), CliError> {
+    let width: usize = args
+        .get_opt("width")
+        .map(|w| {
+            w.parse()
+                .map_err(|_| CliError::Usage(format!("bad --width value `{w}`")))
+        })
+        .transpose()?
+        .unwrap_or(96);
+    let opts = cocopelia_obs::timeline::TimelineOptions {
+        width,
+        color: args.has_flag("color"),
+    };
+    let (cmp, _fault_spec) = serve_comparison(args, true)?;
+    let trace = cmp
+        .report
+        .trace
+        .as_ref()
+        .ok_or_else(|| CliError::Data("executor produced no trace".into()))?;
+    print!("{}", cocopelia_obs::timeline::render(trace, &opts));
+    if let Some(path) = args.get_opt("trace-out") {
+        write_serve_trace(&path, trace)?;
     }
     Ok(())
 }
@@ -837,6 +939,22 @@ mod tests {
         assert!(matches!(
             super::run(&argv("serve --testbed i --trace /nonexistent/trace.txt")),
             Err(CliError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn timeline_shares_serve_validation() {
+        assert!(matches!(
+            super::run(&argv("timeline --testbed i --devices 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            super::run(&argv("timeline --testbed i --width potato")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            super::run(&argv("serve --testbed i --snapshot-ms -3")),
+            Err(CliError::Usage(_))
         ));
     }
 

@@ -137,6 +137,13 @@ impl Trace {
         self.entries.is_empty()
     }
 
+    /// Entries recorded after the first `n` — the slice a caller that
+    /// noted [`len`](Self::len) before issuing work can attribute to that
+    /// work (the serve executor tags each dispatch attempt this way).
+    pub fn entries_since(&self, n: usize) -> &[TraceEntry] {
+        &self.entries[n.min(self.entries.len())..]
+    }
+
     pub(crate) fn push(&mut self, entry: TraceEntry) {
         self.entries.push(entry);
     }

@@ -56,7 +56,10 @@ pub mod invariants;
 pub mod metrics;
 pub mod observer;
 pub mod overlap;
+pub mod perfetto;
 pub mod snapshot;
+pub mod span;
+pub mod timeline;
 
 pub use calib::{audit_exec_table, CalibReport, ExecAudit, FitRow, LatencyRow};
 pub use diff::{DiffConfig, DiffReport, EntryDiff, Verdict};
@@ -65,3 +68,4 @@ pub use metrics::{Histogram, Registry};
 pub use observer::{CallObservation, CallSummary, Observer, EFFICIENCY_BOUNDS};
 pub use overlap::OverlapStats;
 pub use snapshot::{Snapshot, SnapshotEntry, SNAPSHOT_SCHEMA_VERSION};
+pub use span::{check_spans, DeviceLane, ServeTrace, Span, SpanId, SpanLog, SpanPhase};

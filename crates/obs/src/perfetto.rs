@@ -1,0 +1,885 @@
+//! Perfetto protobuf trace exporter — a dependency-free, hand-rolled
+//! writer of the `perfetto.protos.Trace` wire format, so multi-device
+//! serve runs open natively in <https://ui.perfetto.dev> (no JSON
+//! conversion, no size ceiling).
+//!
+//! Only the varint and length-delimited wire types are needed: a trace is
+//! `repeated TracePacket packet = 1`, each packet carrying either a
+//! `TrackDescriptor` (process/thread identity) or a timestamped
+//! `TrackEvent` (slice begin/end, instant, flow ids). Field numbers below
+//! follow the upstream `trace_packet.proto`/`track_event.proto` schema.
+//!
+//! Track layout for a [`ServeTrace`]:
+//!
+//! * one **process track per device** (`pid = 10 + d`) with one thread
+//!   track per engine (`h2d`, `exec`, `d2h`) carrying the device's
+//!   [`TraceEntry`] slices, plus a `requests` thread carrying the
+//!   request-lifecycle spans that ran on that device (dispatch attempts,
+//!   retries, quarantine instants);
+//! * one **serve process** (`pid = 1`) with a `queue` thread (submit /
+//!   queue-wait / complete spans) and a `host` thread (host-fallback
+//!   runs);
+//! * **flow ids** ([`Span::flow`]) attached to the queue-wait slice and
+//!   the first device attempt of each request, so the viewer draws the
+//!   queue-to-device hand-off arrow.
+//!
+//! The module also ships a minimal [`decode`] reader (the same wire
+//! subset) so tests — and the `serve --trace-out` acceptance gate — can
+//! round-trip the emitted bytes without a protobuf dependency.
+
+use crate::span::{DeviceLane, ServeTrace, Span, SpanPhase};
+use cocopelia_gpusim::{EngineKind, TraceEntry};
+
+// ---- wire-format field numbers (upstream perfetto .proto schema) ----
+
+/// `Trace.packet`.
+const TRACE_PACKET: u32 = 1;
+/// `TracePacket.timestamp`.
+const PACKET_TIMESTAMP: u32 = 8;
+/// `TracePacket.trusted_packet_sequence_id`.
+const PACKET_SEQUENCE_ID: u32 = 10;
+/// `TracePacket.track_event`.
+const PACKET_TRACK_EVENT: u32 = 11;
+/// `TracePacket.track_descriptor`.
+const PACKET_TRACK_DESCRIPTOR: u32 = 60;
+/// `TrackDescriptor.uuid`.
+const TRACK_UUID: u32 = 1;
+/// `TrackDescriptor.name`.
+const TRACK_NAME: u32 = 2;
+/// `TrackDescriptor.process`.
+const TRACK_PROCESS: u32 = 3;
+/// `TrackDescriptor.thread`.
+const TRACK_THREAD: u32 = 4;
+/// `ProcessDescriptor.pid`.
+const PROCESS_PID: u32 = 1;
+/// `ProcessDescriptor.process_name`.
+const PROCESS_NAME: u32 = 6;
+/// `ThreadDescriptor.pid`.
+const THREAD_PID: u32 = 1;
+/// `ThreadDescriptor.tid`.
+const THREAD_TID: u32 = 2;
+/// `ThreadDescriptor.thread_name`.
+const THREAD_NAME: u32 = 5;
+/// `TrackEvent.type`.
+const EVENT_TYPE: u32 = 9;
+/// `TrackEvent.track_uuid`.
+const EVENT_TRACK_UUID: u32 = 11;
+/// `TrackEvent.name` (non-interned).
+const EVENT_NAME: u32 = 23;
+/// `TrackEvent.flow_ids` (fixed64).
+const EVENT_FLOW_IDS: u32 = 47;
+
+/// `TrackEvent.Type.TYPE_SLICE_BEGIN`.
+const TYPE_SLICE_BEGIN: u64 = 1;
+/// `TrackEvent.Type.TYPE_SLICE_END`.
+const TYPE_SLICE_END: u64 = 2;
+/// `TrackEvent.Type.TYPE_INSTANT`.
+const TYPE_INSTANT: u64 = 3;
+
+/// The single trusted packet sequence every packet is emitted on.
+const SEQUENCE_ID: u64 = 1;
+
+/// Serve-process track uuids/pids (devices start above these).
+const SERVE_PROCESS_UUID: u64 = 1;
+const SERVE_QUEUE_UUID: u64 = 2;
+const SERVE_HOST_UUID: u64 = 3;
+const SERVE_PID: u64 = 1;
+
+/// Track uuid of device `d`'s process.
+fn device_process_uuid(d: usize) -> u64 {
+    100 + (d as u64) * 10
+}
+
+/// OS-style pid of device `d`'s process track.
+fn device_pid(d: usize) -> u64 {
+    10 + d as u64
+}
+
+/// Track uuid of device `d`'s engine thread.
+fn engine_uuid(d: usize, engine: EngineKind) -> u64 {
+    device_process_uuid(d)
+        + match engine {
+            EngineKind::CopyH2d => 1,
+            EngineKind::Compute => 2,
+            EngineKind::CopyD2h => 3,
+        }
+}
+
+/// Track uuid of device `d`'s request-lifecycle thread.
+fn lifecycle_uuid(d: usize) -> u64 {
+    device_process_uuid(d) + 4
+}
+
+// ---- low-level protobuf writing ----
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_key(out: &mut Vec<u8>, field: u32, wire: u64) {
+    put_varint(out, (u64::from(field) << 3) | wire);
+}
+
+fn put_uint(out: &mut Vec<u8>, field: u32, v: u64) {
+    put_key(out, field, 0);
+    put_varint(out, v);
+}
+
+fn put_fixed64(out: &mut Vec<u8>, field: u32, v: u64) {
+    put_key(out, field, 1);
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, field: u32, payload: &[u8]) {
+    put_key(out, field, 2);
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+fn put_str(out: &mut Vec<u8>, field: u32, s: &str) {
+    put_bytes(out, field, s.as_bytes());
+}
+
+/// One track-descriptor packet.
+fn descriptor_packet(
+    out: &mut Vec<u8>,
+    uuid: u64,
+    name: &str,
+    process: Option<(u64, &str)>,
+    thread: Option<(u64, u64, &str)>,
+) {
+    let mut desc = Vec::new();
+    put_uint(&mut desc, TRACK_UUID, uuid);
+    put_str(&mut desc, TRACK_NAME, name);
+    if let Some((pid, pname)) = process {
+        let mut p = Vec::new();
+        put_uint(&mut p, PROCESS_PID, pid);
+        put_str(&mut p, PROCESS_NAME, pname);
+        put_bytes(&mut desc, TRACK_PROCESS, &p);
+    }
+    if let Some((pid, tid, tname)) = thread {
+        let mut t = Vec::new();
+        put_uint(&mut t, THREAD_PID, pid);
+        put_uint(&mut t, THREAD_TID, tid);
+        put_str(&mut t, THREAD_NAME, tname);
+        put_bytes(&mut desc, TRACK_THREAD, &t);
+    }
+    let mut packet = Vec::new();
+    put_uint(&mut packet, PACKET_SEQUENCE_ID, SEQUENCE_ID);
+    put_bytes(&mut packet, PACKET_TRACK_DESCRIPTOR, &desc);
+    put_bytes(out, TRACE_PACKET, &packet);
+}
+
+/// One timestamped track-event packet.
+fn event_packet(
+    out: &mut Vec<u8>,
+    ts_ns: u64,
+    track_uuid: u64,
+    event_type: u64,
+    name: Option<&str>,
+    flow: Option<u64>,
+) {
+    let mut ev = Vec::new();
+    put_uint(&mut ev, EVENT_TYPE, event_type);
+    put_uint(&mut ev, EVENT_TRACK_UUID, track_uuid);
+    if let Some(n) = name {
+        put_str(&mut ev, EVENT_NAME, n);
+    }
+    if let Some(f) = flow {
+        put_fixed64(&mut ev, EVENT_FLOW_IDS, f);
+    }
+    let mut packet = Vec::new();
+    put_uint(&mut packet, PACKET_TIMESTAMP, ts_ns);
+    put_uint(&mut packet, PACKET_SEQUENCE_ID, SEQUENCE_ID);
+    put_bytes(&mut packet, PACKET_TRACK_EVENT, &ev);
+    put_bytes(out, TRACE_PACKET, &packet);
+}
+
+/// One slice or instant waiting to be emitted, sortable into the per-track
+/// order Perfetto expects: at equal timestamps ends close before begins
+/// open, outer slices open before (and close after) the slices they
+/// contain, and record order breaks the remaining ties.
+struct PendingEvent<'a> {
+    ts: u64,
+    /// 0 = end, 1 = begin, 2 = instant.
+    rank: u8,
+    /// Nesting tiebreak at equal `(ts, rank)`: begins sort by descending
+    /// duration (outer first), ends by ascending (inner first).
+    nest: u64,
+    seq: usize,
+    track: u64,
+    event_type: u64,
+    name: Option<&'a str>,
+    flow: Option<u64>,
+}
+
+fn push_slice<'a>(
+    events: &mut Vec<PendingEvent<'a>>,
+    track: u64,
+    start: u64,
+    end: u64,
+    name: &'a str,
+    flow: Option<u64>,
+) {
+    let seq = events.len();
+    let dur = end.saturating_sub(start);
+    if dur == 0 {
+        events.push(PendingEvent {
+            ts: start,
+            rank: 2,
+            nest: 0,
+            seq,
+            track,
+            event_type: TYPE_INSTANT,
+            name: Some(name),
+            flow,
+        });
+        return;
+    }
+    events.push(PendingEvent {
+        ts: start,
+        rank: 1,
+        nest: u64::MAX - dur,
+        seq,
+        track,
+        event_type: TYPE_SLICE_BEGIN,
+        name: Some(name),
+        flow,
+    });
+    events.push(PendingEvent {
+        ts: end,
+        rank: 0,
+        nest: dur,
+        seq: seq + 1,
+        track,
+        event_type: TYPE_SLICE_END,
+        name: None,
+        flow: None,
+    });
+}
+
+/// Serialises a [`ServeTrace`] to Perfetto protobuf bytes.
+///
+/// The output is a complete standalone trace: descriptor packets first
+/// (serve process, then one process + four threads per device), then every
+/// event packet in global timestamp order (per-track order is therefore
+/// monotone, which [`decode`]-based tests assert).
+pub fn to_perfetto(trace: &ServeTrace) -> Vec<u8> {
+    let mut out = Vec::new();
+    let has_spans = !trace.spans.is_empty();
+    if has_spans {
+        descriptor_packet(
+            &mut out,
+            SERVE_PROCESS_UUID,
+            "serve",
+            Some((SERVE_PID, "serve")),
+            None,
+        );
+        descriptor_packet(
+            &mut out,
+            SERVE_QUEUE_UUID,
+            "queue",
+            None,
+            Some((SERVE_PID, 1, "queue")),
+        );
+        if trace
+            .spans
+            .iter()
+            .any(|s| s.phase == SpanPhase::HostFallback)
+        {
+            descriptor_packet(
+                &mut out,
+                SERVE_HOST_UUID,
+                "host",
+                None,
+                Some((SERVE_PID, 2, "host")),
+            );
+        }
+    }
+    for lane in &trace.lanes {
+        let d = lane.device;
+        descriptor_packet(
+            &mut out,
+            device_process_uuid(d),
+            &lane.name,
+            Some((device_pid(d), &lane.name)),
+            None,
+        );
+        for engine in [
+            EngineKind::CopyH2d,
+            EngineKind::Compute,
+            EngineKind::CopyD2h,
+        ] {
+            descriptor_packet(
+                &mut out,
+                engine_uuid(d, engine),
+                engine.name(),
+                None,
+                Some((device_pid(d), engine_tid(engine), engine.name())),
+            );
+        }
+        if has_spans {
+            descriptor_packet(
+                &mut out,
+                lifecycle_uuid(d),
+                "requests",
+                None,
+                Some((device_pid(d), 4, "requests")),
+            );
+        }
+    }
+
+    let mut events: Vec<PendingEvent> = Vec::new();
+    for lane in &trace.lanes {
+        for e in &lane.entries {
+            push_slice(
+                &mut events,
+                engine_uuid(lane.device, e.engine),
+                e.start.as_nanos(),
+                e.end.as_nanos(),
+                &e.label,
+                None,
+            );
+        }
+    }
+    for s in &trace.spans {
+        push_slice(
+            &mut events,
+            span_track(s),
+            s.start_ns,
+            s.end_ns,
+            &s.label,
+            s.flow,
+        );
+    }
+    events.sort_by_key(|e| (e.ts, e.rank, e.nest, e.seq));
+    for e in events {
+        event_packet(&mut out, e.ts, e.track, e.event_type, e.name, e.flow);
+    }
+    out
+}
+
+/// Serialises one device's raw entries (no spans) — the single-run
+/// `cocopelia trace --format perfetto` path.
+pub fn to_perfetto_single(entries: &[TraceEntry]) -> Vec<u8> {
+    to_perfetto(&ServeTrace {
+        spans: Vec::new(),
+        lanes: vec![DeviceLane {
+            device: 0,
+            name: "dev0".to_owned(),
+            entries: entries.to_vec(),
+        }],
+    })
+}
+
+/// Stable thread id per engine (matches the Chrome exporter's layout).
+fn engine_tid(engine: EngineKind) -> u64 {
+    match engine {
+        EngineKind::CopyH2d => 1,
+        EngineKind::Compute => 2,
+        EngineKind::CopyD2h => 3,
+    }
+}
+
+/// The track a lifecycle span is drawn on.
+fn span_track(s: &Span) -> u64 {
+    match (s.phase, s.device) {
+        (SpanPhase::HostFallback, _) => SERVE_HOST_UUID,
+        (_, Some(d)) => lifecycle_uuid(d),
+        (_, None) => SERVE_QUEUE_UUID,
+    }
+}
+
+pub mod decode {
+    //! Minimal reader of the wire subset the exporter emits, for
+    //! round-trip tests and the serve acceptance gate. Unknown fields are
+    //! skipped by wire type, so traces from newer writers still decode.
+
+    /// Identity carried by a `TrackDescriptor` packet.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct TrackDesc {
+        /// Track uuid.
+        pub uuid: u64,
+        /// Track display name.
+        pub name: String,
+        /// `ProcessDescriptor.pid`, for process tracks.
+        pub pid: Option<u64>,
+        /// `ProcessDescriptor.process_name`.
+        pub process_name: Option<String>,
+        /// `ThreadDescriptor.(pid, tid)`, for thread tracks.
+        pub thread: Option<(u64, u64)>,
+        /// `ThreadDescriptor.thread_name`.
+        pub thread_name: Option<String>,
+    }
+
+    /// One decoded `TrackEvent`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TrackEvent {
+        /// Packet timestamp, nanoseconds.
+        pub ts_ns: u64,
+        /// `TYPE_SLICE_BEGIN` (1), `TYPE_SLICE_END` (2), `TYPE_INSTANT` (3).
+        pub event_type: u64,
+        /// Track the event is drawn on.
+        pub track_uuid: u64,
+        /// Slice name (begins and instants).
+        pub name: Option<String>,
+        /// Flow ids attached to the event.
+        pub flows: Vec<u64>,
+    }
+
+    /// A fully decoded trace: descriptors and events in emission order.
+    #[derive(Debug, Clone, Default)]
+    pub struct DecodedTrace {
+        /// Every `TrackDescriptor` packet.
+        pub descriptors: Vec<TrackDesc>,
+        /// Every `TrackEvent` packet.
+        pub events: Vec<TrackEvent>,
+        /// Total packets seen (descriptors + events + unknown).
+        pub packets: usize,
+    }
+
+    impl DecodedTrace {
+        /// Descriptors that declare a process (one per pid).
+        pub fn process_tracks(&self) -> Vec<&TrackDesc> {
+            self.descriptors
+                .iter()
+                .filter(|d| d.pid.is_some())
+                .collect()
+        }
+
+        /// Thread descriptors belonging to the process with `pid`.
+        pub fn thread_tracks_of(&self, pid: u64) -> Vec<&TrackDesc> {
+            self.descriptors
+                .iter()
+                .filter(|d| d.thread.is_some_and(|(p, _)| p == pid))
+                .collect()
+        }
+
+        /// Events drawn on one track, in emission order.
+        pub fn events_on(&self, uuid: u64) -> Vec<&TrackEvent> {
+            self.events
+                .iter()
+                .filter(|e| e.track_uuid == uuid)
+                .collect()
+        }
+    }
+
+    struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn varint(&mut self) -> Result<u64, String> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let Some(&b) = self.buf.get(self.pos) else {
+                    return Err("varint runs past end of buffer".to_owned());
+                };
+                self.pos += 1;
+                if shift >= 64 {
+                    return Err("varint longer than 64 bits".to_owned());
+                }
+                v |= u64::from(b & 0x7f) << shift;
+                if b & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+            }
+        }
+
+        fn fixed64(&mut self) -> Result<u64, String> {
+            let end = self.pos + 8;
+            let Some(bytes) = self.buf.get(self.pos..end) else {
+                return Err("fixed64 runs past end of buffer".to_owned());
+            };
+            self.pos = end;
+            Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        }
+
+        fn bytes(&mut self) -> Result<&'a [u8], String> {
+            let len = self.varint()? as usize;
+            let end = self.pos + len;
+            let Some(b) = self.buf.get(self.pos..end) else {
+                return Err(format!(
+                    "length-delimited field of {len} bytes runs past end"
+                ));
+            };
+            self.pos = end;
+            Ok(b)
+        }
+
+        /// Reads one `(field, wire)` key, or `None` at end of buffer.
+        fn key(&mut self) -> Result<Option<(u32, u64)>, String> {
+            if self.pos >= self.buf.len() {
+                return Ok(None);
+            }
+            let k = self.varint()?;
+            Ok(Some(((k >> 3) as u32, k & 7)))
+        }
+
+        /// Skips a field of the given wire type.
+        fn skip(&mut self, wire: u64) -> Result<(), String> {
+            match wire {
+                0 => self.varint().map(|_| ()),
+                1 => self.fixed64().map(|_| ()),
+                2 => self.bytes().map(|_| ()),
+                5 => {
+                    let end = self.pos + 4;
+                    if end > self.buf.len() {
+                        return Err("fixed32 runs past end".to_owned());
+                    }
+                    self.pos = end;
+                    Ok(())
+                }
+                w => Err(format!("unsupported wire type {w}")),
+            }
+        }
+    }
+
+    fn parse_descriptor(buf: &[u8]) -> Result<TrackDesc, String> {
+        let mut r = Reader { buf, pos: 0 };
+        let mut d = TrackDesc::default();
+        while let Some((field, wire)) = r.key()? {
+            match field {
+                super::TRACK_UUID if wire == 0 => d.uuid = r.varint()?,
+                super::TRACK_NAME if wire == 2 => {
+                    d.name = String::from_utf8_lossy(r.bytes()?).into_owned();
+                }
+                super::TRACK_PROCESS if wire == 2 => {
+                    let mut p = Reader {
+                        buf: r.bytes()?,
+                        pos: 0,
+                    };
+                    while let Some((f, w)) = p.key()? {
+                        match f {
+                            super::PROCESS_PID if w == 0 => d.pid = Some(p.varint()?),
+                            super::PROCESS_NAME if w == 2 => {
+                                d.process_name =
+                                    Some(String::from_utf8_lossy(p.bytes()?).into_owned());
+                            }
+                            _ => p.skip(w)?,
+                        }
+                    }
+                }
+                super::TRACK_THREAD if wire == 2 => {
+                    let mut t = Reader {
+                        buf: r.bytes()?,
+                        pos: 0,
+                    };
+                    let (mut pid, mut tid) = (0, 0);
+                    while let Some((f, w)) = t.key()? {
+                        match f {
+                            super::THREAD_PID if w == 0 => pid = t.varint()?,
+                            super::THREAD_TID if w == 0 => tid = t.varint()?,
+                            super::THREAD_NAME if w == 2 => {
+                                d.thread_name =
+                                    Some(String::from_utf8_lossy(t.bytes()?).into_owned());
+                            }
+                            _ => t.skip(w)?,
+                        }
+                    }
+                    d.thread = Some((pid, tid));
+                }
+                _ => r.skip(wire)?,
+            }
+        }
+        Ok(d)
+    }
+
+    fn parse_event(buf: &[u8], ts_ns: u64) -> Result<TrackEvent, String> {
+        let mut r = Reader { buf, pos: 0 };
+        let mut ev = TrackEvent {
+            ts_ns,
+            event_type: 0,
+            track_uuid: 0,
+            name: None,
+            flows: Vec::new(),
+        };
+        while let Some((field, wire)) = r.key()? {
+            match field {
+                super::EVENT_TYPE if wire == 0 => ev.event_type = r.varint()?,
+                super::EVENT_TRACK_UUID if wire == 0 => ev.track_uuid = r.varint()?,
+                super::EVENT_NAME if wire == 2 => {
+                    ev.name = Some(String::from_utf8_lossy(r.bytes()?).into_owned());
+                }
+                super::EVENT_FLOW_IDS if wire == 1 => ev.flows.push(r.fixed64()?),
+                _ => r.skip(wire)?,
+            }
+        }
+        Ok(ev)
+    }
+
+    /// Decodes a Perfetto trace produced by [`super::to_perfetto`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed wire construct.
+    pub fn decode_trace(bytes: &[u8]) -> Result<DecodedTrace, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let mut out = DecodedTrace::default();
+        while let Some((field, wire)) = r.key()? {
+            if field != super::TRACE_PACKET || wire != 2 {
+                r.skip(wire)?;
+                continue;
+            }
+            out.packets += 1;
+            let mut p = Reader {
+                buf: r.bytes()?,
+                pos: 0,
+            };
+            let mut ts = 0u64;
+            let mut event_buf: Option<&[u8]> = None;
+            while let Some((f, w)) = p.key()? {
+                match f {
+                    super::PACKET_TIMESTAMP if w == 0 => ts = p.varint()?,
+                    super::PACKET_TRACK_DESCRIPTOR if w == 2 => {
+                        out.descriptors.push(parse_descriptor(p.bytes()?)?);
+                    }
+                    super::PACKET_TRACK_EVENT if w == 2 => event_buf = Some(p.bytes()?),
+                    _ => p.skip(w)?,
+                }
+            }
+            if let Some(buf) = event_buf {
+                out.events.push(parse_event(buf, ts)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::decode::decode_trace;
+    use super::*;
+    use crate::span::SpanLog;
+    use cocopelia_gpusim::{SimTime, StreamId};
+
+    fn entry(engine: EngineKind, start: u64, end: u64, label: &str) -> TraceEntry {
+        TraceEntry {
+            op: 0,
+            stream: StreamId::from_raw(0),
+            engine,
+            label: label.to_owned(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            bytes: None,
+            tag: None,
+        }
+    }
+
+    fn two_device_trace() -> ServeTrace {
+        let mut log = SpanLog::new();
+        for (req, dev) in [(0u64, 0usize), (1, 1)] {
+            log.record(
+                None,
+                req,
+                None,
+                SpanPhase::Queued,
+                "queued",
+                0,
+                50,
+                Some(req),
+            );
+            let d = log.record(
+                None,
+                req,
+                Some(dev),
+                SpanPhase::Dispatch,
+                "attempt 0",
+                50,
+                300,
+                Some(req),
+            );
+            log.record(
+                Some(d),
+                req,
+                Some(dev),
+                SpanPhase::H2d,
+                "h2d",
+                50,
+                150,
+                None,
+            );
+            log.record(
+                Some(d),
+                req,
+                Some(dev),
+                SpanPhase::Exec,
+                "exec",
+                150,
+                280,
+                None,
+            );
+            log.record(
+                None,
+                req,
+                None,
+                SpanPhase::Complete,
+                "completed",
+                300,
+                300,
+                None,
+            );
+        }
+        ServeTrace {
+            spans: log.into_spans(),
+            lanes: (0..2)
+                .map(|d| DeviceLane {
+                    device: d,
+                    name: format!("dev{d}"),
+                    entries: vec![
+                        entry(EngineKind::CopyH2d, 50, 150, "get A"),
+                        entry(EngineKind::Compute, 150, 280, "gemm tile"),
+                        entry(EngineKind::CopyD2h, 280, 300, "set C"),
+                    ],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let decoded = decode_trace(&{
+                // Wrap as a fake length-delimited packet field to reuse the
+                // public decoder? Simpler: decode the raw varint here.
+                buf.clone()
+            });
+            // decode_trace on a bare varint is not meaningful; check the
+            // byte-level decoder through a real field instead.
+            drop(decoded);
+            let mut msg = Vec::new();
+            put_uint(&mut msg, 7, v);
+            // field 7, wire 0 → key byte 0x38.
+            assert_eq!(msg[0], 0x38);
+            let mut r = 0u64;
+            let mut shift = 0;
+            for &b in &msg[1..] {
+                r |= u64::from(b & 0x7f) << shift;
+                shift += 7;
+            }
+            assert_eq!(r, v);
+        }
+    }
+
+    #[test]
+    fn round_trip_counts_tracks_and_flows() {
+        let trace = two_device_trace();
+        let bytes = to_perfetto(&trace);
+        let decoded = decode_trace(&bytes).expect("decodes");
+        // serve + 2 devices.
+        assert_eq!(decoded.process_tracks().len(), 3);
+        // Each device: h2d, exec, d2h, requests.
+        for d in 0..2 {
+            assert_eq!(decoded.thread_tracks_of(device_pid(d)).len(), 4);
+        }
+        // 6 engine slices (begin+end) per device + spans.
+        assert!(decoded.packets > decoded.descriptors.len());
+        // Flows: queue span and dispatch span of each request share an id.
+        for req in [0u64, 1] {
+            let carriers: Vec<_> = decoded
+                .events
+                .iter()
+                .filter(|e| e.flows.contains(&req))
+                .collect();
+            assert!(carriers.len() >= 2, "flow {req}: {carriers:?}");
+            let tracks: std::collections::BTreeSet<u64> =
+                carriers.iter().map(|e| e.track_uuid).collect();
+            assert!(
+                tracks.contains(&SERVE_QUEUE_UUID),
+                "flow {req} must touch the queue track"
+            );
+            assert!(
+                tracks.iter().any(|t| *t >= device_process_uuid(0)),
+                "flow {req} must touch a device track"
+            );
+        }
+    }
+
+    #[test]
+    fn per_track_timestamps_are_monotone_and_slices_balance() {
+        let bytes = to_perfetto(&two_device_trace());
+        let decoded = decode_trace(&bytes).expect("decodes");
+        let uuids: std::collections::BTreeSet<u64> =
+            decoded.events.iter().map(|e| e.track_uuid).collect();
+        for uuid in uuids {
+            let events = decoded.events_on(uuid);
+            let mut prev = 0u64;
+            let mut depth = 0i64;
+            for e in &events {
+                assert!(e.ts_ns >= prev, "track {uuid}: ts {} after {prev}", e.ts_ns);
+                prev = e.ts_ns;
+                match e.event_type {
+                    TYPE_SLICE_BEGIN => depth += 1,
+                    TYPE_SLICE_END => {
+                        depth -= 1;
+                        assert!(depth >= 0, "track {uuid}: end without begin");
+                    }
+                    TYPE_INSTANT => {}
+                    other => panic!("unexpected event type {other}"),
+                }
+            }
+            assert_eq!(depth, 0, "track {uuid}: unbalanced slices");
+        }
+    }
+
+    #[test]
+    fn track_uuids_are_unique() {
+        let bytes = to_perfetto(&two_device_trace());
+        let decoded = decode_trace(&bytes).expect("decodes");
+        let mut uuids: Vec<u64> = decoded.descriptors.iter().map(|d| d.uuid).collect();
+        let n = uuids.len();
+        uuids.sort_unstable();
+        uuids.dedup();
+        assert_eq!(uuids.len(), n, "duplicate track descriptor uuids");
+    }
+
+    #[test]
+    fn single_entry_export_has_one_process() {
+        let entries = [entry(EngineKind::Compute, 10, 20, "k")];
+        let decoded = decode_trace(&to_perfetto_single(&entries)).expect("decodes");
+        assert_eq!(decoded.process_tracks().len(), 1);
+        assert_eq!(decoded.thread_tracks_of(device_pid(0)).len(), 3);
+        assert_eq!(
+            decoded
+                .events
+                .iter()
+                .filter(|e| e.event_type == TYPE_SLICE_BEGIN)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_trace_decodes_to_nothing() {
+        let decoded = decode_trace(&to_perfetto(&ServeTrace::default())).expect("decodes");
+        assert_eq!(decoded.packets, 0);
+        assert!(decode_trace(&[0x0a]).is_err(), "truncated packet errors");
+    }
+
+    #[test]
+    fn nested_lifecycle_slices_open_outer_first() {
+        let trace = two_device_trace();
+        let decoded = decode_trace(&to_perfetto(&trace)).expect("decodes");
+        // On dev0's requests track the dispatch slice must open before its
+        // h2d child (both start at 50 ns).
+        let events = decoded.events_on(lifecycle_uuid(0));
+        let first_begin = events
+            .iter()
+            .find(|e| e.event_type == TYPE_SLICE_BEGIN)
+            .expect("has begins");
+        assert_eq!(first_begin.name.as_deref(), Some("attempt 0"));
+    }
+}

@@ -7,10 +7,11 @@ use crate::operand::{MatOperand, TileChoice, VecOperand};
 use crate::request::{MatArg, RoutineRequest, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
 use crate::serve::sched::SchedulePolicy;
+use crate::serve::trace::ServeTracer;
 use cocopelia_core::models::Prediction;
 use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
 use cocopelia_obs::drift::ABS_ERROR_BOUNDS;
-use cocopelia_obs::{DriftAccountant, DriftRecord, OverlapStats, Registry};
+use cocopelia_obs::{DriftAccountant, DriftRecord, OverlapStats, Registry, ServeTrace};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt::Write as _;
 
@@ -124,6 +125,21 @@ impl RequestOutcome {
     }
 }
 
+/// One periodic interval sample of the executor's state during a drain
+/// (see [`Executor::set_snapshot_interval`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Virtual time of the sample, measured from the start of the drain.
+    pub at: SimTime,
+    /// Requests still waiting for dispatch.
+    pub queue_depth: usize,
+    /// Each device's clock advance since the drain began.
+    pub device_clock: Vec<SimTime>,
+    /// Mean absolute relative error of the scheduler's offload
+    /// predictions recorded so far; `NaN`-free `0.0` when none exist yet.
+    pub mean_abs_drift: f64,
+}
+
 /// Aggregate result of draining the executor queue once.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -154,6 +170,12 @@ pub struct ServeReport {
     pub drift: DriftAccountant,
     /// Snapshot of the executor's metrics registry after the run.
     pub metrics: Registry,
+    /// Periodic interval samples of the drain, when
+    /// [`Executor::set_snapshot_interval`] armed them.
+    pub snapshots: Vec<ServeSnapshot>,
+    /// The request-lifecycle trace of the drain, when
+    /// [`Executor::enable_tracing`] armed it.
+    pub trace: Option<ServeTrace>,
 }
 
 impl ServeReport {
@@ -315,6 +337,24 @@ impl ServeReport {
         if !self.drift.records().is_empty() {
             out.push_str(&self.drift.render());
         }
+        if !self.snapshots.is_empty() {
+            let _ = writeln!(out, "interval snapshots:");
+            for s in &self.snapshots {
+                let clocks: Vec<String> = s
+                    .device_clock
+                    .iter()
+                    .map(|c| format!("{:.3}", c.as_secs_f64() * 1e3))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  t={:>9.3} ms  queue={:<4}  clocks=[{}] ms  drift={:.3}",
+                    s.at.as_secs_f64() * 1e3,
+                    s.queue_depth,
+                    clocks.join(", "),
+                    s.mean_abs_drift,
+                );
+            }
+        }
         out
     }
 }
@@ -349,6 +389,15 @@ pub struct Executor {
     quarantined: Vec<bool>,
     /// Consecutive faults per device; reset by any successful request.
     fault_streak: Vec<u32>,
+    /// Request-lifecycle span collector, armed by
+    /// [`enable_tracing`](Self::enable_tracing).
+    tracer: Option<ServeTracer>,
+    /// Per-device trace length when the drain began; the run's device
+    /// lanes are the entries recorded after these marks.
+    trace_mark: Vec<usize>,
+    /// Interval between periodic drain snapshots, armed by
+    /// [`set_snapshot_interval`](Self::set_snapshot_interval).
+    snapshot_every: Option<SimTime>,
 }
 
 impl Executor {
@@ -376,7 +425,34 @@ impl Executor {
             next_id: 0,
             quarantined: vec![false; count],
             fault_streak: vec![0; count],
+            tracer: None,
+            trace_mark: vec![0; count],
+            snapshot_every: None,
         }
+    }
+
+    /// Arms request-lifecycle tracing: subsequent [`run`](Self::run) calls
+    /// collect a [`ServeTrace`] (spans plus per-device engine lanes) into
+    /// [`ServeReport::trace`]. Tracing changes no scheduling decision —
+    /// traced and untraced drains of the same trace are identical.
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(ServeTracer::default());
+    }
+
+    /// Arms periodic drain snapshots: every `interval` of virtual time,
+    /// [`run`](Self::run) samples queue depth, per-device clock advance,
+    /// and prediction drift into [`ServeReport::snapshots`]. `None`
+    /// disarms.
+    pub fn set_snapshot_interval(&mut self, interval: Option<SimTime>) {
+        self.snapshot_every = interval.filter(|t| t.as_nanos() > 0);
+    }
+
+    /// Policy dispatch pick, exposed for the microbenchmark harness.
+    #[doc(hidden)]
+    pub fn next_dispatch_for_bench(
+        &mut self,
+    ) -> Option<(RequestId, RoutineRequest, Option<usize>)> {
+        self.next_dispatch()
     }
 
     /// Sets the queue-scheduling policy for subsequent [`run`](Self::run)
@@ -610,6 +686,21 @@ impl Executor {
     /// and reports the run.
     pub fn run(&mut self) -> ServeReport {
         let start: Vec<SimTime> = self.pool.devices().iter().map(|d| d.gpu().now()).collect();
+        if self.tracer.is_some() {
+            self.trace_mark = self
+                .pool
+                .devices()
+                .iter()
+                .map(|d| d.gpu().trace().len())
+                .collect();
+            let t0 = start.iter().map(|t| t.as_nanos()).min().unwrap_or(0);
+            let queued: Vec<u64> = self.queue.iter().map(|(id, _)| id.0).collect();
+            if let Some(t) = self.tracer.as_mut() {
+                t.begin_drain(t0, &queued);
+            }
+        }
+        let mut snapshots: Vec<ServeSnapshot> = Vec::new();
+        let mut next_snap = self.snapshot_every;
         while let Some((id, req, preferred)) = self.next_dispatch() {
             let outcome = self.dispatch(id, req, preferred, &start);
             match &outcome.status {
@@ -625,6 +716,22 @@ impl Executor {
                 RequestStatus::Rejected { .. } => {}
             }
             self.outcomes.push(outcome);
+            if let (Some(interval), Some(due)) = (self.snapshot_every, next_snap) {
+                let elapsed = self
+                    .pool
+                    .devices()
+                    .iter()
+                    .zip(&start)
+                    .map(|(d, &s)| d.gpu().now().saturating_since(s))
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                let mut due = due;
+                while elapsed >= due {
+                    snapshots.push(self.snapshot_at(due, &start));
+                    due += interval;
+                }
+                next_snap = Some(due);
+            }
         }
         let per_device_busy: Vec<SimTime> = self
             .pool
@@ -652,6 +759,26 @@ impl Executor {
                 total_flops += r.flops;
             }
         }
+        let mut tracer = self.tracer.take();
+        let trace = tracer.as_mut().map(|t| {
+            let lanes = self
+                .pool
+                .devices()
+                .iter()
+                .enumerate()
+                .map(|(i, d)| cocopelia_obs::DeviceLane {
+                    device: i,
+                    name: format!("dev{i}"),
+                    entries: d
+                        .gpu()
+                        .trace()
+                        .entries_since(self.trace_mark.get(i).copied().unwrap_or(0))
+                        .to_vec(),
+                })
+                .collect();
+            t.finish(lanes)
+        });
+        self.tracer = tracer;
         let report = ServeReport {
             outcomes: std::mem::take(&mut self.outcomes),
             makespan,
@@ -662,6 +789,8 @@ impl Executor {
             quarantined: self.quarantined(),
             drift: std::mem::take(&mut self.drift),
             metrics: Registry::new(),
+            snapshots,
+            trace,
         };
         self.metrics
             .gauge_set("serve_makespan_secs", report.makespan.as_secs_f64());
@@ -702,6 +831,11 @@ impl Executor {
         let mut retries: u32 = 0;
         let mut host_fallback = false;
         let mut device: Option<usize> = None;
+        // End of the previous attempt, in virtual ns: a re-issued attempt
+        // must never start earlier (span invariant 3), and the queue span
+        // is recorded once, at the first attempt's start.
+        let mut not_before_ns: u64 = 0;
+        let mut queued_recorded = false;
         let result = loop {
             // The policy's pick applies to the first attempt only; a retry
             // after a fault re-chooses among the devices still healthy.
@@ -715,7 +849,14 @@ impl Executor {
                 host_fallback = true;
                 device = None;
                 self.metrics.counter_add("fault_host_fallback_total", 1);
-                break Ok(self.execute_host(&req));
+                let report = self.execute_host(&req);
+                if let Some(t) = self.tracer.as_mut() {
+                    if !queued_recorded {
+                        t.queue_wait(id.0, not_before_ns);
+                    }
+                    t.host_fallback(id.0, not_before_ns, report.elapsed.as_nanos());
+                }
+                break Ok(report);
             };
             if device.is_some_and(|prev| self.quarantined[prev]) {
                 // The previous attempt's device was quarantined under the
@@ -723,6 +864,19 @@ impl Executor {
                 self.metrics.counter_add("quarantine_redispatch_total", 1);
             }
             device = Some(d);
+            // A request cannot restart before the fault that re-issued it
+            // occurred: a re-dispatch target whose virtual clock lags the
+            // previous attempt's end is lifted to it. (Per-device clocks
+            // advance independently, so a healthy peer may well be
+            // "earlier" than the fault; the request still arrives after.)
+            let behind =
+                not_before_ns.saturating_sub(self.pool.devices()[d].gpu().now().as_nanos());
+            if behind > 0 {
+                self.pool
+                    .device_mut(d)
+                    .gpu_mut()
+                    .advance_clock(SimTime::from_nanos(behind));
+            }
             let pre_dev: BTreeSet<DevBufId> = self.pool.devices()[d]
                 .gpu()
                 .live_device_buffers()
@@ -742,9 +896,33 @@ impl Executor {
                 .offload_estimate(d, &req)
                 .map(|p| (p, self.upload_estimate(d, &req)));
             let clock_before = self.pool.devices()[d].gpu().now();
+            let len_before = self.pool.devices()[d].gpu().trace().len();
+            if !queued_recorded {
+                queued_recorded = true;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.queue_wait(id.0, clock_before.as_nanos());
+                }
+            }
+            let attempt_no = retries;
             match self.execute_once(d, req.clone()) {
                 Ok(report) => {
                     self.fault_streak[d] = 0;
+                    let clock_after = self.pool.devices()[d].gpu().now();
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.attempt(
+                            id.0,
+                            d,
+                            attempt_no,
+                            clock_before.as_nanos(),
+                            clock_after.as_nanos(),
+                            self.pool.devices()[d]
+                                .gpu()
+                                .trace()
+                                .entries_since(len_before),
+                            None,
+                        );
+                    }
+                    not_before_ns = clock_after.as_nanos();
                     if let Some((pred, upload)) = estimate {
                         let actual = self.pool.devices()[d]
                             .gpu()
@@ -782,10 +960,29 @@ impl Executor {
                         FaultClass::Fatal => "fault_fatal_total",
                     };
                     self.metrics.counter_add(name, 1);
+                    let clock_after = self.pool.devices()[d].gpu().now();
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.attempt(
+                            id.0,
+                            d,
+                            attempt_no,
+                            clock_before.as_nanos(),
+                            clock_after.as_nanos(),
+                            self.pool.devices()[d]
+                                .gpu()
+                                .trace()
+                                .entries_since(len_before),
+                            Some(&e.to_string()),
+                        );
+                    }
+                    not_before_ns = clock_after.as_nanos();
                     if matches!(e, RuntimeError::Sim(SimError::DeviceLost)) {
                         // The device is gone but the request is innocent:
                         // quarantine the device and re-dispatch.
                         self.quarantine(d);
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.quarantine(id.0, d, clock_after.as_nanos());
+                        }
                         if retries >= budget {
                             break Err(e);
                         }
@@ -793,6 +990,9 @@ impl Executor {
                         self.fault_streak[d] += 1;
                         if self.fault_streak[d] >= self.cfg.quarantine_after {
                             self.quarantine(d);
+                            if let Some(t) = self.tracer.as_mut() {
+                                t.quarantine(id.0, d, clock_after.as_nanos());
+                            }
                         } else if retries < budget {
                             // Only a retry justifies the scorched-earth
                             // reclaim that evicts the whole residency
@@ -845,6 +1045,20 @@ impl Executor {
             }
             Err(e) => RequestStatus::Failed(RequestError::new(id, routine, e)),
         };
+        if let Some(t) = self.tracer.as_mut() {
+            let end_ns = if host_fallback {
+                t.host_now_ns()
+            } else {
+                not_before_ns
+            };
+            let label = match &status {
+                RequestStatus::Completed(_) => "completed",
+                RequestStatus::TimedOut { .. } => "timed-out",
+                RequestStatus::Failed(_) => "failed",
+                RequestStatus::Rejected { .. } => "rejected",
+            };
+            t.complete(id.0, end_ns, label);
+        }
         RequestOutcome {
             id,
             routine,
@@ -852,6 +1066,30 @@ impl Executor {
             status,
             retries,
             host_fallback,
+        }
+    }
+
+    /// Samples the drain state for one [`ServeSnapshot`] at virtual time
+    /// `at` past the drain start.
+    fn snapshot_at(&self, at: SimTime, start: &[SimTime]) -> ServeSnapshot {
+        let device_clock = self
+            .pool
+            .devices()
+            .iter()
+            .zip(start)
+            .map(|(d, &s)| d.gpu().now().saturating_since(s))
+            .collect();
+        let recs = self.drift.records();
+        let mean_abs_drift = if recs.is_empty() {
+            0.0
+        } else {
+            recs.iter().map(DriftRecord::abs_rel_err).sum::<f64>() / recs.len() as f64
+        };
+        ServeSnapshot {
+            at,
+            queue_depth: self.queue.len(),
+            device_clock,
+            mean_abs_drift,
         }
     }
 

@@ -47,7 +47,10 @@
 mod executor;
 mod residency;
 mod sched;
+mod trace;
 
-pub use executor::{Executor, ExecutorConfig, RequestOutcome, RequestStatus, ServeReport};
+pub use executor::{
+    Executor, ExecutorConfig, RequestOutcome, RequestStatus, ServeReport, ServeSnapshot,
+};
 pub use residency::ResidencyCache;
 pub use sched::SchedulePolicy;

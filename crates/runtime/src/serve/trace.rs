@@ -1,0 +1,275 @@
+//! Request-lifecycle tracing for the serve executor.
+//!
+//! [`ServeTracer`] turns the executor's dispatch loop into a
+//! [`ServeTrace`]: one queue-wait span per request, one span per dispatch
+//! attempt (with `h2d`/`exec`/`d2h` child spans aggregated from the trace
+//! entries the attempt produced), instants for quarantine and completion,
+//! and host-fallback spans on a serial host clock. The queue span and the
+//! first device attempt of a request share a flow id (the request id), so
+//! viewers draw the queue-to-device hand-off arrow.
+//!
+//! All timestamps are virtual nanoseconds on the same axis as the
+//! simulator's [`TraceEntry`] timestamps, so spans overlay the per-device
+//! engine lanes exactly.
+
+use cocopelia_gpusim::{EngineKind, TraceEntry};
+use cocopelia_obs::{ServeTrace, SpanId, SpanLog, SpanPhase};
+use std::collections::HashMap;
+
+/// Span collector driven by the executor's dispatch loop.
+#[derive(Debug, Default)]
+pub(crate) struct ServeTracer {
+    log: SpanLog,
+    /// Virtual time the drain started (the queue spans' origin).
+    t0_ns: u64,
+    /// Requests whose first device attempt has been recorded (their flow
+    /// is already linked; later attempts carry no flow id).
+    flow_linked: HashMap<u64, ()>,
+    /// Serial virtual clock of host-fallback execution.
+    host_ns: u64,
+}
+
+impl ServeTracer {
+    /// Starts a trace at drain time `t0_ns`, recording a submit instant
+    /// and the queue origin for the queued requests.
+    pub(crate) fn begin_drain(&mut self, t0_ns: u64, queued: &[u64]) {
+        self.t0_ns = t0_ns;
+        self.host_ns = t0_ns;
+        for &req in queued {
+            self.log.record(
+                None,
+                req,
+                None,
+                SpanPhase::Submit,
+                "submitted",
+                t0_ns,
+                t0_ns,
+                None,
+            );
+        }
+    }
+
+    /// Records the queue-wait span of a request, ending where its first
+    /// attempt starts. Carries the flow id that the first device attempt
+    /// will close.
+    pub(crate) fn queue_wait(&mut self, req: u64, dispatch_ns: u64) {
+        self.log.record(
+            None,
+            req,
+            None,
+            SpanPhase::Queued,
+            "queued",
+            self.t0_ns,
+            dispatch_ns.max(self.t0_ns),
+            Some(req),
+        );
+    }
+
+    /// Records one dispatch attempt on a device: the attempt span
+    /// (`Dispatch` for attempt 0, `Retry` after) plus per-engine child
+    /// spans aggregated from the trace entries the attempt produced,
+    /// clamped into the attempt interval. The first attempt closes the
+    /// request's queue flow.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn attempt(
+        &mut self,
+        req: u64,
+        device: usize,
+        attempt: u32,
+        start_ns: u64,
+        end_ns: u64,
+        entries: &[TraceEntry],
+        faulted: Option<&str>,
+    ) {
+        let phase = if attempt == 0 {
+            SpanPhase::Dispatch
+        } else {
+            SpanPhase::Retry
+        };
+        let flow = (!self.flow_linked.contains_key(&req)).then_some(req);
+        self.flow_linked.insert(req, ());
+        let label = match faulted {
+            Some(fault) => format!("attempt {attempt}: {fault}"),
+            None => format!("attempt {attempt}"),
+        };
+        let parent = self.log.record(
+            None,
+            req,
+            Some(device),
+            phase,
+            label,
+            start_ns,
+            end_ns,
+            flow,
+        );
+        for (engine, phase) in [
+            (EngineKind::CopyH2d, SpanPhase::H2d),
+            (EngineKind::Compute, SpanPhase::Exec),
+            (EngineKind::CopyD2h, SpanPhase::D2h),
+        ] {
+            self.engine_child(
+                parent, req, device, phase, engine, start_ns, end_ns, entries,
+            );
+        }
+    }
+
+    /// Aggregates one engine's entries into a child span of the attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn engine_child(
+        &mut self,
+        parent: SpanId,
+        req: u64,
+        device: usize,
+        phase: SpanPhase,
+        engine: EngineKind,
+        start_ns: u64,
+        end_ns: u64,
+        entries: &[TraceEntry],
+    ) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut n = 0usize;
+        for e in entries.iter().filter(|e| e.engine == engine) {
+            lo = lo.min(e.start.as_nanos());
+            hi = hi.max(e.end.as_nanos());
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        // Clamp into the attempt interval so the child never escapes its
+        // parent (span invariant 4) even if an engine slot predates the
+        // dispatch clock sample.
+        let lo = lo.clamp(start_ns, end_ns);
+        let hi = hi.clamp(lo, end_ns);
+        self.log.record(
+            Some(parent),
+            req,
+            Some(device),
+            phase,
+            format!("{} ({n} ops)", engine.name()),
+            lo,
+            hi,
+            None,
+        );
+    }
+
+    /// Records a quarantine instant on the device that faulted out.
+    pub(crate) fn quarantine(&mut self, req: u64, device: usize, at_ns: u64) {
+        self.log.record(
+            None,
+            req,
+            Some(device),
+            SpanPhase::Quarantine,
+            format!("quarantined dev{device}"),
+            at_ns,
+            at_ns,
+            None,
+        );
+    }
+
+    /// Records a host-fallback run on the serial host clock, which never
+    /// runs backwards and never starts before `not_before_ns` (the end of
+    /// the request's last device attempt).
+    pub(crate) fn host_fallback(&mut self, req: u64, not_before_ns: u64, elapsed_ns: u64) {
+        let start = self.host_ns.max(not_before_ns);
+        let end = start + elapsed_ns;
+        self.host_ns = end;
+        // A request that never reached a device closes its queue flow
+        // here, so the hand-off arrow points at the host lane instead of
+        // dangling.
+        let flow = (!self.flow_linked.contains_key(&req)).then_some(req);
+        self.flow_linked.insert(req, ());
+        self.log.record(
+            None,
+            req,
+            None,
+            SpanPhase::HostFallback,
+            "host fallback",
+            start,
+            end,
+            flow,
+        );
+    }
+
+    /// Records the terminal instant of a request (`completed`,
+    /// `timed-out`, `failed`).
+    pub(crate) fn complete(&mut self, req: u64, at_ns: u64, status: &str) {
+        self.log.record(
+            None,
+            req,
+            None,
+            SpanPhase::Complete,
+            status.to_owned(),
+            at_ns,
+            at_ns,
+            None,
+        );
+    }
+
+    /// End of the host clock so far (where the next fallback would start).
+    pub(crate) fn host_now_ns(&self) -> u64 {
+        self.host_ns
+    }
+
+    /// Drains the collected spans into a [`ServeTrace`] over the given
+    /// device lanes.
+    pub(crate) fn finish(&mut self, lanes: Vec<cocopelia_obs::DeviceLane>) -> ServeTrace {
+        let log = std::mem::take(&mut self.log);
+        self.flow_linked.clear();
+        ServeTrace {
+            spans: log.into_spans(),
+            lanes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocopelia_obs::check_spans;
+
+    #[test]
+    fn tracer_produces_invariant_clean_spans() {
+        let mut t = ServeTracer::default();
+        t.begin_drain(1000, &[0, 1]);
+        t.queue_wait(0, 2000);
+        t.attempt(0, 0, 0, 2000, 5000, &[], None);
+        t.complete(0, 5000, "completed");
+        t.queue_wait(1, 5000);
+        t.attempt(1, 0, 0, 5000, 6000, &[], Some("kernel fault"));
+        t.quarantine(1, 0, 6000);
+        t.attempt(1, 1, 1, 6000, 9000, &[], None);
+        t.complete(1, 9000, "completed");
+        let trace = t.finish(Vec::new());
+        check_spans(&trace.spans).expect("tracer spans satisfy invariants");
+        assert_eq!(trace.request_spans(1).len(), 6);
+    }
+
+    #[test]
+    fn host_clock_is_serial_and_flows_link_once() {
+        let mut t = ServeTracer::default();
+        t.begin_drain(0, &[7, 8]);
+        t.queue_wait(7, 100);
+        t.attempt(7, 0, 0, 100, 200, &[], Some("lost"));
+        t.host_fallback(7, 200, 500);
+        t.complete(7, t.host_now_ns(), "completed");
+        t.queue_wait(8, 100);
+        // Request 8 never reached a device; its fallback must start after
+        // request 7's host run ends.
+        t.host_fallback(8, 100, 300);
+        t.complete(8, t.host_now_ns(), "completed");
+        let trace = t.finish(Vec::new());
+        check_spans(&trace.spans).expect("clean");
+        let host: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.phase == SpanPhase::HostFallback)
+            .collect();
+        assert_eq!(host.len(), 2);
+        assert!(host[1].start_ns >= host[0].end_ns, "host runs serialize");
+        // Only the queue span and first attempt carry the flow id.
+        let flows_7: Vec<_> = trace.spans.iter().filter(|s| s.flow == Some(7)).collect();
+        assert_eq!(flows_7.len(), 2);
+    }
+}

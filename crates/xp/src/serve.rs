@@ -9,7 +9,7 @@
 //! request.
 
 use cocopelia_deploy::{deploy, DeployConfig};
-use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, TestbedSpec};
+use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, SimTime, TestbedSpec};
 use cocopelia_runtime::serve::{Executor, ExecutorConfig, SchedulePolicy, ServeReport};
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
@@ -196,6 +196,58 @@ pub fn run_serve_with_policy(
     faults: &FaultSpec,
     policy: SchedulePolicy,
 ) -> Result<ServeComparison, String> {
+    run_serve_with_options(
+        testbed,
+        devices,
+        trace,
+        faults,
+        &ServeOptions {
+            policy,
+            ..ServeOptions::default()
+        },
+    )
+}
+
+/// Knobs beyond the fault plan for a serve run: scheduling policy,
+/// request-lifecycle tracing, and periodic interval snapshots.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Queue-scheduling policy ([`SchedulePolicy::Fifo`] by default).
+    pub policy: SchedulePolicy,
+    /// Collect a [`ServeTrace`](cocopelia_obs::ServeTrace) of the run
+    /// (request spans plus per-device engine lanes) into
+    /// [`ServeReport::trace`](cocopelia_runtime::serve::ServeReport).
+    pub trace: bool,
+    /// Emit a queue-depth/clock/drift snapshot every interval of virtual
+    /// time (`None` disables them).
+    pub snapshot_interval: Option<SimTime>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            policy: SchedulePolicy::Fifo,
+            trace: false,
+            snapshot_interval: None,
+        }
+    }
+}
+
+/// [`run_serve_with_policy`] with the full option set — tracing and
+/// interval snapshots on top of the policy. The default options reproduce
+/// [`run_serve_with_policy`] bit-for-bit (tracing never perturbs virtual
+/// timing).
+///
+/// # Errors
+///
+/// Propagates deployment and runtime failures as strings.
+pub fn run_serve_with_options(
+    testbed: &TestbedSpec,
+    devices: usize,
+    trace: Vec<RoutineRequest>,
+    faults: &FaultSpec,
+    options: &ServeOptions,
+) -> Result<ServeComparison, String> {
     let mut tb = testbed.clone();
     tb.noise = NoiseSpec::NONE;
     let deployed = deploy(&tb, &DeployConfig::quick()).map_err(|e| e.to_string())?;
@@ -223,7 +275,11 @@ pub fn run_serve_with_policy(
         faults,
     );
     let mut exec = Executor::new(pool, ExecutorConfig::default());
-    exec.set_policy(policy);
+    exec.set_policy(options.policy);
+    if options.trace {
+        exec.enable_tracing();
+    }
+    exec.set_snapshot_interval(options.snapshot_interval);
     for req in trace {
         exec.submit(req);
     }

@@ -1,0 +1,71 @@
+//! Offline vendored stand-in for the subset of `iai-callgrind` this
+//! workspace uses: `black_box` and the `main!` macro in its
+//! `callgrind_args = ...; functions = ...` form.
+//!
+//! The real crate runs each benchmark function once under valgrind's
+//! callgrind and reports instruction counts. This environment has neither
+//! a crates registry nor valgrind, so the stand-in runs each function a
+//! fixed number of warm iterations and reports the best (minimum)
+//! wall-clock time — the low-noise point estimate closest in spirit to an
+//! instruction count. The `callgrind_args` strings are accepted and
+//! echoed but otherwise ignored. Swap the path dependency back to the
+//! registry version to measure real instruction counts.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Opaque value barrier, re-exported for API compatibility.
+pub use std::hint::black_box;
+
+/// Iterations per benchmark function (the real crate runs exactly one
+/// under callgrind; wall-clock needs repetition to stabilise).
+pub const ITERATIONS: u32 = 30;
+
+/// Runs one registered benchmark function and prints its best-of-N
+/// wall-clock time in the style of a callgrind summary line. Called by
+/// the [`main!`] expansion — not part of the real crate's public API.
+pub fn run_bench(name: &str, f: fn()) {
+    // One untimed warm-up to fault in code paths and allocations.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERATIONS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "{name:<40} best {:>12.3} us ({ITERATIONS} runs)",
+        best * 1e6
+    );
+}
+
+/// Prints the accepted-but-ignored callgrind arguments once per binary.
+pub fn note_args(args: &[&str]) {
+    if !args.is_empty() {
+        println!("(callgrind args accepted, ignored by the vendored stand-in: {args:?})");
+    }
+}
+
+/// Declares the benchmark entry point, mirroring `iai_callgrind::main!`.
+///
+/// Supports the two forms this workspace and its exemplars use:
+///
+/// ```ignore
+/// main!(callgrind_args = "--simulate-wb=no"; functions = f, g);
+/// main!(functions = f, g);
+/// ```
+#[macro_export]
+macro_rules! main {
+    (callgrind_args = $($arg:literal),+ ; functions = $($func:path),+ $(,)?) => {
+        fn main() {
+            $crate::note_args(&[$($arg),+]);
+            $($crate::run_bench(stringify!($func), $func);)+
+        }
+    };
+    (functions = $($func:path),+ $(,)?) => {
+        fn main() {
+            $($crate::run_bench(stringify!($func), $func);)+
+        }
+    };
+}

@@ -54,6 +54,14 @@ echo "== trace pipeline gate (spans, perfetto, timeline) =="
 # timeline rendering, and traced-vs-untraced timing identity.
 cargo test --release -q -p cocopelia-xp --test serve_trace
 
+echo "== streaming telemetry gate (watch windows, SLO dumps, bounded memory) =="
+# The serve --watch acceptance run at full size: a 50k-request drain under
+# telemetry keeps span memory bounded by the flight-recorder ring, emits a
+# deterministic window stream, streams a decodable Perfetto file, and fires
+# exactly one SLO-breach dump — while staying bit-identical to the
+# telemetry-off run. (Debug `cargo test` runs a 5k slice of the same test.)
+cargo test --release -q -p cocopelia-xp --test serve_watch
+
 echo "== microbench smoke (dispatch / residency / trace hot paths) =="
 # Builds and runs the iai-callgrind-style microbenches once so the hot-path
 # bench targets can't rot. Numbers are informational (the vendored harness

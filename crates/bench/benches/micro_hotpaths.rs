@@ -1,6 +1,7 @@
 //! Instruction-count-style microbenches for the serving hot paths: the
 //! scheduler's dispatch decision, the residency-cache admission probe,
-//! and the span-record / Perfetto-export trace path.
+//! the span-record / Perfetto-export trace path, and the streaming
+//! telemetry primitives (window rotation, flight-recorder ring record).
 //!
 //! Uses the `iai_callgrind` harness (vendored wall-clock stand-in; the
 //! registry version counts instructions under callgrind). Each function
@@ -11,7 +12,7 @@ use iai_callgrind::{black_box, main};
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, NoiseSpec, SimTime, TraceEntry};
-use cocopelia_obs::{DeviceLane, ServeTrace, SpanLog, SpanPhase};
+use cocopelia_obs::{DeviceLane, FlightRecorder, ServeTrace, SpanLog, SpanPhase, WindowedMetrics};
 use cocopelia_runtime::serve::{Executor, ExecutorConfig};
 use cocopelia_runtime::{GemmRequest, MatOperand, MultiGpu, RoutineRequest, SharedMat, TileChoice};
 
@@ -146,8 +147,55 @@ fn perfetto_export() {
     black_box(cocopelia_obs::perfetto::to_perfetto(black_box(&trace)));
 }
 
+/// The telemetry tick's window path: per-outcome counter/histogram lands
+/// plus clock-driven rotation across many windows.
+#[inline(never)]
+fn window_rotate() {
+    let bounds = [1e-4, 1e-3, 1e-2, 0.1, 1.0];
+    let mut win = WindowedMetrics::new(1_000);
+    let mut closed = 0usize;
+    for i in 0..50_000u64 {
+        win.counter_add("requests_finished", 1);
+        win.gauge_set("queue_depth", (i % 64) as f64);
+        win.histogram_observe("flow_secs", &bounds, (i % 97) as f64 * 1e-4);
+        // One rotation every ~250 observations.
+        closed += win.advance_to(i * 4).len();
+    }
+    black_box(closed);
+    black_box(win.index());
+}
+
+/// The flight recorder's per-span record under constant eviction
+/// pressure: a full ring popping its oldest span for every push.
+#[inline(never)]
+fn ring_record() {
+    let mut log = SpanLog::default();
+    for i in 0..4_096u64 {
+        log.record(
+            None,
+            i,
+            Some((i % 4) as usize),
+            SpanPhase::Dispatch,
+            "attempt 0",
+            i * 100,
+            i * 100 + 80,
+            None,
+        );
+    }
+    let spans = log.into_spans();
+    let mut ring = FlightRecorder::new(256);
+    for _ in 0..16 {
+        for s in &spans {
+            ring.record(s.clone());
+        }
+    }
+    black_box(ring.len());
+    black_box(ring.dropped());
+}
+
 main!(
     callgrind_args = "--simulate-wb=no", "--simulate-hwpref=yes",
         "--I1=32768,8,64", "--D1=32768,8,64", "--LL=8388608,16,64";
-    functions = next_dispatch, residency_probe, span_record, perfetto_export
+    functions = next_dispatch, residency_probe, span_record, perfetto_export,
+        window_rotate, ring_record
 );

@@ -8,7 +8,8 @@
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! cocopelia calib   --testbed i [--quick] [--json calib.json]
-//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--snapshot-ms 5]
+//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--snapshot-ms 5] [--watch] [--slo deadline_miss<=0.1] [--ring 2048]
+//! cocopelia metrics --testbed i [--devices 2] [--trace requests.txt] [--format prom|text]
 //! cocopelia timeline --testbed i [--devices 2] [--trace requests.txt] [--faults ...] [--width 96] [--color]
 //! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
 //! cocopelia compare BENCH_seed.json BENCH_pr.json [--threshold 0.05] [--json diff.json]
@@ -124,6 +125,7 @@ usage:
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>] [--faults <spec>]
   cocopelia report  --testbed <i|ii> --profile <profile.json> --routine <...>
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>] [--json <out.json>]
+                    [--format <text|prom>]
   cocopelia trace   --testbed <i|ii> --profile <profile.json> --routine <...>
                     --dims <D1> [D2] [D3] [--loc ...] [--tile <auto|N>]
                     --out <trace.json> [--format <chrome|jsonl|perfetto>]
@@ -131,7 +133,9 @@ usage:
   cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
   cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
                     [--policy <fifo|edf|predictive>] [--trace-out <out.json|out.perfetto>]
-                    [--snapshot-ms <N>]
+                    [--snapshot-ms <N>] [--watch] [--slo <kind<=limit,...>] [--ring <spans>]
+  cocopelia metrics --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
+                    [--policy <fifo|edf|predictive>] [--format <prom|text>]
   cocopelia timeline --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
                     [--policy <fifo|edf|predictive>] [--width <cols>] [--color]
                     [--trace-out <out.json|out.perfetto>] [--snapshot-ms <N>]
@@ -139,7 +143,12 @@ usage:
   cocopelia compare <base.json> <new.json> [--threshold <frac>] [--json <diff.json>]
 
 fault spec grammar (comma-separated, e.g. seed=1,h2d=0.02,kernel=0.05,lost_after=20):
-  seed=N h2d=P d2h=P kernel=P ecc=P lost_after=N degrade=START:END:FACTOR (repeatable)";
+  seed=N h2d=P d2h=P kernel=P ecc=P lost_after=N degrade=START:END:FACTOR (repeatable)
+
+serve --watch streams one line per telemetry window (cadence = --snapshot-ms of
+virtual time, default 5 ms); --slo objectives (deadline_miss, flow_p95, flow_p99,
+fault_rate, quarantined) dump the span flight recorder on breach, and a
+--trace-out ending in .perfetto/.pftrace streams packets incrementally.";
 
 fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -161,6 +170,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "gantt" => cmd_gantt(&args),
         "calib" => cmd_calib(&args),
         "serve" => cmd_serve(&args),
+        "metrics" => cmd_metrics(&args),
         "timeline" => cmd_timeline(&args),
         "snapshot" => cmd_snapshot(&args),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
@@ -463,7 +473,18 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
 
 fn cmd_report(args: &Args) -> Result<(), CliError> {
     let (ctx, _report) = execute(args)?;
-    print!("{}", ctx.observer().render());
+    match args.get_opt("format").as_deref() {
+        None | Some("text") => print!("{}", ctx.observer().render()),
+        Some("prom") => print!(
+            "{}",
+            cocopelia_obs::prom::render_prom(ctx.observer().metrics())
+        ),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown report format `{other}` (text|prom)"
+            )));
+        }
+    }
     if let Some(path) = args.get_opt("json") {
         let json = serde_json::to_string(&ctx.observer().to_value())
             .map_err(|e| CliError::Json(e.to_string()))?;
@@ -614,6 +635,7 @@ fn serve_comparison(
                 .ok_or_else(|| CliError::Usage(format!("bad --snapshot-ms value `{ms}`")))
         })
         .transpose()?;
+    let watch = watch_options(args, snapshot_interval)?;
     let requests = trace.len();
     eprintln!(
         "deploying and serving {requests} request(s) on {} device(s) under {policy}{} ...",
@@ -627,18 +649,80 @@ fn serve_comparison(
     let options = cocopelia_xp::ServeOptions {
         policy,
         trace: trace_spans,
-        snapshot_interval,
+        // Under --watch the per-window lines replace the end-only
+        // interval snapshots (--snapshot-ms becomes the window length).
+        snapshot_interval: if watch.is_some() {
+            None
+        } else {
+            snapshot_interval
+        },
+        watch,
     };
-    let cmp = cocopelia_xp::run_serve_with_options(&tb, devices, trace, &fault_spec, &options)
-        .map_err(CliError::Data)?;
+    let cmp = if options.watch.is_some() {
+        cocopelia_xp::run_serve_streaming(
+            &tb,
+            devices,
+            trace,
+            &fault_spec,
+            &options,
+            Box::new(|w| println!("{}", w.render())),
+        )
+    } else {
+        cocopelia_xp::run_serve_with_options(&tb, devices, trace, &fault_spec, &options)
+    }
+    .map_err(CliError::Data)?;
     Ok((cmp, fault_spec))
+}
+
+/// Builds the `--watch` telemetry config: `--snapshot-ms` sets the window
+/// length, `--slo` the objectives, `--ring` the flight-recorder capacity,
+/// and a `--trace-out` with a Perfetto extension switches that export to
+/// incremental streaming. `--slo`/`--ring` without `--watch` is a usage
+/// error.
+fn watch_options(
+    args: &Args,
+    snapshot_interval: Option<cocopelia_gpusim::SimTime>,
+) -> Result<Option<cocopelia_runtime::serve::TelemetryConfig>, CliError> {
+    if !args.has_flag("watch") {
+        for key in ["slo", "ring"] {
+            if args.get_opt(key).is_some() {
+                return Err(CliError::Usage(format!("--{key} requires --watch")));
+            }
+        }
+        return Ok(None);
+    }
+    let mut cfg = cocopelia_runtime::serve::TelemetryConfig::default();
+    if let Some(window) = snapshot_interval {
+        cfg.window = window;
+    }
+    if let Some(slos) = args.get_opt("slo") {
+        cfg.slos = cocopelia_obs::SloSpec::parse_list(&slos).map_err(CliError::Usage)?;
+    }
+    if let Some(ring) = args.get_opt("ring") {
+        cfg.recorder_cap = ring
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| CliError::Usage(format!("bad --ring value `{ring}`")))?;
+    }
+    if let Some(path) = args.get_opt("trace-out") {
+        if is_perfetto_path(&path) {
+            cfg.stream_path = Some(path.into());
+        }
+    }
+    Ok(Some(cfg))
+}
+
+/// Whether a `--trace-out` path names the binary Perfetto format.
+fn is_perfetto_path(path: &str) -> bool {
+    path.ends_with(".perfetto") || path.ends_with(".pftrace")
 }
 
 /// Writes a serve trace in the format its extension names: `.perfetto` /
 /// `.pftrace` → binary Perfetto protobuf (open in ui.perfetto.dev),
 /// anything else → Chrome trace JSON (`chrome://tracing`).
 fn write_serve_trace(path: &str, trace: &cocopelia_obs::ServeTrace) -> Result<(), CliError> {
-    if path.ends_with(".perfetto") || path.ends_with(".pftrace") {
+    if is_perfetto_path(path) {
         write_bytes(path, &cocopelia_obs::perfetto::to_perfetto(trace))?;
         println!("perfetto trace written to {path} (open in ui.perfetto.dev)");
     } else {
@@ -657,7 +741,11 @@ fn write_serve_trace(path: &str, trace: &cocopelia_obs::ServeTrace) -> Result<()
 /// request-lifecycle trace.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let trace_out = args.get_opt("trace-out");
-    let (cmp, fault_spec) = serve_comparison(args, trace_out.is_some())?;
+    // A Perfetto --trace-out under --watch is streamed incrementally by
+    // the telemetry layer; only the other combinations need the in-memory
+    // trace exported after the run.
+    let streamed = args.has_flag("watch") && trace_out.as_deref().is_some_and(is_perfetto_path);
+    let (cmp, fault_spec) = serve_comparison(args, trace_out.is_some() && !streamed)?;
     print!("{}", cmp.report.render());
     println!(
         "sequential no-reuse baseline {:.3} ms | speedup {:.2}x on {} device(s)",
@@ -682,12 +770,34 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         );
     }
     if let Some(path) = trace_out {
-        let trace = cmp
-            .report
-            .trace
-            .as_ref()
-            .ok_or_else(|| CliError::Data("executor produced no trace".into()))?;
-        write_serve_trace(&path, trace)?;
+        if streamed {
+            println!("perfetto trace streamed to {path} (open in ui.perfetto.dev)");
+        } else {
+            let trace = cmp
+                .report
+                .trace
+                .as_ref()
+                .ok_or_else(|| CliError::Data("executor produced no trace".into()))?;
+            write_serve_trace(&path, trace)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the serve comparison silently and prints the executor's metrics
+/// registry: Prometheus text exposition by default (scrape-ready counters,
+/// gauges, and `_bucket`/`_sum`/`_count` histograms), or the plain listing
+/// under `--format text`.
+fn cmd_metrics(args: &Args) -> Result<(), CliError> {
+    let (cmp, _fault_spec) = serve_comparison(args, false)?;
+    match args.get_opt("format").as_deref() {
+        None | Some("prom") => print!("{}", cocopelia_obs::prom::render_prom(&cmp.report.metrics)),
+        Some("text") => print!("{}", cmp.report.metrics.render()),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown metrics format `{other}` (prom|text)"
+            )));
+        }
     }
     Ok(())
 }

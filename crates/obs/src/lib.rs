@@ -23,6 +23,11 @@
 //!   snapshots of a standard sweep (`BENCH_<label>.json`) and the
 //!   comparator that classifies entry deltas as regression / improvement /
 //!   neutral for CI gating.
+//! * [`window`]/[`slo`]/[`recorder`] — the streaming telemetry layer:
+//!   rolling virtual-time windowed aggregation, edge-triggered SLO
+//!   evaluation, and a fixed-capacity span flight recorder that dumps on
+//!   breach/quarantine. Memory is O(window + ring), not O(requests).
+//! * [`prom`] — Prometheus text-exposition rendering of a [`Registry`].
 //!
 //! ## Example: inspecting a synthetic trace
 //!
@@ -57,9 +62,13 @@ pub mod metrics;
 pub mod observer;
 pub mod overlap;
 pub mod perfetto;
+pub mod prom;
+pub mod recorder;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod timeline;
+pub mod window;
 
 pub use calib::{audit_exec_table, CalibReport, ExecAudit, FitRow, LatencyRow};
 pub use diff::{DiffConfig, DiffReport, EntryDiff, Verdict};
@@ -67,5 +76,8 @@ pub use drift::{score_models, DriftAccountant, DriftRecord, ModelErrorStats};
 pub use metrics::{Histogram, Registry};
 pub use observer::{CallObservation, CallSummary, Observer, EFFICIENCY_BOUNDS};
 pub use overlap::OverlapStats;
+pub use recorder::{FlightDump, FlightRecorder};
+pub use slo::{SloBreach, SloEngine, SloKind, SloSpec, SloStatus};
 pub use snapshot::{Snapshot, SnapshotEntry, SNAPSHOT_SCHEMA_VERSION};
 pub use span::{check_spans, DeviceLane, ServeTrace, Span, SpanId, SpanLog, SpanPhase};
+pub use window::{WindowDigest, WindowSnapshot, WindowedMetrics};

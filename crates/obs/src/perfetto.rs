@@ -380,6 +380,216 @@ pub fn to_perfetto_single(entries: &[TraceEntry]) -> Vec<u8> {
     })
 }
 
+/// Incremental Perfetto writer: appends `TracePacket`s to a sink as
+/// spans/entries arrive, instead of buffering the whole trace.
+///
+/// Track descriptors are emitted lazily, immediately before the first
+/// event that needs them, so the stream is self-describing no matter
+/// when it is cut off. Events are emitted in arrival order — sorted
+/// within each batch, but *not* globally across batches (a queue-wait
+/// span necessarily arrives after the engine slices it preceded);
+/// Perfetto's importer sorts packets by timestamp at load, and the
+/// [`decode`] reader accepts any order. Memory is O(one batch).
+///
+/// Writes go straight to the sink; call [`flush`](Self::flush) at
+/// checkpoints (window close, quarantine, end of run) so a crashed or
+/// aborted serve still leaves an openable trace on disk.
+pub struct StreamWriter<W: std::io::Write> {
+    sink: W,
+    buf: Vec<u8>,
+    serve_declared: bool,
+    host_declared: bool,
+    /// Devices whose process + engine threads are declared.
+    devices_declared: std::collections::BTreeSet<usize>,
+    /// Devices whose `requests` lifecycle thread is declared.
+    lifecycles_declared: std::collections::BTreeSet<usize>,
+    packets: u64,
+    bytes: u64,
+}
+
+impl<W: std::io::Write> StreamWriter<W> {
+    /// Wraps a sink; nothing is written until the first event.
+    pub fn new(sink: W) -> Self {
+        StreamWriter {
+            sink,
+            buf: Vec::new(),
+            serve_declared: false,
+            host_declared: false,
+            devices_declared: std::collections::BTreeSet::new(),
+            lifecycles_declared: std::collections::BTreeSet::new(),
+            packets: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Packets emitted so far (descriptors + events).
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Bytes handed to the sink so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    fn ensure_serve(&mut self) {
+        if self.serve_declared {
+            return;
+        }
+        self.serve_declared = true;
+        descriptor_packet(
+            &mut self.buf,
+            SERVE_PROCESS_UUID,
+            "serve",
+            Some((SERVE_PID, "serve")),
+            None,
+        );
+        descriptor_packet(
+            &mut self.buf,
+            SERVE_QUEUE_UUID,
+            "queue",
+            None,
+            Some((SERVE_PID, 1, "queue")),
+        );
+        self.packets += 2;
+    }
+
+    fn ensure_host(&mut self) {
+        self.ensure_serve();
+        if self.host_declared {
+            return;
+        }
+        self.host_declared = true;
+        descriptor_packet(
+            &mut self.buf,
+            SERVE_HOST_UUID,
+            "host",
+            None,
+            Some((SERVE_PID, 2, "host")),
+        );
+        self.packets += 1;
+    }
+
+    fn ensure_device(&mut self, d: usize, name: &str) {
+        if self.devices_declared.contains(&d) {
+            return;
+        }
+        self.devices_declared.insert(d);
+        descriptor_packet(
+            &mut self.buf,
+            device_process_uuid(d),
+            name,
+            Some((device_pid(d), name)),
+            None,
+        );
+        for engine in [
+            EngineKind::CopyH2d,
+            EngineKind::Compute,
+            EngineKind::CopyD2h,
+        ] {
+            descriptor_packet(
+                &mut self.buf,
+                engine_uuid(d, engine),
+                engine.name(),
+                None,
+                Some((device_pid(d), engine_tid(engine), engine.name())),
+            );
+        }
+        self.packets += 4;
+    }
+
+    fn ensure_lifecycle(&mut self, d: usize) {
+        self.ensure_device(d, &format!("dev{d}"));
+        if self.lifecycles_declared.contains(&d) {
+            return;
+        }
+        self.lifecycles_declared.insert(d);
+        descriptor_packet(
+            &mut self.buf,
+            lifecycle_uuid(d),
+            "requests",
+            None,
+            Some((device_pid(d), 4, "requests")),
+        );
+        self.packets += 1;
+    }
+
+    fn drain_buf(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.sink.write_all(&self.buf)?;
+            self.bytes += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends one batch of lifecycle spans (sorted within the batch).
+    pub fn write_spans(&mut self, spans: &[Span]) -> std::io::Result<()> {
+        if spans.is_empty() {
+            return Ok(());
+        }
+        for s in spans {
+            match (s.phase, s.device) {
+                (SpanPhase::HostFallback, _) => self.ensure_host(),
+                (_, Some(d)) => self.ensure_lifecycle(d),
+                (_, None) => self.ensure_serve(),
+            }
+        }
+        let mut events: Vec<PendingEvent> = Vec::new();
+        for s in spans {
+            push_slice(
+                &mut events,
+                span_track(s),
+                s.start_ns,
+                s.end_ns,
+                &s.label,
+                s.flow,
+            );
+        }
+        self.emit(events)
+    }
+
+    /// Appends one batch of engine-level trace entries for device `d`.
+    pub fn write_entries(
+        &mut self,
+        d: usize,
+        name: &str,
+        entries: &[TraceEntry],
+    ) -> std::io::Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        self.ensure_device(d, name);
+        let mut events: Vec<PendingEvent> = Vec::new();
+        for e in entries {
+            push_slice(
+                &mut events,
+                engine_uuid(d, e.engine),
+                e.start.as_nanos(),
+                e.end.as_nanos(),
+                &e.label,
+                None,
+            );
+        }
+        self.emit(events)
+    }
+
+    fn emit(&mut self, mut events: Vec<PendingEvent>) -> std::io::Result<()> {
+        events.sort_by_key(|e| (e.ts, e.rank, e.nest, e.seq));
+        self.packets += events.len() as u64;
+        for e in events {
+            event_packet(&mut self.buf, e.ts, e.track, e.event_type, e.name, e.flow);
+        }
+        self.drain_buf()
+    }
+
+    /// Flushes the sink — the durability checkpoint error paths rely on.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.drain_buf()?;
+        self.sink.flush()
+    }
+}
+
 /// Stable thread id per engine (matches the Chrome exporter's layout).
 fn engine_tid(engine: EngineKind) -> u64 {
     match engine {
@@ -867,6 +1077,75 @@ mod tests {
         let decoded = decode_trace(&to_perfetto(&ServeTrace::default())).expect("decodes");
         assert_eq!(decoded.packets, 0);
         assert!(decode_trace(&[0x0a]).is_err(), "truncated packet errors");
+    }
+
+    #[test]
+    fn stream_writer_matches_batch_exporter_topology() {
+        let trace = two_device_trace();
+        let mut sink: Vec<u8> = Vec::new();
+        {
+            let mut w = StreamWriter::new(&mut sink);
+            // Interleave lanes and spans in small batches, as the
+            // executor's telemetry tick does.
+            for lane in &trace.lanes {
+                w.write_entries(lane.device, &lane.name, &lane.entries[..1])
+                    .expect("write");
+            }
+            w.write_spans(&trace.spans[..3]).expect("write");
+            for lane in &trace.lanes {
+                w.write_entries(lane.device, &lane.name, &lane.entries[1..])
+                    .expect("write");
+            }
+            w.write_spans(&trace.spans[3..]).expect("write");
+            w.flush().expect("flush");
+            assert!(w.packets() > 0);
+            assert_eq!(w.bytes_written() as usize, sink.len());
+        }
+        let streamed = decode_trace(&sink).expect("streamed bytes decode");
+        let batch = decode_trace(&to_perfetto(&trace)).expect("batch decodes");
+        // Same descriptor set (order differs: lazily declared), and the
+        // same multiset of events.
+        let mut su: Vec<u64> = streamed.descriptors.iter().map(|d| d.uuid).collect();
+        let mut bu: Vec<u64> = batch.descriptors.iter().map(|d| d.uuid).collect();
+        su.sort_unstable();
+        bu.sort_unstable();
+        assert_eq!(su, bu, "streamed and batch track sets differ");
+        assert_eq!(streamed.events.len(), batch.events.len());
+        // Every track's begins and ends balance, so the trace is openable
+        // no matter where the stream was cut.
+        for d in &streamed.descriptors {
+            let evs = streamed.events_on(d.uuid);
+            let begins = evs
+                .iter()
+                .filter(|e| e.event_type == TYPE_SLICE_BEGIN)
+                .count();
+            let ends = evs
+                .iter()
+                .filter(|e| e.event_type == TYPE_SLICE_END)
+                .count();
+            assert_eq!(begins, ends, "unbalanced slices on track {}", d.name);
+        }
+    }
+
+    #[test]
+    fn stream_writer_declares_each_track_once() {
+        let trace = two_device_trace();
+        let mut sink: Vec<u8> = Vec::new();
+        let mut w = StreamWriter::new(&mut sink);
+        for _ in 0..3 {
+            w.write_spans(&trace.spans).expect("write");
+            for lane in &trace.lanes {
+                w.write_entries(lane.device, &lane.name, &lane.entries)
+                    .expect("write");
+            }
+        }
+        w.flush().expect("flush");
+        let decoded = decode_trace(&sink).expect("decodes");
+        let mut uuids: Vec<u64> = decoded.descriptors.iter().map(|d| d.uuid).collect();
+        let n = uuids.len();
+        uuids.sort_unstable();
+        uuids.dedup();
+        assert_eq!(uuids.len(), n, "repeated batches re-declared tracks");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Prometheus text-exposition rendering of a [`Registry`].
+//!
+//! [`render_prom`] serializes every counter, gauge, and histogram in the
+//! registry into the Prometheus exposition format (version 0.0.4): a
+//! `# HELP`/`# TYPE` comment pair per metric family, plain samples for
+//! counters and gauges, and cumulative `_bucket{le="…"}`/`_sum`/`_count`
+//! series for histograms (the `+Inf` bucket includes the overflow
+//! bucket, so `_bucket{le="+Inf"} == _count` always holds). Metric names
+//! are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset.
+//!
+//! [`parse_prom`] is the inverse for round-trip testing: it reads an
+//! exposition body back into `(name, labels, value)` samples.
+
+use crate::metrics::{Histogram, Registry};
+use std::fmt::Write as _;
+
+/// Replaces characters outside the Prometheus name charset with `_`
+/// (and prefixes `_` when the first character is invalid).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        // `{}` prints the shortest representation that round-trips
+        // through `str::parse::<f64>()`, so render→parse is lossless.
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} Bounded histogram {name}.");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds().iter().enumerate() {
+        cumulative += h.counts()[i];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            fmt_value(*bound)
+        );
+    }
+    // The +Inf bucket folds in the overflow bucket (the trailing entry
+    // of `counts()`), so it equals the total observation count.
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum()));
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Renders the registry in Prometheus text-exposition format.
+pub fn render_prom(r: &Registry) -> String {
+    let mut out = String::new();
+    for (name, v) in r.counters() {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {name} Monotonic counter {name}.");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in r.gauges() {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {name} Gauge {name}.");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(v));
+    }
+    for (name, h) in r.histograms() {
+        render_histogram(&mut out, &sanitize_name(name), h);
+    }
+    out
+}
+
+/// One sample parsed back from an exposition body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in source order (`le` for histogram buckets).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parses a Prometheus text-exposition body into its samples. Comment
+/// (`#`) and blank lines are skipped; malformed sample lines are errors.
+pub fn parse_prom(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator in `{line}`", ln + 1))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {}: bad value `{v}`", ln + 1))?,
+        };
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_owned(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated label set", ln + 1))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {}: bad label `{pair}`", ln + 1))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {}: unquoted label value `{v}`", ln + 1))?;
+                    labels.push((k.to_owned(), v.to_owned()));
+                }
+                (name.to_owned(), labels)
+            }
+        };
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample<'a>(samples: &'a [PromSample], name: &str) -> &'a PromSample {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+    }
+
+    #[test]
+    fn round_trip_counters_gauges_histograms() {
+        let mut r = Registry::default();
+        r.counter_add("serve_requests_total", 42);
+        r.counter_add("fault_transient_total", 3);
+        r.gauge_set("serve_occupancy", 0.8125);
+        for v in [0.5, 1.5, 2.5, 9.0, 100.0] {
+            r.histogram_observe("flow_secs", &[1.0, 2.0, 4.0, 8.0], v);
+        }
+
+        let text = render_prom(&r);
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("# HELP serve_occupancy "));
+        assert!(text.contains("# TYPE flow_secs histogram"));
+
+        let samples = parse_prom(&text).expect("rendered exposition parses");
+        assert_eq!(sample(&samples, "serve_requests_total").value, 42.0);
+        assert_eq!(sample(&samples, "fault_transient_total").value, 3.0);
+        assert_eq!(sample(&samples, "serve_occupancy").value, 0.8125);
+        assert_eq!(sample(&samples, "flow_secs_count").value, 5.0);
+        assert_eq!(sample(&samples, "flow_secs_sum").value, 113.5);
+
+        // Buckets are cumulative and +Inf equals _count even with
+        // overflow observations (9.0 and 100.0 exceed the last bound).
+        let buckets: Vec<&PromSample> = samples
+            .iter()
+            .filter(|s| s.name == "flow_secs_bucket")
+            .collect();
+        assert_eq!(buckets.len(), 5, "4 bounds + +Inf");
+        let les: Vec<&str> = buckets.iter().map(|b| b.labels[0].1.as_str()).collect();
+        assert_eq!(les, vec!["1", "2", "4", "8", "+Inf"]);
+        let counts: Vec<f64> = buckets.iter().map(|b| b.value).collect();
+        assert_eq!(counts, vec![1.0, 2.0, 3.0, 3.0, 5.0]);
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "buckets are cumulative"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("ok_name:total"), "ok_name:total");
+        assert_eq!(sanitize_name("bad-name.with/stuff"), "bad_name_with_stuff");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        let mut r = Registry::default();
+        r.counter_add("weird-metric", 1);
+        let samples = parse_prom(&render_prom(&r)).expect("parses");
+        assert_eq!(samples[0].name, "weird_metric");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prom("name_only").is_err());
+        assert!(parse_prom("name{le=\"1\" 3").is_err());
+        assert!(parse_prom("name{le=1} 3").is_err());
+        assert!(parse_prom("name nope").is_err());
+        assert!(parse_prom("# comment\n\n").expect("ok").is_empty());
+        let inf = parse_prom("x +Inf").expect("ok");
+        assert_eq!(inf[0].value, f64::INFINITY);
+    }
+}

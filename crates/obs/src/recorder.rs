@@ -1,0 +1,274 @@
+//! Fixed-capacity span flight recorder.
+//!
+//! A [`FlightRecorder`] is a ring buffer over [`Span`]s: recording is
+//! O(1), memory is bounded by the configured capacity, and the oldest
+//! spans are dropped under pressure. When something goes wrong — an SLO
+//! breach, a device quarantine — the recorder's full contents are
+//! captured as a [`FlightDump`]: the last `capacity` spans leading up to
+//! the incident, exportable to Perfetto or JSONL for post-mortems even
+//! though the run itself keeps only O(ring) span memory.
+
+use crate::span::{ServeTrace, Span};
+use crate::SpanPhase;
+use std::collections::VecDeque;
+
+/// Bounded ring buffer of the most recent spans.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<Span>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `cap` spans (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            ring: VecDeque::with_capacity(cap),
+            dropped: 0,
+        }
+    }
+
+    /// Records a span, evicting the oldest if the ring is full. O(1).
+    pub fn record(&mut self, span: Span) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(span);
+    }
+
+    /// Spans currently held, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.ring.iter()
+    }
+
+    /// Number of spans currently held (≤ capacity, always).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total spans evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Captures the ring's full contents as an incident dump.
+    pub fn dump(&self, reason: impl Into<String>, window: u64, at_ns: u64) -> FlightDump {
+        FlightDump {
+            reason: reason.into(),
+            window,
+            at_ns,
+            dropped_before: self.dropped,
+            spans: self.ring.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A snapshot of the recorder ring at incident time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Human-readable trigger, e.g. `SLO breach …` or `quarantine dev0`.
+    pub reason: String,
+    /// Telemetry window index in which the incident fired.
+    pub window: u64,
+    /// Virtual-time instant of the incident, nanoseconds.
+    pub at_ns: u64,
+    /// Spans that had already been evicted before the dump (the ring's
+    /// blind spot; 0 means the dump is the complete history).
+    pub dropped_before: u64,
+    /// The ring's contents, oldest first.
+    pub spans: Vec<Span>,
+}
+
+impl FlightDump {
+    /// The dumped spans belonging to one request, in record order.
+    pub fn request_spans(&self, request: u64) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.request == request).collect()
+    }
+
+    /// True when the dump holds a full dispatch chain for `request`:
+    /// at least one attempt (`Dispatch`/`Retry`/`HostFallback`) plus its
+    /// terminal `Complete` instant.
+    pub fn has_request_chain(&self, request: u64) -> bool {
+        let spans = self.request_spans(request);
+        let attempted = spans.iter().any(|s| {
+            matches!(
+                s.phase,
+                SpanPhase::Dispatch | SpanPhase::Retry | SpanPhase::HostFallback
+            )
+        });
+        let completed = spans.iter().any(|s| s.phase == SpanPhase::Complete);
+        attempted && completed
+    }
+
+    /// Perfetto serialization of the dump (spans only; no engine lanes —
+    /// the streaming trace file carries those).
+    pub fn to_perfetto(&self) -> Vec<u8> {
+        let trace = ServeTrace {
+            spans: self.spans.clone(),
+            lanes: Vec::new(),
+        };
+        crate::perfetto::to_perfetto(&trace)
+    }
+
+    /// JSONL serialization: one header line (reason, window, instant,
+    /// blind-spot size) followed by one line per span.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"flight_dump\":{},\"window\":{},\"at_ns\":{},\"dropped_before\":{},\"reason\":{}}}\n",
+            self.spans.len(),
+            self.window,
+            self.at_ns,
+            self.dropped_before,
+            json_escape(&self.reason),
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"request\":{},\"device\":{},\"phase\":\"{}\",\
+                 \"label\":{},\"start_ns\":{},\"end_ns\":{},\"flow\":{}}}\n",
+                s.id.0,
+                s.parent.map(|p| p.0 as i64).unwrap_or(-1),
+                s.request,
+                s.device.map(|d| d as i64).unwrap_or(-1),
+                s.phase.name(),
+                json_escape(&s.label),
+                s.start_ns,
+                s.end_ns,
+                s.flow.map(|f| f as i64).unwrap_or(-1),
+            ));
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanLog;
+
+    fn spans(n: u64) -> Vec<Span> {
+        let mut log = SpanLog::default();
+        for i in 0..n {
+            log.record(
+                None,
+                i,
+                Some(0),
+                SpanPhase::Dispatch,
+                format!("attempt {i}"),
+                i * 10,
+                i * 10 + 5,
+                None,
+            );
+        }
+        log.into_spans()
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_stays_bounded() {
+        let mut r = FlightRecorder::new(4);
+        for s in spans(10) {
+            r.record(s);
+            assert!(r.len() <= 4, "ring never exceeds capacity");
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let held: Vec<u64> = r.spans().map(|s| s.request).collect();
+        assert_eq!(held, vec![6, 7, 8, 9], "oldest spans evicted first");
+    }
+
+    #[test]
+    fn dump_captures_ring_in_order_with_blind_spot() {
+        let mut r = FlightRecorder::new(3);
+        for s in spans(5) {
+            r.record(s);
+        }
+        let d = r.dump("test incident", 7, 12345);
+        assert_eq!(d.spans.len(), 3);
+        assert_eq!(d.dropped_before, 2);
+        assert_eq!(d.window, 7);
+        assert_eq!(d.reason, "test incident");
+        let reqs: Vec<u64> = d.spans.iter().map(|s| s.request).collect();
+        assert_eq!(reqs, vec![2, 3, 4]);
+        assert_eq!(d.request_spans(3).len(), 1);
+    }
+
+    #[test]
+    fn request_chain_detection() {
+        let mut log = SpanLog::default();
+        log.record(None, 1, Some(0), SpanPhase::Dispatch, "a", 0, 10, None);
+        log.record(
+            None,
+            1,
+            None,
+            SpanPhase::Complete,
+            "completed",
+            10,
+            10,
+            None,
+        );
+        log.record(None, 2, None, SpanPhase::Queued, "queued", 0, 5, None);
+        let mut r = FlightRecorder::new(8);
+        for s in log.into_spans() {
+            r.record(s);
+        }
+        let d = r.dump("x", 0, 10);
+        assert!(d.has_request_chain(1));
+        assert!(!d.has_request_chain(2), "queued-only is not a chain");
+        assert!(!d.has_request_chain(99));
+    }
+
+    #[test]
+    fn dump_exports_decode_and_serialize() {
+        let mut r = FlightRecorder::new(8);
+        for s in spans(3) {
+            r.record(s);
+        }
+        let d = r.dump("slo breach: deadline_miss", 1, 50);
+        let decoded =
+            crate::perfetto::decode::decode_trace(&d.to_perfetto()).expect("dump decodes");
+        assert!(decoded.packets > 0);
+        let jsonl = d.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4, "header + 3 spans");
+        assert!(jsonl.starts_with("{\"flight_dump\":3,"));
+        assert!(jsonl.contains("\"phase\":\"dispatch\""));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let r = FlightRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert!(r.is_empty());
+    }
+}

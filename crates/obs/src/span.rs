@@ -117,10 +117,18 @@ impl Span {
 }
 
 /// Append-only span collector with monotonically assigned ids.
+///
+/// Optionally capacity-bounded: [`enforce_cap_amortized`](Self::enforce_cap_amortized)
+/// drops the *oldest* spans once the log outgrows its cap, so a
+/// long-running traced serve keeps O(cap) span memory instead of
+/// O(requests). Ids stay monotonic across drops, so a consumer can use
+/// an id watermark to find spans it has not seen yet even after the
+/// front of the log was discarded.
 #[derive(Debug, Clone, Default)]
 pub struct SpanLog {
     spans: Vec<Span>,
     next: u64,
+    dropped: u64,
 }
 
 impl SpanLog {
@@ -171,6 +179,51 @@ impl SpanLog {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
+    }
+
+    /// Total spans discarded by cap enforcement so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spans whose id is `>= mark`, i.e. those recorded since a consumer
+    /// last noted [`next_id`](Self::next_id) — correct even after older
+    /// spans were dropped, because ids are monotonic in record order.
+    pub fn spans_since(&self, mark: u64) -> &[Span] {
+        let at = self.spans.partition_point(|s| s.id.0 < mark);
+        &self.spans[at..]
+    }
+
+    /// The id the next recorded span will get (a watermark for
+    /// [`spans_since`](Self::spans_since)).
+    pub fn next_id(&self) -> u64 {
+        self.next
+    }
+
+    /// Drops the oldest spans so at most `cap` remain. O(len) per call;
+    /// hot paths should prefer [`enforce_cap_amortized`](Self::enforce_cap_amortized).
+    pub fn truncate_front_to(&mut self, cap: usize) -> usize {
+        if self.spans.len() <= cap {
+            return 0;
+        }
+        let excess = self.spans.len() - cap;
+        self.spans.drain(..excess);
+        self.dropped += excess as u64;
+        excess
+    }
+
+    /// Amortized capacity enforcement: drops down to `cap` only once the
+    /// log exceeds `cap + cap/4 + 1`, so per-record cost stays O(1)
+    /// amortized while in-flight memory stays below `1.25 × cap + 2`
+    /// spans. Call [`truncate_front_to`](Self::truncate_front_to) once at
+    /// the end for an exact bound.
+    pub fn enforce_cap_amortized(&mut self, cap: usize) -> usize {
+        let slack = cap / 4 + 1;
+        if self.spans.len() > cap + slack {
+            self.truncate_front_to(cap)
+        } else {
+            0
+        }
     }
 
     /// Consumes the log, returning the spans.
@@ -385,6 +438,38 @@ pub fn check_spans(spans: &[Span]) -> Result<(), Vec<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cap_enforcement_drops_oldest_and_keeps_ids_monotonic() {
+        let mut log = SpanLog::new();
+        for i in 0..100u64 {
+            log.record(None, i, None, SpanPhase::Submit, "s", i, i, None);
+            log.enforce_cap_amortized(16);
+            assert!(log.len() <= 16 + 16 / 4 + 1, "amortized bound holds");
+        }
+        log.truncate_front_to(16);
+        assert_eq!(log.len(), 16);
+        assert_eq!(log.dropped(), 84);
+        let ids: Vec<u64> = log.spans().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, (84..100).collect::<Vec<_>>(), "oldest dropped first");
+        // Watermark lookup still works across the dropped front.
+        assert_eq!(log.spans_since(0).len(), 16);
+        assert_eq!(log.spans_since(98).len(), 2);
+        assert_eq!(log.spans_since(log.next_id()).len(), 0);
+        // Ids keep advancing after drops.
+        let id = log.record(None, 0, None, SpanPhase::Submit, "s", 0, 0, None);
+        assert_eq!(id.0, 100);
+    }
+
+    #[test]
+    fn truncate_on_a_small_log_is_a_no_op() {
+        let mut log = SpanLog::new();
+        log.record(None, 0, None, SpanPhase::Submit, "s", 0, 0, None);
+        assert_eq!(log.truncate_front_to(16), 0);
+        assert_eq!(log.enforce_cap_amortized(16), 0);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.len(), 1);
+    }
 
     fn log_request(log: &mut SpanLog, req: u64, retries: u64, quarantine: bool) {
         // submit → queued → dispatch (+ retries) → complete, in order.

@@ -7,6 +7,9 @@ use crate::operand::{MatOperand, TileChoice, VecOperand};
 use crate::request::{MatArg, RoutineRequest, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
 use crate::serve::sched::SchedulePolicy;
+use crate::serve::telemetry::{
+    Telemetry, TelemetryConfig, TelemetryReport, TickState, WatchWindow,
+};
 use crate::serve::trace::ServeTracer;
 use cocopelia_core::models::Prediction;
 use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
@@ -176,6 +179,13 @@ pub struct ServeReport {
     /// The request-lifecycle trace of the drain, when
     /// [`Executor::enable_tracing`] armed it.
     pub trace: Option<ServeTrace>,
+    /// Spans dropped from [`trace`](ServeReport::trace) by the span
+    /// capacity cap ([`Executor::enable_tracing_with_cap`]); `0` when
+    /// tracing was uncapped or nothing overflowed.
+    pub trace_dropped: u64,
+    /// Streaming telemetry summary (windows, SLO breaches, flight-recorder
+    /// dumps), when [`Executor::enable_telemetry`] armed it.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ServeReport {
@@ -355,6 +365,17 @@ impl ServeReport {
                 );
             }
         }
+        if self.trace_dropped > 0 {
+            let kept = self.trace.as_ref().map(|t| t.spans.len()).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "trace capped: {} oldest spans dropped ({kept} kept)",
+                self.trace_dropped,
+            );
+        }
+        if let Some(tele) = &self.telemetry {
+            out.push_str(&tele.render());
+        }
         out
     }
 }
@@ -398,6 +419,12 @@ pub struct Executor {
     /// Interval between periodic drain snapshots, armed by
     /// [`set_snapshot_interval`](Self::set_snapshot_interval).
     snapshot_every: Option<SimTime>,
+    /// Span-log capacity cap for long drains, armed by
+    /// [`enable_tracing_with_cap`](Self::enable_tracing_with_cap).
+    trace_cap: Option<usize>,
+    /// Streaming telemetry pipeline, armed by
+    /// [`enable_telemetry`](Self::enable_telemetry).
+    telemetry: Option<Telemetry>,
 }
 
 impl Executor {
@@ -428,6 +455,8 @@ impl Executor {
             tracer: None,
             trace_mark: vec![0; count],
             snapshot_every: None,
+            trace_cap: None,
+            telemetry: None,
         }
     }
 
@@ -437,6 +466,48 @@ impl Executor {
     /// traced and untraced drains of the same trace are identical.
     pub fn enable_tracing(&mut self) {
         self.tracer = Some(ServeTracer::default());
+    }
+
+    /// Arms tracing like [`enable_tracing`](Self::enable_tracing) but with
+    /// a span capacity cap: once the log exceeds `cap` (plus a 25%
+    /// amortisation slack while the drain runs), the oldest spans are
+    /// dropped so a long trace cannot grow without bound. The final
+    /// [`ServeReport::trace`] holds at most `cap` spans and
+    /// [`ServeReport::trace_dropped`] counts the casualties. `None`
+    /// uncaps.
+    pub fn enable_tracing_with_cap(&mut self, cap: Option<usize>) {
+        self.tracer = Some(ServeTracer::default());
+        self.trace_cap = cap;
+    }
+
+    /// Arms streaming telemetry: windowed metrics, SLO evaluation, the
+    /// span flight recorder, and (when
+    /// [`TelemetryConfig::stream_path`] is set) incremental Perfetto
+    /// export. Implies tracing — a tracer is armed (with
+    /// [`TelemetryConfig::trace_cap`]) if none is active, so the flight
+    /// recorder has spans to record. Telemetry only *reads* device
+    /// clocks; traced/telemetered and plain drains of the same trace stay
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the stream file cannot be created.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) -> std::io::Result<()> {
+        if self.tracer.is_none() {
+            self.tracer = Some(ServeTracer::default());
+        }
+        self.trace_cap = cfg.trace_cap;
+        self.telemetry = Some(Telemetry::new(cfg)?);
+        Ok(())
+    }
+
+    /// Installs the live-watch sink: called once per closed telemetry
+    /// window with the rendered [`WatchWindow`]. No-op until
+    /// [`enable_telemetry`](Self::enable_telemetry) armed telemetry.
+    pub fn set_watch_sink(&mut self, sink: Box<dyn FnMut(&WatchWindow)>) {
+        if let Some(tele) = self.telemetry.as_mut() {
+            tele.set_sink(sink);
+        }
     }
 
     /// Arms periodic drain snapshots: every `interval` of virtual time,
@@ -699,9 +770,18 @@ impl Executor {
                 t.begin_drain(t0, &queued);
             }
         }
+        if let Some(mut tele) = self.telemetry.take() {
+            tele.begin(self.trace_mark.clone(), &self.metrics);
+            self.telemetry = Some(tele);
+        }
         let mut snapshots: Vec<ServeSnapshot> = Vec::new();
         let mut next_snap = self.snapshot_every;
         while let Some((id, req, preferred)) = self.next_dispatch() {
+            let quar_before = if self.telemetry.is_some() {
+                self.quarantined.clone()
+            } else {
+                Vec::new()
+            };
             let outcome = self.dispatch(id, req, preferred, &start);
             match &outcome.status {
                 RequestStatus::Completed(_) => {
@@ -716,15 +796,12 @@ impl Executor {
                 RequestStatus::Rejected { .. } => {}
             }
             self.outcomes.push(outcome);
+            self.telemetry_tick(&start, &quar_before);
+            if let (Some(cap), Some(t)) = (self.trace_cap, self.tracer.as_mut()) {
+                t.enforce_cap(cap);
+            }
             if let (Some(interval), Some(due)) = (self.snapshot_every, next_snap) {
-                let elapsed = self
-                    .pool
-                    .devices()
-                    .iter()
-                    .zip(&start)
-                    .map(|(d, &s)| d.gpu().now().saturating_since(s))
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
+                let elapsed = self.elapsed_since(&start);
                 let mut due = due;
                 while elapsed >= due {
                     snapshots.push(self.snapshot_at(due, &start));
@@ -745,6 +822,7 @@ impl Executor {
             .copied()
             .max()
             .expect("at least one device");
+        let telemetry = self.telemetry_finish(makespan);
         let mut total_flops = 0.0;
         let mut host_flops_sum = 0.0;
         let mut host_time = SimTime::ZERO;
@@ -760,6 +838,11 @@ impl Executor {
             }
         }
         let mut tracer = self.tracer.take();
+        if let (Some(cap), Some(t)) = (self.trace_cap, tracer.as_mut()) {
+            t.trim_to(cap);
+        }
+        // `finish` resets the drop counter, so read it first.
+        let trace_dropped = tracer.as_ref().map(|t| t.dropped()).unwrap_or(0);
         let trace = tracer.as_mut().map(|t| {
             let lanes = self
                 .pool
@@ -791,6 +874,8 @@ impl Executor {
             metrics: Registry::new(),
             snapshots,
             trace,
+            trace_dropped,
+            telemetry,
         };
         self.metrics
             .gauge_set("serve_makespan_secs", report.makespan.as_secs_f64());
@@ -1079,18 +1164,115 @@ impl Executor {
             .zip(start)
             .map(|(d, &s)| d.gpu().now().saturating_since(s))
             .collect();
-        let recs = self.drift.records();
-        let mean_abs_drift = if recs.is_empty() {
-            0.0
-        } else {
-            recs.iter().map(DriftRecord::abs_rel_err).sum::<f64>() / recs.len() as f64
-        };
         ServeSnapshot {
             at,
             queue_depth: self.queue.len(),
             device_clock,
-            mean_abs_drift,
+            mean_abs_drift: self.mean_abs_drift(),
         }
+    }
+
+    /// Max device-clock advance since the drain began — the virtual
+    /// "elapsed" that drives snapshots and telemetry windows.
+    fn elapsed_since(&self, start: &[SimTime]) -> SimTime {
+        self.pool
+            .devices()
+            .iter()
+            .zip(start)
+            .map(|(d, &s)| d.gpu().now().saturating_since(s))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Mean absolute relative error of the scheduler's offload
+    /// predictions so far; `0.0` before the first prediction.
+    fn mean_abs_drift(&self) -> f64 {
+        let recs = self.drift.records();
+        if recs.is_empty() {
+            0.0
+        } else {
+            recs.iter().map(DriftRecord::abs_rel_err).sum::<f64>() / recs.len() as f64
+        }
+    }
+
+    /// Feeds freshly produced engine-trace entries and spans into the
+    /// telemetry stream/ring, advancing the per-device and span
+    /// watermarks.
+    fn telemetry_drain(&self, tele: &mut Telemetry) {
+        for d in 0..self.pool.device_count() {
+            let mark = tele.lane_mark(d);
+            let trace = self.pool.devices()[d].gpu().trace();
+            let new_len = trace.len();
+            if new_len > mark {
+                tele.stream_lane(d, &format!("dev{d}"), trace.entries_since(mark), new_len);
+            }
+        }
+        if let Some(t) = self.tracer.as_ref() {
+            let mark = tele.span_mark();
+            tele.drain_spans(t.spans_since(mark), t.next_span_id());
+        }
+    }
+
+    /// One telemetry step after a dispatch: drain lanes/spans, account the
+    /// just-finished outcome (flow time from the serving device's clock,
+    /// so telemetry never *moves* a clock), dump on fresh quarantines, and
+    /// rotate windows. No-op when telemetry is off.
+    fn telemetry_tick(&mut self, start: &[SimTime], quar_before: &[bool]) {
+        let Some(mut tele) = self.telemetry.take() else {
+            return;
+        };
+        self.telemetry_drain(&mut tele);
+        let elapsed = self.elapsed_since(start);
+        if let Some(o) = self.outcomes.last() {
+            for (d, &was) in quar_before.iter().enumerate() {
+                if !was && self.quarantined.get(d).copied().unwrap_or(false) {
+                    tele.on_quarantine(d, o.id.0, elapsed.as_nanos());
+                }
+            }
+            let flow_secs = match &o.status {
+                RequestStatus::TimedOut { elapsed, .. } => *elapsed,
+                RequestStatus::Completed(r) => match o.device {
+                    Some(d) if !o.host_fallback => self.pool.devices()[d]
+                        .gpu()
+                        .now()
+                        .saturating_since(start[d])
+                        .as_secs_f64(),
+                    _ => r.elapsed.as_secs_f64(),
+                },
+                _ => f64::NAN,
+            };
+            tele.on_outcome(o, flow_secs);
+            if o.host_fallback {
+                // Quarantine-to-empty-pool path: checkpoint the stream so
+                // a drain that never returns still leaves a valid trace.
+                tele.flush_stream();
+            }
+        }
+        tele.tick(&TickState {
+            elapsed_ns: elapsed.as_nanos(),
+            queue_depth: self.queue.len(),
+            quarantined: self.quarantined.iter().filter(|&&q| q).count(),
+            mean_abs_drift: self.mean_abs_drift(),
+            metrics: &self.metrics,
+        });
+        self.telemetry = Some(tele);
+    }
+
+    /// Final telemetry rotation at drain end; returns the run summary and
+    /// re-arms telemetry for a subsequent drain. `None` when telemetry is
+    /// off.
+    fn telemetry_finish(&mut self, makespan: SimTime) -> Option<TelemetryReport> {
+        let mut tele = self.telemetry.take()?;
+        self.telemetry_drain(&mut tele);
+        let report = tele.finish(&TickState {
+            elapsed_ns: makespan.as_nanos(),
+            queue_depth: self.queue.len(),
+            quarantined: self.quarantined.iter().filter(|&&q| q).count(),
+            mean_abs_drift: self.mean_abs_drift(),
+            metrics: &self.metrics,
+        });
+        self.telemetry = Some(tele);
+        Some(report)
     }
 
     /// Quarantines device `d`: it stops pulling work, its residency cache

@@ -47,6 +47,7 @@
 mod executor;
 mod residency;
 mod sched;
+mod telemetry;
 mod trace;
 
 pub use executor::{
@@ -54,3 +55,4 @@ pub use executor::{
 };
 pub use residency::ResidencyCache;
 pub use sched::SchedulePolicy;
+pub use telemetry::{TelemetryConfig, TelemetryReport, WatchWindow, FLOW_SECS_BOUNDS};

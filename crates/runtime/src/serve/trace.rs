@@ -212,6 +212,33 @@ impl ServeTracer {
         self.host_ns
     }
 
+    /// Id the next span will get — the telemetry watermark for
+    /// [`SpanLog::spans_since`].
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.log.next_id()
+    }
+
+    /// Spans recorded at or after the id watermark `mark`.
+    pub(crate) fn spans_since(&self, mark: u64) -> &[cocopelia_obs::Span] {
+        self.log.spans_since(mark)
+    }
+
+    /// Amortized capacity enforcement (oldest spans dropped); call once
+    /// per dispatch, not per span.
+    pub(crate) fn enforce_cap(&mut self, cap: usize) {
+        self.log.enforce_cap_amortized(cap);
+    }
+
+    /// Exact cap enforcement for report time.
+    pub(crate) fn trim_to(&mut self, cap: usize) {
+        self.log.truncate_front_to(cap);
+    }
+
+    /// Spans dropped by cap enforcement so far.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.log.dropped()
+    }
+
     /// Drains the collected spans into a [`ServeTrace`] over the given
     /// device lanes.
     pub(crate) fn finish(&mut self, lanes: Vec<cocopelia_obs::DeviceLane>) -> ServeTrace {

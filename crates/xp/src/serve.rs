@@ -10,7 +10,9 @@
 
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, SimTime, TestbedSpec};
-use cocopelia_runtime::serve::{Executor, ExecutorConfig, SchedulePolicy, ServeReport};
+use cocopelia_runtime::serve::{
+    Executor, ExecutorConfig, SchedulePolicy, ServeReport, TelemetryConfig, WatchWindow,
+};
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
     RoutineRequest, SharedMat, SharedVec, TileChoice, VecArg, VecOperand,
@@ -221,6 +223,10 @@ pub struct ServeOptions {
     /// Emit a queue-depth/clock/drift snapshot every interval of virtual
     /// time (`None` disables them).
     pub snapshot_interval: Option<SimTime>,
+    /// Streaming telemetry (windowed metrics, SLOs, flight recorder,
+    /// incremental Perfetto export) — the `serve --watch` machinery.
+    /// `None` keeps the end-only report.
+    pub watch: Option<TelemetryConfig>,
 }
 
 impl Default for ServeOptions {
@@ -229,6 +235,7 @@ impl Default for ServeOptions {
             policy: SchedulePolicy::Fifo,
             trace: false,
             snapshot_interval: None,
+            watch: None,
         }
     }
 }
@@ -247,6 +254,38 @@ pub fn run_serve_with_options(
     trace: Vec<RoutineRequest>,
     faults: &FaultSpec,
     options: &ServeOptions,
+) -> Result<ServeComparison, String> {
+    serve_impl(testbed, devices, trace, faults, options, None)
+}
+
+/// [`run_serve_with_options`] with a live window sink: when
+/// [`ServeOptions::watch`] is set, `sink` receives each closed telemetry
+/// window as the drain crosses it — the `serve --watch` line printer.
+///
+/// # Errors
+///
+/// Propagates deployment, runtime, and telemetry-stream failures as
+/// strings.
+pub fn run_serve_streaming(
+    testbed: &TestbedSpec,
+    devices: usize,
+    trace: Vec<RoutineRequest>,
+    faults: &FaultSpec,
+    options: &ServeOptions,
+    sink: Box<dyn FnMut(&WatchWindow)>,
+) -> Result<ServeComparison, String> {
+    serve_impl(testbed, devices, trace, faults, options, Some(sink))
+}
+
+type WatchSink = Box<dyn FnMut(&WatchWindow)>;
+
+fn serve_impl(
+    testbed: &TestbedSpec,
+    devices: usize,
+    trace: Vec<RoutineRequest>,
+    faults: &FaultSpec,
+    options: &ServeOptions,
+    sink: Option<WatchSink>,
 ) -> Result<ServeComparison, String> {
     let mut tb = testbed.clone();
     tb.noise = NoiseSpec::NONE;
@@ -278,6 +317,13 @@ pub fn run_serve_with_options(
     exec.set_policy(options.policy);
     if options.trace {
         exec.enable_tracing();
+    }
+    if let Some(watch) = &options.watch {
+        exec.enable_telemetry(watch.clone())
+            .map_err(|e| format!("telemetry stream: {e}"))?;
+        if let Some(sink) = sink {
+            exec.set_watch_sink(sink);
+        }
     }
     exec.set_snapshot_interval(options.snapshot_interval);
     for req in trace {

@@ -24,6 +24,7 @@ fn traced_run(
         policy,
         trace: true,
         snapshot_interval: Some(cocopelia_gpusim::SimTime::from_secs_f64(5e-3)),
+        ..ServeOptions::default()
     };
     run_serve_with_options(&testbed_i(), devices, trace, faults, &options)
         .expect("traced serve run succeeds")
@@ -225,6 +226,7 @@ fn snapshots_are_monotone_and_tracing_leaves_timing_unchanged() {
             policy: SchedulePolicy::Predictive,
             trace: false,
             snapshot_interval: None,
+            ..ServeOptions::default()
         },
     )
     .expect("untraced run succeeds");

@@ -41,6 +41,13 @@ echo "== scheduling policy gate (predictive < fifo, edf deadline wins) =="
 # misses, and all three policies must export sched_predict_abs_err.
 cargo test --release -q -p cocopelia-xp --test serve_sched
 
+echo "== open-arrival gate (backpressure, coalescing, closed-queue identity) =="
+# The ServeSession acceptance bars: seeded Poisson overload sheds to a
+# bounded queue and replays bit-identically, coalescing uploads strictly
+# fewer h2d bytes and beats the non-coalesced makespan, and the deprecated
+# closed-queue Executor::run wrapper stays bit-identical to a session drain.
+cargo test --release -q -p cocopelia-xp --test serve_open
+
 echo "== chaos soak gate (seeded fault injection) =="
 # Fault injection is seeded and rolled at enqueue time, so the soak —
 # scheduler retries, quarantine + re-dispatch, host fallback, leak and

@@ -1,5 +1,7 @@
 //! Instruction-count-style microbenches for the serving hot paths: the
-//! scheduler's dispatch decision, the residency-cache admission probe,
+//! scheduler's dispatch decision, the open-arrival event loop (arrival
+//! admission interleaved with dispatch), the residency-cache admission
+//! probe,
 //! the span-record / Perfetto-export trace path, and the streaming
 //! telemetry primitives (window rotation, flight-recorder ring record).
 //!
@@ -13,7 +15,7 @@ use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, NoiseSpec, SimTime, TraceEntry};
 use cocopelia_obs::{DeviceLane, FlightRecorder, ServeTrace, SpanLog, SpanPhase, WindowedMetrics};
-use cocopelia_runtime::serve::{Executor, ExecutorConfig};
+use cocopelia_runtime::serve::{ExecutorConfig, ServeSession};
 use cocopelia_runtime::{GemmRequest, MatOperand, MultiGpu, RoutineRequest, SharedMat, TileChoice};
 
 fn dummy_profile() -> SystemProfile {
@@ -43,23 +45,37 @@ fn shared_gemm() -> RoutineRequest {
     .into()
 }
 
-fn quiet_executor(devices: usize) -> Executor {
+fn quiet_session(devices: usize) -> ServeSession {
     let mut tb = testbed_i();
     tb.noise = NoiseSpec::NONE;
     let pool = MultiGpu::new(&tb, devices, ExecMode::TimingOnly, 42, dummy_profile());
-    Executor::new(pool, ExecutorConfig::default())
+    ServeSession::new(pool, ExecutorConfig::default())
 }
 
 /// The scheduler's per-request decision: pop the next request and pick
 /// its device (affinity + ready-time heuristic) without executing it.
 #[inline(never)]
 fn next_dispatch() {
-    let mut exec = quiet_executor(4);
+    let mut exec = quiet_session(4);
     for _ in 0..64 {
         exec.submit(shared_gemm());
     }
-    while let Some(decision) = exec.next_dispatch_for_bench() {
+    while let Some(decision) = exec.executor_mut().next_dispatch_for_bench() {
         black_box(decision);
+    }
+}
+
+/// The open-arrival event loop: `next_event` admitting scheduled
+/// arrivals interleaved with dispatch pulls, the hot path of a
+/// `ServeSession::drain` under a live arrival stream.
+#[inline(never)]
+fn next_event() {
+    let mut exec = quiet_session(4);
+    for i in 0..64u64 {
+        exec.submit_at(shared_gemm(), SimTime::from_nanos(i * 1_000));
+    }
+    while let Some(event) = exec.executor_mut().next_event_for_bench() {
+        black_box(event);
     }
 }
 
@@ -67,11 +83,11 @@ fn next_dispatch() {
 /// shared-operand run: `fits` plus the buffer enumeration.
 #[inline(never)]
 fn residency_probe() {
-    let mut exec = quiet_executor(2);
+    let mut exec = quiet_session(2);
     for _ in 0..4 {
         exec.submit(shared_gemm());
     }
-    exec.run();
+    exec.drain();
     let cache = exec.residency(0);
     for i in 0..200_000usize {
         black_box(cache.fits(i & 0xFFFF));
@@ -196,6 +212,6 @@ fn ring_record() {
 main!(
     callgrind_args = "--simulate-wb=no", "--simulate-hwpref=yes",
         "--I1=32768,8,64", "--D1=32768,8,64", "--LL=8388608,16,64";
-    functions = next_dispatch, residency_probe, span_record, perfetto_export,
+    functions = next_dispatch, next_event, residency_probe, span_record, perfetto_export,
         window_rotate, ring_record
 );

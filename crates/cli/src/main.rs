@@ -8,7 +8,7 @@
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! cocopelia calib   --testbed i [--quick] [--json calib.json]
-//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--snapshot-ms 5] [--watch] [--slo deadline_miss<=0.1] [--ring 2048]
+//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--arrivals poisson:2000] [--seed 1] [--queue-cap 8] [--shed-flow-ms 50] [--coalesce] [--snapshot-ms 5] [--watch] [--window-ms 5] [--slo deadline_miss<=0.1] [--ring 2048]
 //! cocopelia metrics --testbed i [--devices 2] [--trace requests.txt] [--format prom|text]
 //! cocopelia timeline --testbed i [--devices 2] [--trace requests.txt] [--faults ...] [--width 96] [--color]
 //! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
@@ -133,7 +133,10 @@ usage:
   cocopelia calib   --testbed <i|ii> [--quick] [--json <calib.json>]
   cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
                     [--policy <fifo|edf|predictive>] [--trace-out <out.json|out.perfetto>]
-                    [--snapshot-ms <N>] [--watch] [--slo <kind<=limit,...>] [--ring <spans>]
+                    [--arrivals <poisson:rate_hz|bursty:rate_hz:on_ms:off_ms>] [--seed <N>]
+                    [--queue-cap <N>] [--shed-flow-ms <N>] [--coalesce]
+                    [--snapshot-ms <N>] [--watch] [--window-ms <N>]
+                    [--slo <kind<=limit,...>] [--ring <spans>]
   cocopelia metrics --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
                     [--policy <fifo|edf|predictive>] [--format <prom|text>]
   cocopelia timeline --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
@@ -145,10 +148,17 @@ usage:
 fault spec grammar (comma-separated, e.g. seed=1,h2d=0.02,kernel=0.05,lost_after=20):
   seed=N h2d=P d2h=P kernel=P ecc=P lost_after=N degrade=START:END:FACTOR (repeatable)
 
-serve --watch streams one line per telemetry window (cadence = --snapshot-ms of
-virtual time, default 5 ms); --slo objectives (deadline_miss, flow_p95, flow_p99,
-fault_rate, quarantined) dump the span flight recorder on breach, and a
---trace-out ending in .perfetto/.pftrace streams packets incrementally.";
+serve --watch streams one line per telemetry window (cadence = --window-ms of
+virtual time, default 5 ms; --snapshot-ms is accepted as a legacy alias under
+--watch); --slo objectives (deadline_miss, flow_p95, flow_p99, fault_rate,
+quarantined, rejected) dump the span flight recorder on breach, and a
+--trace-out ending in .perfetto/.pftrace streams packets incrementally.
+
+serve --arrivals turns the trace into an open-arrival stream (seeded by --seed,
+default 1) whose requests land mid-drain: poisson:<rate_hz> for memoryless
+traffic, bursty:<rate_hz>:<on_ms>:<off_ms> for on/off bursts. --queue-cap and
+--shed-flow-ms shed arrivals under overload (reported as rejected); --coalesce
+folds identical queued shapes into one execution.";
 
 fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -625,38 +635,93 @@ fn serve_comparison(
         Some(p) => cocopelia_runtime::serve::SchedulePolicy::parse(&p).map_err(CliError::Usage)?,
         None => cocopelia_runtime::serve::SchedulePolicy::Fifo,
     };
-    let snapshot_interval = args
-        .get_opt("snapshot-ms")
-        .map(|ms| {
-            ms.parse::<f64>()
+    let parse_ms = |key: &str| -> Result<Option<cocopelia_gpusim::SimTime>, CliError> {
+        args.get_opt(key)
+            .map(|ms| {
+                ms.parse::<f64>()
+                    .ok()
+                    .filter(|v| *v > 0.0)
+                    .map(|v| cocopelia_gpusim::SimTime::from_secs_f64(v * 1e-3))
+                    .ok_or_else(|| CliError::Usage(format!("bad --{key} value `{ms}`")))
+            })
+            .transpose()
+    };
+    let snapshot_interval = parse_ms("snapshot-ms")?;
+    let window = parse_ms("window-ms")?;
+    let watch = watch_options(args, window.or(snapshot_interval))?;
+    let seed: u64 = args
+        .get_opt("seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("bad --seed value `{s}`")))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let arrivals = args
+        .get_opt("arrivals")
+        .map(|s| cocopelia_xp::ArrivalSpec::parse(&s, seed).map_err(CliError::Usage))
+        .transpose()?;
+    let queue_cap = args
+        .get_opt("queue-cap")
+        .map(|s| {
+            s.parse::<usize>()
                 .ok()
-                .filter(|v| *v > 0.0)
-                .map(|v| cocopelia_gpusim::SimTime::from_secs_f64(v * 1e-3))
-                .ok_or_else(|| CliError::Usage(format!("bad --snapshot-ms value `{ms}`")))
+                .filter(|n| *n > 0)
+                .ok_or_else(|| CliError::Usage(format!("bad --queue-cap value `{s}`")))
         })
         .transpose()?;
-    let watch = watch_options(args, snapshot_interval)?;
+    let shed_flow_secs = args
+        .get_opt("shed-flow-ms")
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|v| *v > 0.0)
+                .map(|v| v * 1e-3)
+                .ok_or_else(|| CliError::Usage(format!("bad --shed-flow-ms value `{s}`")))
+        })
+        .transpose()?;
+    let coalesce = args.has_flag("coalesce");
+    if arrivals.is_none() {
+        if queue_cap.is_some() {
+            return Err(CliError::Usage("--queue-cap requires --arrivals".into()));
+        }
+        if shed_flow_secs.is_some() {
+            return Err(CliError::Usage("--shed-flow-ms requires --arrivals".into()));
+        }
+        if coalesce {
+            return Err(CliError::Usage("--coalesce requires --arrivals".into()));
+        }
+    }
     let requests = trace.len();
     eprintln!(
-        "deploying and serving {requests} request(s) on {} device(s) under {policy}{} ...",
+        "deploying and serving {requests} request(s) on {} device(s) under {policy}{}{} ...",
         devices,
         if fault_spec.is_none() {
             ""
         } else {
             " with fault injection"
         },
+        if arrivals.is_none() {
+            ""
+        } else {
+            " with open arrivals"
+        },
     );
     let options = cocopelia_xp::ServeOptions {
         policy,
         trace: trace_spans,
         // Under --watch the per-window lines replace the end-only
-        // interval snapshots (--snapshot-ms becomes the window length).
+        // interval snapshots (--window-ms becomes the window length).
         snapshot_interval: if watch.is_some() {
             None
         } else {
             snapshot_interval
         },
         watch,
+        arrivals,
+        queue_cap,
+        shed_flow_secs,
+        coalesce,
     };
     let cmp = if options.watch.is_some() {
         cocopelia_xp::run_serve_streaming(
@@ -674,17 +739,18 @@ fn serve_comparison(
     Ok((cmp, fault_spec))
 }
 
-/// Builds the `--watch` telemetry config: `--snapshot-ms` sets the window
-/// length, `--slo` the objectives, `--ring` the flight-recorder capacity,
-/// and a `--trace-out` with a Perfetto extension switches that export to
-/// incremental streaming. `--slo`/`--ring` without `--watch` is a usage
-/// error.
+/// Builds the `--watch` telemetry config: `--window-ms` sets the window
+/// length (`--snapshot-ms` is accepted as a legacy alias under `--watch`),
+/// `--slo` the objectives, `--ring` the flight-recorder capacity, and a
+/// `--trace-out` with a Perfetto extension switches that export to
+/// incremental streaming. `--slo`/`--ring`/`--window-ms` without `--watch`
+/// is a usage error.
 fn watch_options(
     args: &Args,
-    snapshot_interval: Option<cocopelia_gpusim::SimTime>,
+    window: Option<cocopelia_gpusim::SimTime>,
 ) -> Result<Option<cocopelia_runtime::serve::TelemetryConfig>, CliError> {
     if !args.has_flag("watch") {
-        for key in ["slo", "ring"] {
+        for key in ["slo", "ring", "window-ms"] {
             if args.get_opt(key).is_some() {
                 return Err(CliError::Usage(format!("--{key} requires --watch")));
             }
@@ -692,7 +758,7 @@ fn watch_options(
         return Ok(None);
     }
     let mut cfg = cocopelia_runtime::serve::TelemetryConfig::default();
-    if let Some(window) = snapshot_interval {
+    if let Some(window) = window {
         cfg.window = window;
     }
     if let Some(slos) = args.get_opt("slo") {
@@ -1064,6 +1130,43 @@ mod tests {
         ));
         assert!(matches!(
             super::run(&argv("serve --testbed i --snapshot-ms -3")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_validates_open_arrival_flags() {
+        // Arrival grammar errors are usage errors.
+        assert!(matches!(
+            super::run(&argv("serve --testbed i --arrivals uniform:9")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            super::run(&argv("serve --testbed i --arrivals poisson:0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            super::run(&argv(
+                "serve --testbed i --arrivals poisson:100 --seed nope"
+            )),
+            Err(CliError::Usage(_))
+        ));
+        // Backpressure/coalescing knobs act on arrivals only.
+        for flags in [
+            "--queue-cap 8",
+            "--shed-flow-ms 50",
+            "--coalesce",
+            "--queue-cap 0 --arrivals poisson:100",
+        ] {
+            let cmd = format!("serve --testbed i {flags}");
+            assert!(
+                matches!(super::run(&argv(&cmd)), Err(CliError::Usage(_))),
+                "`{flags}` must be a usage error"
+            );
+        }
+        // The watch window length is a --watch flag.
+        assert!(matches!(
+            super::run(&argv("serve --testbed i --window-ms 5")),
             Err(CliError::Usage(_))
         ));
     }

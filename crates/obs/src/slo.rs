@@ -27,6 +27,10 @@ pub mod names {
     pub const DEADLINE_MISSED: &str = "deadline_missed";
     /// Counter: requests that failed terminally.
     pub const FAILED: &str = "requests_failed";
+    /// Counter: requests shed by admission control or backpressure.
+    pub const REJECTED: &str = "requests_rejected";
+    /// Counter: requests that coalesced onto an identical queued leader.
+    pub const COALESCED: &str = "requests_coalesced";
     /// Counter: dispatch attempts (first tries plus retries).
     pub const ATTEMPTS: &str = "attempts";
     /// Counter: injected/observed device faults in the window.
@@ -59,6 +63,9 @@ pub enum SloKind {
     FaultRate,
     /// Quarantined device count `≤ limit`.
     QuarantinedDevices,
+    /// `requests_rejected / (requests_rejected + requests_finished) ≤
+    /// limit` — the backpressure shed rate of an open-arrival run.
+    RejectedRate,
 }
 
 impl SloKind {
@@ -70,6 +77,7 @@ impl SloKind {
             SloKind::FlowP99Secs => "flow_p99",
             SloKind::FaultRate => "fault_rate",
             SloKind::QuarantinedDevices => "quarantined",
+            SloKind::RejectedRate => "rejected",
         }
     }
 }
@@ -102,10 +110,11 @@ impl SloSpec {
             "flow_p99" => SloKind::FlowP99Secs,
             "fault_rate" => SloKind::FaultRate,
             "quarantined" => SloKind::QuarantinedDevices,
+            "rejected" => SloKind::RejectedRate,
             other => {
                 return Err(format!(
                     "unknown SLO kind `{other}` (expected deadline_miss, flow_p95, \
-                     flow_p99, fault_rate, or quarantined)"
+                     flow_p99, fault_rate, quarantined, or rejected)"
                 ))
             }
         };
@@ -152,6 +161,11 @@ impl SloSpec {
                 .filter(|d| d.count > 0)
                 .map(|d| d.p99),
             SloKind::QuarantinedDevices => w.gauge(names::QUARANTINED),
+            SloKind::RejectedRate => {
+                let rej = w.counter(names::REJECTED);
+                let offered = rej + w.counter(names::FINISHED);
+                (offered > 0).then(|| rej as f64 / offered as f64)
+            }
         }
     }
 }
@@ -287,6 +301,10 @@ mod tests {
         assert_eq!(specs[0].kind, SloKind::DeadlineMissRate);
         assert_eq!(specs[1].kind, SloKind::FlowP95Secs);
         assert_eq!(specs[1].limit, 0.02);
+        assert_eq!(
+            SloSpec::parse_one("rejected<=0.2").expect("valid").kind,
+            SloKind::RejectedRate
+        );
         assert!(SloSpec::parse_one("deadline_miss").is_err());
         assert!(SloSpec::parse_one("nope<=1").is_err());
         assert!(SloSpec::parse_one("fault_rate<=-1").is_err());
@@ -344,6 +362,25 @@ mod tests {
         let (statuses, breaches) = engine.evaluate(&empty);
         assert!(breaches.is_empty());
         assert!(statuses.iter().all(|s| s.ok && s.observed.is_none()));
+    }
+
+    #[test]
+    fn rejected_rate_counts_shed_over_offered() {
+        let spec = SloSpec {
+            kind: SloKind::RejectedRate,
+            limit: 0.1,
+        };
+        // No offered requests: no verdict.
+        let empty = WindowedMetrics::new(1000).peek(100);
+        assert!(spec.observe(&empty).is_none());
+        // 3 shed out of 3 + 9 finished = 25% > 10% ceiling.
+        let mut m = WindowedMetrics::new(1000);
+        m.counter_add(names::REJECTED, 3);
+        m.counter_add(names::FINISHED, 9);
+        let w = m.peek(500);
+        assert_eq!(spec.observe(&w), Some(0.25));
+        let mut engine = SloEngine::new(vec![spec]);
+        assert_eq!(engine.evaluate_partial(&w).len(), 1);
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub enum SpanPhase {
     Quarantine,
     /// The request completed on the host after pool-wide quarantine.
     HostFallback,
+    /// The request was shed by admission control or backpressure
+    /// (instant; open-arrival serving).
+    Reject,
+    /// The request coalesced onto an identical queued request and will
+    /// share its execution (instant; open-arrival serving).
+    Coalesce,
     /// The request reached a terminal status (instant).
     Complete,
 }
@@ -60,6 +66,8 @@ impl SpanPhase {
             SpanPhase::Retry => "retry",
             SpanPhase::Quarantine => "quarantine",
             SpanPhase::HostFallback => "host-fallback",
+            SpanPhase::Reject => "reject",
+            SpanPhase::Coalesce => "coalesce",
             SpanPhase::Complete => "complete",
         }
     }
@@ -76,6 +84,8 @@ impl SpanPhase {
             SpanPhase::Retry => '!',
             SpanPhase::Quarantine => 'Q',
             SpanPhase::HostFallback => 'H',
+            SpanPhase::Reject => 'X',
+            SpanPhase::Coalesce => '&',
             SpanPhase::Complete => '*',
         }
     }
@@ -736,6 +746,8 @@ mod tests {
             SpanPhase::Retry,
             SpanPhase::Quarantine,
             SpanPhase::HostFallback,
+            SpanPhase::Reject,
+            SpanPhase::Coalesce,
             SpanPhase::Complete,
         ];
         let names: std::collections::BTreeSet<&str> = phases.iter().map(|p| p.name()).collect();

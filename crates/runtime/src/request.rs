@@ -141,6 +141,20 @@ impl<T: SimScalar> MatArg<T> {
             }),
         }
     }
+
+    /// Coalescing identity of the argument: `Some` for shared keys and
+    /// anonymous host ghosts (whose device work is fully shape-determined),
+    /// `None` for concrete host data or device handles — those make the
+    /// whole request non-coalescable.
+    fn coalesce_token(&self) -> Option<String> {
+        match self {
+            MatArg::Shared(s) => Some(format!("s:{}:{}x{}", s.key, s.rows, s.cols)),
+            MatArg::Inline(MatOperand::HostGhost { rows, cols }) => {
+                Some(format!("g:{rows}x{cols}"))
+            }
+            MatArg::Inline(_) => None,
+        }
+    }
 }
 
 impl<T> From<MatOperand<T>> for MatArg<T> {
@@ -234,6 +248,15 @@ impl<T: SimScalar> VecArg<T> {
         match self {
             VecArg::Inline(op) => VecArg::Inline(op),
             VecArg::Shared(s) => VecArg::Inline(VecOperand::HostGhost { len: s.len }),
+        }
+    }
+
+    /// Coalescing identity of the argument; see [`MatArg::coalesce_token`].
+    fn coalesce_token(&self) -> Option<String> {
+        match self {
+            VecArg::Shared(s) => Some(format!("s:{}:{}", s.key, s.len)),
+            VecArg::Inline(VecOperand::HostGhost { len }) => Some(format!("g:{len}")),
+            VecArg::Inline(_) => None,
         }
     }
 }
@@ -686,6 +709,66 @@ impl RoutineRequest {
         }
     }
 
+    /// Coalescing identity of the request, when it is coalescable:
+    /// routine, tiling policy, scalars, and the per-position operand
+    /// identity (shared key + shape, or anonymous ghost shape). Two
+    /// requests with equal keys perform identical device work on
+    /// identical operands, so the executor may run one and fan its report
+    /// out to the others.
+    ///
+    /// `None` — never coalesced — when the request shares no operand (a
+    /// fully private request gains nothing from dedup) or names concrete
+    /// host data / device handles (whose contents make it unique). The
+    /// deadline is deliberately excluded: followers are judged against
+    /// their own budgets at fan-out.
+    pub fn coalesce_key(&self) -> Option<String> {
+        if self.shared_keys().is_empty() {
+            return None;
+        }
+        let (scalars, tokens): (String, Vec<Option<String>>) = match self {
+            RoutineRequest::GemmF64(r) => (
+                format!("alpha={};beta={}", r.alpha, r.beta),
+                vec![
+                    r.a.coalesce_token(),
+                    r.b.coalesce_token(),
+                    r.c.coalesce_token(),
+                ],
+            ),
+            RoutineRequest::GemmF32(r) => (
+                format!("alpha={};beta={}", r.alpha, r.beta),
+                vec![
+                    r.a.coalesce_token(),
+                    r.b.coalesce_token(),
+                    r.c.coalesce_token(),
+                ],
+            ),
+            RoutineRequest::AxpyF64(r) => (
+                format!("alpha={}", r.alpha),
+                vec![r.x.coalesce_token(), r.y.coalesce_token()],
+            ),
+            RoutineRequest::DotF64(r) => (
+                String::new(),
+                vec![r.x.coalesce_token(), r.y.coalesce_token()],
+            ),
+            RoutineRequest::GemvF64(r) => (
+                format!("alpha={};beta={}", r.alpha, r.beta),
+                vec![
+                    r.a.coalesce_token(),
+                    r.x.coalesce_token(),
+                    r.y.coalesce_token(),
+                ],
+            ),
+        };
+        let tokens: Option<Vec<String>> = tokens.into_iter().collect();
+        Some(format!(
+            "{}|{:?}|{}|{}",
+            self.routine(),
+            self.tile_choice(),
+            scalars,
+            tokens?.join("|")
+        ))
+    }
+
     /// Rewrites every shared operand to an inline ghost of the same shape —
     /// the "no residency reuse" baseline the throughput acceptance test
     /// submits sequentially.
@@ -848,6 +931,45 @@ mod tests {
         assert_eq!(p.dims(), vec![100]);
         assert_eq!(p.operands[0].loc, Loc::Device);
         assert_eq!(req.tile_choice(), TileChoice::Auto);
+    }
+
+    #[test]
+    fn coalesce_key_identifies_identical_shapes() {
+        let gemm = |alpha: f64| -> RoutineRequest {
+            GemmRequest::<f64>::new(
+                MatArg::shared("A", 64, 64),
+                MatArg::shared("B", 64, 64),
+                MatOperand::HostGhost { rows: 64, cols: 64 },
+            )
+            .alpha(alpha)
+            .beta(1.0)
+            .into()
+        };
+        let k1 = gemm(1.0).coalesce_key().expect("coalescable");
+        assert_eq!(gemm(1.0).coalesce_key().as_deref(), Some(k1.as_str()));
+        assert_ne!(gemm(2.0).coalesce_key().expect("key"), k1, "scalars count");
+        // A deadline does not change the identity; followers keep theirs.
+        let with_dl: RoutineRequest = GemmRequest::<f64>::new(
+            MatArg::shared("A", 64, 64),
+            MatArg::shared("B", 64, 64),
+            MatOperand::HostGhost { rows: 64, cols: 64 },
+        )
+        .alpha(1.0)
+        .beta(1.0)
+        .deadline_secs(0.5)
+        .into();
+        assert_eq!(with_dl.coalesce_key().expect("key"), k1);
+        // Fully private requests and concrete host data never coalesce.
+        let private: RoutineRequest = GemmRequest::<f64>::new(
+            MatOperand::HostGhost { rows: 64, cols: 64 },
+            MatOperand::HostGhost { rows: 64, cols: 64 },
+            MatOperand::HostGhost { rows: 64, cols: 64 },
+        )
+        .into();
+        assert!(private.coalesce_key().is_none());
+        let concrete: RoutineRequest =
+            AxpyRequest::<f64>::new(VecArg::shared("x", 8), vec![0.0; 8]).into();
+        assert!(concrete.coalesce_key().is_none());
     }
 
     #[test]

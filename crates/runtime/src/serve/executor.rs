@@ -7,6 +7,7 @@ use crate::operand::{MatOperand, TileChoice, VecOperand};
 use crate::request::{MatArg, RoutineRequest, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
 use crate::serve::sched::SchedulePolicy;
+use crate::serve::session::ServeOptions;
 use crate::serve::telemetry::{
     Telemetry, TelemetryConfig, TelemetryReport, TickState, WatchWindow,
 };
@@ -15,7 +16,7 @@ use cocopelia_core::models::Prediction;
 use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
 use cocopelia_obs::drift::ABS_ERROR_BOUNDS;
 use cocopelia_obs::{DriftAccountant, DriftRecord, OverlapStats, Registry, ServeTrace};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
 
 /// Bucket bounds of the `serve_queue_depth` histogram.
@@ -105,6 +106,11 @@ pub struct RequestOutcome {
     /// True when the request completed on the host because every device
     /// in the pool was quarantined (graceful degradation).
     pub host_fallback: bool,
+    /// True when the request never executed itself: it coalesced onto an
+    /// identical queued request whose single execution fed both. Its
+    /// report is a copy of the leader's, and work accounting
+    /// ([`ServeReport::total_flops`]) counts the execution once.
+    pub coalesced: bool,
 }
 
 impl RequestOutcome {
@@ -186,6 +192,10 @@ pub struct ServeReport {
     /// Streaming telemetry summary (windows, SLO breaches, flight-recorder
     /// dumps), when [`Executor::enable_telemetry`] armed it.
     pub telemetry: Option<TelemetryReport>,
+    /// Deepest the dispatch queue got during the drain — with a
+    /// [`ServeOptions::queue_cap`] this never exceeds the cap, the
+    /// bounded-memory guarantee of backpressure.
+    pub peak_queue_depth: usize,
 }
 
 impl ServeReport {
@@ -217,6 +227,11 @@ impl ServeReport {
     /// Requests that completed on the host after pool-wide quarantine.
     pub fn host_fallbacks(&self) -> usize {
         self.outcomes.iter().filter(|o| o.host_fallback).count()
+    }
+
+    /// Requests that coalesced onto an identical queued request.
+    pub fn coalesced(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.coalesced).count()
     }
 
     /// Aggregate throughput of *device* work over the device makespan, in
@@ -255,6 +270,8 @@ impl ServeReport {
             };
             let retried = if o.retries > 0 {
                 format!(" (retries={})", o.retries)
+            } else if o.coalesced {
+                " (coalesced)".to_owned()
             } else {
                 String::new()
             };
@@ -310,9 +327,14 @@ impl ServeReport {
                 }
             }
         }
+        let coalesced = if self.coalesced() > 0 {
+            format!(" coalesced {}", self.coalesced())
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "requests {} | completed {} rejected {} timed-out {} failed {}",
+            "requests {} | completed {} rejected {} timed-out {} failed {}{coalesced}",
             self.outcomes.len(),
             self.completed(),
             self.rejected(),
@@ -425,6 +447,52 @@ pub struct Executor {
     /// Streaming telemetry pipeline, armed by
     /// [`enable_telemetry`](Self::enable_telemetry).
     telemetry: Option<Telemetry>,
+    /// Open-arrival events not yet due, sorted by arrival offset (virtual
+    /// ns past the next drain's start), ties in submission order.
+    arrivals: VecDeque<(RequestId, RoutineRequest, u64)>,
+    /// Arrival offset (ns past drain start) per open-arrival request id;
+    /// closed-queue submissions are absent (offset zero).
+    arrival_offset: HashMap<u64, u64>,
+    /// Bounded-queue backpressure: an arrival finding the queue at this
+    /// depth is shed as [`RequestStatus::Rejected`].
+    queue_cap: Option<usize>,
+    /// Load-shed watermark: an arrival whose predicted flow time (queue
+    /// backlog spread over healthy devices plus its own service estimate)
+    /// exceeds this many seconds is shed.
+    shed_flow_secs: Option<f64>,
+    /// Request coalescing for identical problem shapes (open arrivals
+    /// only).
+    coalesce: bool,
+    /// Coalesce key of each *queued* request that can lead a coalition.
+    coalesce_leaders: HashMap<String, RequestId>,
+    /// Leader id → requests riding on its execution.
+    followers: HashMap<u64, Vec<Follower>>,
+    /// Estimated service seconds queued, maintained only while the
+    /// flow-time watermark is armed.
+    backlog_secs: f64,
+    /// Deepest queue observed during the current drain.
+    peak_queue: usize,
+}
+
+/// A request coalesced onto a queued leader: it never executes itself,
+/// but completes (against its own arrival time and deadline) when the
+/// leader does.
+#[derive(Debug, Clone)]
+struct Follower {
+    id: RequestId,
+    arrival_ns: u64,
+    deadline: Option<f64>,
+}
+
+/// Rejection reason for the footprint admission ceiling — shared by the
+/// closed-queue and open-arrival admission paths so the two reject
+/// identically.
+fn footprint_reason(footprint: usize, limit: usize, frac: f64) -> String {
+    format!(
+        "footprint {footprint} B exceeds admission limit {limit} B \
+         ({:.0}% of device memory)",
+        frac * 1e2
+    )
 }
 
 impl Executor {
@@ -457,13 +525,59 @@ impl Executor {
             snapshot_every: None,
             trace_cap: None,
             telemetry: None,
+            arrivals: VecDeque::new(),
+            arrival_offset: HashMap::new(),
+            queue_cap: None,
+            shed_flow_secs: None,
+            coalesce: false,
+            coalesce_leaders: HashMap::new(),
+            followers: HashMap::new(),
+            backlog_secs: 0.0,
+            peak_queue: 0,
         }
+    }
+
+    /// Builds an executor with the whole serving configuration applied up
+    /// front — scheduling policy, tracing, telemetry, snapshots, and the
+    /// open-arrival knobs (queue cap, shed watermark, coalescing). This is
+    /// the constructor behind [`ServeSession`](crate::serve::ServeSession)
+    /// and replaces the deprecated post-construction setters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when a telemetry stream file cannot be
+    /// created.
+    pub fn with_options(
+        pool: MultiGpu,
+        cfg: ExecutorConfig,
+        opts: ServeOptions,
+    ) -> std::io::Result<Self> {
+        let mut exec = Executor::new(pool, cfg);
+        exec.policy = opts.policy;
+        if opts.tracing || opts.telemetry.is_some() {
+            exec.tracer = Some(ServeTracer::default());
+        }
+        exec.trace_cap = opts.trace_cap;
+        if let Some(tcfg) = opts.telemetry {
+            exec.trace_cap = tcfg.trace_cap;
+            let mut tele = Telemetry::new(tcfg)?;
+            if let Some(sink) = opts.watch_sink {
+                tele.set_sink(sink);
+            }
+            exec.telemetry = Some(tele);
+        }
+        exec.snapshot_every = opts.snapshot_interval.filter(|t| t.as_nanos() > 0);
+        exec.queue_cap = opts.queue_cap;
+        exec.shed_flow_secs = opts.shed_flow_secs.filter(|s| *s > 0.0);
+        exec.coalesce = opts.coalesce;
+        Ok(exec)
     }
 
     /// Arms request-lifecycle tracing: subsequent [`run`](Self::run) calls
     /// collect a [`ServeTrace`] (spans plus per-device engine lanes) into
     /// [`ServeReport::trace`]. Tracing changes no scheduling decision —
     /// traced and untraced drains of the same trace are identical.
+    #[deprecated(note = "configure tracing via ServeOptions::tracing at construction")]
     pub fn enable_tracing(&mut self) {
         self.tracer = Some(ServeTracer::default());
     }
@@ -475,6 +589,7 @@ impl Executor {
     /// [`ServeReport::trace`] holds at most `cap` spans and
     /// [`ServeReport::trace_dropped`] counts the casualties. `None`
     /// uncaps.
+    #[deprecated(note = "configure the cap via ServeOptions::tracing + ServeOptions::trace_cap")]
     pub fn enable_tracing_with_cap(&mut self, cap: Option<usize>) {
         self.tracer = Some(ServeTracer::default());
         self.trace_cap = cap;
@@ -492,6 +607,7 @@ impl Executor {
     /// # Errors
     ///
     /// Returns the I/O error when the stream file cannot be created.
+    #[deprecated(note = "configure telemetry via ServeOptions::telemetry at construction")]
     pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) -> std::io::Result<()> {
         if self.tracer.is_none() {
             self.tracer = Some(ServeTracer::default());
@@ -504,6 +620,7 @@ impl Executor {
     /// Installs the live-watch sink: called once per closed telemetry
     /// window with the rendered [`WatchWindow`]. No-op until
     /// [`enable_telemetry`](Self::enable_telemetry) armed telemetry.
+    #[deprecated(note = "configure the sink via ServeOptions::watch_sink at construction")]
     pub fn set_watch_sink(&mut self, sink: Box<dyn FnMut(&WatchWindow)>) {
         if let Some(tele) = self.telemetry.as_mut() {
             tele.set_sink(sink);
@@ -514,6 +631,7 @@ impl Executor {
     /// [`run`](Self::run) samples queue depth, per-device clock advance,
     /// and prediction drift into [`ServeReport::snapshots`]. `None`
     /// disarms.
+    #[deprecated(note = "configure via ServeOptions::snapshot_interval at construction")]
     pub fn set_snapshot_interval(&mut self, interval: Option<SimTime>) {
         self.snapshot_every = interval.filter(|t| t.as_nanos() > 0);
     }
@@ -526,8 +644,18 @@ impl Executor {
         self.next_dispatch()
     }
 
+    /// One open-arrival event step (due-arrival admission plus dispatch
+    /// pick), exposed for the microbenchmark harness.
+    #[doc(hidden)]
+    pub fn next_event_for_bench(&mut self) -> Option<(RequestId, RoutineRequest, Option<usize>)> {
+        let start: Vec<SimTime> = self.pool.devices().iter().map(|d| d.gpu().now()).collect();
+        self.next_event(&start)
+            .map(|(id, req, pref, _)| (id, req, pref))
+    }
+
     /// Sets the queue-scheduling policy for subsequent [`run`](Self::run)
     /// calls (the default is [`SchedulePolicy::Fifo`]).
+    #[deprecated(note = "configure the policy via ServeOptions::policy at construction")]
     pub fn set_policy(&mut self, policy: SchedulePolicy) {
         self.policy = policy;
     }
@@ -589,14 +717,7 @@ impl Executor {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.metrics.counter_add("serve_requests_total", 1);
-        let cap = self
-            .pool
-            .devices()
-            .iter()
-            .map(|d| d.gpu().device_mem_capacity())
-            .min()
-            .expect("at least one device");
-        let limit = (cap as f64 * self.cfg.admission_frac.clamp(0.0, 1.0)) as usize;
+        let limit = self.admission_limit();
         let footprint = req.footprint_bytes();
         if footprint > limit {
             self.metrics.counter_add("serve_rejected_total", 1);
@@ -605,18 +726,16 @@ impl Executor {
                 routine: req.routine(),
                 device: None,
                 status: RequestStatus::Rejected {
-                    reason: format!(
-                        "footprint {footprint} B exceeds admission limit {limit} B \
-                         ({:.0}% of device memory)",
-                        self.cfg.admission_frac * 1e2
-                    ),
+                    reason: footprint_reason(footprint, limit, self.cfg.admission_frac),
                 },
                 retries: 0,
                 host_fallback: false,
+                coalesced: false,
             });
             return id;
         }
         self.queue.push_back((id, req));
+        self.peak_queue = self.peak_queue.max(self.queue.len());
         // Depth is sampled on admission (and again at each dispatch), so
         // burst arrivals are visible even if the queue drains quickly.
         self.metrics.histogram_observe(
@@ -625,6 +744,43 @@ impl Executor {
             self.queue.len() as f64,
         );
         id
+    }
+
+    /// Schedules an open arrival: the request materialises `at` virtual
+    /// time past the next drain's start, interleaved with dispatches and
+    /// completions in the event loop. Admission control — the footprint
+    /// ceiling plus, when configured, the bounded-queue cap, the
+    /// flow-time shed watermark, and coalescing — runs at the arrival
+    /// instant, not here, because it depends on queue state at that
+    /// moment. Flow time and deadlines for the request are measured from
+    /// its arrival, not from drain start.
+    pub fn submit_at(&mut self, req: impl Into<RoutineRequest>, at: SimTime) -> RequestId {
+        let req = req.into();
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.metrics.counter_add("serve_requests_total", 1);
+        let at_ns = at.as_nanos();
+        let pos = self.arrivals.partition_point(|a| a.2 <= at_ns);
+        self.arrivals.insert(pos, (id, req, at_ns));
+        id
+    }
+
+    /// Open arrivals scheduled but not yet due in a drain.
+    pub fn pending_arrivals(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// The footprint admission ceiling, from the *smallest* device in the
+    /// pool so an admitted request fits whichever device dispatch picks.
+    fn admission_limit(&self) -> usize {
+        let cap = self
+            .pool
+            .devices()
+            .iter()
+            .map(|d| d.gpu().device_mem_capacity())
+            .min()
+            .expect("at least one device");
+        (cap as f64 * self.cfg.admission_frac.clamp(0.0, 1.0)) as usize
     }
 
     /// Ideal h2d time device `d` would spend uploading the shared
@@ -753,10 +909,289 @@ impl Executor {
         self.queue.remove(idx).map(|(id, r)| (id, r, preferred))
     }
 
+    /// The drain's event step: admit every arrival due by the current
+    /// virtual elapsed, then pull the next dispatch. When the queue is
+    /// empty but arrivals remain, virtual admission time jumps forward to
+    /// the next arrival instant (the pool is idle; nothing else can
+    /// happen first). Returns the dispatch pick plus the request's
+    /// arrival offset (ns past drain start; zero for closed-queue
+    /// submissions), or `None` when both queue and arrivals are
+    /// exhausted.
+    fn next_event(
+        &mut self,
+        start: &[SimTime],
+    ) -> Option<(RequestId, RoutineRequest, Option<usize>, u64)> {
+        loop {
+            let now_ns = self.elapsed_since(start).as_nanos();
+            self.admit_due(now_ns, start);
+            if let Some((id, req, preferred)) = self.next_dispatch() {
+                let arrival_ns = self.arrival_offset.get(&id.0).copied().unwrap_or(0);
+                if self.coalesce {
+                    if let Some(key) = req.coalesce_key() {
+                        // Once dispatched the request can no longer absorb
+                        // followers — a later identical arrival starts a
+                        // fresh coalition.
+                        if self.coalesce_leaders.get(&key) == Some(&id) {
+                            self.coalesce_leaders.remove(&key);
+                        }
+                    }
+                }
+                if self.shed_flow_secs.is_some() {
+                    self.backlog_secs = (self.backlog_secs - self.service_estimate(&req)).max(0.0);
+                }
+                return Some((id, req, preferred, arrival_ns));
+            }
+            let next_at = self.arrivals.front().map(|a| a.2)?;
+            self.admit_due(next_at, start);
+        }
+    }
+
+    /// Admits every scheduled arrival with offset `<= now_ns`, in arrival
+    /// order.
+    fn admit_due(&mut self, now_ns: u64, start: &[SimTime]) {
+        while self.arrivals.front().is_some_and(|a| a.2 <= now_ns) {
+            let (id, req, at_ns) = self.arrivals.pop_front().expect("front checked");
+            self.admit_arrival(id, req, at_ns, start);
+        }
+    }
+
+    /// Open-arrival admission at the arrival instant: footprint ceiling,
+    /// bounded-queue shed, flow-time watermark shed, coalescing onto a
+    /// queued identical request, or enqueue.
+    fn admit_arrival(&mut self, id: RequestId, req: RoutineRequest, at_ns: u64, start: &[SimTime]) {
+        let t0 = start.iter().map(|t| t.as_nanos()).min().unwrap_or(0);
+        let abs_ns = t0 + at_ns;
+        self.arrival_offset.insert(id.0, at_ns);
+        if let Some(t) = self.tracer.as_mut() {
+            t.arrive(id.0, abs_ns);
+        }
+        let limit = self.admission_limit();
+        let footprint = req.footprint_bytes();
+        if footprint > limit {
+            let reason = footprint_reason(footprint, limit, self.cfg.admission_frac);
+            self.shed_arrival(id, &req, abs_ns, reason, false, start);
+            return;
+        }
+        if let Some(cap) = self.queue_cap {
+            if self.queue.len() >= cap {
+                let reason = format!("queue full: depth {} at cap {cap}", self.queue.len());
+                self.shed_arrival(id, &req, abs_ns, reason, true, start);
+                return;
+            }
+        }
+        if let Some(watermark) = self.shed_flow_secs {
+            let est = self.service_estimate(&req);
+            let healthy = self.quarantined.iter().filter(|&&q| !q).count().max(1);
+            let predicted = self.backlog_secs / healthy as f64 + est;
+            if predicted > watermark {
+                let reason = format!(
+                    "predicted flow {:.3} ms exceeds shed watermark {:.3} ms",
+                    predicted * 1e3,
+                    watermark * 1e3
+                );
+                self.shed_arrival(id, &req, abs_ns, reason, true, start);
+                return;
+            }
+        }
+        if self.coalesce {
+            if let Some(key) = req.coalesce_key() {
+                if let Some(&leader) = self.coalesce_leaders.get(&key) {
+                    // Identical shape already queued: ride on its single
+                    // execution instead of uploading and running again.
+                    self.metrics.counter_add("serve_coalesced_total", 1);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.coalesce(id.0, leader.0, abs_ns);
+                    }
+                    self.followers.entry(leader.0).or_default().push(Follower {
+                        id,
+                        arrival_ns: at_ns,
+                        deadline: req.deadline(),
+                    });
+                    return;
+                }
+                self.coalesce_leaders.insert(key, id);
+            }
+        }
+        if self.shed_flow_secs.is_some() {
+            self.backlog_secs += self.service_estimate(&req);
+        }
+        self.queue.push_back((id, req));
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        self.metrics.histogram_observe(
+            "serve_queue_depth",
+            &QUEUE_DEPTH_BOUNDS,
+            self.queue.len() as f64,
+        );
+    }
+
+    /// Terminates an arrival as [`RequestStatus::Rejected`] at admission.
+    /// `backpressure` distinguishes load shedding (queue cap, flow
+    /// watermark — counted in `serve_shed_total`) from the static
+    /// footprint ceiling.
+    fn shed_arrival(
+        &mut self,
+        id: RequestId,
+        req: &RoutineRequest,
+        abs_ns: u64,
+        reason: String,
+        backpressure: bool,
+        start: &[SimTime],
+    ) {
+        self.metrics.counter_add("serve_rejected_total", 1);
+        if backpressure {
+            self.metrics.counter_add("serve_shed_total", 1);
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            t.reject(id.0, abs_ns, &reason);
+        }
+        self.outcomes.push(RequestOutcome {
+            id,
+            routine: req.routine(),
+            device: None,
+            status: RequestStatus::Rejected { reason },
+            retries: 0,
+            host_fallback: false,
+            coalesced: false,
+        });
+        let quar_before = if self.telemetry.is_some() {
+            self.quarantined.clone()
+        } else {
+            Vec::new()
+        };
+        self.telemetry_tick(start, &quar_before);
+    }
+
+    /// Deterministic, residency-independent service-time estimate of a
+    /// request, used by the flow-time shed watermark: ideal h2d of every
+    /// shared footprint plus the model's offload estimate on device 0.
+    /// Deliberately ignores residency state so the same request always
+    /// contributes the same backlog increment and decrement.
+    fn service_estimate(&self, req: &RoutineRequest) -> f64 {
+        let h2d = self.pool.devices()[0].gpu().spec().link.h2d;
+        let upload: f64 = req
+            .shared_footprints()
+            .iter()
+            .map(|&(_, bytes)| h2d.ideal_time(bytes))
+            .sum();
+        upload + self.offload_estimate(0, req).map_or(0.0, |p| p.total)
+    }
+
+    /// Bumps the terminal-status counter for one outcome.
+    fn count_status(&mut self, status: &RequestStatus) {
+        match status {
+            RequestStatus::Completed(_) => {
+                self.metrics.counter_add("serve_completed_total", 1);
+            }
+            RequestStatus::TimedOut { .. } => {
+                self.metrics.counter_add("serve_timed_out_total", 1);
+            }
+            RequestStatus::Failed(_) => {
+                self.metrics.counter_add("serve_failed_total", 1);
+            }
+            RequestStatus::Rejected { .. } => {}
+        }
+    }
+
+    /// Completes every follower coalesced onto `leader` at the leader's
+    /// completion instant. Each follower gets a copy of the leader's
+    /// report judged against the follower's *own* arrival time and
+    /// deadline: a follower that arrived later has a shorter flow and may
+    /// meet a deadline the leader missed — and vice versa. A failed
+    /// leader fails its followers with the same error.
+    fn fan_out_followers(&mut self, leader: &RequestOutcome, start: &[SimTime]) {
+        let Some(followers) = self.followers.remove(&leader.id.0) else {
+            return;
+        };
+        let end_ns = match leader.device {
+            Some(d) if !leader.host_fallback => self.pool.devices()[d].gpu().now().as_nanos(),
+            _ => self.tracer.as_ref().map(|t| t.host_now_ns()).unwrap_or(0),
+        };
+        for f in followers {
+            let status = match &leader.status {
+                RequestStatus::Completed(r) => self.follower_status(leader, r, &f, start),
+                RequestStatus::TimedOut { report, .. } => {
+                    self.follower_status(leader, report, &f, start)
+                }
+                RequestStatus::Failed(e) => RequestStatus::Failed(e.clone()),
+                RequestStatus::Rejected { reason } => RequestStatus::Rejected {
+                    reason: reason.clone(),
+                },
+            };
+            self.count_status(&status);
+            if let Some(t) = self.tracer.as_mut() {
+                let label = match &status {
+                    RequestStatus::Completed(_) => "completed",
+                    RequestStatus::TimedOut { .. } => "timed-out",
+                    RequestStatus::Failed(_) => "failed",
+                    RequestStatus::Rejected { .. } => "rejected",
+                };
+                t.complete(f.id.0, end_ns, label);
+            }
+            self.outcomes.push(RequestOutcome {
+                id: f.id,
+                routine: leader.routine,
+                device: leader.device,
+                status,
+                retries: 0,
+                host_fallback: leader.host_fallback,
+                coalesced: true,
+            });
+            let quar_before = if self.telemetry.is_some() {
+                self.quarantined.clone()
+            } else {
+                Vec::new()
+            };
+            self.telemetry_tick(start, &quar_before);
+        }
+    }
+
+    /// Terminal status of one follower given its leader's report: the
+    /// follower's flow time (leader completion minus the follower's own
+    /// arrival) judged against the follower's own deadline.
+    fn follower_status(
+        &self,
+        leader: &RequestOutcome,
+        report: &RoutineReport,
+        f: &Follower,
+        start: &[SimTime],
+    ) -> RequestStatus {
+        let flow = match leader.device {
+            Some(d) if !leader.host_fallback => {
+                let raw = self.pool.devices()[d]
+                    .gpu()
+                    .now()
+                    .saturating_since(start[d]);
+                SimTime::from_nanos(raw.as_nanos().saturating_sub(f.arrival_ns)).as_secs_f64()
+            }
+            _ => report.elapsed.as_secs_f64(),
+        };
+        match f.deadline {
+            Some(dl) if flow > dl => RequestStatus::TimedOut {
+                deadline: dl,
+                elapsed: flow,
+                report: Box::new(report.clone()),
+            },
+            _ => RequestStatus::Completed(report.clone()),
+        }
+    }
+
     /// Drains the queue, dispatching every request to a terminal status,
     /// and reports the run.
+    #[deprecated(note = "construct a ServeSession and call drain(); run() is a thin wrapper")]
     pub fn run(&mut self) -> ServeReport {
+        self.drain_queue()
+    }
+
+    /// Drains queued requests *and* scheduled open arrivals, dispatching
+    /// every request to a terminal status, and reports the run. Arrivals
+    /// interleave with dispatches in virtual time: before each dispatch
+    /// pick, every arrival whose offset the device clocks have passed is
+    /// admitted (and possibly shed or coalesced); when the queue is empty
+    /// but arrivals remain, admission jumps to the next arrival instant.
+    /// With no scheduled arrivals this is exactly the closed-queue drain.
+    pub(crate) fn drain_queue(&mut self) -> ServeReport {
         let start: Vec<SimTime> = self.pool.devices().iter().map(|d| d.gpu().now()).collect();
+        self.peak_queue = self.queue.len();
         if self.tracer.is_some() {
             self.trace_mark = self
                 .pool
@@ -776,27 +1211,20 @@ impl Executor {
         }
         let mut snapshots: Vec<ServeSnapshot> = Vec::new();
         let mut next_snap = self.snapshot_every;
-        while let Some((id, req, preferred)) = self.next_dispatch() {
+        while let Some((id, req, preferred, arrival_ns)) = self.next_event(&start) {
             let quar_before = if self.telemetry.is_some() {
                 self.quarantined.clone()
             } else {
                 Vec::new()
             };
-            let outcome = self.dispatch(id, req, preferred, &start);
-            match &outcome.status {
-                RequestStatus::Completed(_) => {
-                    self.metrics.counter_add("serve_completed_total", 1);
-                }
-                RequestStatus::TimedOut { .. } => {
-                    self.metrics.counter_add("serve_timed_out_total", 1);
-                }
-                RequestStatus::Failed(_) => {
-                    self.metrics.counter_add("serve_failed_total", 1);
-                }
-                RequestStatus::Rejected { .. } => {}
-            }
+            let outcome = self.dispatch(id, req, preferred, &start, arrival_ns);
+            self.count_status(&outcome.status);
             self.outcomes.push(outcome);
             self.telemetry_tick(&start, &quar_before);
+            if self.followers.contains_key(&id.0) {
+                let leader = self.outcomes.last().expect("just pushed").clone();
+                self.fan_out_followers(&leader, &start);
+            }
             if let (Some(cap), Some(t)) = (self.trace_cap, self.tracer.as_mut()) {
                 t.enforce_cap(cap);
             }
@@ -827,6 +1255,11 @@ impl Executor {
         let mut host_flops_sum = 0.0;
         let mut host_time = SimTime::ZERO;
         for o in &self.outcomes {
+            // A coalesced outcome carries a copy of its leader's report;
+            // the execution is counted once, at the leader.
+            if o.coalesced {
+                continue;
+            }
             let Some(r) = o.executed_report() else {
                 continue;
             };
@@ -876,7 +1309,14 @@ impl Executor {
             trace,
             trace_dropped,
             telemetry,
+            peak_queue_depth: self.peak_queue,
         };
+        // Arrival bookkeeping is per-drain: every scheduled arrival has
+        // reached a terminal outcome by now, so reset for the next drain.
+        self.arrival_offset.clear();
+        self.coalesce_leaders.clear();
+        self.followers.clear();
+        self.backlog_secs = 0.0;
         self.metrics
             .gauge_set("serve_makespan_secs", report.makespan.as_secs_f64());
         self.metrics
@@ -898,13 +1338,18 @@ impl Executor {
     /// remains. `start` holds each device's clock when the drain began:
     /// deadlines are judged on *flow time* — the serving device's clock at
     /// completion measured from that start — so time spent queued behind
-    /// other requests counts against the budget.
+    /// other requests counts against the budget. For an open arrival,
+    /// `arrival_ns` (its offset past drain start) floors the serving
+    /// device's clock — work cannot begin before the request exists — and
+    /// is subtracted from the flow so the deadline budget starts at
+    /// arrival, not at drain start.
     fn dispatch(
         &mut self,
         id: RequestId,
         req: RoutineRequest,
         mut preferred: Option<usize>,
         start: &[SimTime],
+        arrival_ns: u64,
     ) -> RequestOutcome {
         let routine = req.routine();
         let deadline = req.deadline();
@@ -954,8 +1399,15 @@ impl Executor {
             // previous attempt's end is lifted to it. (Per-device clocks
             // advance independently, so a healthy peer may well be
             // "earlier" than the fault; the request still arrives after.)
-            let behind =
-                not_before_ns.saturating_sub(self.pool.devices()[d].gpu().now().as_nanos());
+            // An open arrival additionally floors the clock at its arrival
+            // instant: the device may be idle earlier, but the request
+            // does not exist yet. Closed-queue submissions have offset 0,
+            // making the floor a no-op (clocks never run backwards from
+            // `start`).
+            let floor_ns = start[d].as_nanos() + arrival_ns;
+            let behind = not_before_ns
+                .max(floor_ns)
+                .saturating_sub(self.pool.devices()[d].gpu().now().as_nanos());
             if behind > 0 {
                 self.pool
                     .device_mut(d)
@@ -1109,14 +1561,23 @@ impl Executor {
                     .counter_add("retry_tile_ops_total", report.op_retries);
                 // Flow time: the serving device's clock advance since the
                 // drain began, so queueing delay counts against the
-                // deadline. Host runs advance no device clock; their own
-                // elapsed time is the closest flow measure available.
+                // deadline; an open arrival's offset is subtracted so its
+                // budget starts at arrival. Host runs advance no device
+                // clock; their own elapsed time is the closest flow
+                // measure available.
                 let flow = match device {
-                    Some(d) if !host_fallback => self.pool.devices()[d]
-                        .gpu()
-                        .now()
-                        .saturating_since(start[d])
-                        .as_secs_f64(),
+                    Some(d) if !host_fallback => {
+                        let raw = self.pool.devices()[d]
+                            .gpu()
+                            .now()
+                            .saturating_since(start[d]);
+                        if arrival_ns > 0 {
+                            SimTime::from_nanos(raw.as_nanos().saturating_sub(arrival_ns))
+                                .as_secs_f64()
+                        } else {
+                            raw.as_secs_f64()
+                        }
+                    }
                     _ => report.elapsed.as_secs_f64(),
                 };
                 match deadline {
@@ -1151,6 +1612,7 @@ impl Executor {
             status,
             retries,
             host_fallback,
+            coalesced: false,
         }
     }
 
@@ -1229,14 +1691,24 @@ impl Executor {
                     tele.on_quarantine(d, o.id.0, elapsed.as_nanos());
                 }
             }
+            // Mirrors the flow computation in `dispatch` (including the
+            // open-arrival offset subtraction) so telemetry reports the
+            // same flow the deadline was judged on.
             let flow_secs = match &o.status {
                 RequestStatus::TimedOut { elapsed, .. } => *elapsed,
                 RequestStatus::Completed(r) => match o.device {
-                    Some(d) if !o.host_fallback => self.pool.devices()[d]
-                        .gpu()
-                        .now()
-                        .saturating_since(start[d])
-                        .as_secs_f64(),
+                    Some(d) if !o.host_fallback => {
+                        let raw = self.pool.devices()[d]
+                            .gpu()
+                            .now()
+                            .saturating_since(start[d]);
+                        match self.arrival_offset.get(&o.id.0) {
+                            Some(&a) if a > 0 => {
+                                SimTime::from_nanos(raw.as_nanos().saturating_sub(a)).as_secs_f64()
+                            }
+                            _ => raw.as_secs_f64(),
+                        }
+                    }
                     _ => r.elapsed.as_secs_f64(),
                 },
                 _ => f64::NAN,

@@ -47,6 +47,7 @@
 mod executor;
 mod residency;
 mod sched;
+mod session;
 mod telemetry;
 mod trace;
 
@@ -55,4 +56,5 @@ pub use executor::{
 };
 pub use residency::ResidencyCache;
 pub use sched::SchedulePolicy;
+pub use session::{ServeOptions, ServeSession};
 pub use telemetry::{TelemetryConfig, TelemetryReport, WatchWindow, FLOW_SECS_BOUNDS};

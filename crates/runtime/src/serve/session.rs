@@ -1,0 +1,287 @@
+//! The long-lived serving session: construction-time configuration
+//! ([`ServeOptions`]) plus the open-arrival lifecycle ([`ServeSession`]).
+//!
+//! A session is the front door of the serving layer. Where the bare
+//! [`Executor`] grew one post-construction setter per feature, a session
+//! takes the whole serving configuration up front and exposes exactly the
+//! request lifecycle: submit (now or at a future virtual instant), drain,
+//! inspect. Closed-queue serving is the degenerate case — submit
+//! everything at offset zero and drain — and is bit-identical to the
+//! deprecated `Executor::run` path, which now wraps this one.
+
+use crate::error::RequestId;
+use crate::multigpu::MultiGpu;
+use crate::request::RoutineRequest;
+use crate::serve::executor::{Executor, ExecutorConfig, ServeReport};
+use crate::serve::residency::ResidencyCache;
+use crate::serve::sched::SchedulePolicy;
+use crate::serve::telemetry::{TelemetryConfig, WatchSink, WatchWindow};
+use cocopelia_gpusim::SimTime;
+use cocopelia_obs::Registry;
+
+/// Construction-time configuration of a [`ServeSession`] (and of
+/// [`Executor::with_options`]): scheduling policy, observability arms,
+/// and the open-arrival knobs. Replaces the deprecated post-construction
+/// setters (`set_policy`, `enable_tracing`, `enable_telemetry`, ...) with
+/// a builder consumed once, so a session's behaviour is fixed for its
+/// whole lifetime.
+///
+/// ```
+/// use cocopelia_runtime::serve::{SchedulePolicy, ServeOptions};
+///
+/// let opts = ServeOptions::new()
+///     .policy(SchedulePolicy::Predictive)
+///     .tracing()
+///     .queue_cap(32)
+///     .coalesce();
+/// ```
+#[derive(Default)]
+pub struct ServeOptions {
+    pub(crate) policy: SchedulePolicy,
+    pub(crate) tracing: bool,
+    pub(crate) trace_cap: Option<usize>,
+    pub(crate) telemetry: Option<TelemetryConfig>,
+    pub(crate) watch_sink: Option<WatchSink>,
+    pub(crate) snapshot_interval: Option<SimTime>,
+    pub(crate) queue_cap: Option<usize>,
+    pub(crate) shed_flow_secs: Option<f64>,
+    pub(crate) coalesce: bool,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("policy", &self.policy)
+            .field("tracing", &self.tracing)
+            .field("trace_cap", &self.trace_cap)
+            .field("telemetry", &self.telemetry)
+            .field(
+                "watch_sink",
+                &self.watch_sink.as_ref().map(|_| "FnMut(&WatchWindow)"),
+            )
+            .field("snapshot_interval", &self.snapshot_interval)
+            .field("queue_cap", &self.queue_cap)
+            .field("shed_flow_secs", &self.shed_flow_secs)
+            .field("coalesce", &self.coalesce)
+            .finish()
+    }
+}
+
+impl ServeOptions {
+    /// Defaults: FIFO policy, no tracing, no telemetry, no snapshots, an
+    /// unbounded queue, no shed watermark, no coalescing — exactly a bare
+    /// `Executor::new`.
+    pub fn new() -> Self {
+        ServeOptions::default()
+    }
+
+    /// Queue-scheduling policy (default [`SchedulePolicy::Fifo`]).
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms request-lifecycle tracing: drains collect a
+    /// [`cocopelia_obs::ServeTrace`] into [`ServeReport::trace`]. Tracing
+    /// changes no scheduling decision.
+    pub fn tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Span capacity cap for long drains (oldest spans dropped past it).
+    /// Implies nothing by itself — combine with [`tracing`](Self::tracing)
+    /// or [`telemetry`](Self::telemetry); a telemetry config's own
+    /// `trace_cap` takes precedence.
+    pub fn trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = Some(cap);
+        self
+    }
+
+    /// Arms streaming telemetry (windowed metrics, SLOs, flight recorder,
+    /// optional Perfetto stream). Implies tracing.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Live-watch sink, called once per closed telemetry window. Only
+    /// meaningful together with [`telemetry`](Self::telemetry).
+    pub fn watch_sink(mut self, sink: impl FnMut(&WatchWindow) + 'static) -> Self {
+        self.watch_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Periodic drain snapshots every `interval` of virtual time into
+    /// [`ServeReport::snapshots`]. Zero disarms.
+    pub fn snapshot_interval(mut self, interval: SimTime) -> Self {
+        self.snapshot_interval = Some(interval);
+        self
+    }
+
+    /// Backpressure: an open arrival finding the dispatch queue at this
+    /// depth is shed as [`RequestStatus::Rejected`]. Bounds queue memory
+    /// — [`ServeReport::peak_queue_depth`] never exceeds the cap.
+    /// Closed-queue `submit` calls are not capped (the caller owns that
+    /// queue; backpressure governs *arrivals*).
+    ///
+    /// [`RequestStatus::Rejected`]: crate::serve::RequestStatus::Rejected
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Load-shed watermark: an open arrival whose predicted flow time —
+    /// the queued service backlog spread over healthy devices plus the
+    /// request's own service estimate — exceeds `secs` is shed instead of
+    /// queued, keeping latency bounded under sustained overload.
+    pub fn shed_flow_secs(mut self, secs: f64) -> Self {
+        self.shed_flow_secs = Some(secs);
+        self
+    }
+
+    /// Arms request coalescing: an open arrival whose shape is identical
+    /// to a *queued* request (same routine, tile choice, scalars, and
+    /// shared/ghost operands position by position) rides on that
+    /// request's single execution instead of uploading and running again.
+    pub fn coalesce(mut self) -> Self {
+        self.coalesce = true;
+        self
+    }
+}
+
+/// A long-lived serving session over a [`MultiGpu`] pool.
+///
+/// The session accepts submissions *while draining*: open arrivals
+/// scheduled with [`submit_at`](Self::submit_at) materialise at their
+/// virtual instant, interleaved with dispatches and completions inside
+/// the drain's event loop, where admission control (footprint ceiling,
+/// queue cap, shed watermark, coalescing) runs against the queue state of
+/// that moment. [`drain`](Self::drain) runs the loop to quiescence — the
+/// session itself stays alive, so a workload can alternate submission
+/// phases and drains indefinitely on warm residency caches.
+///
+/// ```no_run
+/// # use cocopelia_runtime::serve::{ExecutorConfig, ServeOptions, ServeSession};
+/// # use cocopelia_gpusim::SimTime;
+/// # fn demo(pool: cocopelia_runtime::MultiGpu, reqs: Vec<cocopelia_runtime::GemmRequest<f64>>) {
+/// let opts = ServeOptions::new().queue_cap(64).coalesce();
+/// let mut session = ServeSession::with_options(pool, ExecutorConfig::default(), opts).unwrap();
+/// for (i, req) in reqs.into_iter().enumerate() {
+///     session.submit_at(req, SimTime::from_nanos(i as u64 * 500_000));
+/// }
+/// let report = session.drain();
+/// println!("{}", report.render());
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServeSession {
+    exec: Executor,
+}
+
+impl ServeSession {
+    /// A session with default options (see [`ServeOptions::new`]).
+    pub fn new(pool: MultiGpu, cfg: ExecutorConfig) -> Self {
+        ServeSession {
+            exec: Executor::new(pool, cfg),
+        }
+    }
+
+    /// A session with the full serving configuration applied up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when a telemetry stream file cannot be
+    /// created.
+    pub fn with_options(
+        pool: MultiGpu,
+        cfg: ExecutorConfig,
+        opts: ServeOptions,
+    ) -> std::io::Result<Self> {
+        Ok(ServeSession {
+            exec: Executor::with_options(pool, cfg, opts)?,
+        })
+    }
+
+    /// Submits a request for the next drain (closed-queue: present from
+    /// the drain's first instant). Footprint admission runs immediately.
+    pub fn submit(&mut self, req: impl Into<RoutineRequest>) -> RequestId {
+        self.exec.submit(req)
+    }
+
+    /// Schedules an open arrival `at` virtual time past the next drain's
+    /// start; admission control runs at the arrival instant, against the
+    /// queue state of that moment.
+    pub fn submit_at(&mut self, req: impl Into<RoutineRequest>, at: SimTime) -> RequestId {
+        self.exec.submit_at(req, at)
+    }
+
+    /// Submits a batch for the next drain, returning the ids in order.
+    pub fn submit_all(
+        &mut self,
+        reqs: impl IntoIterator<Item = impl Into<RoutineRequest>>,
+    ) -> Vec<RequestId> {
+        reqs.into_iter().map(|r| self.exec.submit(r)).collect()
+    }
+
+    /// Runs the drain event loop to quiescence — every queued request and
+    /// scheduled arrival reaches a terminal status — and reports the run.
+    /// The session remains usable afterwards.
+    pub fn drain(&mut self) -> ServeReport {
+        self.exec.drain_queue()
+    }
+
+    /// Requests waiting for dispatch.
+    pub fn queue_len(&self) -> usize {
+        self.exec.queue_len()
+    }
+
+    /// Open arrivals scheduled but not yet due.
+    pub fn pending_arrivals(&self) -> usize {
+        self.exec.pending_arrivals()
+    }
+
+    /// The session's metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        self.exec.metrics()
+    }
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &MultiGpu {
+        self.exec.pool()
+    }
+
+    /// The residency cache of device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn residency(&self, d: usize) -> &ResidencyCache {
+        self.exec.residency(d)
+    }
+
+    /// Devices currently quarantined, in index order.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.exec.quarantined()
+    }
+
+    /// The active queue-scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.exec.policy()
+    }
+
+    /// The underlying executor (escape hatch for advanced inspection).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The underlying executor, mutably.
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.exec
+    }
+
+    /// Consumes the session and returns the executor.
+    pub fn into_executor(self) -> Executor {
+        self.exec
+    }
+}

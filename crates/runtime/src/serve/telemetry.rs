@@ -88,6 +88,12 @@ pub struct WatchWindow {
     pub deadline_missed: u64,
     /// …of which failed terminally.
     pub failed: u64,
+    /// Requests shed by admission control or backpressure in the window
+    /// (not counted in `finished`; they never ran).
+    pub rejected: u64,
+    /// Requests that coalesced onto an identical queued request and
+    /// completed with it in the window.
+    pub coalesced: u64,
     /// p95 flow time of the window's finished requests, seconds.
     pub flow_p95_secs: Option<f64>,
     /// Residency-cache hit rate in the window, when it saw lookups.
@@ -135,7 +141,7 @@ impl WatchWindow {
             format!("BREACH({})", breached.join(","))
         };
         format!(
-            "[w{:03} {:9.3}-{:9.3}ms] q={} done={} miss={} fail={} p95={} hit={} faults={} quar={} drift={:.3}us slo={}",
+            "[w{:03} {:9.3}-{:9.3}ms] q={} done={} miss={} fail={} rej={} coal={} p95={} hit={} faults={} quar={} drift={:.3}us slo={}",
             self.index,
             ms(self.start),
             ms(self.end),
@@ -143,6 +149,8 @@ impl WatchWindow {
             self.completed,
             self.deadline_missed,
             self.failed,
+            self.rejected,
+            self.coalesced,
             p95,
             hit,
             self.faults,
@@ -358,14 +366,22 @@ impl Telemetry {
         }
     }
 
-    /// Records one finished request into the open window.
+    /// Records one finished request into the open window. A rejected
+    /// request never ran, so it counts only toward the window's
+    /// `rejected` (feeding the `rejected` SLO kind), not `finished`.
     pub(crate) fn on_outcome(&mut self, outcome: &RequestOutcome, flow_secs: f64) {
         let (completed, missed, failed) = match &outcome.status {
             RequestStatus::Completed(_) => (1, 0, 0),
             RequestStatus::TimedOut { .. } => (0, 1, 0),
             RequestStatus::Failed(_) => (0, 0, 1),
-            RequestStatus::Rejected { .. } => return,
+            RequestStatus::Rejected { .. } => {
+                self.win.counter_add(names::REJECTED, 1);
+                return;
+            }
         };
+        if outcome.coalesced {
+            self.win.counter_add(names::COALESCED, 1);
+        }
         self.win.counter_add(names::FINISHED, 1);
         self.win.counter_add(names::COMPLETED, completed);
         self.win.counter_add(names::DEADLINE_MISSED, missed);
@@ -531,6 +547,8 @@ fn watch_window(s: &WindowSnapshot, slo: Vec<SloStatus>) -> WatchWindow {
         completed: s.counter(names::COMPLETED),
         deadline_missed: s.counter(names::DEADLINE_MISSED),
         failed: s.counter(names::FAILED),
+        rejected: s.counter(names::REJECTED),
+        coalesced: s.counter(names::COALESCED),
         flow_p95_secs: s
             .digest(names::FLOW_SECS)
             .filter(|d| d.count > 0)
@@ -558,6 +576,8 @@ mod tests {
             completed: 9,
             deadline_missed: 1,
             failed: 0,
+            rejected: 2,
+            coalesced: 1,
             flow_p95_secs: Some(0.00231),
             residency_hit_rate: Some(0.875),
             faults: 2,
@@ -567,7 +587,7 @@ mod tests {
         };
         assert_eq!(
             ww.render(),
-            "[w003    15.000-   20.000ms] q=4 done=9 miss=1 fail=0 p95=2.310ms hit=88% faults=2 quar=0 drift=1.250us slo=-"
+            "[w003    15.000-   20.000ms] q=4 done=9 miss=1 fail=0 rej=2 coal=1 p95=2.310ms hit=88% faults=2 quar=0 drift=1.250us slo=-"
         );
         let empty = WatchWindow {
             flow_p95_secs: None,

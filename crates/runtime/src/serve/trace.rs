@@ -25,6 +25,9 @@ pub(crate) struct ServeTracer {
     /// Requests whose first device attempt has been recorded (their flow
     /// is already linked; later attempts carry no flow id).
     flow_linked: HashMap<u64, ()>,
+    /// Per-request queue origin for open arrivals: a request admitted at
+    /// virtual time `t` has its queue span start there, not at `t0_ns`.
+    queue_from: HashMap<u64, u64>,
     /// Serial virtual clock of host-fallback execution.
     host_ns: u64,
 }
@@ -49,18 +52,62 @@ impl ServeTracer {
         }
     }
 
+    /// Records an open-arrival instant: the request entered the executor
+    /// at virtual time `at_ns` (absolute, same axis as the device lanes),
+    /// which also becomes its queue span's origin.
+    pub(crate) fn arrive(&mut self, req: u64, at_ns: u64) {
+        let at = at_ns.max(self.t0_ns);
+        self.queue_from.insert(req, at);
+        self.log
+            .record(None, req, None, SpanPhase::Submit, "arrived", at, at, None);
+    }
+
+    /// Records a shed instant: admission control or backpressure refused
+    /// the request at arrival.
+    pub(crate) fn reject(&mut self, req: u64, at_ns: u64, reason: &str) {
+        let at = at_ns.max(self.t0_ns);
+        self.log.record(
+            None,
+            req,
+            None,
+            SpanPhase::Reject,
+            reason.to_owned(),
+            at,
+            at,
+            None,
+        );
+    }
+
+    /// Records a coalesce instant: the request attached to the identical
+    /// queued request `leader` and will share its execution.
+    pub(crate) fn coalesce(&mut self, req: u64, leader: u64, at_ns: u64) {
+        let at = at_ns.max(self.t0_ns);
+        self.log.record(
+            None,
+            req,
+            None,
+            SpanPhase::Coalesce,
+            format!("coalesced into r{leader}"),
+            at,
+            at,
+            None,
+        );
+    }
+
     /// Records the queue-wait span of a request, ending where its first
-    /// attempt starts. Carries the flow id that the first device attempt
-    /// will close.
+    /// attempt starts. The span begins at the request's arrival instant
+    /// (drain start for closed-queue submissions) and carries the flow id
+    /// that the first device attempt will close.
     pub(crate) fn queue_wait(&mut self, req: u64, dispatch_ns: u64) {
+        let from = self.queue_from.get(&req).copied().unwrap_or(self.t0_ns);
         self.log.record(
             None,
             req,
             None,
             SpanPhase::Queued,
             "queued",
-            self.t0_ns,
-            dispatch_ns.max(self.t0_ns),
+            from,
+            dispatch_ns.max(from),
             Some(req),
         );
     }
@@ -244,6 +291,7 @@ impl ServeTracer {
     pub(crate) fn finish(&mut self, lanes: Vec<cocopelia_obs::DeviceLane>) -> ServeTrace {
         let log = std::mem::take(&mut self.log);
         self.flow_linked.clear();
+        self.queue_from.clear();
         ServeTrace {
             spans: log.into_spans(),
             lanes,
@@ -271,6 +319,31 @@ mod tests {
         let trace = t.finish(Vec::new());
         check_spans(&trace.spans).expect("tracer spans satisfy invariants");
         assert_eq!(trace.request_spans(1).len(), 6);
+    }
+
+    #[test]
+    fn arrival_queue_spans_start_at_arrival_instant() {
+        let mut t = ServeTracer::default();
+        t.begin_drain(1000, &[]);
+        t.arrive(1, 3000);
+        t.queue_wait(1, 5000);
+        t.attempt(1, 0, 0, 5000, 7000, &[], None);
+        t.complete(1, 7000, "completed");
+        t.arrive(2, 3500);
+        t.reject(2, 3500, "queue full: depth 1 at cap 1");
+        t.arrive(3, 4000);
+        t.coalesce(3, 1, 4000);
+        t.complete(3, 7000, "completed");
+        let trace = t.finish(Vec::new());
+        check_spans(&trace.spans).expect("clean");
+        let q = trace
+            .spans
+            .iter()
+            .find(|s| s.phase == SpanPhase::Queued && s.request == 1)
+            .expect("queue span");
+        assert_eq!(q.start_ns, 3000, "queue wait begins at arrival, not t0");
+        assert!(trace.spans.iter().any(|s| s.phase == SpanPhase::Reject));
+        assert!(trace.spans.iter().any(|s| s.phase == SpanPhase::Coalesce));
     }
 
     #[test]

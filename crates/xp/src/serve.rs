@@ -1,8 +1,9 @@
-//! Request-serving sweep: a standard heterogeneous request trace, an
+//! Request-serving sweep: a standard heterogeneous request trace, seeded
+//! open-arrival generators (Poisson and bursty on/off), an
 //! executor-vs-sequential comparison, and a plain-text trace format for
 //! the `cocopelia serve` subcommand.
 //!
-//! The comparison pits the [`Executor`] (cross-request residency cache,
+//! The comparison pits a [`ServeSession`] (cross-request residency cache,
 //! affinity dispatch over a device pool) against the same trace replayed
 //! sequentially on one fresh device with every shared operand stripped —
 //! the no-reuse baseline a client gets by calling the library once per
@@ -11,7 +12,8 @@
 use cocopelia_deploy::{deploy, DeployConfig};
 use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, SimTime, TestbedSpec};
 use cocopelia_runtime::serve::{
-    Executor, ExecutorConfig, SchedulePolicy, ServeReport, TelemetryConfig, WatchWindow,
+    ExecutorConfig, SchedulePolicy, ServeOptions as SessionOptions, ServeReport, ServeSession,
+    TelemetryConfig, WatchWindow,
 };
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
@@ -153,8 +155,8 @@ pub fn deadline_request_trace() -> Vec<RoutineRequest> {
     ]
 }
 
-/// Deploys on a quiet copy of `testbed`, serves `trace` through an
-/// [`Executor`] over `devices` devices, and replays the same trace
+/// Deploys on a quiet copy of `testbed`, serves `trace` through a
+/// [`ServeSession`] over `devices` devices, and replays the same trace
 /// sequentially without sharing for the baseline.
 ///
 /// # Errors
@@ -210,8 +212,138 @@ pub fn run_serve_with_policy(
     )
 }
 
+/// The shape of a seeded open-arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals: exponential inter-arrival gaps at `rate_hz`.
+    Poisson {
+        /// Mean arrival rate, requests per virtual second.
+        rate_hz: f64,
+    },
+    /// On/off bursts: a Poisson process at `rate_hz` that only runs
+    /// during `on` windows, separated by silent `off` gaps — the classic
+    /// bursty-traffic model. The *within-burst* rate is `rate_hz`, so the
+    /// long-run average rate is `rate_hz * on / (on + off)`.
+    Bursty {
+        /// Within-burst arrival rate, requests per virtual second.
+        rate_hz: f64,
+        /// Length of each active window.
+        on: SimTime,
+        /// Silent gap between active windows.
+        off: SimTime,
+    },
+}
+
+/// A seeded, deterministic open-arrival generator: the same spec always
+/// produces the same arrival instants, so open-arrival serve runs replay
+/// bit-identically. Randomness comes from a splitmix64 stream over the
+/// seed — no external RNG crate, no global state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSpec {
+    /// The process shape.
+    pub kind: ArrivalKind,
+    /// PRNG seed; same seed, same arrivals.
+    pub seed: u64,
+}
+
+impl ArrivalSpec {
+    /// A Poisson process at `rate_hz` requests per virtual second.
+    pub fn poisson(rate_hz: f64, seed: u64) -> Self {
+        ArrivalSpec {
+            kind: ArrivalKind::Poisson { rate_hz },
+            seed,
+        }
+    }
+
+    /// An on/off bursty process: Poisson at `rate_hz` during `on`
+    /// windows, silent for `off` between them.
+    pub fn bursty(rate_hz: f64, on: SimTime, off: SimTime, seed: u64) -> Self {
+        ArrivalSpec {
+            kind: ArrivalKind::Bursty { rate_hz, on, off },
+            seed,
+        }
+    }
+
+    /// Parses the CLI grammar: `poisson:<rate_hz>` or
+    /// `bursty:<rate_hz>:<on_ms>:<off_ms>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn parse(s: &str, seed: u64) -> Result<Self, String> {
+        let fields: Vec<&str> = s.split(':').collect();
+        let num = |v: &str, what: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| format!("bad arrival {what} `{v}` (want a positive number)"))
+        };
+        match fields.as_slice() {
+            ["poisson", rate] => Ok(ArrivalSpec::poisson(num(rate, "rate")?, seed)),
+            ["bursty", rate, on_ms, off_ms] => Ok(ArrivalSpec::bursty(
+                num(rate, "rate")?,
+                SimTime::from_secs_f64(num(on_ms, "on window")? * 1e-3),
+                SimTime::from_secs_f64(num(off_ms, "off window")? * 1e-3),
+                seed,
+            )),
+            _ => Err(format!(
+                "bad arrivals `{s}` (want poisson:<rate_hz> or bursty:<rate_hz>:<on_ms>:<off_ms>)"
+            )),
+        }
+    }
+
+    /// The first `count` arrival instants (virtual time past drain
+    /// start), non-decreasing.
+    pub fn times(&self, count: usize) -> Vec<SimTime> {
+        let mut state = self.seed;
+        let (rate, on_off) = match self.kind {
+            ArrivalKind::Poisson { rate_hz } => (rate_hz, None),
+            ArrivalKind::Bursty { rate_hz, on, off } => {
+                (rate_hz, Some((on.as_secs_f64(), off.as_secs_f64())))
+            }
+        };
+        let rate = rate.max(1e-9);
+        let mut active = 0.0f64; // cumulative "process-on" time
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Exponential gap via inverse transform on a (0,1) uniform.
+            active += -unit_open(&mut state).ln() / rate;
+            let wall = match on_off {
+                None => active,
+                Some((on, off)) => {
+                    // Map process-on time through on/off cycles: every
+                    // full `on` of active time costs an extra `off` of
+                    // silence on the wall clock.
+                    let full_cycles = (active / on).floor();
+                    full_cycles * (on + off) + (active - full_cycles * on)
+                }
+            };
+            out.push(SimTime::from_secs_f64(wall));
+        }
+        out
+    }
+}
+
+/// One step of the splitmix64 PRNG — tiny, seedable, and good enough to
+/// drive inter-arrival sampling without an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in the *open* interval (0, 1): the top 53 bits offset
+/// by half an ulp, so `ln` never sees 0.
+fn unit_open(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
 /// Knobs beyond the fault plan for a serve run: scheduling policy,
-/// request-lifecycle tracing, and periodic interval snapshots.
+/// request-lifecycle tracing, periodic interval snapshots, streaming
+/// telemetry, and the open-arrival machinery (arrival process,
+/// backpressure, coalescing).
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Queue-scheduling policy ([`SchedulePolicy::Fifo`] by default).
@@ -227,6 +359,15 @@ pub struct ServeOptions {
     /// incremental Perfetto export) — the `serve --watch` machinery.
     /// `None` keeps the end-only report.
     pub watch: Option<TelemetryConfig>,
+    /// Open arrivals: feed the trace through this generator instead of
+    /// queueing everything up front. `None` keeps the closed queue.
+    pub arrivals: Option<ArrivalSpec>,
+    /// Backpressure: shed arrivals that find the queue at this depth.
+    pub queue_cap: Option<usize>,
+    /// Load-shed watermark on predicted flow time, seconds.
+    pub shed_flow_secs: Option<f64>,
+    /// Coalesce identical-shape arrivals onto one execution.
+    pub coalesce: bool,
 }
 
 impl Default for ServeOptions {
@@ -236,6 +377,10 @@ impl Default for ServeOptions {
             trace: false,
             snapshot_interval: None,
             watch: None,
+            arrivals: None,
+            queue_cap: None,
+            shed_flow_secs: None,
+            coalesce: false,
         }
     }
 }
@@ -313,23 +458,46 @@ fn serve_impl(
         deployed.profile,
         faults,
     );
-    let mut exec = Executor::new(pool, ExecutorConfig::default());
-    exec.set_policy(options.policy);
+    let mut opts = SessionOptions::new().policy(options.policy);
     if options.trace {
-        exec.enable_tracing();
+        opts = opts.tracing();
     }
     if let Some(watch) = &options.watch {
-        exec.enable_telemetry(watch.clone())
-            .map_err(|e| format!("telemetry stream: {e}"))?;
+        opts = opts.telemetry(watch.clone());
         if let Some(sink) = sink {
-            exec.set_watch_sink(sink);
+            opts = opts.watch_sink(sink);
         }
     }
-    exec.set_snapshot_interval(options.snapshot_interval);
-    for req in trace {
-        exec.submit(req);
+    if let Some(interval) = options.snapshot_interval {
+        opts = opts.snapshot_interval(interval);
     }
-    let report = exec.run();
+    if let Some(cap) = options.queue_cap {
+        opts = opts.queue_cap(cap);
+    }
+    if let Some(secs) = options.shed_flow_secs {
+        opts = opts.shed_flow_secs(secs);
+    }
+    if options.coalesce {
+        opts = opts.coalesce();
+    }
+    let mut session = ServeSession::with_options(pool, ExecutorConfig::default(), opts)
+        .map_err(|e| format!("telemetry stream: {e}"))?;
+    match &options.arrivals {
+        Some(spec) => {
+            // Open arrivals: the same trace, fed at generated virtual
+            // instants; admission (shed/coalesce) runs as each lands.
+            let times = spec.times(trace.len());
+            for (req, at) in trace.into_iter().zip(times) {
+                session.submit_at(req, at);
+            }
+        }
+        None => {
+            for req in trace {
+                session.submit(req);
+            }
+        }
+    }
+    let report = session.drain();
     Ok(ServeComparison {
         report,
         sequential_secs,
@@ -521,6 +689,73 @@ dgemv 2048 2048 a=A
         assert!(trace[1].shared_keys().is_empty());
         assert_eq!(trace[3].shared_keys(), vec!["X", "Y"]);
         assert_eq!(trace[4].shared_keys(), vec!["A"]);
+    }
+
+    #[test]
+    fn arrival_spec_parses_the_cli_grammar() {
+        assert_eq!(
+            ArrivalSpec::parse("poisson:2000", 7).expect("parses"),
+            ArrivalSpec::poisson(2000.0, 7)
+        );
+        assert_eq!(
+            ArrivalSpec::parse("bursty:4000:5:20", 7).expect("parses"),
+            ArrivalSpec::bursty(
+                4000.0,
+                SimTime::from_secs_f64(5e-3),
+                SimTime::from_secs_f64(20e-3),
+                7
+            )
+        );
+        assert!(ArrivalSpec::parse("poisson:-1", 0).is_err());
+        assert!(ArrivalSpec::parse("poisson", 0).is_err());
+        assert!(ArrivalSpec::parse("bursty:100:5", 0).is_err());
+        assert!(ArrivalSpec::parse("uniform:9", 0).is_err());
+    }
+
+    #[test]
+    fn arrival_times_are_seeded_and_deterministic() {
+        let a = ArrivalSpec::poisson(2000.0, 42).times(64);
+        let b = ArrivalSpec::poisson(2000.0, 42).times(64);
+        assert_eq!(a, b, "same seed, same arrivals");
+        let c = ArrivalSpec::poisson(2000.0, 43).times(64);
+        assert_ne!(a, c, "different seed, different arrivals");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // Mean gap of a Poisson(2000 Hz) process is 0.5 ms; 64 draws land
+        // well within a loose 5x band.
+        let span = a.last().unwrap().as_secs_f64();
+        assert!(
+            span > 64.0 * 5e-4 / 5.0 && span < 64.0 * 5e-4 * 5.0,
+            "{span}"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_land_inside_on_windows() {
+        let on = 5e-3;
+        let off = 20e-3;
+        let spec = ArrivalSpec::bursty(
+            4000.0,
+            SimTime::from_secs_f64(on),
+            SimTime::from_secs_f64(off),
+            9,
+        );
+        let times = spec.times(100);
+        let cycle = on + off;
+        let mut seen_later_cycle = false;
+        for t in &times {
+            let offset = t.as_secs_f64() % cycle;
+            assert!(
+                offset <= on + 1e-9,
+                "arrival at {offset:.6}s offset fell in an off window"
+            );
+            if t.as_secs_f64() > cycle {
+                seen_later_cycle = true;
+            }
+        }
+        assert!(
+            seen_later_cycle,
+            "100 draws at 4 kHz in 5 ms windows must spill past one cycle"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, ExecMode, Gpu, NoiseSpec, TestbedSpec};
-use cocopelia_runtime::serve::{Executor, ExecutorConfig, RequestStatus};
+use cocopelia_runtime::serve::{ExecutorConfig, RequestStatus, ServeSession};
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatOperand, MultiGpu,
     RoutineRequest, SharedMat, SharedVec, TileChoice, VecOperand,
@@ -94,13 +94,13 @@ fn mixed_trace() -> Vec<RoutineRequest> {
 fn admission_control_rejects_oversized_requests() {
     // 64 MB device, 0.9 admission limit: a 2048^3 dgemm (96 MB) is refused
     // at submission; a 1024^3 (24 MB) is admitted and served.
-    let mut exec = Executor::new(pool(&small_tb(64 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(64 * MB), 1), ExecutorConfig::default());
     let big = GemmRequest::<f64>::new(ghost(2048, 2048), ghost(2048, 2048), ghost(2048, 2048))
         .tile(TileChoice::Fixed(512));
     let rejected_id = exec.submit(big);
     let admitted_id = exec.submit(shared_gemm());
     assert_eq!(exec.queue_len(), 1, "the rejected request never queues");
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.outcomes.len(), 2);
     assert_eq!(report.rejected(), 1);
     assert_eq!(report.completed(), 1);
@@ -119,12 +119,12 @@ fn admission_control_rejects_oversized_requests() {
 
 #[test]
 fn deadline_misses_terminate_as_timed_out() {
-    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
     let req = GemmRequest::<f64>::new(ghost(1024, 1024), ghost(1024, 1024), ghost(1024, 1024))
         .tile(TileChoice::Fixed(512))
         .deadline_secs(1e-9);
     exec.submit(req);
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.timed_out(), 1);
     assert_eq!(report.metrics.counter("serve_timed_out_total"), 1);
     let RequestStatus::TimedOut {
@@ -144,11 +144,11 @@ fn deadline_misses_terminate_as_timed_out() {
 
 #[test]
 fn residency_cache_reuses_operands_across_requests() {
-    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
     for req in mixed_trace() {
         exec.submit(req);
     }
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 8);
     // A and B miss once each, then 3 follow-up gemms hit both and the gemv
     // hits A; X misses once then hits twice; Y misses once.
@@ -183,11 +183,11 @@ fn serving_with_reuse_beats_sequential_no_reuse() {
             .as_secs_f64();
     }
 
-    let mut exec = Executor::new(pool(&tb, 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&tb, 1), ExecutorConfig::default());
     for req in mixed_trace() {
         exec.submit(req);
     }
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 8);
     let makespan = report.makespan.as_secs_f64();
     assert!(
@@ -205,13 +205,13 @@ fn transient_oom_is_retried_after_reclaim() {
     // (16 MB) in the cache; the second needs ~57 MB of inline operands, so
     // its first attempt hits OOM, the executor reclaims (evicting the
     // cache), and the retry fits.
-    let mut exec = Executor::new(pool(&small_tb(64 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(64 * MB), 1), ExecutorConfig::default());
     exec.submit(shared_gemm());
     let n = 1472; // 3 x 17.3 MB inline + 16 MB cached > 64 MB; alone it fits
     exec.submit(
         GemmRequest::<f64>::new(ghost(n, n), ghost(n, n), ghost(n, n)).tile(TileChoice::Fixed(512)),
     );
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 2, "{}", report.render());
     assert!(report.outcomes[1].retries > 0, "second request must retry");
     assert_eq!(report.metrics.counter("serve_retries_total"), 1);
@@ -237,11 +237,11 @@ fn affinity_holds_between_equally_loaded_devices() {
         .tile(TileChoice::Fixed(512))
         .into()
     };
-    let mut exec = Executor::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
     for req in [shared_gemm(), gemm_cd(), shared_gemm(), gemm_cd()] {
         exec.submit(req);
     }
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 4, "{}", report.render());
     let device = |i: usize| report.outcomes[i].device.expect("served");
     assert_eq!(device(0), device(2), "A/B requests must share a device");
@@ -258,11 +258,11 @@ fn idle_device_steals_when_affine_device_falls_behind() {
     // serialise them all onto the first device. The bounded policy steals
     // to the idle device as soon as the affine device's clock lead exceeds
     // the cost of re-uploading A and B, so the trace spreads.
-    let mut exec = Executor::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(256 * MB), 2), ExecutorConfig::default());
     for _ in 0..4 {
         exec.submit(shared_gemm());
     }
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 4, "{}", report.render());
     let device = |i: usize| report.outcomes[i].device.expect("served");
     assert_ne!(
@@ -291,7 +291,7 @@ fn same_request_shared_operands_never_evict_each_other() {
     // whose three shared operands total 24 MB is admitted but cannot cache
     // them all — the third must bypass rather than evict the first out
     // from under its already-resolved handle (which would dangle).
-    let mut exec = Executor::new(pool(&small_tb(40 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(40 * MB), 1), ExecutorConfig::default());
     let req = || -> RoutineRequest {
         GemmRequest::<f64>::new(
             SharedMat::new("A", 1024, 1024),
@@ -303,7 +303,7 @@ fn same_request_shared_operands_never_evict_each_other() {
     };
     exec.submit(req());
     exec.submit(req());
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 2, "{}", report.render());
     // A and B cache (16 MB <= 20 MB); C bypasses on both requests because
     // it cannot fit alongside its own request's pinned operands.
@@ -321,7 +321,7 @@ fn same_request_shared_operands_never_evict_each_other() {
 fn non_transient_failure_keeps_cache_warm() {
     // A mis-declared shared shape fails its own request but must not nuke
     // the residency cache: later requests still hit the warm operands.
-    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
     exec.submit(shared_gemm());
     exec.submit(
         GemmRequest::<f64>::new(
@@ -332,7 +332,7 @@ fn non_transient_failure_keeps_cache_warm() {
         .tile(TileChoice::Fixed(256)),
     );
     exec.submit(shared_gemm());
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 2, "{}", report.render());
     assert_eq!(report.failed(), 1);
     assert_eq!(
@@ -351,12 +351,12 @@ fn non_transient_failure_keeps_cache_warm() {
 
 #[test]
 fn queue_depth_and_gauges_are_recorded() {
-    let mut exec = Executor::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(&small_tb(256 * MB), 1), ExecutorConfig::default());
     for req in mixed_trace() {
         exec.submit(req);
     }
     assert_eq!(exec.queue_len(), 8);
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(exec.queue_len(), 0);
     let gauge = |name: &str| report.metrics.gauge(name).expect("gauge set");
     assert!((gauge("serve_makespan_secs") - report.makespan.as_secs_f64()).abs() < 1e-15);

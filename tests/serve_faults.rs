@@ -12,7 +12,7 @@ use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, ExecMode, FaultSpec, Gpu, NoiseSpec, TestbedSpec};
 use cocopelia_hostblas::{level3, validate, Matrix};
 use cocopelia_obs::invariants::check_entries;
-use cocopelia_runtime::serve::{Executor, ExecutorConfig, RequestStatus, ServeReport};
+use cocopelia_runtime::serve::{ExecutorConfig, RequestStatus, ServeReport, ServeSession};
 use cocopelia_runtime::{
     Cocopelia, GemmRequest, MatOperand, MultiGpu, RetryPolicy, RoutineRequest, SharedMat,
     TileChoice,
@@ -50,19 +50,19 @@ fn faulty_pool(devices: usize, faults: &FaultSpec) -> MultiGpu {
 
 /// Runs the chaos trace through an executor over a faulty pool and hands
 /// back both the report and the executor for post-mortem inspection.
-fn chaos_run(seed: u64, rounds: usize) -> (ServeReport, Executor) {
+fn chaos_run(seed: u64, rounds: usize) -> (ServeReport, ServeSession) {
     let pool = faulty_pool(2, &chaos_fault_spec(seed));
-    let mut exec = Executor::new(pool, ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool, ExecutorConfig::default());
     for req in chaos_request_trace(rounds) {
         exec.submit(req);
     }
-    let report = exec.run();
+    let report = exec.drain();
     (report, exec)
 }
 
 /// No device buffer outlives its reason to exist: a quarantined device
 /// holds nothing, and a healthy device holds exactly its residency cache.
-fn assert_no_leaks(exec: &Executor, quarantined: &[usize]) {
+fn assert_no_leaks(exec: &ServeSession, quarantined: &[usize]) {
     for d in 0..exec.pool().device_count() {
         let gpu = exec.pool().devices()[d].gpu();
         let live: BTreeSet<_> = gpu.live_device_buffers().into_iter().collect();
@@ -89,11 +89,11 @@ fn assert_no_leaks(exec: &Executor, quarantined: &[usize]) {
 fn none_spec_serving_is_fault_free_and_deterministic() {
     let run = || {
         let pool = faulty_pool(2, &FaultSpec::none());
-        let mut exec = Executor::new(pool, ExecutorConfig::default());
+        let mut exec = ServeSession::new(pool, ExecutorConfig::default());
         for req in chaos_request_trace(1) {
             exec.submit(req);
         }
-        exec.run()
+        exec.drain()
     };
     let report = run();
     assert_eq!(report.completed(), report.outcomes.len());
@@ -133,7 +133,7 @@ fn device_loss_quarantines_redispatches_and_degrades_to_host() {
         lost_after: Some(1),
         ..FaultSpec::none()
     };
-    let mut exec = Executor::new(faulty_pool(2, &spec), ExecutorConfig::default());
+    let mut exec = ServeSession::new(faulty_pool(2, &spec), ExecutorConfig::default());
     let gemm = || -> RoutineRequest {
         GemmRequest::<f64>::new(
             SharedMat::new("A", 1024, 1024),
@@ -148,7 +148,7 @@ fn device_loss_quarantines_redispatches_and_degrades_to_host() {
     };
     exec.submit(gemm());
     exec.submit(gemm());
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 2, "{}", report.render());
     assert_eq!(report.quarantined, vec![0, 1]);
 

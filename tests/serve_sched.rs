@@ -7,7 +7,7 @@
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, ExecMode, FaultSpec, NoiseSpec, TestbedSpec};
-use cocopelia_runtime::serve::{Executor, ExecutorConfig, SchedulePolicy};
+use cocopelia_runtime::serve::{ExecutorConfig, SchedulePolicy, ServeOptions, ServeSession};
 use cocopelia_runtime::{GemmRequest, MatOperand, MultiGpu, RoutineRequest, SharedMat, TileChoice};
 use cocopelia_xp::{deadline_request_trace, run_serve_with_policy, skewed_request_trace};
 
@@ -53,9 +53,9 @@ fn timed_out_device_work_counts_as_device_flops() {
     // A deadline so tight the run must blow it: the device work still
     // happened and stretched the makespan, so it must count in
     // total_flops — otherwise throughput is under-reported.
-    let mut exec = Executor::new(pool(1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(1), ExecutorConfig::default());
     exec.submit(gemm(1024).deadline_secs(1e-12));
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.timed_out(), 1);
     assert_eq!(report.completed(), 0);
     let flops = 2.0 * 1024f64.powi(3);
@@ -88,10 +88,10 @@ fn host_fallback_work_is_split_out_of_device_throughput() {
         dummy_profile(),
         &spec,
     );
-    let mut exec = Executor::new(pool, ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool, ExecutorConfig::default());
     exec.submit(gemm(1024));
     exec.submit(gemm(1024));
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.host_fallbacks(), 2);
     assert_eq!(
         report.total_flops, 0.0,
@@ -117,11 +117,11 @@ fn host_fallback_work_is_split_out_of_device_throughput() {
 
 #[test]
 fn queue_depth_is_sampled_at_submit_and_dispatch() {
-    let mut exec = Executor::new(pool(1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(1), ExecutorConfig::default());
     for _ in 0..3 {
         exec.submit(gemm(1024));
     }
-    let report = exec.run();
+    let report = exec.drain();
     let h = report
         .metrics
         .histogram("serve_queue_depth")
@@ -136,7 +136,7 @@ fn queue_depth_is_sampled_at_submit_and_dispatch() {
 fn self_multiply_shares_one_cached_upload() {
     // W·W names the same key for `a` and `b`: one upload, one hit, one
     // cache entry — the duplicate insert is rejected, not double-counted.
-    let mut exec = Executor::new(pool(1), ExecutorConfig::default());
+    let mut exec = ServeSession::new(pool(1), ExecutorConfig::default());
     let w = || SharedMat::new("W", 1024, 1024);
     exec.submit(
         GemmRequest::<f64>::new(w(), w(), ghost(1024))
@@ -144,7 +144,7 @@ fn self_multiply_shares_one_cached_upload() {
             .beta(1.0)
             .tile(TileChoice::Fixed(512)),
     );
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.completed(), 1);
     assert_eq!(report.metrics.counter("residency_misses_total"), 1);
     assert_eq!(report.metrics.counter("residency_hits_total"), 1);
@@ -160,20 +160,24 @@ fn self_multiply_shares_one_cached_upload() {
 #[test]
 fn edf_meets_a_deadline_fifo_misses() {
     // Calibrate: how long does the small request take alone?
-    let mut solo = Executor::new(pool(1), ExecutorConfig::default());
+    let mut solo = ServeSession::new(pool(1), ExecutorConfig::default());
     solo.submit(gemm(1024));
-    let t_small = solo.run().makespan.as_secs_f64();
+    let t_small = solo.drain().makespan.as_secs_f64();
     assert!(t_small > 0.0);
 
     // Two requests on one device: a big deadline-less gemm submitted
     // first, then a small one whose budget fits its own flow time but not
     // a wait behind the big request.
     let run = |policy: SchedulePolicy| {
-        let mut exec = Executor::new(pool(1), ExecutorConfig::default());
-        exec.set_policy(policy);
+        let mut exec = ServeSession::with_options(
+            pool(1),
+            ExecutorConfig::default(),
+            ServeOptions::new().policy(policy),
+        )
+        .expect("session");
         exec.submit(gemm(2048));
         exec.submit(gemm(1024).deadline_secs(2.0 * t_small));
-        exec.run()
+        exec.drain()
     };
     let fifo = run(SchedulePolicy::Fifo);
     let edf = run(SchedulePolicy::Edf);
@@ -288,18 +292,22 @@ fn fifo_policy_reproduces_the_default_run() {
     let trace: Vec<RoutineRequest> = (0..4)
         .map(|i| gemm(if i == 3 { 2048 } else { 1024 }).into())
         .collect();
-    let mut default_exec = Executor::new(pool(2), ExecutorConfig::default());
+    let mut default_exec = ServeSession::new(pool(2), ExecutorConfig::default());
     for req in trace.clone() {
         default_exec.submit(req);
     }
-    let default_report = default_exec.run();
-    let mut fifo_exec = Executor::new(pool(2), ExecutorConfig::default());
-    fifo_exec.set_policy(SchedulePolicy::Fifo);
+    let default_report = default_exec.drain();
+    let mut fifo_exec = ServeSession::with_options(
+        pool(2),
+        ExecutorConfig::default(),
+        ServeOptions::new().policy(SchedulePolicy::Fifo),
+    )
+    .expect("session");
     assert_eq!(fifo_exec.policy(), SchedulePolicy::Fifo);
     for req in trace {
         fifo_exec.submit(req);
     }
-    let fifo_report = fifo_exec.run();
+    let fifo_report = fifo_exec.drain();
     assert_eq!(default_report.makespan, fifo_report.makespan);
     assert_eq!(default_report.per_device_busy, fifo_report.per_device_busy);
     assert_eq!(default_report.total_flops, fifo_report.total_flops);

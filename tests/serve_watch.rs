@@ -13,7 +13,9 @@ use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, ExecMode, FaultSpec, NoiseSpec, SimTime, TestbedSpec};
 use cocopelia_obs::perfetto::decode::decode_trace;
 use cocopelia_obs::{Histogram, SloSpec, WindowedMetrics};
-use cocopelia_runtime::serve::{Executor, ExecutorConfig, ServeReport, TelemetryConfig};
+use cocopelia_runtime::serve::{
+    ExecutorConfig, ServeOptions as SessionOptions, ServeReport, ServeSession, TelemetryConfig,
+};
 use cocopelia_runtime::{AxpyRequest, MultiGpu, RoutineRequest, SharedVec, TileChoice, VecOperand};
 use cocopelia_xp::{chaos_fault_spec, chaos_request_trace, run_serve_streaming, ServeOptions};
 
@@ -69,14 +71,17 @@ fn run_watch_trace(
     breach_at: usize,
     telemetry: Option<TelemetryConfig>,
 ) -> ServeReport {
-    let mut exec = Executor::new(pool(2, &FaultSpec::none()), ExecutorConfig::default());
+    let mut opts = SessionOptions::new();
     if let Some(cfg) = telemetry {
-        exec.enable_telemetry(cfg).expect("stream file creatable");
+        opts = opts.telemetry(cfg);
     }
+    let mut exec =
+        ServeSession::with_options(pool(2, &FaultSpec::none()), ExecutorConfig::default(), opts)
+            .expect("stream file creatable");
     for req in watch_trace(count, breach_at) {
         exec.submit(req);
     }
-    exec.run()
+    exec.drain()
 }
 
 #[test]
@@ -248,13 +253,16 @@ fn quarantine_dump_contains_the_faulting_requests_span_chain() {
         lost_after: Some(1),
         ..FaultSpec::none()
     };
-    let mut exec = Executor::new(pool(2, &spec), ExecutorConfig::default());
-    exec.enable_telemetry(TelemetryConfig::default())
-        .expect("no stream file needed");
+    let mut exec = ServeSession::with_options(
+        pool(2, &spec),
+        ExecutorConfig::default(),
+        SessionOptions::new().telemetry(TelemetryConfig::default()),
+    )
+    .expect("no stream file needed");
     for req in watch_trace(2, usize::MAX) {
         exec.submit(req);
     }
-    let report = exec.run();
+    let report = exec.drain();
     assert_eq!(report.quarantined, vec![0, 1]);
 
     let tele = report.telemetry.as_ref().expect("telemetry armed");

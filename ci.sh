@@ -55,6 +55,16 @@ echo "== chaos soak gate (seeded fault injection) =="
 # on every run. The seeds live in tests/serve_faults.rs.
 cargo test --release -q -p cocopelia-xp --test serve_faults
 
+echo "== straggler defense gate (hedging, probation, retry budgets) =="
+# The self-healing acceptance bars over the 3-seed straggler/probation
+# matrix: hedged re-dispatch strictly improves p99 flow on the degraded-
+# link scenario with bit-identical total flops, canary probation re-admits
+# a drained device that then serves again, the retry-budget breaker fails
+# fast under a fault storm, a device lost mid-hedge leaks nothing, and a
+# fully-defended run replays bit-identically. Seeds live in
+# tests/serve_straggler.rs.
+cargo test --release -q -p cocopelia-xp --test serve_straggler
+
 echo "== trace pipeline gate (spans, perfetto, timeline) =="
 # The serve tracing pipeline end to end: span invariants on chaos runs,
 # Perfetto round-trip decode (track counts, flows, per-track monotonicity),

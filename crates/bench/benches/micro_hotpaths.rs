@@ -2,8 +2,10 @@
 //! scheduler's dispatch decision, the open-arrival event loop (arrival
 //! admission interleaved with dispatch), the residency-cache admission
 //! probe,
-//! the span-record / Perfetto-export trace path, and the streaming
-//! telemetry primitives (window rotation, flight-recorder ring record).
+//! the span-record / Perfetto-export trace path, the streaming
+//! telemetry primitives (window rotation, flight-recorder ring record),
+//! and the straggler-defense decision points (adaptive hedge threshold,
+//! canary-probe due scan).
 //!
 //! Uses the `iai_callgrind` harness (vendored wall-clock stand-in; the
 //! registry version counts instructions under callgrind). Each function
@@ -15,7 +17,7 @@ use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
 use cocopelia_gpusim::{testbed_i, EngineKind, ExecMode, NoiseSpec, SimTime, TraceEntry};
 use cocopelia_obs::{DeviceLane, FlightRecorder, ServeTrace, SpanLog, SpanPhase, WindowedMetrics};
-use cocopelia_runtime::serve::{ExecutorConfig, ServeSession};
+use cocopelia_runtime::serve::{ExecutorConfig, HedgeConfig, ServeOptions, ServeSession};
 use cocopelia_runtime::{GemmRequest, MatOperand, MultiGpu, RoutineRequest, SharedMat, TileChoice};
 
 fn dummy_profile() -> SystemProfile {
@@ -181,6 +183,50 @@ fn window_rotate() {
     black_box(win.index());
 }
 
+/// The hedge decision every successful attempt pays when hedging is
+/// armed: the adaptive threshold (p95 over the drift accountant's error
+/// records) against an elapsed clock advance, without launching anything.
+#[inline(never)]
+fn hedge_decision() {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE;
+    let pool = MultiGpu::new(&tb, 2, ExecMode::TimingOnly, 42, dummy_profile());
+    let mut exec = ServeSession::with_options(
+        pool,
+        ExecutorConfig::default(),
+        ServeOptions::new().hedge(HedgeConfig::default()),
+    )
+    .expect("session");
+    // A few drained requests seed the drift accountant the threshold
+    // consults.
+    for _ in 0..8 {
+        exec.submit(shared_gemm());
+    }
+    exec.drain();
+    let ex = exec.executor_mut();
+    for i in 0..100_000u64 {
+        // Alternate clear underruns and gross overruns of a 1 ms
+        // prediction so both decision branches stay hot.
+        let elapsed_ns = 500_000 + (i % 2) * 5_000_000;
+        black_box(ex.hedge_decision_for_bench(black_box(1e-3), black_box(elapsed_ns)));
+    }
+}
+
+/// Probe scheduling under a wide quarantine: the executor's "which canary
+/// is due next" scan, the per-event-loop-iteration cost probation adds.
+#[inline(never)]
+fn probe_schedule() {
+    let mut exec = quiet_session(4);
+    for d in 0..4 {
+        exec.executor_mut()
+            .seed_probe_for_bench(d, (d as u64 + 1) * 1_000_000);
+    }
+    let ex = exec.executor_mut();
+    for _ in 0..100_000u64 {
+        black_box(ex.next_probe_for_bench());
+    }
+}
+
 /// The flight recorder's per-span record under constant eviction
 /// pressure: a full ring popping its oldest span for every push.
 #[inline(never)]
@@ -213,5 +259,5 @@ main!(
     callgrind_args = "--simulate-wb=no", "--simulate-hwpref=yes",
         "--I1=32768,8,64", "--D1=32768,8,64", "--LL=8388608,16,64";
     functions = next_dispatch, next_event, residency_probe, span_record, perfetto_export,
-        window_rotate, ring_record
+        window_rotate, ring_record, hedge_decision, probe_schedule
 );

@@ -111,7 +111,11 @@ fn main() -> ExitCode {
             if matches!(e, CliError::Usage(_)) {
                 eprintln!("{USAGE}");
             }
-            ExitCode::FAILURE
+            // Exit 2 on every typed CLI error (bad flags, unreadable
+            // files, runtime refusals) — the same code `compare` uses for
+            // regressions — so scripts can tell "the invocation was
+            // wrong" (2) from a crash.
+            ExitCode::from(2)
         }
     }
 }
@@ -137,6 +141,8 @@ usage:
                     [--queue-cap <N>] [--shed-flow-ms <N>] [--coalesce]
                     [--snapshot-ms <N>] [--watch] [--window-ms <N>]
                     [--slo <kind<=limit,...>] [--ring <spans>]
+                    [--hedge <mult|off>] [--probation <backoff_ms[:successes]|off>]
+                    [--retry-budget <tokens[:refill_per_sec]|off>]
   cocopelia metrics --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
                     [--policy <fifo|edf|predictive>] [--format <prom|text>]
   cocopelia timeline --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
@@ -158,7 +164,15 @@ serve --arrivals turns the trace into an open-arrival stream (seeded by --seed,
 default 1) whose requests land mid-drain: poisson:<rate_hz> for memoryless
 traffic, bursty:<rate_hz>:<on_ms>:<off_ms> for on/off bursts. --queue-cap and
 --shed-flow-ms shed arrivals under overload (reported as rejected); --coalesce
-folds identical queued shapes into one execution.";
+folds identical queued shapes into one execution.
+
+straggler defense (serve/metrics/timeline): --hedge <mult> re-dispatches an
+attempt overrunning its prediction by mult x (adaptively widened by observed
+drift) to the best other healthy device, first completion wins; --probation
+<backoff_ms[:successes]> probes quarantined devices with canary GEMMs and
+re-admits after the given consecutive successes (default 2); --retry-budget
+<tokens[:refill_per_sec]> bounds executor retries with a token bucket + circuit
+breaker that fails fast to host during fault storms. All three default off.";
 
 fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -201,6 +215,74 @@ fn testbed(args: &Args) -> Result<TestbedSpec, CliError> {
             "unknown testbed `{other}` (expected i or ii)"
         ))),
     }
+}
+
+/// Parses the straggler-defense flags shared by `serve`, `metrics`, and
+/// `timeline`: `--hedge <mult|off>`, `--probation
+/// <backoff_ms[:successes]|off>`, `--retry-budget
+/// <tokens[:refill_per_sec]|off>`. Absence (or `off`) leaves a feature
+/// disarmed; the probation schedule is seeded by `seed` so replays are
+/// bit-identical.
+type DefenseConfigs = (
+    Option<cocopelia_runtime::serve::HedgeConfig>,
+    Option<cocopelia_runtime::serve::ProbationConfig>,
+    Option<cocopelia_runtime::serve::RetryBudgetConfig>,
+);
+
+fn straggler_options(args: &Args, seed: u64) -> Result<DefenseConfigs, CliError> {
+    let pos_num = |v: &str, flag: &str| -> Result<f64, CliError> {
+        v.parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| CliError::Usage(format!("bad --{flag} value `{v}`")))
+    };
+    let hedge = match args.get_opt("hedge").as_deref() {
+        None | Some("off") => None,
+        Some(v) => Some(cocopelia_runtime::serve::HedgeConfig {
+            multiplier: pos_num(v, "hedge")?,
+        }),
+    };
+    let probation = match args.get_opt("probation").as_deref() {
+        None | Some("off") => None,
+        Some(v) => {
+            let (ms, successes) = match v.split_once(':') {
+                Some((ms, n)) => (
+                    ms,
+                    n.parse::<u32>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        CliError::Usage(format!("bad --probation successes `{n}`"))
+                    })?,
+                ),
+                None => (
+                    v,
+                    cocopelia_runtime::serve::ProbationConfig::default().successes,
+                ),
+            };
+            Some(cocopelia_runtime::serve::ProbationConfig {
+                backoff: cocopelia_gpusim::SimTime::from_secs_f64(pos_num(ms, "probation")? * 1e-3),
+                successes,
+                seed,
+                ..Default::default()
+            })
+        }
+    };
+    let retry_budget = match args.get_opt("retry-budget").as_deref() {
+        None | Some("off") => None,
+        Some(v) => {
+            let (tokens, refill) = match v.split_once(':') {
+                Some((t, r)) => (t, pos_num(r, "retry-budget")?),
+                None => (
+                    v,
+                    cocopelia_runtime::serve::RetryBudgetConfig::default().refill_per_sec,
+                ),
+            };
+            Some(cocopelia_runtime::serve::RetryBudgetConfig {
+                tokens: pos_num(tokens, "retry-budget")?,
+                refill_per_sec: refill,
+                ..Default::default()
+            })
+        }
+    };
+    Ok((hedge, probation, retry_budget))
 }
 
 /// Parses `--faults <spec>` (absent means no injected faults).
@@ -707,6 +789,7 @@ fn serve_comparison(
             " with open arrivals"
         },
     );
+    let (hedge, probation, retry_budget) = straggler_options(args, seed)?;
     let options = cocopelia_xp::ServeOptions {
         policy,
         trace: trace_spans,
@@ -722,6 +805,10 @@ fn serve_comparison(
         queue_cap,
         shed_flow_secs,
         coalesce,
+        hedge,
+        probation,
+        retry_budget,
+        fault_plans: None,
     };
     let cmp = if options.watch.is_some() {
         cocopelia_xp::run_serve_streaming(
@@ -834,6 +921,26 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             c("quarantine_invalidated_total"),
             c("fault_host_fallback_total"),
         );
+    }
+    {
+        let c = |name: &str| cmp.report.metrics.counter(name);
+        let hedges = c("hedge_attempts_total");
+        let probes = c("probe_attempts_total");
+        let fastfails = c("budget_fastfail_total");
+        if hedges + probes + fastfails > 0 {
+            println!(
+                "defense: hedges {} (won {}, lost {}, faulted {}) | probes {} \
+                 (ok {}, readmitted {}) | budget fastfails {}",
+                hedges,
+                c("hedge_wins_total"),
+                c("hedge_losses_total"),
+                c("hedge_fail_total"),
+                probes,
+                c("probe_success_total"),
+                c("probe_readmit_total"),
+                fastfails,
+            );
+        }
     }
     if let Some(path) = trace_out {
         if streamed {
@@ -1169,6 +1276,79 @@ mod tests {
             super::run(&argv("serve --testbed i --window-ms 5")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_rejects_malformed_fault_specs() {
+        // Every malformed --faults spec must surface as a typed usage
+        // error (exit 2 from main), never a panic or a silent default.
+        for spec in [
+            "kernel=potato",
+            "h2d=2.5",
+            "frobnicate=1",
+            "lost_after=-3",
+            "degrade=1:2",
+        ] {
+            let cmd = format!("serve --testbed i --faults {spec}");
+            match super::run(&argv(&cmd)) {
+                Err(CliError::Usage(msg)) => {
+                    assert!(msg.contains("--faults"), "`{spec}`: {msg}")
+                }
+                other => panic!("`{spec}` must be a usage error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serve_rejects_unknown_slo_kinds() {
+        for slo in ["bogus<=0.1", "deadline_miss<=nope", "deadline_miss"] {
+            let cmd = format!("serve --testbed i --watch --slo {slo}");
+            assert!(
+                matches!(super::run(&argv(&cmd)), Err(CliError::Usage(_))),
+                "`{slo}` must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_validates_straggler_defense_flags() {
+        for flags in [
+            "--hedge potato",
+            "--hedge -1",
+            "--hedge 0",
+            "--probation potato",
+            "--probation 5:0",
+            "--probation 5:x",
+            "--retry-budget potato",
+            "--retry-budget 8:0",
+            "--retry-budget 8:x",
+        ] {
+            let cmd = format!("serve --testbed i {flags}");
+            assert!(
+                matches!(super::run(&argv(&cmd)), Err(CliError::Usage(_))),
+                "`{flags}` must be a usage error"
+            );
+        }
+        // `off` always parses to disarmed (reaches the run itself, which
+        // succeeds on the standard trace).
+        let (h, p, b) = super::straggler_options(
+            &Args::parse(&argv("--hedge off --probation off --retry-budget off")).expect("parses"),
+            1,
+        )
+        .expect("off disarms");
+        assert!(h.is_none() && p.is_none() && b.is_none());
+        let (h, p, b) = super::straggler_options(
+            &Args::parse(&argv("--hedge 1.5 --probation 5:3 --retry-budget 8:2")).expect("parses"),
+            7,
+        )
+        .expect("parses armed");
+        assert_eq!(h.expect("hedge").multiplier, 1.5);
+        let p = p.expect("probation");
+        assert_eq!(p.successes, 3);
+        assert_eq!(p.seed, 7);
+        let b = b.expect("budget");
+        assert_eq!(b.tokens, 8.0);
+        assert_eq!(b.refill_per_sec, 2.0);
     }
 
     #[test]

@@ -144,6 +144,24 @@ impl Sim {
         self.now_ns += ns;
     }
 
+    /// Rewinds the idle virtual clock to `at_ns` and erases every trace
+    /// record past it — the cancellation primitive behind hedged
+    /// re-dispatch: a speculative attempt that lost its race is undone as
+    /// if the device had sat idle since `at_ns`. Requires an idle
+    /// simulator (engines only hold work inside [`Sim::run_to_idle`], so
+    /// any point between public calls qualifies) and `at_ns` at or before
+    /// the current time.
+    pub(crate) fn rewind_to(&mut self, at_ns: u64) {
+        debug_assert!(self.idle(), "rewind_to called with work in flight");
+        debug_assert!(
+            at_ns <= self.now_ns,
+            "rewind_to target {at_ns} is in the future of {}",
+            self.now_ns
+        );
+        self.now_ns = at_ns.min(self.now_ns);
+        self.trace.clamp_to(SimTime::from_nanos(self.now_ns));
+    }
+
     /// Aborts all queued and in-flight work (terminal device loss): stream
     /// and engine queues are dropped and active ops are cut short, their
     /// trace entries ending now. Afterwards the simulator is idle.
@@ -854,6 +872,42 @@ mod tests {
         assert!(sim.idle());
         assert!(sim.run_to_idle().is_empty());
         assert_eq!(sim.now().as_nanos(), 0);
+    }
+
+    #[test]
+    fn rewind_to_undoes_time_and_trace() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        sim.enqueue(s, copy_kind(1_000_000, true)); // ~1.001ms
+        sim.run_to_idle();
+        let mid = sim.now().as_nanos() / 2;
+        sim.enqueue(s, kernel_kind(1e-3));
+        sim.run_to_idle();
+        assert_eq!(sim.trace().len(), 2);
+        sim.rewind_to(mid);
+        assert_eq!(sim.now().as_nanos(), mid);
+        assert_eq!(sim.trace().len(), 1, "entries past the rewind are erased");
+        assert_eq!(
+            sim.trace().entries()[0].end.as_nanos(),
+            mid,
+            "the entry straddling the rewind point is clamped"
+        );
+        // The device resumes normal operation from the rewound instant.
+        sim.enqueue(s, kernel_kind(1e-3));
+        sim.run_to_idle();
+        assert_eq!(sim.now().as_nanos(), mid + 1_000_000);
+    }
+
+    #[test]
+    fn rewind_to_current_time_is_a_no_op() {
+        let mut sim = Sim::new(quiet_link(), NoiseSpec::NONE, 1);
+        let s = sim.create_stream();
+        sim.enqueue(s, kernel_kind(1e-3));
+        sim.run_to_idle();
+        let now = sim.now().as_nanos();
+        sim.rewind_to(now);
+        assert_eq!(sim.now().as_nanos(), now);
+        assert_eq!(sim.trace().len(), 1);
     }
 
     #[test]

@@ -140,6 +140,22 @@ impl Gpu {
         self.sim.advance_by(dt.as_nanos());
     }
 
+    /// Cancels everything the device did after `at`: rewinds the idle
+    /// virtual clock to `at` and erases trace entries past it (entries
+    /// straddling `at` are clamped to end there). This is the in-flight
+    /// cancellation primitive of hedged re-dispatch — the losing attempt
+    /// of a speculative race is undone, so its time is never charged.
+    ///
+    /// The device must be idle (between [`synchronize`](Gpu::synchronize)
+    /// calls) and `at` must not lie in the future; memory state (live
+    /// buffers) is untouched — callers free what the cancelled work
+    /// allocated. Only virtual time and the trace are rewound: in
+    /// [`ExecMode::Functional`] any data effects of already-synchronised
+    /// work remain applied.
+    pub fn cancel_to(&mut self, at: SimTime) {
+        self.sim.rewind_to(at.as_nanos());
+    }
+
     /// Rolls the fault dice for one enqueue site. On the device-lost
     /// transition all queued and in-flight work is aborted so the device
     /// drains cleanly for teardown.
@@ -959,6 +975,40 @@ mod tests {
         let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
         gpu.advance_clock(SimTime::from_secs_f64(1e-4));
         assert!((gpu.now().as_secs_f64() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancel_to_rewinds_clock_and_trace_and_leaves_device_usable() {
+        let mut gpu = Gpu::new(quiet(testbed_i()), ExecMode::TimingOnly, 1);
+        let s = gpu.create_stream();
+        let h = gpu.register_host_ghost(Dtype::F64, 1 << 20, true);
+        let d = gpu.alloc_device(Dtype::F64, 1 << 20).expect("alloc");
+        gpu.memcpy_h2d_async(s, CopyDesc::contiguous(h, d, 1 << 20))
+            .expect("h2d");
+        gpu.launch_kernel(
+            s,
+            KernelShape::Gemm {
+                dtype: Dtype::F64,
+                m: 512,
+                n: 512,
+                k: 512,
+            },
+            None,
+        )
+        .expect("launch");
+        let end = gpu.synchronize().expect("sync");
+        assert_eq!(gpu.trace().len(), 2);
+        let mid = SimTime::from_nanos(gpu.trace().entries()[0].end.as_nanos());
+        assert!(mid < end);
+        gpu.cancel_to(mid);
+        // The kernel (started at the copy's end) is erased; the copy stays.
+        assert_eq!(gpu.now(), mid);
+        assert_eq!(gpu.trace().len(), 1);
+        assert!(gpu.trace().entries()[0].end <= mid);
+        // The device is idle and usable: frees and new work succeed.
+        gpu.free_device(d).expect("free after cancel");
+        gpu.take_host(h).expect("take host after cancel");
+        assert_eq!(gpu.device_mem_used(), 0);
     }
 
     #[test]

@@ -156,6 +156,19 @@ impl Trace {
         self.entries.get_mut(idx)
     }
 
+    /// Discards every entry that starts at or after `at` and clamps the
+    /// end of entries still running at `at` — the trace-side half of a
+    /// clock rewind ([`Sim::rewind_to`](crate::engine::Sim)): after the
+    /// rewind, the trace reads as if nothing past `at` ever happened.
+    pub(crate) fn clamp_to(&mut self, at: SimTime) {
+        self.entries.retain(|e| e.start < at);
+        for e in &mut self.entries {
+            if e.end > at {
+                e.end = at;
+            }
+        }
+    }
+
     /// Total busy time per engine.
     pub fn engine_busy(&self, engine: EngineKind) -> SimTime {
         let ns = self

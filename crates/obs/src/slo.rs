@@ -47,6 +47,14 @@ pub mod names {
     pub const QUARANTINED: &str = "quarantined_devices";
     /// Gauge: mean absolute scheduling-prediction drift, seconds.
     pub const DRIFT: &str = "drift_secs";
+    /// Counter: hedged (speculative duplicate) attempts launched.
+    pub const HEDGES: &str = "hedge_attempts";
+    /// Counter: hedges that won their race against the primary attempt.
+    pub const HEDGE_WINS: &str = "hedge_wins";
+    /// Counter: canary probes run against quarantined devices.
+    pub const PROBES: &str = "probe_attempts";
+    /// Counter: requests fast-failed by an exhausted retry budget.
+    pub const BUDGET_FASTFAILS: &str = "budget_fastfails";
 }
 
 /// The objective kinds the engine understands.
@@ -66,6 +74,10 @@ pub enum SloKind {
     /// `requests_rejected / (requests_rejected + requests_finished) ≤
     /// limit` — the backpressure shed rate of an open-arrival run.
     RejectedRate,
+    /// `hedge_attempts / attempts ≤ limit` — the fraction of dispatch
+    /// attempts that needed a speculative duplicate; a rising rate means
+    /// predictions no longer bound the in-flight time of real attempts.
+    HedgeRate,
 }
 
 impl SloKind {
@@ -78,6 +90,7 @@ impl SloKind {
             SloKind::FaultRate => "fault_rate",
             SloKind::QuarantinedDevices => "quarantined",
             SloKind::RejectedRate => "rejected",
+            SloKind::HedgeRate => "hedge_rate",
         }
     }
 }
@@ -111,10 +124,11 @@ impl SloSpec {
             "fault_rate" => SloKind::FaultRate,
             "quarantined" => SloKind::QuarantinedDevices,
             "rejected" => SloKind::RejectedRate,
+            "hedge_rate" => SloKind::HedgeRate,
             other => {
                 return Err(format!(
                     "unknown SLO kind `{other}` (expected deadline_miss, flow_p95, \
-                     flow_p99, fault_rate, quarantined, or rejected)"
+                     flow_p99, fault_rate, quarantined, rejected, or hedge_rate)"
                 ))
             }
         };
@@ -165,6 +179,10 @@ impl SloSpec {
                 let rej = w.counter(names::REJECTED);
                 let offered = rej + w.counter(names::FINISHED);
                 (offered > 0).then(|| rej as f64 / offered as f64)
+            }
+            SloKind::HedgeRate => {
+                let att = w.counter(names::ATTEMPTS);
+                (att > 0).then(|| w.counter(names::HEDGES) as f64 / att as f64)
             }
         }
     }
@@ -379,6 +397,23 @@ mod tests {
         m.counter_add(names::FINISHED, 9);
         let w = m.peek(500);
         assert_eq!(spec.observe(&w), Some(0.25));
+        let mut engine = SloEngine::new(vec![spec]);
+        assert_eq!(engine.evaluate_partial(&w).len(), 1);
+    }
+
+    #[test]
+    fn hedge_rate_counts_hedges_over_attempts() {
+        let spec = SloSpec::parse_one("hedge_rate<=0.2").expect("parses");
+        assert_eq!(spec.kind, SloKind::HedgeRate);
+        // No attempts: no verdict.
+        let empty = WindowedMetrics::new(1000).peek(100);
+        assert!(spec.observe(&empty).is_none());
+        // 3 hedges over 10 attempts = 30% > 20% ceiling.
+        let mut m = WindowedMetrics::new(1000);
+        m.counter_add(names::ATTEMPTS, 10);
+        m.counter_add(names::HEDGES, 3);
+        let w = m.peek(500);
+        assert_eq!(spec.observe(&w), Some(0.3));
         let mut engine = SloEngine::new(vec![spec]);
         assert_eq!(engine.evaluate_partial(&w).len(), 1);
     }

@@ -13,6 +13,33 @@
 //! carry the same [`Span::flow`] id, so trace viewers draw an arrow from
 //! "waited here" to "ran there" — the queue-to-device hand-off the
 //! scheduling policies compete on.
+//!
+//! # Span-phase taxonomy
+//!
+//! | phase | glyph | kind | meaning |
+//! |---|---|---|---|
+//! | [`Submit`](SpanPhase::Submit) | `^` | instant | request entered the executor |
+//! | [`Queued`](SpanPhase::Queued) | `.` | interval | waiting for dispatch |
+//! | [`Dispatch`](SpanPhase::Dispatch) | `=` | interval | first execution attempt on a device |
+//! | [`H2d`](SpanPhase::H2d) | `>` | interval | operand uploads of one attempt (child) |
+//! | [`Exec`](SpanPhase::Exec) | `#` | interval | tile execution of one attempt (child) |
+//! | [`D2h`](SpanPhase::D2h) | `<` | interval | result downloads of one attempt (child) |
+//! | [`Retry`](SpanPhase::Retry) | `!` | interval | re-attempt after a fault |
+//! | [`Quarantine`](SpanPhase::Quarantine) | `Q` | instant | a device was quarantined |
+//! | [`HostFallback`](SpanPhase::HostFallback) | `H` | interval | completion on the host CPU |
+//! | [`Reject`](SpanPhase::Reject) | `X` | instant | shed by admission/backpressure |
+//! | [`Coalesce`](SpanPhase::Coalesce) | `&` | instant | merged onto an identical queued request |
+//! | [`Hedge`](SpanPhase::Hedge) | `~` | interval | speculative duplicate attempt on a peer device |
+//! | [`Probe`](SpanPhase::Probe) | `?` | interval | canary GEMM testing a quarantined device |
+//! | [`Cancel`](SpanPhase::Cancel) | `x` | instant | the losing side of a hedge race was undone |
+//! | [`Complete`](SpanPhase::Complete) | `*` | instant | terminal status reached |
+//!
+//! A `Hedge` span deliberately *overlaps* the `Dispatch`/`Retry` span it
+//! races (both run at once — that is the point), so hedges are excluded
+//! from the attempt non-overlap invariant and governed by invariant 6 of
+//! [`check_spans`] instead. `Probe` spans carry the sentinel request id
+//! `u64::MAX`: they belong to the executor's health machinery, not to any
+//! request.
 
 use cocopelia_gpusim::TraceEntry;
 use serde::Value;
@@ -49,6 +76,16 @@ pub enum SpanPhase {
     /// The request coalesced onto an identical queued request and will
     /// share its execution (instant; open-arrival serving).
     Coalesce,
+    /// A speculative duplicate of an in-flight attempt on another device,
+    /// racing the straggling primary (straggler defense). Overlaps the
+    /// `Dispatch`/`Retry` span it hedges by design.
+    Hedge,
+    /// A canary probe (tiny GEMM) testing whether a quarantined device
+    /// has healed; carries the sentinel request id `u64::MAX`.
+    Probe,
+    /// The losing side of a hedge race was cancelled and its virtual time
+    /// rewound (instant, placed at the end of the cancelled attempt).
+    Cancel,
     /// The request reached a terminal status (instant).
     Complete,
 }
@@ -68,6 +105,9 @@ impl SpanPhase {
             SpanPhase::HostFallback => "host-fallback",
             SpanPhase::Reject => "reject",
             SpanPhase::Coalesce => "coalesce",
+            SpanPhase::Hedge => "hedge",
+            SpanPhase::Probe => "probe",
+            SpanPhase::Cancel => "cancel",
             SpanPhase::Complete => "complete",
         }
     }
@@ -86,6 +126,9 @@ impl SpanPhase {
             SpanPhase::HostFallback => 'H',
             SpanPhase::Reject => 'X',
             SpanPhase::Coalesce => '&',
+            SpanPhase::Hedge => '~',
+            SpanPhase::Probe => '?',
+            SpanPhase::Cancel => 'x',
             SpanPhase::Complete => '*',
         }
     }
@@ -342,7 +385,14 @@ impl ServeTrace {
 /// 4. every parent reference resolves to a recorded span, and the child
 ///    lies within its parent's interval;
 /// 5. a flow id is shared by at least two spans — a dangling flow links
-///    nothing.
+///    nothing;
+/// 6. hedge/cancel consistency: every `Cancel` span is an *instant*
+///    placed exactly at the end of a same-request `Hedge`, `Dispatch`,
+///    or `Retry` span (a cancellation that cancels nothing is an orphan),
+///    and every `Hedge` span overlaps a same-request `Dispatch` or
+///    `Retry` span in time — a hedge that races nothing is a leak.
+///    `Hedge` spans are deliberately excluded from invariant 3: they
+///    overlap the attempt they race by design.
 ///
 /// # Errors
 ///
@@ -422,6 +472,60 @@ pub fn check_spans(spans: &[Span]) -> Result<(), Vec<String>> {
                 problems.push(format!(
                     "request {req}: re-issued attempt (span {id1}) starts at {s1} \
                      before the previous attempt (span {id0}) ends at {e0}"
+                ));
+            }
+        }
+    }
+    // Invariant 6: hedges race a live attempt; cancels land on the end of
+    // the span they cancel.
+    let mut hedges: HashMap<u64, Vec<&Span>> = HashMap::new();
+    let mut cancels: HashMap<u64, Vec<&Span>> = HashMap::new();
+    for s in spans {
+        match s.phase {
+            SpanPhase::Hedge => hedges.entry(s.request).or_default().push(s),
+            SpanPhase::Cancel => cancels.entry(s.request).or_default().push(s),
+            _ => {}
+        }
+    }
+    for (req, list) in &cancels {
+        for c in list {
+            if c.start_ns != c.end_ns {
+                problems.push(format!(
+                    "request {req}: cancel span {} is not an instant \
+                     ([{}, {}])",
+                    c.id.0, c.start_ns, c.end_ns
+                ));
+            }
+            let anchored = spans.iter().any(|s| {
+                s.request == *req
+                    && matches!(
+                        s.phase,
+                        SpanPhase::Hedge | SpanPhase::Dispatch | SpanPhase::Retry
+                    )
+                    && s.end_ns == c.start_ns
+            });
+            if !anchored {
+                problems.push(format!(
+                    "request {req}: cancel span {} at {} matches the end of \
+                     no hedge/dispatch/retry span of the request",
+                    c.id.0, c.start_ns
+                ));
+            }
+        }
+    }
+    for (req, list) in &hedges {
+        for h in list {
+            let races = spans.iter().any(|s| {
+                s.request == *req
+                    && matches!(s.phase, SpanPhase::Dispatch | SpanPhase::Retry)
+                    && s.start_ns < h.end_ns
+                    && h.start_ns < s.end_ns
+            });
+            if !races {
+                problems.push(format!(
+                    "request {req}: hedge span {} [{}, {}] overlaps no \
+                     dispatch/retry attempt of the request",
+                    h.id.0, h.start_ns, h.end_ns
                 ));
             }
         }
@@ -713,6 +817,114 @@ mod tests {
     }
 
     #[test]
+    fn hedge_race_with_anchored_cancel_passes() {
+        let mut log = SpanLog::new();
+        // Primary attempt on dev0, clamped to the hedge's win time; the
+        // hedge on dev1 starts mid-flight and finishes first.
+        log.record(
+            None,
+            7,
+            Some(0),
+            SpanPhase::Dispatch,
+            "attempt 0 (cancelled)",
+            100,
+            260,
+            None,
+        );
+        log.record(
+            None,
+            7,
+            Some(1),
+            SpanPhase::Hedge,
+            "hedge on dev1 (won)",
+            200,
+            260,
+            None,
+        );
+        log.record(
+            None,
+            7,
+            Some(0),
+            SpanPhase::Cancel,
+            "cancelled: hedge won",
+            260,
+            260,
+            None,
+        );
+        assert!(check_spans(log.spans()).is_ok());
+    }
+
+    #[test]
+    fn orphan_cancel_and_raceless_hedge_reported() {
+        let mut log = SpanLog::new();
+        log.record(
+            None,
+            8,
+            Some(0),
+            SpanPhase::Dispatch,
+            "attempt 0",
+            100,
+            200,
+            None,
+        );
+        // A hedge that only starts after the attempt is over races nothing.
+        log.record(None, 8, Some(1), SpanPhase::Hedge, "hedge", 200, 300, None);
+        // A cancel instant matching no span end is an orphan.
+        log.record(
+            None,
+            8,
+            Some(1),
+            SpanPhase::Cancel,
+            "cancel",
+            250,
+            250,
+            None,
+        );
+        let problems = check_spans(log.spans()).expect_err("invariant 6");
+        assert!(
+            problems.iter().any(|p| p.contains("overlaps no")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("matches the end of")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn non_instant_cancel_reported() {
+        let mut log = SpanLog::new();
+        log.record(
+            None,
+            4,
+            Some(0),
+            SpanPhase::Dispatch,
+            "attempt 0",
+            0,
+            100,
+            None,
+        );
+        let mut c = Span {
+            id: SpanId(99),
+            parent: None,
+            request: 4,
+            device: Some(0),
+            phase: SpanPhase::Cancel,
+            label: "cancel".into(),
+            start_ns: 50,
+            end_ns: 100,
+            flow: None,
+        };
+        let d = log.spans()[0].clone();
+        c.id = SpanId(1);
+        let problems = check_spans(&[d, c]).expect_err("stretched cancel");
+        assert!(
+            problems.iter().any(|p| p.contains("not an instant")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
     fn serve_trace_extent_and_request_lookup() {
         let mut log = SpanLog::new();
         log_request(&mut log, 0, 1, false);
@@ -748,6 +960,9 @@ mod tests {
             SpanPhase::HostFallback,
             SpanPhase::Reject,
             SpanPhase::Coalesce,
+            SpanPhase::Hedge,
+            SpanPhase::Probe,
+            SpanPhase::Cancel,
             SpanPhase::Complete,
         ];
         let names: std::collections::BTreeSet<&str> = phases.iter().map(|p| p.name()).collect();

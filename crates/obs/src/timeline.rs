@@ -10,9 +10,10 @@
 //! export ([`crate::perfetto`]) is viewer-native.
 //!
 //! Glyphs: h2d `>`, exec `#`, d2h `<`, retry `!`, quarantine `Q`, host
-//! fallback `H`, queued `.` (per [`SpanPhase::glyph`]). When several
-//! events land in one column the rarest wins (`Q` > `!` > engine work), so
-//! faults never vanish under bulk transfer glyphs.
+//! fallback `H`, queued `.`, hedge `~`, probe `?`, cancel `x` (per
+//! [`SpanPhase::glyph`]). When several events land in one column the
+//! rarest wins (`Q` > `!`/`?`/`x` > `H`/`~` > engine work), so faults
+//! never vanish under bulk transfer glyphs.
 
 use crate::span::{ServeTrace, SpanPhase};
 use cocopelia_gpusim::{EngineKind, SimTime};
@@ -40,8 +41,8 @@ impl Default for TimelineOptions {
 fn glyph_rank(g: char) -> u8 {
     match g {
         'Q' => 5,
-        '!' => 4,
-        'H' => 3,
+        '!' | '?' | 'x' => 4,
+        'H' | '~' => 3,
         '#' => 2,
         '>' | '<' => 1,
         '.' => 1,
@@ -84,6 +85,9 @@ fn colorize(row: &[char], color: bool) -> String {
             'Q' => out.push_str("\x1b[31mQ\x1b[0m"),
             '!' => out.push_str("\x1b[33m!\x1b[0m"),
             'H' => out.push_str("\x1b[35mH\x1b[0m"),
+            '~' => out.push_str("\x1b[36m~\x1b[0m"),
+            '?' => out.push_str("\x1b[32m?\x1b[0m"),
+            'x' => out.push_str("\x1b[34mx\x1b[0m"),
             other => out.push(other),
         }
     }
@@ -151,12 +155,17 @@ pub fn render(trace: &ServeTrace, opts: &TimelineOptions) -> String {
                 colorize(&row, opts.color)
             );
         }
-        // Events row: retries and quarantines attributed to this device.
+        // Events row: fault-tolerance and straggler-defense detours
+        // attributed to this device.
         let mut row = vec![' '; width];
         let mut any = false;
         for s in trace.spans.iter().filter(|s| s.device == Some(lane.device)) {
             match s.phase {
-                SpanPhase::Retry | SpanPhase::Quarantine => {
+                SpanPhase::Retry
+                | SpanPhase::Quarantine
+                | SpanPhase::Hedge
+                | SpanPhase::Probe
+                | SpanPhase::Cancel => {
                     paint(&mut row, extent, s.start_ns, s.end_ns, s.phase.glyph());
                     any = true;
                 }
@@ -184,7 +193,8 @@ pub fn render(trace: &ServeTrace, opts: &TimelineOptions) -> String {
 
     let _ = writeln!(
         out,
-        "legend: > h2d  # exec  < d2h  . queued  ! retry  Q quarantine  H host-fallback"
+        "legend: > h2d  # exec  < d2h  . queued  ! retry  Q quarantine  \
+         H host-fallback  ~ hedge  ? probe  x cancel"
     );
     out
 }
@@ -306,6 +316,74 @@ mod tests {
         let t = render(&sample_trace(), &opts);
         assert!(t.contains("\x1b[31mQ\x1b[0m"), "{t}");
         assert!(t.contains("\x1b[33m!\x1b[0m"), "{t}");
+    }
+
+    #[test]
+    fn straggler_glyphs_show_in_events_rows() {
+        let mut log = SpanLog::new();
+        log.record(
+            None,
+            0,
+            Some(0),
+            SpanPhase::Dispatch,
+            "attempt 0 (cancelled)",
+            0,
+            600,
+            None,
+        );
+        log.record(
+            None,
+            0,
+            Some(1),
+            SpanPhase::Hedge,
+            "hedge (won)",
+            400,
+            600,
+            None,
+        );
+        log.record(
+            None,
+            0,
+            Some(0),
+            SpanPhase::Cancel,
+            "cancelled",
+            600,
+            600,
+            None,
+        );
+        log.record(
+            None,
+            u64::MAX,
+            Some(0),
+            SpanPhase::Probe,
+            "probe ok",
+            700,
+            900,
+            None,
+        );
+        let trace = ServeTrace {
+            spans: log.into_spans(),
+            lanes: vec![
+                DeviceLane {
+                    device: 0,
+                    name: "dev0".into(),
+                    entries: vec![entry(EngineKind::Compute, 0, 600)],
+                },
+                DeviceLane {
+                    device: 1,
+                    name: "dev1".into(),
+                    entries: vec![entry(EngineKind::Compute, 400, 600)],
+                },
+            ],
+        };
+        let t = render(&trace, &TimelineOptions::default());
+        assert!(t.contains('~'), "hedge glyph missing:\n{t}");
+        assert!(t.contains('?'), "probe glyph missing:\n{t}");
+        let cancel_in_events = t
+            .lines()
+            .any(|l| l.trim_start().starts_with("events") && l.contains('x'));
+        assert!(cancel_in_events, "cancel glyph missing:\n{t}");
+        assert!(t.contains("~ hedge"), "legend missing hedge:\n{t}");
     }
 
     #[test]

@@ -96,6 +96,41 @@ impl MultiGpu {
         MultiGpu { devices }
     }
 
+    /// Like [`MultiGpu::with_faults`], but every device carries its *own*
+    /// fault plan (`plans[i]`, used verbatim — no per-device re-seeding),
+    /// so asymmetric scenarios — one straggling device behind a degraded
+    /// link while its peers stay healthy — are expressible. The pool size
+    /// is `plans.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty.
+    pub fn with_fault_plans(
+        testbed: &TestbedSpec,
+        mode: ExecMode,
+        seed: u64,
+        profile: SystemProfile,
+        plans: &[FaultSpec],
+    ) -> Self {
+        assert!(!plans.is_empty(), "need at least one device");
+        let devices = plans
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Cocopelia::new(
+                    Gpu::with_faults(
+                        testbed.clone(),
+                        mode,
+                        seed.wrapping_add(i as u64),
+                        spec.clone(),
+                    ),
+                    profile.clone(),
+                )
+            })
+            .collect();
+        MultiGpu { devices }
+    }
+
     /// Number of devices in the group.
     pub fn device_count(&self) -> usize {
         self.devices.len()

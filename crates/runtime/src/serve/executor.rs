@@ -4,7 +4,7 @@ use crate::ctx::{Cocopelia, RoutineReport};
 use crate::error::{FaultClass, RequestError, RequestId, RuntimeError};
 use crate::multigpu::MultiGpu;
 use crate::operand::{MatOperand, TileChoice, VecOperand};
-use crate::request::{MatArg, RoutineRequest, VecArg};
+use crate::request::{GemmRequest, MatArg, RoutineRequest, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
 use crate::serve::sched::SchedulePolicy;
 use crate::serve::session::ServeOptions;
@@ -61,6 +61,203 @@ impl Default for ExecutorConfig {
             host_gflops: 50.0,
         }
     }
+}
+
+/// Hedged re-dispatch configuration (see
+/// [`ServeOptions::hedge`](crate::serve::ServeOptions::hedge)).
+///
+/// When a dispatch attempt's virtual elapsed time exceeds its offload
+/// prediction (missing-operand upload plus
+/// [`SystemProfile::predict_offload`](cocopelia_core::SystemProfile::predict_offload))
+/// by an adaptive multiplier, the executor speculatively re-dispatches
+/// the same request to the best *other* healthy device, starting at the
+/// virtual instant the overrun threshold was crossed. First completion
+/// wins; the loser is cancelled ([`cocopelia_gpusim::Gpu::cancel_to`])
+/// and its buffers freed, so device time, flops, and uploads are counted
+/// exactly once. The multiplier adapts to the drift accountant's observed
+/// error distribution — see [`Executor::hedge_decision_for_bench`] for
+/// the exact decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Base overrun multiplier on the predicted attempt time before a
+    /// hedge fires; `1.5` hedges attempts running 50% past prediction.
+    /// Widened at runtime by the p95 observed prediction error (and
+    /// doubled while fewer than [`HEDGE_WARMUP`] drift records exist).
+    pub multiplier: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig { multiplier: 1.5 }
+    }
+}
+
+/// Drift records required before the adaptive hedge threshold trusts the
+/// observed error distribution; below this the base multiplier is doubled
+/// (cold start: hedging on a wild early estimate wastes a device).
+pub const HEDGE_WARMUP: usize = 8;
+
+/// Quarantine probation configuration (see
+/// [`ServeOptions::probation`](crate::serve::ServeOptions::probation)).
+///
+/// A quarantined device is not necessarily dead — a link
+/// [`DegradeWindow`](cocopelia_gpusim::DegradeWindow) ends, a fault storm
+/// passes. Probation schedules tiny canary GEMMs after a seeded backoff:
+/// enough consecutive successes re-admit the device (with a cold
+/// residency cache — quarantine invalidated it), each failure extends the
+/// backoff exponentially, and [`max_rounds`](ProbationConfig::max_rounds)
+/// failed rounds retire the device for good.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbationConfig {
+    /// Backoff before the first canary probe of a freshly quarantined
+    /// device; doubled per failed probe round.
+    pub backoff: SimTime,
+    /// Consecutive probe successes that re-admit the device.
+    pub successes: u32,
+    /// Failed probe rounds before the executor stops probing the device
+    /// (it stays quarantined for good).
+    pub max_rounds: u32,
+    /// Seed of the deterministic backoff jitter that de-synchronises
+    /// probes of devices quarantined at the same instant.
+    pub seed: u64,
+}
+
+impl Default for ProbationConfig {
+    fn default() -> Self {
+        ProbationConfig {
+            backoff: SimTime::from_secs_f64(5e-3),
+            successes: 2,
+            max_rounds: 6,
+            seed: 0,
+        }
+    }
+}
+
+/// Retry-budget / circuit-breaker configuration (see
+/// [`ServeOptions::retry_budget`](crate::serve::ServeOptions::retry_budget)).
+///
+/// Replaces unbounded per-request retry appetite with a *session-wide*
+/// token bucket: every executor-level retry spends a token (refilled at a
+/// rate in virtual time), and when the bucket runs dry the circuit
+/// breaker opens — further faults fail fast to host fallback instead of
+/// burning device time on a sustained fault storm. After the cooldown
+/// (or when a probation canary re-admits a device) the breaker half-opens
+/// and one trial retry decides: success closes it, another fault reopens
+/// it with a doubled cooldown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Token-bucket capacity: executor-level retries the session may
+    /// spend before the breaker opens.
+    pub tokens: f64,
+    /// Bucket refill rate in tokens per virtual second.
+    pub refill_per_sec: f64,
+    /// How long the breaker stays open after the bucket empties; doubles
+    /// every time a half-open trial faults again.
+    pub cooldown: SimTime,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            tokens: 8.0,
+            refill_per_sec: 2.0,
+            cooldown: SimTime::from_secs_f64(0.05),
+        }
+    }
+}
+
+/// Probation schedule of one quarantined device.
+#[derive(Debug, Clone, Copy)]
+struct DeviceProbe {
+    /// Raw virtual instant (device-clock axis) the next canary runs.
+    next_due_ns: u64,
+    /// Probe successes since the last failure.
+    consecutive_ok: u32,
+    /// Failed probe rounds so far (drives the exponential backoff).
+    round: u32,
+}
+
+/// Circuit-breaker state of the session retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Breaker {
+    /// Retries flow normally, spending tokens.
+    Closed,
+    /// The bucket emptied: retries fail fast to host fallback until the
+    /// cooldown expires.
+    Open {
+        /// Raw virtual instant the cooldown ends.
+        until_ns: u64,
+    },
+    /// The cooldown expired (or a probe re-admitted a device): the next
+    /// retry runs as a trial — success closes the breaker, another fault
+    /// reopens it with a doubled cooldown.
+    HalfOpen,
+}
+
+/// Live state of the session retry budget.
+#[derive(Debug, Clone, Copy)]
+struct BudgetState {
+    cfg: RetryBudgetConfig,
+    tokens: f64,
+    last_refill_ns: u64,
+    cooldown_ns: u64,
+    breaker: Breaker,
+}
+
+impl BudgetState {
+    fn new(cfg: RetryBudgetConfig) -> Self {
+        BudgetState {
+            cfg,
+            tokens: cfg.tokens.max(0.0),
+            last_refill_ns: 0,
+            cooldown_ns: cfg.cooldown.as_nanos().max(1),
+            breaker: Breaker::Closed,
+        }
+    }
+}
+
+/// SplitMix64 mix — the deterministic probe-backoff jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The canary probe request of quarantine probation: the smallest GEMM of
+/// the exec tables (256³ at a fixed 256 tile — one subkernel), on ghost
+/// operands so it touches no residency state.
+fn canary_request() -> RoutineRequest {
+    GemmRequest::<f64>::new(
+        MatOperand::HostGhost {
+            rows: 256,
+            cols: 256,
+        },
+        MatOperand::HostGhost {
+            rows: 256,
+            cols: 256,
+        },
+        MatOperand::HostGhost {
+            rows: 256,
+            cols: 256,
+        },
+    )
+    .tile(TileChoice::Fixed(256))
+    .into()
+}
+
+/// Result of the retroactive hedge race run after a successful primary
+/// attempt (see `Executor::maybe_hedge`).
+enum HedgeOutcome {
+    /// No hedge fired (disarmed, no estimate, no overrun, or no healthy
+    /// peer free early enough); the caller owns all span bookkeeping.
+    NotLaunched,
+    /// A hedge ran but lost or faulted; the primary result stands and the
+    /// attempt/hedge/cancel spans are already recorded.
+    PrimaryStands,
+    /// The hedge won: the primary was cancelled; the request completes
+    /// with this report, on this device, at this raw virtual instant.
+    Won(Box<RoutineReport>, usize, u64),
 }
 
 /// Terminal state of a served request.
@@ -432,6 +629,13 @@ pub struct Executor {
     quarantined: Vec<bool>,
     /// Consecutive faults per device; reset by any successful request.
     fault_streak: Vec<u32>,
+    /// Hedge-informed dispatch penalty, virtual seconds: a device whose
+    /// attempt overran its prediction carries the observed excess as
+    /// extra ready time, so dispatch stops feeding a straggler that a
+    /// winning hedge keeps rewinding to an attractive clock. Cleared by
+    /// any attempt that completes within its hedge threshold and on
+    /// quarantine/re-admission. Stays all-zero unless hedging is armed.
+    suspicion_secs: Vec<f64>,
     /// Request-lifecycle span collector, armed by
     /// [`enable_tracing`](Self::enable_tracing).
     tracer: Option<ServeTracer>,
@@ -472,6 +676,18 @@ pub struct Executor {
     backlog_secs: f64,
     /// Deepest queue observed during the current drain.
     peak_queue: usize,
+    /// Hedged re-dispatch of straggling attempts, armed by
+    /// [`ServeOptions::hedge`](crate::serve::ServeOptions::hedge).
+    hedge: Option<HedgeConfig>,
+    /// Quarantine probation (canary probes that re-admit healed devices),
+    /// armed by
+    /// [`ServeOptions::probation`](crate::serve::ServeOptions::probation).
+    probation: Option<ProbationConfig>,
+    /// Per-device probe schedule while quarantined under probation.
+    probes: Vec<Option<DeviceProbe>>,
+    /// Session retry token bucket and circuit breaker, armed by
+    /// [`ServeOptions::retry_budget`](crate::serve::ServeOptions::retry_budget).
+    budget: Option<BudgetState>,
 }
 
 /// A request coalesced onto a queued leader: it never executes itself,
@@ -520,6 +736,7 @@ impl Executor {
             next_id: 0,
             quarantined: vec![false; count],
             fault_streak: vec![0; count],
+            suspicion_secs: vec![0.0; count],
             tracer: None,
             trace_mark: vec![0; count],
             snapshot_every: None,
@@ -534,6 +751,10 @@ impl Executor {
             followers: HashMap::new(),
             backlog_secs: 0.0,
             peak_queue: 0,
+            hedge: None,
+            probation: None,
+            probes: vec![None; count],
+            budget: None,
         }
     }
 
@@ -570,6 +791,9 @@ impl Executor {
         exec.queue_cap = opts.queue_cap;
         exec.shed_flow_secs = opts.shed_flow_secs.filter(|s| *s > 0.0);
         exec.coalesce = opts.coalesce;
+        exec.hedge = opts.hedge.filter(|h| h.multiplier > 0.0);
+        exec.probation = opts.probation;
+        exec.budget = opts.retry_budget.map(BudgetState::new);
         Ok(exec)
     }
 
@@ -703,6 +927,18 @@ impl Executor {
             .collect()
     }
 
+    /// Operationally drains device `d`: quarantines it exactly as a fault
+    /// storm would (residency invalidated, allocations released, no new
+    /// work), without any fault having occurred. When probation is armed
+    /// ([`ProbationConfig`]) the device re-enters service automatically
+    /// once its canary probes pass — the maintenance-window workflow: pull
+    /// a device, let the prober re-admit it. Without probation the device
+    /// stays out until the session ends. Idempotent.
+    pub fn force_quarantine(&mut self, d: usize) {
+        assert!(d < self.quarantined.len(), "no such device: {d}");
+        self.quarantine(d);
+    }
+
     /// Submits a request, returning its id. Admission control runs here: a
     /// request whose worst-case footprint exceeds the configured fraction
     /// of device memory terminates immediately as
@@ -813,20 +1049,34 @@ impl Executor {
 
     /// The healthy device that pulls `req`: lowest estimated ready time —
     /// virtual clock plus the ideal h2d time of the shared operands the
-    /// device is missing — then lowest index. Residency affinity is thus
-    /// *bounded*: a device holding the operands is preferred only while
-    /// its clock lead over an idle peer stays below the re-upload cost, so
-    /// high-reuse traces still spread across the pool. Quarantined devices
+    /// device is missing, plus the hedge-informed straggler penalty —
+    /// then lowest index. Residency affinity is thus *bounded*: a device
+    /// holding the operands is preferred only while its clock lead over
+    /// an idle peer stays below the re-upload cost, so high-reuse traces
+    /// still spread across the pool. The straggler penalty matters when
+    /// hedging is armed: a winning hedge rewinds the cancelled primary's
+    /// clock, which would otherwise keep the degraded device looking
+    /// *idle* and attractive; carrying its observed overrun as extra
+    /// ready time steers work to healthy peers until the device
+    /// demonstrates an on-prediction attempt again. Quarantined devices
     /// never pull work; `None` means the whole pool is quarantined.
     fn choose_device(&self, req: &RoutineRequest) -> Option<usize> {
+        self.choose_device_excluding(req, usize::MAX)
+    }
+
+    /// [`choose_device`](Self::choose_device) with one device barred —
+    /// the hedge-target pick, which must race a *different* device than
+    /// the straggling primary attempt.
+    fn choose_device_excluding(&self, req: &RoutineRequest, skip: usize) -> Option<usize> {
         let mut best: Option<usize> = None;
         let mut best_cost = f64::INFINITY;
         for i in 0..self.pool.device_count() {
-            if self.quarantined[i] {
+            if i == skip || self.quarantined[i] {
                 continue;
             }
-            let cost =
-                self.pool.devices()[i].gpu().now().as_secs_f64() + self.upload_estimate(i, req);
+            let cost = self.pool.devices()[i].gpu().now().as_secs_f64()
+                + self.upload_estimate(i, req)
+                + self.suspicion_secs[i];
             if cost < best_cost {
                 best = Some(i);
                 best_cost = cost;
@@ -924,6 +1174,7 @@ impl Executor {
         loop {
             let now_ns = self.elapsed_since(start).as_nanos();
             self.admit_due(now_ns, start);
+            self.run_due_probes();
             if let Some((id, req, preferred)) = self.next_dispatch() {
                 let arrival_ns = self.arrival_offset.get(&id.0).copied().unwrap_or(0);
                 if self.coalesce {
@@ -1366,14 +1617,27 @@ impl Executor {
         // is recorded once, at the first attempt's start.
         let mut not_before_ns: u64 = 0;
         let mut queued_recorded = false;
+        // Armed when the retry budget's circuit breaker denies a retry:
+        // the request skips further device picks and fails fast to host.
+        let mut budget_fastfail = false;
         let result = loop {
             // The policy's pick applies to the first attempt only; a retry
             // after a fault re-chooses among the devices still healthy.
-            let pick = preferred
-                .take()
-                .filter(|&p| !self.quarantined[p])
-                .or_else(|| self.choose_device(&req));
+            let pick = if budget_fastfail {
+                None
+            } else {
+                preferred
+                    .take()
+                    .filter(|&p| !self.quarantined[p])
+                    .or_else(|| self.choose_device(&req))
+            };
             let Some(d) = pick else {
+                // Probation may heal the pool before we give up on
+                // devices entirely: jump virtual time to the probe
+                // schedule and re-pick if a canary re-admits a device.
+                if !budget_fastfail && self.try_heal_pool() {
+                    continue;
+                }
                 // Graceful degradation: the whole pool is quarantined, so
                 // the request completes on the host instead of failing.
                 host_fallback = true;
@@ -1444,20 +1708,46 @@ impl Executor {
             match self.execute_once(d, req.clone()) {
                 Ok(report) => {
                     self.fault_streak[d] = 0;
+                    self.budget_note_success();
                     let clock_after = self.pool.devices()[d].gpu().now();
-                    if let Some(t) = self.tracer.as_mut() {
-                        t.attempt(
-                            id.0,
-                            d,
-                            attempt_no,
-                            clock_before.as_nanos(),
-                            clock_after.as_nanos(),
-                            self.pool.devices()[d]
-                                .gpu()
-                                .trace()
-                                .entries_since(len_before),
-                            None,
-                        );
+                    // Straggler defense: a successful attempt that overran
+                    // its prediction far enough races a speculative hedge
+                    // on the best other healthy device. The race resolves
+                    // retroactively in virtual time, so replay is
+                    // bit-identical; a winning hedge cancels this attempt
+                    // and completes the request itself.
+                    let hedged = self.maybe_hedge(
+                        id,
+                        &req,
+                        d,
+                        attempt_no,
+                        clock_before,
+                        clock_after,
+                        len_before,
+                        &pre_dev,
+                        &pre_host,
+                        estimate.as_ref(),
+                    );
+                    if let HedgeOutcome::Won(hreport, hdev, hend_ns) = hedged {
+                        device = Some(hdev);
+                        not_before_ns = hend_ns;
+                        break Ok(*hreport);
+                    }
+                    if matches!(hedged, HedgeOutcome::NotLaunched) {
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.attempt(
+                                id.0,
+                                d,
+                                attempt_no,
+                                clock_before.as_nanos(),
+                                clock_after.as_nanos(),
+                                self.pool.devices()[d]
+                                    .gpu()
+                                    .trace()
+                                    .entries_since(len_before),
+                                None,
+                            );
+                        }
                     }
                     not_before_ns = clock_after.as_nanos();
                     if let Some((pred, upload)) = estimate {
@@ -1548,6 +1838,14 @@ impl Executor {
                         // Programming errors never improve on retry.
                         self.release_leaked(d, &pre_dev, &pre_host);
                         break Err(e);
+                    }
+                    if !self.budget_allow_retry(clock_after.as_nanos()) {
+                        // The session retry budget ran dry (or its
+                        // breaker is open): fail fast to host fallback
+                        // instead of burning more device time on a
+                        // sustained fault storm.
+                        budget_fastfail = true;
+                        continue;
                     }
                     retries += 1;
                     self.metrics.counter_add("retry_attempts_total", 1);
@@ -1755,6 +2053,7 @@ impl Executor {
             return;
         }
         self.quarantined[d] = true;
+        self.suspicion_secs[d] = 0.0;
         self.metrics.counter_add("quarantine_devices_total", 1);
         let evicted = self.residency[d].clear();
         self.metrics
@@ -1770,6 +2069,607 @@ impl Executor {
         for h in dev.gpu().live_host_buffers() {
             let _ = dev.gpu_mut().take_host(h);
         }
+        self.schedule_probe(d);
+    }
+
+    /// The adaptive hedge threshold multiplier: the configured base
+    /// widened by the 95th percentile of the drift accountant's observed
+    /// absolute relative error, so a model that routinely misses by 40%
+    /// does not trigger hedges on ordinary 40% overruns. With fewer than
+    /// [`HEDGE_WARMUP`] drift records the base is doubled instead (cold
+    /// start: trust nothing, hedge only on gross overruns).
+    fn hedge_multiplier(&self, cfg: HedgeConfig) -> f64 {
+        let recs = self.drift.records();
+        if recs.len() < HEDGE_WARMUP {
+            return cfg.multiplier * 2.0;
+        }
+        let mut errs: Vec<f64> = recs.iter().map(DriftRecord::abs_rel_err).collect();
+        errs.sort_by(f64::total_cmp);
+        let p95 = errs[(errs.len() - 1) * 95 / 100];
+        cfg.multiplier * (1.0 + p95)
+    }
+
+    /// The retroactive hedge race after a successful primary attempt on
+    /// device `d`. When the attempt's elapsed exceeded the adaptive
+    /// overrun threshold, the same request is speculatively re-executed
+    /// on the best other healthy device, starting at the virtual instant
+    /// the overrun was detected (or the peer's own clock if later).
+    /// Whichever attempt finishes first in virtual time wins; the loser
+    /// is cancelled ([`cocopelia_gpusim::Gpu::cancel_to`]) and rolled
+    /// back, so device time, flops, and residency effects are charged
+    /// exactly once. A hedge that *faults* gets the ordinary fault
+    /// bookkeeping on its device (streak, quarantine, leak release) while
+    /// the primary's result stands.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_hedge(
+        &mut self,
+        id: RequestId,
+        req: &RoutineRequest,
+        d: usize,
+        attempt_no: u32,
+        clock_before: SimTime,
+        clock_after: SimTime,
+        len_before: usize,
+        pre_dev: &BTreeSet<DevBufId>,
+        pre_host: &BTreeSet<HostBufId>,
+        estimate: Option<&(Prediction, f64)>,
+    ) -> HedgeOutcome {
+        let Some(cfg) = self.hedge else {
+            return HedgeOutcome::NotLaunched;
+        };
+        let Some((pred, upload)) = estimate else {
+            // No offload estimate (e.g. an undeployed profile): there is
+            // no prediction to overrun, so hedging never fires.
+            return HedgeOutcome::NotLaunched;
+        };
+        let predicted = upload + pred.total;
+        let threshold_ns = (predicted * self.hedge_multiplier(cfg) * 1e9) as u64;
+        let elapsed_ns = clock_after
+            .as_nanos()
+            .saturating_sub(clock_before.as_nanos());
+        if threshold_ns == 0 || elapsed_ns <= threshold_ns {
+            // On-prediction attempt: the device is demonstrably healthy,
+            // so any straggler penalty it carried is lifted.
+            self.suspicion_secs[d] = 0.0;
+            return HedgeOutcome::NotLaunched;
+        }
+        // Overrun detected — whether or not a hedge can launch, the
+        // device's observed excess becomes its dispatch penalty
+        // (`choose_device_excluding`), so later requests prefer peers
+        // even after a winning hedge rewinds this device's clock.
+        self.suspicion_secs[d] = SimTime::from_nanos(elapsed_ns).as_secs_f64() - predicted;
+        let Some(b) = self.choose_device_excluding(req, d) else {
+            return HedgeOutcome::NotLaunched;
+        };
+        // The hedge starts when the overrun was detected — the primary's
+        // clock crossing the threshold — or at the hedge device's own
+        // clock if that is later (it may be busy with earlier work).
+        let trigger_ns = clock_before.as_nanos() + threshold_ns;
+        let b_now_ns = self.pool.devices()[b].gpu().now().as_nanos();
+        let b_start_ns = b_now_ns.max(trigger_ns);
+        if b_start_ns >= clock_after.as_nanos() {
+            // The hedge could not have started before the primary
+            // finished; there is nothing to race.
+            return HedgeOutcome::NotLaunched;
+        }
+        // Snapshot the hedge device so a losing hedge rolls back
+        // precisely: newly-cached operands evicted and freed, leaked
+        // buffers released, everything predating the hedge untouched.
+        let pre_dev_b: BTreeSet<DevBufId> = self.pool.devices()[b]
+            .gpu()
+            .live_device_buffers()
+            .into_iter()
+            .collect();
+        let pre_host_b: BTreeSet<HostBufId> = self.pool.devices()[b]
+            .gpu()
+            .live_host_buffers()
+            .into_iter()
+            .collect();
+        let behind = b_start_ns.saturating_sub(b_now_ns);
+        if behind > 0 {
+            self.pool
+                .device_mut(b)
+                .gpu_mut()
+                .advance_clock(SimTime::from_nanos(behind));
+        }
+        let len_b_before = self.pool.devices()[b].gpu().trace().len();
+        let estimate_b = self
+            .offload_estimate(b, req)
+            .map(|p| (p, self.upload_estimate(b, req)));
+        self.metrics.counter_add("hedge_attempts_total", 1);
+        match self.execute_once(b, req.clone()) {
+            Ok(hreport) => {
+                let b_after_ns = self.pool.devices()[b].gpu().now().as_nanos();
+                if b_after_ns < clock_after.as_nanos() {
+                    // The hedge won: cancel the primary at the instant
+                    // the hedge completed and roll its work back.
+                    self.pool
+                        .device_mut(d)
+                        .gpu_mut()
+                        .cancel_to(SimTime::from_nanos(b_after_ns));
+                    self.rollback_cancelled(d, req, pre_dev, pre_host);
+                    self.fault_streak[b] = 0;
+                    self.suspicion_secs[b] = 0.0;
+                    self.metrics.counter_add("hedge_wins_total", 1);
+                    self.metrics.counter_add("hedge_cancel_total", 1);
+                    if self.tracer.is_some() {
+                        let entries_d = self.pool.devices()[d]
+                            .gpu()
+                            .trace()
+                            .entries_since(len_before)
+                            .to_vec();
+                        let entries_b = self.pool.devices()[b]
+                            .gpu()
+                            .trace()
+                            .entries_since(len_b_before)
+                            .to_vec();
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.attempt(
+                                id.0,
+                                d,
+                                attempt_no,
+                                clock_before.as_nanos(),
+                                b_after_ns,
+                                &entries_d,
+                                Some("cancelled: hedge won"),
+                            );
+                            t.cancel(
+                                id.0,
+                                d,
+                                b_after_ns,
+                                &format!("cancelled by hedge on dev{b}"),
+                            );
+                            t.hedge(
+                                id.0,
+                                b,
+                                b_start_ns,
+                                b_after_ns,
+                                &entries_b,
+                                &format!("hedge on dev{b} (won)"),
+                            );
+                        }
+                    }
+                    // The surviving attempt carries the drift record: the
+                    // hedge device's own prediction against what its run
+                    // actually took (the cancelled primary's timing was
+                    // erased, so recording it would poison the model).
+                    if let Some((hpred, hupload)) = estimate_b {
+                        let actual = SimTime::from_nanos(b_after_ns.saturating_sub(b_start_ns))
+                            .as_secs_f64();
+                        let rec = DriftRecord {
+                            routine: req.routine(),
+                            call: id.0,
+                            model: hpred.model,
+                            tile: hpred.tile,
+                            predicted_secs: hupload + hpred.total,
+                            actual_secs: actual,
+                        };
+                        let err = rec.abs_rel_err();
+                        self.metrics.histogram_observe(
+                            "sched_predict_abs_err",
+                            &ABS_ERROR_BOUNDS,
+                            err,
+                        );
+                        self.metrics.histogram_observe(
+                            &format!("sched_predict_abs_err_{}", self.policy.name()),
+                            &ABS_ERROR_BOUNDS,
+                            err,
+                        );
+                        self.drift.record(rec);
+                    }
+                    HedgeOutcome::Won(Box::new(hreport), b, b_after_ns)
+                } else {
+                    // The hedge lost: cancel it at the instant the
+                    // primary finished. Its partial work is erased and
+                    // rolled back; the time it burned until the
+                    // cancellation stays charged to the hedge device.
+                    self.pool.device_mut(b).gpu_mut().cancel_to(clock_after);
+                    self.rollback_cancelled(b, req, &pre_dev_b, &pre_host_b);
+                    self.metrics.counter_add("hedge_losses_total", 1);
+                    self.metrics.counter_add("hedge_cancel_total", 1);
+                    if self.tracer.is_some() {
+                        let entries_d = self.pool.devices()[d]
+                            .gpu()
+                            .trace()
+                            .entries_since(len_before)
+                            .to_vec();
+                        let entries_b = self.pool.devices()[b]
+                            .gpu()
+                            .trace()
+                            .entries_since(len_b_before)
+                            .to_vec();
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.attempt(
+                                id.0,
+                                d,
+                                attempt_no,
+                                clock_before.as_nanos(),
+                                clock_after.as_nanos(),
+                                &entries_d,
+                                None,
+                            );
+                            t.hedge(
+                                id.0,
+                                b,
+                                b_start_ns,
+                                clock_after.as_nanos(),
+                                &entries_b,
+                                &format!("hedge on dev{b} (lost)"),
+                            );
+                            t.cancel(id.0, b, clock_after.as_nanos(), "hedge lost");
+                        }
+                    }
+                    HedgeOutcome::PrimaryStands
+                }
+            }
+            Err(e) => {
+                // The hedge faulted: the primary's result stands; the
+                // hedge device gets ordinary fault bookkeeping — under a
+                // compound failure (device lost mid-hedge) it is
+                // quarantined and scrubbed, so nothing leaks.
+                let b_after_ns = self.pool.devices()[b].gpu().now().as_nanos();
+                let name = match e.fault_class() {
+                    FaultClass::Transient => "fault_transient_total",
+                    FaultClass::Degraded => "fault_degraded_total",
+                    FaultClass::Fatal => "fault_fatal_total",
+                };
+                self.metrics.counter_add(name, 1);
+                self.metrics.counter_add("hedge_fail_total", 1);
+                if self.tracer.is_some() {
+                    let entries_d = self.pool.devices()[d]
+                        .gpu()
+                        .trace()
+                        .entries_since(len_before)
+                        .to_vec();
+                    let entries_b = self.pool.devices()[b]
+                        .gpu()
+                        .trace()
+                        .entries_since(len_b_before)
+                        .to_vec();
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.attempt(
+                            id.0,
+                            d,
+                            attempt_no,
+                            clock_before.as_nanos(),
+                            clock_after.as_nanos(),
+                            &entries_d,
+                            None,
+                        );
+                        t.hedge(
+                            id.0,
+                            b,
+                            b_start_ns,
+                            b_after_ns,
+                            &entries_b,
+                            &format!("hedge on dev{b}: {e}"),
+                        );
+                    }
+                }
+                if matches!(e, RuntimeError::Sim(SimError::DeviceLost)) {
+                    self.quarantine(b);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.quarantine(id.0, b, b_after_ns);
+                    }
+                } else if e.fault_class().retryable() {
+                    self.fault_streak[b] += 1;
+                    if self.fault_streak[b] >= self.cfg.quarantine_after {
+                        self.quarantine(b);
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.quarantine(id.0, b, b_after_ns);
+                        }
+                    } else {
+                        self.release_leaked(b, &pre_dev_b, &pre_host_b);
+                    }
+                } else {
+                    self.release_leaked(b, &pre_dev_b, &pre_host_b);
+                }
+                HedgeOutcome::PrimaryStands
+            }
+        }
+    }
+
+    /// Rolls back the cancelled side of a hedge race on device `dev`:
+    /// shared operands the attempt *newly* inserted into the residency
+    /// cache (their buffers were not alive before the attempt) are
+    /// removed and freed, then every remaining buffer the attempt
+    /// allocated is released. Entries resident before the attempt — and
+    /// the cache hits they served — survive untouched.
+    fn rollback_cancelled(
+        &mut self,
+        dev: usize,
+        req: &RoutineRequest,
+        pre_dev: &BTreeSet<DevBufId>,
+        pre_host: &BTreeSet<HostBufId>,
+    ) {
+        let mut rolled_back_bytes = 0u64;
+        for key in req.shared_keys() {
+            let fresh = self.residency[dev]
+                .buffer_of(key)
+                .is_some_and(|b| !pre_dev.contains(&b));
+            if fresh {
+                if let Some(e) = self.residency[dev].remove(key) {
+                    rolled_back_bytes += e.bytes as u64;
+                    free_resident(self.pool.device_mut(dev), e.handle);
+                }
+            }
+        }
+        // `residency_bytes_uploaded` already counted the cancelled
+        // attempt's uploads; this correction term keeps "bytes usefully
+        // uploaded" computable without a decrementable counter.
+        if rolled_back_bytes > 0 {
+            self.metrics
+                .counter_add("hedge_cancelled_bytes", rolled_back_bytes);
+        }
+        self.release_leaked(dev, pre_dev, pre_host);
+    }
+
+    /// Schedules the first canary probe of a freshly quarantined device,
+    /// one backoff (plus deterministic jitter) past its current clock.
+    /// No-op unless probation is armed.
+    fn schedule_probe(&mut self, d: usize) {
+        let Some(cfg) = self.probation else {
+            return;
+        };
+        if self.probes[d].is_some() {
+            return;
+        }
+        let now_ns = self.pool.devices()[d].gpu().now().as_nanos();
+        let jitter =
+            splitmix64(cfg.seed ^ ((d as u64) << 32)) % (cfg.backoff.as_nanos() / 4).max(1);
+        self.probes[d] = Some(DeviceProbe {
+            next_due_ns: now_ns + cfg.backoff.as_nanos().max(1) + jitter,
+            consecutive_ok: 0,
+            round: 0,
+        });
+    }
+
+    /// Runs every canary probe that has come due on the pool's virtual
+    /// clock (the furthest-ahead device). Probes advance only the
+    /// quarantined device's own clock, so a healthy pool never waits on
+    /// them. No-op unless probation is armed.
+    fn run_due_probes(&mut self) {
+        if self.probation.is_none() {
+            return;
+        }
+        let pool_now = self
+            .pool
+            .devices()
+            .iter()
+            .map(|d| d.gpu().now().as_nanos())
+            .max()
+            .unwrap_or(0);
+        for d in 0..self.pool.device_count() {
+            if self.probes[d].is_some_and(|p| p.next_due_ns <= pool_now) {
+                self.run_probe(d);
+            }
+        }
+    }
+
+    /// Jumps virtual time to the probation schedule when no healthy
+    /// device remains: runs probes in due order until one re-admits a
+    /// device (`true`) or every probationary device gives up (`false`).
+    /// Bounded: each failed round extends the backoff and
+    /// [`ProbationConfig::max_rounds`] retires the probe entirely.
+    fn try_heal_pool(&mut self) -> bool {
+        if self.probation.is_none() {
+            return false;
+        }
+        loop {
+            let next = (0..self.pool.device_count())
+                .filter_map(|i| self.probes[i].map(|p| (p.next_due_ns, i)))
+                .min();
+            let Some((_, d)) = next else {
+                return false;
+            };
+            self.run_probe(d);
+            if !self.quarantined[d] {
+                return true;
+            }
+        }
+    }
+
+    /// One canary probe of quarantined device `d`: a tiny ghost GEMM from
+    /// the exec tables, run at the scheduled instant (the device clock is
+    /// lifted to it). Enough consecutive successes re-admit the device
+    /// with a cold residency cache; a failure resets the streak and
+    /// extends the backoff exponentially (with deterministic jitter)
+    /// until [`ProbationConfig::max_rounds`] gives the device up.
+    fn run_probe(&mut self, d: usize) {
+        let Some(cfg) = self.probation else {
+            return;
+        };
+        let Some(mut p) = self.probes[d].take() else {
+            return;
+        };
+        if !self.quarantined[d] {
+            return;
+        }
+        let now_ns = self.pool.devices()[d].gpu().now().as_nanos();
+        let behind = p.next_due_ns.saturating_sub(now_ns);
+        if behind > 0 {
+            self.pool
+                .device_mut(d)
+                .gpu_mut()
+                .advance_clock(SimTime::from_nanos(behind));
+        }
+        let pre_dev: BTreeSet<DevBufId> = self.pool.devices()[d]
+            .gpu()
+            .live_device_buffers()
+            .into_iter()
+            .collect();
+        let pre_host: BTreeSet<HostBufId> = self.pool.devices()[d]
+            .gpu()
+            .live_host_buffers()
+            .into_iter()
+            .collect();
+        let before_ns = self.pool.devices()[d].gpu().now().as_nanos();
+        self.metrics.counter_add("probe_attempts_total", 1);
+        let goal = cfg.successes.max(1);
+        match self.execute_once(d, canary_request()) {
+            Ok(_) => {
+                let after_ns = self.pool.devices()[d].gpu().now().as_nanos();
+                self.metrics.counter_add("probe_success_total", 1);
+                p.consecutive_ok += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.probe(
+                        d,
+                        before_ns,
+                        after_ns,
+                        &format!("probe ok ({}/{goal})", p.consecutive_ok),
+                    );
+                }
+                if p.consecutive_ok >= goal {
+                    self.readmit(d);
+                } else {
+                    // The device looks healthy — confirm soon, after a
+                    // plain (un-doubled) backoff.
+                    p.next_due_ns = after_ns + cfg.backoff.as_nanos().max(1);
+                    self.probes[d] = Some(p);
+                }
+            }
+            Err(e) => {
+                let after_ns = self.pool.devices()[d].gpu().now().as_nanos();
+                self.metrics.counter_add("probe_fail_total", 1);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.probe(d, before_ns, after_ns, &format!("probe fault: {e}"));
+                }
+                self.release_leaked(d, &pre_dev, &pre_host);
+                p.consecutive_ok = 0;
+                p.round += 1;
+                if p.round >= cfg.max_rounds.max(1) {
+                    self.metrics.counter_add("probe_giveup_total", 1);
+                } else {
+                    let backoff = cfg.backoff.as_nanos().max(1) << p.round.min(20);
+                    let jitter = splitmix64(cfg.seed ^ ((d as u64) << 32) ^ u64::from(p.round))
+                        % (cfg.backoff.as_nanos() / 4).max(1);
+                    p.next_due_ns = after_ns + backoff + jitter;
+                    self.probes[d] = Some(p);
+                }
+            }
+        }
+    }
+
+    /// Re-admits a healed device: it pulls work again, with a cold
+    /// residency cache (quarantine cleared it) and a clean fault streak.
+    /// An open retry-budget breaker moves to half-open — the canary that
+    /// healed the pool is evidence the fault storm passed.
+    fn readmit(&mut self, d: usize) {
+        self.quarantined[d] = false;
+        self.fault_streak[d] = 0;
+        self.suspicion_secs[d] = 0.0;
+        self.metrics.counter_add("probe_readmit_total", 1);
+        if let Some(bs) = self.budget.as_mut() {
+            if matches!(bs.breaker, Breaker::Open { .. }) {
+                bs.breaker = Breaker::HalfOpen;
+                self.metrics.counter_add("budget_halfopen_total", 1);
+            }
+        }
+    }
+
+    /// Whether the session retry budget allows another executor-level
+    /// retry at raw virtual instant `now_ns`. Closed: refill (in virtual
+    /// time) then spend one token, or open the breaker when the bucket is
+    /// dry. Open: fail fast until the cooldown expires, then half-open
+    /// and allow one trial. Half-open reached *here* means the previous
+    /// trial faulted again (only faults ask for retries), so the breaker
+    /// reopens with a doubled cooldown. Always true with no budget armed.
+    fn budget_allow_retry(&mut self, now_ns: u64) -> bool {
+        let Some(bs) = self.budget.as_mut() else {
+            return true;
+        };
+        match bs.breaker {
+            Breaker::Closed => {
+                let dt = now_ns.saturating_sub(bs.last_refill_ns) as f64 / 1e9;
+                bs.tokens = (bs.tokens + dt * bs.cfg.refill_per_sec).min(bs.cfg.tokens.max(0.0));
+                bs.last_refill_ns = now_ns;
+                if bs.tokens >= 1.0 {
+                    bs.tokens -= 1.0;
+                    self.metrics.counter_add("budget_spent_total", 1);
+                    true
+                } else {
+                    bs.breaker = Breaker::Open {
+                        until_ns: now_ns + bs.cooldown_ns,
+                    };
+                    self.metrics.counter_add("budget_exhausted_total", 1);
+                    self.metrics.counter_add("budget_fastfail_total", 1);
+                    false
+                }
+            }
+            Breaker::Open { until_ns } if now_ns < until_ns => {
+                self.metrics.counter_add("budget_fastfail_total", 1);
+                false
+            }
+            Breaker::Open { .. } => {
+                bs.breaker = Breaker::HalfOpen;
+                self.metrics.counter_add("budget_halfopen_total", 1);
+                true
+            }
+            Breaker::HalfOpen => {
+                bs.cooldown_ns = bs.cooldown_ns.saturating_mul(2);
+                bs.breaker = Breaker::Open {
+                    until_ns: now_ns + bs.cooldown_ns,
+                };
+                self.metrics.counter_add("budget_fastfail_total", 1);
+                false
+            }
+        }
+    }
+
+    /// Notes a successful device attempt for the circuit breaker: a
+    /// success while half-open closes the breaker, refills the bucket,
+    /// and resets the cooldown to its configured base.
+    fn budget_note_success(&mut self) {
+        if let Some(bs) = self.budget.as_mut() {
+            if bs.breaker == Breaker::HalfOpen {
+                bs.breaker = Breaker::Closed;
+                bs.tokens = bs.cfg.tokens.max(0.0);
+                bs.cooldown_ns = bs.cfg.cooldown.as_nanos().max(1);
+                self.metrics.counter_add("budget_close_total", 1);
+            }
+        }
+    }
+
+    /// Devices currently on probation (a canary probe is scheduled), in
+    /// index order.
+    pub fn probation_pending(&self) -> Vec<usize> {
+        (0..self.pool.device_count())
+            .filter(|&i| self.probes[i].is_some())
+            .collect()
+    }
+
+    /// The hedge-overrun decision for one attempt, exposed for the
+    /// microbenchmark harness: would an attempt predicted at
+    /// `predicted_secs` that actually advanced the clock by `elapsed_ns`
+    /// trigger a hedge? This is the per-dispatch hot-path check (always
+    /// false with hedging disarmed).
+    #[doc(hidden)]
+    pub fn hedge_decision_for_bench(&self, predicted_secs: f64, elapsed_ns: u64) -> bool {
+        let Some(cfg) = self.hedge else {
+            return false;
+        };
+        let threshold_ns = (predicted_secs * self.hedge_multiplier(cfg) * 1e9) as u64;
+        threshold_ns > 0 && elapsed_ns > threshold_ns
+    }
+
+    /// The probe-scheduling scan (earliest due probe, as `(due_ns,
+    /// device)`), exposed for the microbenchmark harness.
+    #[doc(hidden)]
+    pub fn next_probe_for_bench(&self) -> Option<(u64, usize)> {
+        (0..self.pool.device_count())
+            .filter_map(|i| self.probes[i].map(|p| (p.next_due_ns, i)))
+            .min()
+    }
+
+    /// Seeds a probe schedule directly, for the microbenchmark harness.
+    #[doc(hidden)]
+    pub fn seed_probe_for_bench(&mut self, d: usize, due_ns: u64) {
+        self.quarantined[d] = true;
+        self.probes[d] = Some(DeviceProbe {
+            next_due_ns: due_ns,
+            consecutive_ok: 0,
+            round: 0,
+        });
     }
 
     /// Completes a request on the host at the configured

@@ -38,6 +38,13 @@
 //! queue-depth, occupancy, and `fault_*`/`retry_*`/`quarantine_*` metrics
 //! flow through a [`cocopelia_obs::Registry`].
 //!
+//! On top of that baseline sits the straggler-defense and self-healing
+//! tier, armed per session: hedged re-dispatch races a slow attempt
+//! against a healthy peer and cancels the loser ([`HedgeConfig`]),
+//! quarantine probation re-admits devices that pass canary probes
+//! ([`ProbationConfig`]), and a retry token bucket with a circuit breaker
+//! fails fast to host during fault storms ([`RetryBudgetConfig`]).
+//!
 //! Shared operands carry no host data (they are ghost uploads), so the
 //! serving layer is a *timing* harness: drive it with pools built in
 //! [`ExecMode::TimingOnly`](cocopelia_gpusim::ExecMode).
@@ -52,7 +59,8 @@ mod telemetry;
 mod trace;
 
 pub use executor::{
-    Executor, ExecutorConfig, RequestOutcome, RequestStatus, ServeReport, ServeSnapshot,
+    Executor, ExecutorConfig, HedgeConfig, ProbationConfig, RequestOutcome, RequestStatus,
+    RetryBudgetConfig, ServeReport, ServeSnapshot, HEDGE_WARMUP,
 };
 pub use residency::ResidencyCache;
 pub use sched::SchedulePolicy;

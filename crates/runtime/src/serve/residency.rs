@@ -255,6 +255,28 @@ impl ResidencyCache {
         self.entries.contains_key(key)
     }
 
+    /// Removes one entry by key, returning its handle for the executor to
+    /// free. Hedged re-dispatch uses this for precise rollback: only the
+    /// keys the cancelled attempt *newly* inserted are removed, so
+    /// operands that were resident before the attempt survive it.
+    pub(crate) fn remove(&mut self, key: &str) -> Option<Resident> {
+        let e = self.entries.remove(key)?;
+        self.used_bytes -= e.bytes;
+        Some(e)
+    }
+
+    /// The device buffer backing the entry cached under `key`, when
+    /// resident (does not refresh its LRU position). Hedged re-dispatch
+    /// uses this to tell which of a cancelled attempt's resolved operands
+    /// were *newly* uploaded — their buffers were not alive before the
+    /// attempt — and must be rolled back via [`remove`](Self::remove).
+    pub(crate) fn buffer_of(&self, key: &str) -> Option<DevBufId> {
+        self.entries.get(key).map(|e| match e.handle {
+            ResidentHandle::Mat(m) => m.raw_buf(),
+            ResidentHandle::Vec(v) => v.raw_buf(),
+        })
+    }
+
     /// Device buffers currently tracked by the cache, in LRU order. The
     /// executor uses this to tell leaked allocations apart from live
     /// cached operands when cleaning up after a failed attempt; tests use
@@ -381,6 +403,21 @@ mod tests {
         assert!(cache.contains("x"));
         assert!(!cache.contains("missing"));
         assert_eq!(cache.device_buffers().len(), 2);
+    }
+
+    #[test]
+    fn remove_releases_budget_and_spares_other_entries() {
+        let mut g = gpu();
+        let mut cache = ResidencyCache::new(10_000);
+        cache.insert_mat("A", Dtype::F64, mat(&mut g, 10, 10), 800);
+        cache.insert_mat("B", Dtype::F64, mat(&mut g, 10, 10), 800);
+        let removed = cache.remove("A").expect("resident");
+        assert_eq!(removed.key, "A");
+        assert_eq!(cache.used_bytes(), 800);
+        assert!(!cache.contains("A"));
+        assert!(cache.contains("B"));
+        assert!(cache.remove("A").is_none());
+        assert!(cache.remove("missing").is_none());
     }
 
     #[test]

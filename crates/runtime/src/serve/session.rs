@@ -12,7 +12,9 @@
 use crate::error::RequestId;
 use crate::multigpu::MultiGpu;
 use crate::request::RoutineRequest;
-use crate::serve::executor::{Executor, ExecutorConfig, ServeReport};
+use crate::serve::executor::{
+    Executor, ExecutorConfig, HedgeConfig, ProbationConfig, RetryBudgetConfig, ServeReport,
+};
 use crate::serve::residency::ResidencyCache;
 use crate::serve::sched::SchedulePolicy;
 use crate::serve::telemetry::{TelemetryConfig, WatchSink, WatchWindow};
@@ -46,6 +48,9 @@ pub struct ServeOptions {
     pub(crate) queue_cap: Option<usize>,
     pub(crate) shed_flow_secs: Option<f64>,
     pub(crate) coalesce: bool,
+    pub(crate) hedge: Option<HedgeConfig>,
+    pub(crate) probation: Option<ProbationConfig>,
+    pub(crate) retry_budget: Option<RetryBudgetConfig>,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -63,6 +68,9 @@ impl std::fmt::Debug for ServeOptions {
             .field("queue_cap", &self.queue_cap)
             .field("shed_flow_secs", &self.shed_flow_secs)
             .field("coalesce", &self.coalesce)
+            .field("hedge", &self.hedge)
+            .field("probation", &self.probation)
+            .field("retry_budget", &self.retry_budget)
             .finish()
     }
 }
@@ -146,6 +154,37 @@ impl ServeOptions {
     /// request's single execution instead of uploading and running again.
     pub fn coalesce(mut self) -> Self {
         self.coalesce = true;
+        self
+    }
+
+    /// Arms hedged re-dispatch: a device attempt whose virtual elapsed
+    /// overruns its offload prediction by the adaptive threshold (see
+    /// [`HedgeConfig`]) is speculatively re-run on the best other healthy
+    /// device; the first completion wins and the loser is cancelled with
+    /// its work rolled back. Requires a deployed profile (no prediction,
+    /// no overrun). A non-positive multiplier disarms.
+    pub fn hedge(mut self, cfg: HedgeConfig) -> Self {
+        self.hedge = Some(cfg);
+        self
+    }
+
+    /// Arms quarantine probation: a quarantined device is periodically
+    /// probed with a tiny canary GEMM after a seeded exponential backoff;
+    /// [`ProbationConfig::successes`] consecutive clean probes re-admit it
+    /// (cold residency cache), and [`ProbationConfig::max_rounds`] failed
+    /// rounds give it up for the rest of the session.
+    pub fn probation(mut self, cfg: ProbationConfig) -> Self {
+        self.probation = Some(cfg);
+        self
+    }
+
+    /// Arms the per-session retry budget and circuit breaker: each
+    /// executor-level retry spends one token from a bucket refilled in
+    /// virtual time; an empty bucket opens the breaker and faulted
+    /// requests fail fast to host fallback until a cooldown (doubling
+    /// while faults persist) half-opens it again.
+    pub fn retry_budget(mut self, cfg: RetryBudgetConfig) -> Self {
+        self.retry_budget = Some(cfg);
         self
     }
 }

@@ -27,6 +27,7 @@ use cocopelia_obs::{
 };
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -104,6 +105,14 @@ pub struct WatchWindow {
     pub quarantined: usize,
     /// Mean absolute scheduling-prediction drift, seconds.
     pub mean_abs_drift: f64,
+    /// Hedge attempts launched in the window.
+    pub hedges: u64,
+    /// …of which beat their primary attempt.
+    pub hedge_wins: u64,
+    /// Probation canary probes run in the window.
+    pub probes: u64,
+    /// Retries refused fast (budget exhausted or breaker open).
+    pub fastfails: u64,
     /// Per-objective verdicts (empty when no SLOs are configured).
     pub slo: Vec<SloStatus>,
 }
@@ -140,8 +149,21 @@ impl WatchWindow {
                 .collect();
             format!("BREACH({})", breached.join(","))
         };
+        // The straggler-defense columns appear only when the window saw
+        // such activity, so runs with hedging/probation/budgets disarmed
+        // render byte-identically to earlier versions.
+        let mut defense = String::new();
+        if self.hedges > 0 || self.hedge_wins > 0 {
+            let _ = write!(defense, " hedge={}/{}", self.hedges, self.hedge_wins);
+        }
+        if self.probes > 0 {
+            let _ = write!(defense, " probe={}", self.probes);
+        }
+        if self.fastfails > 0 {
+            let _ = write!(defense, " ff={}", self.fastfails);
+        }
         format!(
-            "[w{:03} {:9.3}-{:9.3}ms] q={} done={} miss={} fail={} rej={} coal={} p95={} hit={} faults={} quar={} drift={:.3}us slo={}",
+            "[w{:03} {:9.3}-{:9.3}ms] q={} done={} miss={} fail={} rej={} coal={} p95={} hit={} faults={} quar={} drift={:.3}us{} slo={}",
             self.index,
             ms(self.start),
             ms(self.end),
@@ -156,6 +178,7 @@ impl WatchWindow {
             self.faults,
             self.quarantined,
             self.mean_abs_drift * 1e6,
+            defense,
             slo,
         )
     }
@@ -480,6 +503,14 @@ impl Telemetry {
         let misses = self.delta(st.metrics, "residency_misses_total");
         self.win.counter_add(names::RESIDENCY_HITS, hits);
         self.win.counter_add(names::RESIDENCY_MISSES, misses);
+        let hedges = self.delta(st.metrics, "hedge_attempts_total");
+        let hedge_wins = self.delta(st.metrics, "hedge_wins_total");
+        let probes = self.delta(st.metrics, "probe_attempts_total");
+        let fastfails = self.delta(st.metrics, "budget_fastfail_total");
+        self.win.counter_add(names::HEDGES, hedges);
+        self.win.counter_add(names::HEDGE_WINS, hedge_wins);
+        self.win.counter_add(names::PROBES, probes);
+        self.win.counter_add(names::BUDGET_FASTFAILS, fastfails);
     }
 
     fn delta(&mut self, metrics: &Registry, name: &str) -> u64 {
@@ -533,6 +564,10 @@ const DELTA_COUNTERS: &[&str] = &[
     "fault_fatal_total",
     "residency_hits_total",
     "residency_misses_total",
+    "hedge_attempts_total",
+    "hedge_wins_total",
+    "probe_attempts_total",
+    "budget_fastfail_total",
 ];
 
 fn watch_window(s: &WindowSnapshot, slo: Vec<SloStatus>) -> WatchWindow {
@@ -557,6 +592,10 @@ fn watch_window(s: &WindowSnapshot, slo: Vec<SloStatus>) -> WatchWindow {
         faults: s.counter(names::FAULTS),
         quarantined: s.gauge(names::QUARANTINED).unwrap_or(0.0) as usize,
         mean_abs_drift: s.gauge(names::DRIFT).unwrap_or(0.0),
+        hedges: s.counter(names::HEDGES),
+        hedge_wins: s.counter(names::HEDGE_WINS),
+        probes: s.counter(names::PROBES),
+        fastfails: s.counter(names::BUDGET_FASTFAILS),
         slo,
     }
 }
@@ -583,6 +622,10 @@ mod tests {
             faults: 2,
             quarantined: 0,
             mean_abs_drift: 1.25e-6,
+            hedges: 0,
+            hedge_wins: 0,
+            probes: 0,
+            fastfails: 0,
             slo: Vec::new(),
         };
         assert_eq!(
@@ -592,9 +635,24 @@ mod tests {
         let empty = WatchWindow {
             flow_p95_secs: None,
             residency_hit_rate: None,
-            ..ww
+            ..ww.clone()
         };
         assert!(empty.render().contains("p95=- hit=-"));
+        // Straggler-defense columns appear only when the window saw that
+        // activity — and then between drift and slo.
+        let busy = WatchWindow {
+            hedges: 3,
+            hedge_wins: 1,
+            probes: 2,
+            fastfails: 4,
+            ..ww
+        };
+        assert!(
+            busy.render()
+                .contains("drift=1.250us hedge=3/1 probe=2 ff=4 slo=-"),
+            "{}",
+            busy.render()
+        );
     }
 
     #[test]

@@ -201,6 +201,71 @@ impl ServeTracer {
         );
     }
 
+    /// Records a speculative hedge attempt on device `device`, racing the
+    /// request's primary attempt. The span carries no flow id (the
+    /// primary attempt owns the queue hand-off) but gets the same
+    /// per-engine child spans as a regular attempt.
+    pub(crate) fn hedge(
+        &mut self,
+        req: u64,
+        device: usize,
+        start_ns: u64,
+        end_ns: u64,
+        entries: &[TraceEntry],
+        label: &str,
+    ) {
+        let parent = self.log.record(
+            None,
+            req,
+            Some(device),
+            SpanPhase::Hedge,
+            label.to_owned(),
+            start_ns,
+            end_ns,
+            None,
+        );
+        for (engine, phase) in [
+            (EngineKind::CopyH2d, SpanPhase::H2d),
+            (EngineKind::Compute, SpanPhase::Exec),
+            (EngineKind::CopyD2h, SpanPhase::D2h),
+        ] {
+            self.engine_child(
+                parent, req, device, phase, engine, start_ns, end_ns, entries,
+            );
+        }
+    }
+
+    /// Records the cancellation instant of a hedge race's losing side on
+    /// device `device` — the moment the loser's clock was rewound to.
+    pub(crate) fn cancel(&mut self, req: u64, device: usize, at_ns: u64, label: &str) {
+        self.log.record(
+            None,
+            req,
+            Some(device),
+            SpanPhase::Cancel,
+            label.to_owned(),
+            at_ns,
+            at_ns,
+            None,
+        );
+    }
+
+    /// Records a probation canary probe on quarantined device `device`.
+    /// Probes belong to no request; they use the reserved request id
+    /// `u64::MAX` so viewers group them on their own track.
+    pub(crate) fn probe(&mut self, device: usize, start_ns: u64, end_ns: u64, label: &str) {
+        self.log.record(
+            None,
+            u64::MAX,
+            Some(device),
+            SpanPhase::Probe,
+            label.to_owned(),
+            start_ns,
+            end_ns,
+            None,
+        );
+    }
+
     /// Records a quarantine instant on the device that faulted out.
     pub(crate) fn quarantine(&mut self, req: u64, device: usize, at_ns: u64) {
         self.log.record(
@@ -344,6 +409,34 @@ mod tests {
         assert_eq!(q.start_ns, 3000, "queue wait begins at arrival, not t0");
         assert!(trace.spans.iter().any(|s| s.phase == SpanPhase::Reject));
         assert!(trace.spans.iter().any(|s| s.phase == SpanPhase::Coalesce));
+    }
+
+    #[test]
+    fn hedge_cancel_probe_spans_satisfy_invariants() {
+        let mut t = ServeTracer::default();
+        t.begin_drain(0, &[4]);
+        t.queue_wait(4, 100);
+        // A hedge won the race: the primary attempt ends at the hedge's
+        // completion instant with a cancel instant on its device, and the
+        // hedge span strictly overlaps the primary.
+        t.attempt(4, 0, 0, 100, 700, &[], Some("cancelled: hedge won"));
+        t.cancel(4, 0, 700, "cancelled by hedge on dev1");
+        t.hedge(4, 1, 400, 700, &[], "hedge on dev1 (won)");
+        t.complete(4, 700, "completed");
+        // Probation canaries on the quarantined device.
+        t.probe(0, 900, 1000, "probe fault: kernel fault");
+        t.probe(0, 1500, 1600, "probe ok (1/1)");
+        let trace = t.finish(Vec::new());
+        check_spans(&trace.spans).expect("hedge/cancel/probe spans are invariant-clean");
+        assert!(trace.spans.iter().any(|s| s.phase == SpanPhase::Hedge));
+        assert!(trace.spans.iter().any(|s| s.phase == SpanPhase::Cancel));
+        let probes: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.phase == SpanPhase::Probe)
+            .collect();
+        assert_eq!(probes.len(), 2);
+        assert!(probes.iter().all(|s| s.request == u64::MAX));
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub use runner::{AxpyLib, GemmLib, Lab, RunOut};
 pub use serve::{
     deadline_request_trace, parse_request_trace, run_serve, run_serve_streaming,
     run_serve_with_faults, run_serve_with_options, run_serve_with_policy, skewed_request_trace,
-    standard_request_trace, ArrivalKind, ArrivalSpec, ServeComparison, ServeOptions,
+    standard_request_trace, straggler_fault_plans, straggler_request_trace, ArrivalKind,
+    ArrivalSpec, ServeComparison, ServeOptions,
 };
 pub use sets::{AxpyProblem, GemmProblem, Scale};
 pub use snapshot::{collect_snapshot, standard_sweep, SweepPoint, SNAPSHOT_SEED};

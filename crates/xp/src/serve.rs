@@ -10,10 +10,12 @@
 //! request.
 
 use cocopelia_deploy::{deploy, DeployConfig};
-use cocopelia_gpusim::{ExecMode, FaultSpec, NoiseSpec, SimScalar, SimTime, TestbedSpec};
+use cocopelia_gpusim::{
+    DegradeWindow, ExecMode, FaultSpec, NoiseSpec, SimScalar, SimTime, TestbedSpec,
+};
 use cocopelia_runtime::serve::{
-    ExecutorConfig, SchedulePolicy, ServeOptions as SessionOptions, ServeReport, ServeSession,
-    TelemetryConfig, WatchWindow,
+    ExecutorConfig, HedgeConfig, ProbationConfig, RetryBudgetConfig, SchedulePolicy,
+    ServeOptions as SessionOptions, ServeReport, ServeSession, TelemetryConfig, WatchWindow,
 };
 use cocopelia_runtime::{
     AxpyRequest, Cocopelia, DotRequest, GemmRequest, GemvRequest, MatArg, MatOperand, MultiGpu,
@@ -153,6 +155,55 @@ pub fn deadline_request_trace() -> Vec<RoutineRequest> {
             .deadline_secs(0.025)
             .into(),
     ]
+}
+
+/// The standard straggler scenario: per-device fault plans where device
+/// 0's link runs at `factor` of its nominal bandwidth inside repeating
+/// degrade windows while every other device stays clean. Requests landing
+/// on device 0 inside a window overrun their offload prediction — the
+/// trigger hedged re-dispatch exists to defend against. No probabilistic
+/// faults are injected, so every request still completes and the total
+/// useful flops of hedged and unhedged runs are identical.
+pub fn straggler_fault_plans(devices: usize, seed: u64, factor: f64) -> Vec<FaultSpec> {
+    assert!(devices >= 2, "a straggler needs a healthy peer");
+    let mut plans = vec![FaultSpec::none(); devices];
+    plans[0] = FaultSpec {
+        seed,
+        // Back-to-back half-second windows with 0.1 ms clean gaps: the
+        // gaps are too short for a transfer to escape through, so device
+        // 0's link genuinely runs at `factor` of nominal for the whole
+        // horizon — degraded, but never *faulty* — and a request landing
+        // there overruns its prediction by an order of magnitude.
+        degrade: (0..16)
+            .map(|i| DegradeWindow {
+                start_s: i as f64 * 0.5,
+                end_s: i as f64 * 0.5 + 0.4999,
+                factor,
+            })
+            .collect(),
+        ..FaultSpec::none()
+    };
+    plans
+}
+
+/// A homogeneous dgemm trace for straggler experiments: `count` identical
+/// shared-operand requests, so scheduling spreads them across the pool
+/// and a fair share lands on the degraded device.
+pub fn straggler_request_trace(count: usize) -> Vec<RoutineRequest> {
+    let n = 2048usize;
+    (0..count)
+        .map(|_| {
+            GemmRequest::<f64>::new(
+                SharedMat::new("A", n, n),
+                SharedMat::new("B", n, n),
+                MatOperand::HostGhost { rows: n, cols: n },
+            )
+            .alpha(1.0)
+            .beta(1.0)
+            .tile(TileChoice::Auto)
+            .into()
+        })
+        .collect()
 }
 
 /// Deploys on a quiet copy of `testbed`, serves `trace` through a
@@ -368,6 +419,17 @@ pub struct ServeOptions {
     pub shed_flow_secs: Option<f64>,
     /// Coalesce identical-shape arrivals onto one execution.
     pub coalesce: bool,
+    /// Hedged re-dispatch of overrunning attempts.
+    pub hedge: Option<HedgeConfig>,
+    /// Quarantine probation (canary probes + re-admission).
+    pub probation: Option<ProbationConfig>,
+    /// Per-session retry budget and circuit breaker.
+    pub retry_budget: Option<RetryBudgetConfig>,
+    /// Per-device fault plans. When set, the pool gets one device per
+    /// plan (asymmetric scenarios like a single straggler) and the
+    /// `faults`/`devices` arguments of the `run_serve_*` entry points are
+    /// ignored for pool construction.
+    pub fault_plans: Option<Vec<FaultSpec>>,
 }
 
 impl Default for ServeOptions {
@@ -381,6 +443,10 @@ impl Default for ServeOptions {
             queue_cap: None,
             shed_flow_secs: None,
             coalesce: false,
+            hedge: None,
+            probation: None,
+            retry_budget: None,
+            fault_plans: None,
         }
     }
 }
@@ -450,14 +516,23 @@ fn serve_impl(
         sequential_secs += report.elapsed.as_secs_f64();
     }
 
-    let pool = MultiGpu::with_faults(
-        &tb,
-        devices,
-        ExecMode::TimingOnly,
-        SNAPSHOT_SEED,
-        deployed.profile,
-        faults,
-    );
+    let pool = match &options.fault_plans {
+        Some(plans) => MultiGpu::with_fault_plans(
+            &tb,
+            ExecMode::TimingOnly,
+            SNAPSHOT_SEED,
+            deployed.profile,
+            plans,
+        ),
+        None => MultiGpu::with_faults(
+            &tb,
+            devices,
+            ExecMode::TimingOnly,
+            SNAPSHOT_SEED,
+            deployed.profile,
+            faults,
+        ),
+    };
     let mut opts = SessionOptions::new().policy(options.policy);
     if options.trace {
         opts = opts.tracing();
@@ -479,6 +554,15 @@ fn serve_impl(
     }
     if options.coalesce {
         opts = opts.coalesce();
+    }
+    if let Some(h) = options.hedge {
+        opts = opts.hedge(h);
+    }
+    if let Some(p) = options.probation {
+        opts = opts.probation(p);
+    }
+    if let Some(b) = options.retry_budget {
+        opts = opts.retry_budget(b);
     }
     let mut session = ServeSession::with_options(pool, ExecutorConfig::default(), opts)
         .map_err(|e| format!("telemetry stream: {e}"))?;

@@ -7,13 +7,14 @@
 
 use cocopelia_core::profile::SystemProfile;
 use cocopelia_core::transfer::{LatBw, TransferModel};
-use cocopelia_gpusim::{testbed_i, ExecMode, NoiseSpec, SimTime, TestbedSpec};
+use cocopelia_gpusim::{testbed_i, ExecMode, FaultSpec, NoiseSpec, SimTime, TestbedSpec};
 use cocopelia_runtime::serve::{
     Executor, ExecutorConfig, RequestStatus, ServeOptions, ServeReport, ServeSession,
     TelemetryConfig,
 };
 use cocopelia_runtime::{GemmRequest, MatOperand, MultiGpu, RoutineRequest, SharedMat, TileChoice};
 use cocopelia_xp::ArrivalSpec;
+use proptest::prelude::*;
 
 const MB: usize = 1 << 20;
 
@@ -291,5 +292,76 @@ fn rejections_land_in_windowed_counters_and_leak_no_buffers() {
         let cached: std::collections::BTreeSet<_> =
             session.residency(d).device_buffers().into_iter().collect();
         assert_eq!(live, cached, "dev{d} must hold exactly its cached operands");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Property form of the bit-identity bar: whatever seeded fault
+    /// pressure the pool is under — transient links, flaky kernels, even
+    /// devices that die outright — the deprecated `Executor::run` wrapper
+    /// and a `ServeSession` drain of the same trace agree bit for bit on
+    /// timing, accounting, outcomes, and quarantine state.
+    #[test]
+    fn deprecated_run_matches_session_drain_under_fault_plans(
+        seed in 0u64..1000,
+        h2d in 0.0f64..0.3,
+        kernel in 0.0f64..0.3,
+        lost_after_n in 0u64..4,
+        n in 4usize..9,
+    ) {
+        // 0 encodes "never lost"; 1..4 lose the device after that many
+        // injected faults.
+        let spec = FaultSpec {
+            seed,
+            h2d,
+            kernel,
+            lost_after: (lost_after_n > 0).then_some(lost_after_n),
+            ..FaultSpec::none()
+        };
+        let faulty = || {
+            MultiGpu::with_faults(
+                &quiet(),
+                2,
+                ExecMode::TimingOnly,
+                42,
+                dummy_profile(),
+                &spec,
+            )
+        };
+        let trace = |n: usize| -> Vec<RoutineRequest> {
+            (0..n)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        shared_gemm()
+                    } else {
+                        ghost_gemm(if i % 2 == 0 { 2048 } else { 1024 }).into()
+                    }
+                })
+                .collect()
+        };
+
+        let mut legacy = Executor::new(faulty(), ExecutorConfig::default());
+        for req in trace(n) {
+            legacy.submit(req);
+        }
+        #[allow(deprecated)]
+        let old = legacy.run();
+
+        let mut session = ServeSession::new(faulty(), ExecutorConfig::default());
+        for req in trace(n) {
+            session.submit(req);
+        }
+        let new = session.drain();
+
+        prop_assert_eq!(old.makespan.as_nanos(), new.makespan.as_nanos());
+        prop_assert_eq!(&old.per_device_busy, &new.per_device_busy);
+        prop_assert_eq!(old.total_flops.to_bits(), new.total_flops.to_bits());
+        prop_assert_eq!(old.host_flops.to_bits(), new.host_flops.to_bits());
+        prop_assert_eq!(&old.outcomes, &new.outcomes);
+        prop_assert_eq!(&old.quarantined, &new.quarantined);
+        prop_assert_eq!(old.render(), new.render());
+        prop_assert_eq!(old.peak_queue_depth, new.peak_queue_depth);
     }
 }

@@ -65,6 +65,18 @@ echo "== straggler defense gate (hedging, probation, retry budgets) =="
 # tests/serve_straggler.rs.
 cargo test --release -q -p cocopelia-xp --test serve_straggler
 
+echo "== prefetch gate (prefetch beats baseline, estimate fixes, off-identity) =="
+# The cross-request prefetch acceptance bars: on the warm skewed trace,
+# --prefetch strictly beats the FIFO no-prefetch makespan through
+# measured h2d/exec overlap (staged copies drain on the background stream
+# under the running attempt's compute and their targets claim them as
+# residency hits), a prefetch-off run replays bit-identically to the
+# prefetch-unaware path, the residency-aware service estimate admits warm
+# repeat arrivals a cold twin's watermark sheds, the degrade-aware upload
+# estimate routes dispatch to the healthy peer, and a drained session
+# leaves no pinned or leaked staging buffers.
+cargo test --release -q -p cocopelia-xp --test serve_prefetch
+
 echo "== trace pipeline gate (spans, perfetto, timeline) =="
 # The serve tracing pipeline end to end: span invariants on chaos runs,
 # Perfetto round-trip decode (track counts, flows, per-track monotonicity),

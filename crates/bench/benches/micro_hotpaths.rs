@@ -4,8 +4,8 @@
 //! probe,
 //! the span-record / Perfetto-export trace path, the streaming
 //! telemetry primitives (window rotation, flight-recorder ring record),
-//! and the straggler-defense decision points (adaptive hedge threshold,
-//! canary-probe due scan).
+//! and the per-dispatch decision points (adaptive hedge threshold,
+//! canary-probe due scan, prefetch admission).
 //!
 //! Uses the `iai_callgrind` harness (vendored wall-clock stand-in; the
 //! registry version counts instructions under callgrind). Each function
@@ -212,6 +212,36 @@ fn hedge_decision() {
     }
 }
 
+/// The prefetch admission decision every primary dispatch pays when
+/// cross-request prefetch is armed: effective h2d time for the candidate
+/// bytes against the predicted idle window plus the residency free-budget
+/// probe, without staging anything.
+#[inline(never)]
+fn prefetch_decision() {
+    let mut tb = testbed_i();
+    tb.noise = NoiseSpec::NONE;
+    let pool = MultiGpu::new(&tb, 2, ExecMode::TimingOnly, 42, dummy_profile());
+    let mut exec = ServeSession::with_options(
+        pool,
+        ExecutorConfig::default(),
+        ServeOptions::new().prefetch(),
+    )
+    .expect("session");
+    // A few drained requests leave the residency cache realistically
+    // populated for the free-budget probe.
+    for _ in 0..4 {
+        exec.submit(shared_gemm());
+    }
+    exec.drain();
+    let ex = exec.executor_mut();
+    for i in 0..100_000u64 {
+        // Alternate operand sets that hide inside and overflow a 1 ms
+        // window so both decision branches stay hot.
+        let bytes = 1 << (16 + (i % 2) * 12);
+        black_box(ex.prefetch_decision_for_bench(0, black_box(bytes as usize), black_box(1e-3)));
+    }
+}
+
 /// Probe scheduling under a wide quarantine: the executor's "which canary
 /// is due next" scan, the per-event-loop-iteration cost probation adds.
 #[inline(never)]
@@ -259,5 +289,5 @@ main!(
     callgrind_args = "--simulate-wb=no", "--simulate-hwpref=yes",
         "--I1=32768,8,64", "--D1=32768,8,64", "--LL=8388608,16,64";
     functions = next_dispatch, next_event, residency_probe, span_record, perfetto_export,
-        window_rotate, ring_record, hedge_decision, probe_schedule
+        window_rotate, ring_record, hedge_decision, probe_schedule, prefetch_decision
 );

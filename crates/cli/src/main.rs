@@ -8,7 +8,7 @@
 //! cocopelia trace   --testbed ii --profile profile.json --routine dgemm --dims 8192 8192 8192 --out trace.json [--format chrome|jsonl]
 //! cocopelia gantt   --testbed i --dims 4096 4096 4096 --tile 1024
 //! cocopelia calib   --testbed i [--quick] [--json calib.json]
-//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--arrivals poisson:2000] [--seed 1] [--queue-cap 8] [--shed-flow-ms 50] [--coalesce] [--snapshot-ms 5] [--watch] [--window-ms 5] [--slo deadline_miss<=0.1] [--ring 2048]
+//! cocopelia serve   --testbed i [--devices 2] [--trace requests.txt] [--faults seed=1,h2d=0.02,lost_after=20] [--trace-out out.perfetto] [--arrivals poisson:2000] [--seed 1] [--queue-cap 8] [--shed-flow-ms 50] [--coalesce] [--prefetch] [--snapshot-ms 5] [--watch] [--window-ms 5] [--slo deadline_miss<=0.1] [--ring 2048]
 //! cocopelia metrics --testbed i [--devices 2] [--trace requests.txt] [--format prom|text]
 //! cocopelia timeline --testbed i [--devices 2] [--trace requests.txt] [--faults ...] [--width 96] [--color]
 //! cocopelia snapshot --out BENCH_pr.json [--testbed i] [--label pr]
@@ -138,7 +138,7 @@ usage:
   cocopelia serve   --testbed <i|ii> [--devices <N>] [--trace <requests.txt>] [--faults <spec>]
                     [--policy <fifo|edf|predictive>] [--trace-out <out.json|out.perfetto>]
                     [--arrivals <poisson:rate_hz|bursty:rate_hz:on_ms:off_ms>] [--seed <N>]
-                    [--queue-cap <N>] [--shed-flow-ms <N>] [--coalesce]
+                    [--queue-cap <N>] [--shed-flow-ms <N>] [--coalesce] [--prefetch]
                     [--snapshot-ms <N>] [--watch] [--window-ms <N>]
                     [--slo <kind<=limit,...>] [--ring <spans>]
                     [--hedge <mult|off>] [--probation <backoff_ms[:successes]|off>]
@@ -165,6 +165,12 @@ default 1) whose requests land mid-drain: poisson:<rate_hz> for memoryless
 traffic, bursty:<rate_hz>:<on_ms>:<off_ms> for on/off bursts. --queue-cap and
 --shed-flow-ms shed arrivals under overload (reported as rejected); --coalesce
 folds identical queued shapes into one execution.
+
+serve --prefetch pre-uploads the next queued request's missing shared operands
+on the running device's idle h2d engine when the overlap predictor says the
+copies hide under the running attempt's remaining exec time and the bytes fit
+the residency budget without evicting anything; claimed prefetches land as
+warm residency hits (pf=hits/issued in --watch lines).
 
 straggler defense (serve/metrics/timeline): --hedge <mult> re-dispatches an
 attempt overrunning its prediction by mult x (adaptively widened by observed
@@ -763,6 +769,7 @@ fn serve_comparison(
         })
         .transpose()?;
     let coalesce = args.has_flag("coalesce");
+    let prefetch = args.has_flag("prefetch");
     if arrivals.is_none() {
         if queue_cap.is_some() {
             return Err(CliError::Usage("--queue-cap requires --arrivals".into()));
@@ -805,6 +812,7 @@ fn serve_comparison(
         queue_cap,
         shed_flow_secs,
         coalesce,
+        prefetch,
         hedge,
         probation,
         retry_budget,
@@ -939,6 +947,24 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 c("probe_success_total"),
                 c("probe_readmit_total"),
                 fastfails,
+            );
+        }
+    }
+    {
+        let c = |name: &str| cmp.report.metrics.counter(name);
+        let issued = c("prefetch_issued_total");
+        let skipped = c("prefetch_skipped_total");
+        if issued + skipped > 0 {
+            println!(
+                "prefetch: issued {} (hits {}, released {}, aborted {}) | skipped {} | \
+                 staged {} B | overlapped {:.3} ms",
+                issued,
+                c("prefetch_hits_total"),
+                c("prefetch_released_total"),
+                c("prefetch_aborted_total"),
+                skipped,
+                c("prefetch_bytes_total"),
+                c("prefetch_overlap_ns") as f64 / 1e6,
             );
         }
     }

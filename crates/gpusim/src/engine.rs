@@ -59,7 +59,21 @@ struct ActiveOp {
 #[derive(Debug, Default)]
 struct Engine {
     queue: VecDeque<OpId>,
+    /// Ops from background streams: served only while `queue` is empty, so
+    /// background work drains strictly in the engine's idle gaps and never
+    /// delays foreground work already queued.
+    bg_queue: VecDeque<OpId>,
     active: Option<ActiveOp>,
+}
+
+impl Engine {
+    fn enqueue_op(&mut self, op: OpId, background: bool) {
+        if background {
+            self.bg_queue.push_back(op);
+        } else {
+            self.queue.push_back(op);
+        }
+    }
 }
 
 /// The simulator core. Crate-internal; users drive it through
@@ -71,6 +85,9 @@ pub(crate) struct Sim {
     /// `true` once the op has been handed to an engine or completed.
     issued: Vec<bool>,
     streams: Vec<VecDeque<OpId>>,
+    /// Per-stream background flag: ops from background streams queue on
+    /// each engine's low-priority lane.
+    background: Vec<bool>,
     /// Completion time of each recorded event, `None` while pending.
     events: Vec<Option<u64>>,
     h2d: Engine,
@@ -95,6 +112,7 @@ impl Sim {
             ops: Vec::new(),
             issued: Vec::new(),
             streams: Vec::new(),
+            background: Vec::new(),
             events: Vec::new(),
             h2d: Engine::default(),
             d2h: Engine::default(),
@@ -177,6 +195,7 @@ impl Sim {
         ] {
             let engine = self.engine_mut(kind);
             engine.queue.clear();
+            engine.bg_queue.clear();
             let taken = engine.active.take();
             if let Some(active) = taken {
                 self.trace
@@ -210,6 +229,18 @@ impl Sim {
     pub(crate) fn create_stream(&mut self) -> StreamId {
         let id = StreamId(self.streams.len());
         self.streams.push(VecDeque::new());
+        self.background.push(false);
+        id
+    }
+
+    /// Creates a background (low-priority) stream: its engine ops start
+    /// only when the engine has no foreground op queued, so they fill the
+    /// engine's idle gaps without displacing foreground work. With no
+    /// background streams every schedule is bit-identical to the
+    /// foreground-only simulator.
+    pub(crate) fn create_stream_background(&mut self) -> StreamId {
+        let id = self.create_stream();
+        self.background[id.0] = true;
         id
     }
 
@@ -248,6 +279,9 @@ impl Sim {
             && self.h2d.queue.is_empty()
             && self.d2h.queue.is_empty()
             && self.compute.queue.is_empty()
+            && self.h2d.bg_queue.is_empty()
+            && self.d2h.bg_queue.is_empty()
+            && self.compute.bg_queue.is_empty()
     }
 
     /// Runs the simulation until idle. Returns completed op ids in
@@ -285,6 +319,42 @@ impl Sim {
     fn stabilize(&mut self, completed: &mut Vec<OpId>) -> bool {
         let mut progressed_any = false;
         loop {
+            if self.stabilize_foreground(completed) {
+                progressed_any = true;
+            }
+            // Only once the foreground schedule is fully settled (every
+            // issueable op issued, engines loaded) may idle engines take
+            // background work — otherwise a background op could slip into
+            // the one-pass gap an instant op (event record/wait) opens at
+            // a stream head and displace the foreground op behind it.
+            let mut bg_started = false;
+            for engine_kind in [
+                EngineKind::CopyH2d,
+                EngineKind::CopyD2h,
+                EngineKind::Compute,
+            ] {
+                if self.engine(engine_kind).active.is_some() {
+                    continue;
+                }
+                let Some(op_id) = self.engine_mut(engine_kind).bg_queue.pop_front() else {
+                    continue;
+                };
+                let active = self.start_op(op_id, engine_kind);
+                self.engine_mut(engine_kind).active = Some(active);
+                bg_started = true;
+            }
+            if !bg_started {
+                return progressed_any;
+            }
+            progressed_any = true;
+        }
+    }
+
+    /// One settling pass over foreground work; see
+    /// [`stabilize`](Self::stabilize). Returns whether any state changed.
+    fn stabilize_foreground(&mut self, completed: &mut Vec<OpId>) -> bool {
+        let mut progressed_any = false;
+        loop {
             let mut progressed = false;
             // 1. Stream heads: handle instant ops, dispatch engine ops.
             for s in 0..self.streams.len() {
@@ -312,17 +382,20 @@ impl Sim {
                     }
                     OpKind::H2d { .. } => {
                         self.issued[head] = true;
-                        self.h2d.queue.push_back(head);
+                        let bg = self.background[s];
+                        self.h2d.enqueue_op(head, bg);
                         progressed = true;
                     }
                     OpKind::D2h { .. } => {
                         self.issued[head] = true;
-                        self.d2h.queue.push_back(head);
+                        let bg = self.background[s];
+                        self.d2h.enqueue_op(head, bg);
                         progressed = true;
                     }
                     OpKind::Kernel { .. } => {
                         self.issued[head] = true;
-                        self.compute.queue.push_back(head);
+                        let bg = self.background[s];
+                        self.compute.enqueue_op(head, bg);
                         progressed = true;
                     }
                 }

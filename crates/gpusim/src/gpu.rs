@@ -176,6 +176,16 @@ impl Gpu {
         self.sim.create_stream()
     }
 
+    /// Creates a background (low-priority) stream: its engine ops start
+    /// only when the engine's foreground queue is empty, filling idle
+    /// gaps without displacing foreground work — the transport for
+    /// cross-request prefetch copies that must hide under the running
+    /// routine. Sessions that never create one are bit-identical to the
+    /// foreground-only simulator.
+    pub fn create_stream_background(&mut self) -> StreamId {
+        self.sim.create_stream_background()
+    }
+
     /// Registers a host staging buffer holding `payload`.
     ///
     /// In [`ExecMode::TimingOnly`] the data is degraded to a ghost of the

@@ -165,7 +165,8 @@ pub fn render(trace: &ServeTrace, opts: &TimelineOptions) -> String {
                 | SpanPhase::Quarantine
                 | SpanPhase::Hedge
                 | SpanPhase::Probe
-                | SpanPhase::Cancel => {
+                | SpanPhase::Cancel
+                | SpanPhase::Prefetch => {
                     paint(&mut row, extent, s.start_ns, s.end_ns, s.phase.glyph());
                     any = true;
                 }
@@ -194,7 +195,7 @@ pub fn render(trace: &ServeTrace, opts: &TimelineOptions) -> String {
     let _ = writeln!(
         out,
         "legend: > h2d  # exec  < d2h  . queued  ! retry  Q quarantine  \
-         H host-fallback  ~ hedge  ? probe  x cancel"
+         H host-fallback  ~ hedge  ? probe  x cancel  + prefetch"
     );
     out
 }

@@ -4,7 +4,7 @@ use crate::ctx::{Cocopelia, RoutineReport};
 use crate::error::{FaultClass, RequestError, RequestId, RuntimeError};
 use crate::multigpu::MultiGpu;
 use crate::operand::{MatOperand, TileChoice, VecOperand};
-use crate::request::{GemmRequest, MatArg, RoutineRequest, VecArg};
+use crate::request::{GemmRequest, MatArg, RoutineRequest, SharedOperandSpec, VecArg};
 use crate::serve::residency::{ResidencyCache, ResidentHandle};
 use crate::serve::sched::SchedulePolicy;
 use crate::serve::session::ServeOptions;
@@ -13,7 +13,10 @@ use crate::serve::telemetry::{
 };
 use crate::serve::trace::ServeTracer;
 use cocopelia_core::models::Prediction;
-use cocopelia_gpusim::{DevBufId, HostBufId, SimError, SimScalar, SimTime};
+use cocopelia_gpusim::{
+    DevBufId, EngineKind, HostBufId, OpTag, SimError, SimScalar, SimTime, TraceEntry,
+};
+use cocopelia_hostblas::Dtype;
 use cocopelia_obs::drift::ABS_ERROR_BOUNDS;
 use cocopelia_obs::{DriftAccountant, DriftRecord, OverlapStats, Registry, ServeTrace};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -688,6 +691,16 @@ pub struct Executor {
     /// Session retry token bucket and circuit breaker, armed by
     /// [`ServeOptions::retry_budget`](crate::serve::ServeOptions::retry_budget).
     budget: Option<BudgetState>,
+    /// Cross-request operand prefetch on idle h2d engines, armed by
+    /// [`ServeOptions::prefetch`](crate::serve::ServeOptions::prefetch).
+    prefetch: bool,
+    /// Prefetched operands pinned in residency caches until their target
+    /// request claims them at dispatch (or a release path frees them).
+    prefetched: Vec<PrefetchEntry>,
+    /// Backlog seconds each queued request contributed at admission, so
+    /// the dispatch-time decrement returns exactly what admission added
+    /// even when residency (and thus the estimate) changed in between.
+    backlog_contrib: HashMap<u64, f64>,
 }
 
 /// A request coalesced onto a queued leader: it never executes itself,
@@ -698,6 +711,42 @@ struct Follower {
     id: RequestId,
     arrival_ns: u64,
     deadline: Option<f64>,
+}
+
+/// One prefetched operand pinned in a device's residency cache until its
+/// target request claims it at dispatch (or a release path frees it).
+#[derive(Debug, Clone)]
+struct PrefetchEntry {
+    /// Device holding the prefetched operand.
+    device: usize,
+    /// Request id the operand was prefetched for.
+    target: u64,
+    /// Residency key of the operand.
+    key: String,
+    /// Operand size in bytes.
+    bytes: usize,
+}
+
+/// One staged prefetch upload: the copy is enqueued on the device's h2d
+/// stream but the running attempt's synchronize has not run yet, so the
+/// staging ghost cannot be reclaimed and the cache entry cannot be
+/// created. `finish_prefetch` settles it after a successful submit.
+#[derive(Debug)]
+struct StagedPrefetch {
+    target: u64,
+    key: String,
+    dtype: Dtype,
+    bytes: usize,
+    handle: ResidentHandle,
+    host: HostBufId,
+}
+
+/// True when a trace entry is a cross-request prefetch copy (tagged with
+/// the prefetcher's synthetic [`OpTag`]). Attempt flow accounting filters
+/// these out: they belong to the *target* request's lifecycle, recorded
+/// as its `Prefetch` span.
+fn is_prefetch_entry(e: &TraceEntry) -> bool {
+    e.tag.as_ref().is_some_and(|t| t.routine == "prefetch")
 }
 
 /// Rejection reason for the footprint admission ceiling — shared by the
@@ -755,6 +804,9 @@ impl Executor {
             probation: None,
             probes: vec![None; count],
             budget: None,
+            prefetch: false,
+            prefetched: Vec::new(),
+            backlog_contrib: HashMap::new(),
         }
     }
 
@@ -794,6 +846,7 @@ impl Executor {
         exec.hedge = opts.hedge.filter(|h| h.multiplier > 0.0);
         exec.probation = opts.probation;
         exec.budget = opts.retry_budget.map(BudgetState::new);
+        exec.prefetch = opts.prefetch;
         Ok(exec)
     }
 
@@ -1019,16 +1072,41 @@ impl Executor {
         (cap as f64 * self.cfg.admission_frac.clamp(0.0, 1.0)) as usize
     }
 
-    /// Ideal h2d time device `d` would spend uploading the shared
-    /// operands of `req` it does not hold resident.
+    /// Estimated h2d time device `d` would spend uploading the shared
+    /// operands of `req` it does not hold resident, at the link bandwidth
+    /// in effect at the device's current clock — a fault-plan
+    /// [`DegradeWindow`](cocopelia_gpusim::DegradeWindow) covering the
+    /// instant slows the estimate the same way it slows the copy, so
+    /// dispatch stops treating a degraded link as full-rate.
     fn upload_estimate(&self, d: usize, req: &RoutineRequest) -> f64 {
-        let gpu = self.pool.devices()[d].gpu();
-        let h2d = gpu.spec().link.h2d;
         req.shared_footprints()
             .iter()
             .filter(|(k, _)| !self.residency[d].contains(k))
-            .map(|&(_, bytes)| h2d.ideal_time(bytes))
+            .map(|&(_, bytes)| self.effective_h2d_secs(d, bytes))
             .sum()
+    }
+
+    /// Estimated h2d transfer time of `bytes` on device `d` at the
+    /// *effective* link bandwidth of the device's current clock: the
+    /// first fault-plan degrade window covering the instant scales the
+    /// bandwidth by its factor, exactly like the engine. With no degrade
+    /// windows this returns
+    /// [`DirLinkSpec::ideal_time`](cocopelia_gpusim::DirLinkSpec::ideal_time)
+    /// bit for bit, so fault-free schedules are unchanged.
+    fn effective_h2d_secs(&self, d: usize, bytes: usize) -> f64 {
+        let gpu = self.pool.devices()[d].gpu();
+        let h2d = gpu.spec().link.h2d;
+        let degrade = &gpu.fault_spec().degrade;
+        if degrade.is_empty() {
+            return h2d.ideal_time(bytes);
+        }
+        let at = gpu.now().as_secs_f64();
+        let factor = degrade
+            .iter()
+            .find(|w| at >= w.start_s && at < w.end_s)
+            .map_or(1.0, |w| w.factor)
+            .max(1e-9);
+        h2d.latency_s + bytes as f64 / (h2d.bandwidth_bps * factor)
     }
 
     /// Model-predicted offload time of `req` on device `d`, through the
@@ -1085,20 +1163,16 @@ impl Executor {
         best
     }
 
-    /// Pulls the next request per the active [`SchedulePolicy`], sampling
-    /// queue depth (the pulled request included) at dispatch time. The
-    /// third element is the predictive policy's preferred device, which
-    /// [`dispatch`](Self::dispatch) tries first.
-    fn next_dispatch(&mut self) -> Option<(RequestId, RoutineRequest, Option<usize>)> {
+    /// The queue position the active [`SchedulePolicy`] would dispatch
+    /// next, plus the predictive policy's preferred device. Pure: this is
+    /// both the dispatch pick ([`next_dispatch`](Self::next_dispatch))
+    /// and the prefetcher's peek at the request that will run *after* the
+    /// one about to execute. `None` on an empty queue.
+    fn select_index(&self) -> Option<(usize, Option<usize>)> {
         if self.queue.is_empty() {
             return None;
         }
-        self.metrics.histogram_observe(
-            "serve_queue_depth",
-            &QUEUE_DEPTH_BOUNDS,
-            self.queue.len() as f64,
-        );
-        let (idx, preferred) = match self.policy {
+        Some(match self.policy {
             SchedulePolicy::Fifo => (0, None),
             SchedulePolicy::Edf => {
                 // Earliest deadline wins; deadline-less requests sort to
@@ -1155,7 +1229,20 @@ impl Executor {
                     (pick, pick_dev)
                 }
             }
-        };
+        })
+    }
+
+    /// Pulls the next request per the active [`SchedulePolicy`], sampling
+    /// queue depth (the pulled request included) at dispatch time. The
+    /// third element is the predictive policy's preferred device, which
+    /// [`dispatch`](Self::dispatch) tries first.
+    fn next_dispatch(&mut self) -> Option<(RequestId, RoutineRequest, Option<usize>)> {
+        let (idx, preferred) = self.select_index()?;
+        self.metrics.histogram_observe(
+            "serve_queue_depth",
+            &QUEUE_DEPTH_BOUNDS,
+            self.queue.len() as f64,
+        );
         self.queue.remove(idx).map(|(id, r)| (id, r, preferred))
     }
 
@@ -1188,7 +1275,12 @@ impl Executor {
                     }
                 }
                 if self.shed_flow_secs.is_some() {
-                    self.backlog_secs = (self.backlog_secs - self.service_estimate(&req)).max(0.0);
+                    // Return exactly the contribution admission recorded:
+                    // re-estimating here would leak residue into the
+                    // backlog whenever residency warmed (or cooled) while
+                    // the request waited.
+                    let est = self.backlog_contrib.remove(&id.0).unwrap_or(0.0);
+                    self.backlog_secs = (self.backlog_secs - est).max(0.0);
                 }
                 return Some((id, req, preferred, arrival_ns));
             }
@@ -1264,7 +1356,9 @@ impl Executor {
             }
         }
         if self.shed_flow_secs.is_some() {
-            self.backlog_secs += self.service_estimate(&req);
+            let est = self.service_estimate(&req);
+            self.backlog_secs += est;
+            self.backlog_contrib.insert(id.0, est);
         }
         self.queue.push_back((id, req));
         self.peak_queue = self.peak_queue.max(self.queue.len());
@@ -1312,12 +1406,34 @@ impl Executor {
         self.telemetry_tick(start, &quar_before);
     }
 
-    /// Deterministic, residency-independent service-time estimate of a
-    /// request, used by the flow-time shed watermark: ideal h2d of every
-    /// shared footprint plus the model's offload estimate on device 0.
-    /// Deliberately ignores residency state so the same request always
-    /// contributes the same backlog increment and decrement.
+    /// Service-time estimate of a request for the flow-time shed
+    /// watermark: the *best* healthy device's cost — the h2d time of the
+    /// shared operands that device is actually missing (residency-aware,
+    /// at effective link bandwidth) plus its model offload estimate. A
+    /// warm repeat request therefore prices near its compute time instead
+    /// of being charged cold uploads it will never perform — the old
+    /// residency-blind device-0 pricing spuriously shed exactly the
+    /// cheap, cache-friendly traffic the residency layer exists to serve.
+    /// When the whole pool is quarantined the estimate falls back to cold
+    /// device-0 pricing (the arrival would run on the host; the figure
+    /// only feeds the watermark). Residency changes between admission and
+    /// dispatch are reconciled through `backlog_contrib`: the backlog
+    /// decrement returns exactly what admission added.
     fn service_estimate(&self, req: &RoutineRequest) -> f64 {
+        let mut best = f64::INFINITY;
+        for d in 0..self.pool.device_count() {
+            if self.quarantined[d] {
+                continue;
+            }
+            let cost = self.upload_estimate(d, req)
+                + self.offload_estimate(d, req).map_or(0.0, |p| p.total);
+            if cost < best {
+                best = cost;
+            }
+        }
+        if best.is_finite() {
+            return best;
+        }
         let h2d = self.pool.devices()[0].gpu().spec().link.h2d;
         let upload: f64 = req
             .shared_footprints()
@@ -1489,6 +1605,17 @@ impl Executor {
                 next_snap = Some(due);
             }
         }
+        // Defensive: a prefetched entry whose target never claimed it by
+        // drain end loses its pin and becomes an ordinary LRU entry (the
+        // data is valid — only the reservation lapses).
+        let leftovers = std::mem::take(&mut self.prefetched);
+        for e in &leftovers {
+            self.residency[e.device].unpin(&e.key);
+        }
+        if !leftovers.is_empty() {
+            self.metrics
+                .counter_add("prefetch_released_total", leftovers.len() as u64);
+        }
         let per_device_busy: Vec<SimTime> = self
             .pool
             .devices()
@@ -1568,6 +1695,7 @@ impl Executor {
         self.coalesce_leaders.clear();
         self.followers.clear();
         self.backlog_secs = 0.0;
+        self.backlog_contrib.clear();
         self.metrics
             .gauge_set("serve_makespan_secs", report.makespan.as_secs_f64());
         self.metrics
@@ -1640,6 +1768,9 @@ impl Executor {
                 }
                 // Graceful degradation: the whole pool is quarantined, so
                 // the request completes on the host instead of failing.
+                // Operands prefetched for this request sit on devices it
+                // will never touch: release them with accounting.
+                self.release_prefetch_for(id.0);
                 host_fallback = true;
                 device = None;
                 self.metrics.counter_add("fault_host_fallback_total", 1);
@@ -1658,6 +1789,10 @@ impl Executor {
                 self.metrics.counter_add("quarantine_redispatch_total", 1);
             }
             device = Some(d);
+            // Claim (on `d`) or release (elsewhere) whatever the
+            // prefetcher staged for this request before resolution runs,
+            // so a claimed entry serves the resolve as a warm hit.
+            self.settle_prefetch(id.0, d);
             // A request cannot restart before the fault that re-issued it
             // occurred: a re-dispatch target whose virtual clock lags the
             // previous attempt's end is lifted to it. (Per-device clocks
@@ -1705,7 +1840,22 @@ impl Executor {
                 }
             }
             let attempt_no = retries;
-            match self.execute_once(d, req.clone()) {
+            // Predicted h2d idle time within this attempt — the window a
+            // cross-request prefetch must hide in: the attempt's total
+            // predicted span minus the h2d occupancy of its own input
+            // operands. Computed from operand bytes at the effective link
+            // rate rather than the prediction's `t_in_tile` (whose meaning
+            // is model-specific: the data-reuse model stores the pipeline
+            // fill there, so `k * t_in_tile` would overcount by ~`k`).
+            let spec = req.problem_spec();
+            let own_h2d: f64 = spec
+                .operands
+                .iter()
+                .filter(|o| o.get())
+                .map(|o| self.effective_h2d_secs(d, o.bytes(spec.dtype)))
+                .sum();
+            let window = estimate.as_ref().map(|(p, _)| (p.total - own_h2d).max(0.0));
+            match self.execute_once(d, req.clone(), window) {
                 Ok(report) => {
                     self.fault_streak[d] = 0;
                     self.budget_note_success();
@@ -1733,7 +1883,8 @@ impl Executor {
                         not_before_ns = hend_ns;
                         break Ok(*hreport);
                     }
-                    if matches!(hedged, HedgeOutcome::NotLaunched) {
+                    if matches!(hedged, HedgeOutcome::NotLaunched) && self.tracer.is_some() {
+                        let entries = self.attempt_entries(d, len_before);
                         if let Some(t) = self.tracer.as_mut() {
                             t.attempt(
                                 id.0,
@@ -1741,10 +1892,7 @@ impl Executor {
                                 attempt_no,
                                 clock_before.as_nanos(),
                                 clock_after.as_nanos(),
-                                self.pool.devices()[d]
-                                    .gpu()
-                                    .trace()
-                                    .entries_since(len_before),
+                                &entries,
                                 None,
                             );
                         }
@@ -1788,19 +1936,19 @@ impl Executor {
                     };
                     self.metrics.counter_add(name, 1);
                     let clock_after = self.pool.devices()[d].gpu().now();
-                    if let Some(t) = self.tracer.as_mut() {
-                        t.attempt(
-                            id.0,
-                            d,
-                            attempt_no,
-                            clock_before.as_nanos(),
-                            clock_after.as_nanos(),
-                            self.pool.devices()[d]
-                                .gpu()
-                                .trace()
-                                .entries_since(len_before),
-                            Some(&e.to_string()),
-                        );
+                    if self.tracer.is_some() {
+                        let entries = self.attempt_entries(d, len_before);
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.attempt(
+                                id.0,
+                                d,
+                                attempt_no,
+                                clock_before.as_nanos(),
+                                clock_after.as_nanos(),
+                                &entries,
+                                Some(&e.to_string()),
+                            );
+                        }
                     }
                     not_before_ns = clock_after.as_nanos();
                     if matches!(e, RuntimeError::Sim(SimError::DeviceLost)) {
@@ -2056,6 +2204,7 @@ impl Executor {
         self.suspicion_secs[d] = 0.0;
         self.metrics.counter_add("quarantine_devices_total", 1);
         let evicted = self.residency[d].clear();
+        self.forget_prefetch_on_device(d);
         self.metrics
             .counter_add("quarantine_invalidated_total", evicted.len() as u64);
         let dev = self.pool.device_mut(d);
@@ -2177,7 +2326,7 @@ impl Executor {
             .offload_estimate(b, req)
             .map(|p| (p, self.upload_estimate(b, req)));
         self.metrics.counter_add("hedge_attempts_total", 1);
-        match self.execute_once(b, req.clone()) {
+        match self.execute_once(b, req.clone(), None) {
             Ok(hreport) => {
                 let b_after_ns = self.pool.devices()[b].gpu().now().as_nanos();
                 if b_after_ns < clock_after.as_nanos() {
@@ -2188,16 +2337,16 @@ impl Executor {
                         .gpu_mut()
                         .cancel_to(SimTime::from_nanos(b_after_ns));
                     self.rollback_cancelled(d, req, pre_dev, pre_host);
+                    // The rewind erased the primary's prefetch copies too:
+                    // their data never arrived, so the cache entries must
+                    // not survive to serve phantom hits.
+                    self.abort_prefetch_on_device(d);
                     self.fault_streak[b] = 0;
                     self.suspicion_secs[b] = 0.0;
                     self.metrics.counter_add("hedge_wins_total", 1);
                     self.metrics.counter_add("hedge_cancel_total", 1);
                     if self.tracer.is_some() {
-                        let entries_d = self.pool.devices()[d]
-                            .gpu()
-                            .trace()
-                            .entries_since(len_before)
-                            .to_vec();
+                        let entries_d = self.attempt_entries(d, len_before);
                         let entries_b = self.pool.devices()[b]
                             .gpu()
                             .trace()
@@ -2268,11 +2417,7 @@ impl Executor {
                     self.metrics.counter_add("hedge_losses_total", 1);
                     self.metrics.counter_add("hedge_cancel_total", 1);
                     if self.tracer.is_some() {
-                        let entries_d = self.pool.devices()[d]
-                            .gpu()
-                            .trace()
-                            .entries_since(len_before)
-                            .to_vec();
+                        let entries_d = self.attempt_entries(d, len_before);
                         let entries_b = self.pool.devices()[b]
                             .gpu()
                             .trace()
@@ -2316,11 +2461,7 @@ impl Executor {
                 self.metrics.counter_add(name, 1);
                 self.metrics.counter_add("hedge_fail_total", 1);
                 if self.tracer.is_some() {
-                    let entries_d = self.pool.devices()[d]
-                        .gpu()
-                        .trace()
-                        .entries_since(len_before)
-                        .to_vec();
+                    let entries_d = self.attempt_entries(d, len_before);
                     let entries_b = self.pool.devices()[b]
                         .gpu()
                         .trace()
@@ -2506,7 +2647,7 @@ impl Executor {
         let before_ns = self.pool.devices()[d].gpu().now().as_nanos();
         self.metrics.counter_add("probe_attempts_total", 1);
         let goal = cfg.successes.max(1);
-        match self.execute_once(d, canary_request()) {
+        match self.execute_once(d, canary_request(), None) {
             Ok(_) => {
                 let after_ns = self.pool.devices()[d].gpu().now().as_nanos();
                 self.metrics.counter_add("probe_success_total", 1);
@@ -2652,6 +2793,18 @@ impl Executor {
         threshold_ns > 0 && elapsed_ns > threshold_ns
     }
 
+    /// The prefetch admission decision for one candidate operand set,
+    /// exposed for the microbenchmark harness: would `bytes` of missing
+    /// shared operands be staged on device `d` given `window_secs` of
+    /// predicted h2d idle time? This is the per-dispatch hot-path check
+    /// (always false with prefetch disarmed).
+    #[doc(hidden)]
+    pub fn prefetch_decision_for_bench(&self, d: usize, bytes: usize, window_secs: f64) -> bool {
+        self.prefetch
+            && self.effective_h2d_secs(d, bytes) <= window_secs
+            && self.residency[d].fits_now(bytes)
+    }
+
     /// The probe-scheduling scan (earliest due probe, as `(due_ns,
     /// device)`), exposed for the microbenchmark harness.
     #[doc(hidden)]
@@ -2695,31 +2848,308 @@ impl Executor {
     }
 
     /// One attempt: resolve shared operands against device `d`'s residency
-    /// cache, run the routine, release bypass uploads.
+    /// cache, optionally stage a cross-request prefetch on the idle h2d
+    /// engine, run the routine, release bypass uploads.
+    ///
+    /// `prefetch_window` is the running attempt's predicted h2d idle time
+    /// (`total − k·t_in_tile`); `Some` only on primary dispatches with a
+    /// usable prediction — hedges and probes pass `None` and never
+    /// prefetch.
     fn execute_once(
         &mut self,
         d: usize,
         req: RoutineRequest,
+        prefetch_window: Option<f64>,
     ) -> Result<RoutineReport, RuntimeError> {
-        let Executor {
-            pool,
-            residency,
-            metrics,
-            ..
-        } = self;
-        let dev = pool.device_mut(d);
-        let cache = &mut residency[d];
         let mut bypass = Vec::new();
         // Pin every shared key of this request for the whole resolution:
         // resolving a later operand must never evict (and free) an earlier
         // operand of the same request out from under its resolved handle.
         let pinned: Vec<String> = req.shared_keys().iter().map(|k| (*k).to_owned()).collect();
-        let resolved = resolve_request(dev, cache, metrics, &mut bypass, &pinned, req)?;
-        let report = dev.submit(resolved)?;
-        for h in bypass {
-            free_resident(dev, h);
+        let resolved = {
+            let Executor {
+                pool,
+                residency,
+                metrics,
+                ..
+            } = &mut *self;
+            let dev = pool.device_mut(d);
+            let cache = &mut residency[d];
+            resolve_request(dev, cache, metrics, &mut bypass, &pinned, req)?
+        };
+        // The trace mark must precede the staging enqueues so
+        // finish_prefetch sees its own copy entries.
+        let mark = self.pool.devices()[d].gpu().trace().len();
+        let staged = match prefetch_window {
+            Some(window) if self.prefetch => self.begin_prefetch(d, window),
+            _ => Vec::new(),
+        };
+        match self.pool.device_mut(d).submit(resolved) {
+            Ok(report) => {
+                self.finish_prefetch(d, staged, mark);
+                let dev = self.pool.device_mut(d);
+                for h in bypass {
+                    free_resident(dev, h);
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                // The staged buffers were never adopted by the cache, so
+                // the caller's ordinary fault cleanup frees them exactly
+                // like the attempt's own leaked buffers.
+                if !staged.is_empty() {
+                    self.metrics
+                        .counter_add("prefetch_aborted_total", staged.len() as u64);
+                }
+                Err(e)
+            }
         }
-        Ok(report)
+    }
+
+    /// Stages the next scheduled request's missing shared operands on
+    /// device `d`'s h2d engine, without synchronizing — the copies drain
+    /// during the running routine's own synchronize, overlapping its
+    /// compute. Stages nothing unless the overlap predictor says the
+    /// upload hides inside `window_secs` and the bytes fit in the
+    /// residency cache's free budget (a prefetch must never evict
+    /// demand-fetched state).
+    fn begin_prefetch(&mut self, d: usize, window_secs: f64) -> Vec<StagedPrefetch> {
+        if window_secs <= 0.0 || self.quarantined[d] {
+            return Vec::new();
+        }
+        let Some((idx, _)) = self.select_index() else {
+            return Vec::new();
+        };
+        let (target, specs) = {
+            let (tid, treq) = &self.queue[idx];
+            (tid.0, treq.shared_operand_specs())
+        };
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let plan: Vec<SharedOperandSpec> = specs
+            .into_iter()
+            .filter(|s| !self.residency[d].contains(s.key()) && seen.insert(s.key().to_owned()))
+            .collect();
+        if plan.is_empty() {
+            return Vec::new();
+        }
+        let upload: f64 = plan
+            .iter()
+            .map(|s| self.effective_h2d_secs(d, s.bytes()))
+            .sum();
+        let total_bytes: usize = plan.iter().map(SharedOperandSpec::bytes).sum();
+        if upload > window_secs || !self.residency[d].fits_now(total_bytes) {
+            self.metrics.counter_add("prefetch_skipped_total", 1);
+            return Vec::new();
+        }
+        let mut staged = Vec::with_capacity(plan.len());
+        for (i, spec) in plan.into_iter().enumerate() {
+            let tag = OpTag {
+                routine: "prefetch",
+                call: target,
+                tile: (i, 0),
+                operand: None,
+                get: true,
+                set: false,
+            };
+            let dtype = match &spec {
+                SharedOperandSpec::Mat { dtype, .. } | SharedOperandSpec::Vec { dtype, .. } => {
+                    *dtype
+                }
+            };
+            let bytes = spec.bytes();
+            let enqueued = match &spec {
+                SharedOperandSpec::Mat { rows, cols, .. } => self
+                    .pool
+                    .device_mut(d)
+                    .enqueue_ghost_matrix(dtype, *rows, *cols, tag)
+                    .map(|(m, h)| (ResidentHandle::Mat(m), h)),
+                SharedOperandSpec::Vec { len, .. } => self
+                    .pool
+                    .device_mut(d)
+                    .enqueue_ghost_vector(dtype, *len, tag)
+                    .map(|(v, h)| (ResidentHandle::Vec(v), h)),
+            };
+            match enqueued {
+                Ok((handle, host)) => staged.push(StagedPrefetch {
+                    target,
+                    key: spec.key().to_owned(),
+                    dtype,
+                    bytes,
+                    handle,
+                    host,
+                }),
+                Err(_) => {
+                    self.metrics.counter_add("prefetch_aborted_total", 1);
+                    break;
+                }
+            }
+        }
+        staged
+    }
+
+    /// Lands the copies staged by [`begin_prefetch`](Self::begin_prefetch)
+    /// after the running routine's synchronize drained them: releases the
+    /// staging ghosts, measures how much of each copy actually hid under
+    /// the routine's compute, records `Prefetch` trace spans, and adopts
+    /// the operands into the residency cache as pinned-until-claimed
+    /// entries.
+    fn finish_prefetch(&mut self, d: usize, staged: Vec<StagedPrefetch>, mark: usize) {
+        if staged.is_empty() {
+            return;
+        }
+        for s in &staged {
+            let _ = self.pool.device_mut(d).gpu_mut().take_host(s.host);
+        }
+        let entries: Vec<TraceEntry> = self.pool.devices()[d]
+            .gpu()
+            .trace()
+            .entries_since(mark)
+            .to_vec();
+        let computes: Vec<(u64, u64)> = entries
+            .iter()
+            .filter(|e| e.engine == EngineKind::Compute)
+            .map(|e| (e.start.as_nanos(), e.end.as_nanos()))
+            .collect();
+        let mut overlap_ns = 0u64;
+        for e in entries.iter().filter(|e| is_prefetch_entry(e)) {
+            let (s_ns, e_ns) = (e.start.as_nanos(), e.end.as_nanos());
+            overlap_ns += computes
+                .iter()
+                .map(|&(cs, ce)| e_ns.min(ce).saturating_sub(s_ns.max(cs)))
+                .sum::<u64>();
+            if self.tracer.is_some() {
+                let label = e
+                    .tag
+                    .as_ref()
+                    .and_then(|t| staged.get(t.tile.0))
+                    .map_or_else(
+                        || "prefetch".to_owned(),
+                        |s| format!("prefetch {} ({} B)", s.key, s.bytes),
+                    );
+                let target = e.tag.as_ref().map_or(0, |t| t.call);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.prefetch(target, d, s_ns, e_ns, &label);
+                }
+            }
+        }
+        self.metrics
+            .counter_add("prefetch_issued_total", staged.len() as u64);
+        self.metrics.counter_add("prefetch_overlap_ns", overlap_ns);
+        self.metrics.counter_add(
+            "prefetch_bytes_total",
+            staged.iter().map(|s| s.bytes as u64).sum(),
+        );
+        for s in staged {
+            let inserted = match s.handle {
+                ResidentHandle::Mat(m) => self.residency[d].insert_mat(&s.key, s.dtype, m, s.bytes),
+                ResidentHandle::Vec(v) => self.residency[d].insert_vec(&s.key, s.dtype, v, s.bytes),
+            };
+            if inserted {
+                self.residency[d].pin(&s.key);
+                self.prefetched.push(PrefetchEntry {
+                    device: d,
+                    target: s.target,
+                    key: s.key,
+                    bytes: s.bytes,
+                });
+            } else {
+                // A concurrent demand fetch won the key: drop the duplicate.
+                free_resident(self.pool.device_mut(d), s.handle);
+            }
+        }
+    }
+
+    /// Claims or releases the prefetched operands staged for request `id`
+    /// now that it is dispatching on device `d`: entries on `d` become
+    /// ordinary warm cache state (unpinned, counted as hits); entries
+    /// staged on any other device — the request was hedged elsewhere, or
+    /// its chosen device changed — are evicted and freed with accounting.
+    fn settle_prefetch(&mut self, id: u64, d: usize) {
+        if self.prefetched.is_empty() {
+            return;
+        }
+        let mut kept = Vec::with_capacity(self.prefetched.len());
+        for e in std::mem::take(&mut self.prefetched) {
+            if e.target != id {
+                kept.push(e);
+                continue;
+            }
+            self.residency[e.device].unpin(&e.key);
+            if e.device == d {
+                self.metrics.counter_add("prefetch_hits_total", 1);
+                self.metrics
+                    .counter_add("prefetch_hit_bytes_total", e.bytes as u64);
+            } else {
+                if let Some(r) = self.residency[e.device].remove(&e.key) {
+                    free_resident(self.pool.device_mut(e.device), r.handle);
+                }
+                self.metrics.counter_add("prefetch_released_total", 1);
+            }
+        }
+        self.prefetched = kept;
+    }
+
+    /// Releases every prefetched operand staged for request `id` without
+    /// claiming any — the request was rejected, coalesced, or fell back to
+    /// the host, so its staged bytes must not stay pinned.
+    fn release_prefetch_for(&mut self, id: u64) {
+        self.settle_prefetch(id, usize::MAX);
+    }
+
+    /// Evicts and frees every unclaimed prefetched operand on device `d`
+    /// after its timeline was rewound ([`cocopelia_gpusim::Gpu::cancel_to`]):
+    /// the copies never happened, so the cache entries must not survive to
+    /// serve phantom hits. The buffers are still allocated (the rewind is
+    /// timeline-only) and cache-tracked, so they are freed here, not by
+    /// the leak sweep.
+    fn abort_prefetch_on_device(&mut self, d: usize) {
+        if self.prefetched.is_empty() {
+            return;
+        }
+        let mut kept = Vec::with_capacity(self.prefetched.len());
+        let mut aborted = 0u64;
+        for e in std::mem::take(&mut self.prefetched) {
+            if e.device != d {
+                kept.push(e);
+                continue;
+            }
+            self.residency[d].unpin(&e.key);
+            if let Some(r) = self.residency[d].remove(&e.key) {
+                free_resident(self.pool.device_mut(d), r.handle);
+            }
+            aborted += 1;
+        }
+        self.prefetched = kept;
+        if aborted > 0 {
+            self.metrics.counter_add("prefetch_aborted_total", aborted);
+        }
+    }
+
+    /// Drops the tracking entries for device `d`'s unclaimed prefetches
+    /// after its residency cache was cleared wholesale (quarantine,
+    /// reclaim) — the buffers were already freed with the cache, so this
+    /// only forgets them.
+    fn forget_prefetch_on_device(&mut self, d: usize) {
+        let before = self.prefetched.len();
+        self.prefetched.retain(|e| e.device != d);
+        let dropped = (before - self.prefetched.len()) as u64;
+        if dropped > 0 {
+            self.metrics.counter_add("prefetch_aborted_total", dropped);
+        }
+    }
+
+    /// Device `d`'s trace entries since `len_before`, with prefetch copies
+    /// filtered out: they belong to the *next* request's `Prefetch` spans,
+    /// not this attempt's per-engine children.
+    fn attempt_entries(&self, d: usize, len_before: usize) -> Vec<TraceEntry> {
+        self.pool.devices()[d]
+            .gpu()
+            .trace()
+            .entries_since(len_before)
+            .iter()
+            .filter(|e| !is_prefetch_entry(e))
+            .cloned()
+            .collect()
     }
 
     /// Returns device `d` to a clean state after a failed attempt: waits
@@ -2745,6 +3175,10 @@ impl Executor {
                 let _ = dev.gpu_mut().take_host(h);
             }
         }
+        // The cache wipe above already freed any prefetched buffers; drop
+        // their tracking entries too so a later dispatch of the target
+        // request cannot claim a phantom hit.
+        self.forget_prefetch_on_device(d);
     }
 
     /// Frees buffers a failed attempt leaked on device `d` without

@@ -48,6 +48,7 @@ pub struct ServeOptions {
     pub(crate) queue_cap: Option<usize>,
     pub(crate) shed_flow_secs: Option<f64>,
     pub(crate) coalesce: bool,
+    pub(crate) prefetch: bool,
     pub(crate) hedge: Option<HedgeConfig>,
     pub(crate) probation: Option<ProbationConfig>,
     pub(crate) retry_budget: Option<RetryBudgetConfig>,
@@ -68,6 +69,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("queue_cap", &self.queue_cap)
             .field("shed_flow_secs", &self.shed_flow_secs)
             .field("coalesce", &self.coalesce)
+            .field("prefetch", &self.prefetch)
             .field("hedge", &self.hedge)
             .field("probation", &self.probation)
             .field("retry_budget", &self.retry_budget)
@@ -154,6 +156,20 @@ impl ServeOptions {
     /// request's single execution instead of uploading and running again.
     pub fn coalesce(mut self) -> Self {
         self.coalesce = true;
+        self
+    }
+
+    /// Arms prediction-guided cross-request prefetch: while a request
+    /// runs on a device, the next scheduled request's missing shared
+    /// operands may be pre-uploaded on that device's idle h2d engine —
+    /// but only when the overlap predictor says the upload hides inside
+    /// the running attempt's predicted h2d idle time and the bytes fit
+    /// the residency cache's free budget without evicting anything.
+    /// Prefetched operands stay pinned until their target claims them at
+    /// dispatch; an unclaimed prefetch (target rejected, coalesced, or
+    /// hedged to another device) is released with accounting.
+    pub fn prefetch(mut self) -> Self {
+        self.prefetch = true;
         self
     }
 

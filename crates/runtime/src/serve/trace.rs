@@ -235,6 +235,32 @@ impl ServeTracer {
         }
     }
 
+    /// Records a cross-request prefetch: a speculative h2d upload of the
+    /// *queued* request `target`'s shared operands on device `device`,
+    /// riding under another request's compute. The span carries the
+    /// target's request id but no flow (the target's queue flow closes at
+    /// its own first attempt) and deliberately overlaps the running
+    /// request's attempt span.
+    pub(crate) fn prefetch(
+        &mut self,
+        target: u64,
+        device: usize,
+        start_ns: u64,
+        end_ns: u64,
+        label: &str,
+    ) {
+        self.log.record(
+            None,
+            target,
+            Some(device),
+            SpanPhase::Prefetch,
+            label.to_owned(),
+            start_ns,
+            end_ns.max(start_ns),
+            None,
+        );
+    }
+
     /// Records the cancellation instant of a hedge race's losing side on
     /// device `device` — the moment the loser's clock was rewound to.
     pub(crate) fn cancel(&mut self, req: u64, device: usize, at_ns: u64, label: &str) {
@@ -437,6 +463,32 @@ mod tests {
             .collect();
         assert_eq!(probes.len(), 2);
         assert!(probes.iter().all(|s| s.request == u64::MAX));
+    }
+
+    #[test]
+    fn prefetch_spans_overlap_the_running_attempt_cleanly() {
+        let mut t = ServeTracer::default();
+        t.begin_drain(0, &[0, 1]);
+        t.queue_wait(0, 100);
+        t.attempt(0, 0, 0, 100, 900, &[], None);
+        // Request 1's operands prefetched under request 0's compute: the
+        // span belongs to request 1 and overlaps both request 0's attempt
+        // and request 1's own (still-open) queue wait.
+        t.prefetch(1, 0, 300, 600, "prefetch 2 operand(s) for r1");
+        t.complete(0, 900, "completed");
+        t.queue_wait(1, 900);
+        t.attempt(1, 0, 0, 900, 1400, &[], None);
+        t.complete(1, 1400, "completed");
+        let trace = t.finish(Vec::new());
+        check_spans(&trace.spans).expect("prefetch spans are invariant-clean");
+        let p = trace
+            .spans
+            .iter()
+            .find(|s| s.phase == SpanPhase::Prefetch)
+            .expect("prefetch span");
+        assert_eq!(p.request, 1);
+        assert_eq!(p.device, Some(0));
+        assert!(p.flow.is_none(), "prefetch never closes the queue flow");
     }
 
     #[test]

@@ -173,11 +173,17 @@ pub fn straggler_fault_plans(devices: usize, seed: u64, factor: f64) -> Vec<Faul
         // gaps are too short for a transfer to escape through, so device
         // 0's link genuinely runs at `factor` of nominal for the whole
         // horizon — degraded, but never *faulty* — and a request landing
-        // there overruns its prediction by an order of magnitude.
+        // there overruns its prediction by an order of magnitude. The
+        // windows open a hair *after* each half-second mark so the idle
+        // device's clock sits in a clean gap at dispatch time: the
+        // degrade-aware upload estimate reads a healthy link, dispatch
+        // still lands on the device, and the transfer runs into the
+        // window mid-flight — degradation the scheduler could not have
+        // priced, which is the straggler premise.
         degrade: (0..16)
             .map(|i| DegradeWindow {
-                start_s: i as f64 * 0.5,
-                end_s: i as f64 * 0.5 + 0.4999,
+                start_s: i as f64 * 0.5 + 1e-4,
+                end_s: (i + 1) as f64 * 0.5,
                 factor,
             })
             .collect(),
@@ -419,6 +425,9 @@ pub struct ServeOptions {
     pub shed_flow_secs: Option<f64>,
     /// Coalesce identical-shape arrivals onto one execution.
     pub coalesce: bool,
+    /// Prediction-guided cross-request operand prefetch on idle h2d
+    /// engines (see `ServeOptions::prefetch` in the runtime crate).
+    pub prefetch: bool,
     /// Hedged re-dispatch of overrunning attempts.
     pub hedge: Option<HedgeConfig>,
     /// Quarantine probation (canary probes + re-admission).
@@ -443,6 +452,7 @@ impl Default for ServeOptions {
             queue_cap: None,
             shed_flow_secs: None,
             coalesce: false,
+            prefetch: false,
             hedge: None,
             probation: None,
             retry_budget: None,
@@ -554,6 +564,9 @@ fn serve_impl(
     }
     if options.coalesce {
         opts = opts.coalesce();
+    }
+    if options.prefetch {
+        opts = opts.prefetch();
     }
     if let Some(h) = options.hedge {
         opts = opts.hedge(h);
